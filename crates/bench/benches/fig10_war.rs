@@ -1,0 +1,62 @@
+//! Figure 10 — write-after-read intensive applications under (a) the
+//! in-order `TimingSimpleCPU` and (b) the out-of-order `DerivO3CPU`:
+//! execution time normalized over MESI.
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{System, SystemConfig};
+use swiftdir_cpu::CpuModel;
+use swiftdir_workloads::WarApp;
+
+const ELEMENTS: u64 = 1024; // > the 512-line L1: steady-state WAR
+
+fn run(app: WarApp, protocol: ProtocolKind, model: CpuModel) -> u64 {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(1)
+            .protocol(protocol)
+            .cpu_model(model)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    let progs = app.build(&mut sys, pid, ELEMENTS);
+    sys.run_thread_program(pid, 0, progs.warmup.instrs().to_vec());
+    sys.run_to_completion();
+    sys.run_thread_program(pid, 0, progs.measured.instrs().to_vec());
+    sys.run_to_completion().roi_cycles()
+}
+
+fn main() {
+    println!(
+        "Figure 10 — write-after-read intensive apps, time normalized over \
+         MESI ({ELEMENTS}-line arrays)\n"
+    );
+    for (part, label, model) in [
+        ("(a)", "TimingSimpleCPU", CpuModel::TimingSimple),
+        ("(b)", "DerivO3CPU", CpuModel::DerivO3),
+    ] {
+        println!("{part} {label}:");
+        println!(
+            "  {:<18} {:>12} {:>10} {:>10} {:>14}",
+            "application", "MESI(cyc)", "SwiftDir%", "S-MESI%", "speedup vs S-MESI"
+        );
+        for app in WarApp::ALL {
+            let mesi = run(app, ProtocolKind::Mesi, model) as f64;
+            let swift = run(app, ProtocolKind::SwiftDir, model) as f64;
+            let smesi = run(app, ProtocolKind::SMesi, model) as f64;
+            println!(
+                "  {:<18} {:>12.0} {:>10.2} {:>10.2} {:>13.2}x",
+                app.to_string(),
+                mesi,
+                swift / mesi * 100.0,
+                smesi / mesi * 100.0,
+                smesi / swift,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Shape check (paper): SwiftDir ≈ MESI everywhere; S-MESI pays the \
+         Upgrade/ACK per write-after-read; the OoO core amplifies the gap \
+         (paper: up to 2.62x on insertion)."
+    );
+}

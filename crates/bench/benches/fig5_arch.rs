@@ -1,0 +1,52 @@
+//! Figure 5 — WP-bit transport under the three commercial L1
+//! architectures: where/when the write-protection information becomes
+//! available, and the translation latency each architecture exposes.
+
+use swiftdir_cache::L1Architecture;
+use swiftdir_coherence::{CoherenceEvent, ProtocolKind};
+use swiftdir_core::{System, SystemConfig};
+use swiftdir_cpu::{CpuModel, MemOp};
+use swiftdir_mmu::{MapFlags, Prot, VirtAddr};
+
+fn main() {
+    println!("Figure 5 — write-protected information transport per L1 architecture\n");
+    println!(
+        "{:<6} {:<22} {:>9} {:>10} {:>12}",
+        "arch", "(where, when)", "hit(cyc)", "miss(cyc)", "GETS_WP ok"
+    );
+    for arch in L1Architecture::ALL {
+        let mut sys = System::new(
+            SystemConfig::builder()
+                .cores(2)
+                .protocol(ProtocolKind::SwiftDir)
+                .cpu_model(CpuModel::TimingSimple)
+                .l1_architecture(arch)
+                .build(),
+        );
+        let pid = sys.spawn_process();
+        let va = sys
+            .process_mut(pid)
+            .mmap(8192, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
+        // Cold access faults the page in; warm-ups leave a measurable
+        // steady state.
+        sys.timed_access(0, pid, va, MemOp::Load);
+        let hit = sys.timed_access(0, pid, va, MemOp::Load);
+        // A warm-TLB L1 miss: another line of the same page, evict-free.
+        let miss = sys.timed_access(0, pid, VirtAddr(va.0 + 64), MemOp::Load);
+        let wp_ok = sys.hierarchy().stats().event(CoherenceEvent::GetsWp) >= 2;
+        println!(
+            "{:<6} {:<22} {:>9} {:>10} {:>12}",
+            arch.to_string(),
+            format!("{:?}", arch.wp_arrival()),
+            hit.get(),
+            miss.get(),
+            wp_ok,
+        );
+    }
+    println!(
+        "\nShape check (paper §IV-B): every architecture delivers the WP bit \
+         by the time the request reaches the PIPT LLC, so GETS_WP works \
+         everywhere; only the translation-latency placement differs."
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 8 — multi-threaded PARSEC 3.0: ROI execution time of SwiftDir
+//! and S-MESI normalized over MESI (4 cores, 13 synthetic profiles).
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{System, SystemConfig};
+use swiftdir_cpu::CpuModel;
+use swiftdir_workloads::ParsecBenchmark;
+
+const INSTRUCTIONS_PER_THREAD: u64 = 25_000;
+
+fn roi_cycles(bench: ParsecBenchmark, protocol: ProtocolKind) -> u64 {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(4)
+            .protocol(protocol)
+            .cpu_model(CpuModel::DerivO3)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    for t in bench.build_threads(&mut sys, pid, INSTRUCTIONS_PER_THREAD) {
+        sys.run_thread_stream(pid, t.core, t.stream);
+    }
+    sys.run_to_completion().roi_cycles()
+}
+
+fn main() {
+    println!(
+        "Figure 8 — PARSEC 3.0 ROI execution time normalized over MESI \
+         (4 threads x {INSTRUCTIONS_PER_THREAD} instructions, DerivO3CPU)\n"
+    );
+    println!(
+        "{:<15} {:>10} {:>10} {:>10}",
+        "benchmark", "MESI(cyc)", "SwiftDir%", "S-MESI%"
+    );
+    let mut swift_sum = 0.0;
+    let mut smesi_sum = 0.0;
+    for bench in ParsecBenchmark::ALL {
+        let mesi = roi_cycles(bench, ProtocolKind::Mesi) as f64;
+        let swift = roi_cycles(bench, ProtocolKind::SwiftDir) as f64 / mesi * 100.0;
+        let smesi = roi_cycles(bench, ProtocolKind::SMesi) as f64 / mesi * 100.0;
+        swift_sum += swift;
+        smesi_sum += smesi;
+        println!(
+            "{:<15} {:>10.0} {:>10.2} {:>10.2}",
+            bench.name(),
+            mesi,
+            swift,
+            smesi
+        );
+    }
+    let n = ParsecBenchmark::ALL.len() as f64;
+    println!(
+        "\n{:<15} {:>10} {:>10.2} {:>10.2}",
+        "average", "100", swift_sum / n, smesi_sum / n
+    );
+    println!(
+        "\nShape check (paper): SwiftDir shorter than MESI on average \
+         (shared reads LLC-served); S-MESI slightly longer than MESI."
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 9 — multi-threaded read-only benchmarks: re-access time of
+//! 1 000–5 000 exploitable shared data items, normalized over MESI.
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_workloads::ReadOnlySweep;
+
+fn main() {
+    println!("Figure 9 — shared-data re-access time normalized over MESI\n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "amount", "MESI(cyc)", "SwiftDir%", "S-MESI%"
+    );
+    let mut swift_sum = 0.0;
+    let mut smesi_sum = 0.0;
+    let amounts = [1000u64, 2000, 3000, 4000, 5000];
+    for &amount in &amounts {
+        let sweep = ReadOnlySweep::new(amount);
+        let mesi = sweep.run(ProtocolKind::Mesi).reaccess_cycles as f64;
+        let swift = sweep.run(ProtocolKind::SwiftDir).reaccess_cycles as f64 / mesi * 100.0;
+        let smesi = sweep.run(ProtocolKind::SMesi).reaccess_cycles as f64 / mesi * 100.0;
+        swift_sum += swift;
+        smesi_sum += smesi;
+        println!("{amount:<8} {mesi:>12.0} {swift:>10.2} {smesi:>10.2}");
+    }
+    let n = amounts.len() as f64;
+    println!(
+        "\n{:<8} {:>12} {:>10.2} {:>10.2}",
+        "average", "100", swift_sum / n, smesi_sum / n
+    );
+    println!(
+        "\nShape check (paper): SwiftDir and S-MESI comparable, both below \
+         MESI (E→S forwarding avoided; paper reports 0.46%/0.57% average \
+         reduction on its in-order runs)."
+    );
+}

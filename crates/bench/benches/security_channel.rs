@@ -1,0 +1,41 @@
+//! Security evaluation (paper §V-A and §II-B): covert- and side-channel
+//! accuracy per protocol, plus the probe-latency separation that makes
+//! the MESI channel work.
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{CovertChannel, SideChannel};
+
+const BITS: usize = 64;
+const SEED: u64 = 2022;
+
+fn main() {
+    println!("Security — E/S timing-channel attacks ({BITS} bits/trials per run)\n");
+    println!(
+        "{:<10} {:>16} {:>16} {:>20}",
+        "protocol", "covert acc.", "side-ch acc.", "probe latencies"
+    );
+    for p in [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+        ProtocolKind::Msi,
+    ] {
+        let covert = CovertChannel::new(p).transmit_random(BITS, SEED);
+        let side = SideChannel::new(p).run_random(BITS, SEED + 1);
+        let distinct: std::collections::BTreeSet<u64> =
+            covert.latencies.iter().map(|c| c.get()).collect();
+        let lat: Vec<String> = distinct.iter().map(|l| format!("{l}")).collect();
+        println!(
+            "{:<10} {:>15.1}% {:>15.1}% {:>20}",
+            p.to_string(),
+            covert.accuracy() * 100.0,
+            side.accuracy() * 100.0,
+            format!("{{{}}}", lat.join(",")),
+        );
+    }
+    println!(
+        "\nShape check (paper): MESI ≈ 100% on both channels with two latency \
+         clusters 26 cycles apart; the secure protocols collapse to one \
+         cluster and chance-level accuracy."
+    );
+}

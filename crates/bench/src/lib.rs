@@ -1,0 +1,6 @@
+//! Shared helpers for the SwiftDir benchmark harness live in the bench
+//! targets themselves; this library crate exists to anchor the package.
+
+/// The instruction budget figure-level benches default to per run.
+pub const DEFAULT_INSTRUCTIONS: u64 = 100_000;
+

@@ -1,0 +1,160 @@
+//! Cache size / associativity / block arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache: capacity, associativity, and block size.
+///
+/// All three must be powers of two so index and tag extraction are bit
+/// operations, as in hardware.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_cache::CacheGeometry;
+/// // Table V L1: 32 KB, 4-way, 64 B blocks -> 128 sets.
+/// let g = CacheGeometry::new(32 * 1024, 4, 64);
+/// assert_eq!(g.num_sets(), 128);
+/// assert_eq!(g.block_base(0x12345), 0x12340);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    associativity: u32,
+    block_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `associativity`, and `block_bytes` are
+    /// nonzero powers of two and the capacity holds at least one set.
+    pub fn new(size_bytes: u64, associativity: u32, block_bytes: u64) -> Self {
+        assert!(size_bytes.is_power_of_two(), "size must be a power of two");
+        assert!(
+            associativity.is_power_of_two(),
+            "associativity must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(
+            size_bytes >= associativity as u64 * block_bytes,
+            "cache smaller than one set"
+        );
+        CacheGeometry {
+            size_bytes,
+            associativity,
+            block_bytes,
+        }
+    }
+
+    /// Table V's private L1: 32 KB, 4-way, 64-byte blocks.
+    pub fn table_v_l1() -> Self {
+        CacheGeometry::new(32 * 1024, 4, 64)
+    }
+
+    /// Table V's shared L2 bank: 2 MB, 16-way, 64-byte blocks (one bank
+    /// per core).
+    pub fn table_v_l2_bank() -> Self {
+        CacheGeometry::new(2 * 1024 * 1024, 16, 64)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Block (line) size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.associativity as u64 * self.block_bytes)
+    }
+
+    /// Low bits consumed by the block offset.
+    pub fn offset_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    /// Bits consumed by the set index.
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+
+    /// The set index of `addr`.
+    pub fn index_of(&self, addr: u64) -> u64 {
+        (addr >> self.offset_bits()) & (self.num_sets() - 1)
+    }
+
+    /// The tag of `addr` (bits above index and offset).
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        addr >> (self.offset_bits() + self.index_bits())
+    }
+
+    /// The first byte address of the block containing `addr`.
+    pub fn block_base(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+
+    /// Reconstructs a block base address from its tag and index.
+    pub fn address_of(&self, tag: u64, index: u64) -> u64 {
+        (tag << (self.offset_bits() + self.index_bits())) | (index << self.offset_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_geometries() {
+        let l1 = CacheGeometry::table_v_l1();
+        assert_eq!(l1.num_sets(), 128);
+        assert_eq!(l1.offset_bits(), 6);
+        assert_eq!(l1.index_bits(), 7);
+        let l2 = CacheGeometry::table_v_l2_bank();
+        assert_eq!(l2.num_sets(), 2048);
+        assert_eq!(l2.associativity(), 16);
+    }
+
+    #[test]
+    fn index_tag_roundtrip() {
+        let g = CacheGeometry::table_v_l1();
+        for addr in [0u64, 0x40, 0x1f_ffc0, 0xdead_bec0] {
+            let base = g.block_base(addr);
+            let rebuilt = g.address_of(g.tag_of(addr), g.index_of(addr));
+            assert_eq!(rebuilt, base, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn same_set_different_tags_collide() {
+        let g = CacheGeometry::table_v_l1();
+        let stride = g.num_sets() * g.block_bytes();
+        assert_eq!(g.index_of(0x40), g.index_of(0x40 + stride));
+        assert_ne!(g.tag_of(0x40), g.tag_of(0x40 + stride));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_rejected() {
+        CacheGeometry::new(3000, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn degenerate_capacity_rejected() {
+        CacheGeometry::new(64, 4, 64);
+    }
+}

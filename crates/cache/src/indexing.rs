@@ -1,0 +1,185 @@
+//! The three commercial L1 architectures (paper §IV-B, Figure 5).
+//!
+//! SwiftDir must get the MMU's write-protection bit to the coherence
+//! controller. The paper shows this works for every commercial L1
+//! organization because the LLC is always PIPT: by the time a request
+//! reaches the LLC, translation — and therefore the WP bit — is available.
+//! What differs is *where/when* the bit first arrives and whether
+//! translation sits on the L1 critical path:
+//!
+//! | L1 arch | WP arrives at | translation vs. L1 access |
+//! |---------|---------------|---------------------------|
+//! | PIPT    | L1, set indexing | before (serial)        |
+//! | VIPT    | L1, tag comparison | overlapped           |
+//! | VIVT    | LLC, set indexing | after L1 (miss path only) |
+
+use serde::{Deserialize, Serialize};
+use swiftdir_mmu::{PhysAddr, VirtAddr};
+
+use crate::geometry::CacheGeometry;
+
+/// Where and when the write-protection bit reaches the cache hierarchy —
+/// the `(where, when)` property of paper Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WpArrival {
+    /// Available at the L1 as soon as set indexing starts (PIPT).
+    L1SetIndexing,
+    /// Available at the L1 when tags are compared (VIPT).
+    L1TagComparison,
+    /// Available at the (PIPT) LLC when the miss request arrives (VIVT).
+    LlcSetIndexing,
+}
+
+/// An L1 cache addressing architecture.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L1Architecture {
+    /// Physically indexed, physically tagged (e.g. ARM Cortex-A L1D).
+    Pipt,
+    /// Virtually indexed, physically tagged (e.g. Intel Skylake, AMD Zen
+    /// L1D) — the common modern choice, and this crate's default.
+    #[default]
+    Vipt,
+    /// Virtually indexed, virtually tagged (older cores, e.g. ARM920T).
+    Vivt,
+}
+
+impl L1Architecture {
+    /// The set index used by an L1 of this architecture.
+    ///
+    /// PIPT indexes with physical bits; VIPT and VIVT index with virtual
+    /// bits (for VIPT this is what lets indexing overlap translation).
+    pub fn set_index(self, vaddr: VirtAddr, paddr: PhysAddr, geom: &CacheGeometry) -> u64 {
+        match self {
+            L1Architecture::Pipt => geom.index_of(paddr.0),
+            L1Architecture::Vipt | L1Architecture::Vivt => geom.index_of(vaddr.0),
+        }
+    }
+
+    /// Whether address translation must complete before the L1 lookup can
+    /// *start* (true only for PIPT: translation is on the hit critical
+    /// path).
+    pub fn translation_before_l1(self) -> bool {
+        matches!(self, L1Architecture::Pipt)
+    }
+
+    /// Whether an L1 *hit* requires a completed translation at all.
+    ///
+    /// VIVT hits are served entirely by virtual address; translation (and
+    /// the WP bit) is only produced on the miss path, before the PIPT LLC
+    /// is accessed.
+    pub fn hit_needs_translation(self) -> bool {
+        !matches!(self, L1Architecture::Vivt)
+    }
+
+    /// Where/when the WP bit becomes available (paper Figure 5).
+    pub fn wp_arrival(self) -> WpArrival {
+        match self {
+            L1Architecture::Pipt => WpArrival::L1SetIndexing,
+            L1Architecture::Vipt => WpArrival::L1TagComparison,
+            L1Architecture::Vivt => WpArrival::LlcSetIndexing,
+        }
+    }
+
+    /// Extra cycles of translation latency exposed on an L1 **hit**, given
+    /// the TLB-hit latency. PIPT serializes it; VIPT hides it under set
+    /// indexing; VIVT does not translate at all on a hit.
+    pub fn hit_translation_cycles(self, tlb_hit_cycles: u64) -> u64 {
+        match self {
+            L1Architecture::Pipt => tlb_hit_cycles,
+            L1Architecture::Vipt | L1Architecture::Vivt => 0,
+        }
+    }
+
+    /// Extra cycles of translation latency exposed on the **miss** path
+    /// (before the request may be sent to the LLC). VIVT pays translation
+    /// here; PIPT already paid before the L1; VIPT overlapped it.
+    pub fn miss_translation_cycles(self, tlb_hit_cycles: u64) -> u64 {
+        match self {
+            L1Architecture::Vivt => tlb_hit_cycles,
+            L1Architecture::Pipt | L1Architecture::Vipt => 0,
+        }
+    }
+
+    /// All three architectures, for sweeps.
+    pub const ALL: [L1Architecture; 3] = [
+        L1Architecture::Pipt,
+        L1Architecture::Vipt,
+        L1Architecture::Vivt,
+    ];
+}
+
+impl std::fmt::Display for L1Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            L1Architecture::Pipt => "PIPT",
+            L1Architecture::Vipt => "VIPT",
+            L1Architecture::Vivt => "VIVT",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wp_arrival_matches_figure_5() {
+        assert_eq!(L1Architecture::Pipt.wp_arrival(), WpArrival::L1SetIndexing);
+        assert_eq!(
+            L1Architecture::Vipt.wp_arrival(),
+            WpArrival::L1TagComparison
+        );
+        assert_eq!(
+            L1Architecture::Vivt.wp_arrival(),
+            WpArrival::LlcSetIndexing
+        );
+    }
+
+    #[test]
+    fn pipt_indexes_physically() {
+        let geom = CacheGeometry::table_v_l1();
+        let va = VirtAddr(0x7000_1040);
+        let pa = PhysAddr(0x0000_3080);
+        assert_eq!(
+            L1Architecture::Pipt.set_index(va, pa, &geom),
+            geom.index_of(pa.0)
+        );
+        assert_eq!(
+            L1Architecture::Vipt.set_index(va, pa, &geom),
+            geom.index_of(va.0)
+        );
+        assert_eq!(
+            L1Architecture::Vivt.set_index(va, pa, &geom),
+            geom.index_of(va.0)
+        );
+    }
+
+    #[test]
+    fn critical_path_properties() {
+        assert!(L1Architecture::Pipt.translation_before_l1());
+        assert!(!L1Architecture::Vipt.translation_before_l1());
+        assert!(!L1Architecture::Vivt.translation_before_l1());
+        assert!(L1Architecture::Pipt.hit_needs_translation());
+        assert!(L1Architecture::Vipt.hit_needs_translation());
+        assert!(!L1Architecture::Vivt.hit_needs_translation());
+    }
+
+    #[test]
+    fn latency_exposure() {
+        // With a 1-cycle TLB, PIPT exposes it on hits, VIVT on misses,
+        // VIPT never.
+        assert_eq!(L1Architecture::Pipt.hit_translation_cycles(1), 1);
+        assert_eq!(L1Architecture::Vipt.hit_translation_cycles(1), 0);
+        assert_eq!(L1Architecture::Vivt.hit_translation_cycles(1), 0);
+        assert_eq!(L1Architecture::Pipt.miss_translation_cycles(1), 0);
+        assert_eq!(L1Architecture::Vipt.miss_translation_cycles(1), 0);
+        assert_eq!(L1Architecture::Vivt.miss_translation_cycles(1), 1);
+    }
+
+    #[test]
+    fn default_is_vipt_and_display() {
+        assert_eq!(L1Architecture::default(), L1Architecture::Vipt);
+        assert_eq!(L1Architecture::Vipt.to_string(), "VIPT");
+        assert_eq!(L1Architecture::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Miss-status holding registers.
+
+use std::collections::HashMap;
+
+/// What happened when a miss was presented to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated: this is the primary miss, the caller
+    /// must issue the coherence request.
+    Allocated,
+    /// An entry for this block already exists: the request was merged and
+    /// will complete when the primary does.
+    Merged,
+    /// No entry and no free slot: the request must stall and retry.
+    Full,
+}
+
+/// A file of miss-status holding registers: bounds the number of distinct
+/// outstanding misses and merges secondary misses to the same block.
+///
+/// `W` is the caller's per-waiter payload (e.g. which instruction to wake).
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_cache::{MshrFile, MshrOutcome};
+///
+/// let mut mshrs: MshrFile<&str> = MshrFile::new(2);
+/// assert_eq!(mshrs.allocate(0x40, "a"), MshrOutcome::Allocated);
+/// assert_eq!(mshrs.allocate(0x40, "b"), MshrOutcome::Merged);
+/// let waiters = mshrs.complete(0x40);
+/// assert_eq!(waiters, vec!["a", "b"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    entries: HashMap<u64, Vec<W>>,
+    capacity: usize,
+}
+
+impl<W> MshrFile<W> {
+    /// A file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity MSHR file");
+        MshrFile {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Presents a miss on `block`; appends `waiter` unless the file is full.
+    pub fn allocate(&mut self, block: u64, waiter: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&block) {
+            waiters.push(waiter);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(block, vec![waiter]);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss on `block`, freeing the register and returning
+    /// all waiters in arrival order (empty if no entry existed).
+    pub fn complete(&mut self, block: u64) -> Vec<W> {
+        self.entries.remove(&block).unwrap_or_default()
+    }
+
+    /// Whether an entry for `block` is outstanding.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Number of registers in use.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every register is occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete_cycle() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        assert_eq!(m.allocate(0x40, 1), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x40, 2), MshrOutcome::Merged);
+        assert!(m.contains(0x40));
+        assert_eq!(m.in_use(), 1);
+        assert_eq!(m.complete(0x40), vec![1, 2]);
+        assert!(!m.contains(0x40));
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn full_file_rejects_new_blocks_but_merges_existing() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert_eq!(m.allocate(0x40, 1), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(0x80, 2), MshrOutcome::Full);
+        assert_eq!(m.allocate(0x40, 3), MshrOutcome::Merged, "merge still ok");
+    }
+
+    #[test]
+    fn complete_unknown_block_is_empty() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert!(m.complete(0x40).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        MshrFile::<()>::new(0);
+    }
+}

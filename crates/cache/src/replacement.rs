@@ -1,0 +1,91 @@
+//! Victim selection policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which line to evict when a set is full.
+///
+/// The paper's configuration uses LRU (its §V-B discussion of S-MESI's
+/// occasional wins hinges on LRU recency effects); FIFO and a deterministic
+/// pseudo-random policy are provided for ablations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used line.
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted line.
+    Fifo,
+    /// Evict a pseudo-random line (deterministic xorshift stream).
+    Random,
+}
+
+/// Selects a victim way given per-way `(last_use, inserted)` metadata.
+///
+/// `rng_state` is advanced only by [`ReplacementPolicy::Random`]; passing
+/// the same state yields the same choice, keeping simulations reproducible.
+pub(crate) fn choose_victim(
+    policy: ReplacementPolicy,
+    ways: &[(u64, u64)],
+    rng_state: &mut u64,
+) -> usize {
+    debug_assert!(!ways.is_empty());
+    match policy {
+        ReplacementPolicy::Lru => ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(last_use, _))| last_use)
+            .map(|(i, _)| i)
+            .expect("non-empty set"),
+        ReplacementPolicy::Fifo => ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(_, inserted))| inserted)
+            .map(|(i, _)| i)
+            .expect("non-empty set"),
+        ReplacementPolicy::Random => {
+            // xorshift64*
+            let mut x = *rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            *rng_state = x;
+            (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % ways.len() as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let ways = [(10, 0), (3, 1), (7, 2)];
+        let mut rng = 1;
+        assert_eq!(choose_victim(ReplacementPolicy::Lru, &ways, &mut rng), 1);
+    }
+
+    #[test]
+    fn fifo_picks_oldest_insert() {
+        let ways = [(10, 5), (3, 9), (7, 2)];
+        let mut rng = 1;
+        assert_eq!(choose_victim(ReplacementPolicy::Fifo, &ways, &mut rng), 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_bounds() {
+        let ways = [(0, 0); 8];
+        let mut r1 = 42;
+        let mut r2 = 42;
+        for _ in 0..100 {
+            let a = choose_victim(ReplacementPolicy::Random, &ways, &mut r1);
+            let b = choose_victim(ReplacementPolicy::Random, &ways, &mut r2);
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+}

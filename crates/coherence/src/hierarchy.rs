@@ -1,0 +1,1892 @@
+//! The two-level coherent cache hierarchy: per-core L1 controllers, a
+//! shared LLC with integrated directory, and DRAM behind it.
+//!
+//! The state machine follows gem5's `MESI_Two_Level` shape, simplified to
+//! a blocking directory: a line with a transaction in flight stalls new
+//! requests (they queue and replay on unblock). Sharer tracking is
+//! *conservative* — a core may stay listed after silently dropping a clean
+//! line, and an `Inv` to a non-holder is simply acknowledged — which keeps
+//! every race benign while preserving the single-writer invariant.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_engine::{Cycle, EventQueue};
+use swiftdir_cache::CacheArray;
+use swiftdir_mem::MemoryController;
+use swiftdir_mmu::PhysAddr;
+
+use crate::config::HierarchyConfig;
+use crate::msg::{CoherenceEvent, Msg};
+use crate::protocol::{InitialGrant, ProtocolKind};
+use crate::state::{L1State, LlcState};
+
+/// Identifier of one core-issued memory request.
+pub type RequestId = u64;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+/// A memory request as issued by a core (after address translation: the
+/// physical address and the PTE's write-protection bit travel together,
+/// which is SwiftDir's transport for the WP signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRequest {
+    /// Physical address (any byte within the target block).
+    pub addr: PhysAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// The MMU-provided write-protection bit.
+    pub write_protected: bool,
+}
+
+impl CoreRequest {
+    /// A load request.
+    pub fn load(addr: PhysAddr) -> Self {
+        CoreRequest {
+            addr,
+            kind: AccessKind::Load,
+            write_protected: false,
+        }
+    }
+
+    /// A store request.
+    pub fn store(addr: PhysAddr) -> Self {
+        CoreRequest {
+            addr,
+            kind: AccessKind::Store,
+            write_protected: false,
+        }
+    }
+
+    /// Marks the request as targeting write-protected data.
+    #[must_use]
+    pub fn write_protected(mut self) -> Self {
+        self.write_protected = true;
+        self
+    }
+}
+
+/// Which component ultimately supplied the data / permission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedFrom {
+    /// Local L1 hit.
+    L1,
+    /// Served directly from the LLC.
+    Llc,
+    /// LLC missed; DRAM supplied the block.
+    Memory,
+    /// A remote L1 (owner) supplied the block.
+    RemoteL1,
+}
+
+/// Classification of a completed access, sufficient to reproduce the
+/// paper's latency taxonomy (e.g. Figure 6's `Load(L1I&L2S)` and
+/// `Load_WP(L1I&L2S)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessClass {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// L1 state when the request arrived (stable).
+    pub l1_before: L1State,
+    /// LLC directory state when the request reached it (`None` for L1 hits).
+    pub llc_before: Option<LlcState>,
+    /// The request's write-protection bit.
+    pub write_protected: bool,
+}
+
+/// A finished memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id (as returned by [`Hierarchy::issue`]).
+    pub req: RequestId,
+    /// The issuing core.
+    pub core: usize,
+    /// When the request entered the L1.
+    pub issued_at: Cycle,
+    /// When the data/permission reached the core.
+    pub done_at: Cycle,
+    /// Access classification.
+    pub class: AccessClass,
+    /// Who supplied the data.
+    pub served_from: ServedFrom,
+}
+
+impl Completion {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.done_at.saturating_since(self.issued_at)
+    }
+}
+
+/// Aggregate statistics of a hierarchy run.
+#[derive(Debug, Default, Clone)]
+pub struct HierarchyStats {
+    /// Message counts by Table III event class.
+    pub events: HashMap<CoherenceEvent, u64>,
+    /// L1 load/store hits.
+    pub l1_hits: u64,
+    /// L1 misses (primary, excluding MSHR merges).
+    pub l1_misses: u64,
+    /// Requests that found their block's MSHR already allocated.
+    pub mshr_merges: u64,
+    /// LLC recalls (inclusion-victim invalidations).
+    pub recalls: u64,
+    /// Silent E→M upgrades performed in L1s.
+    pub silent_upgrades: u64,
+}
+
+impl HierarchyStats {
+    /// Count of one event class.
+    pub fn event(&self, e: CoherenceEvent) -> u64 {
+        self.events.get(&e).copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// internal structures
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    id: RequestId,
+    block: PhysAddr,
+    kind: AccessKind,
+    wp: bool,
+    issued_at: Cycle,
+    l1_before: L1State,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct L1Line {
+    state: L1State,
+}
+
+/// One L1 controller's private state.
+#[derive(Debug)]
+struct L1 {
+    array: CacheArray<L1Line>,
+    /// Blocks with an outstanding L1 transaction → queued requests
+    /// (index 0 is the primary that created the transaction).
+    pending: HashMap<u64, Vec<PendingReq>>,
+    /// Evicted E/M lines awaiting the LLC's writeback ack; they still
+    /// answer forwarded requests from here.
+    wb_buffer: HashMap<u64, L1State>,
+    mshr_capacity: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LlcTxn {
+    /// Waiting for DRAM data.
+    Fetch {
+        requester: usize,
+        req: RequestId,
+        for_store: bool,
+        grant_shared: bool,
+    },
+    /// Data sent; waiting for `Unblock`.
+    AwaitUnblockS { requester: usize },
+    /// Exclusive data sent; waiting for `Exclusive_Unblock`.
+    AwaitUnblockE { requester: usize, final_m: bool },
+    /// `Fwd_GETS` sent to the owner; waiting for the owner's writeback and
+    /// the requester's `Unblock`.
+    FwdLoad {
+        requester: usize,
+        wb_done: bool,
+        unblock_done: bool,
+    },
+    /// `Fwd_GETX` sent to the owner; waiting for the owner's ack/writeback
+    /// and the requester's `Exclusive_Unblock`.
+    FwdStore {
+        requester: usize,
+        wb_done: bool,
+        unblock_done: bool,
+    },
+    /// Invalidating sharers before granting ownership. `pending` is a
+    /// bitmask of cores whose acks are outstanding.
+    Invalidating {
+        requester: usize,
+        req: RequestId,
+        pending: u64,
+        /// Send data with the grant (GETX) vs a bare ack (Upgrade).
+        with_data: bool,
+        llc_was: LlcState,
+    },
+    /// Recalling all private copies so the line can be evicted.
+    Recall { pending: u64 },
+}
+
+#[derive(Debug)]
+struct LlcLine {
+    state: LlcState,
+    sharers: u64,
+    owner: Option<usize>,
+    /// LLC data differs from memory (writeback needed on eviction).
+    dirty: bool,
+    txn: Option<LlcTxn>,
+    /// Requests stalled on this line while a transaction is in flight.
+    waiters: VecDeque<Msg>,
+}
+
+impl LlcLine {
+    fn fresh() -> Self {
+        LlcLine {
+            state: LlcState::I,
+            sharers: 0,
+            owner: None,
+            dirty: false,
+            txn: None,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    fn has_copies(&self) -> bool {
+        self.sharers != 0 || self.owner.is_some()
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A core request arrives at its L1.
+    CoreReq { core: usize, req: PendingReq },
+    /// A message arrives at the LLC.
+    ToLlc(Msg),
+    /// A message arrives at core `core`'s L1.
+    ToL1 { core: usize, msg: Msg },
+    /// DRAM data for `addr` arrives back at the LLC.
+    MemDone { addr: PhysAddr },
+    /// Retry an L1 data insertion that found no eligible victim.
+    L1InsertRetry {
+        core: usize,
+        block: PhysAddr,
+        state: L1State,
+    },
+}
+
+/// The coherent two-level hierarchy.
+///
+/// Cores [`issue`](Hierarchy::issue) timed requests; the hierarchy is
+/// advanced either to a deadline with [`tick`](Hierarchy::tick) (for
+/// co-simulation with CPU models) or to quiescence with
+/// [`run_until_idle`](Hierarchy::run_until_idle). Completed requests are
+/// returned as [`Completion`]s carrying latency and classification.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    queue: EventQueue<Event>,
+    l1s: Vec<L1>,
+    llc: CacheArray<LlcLine>,
+    /// Requests stalled because their LLC set had no eligible victim.
+    llc_set_stalls: HashMap<u64, VecDeque<Msg>>,
+    mem: MemoryController,
+    next_req: RequestId,
+    completions: Vec<Completion>,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds an idle hierarchy from `cfg`.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        let l1s = (0..cfg.cores)
+            .map(|_| L1 {
+                array: CacheArray::new(cfg.l1_geometry, cfg.replacement),
+                pending: HashMap::new(),
+                wb_buffer: HashMap::new(),
+                mshr_capacity: cfg.l1_mshrs,
+            })
+            .collect();
+        Hierarchy {
+            queue: EventQueue::new(),
+            l1s,
+            llc: CacheArray::new(cfg.llc_bank_geometry, cfg.replacement),
+            llc_set_stalls: HashMap::new(),
+            mem: MemoryController::new(cfg.dram),
+            next_req: 0,
+            completions: Vec::new(),
+            stats: HierarchyStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// The protocol in force.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    /// Issues a request from `core` at absolute time `at`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn issue(&mut self, at: Cycle, core: usize, req: CoreRequest) -> RequestId {
+        self.issue_translated(at, 0, core, req)
+    }
+
+    /// Issues a request whose address translation takes `translation`
+    /// cycles before it reaches the L1. The completion's latency is
+    /// measured from `at` (translation is on the access's critical path),
+    /// but the request only arrives at the L1 at `at + translation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn issue_translated(
+        &mut self,
+        at: Cycle,
+        translation: u64,
+        core: usize,
+        req: CoreRequest,
+    ) -> RequestId {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let id = self.next_req;
+        self.next_req += 1;
+        let block = PhysAddr(self.cfg.l1_geometry.block_base(req.addr.0));
+        self.count(match req.kind {
+            AccessKind::Load => CoherenceEvent::Load,
+            AccessKind::Store => CoherenceEvent::Store,
+        });
+        let pending = PendingReq {
+            id,
+            block,
+            kind: req.kind,
+            wp: req.write_protected,
+            issued_at: at,
+            l1_before: L1State::I, // filled in at L1 arrival
+        };
+        self.queue
+            .schedule(at + Cycle(translation), Event::CoreReq { core, req: pending });
+        id
+    }
+
+    /// Current simulated time (timestamp of the last processed event).
+    pub fn now(&self) -> Cycle {
+        self.queue.now()
+    }
+
+    /// Timestamp of the next internal event, if any.
+    pub fn next_event_time(&self) -> Option<Cycle> {
+        self.queue.peek_time()
+    }
+
+    /// Processes all events with timestamp ≤ `upto`; returns completions
+    /// produced in that window.
+    pub fn tick(&mut self, upto: Cycle) -> Vec<Completion> {
+        while matches!(self.queue.peek_time(), Some(t) if t <= upto) {
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(now, ev);
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Runs until no events remain; returns all completions.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        let mut fuel: u64 = 500_000_000;
+        while let Some((now, ev)) = self.queue.pop() {
+            self.dispatch(now, ev);
+            fuel -= 1;
+            assert!(fuel > 0, "hierarchy failed to quiesce: livelock suspected");
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Describes any state that should not exist at quiescence — L1
+    /// transactions still pending, LLC lines mid-transaction, queued
+    /// waiters — for debugging lost requests. Empty string when clean.
+    pub fn debug_stuck(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for (&block, reqs) in &l1.pending {
+                let state = l1
+                    .array
+                    .peek(block)
+                    .map_or(L1State::I, |l| l.state);
+                let _ = writeln!(
+                    out,
+                    "L1[{c}] pending block {block:#x} state {state} ({} reqs)",
+                    reqs.len()
+                );
+            }
+            for (&block, state) in &l1.wb_buffer {
+                let _ = writeln!(out, "L1[{c}] wb_buffer {block:#x} {state}");
+            }
+        }
+        for (addr, line) in self.llc.iter() {
+            if line.txn.is_some() || !line.waiters.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "LLC {addr:#x} state {} txn {:?} waiters {:?} sharers {:#b} owner {:?}",
+                    line.state, line.txn, line.waiters, line.sharers, line.owner
+                );
+            }
+        }
+        for (set, stalls) in &self.llc_set_stalls {
+            if !stalls.is_empty() {
+                let _ = writeln!(out, "LLC set {set} stalls: {stalls:?}");
+            }
+        }
+        out
+    }
+
+    /// DRAM statistics.
+    pub fn mem_stats(&self) -> swiftdir_mem::MemStats {
+        self.mem.stats()
+    }
+
+    /// The stable L1 state of `addr` on `core` (probe; no recency update).
+    pub fn l1_state(&self, core: usize, addr: PhysAddr) -> L1State {
+        let block = self.cfg.l1_geometry.block_base(addr.0);
+        self.l1s[core]
+            .array
+            .peek(block)
+            .map_or(L1State::I, |l| l.state)
+    }
+
+    /// The LLC directory state of `addr` (probe).
+    pub fn llc_state(&self, addr: PhysAddr) -> LlcState {
+        let block = self.cfg.l1_geometry.block_base(addr.0);
+        self.llc.peek(block).map_or(LlcState::I, |l| l.state)
+    }
+
+    // -- plumbing ----------------------------------------------------------
+
+    fn count(&mut self, e: CoherenceEvent) {
+        *self.stats.events.entry(e).or_insert(0) += 1;
+    }
+
+    fn lat(&self) -> crate::config::LatencyConfig {
+        self.cfg.latency
+    }
+
+    fn send_to_llc(&mut self, now: Cycle, delay: u64, msg: Msg) {
+        self.count(msg.event());
+        self.queue.schedule(now + Cycle(delay), Event::ToLlc(msg));
+    }
+
+    fn send_to_l1(&mut self, now: Cycle, delay: u64, core: usize, msg: Msg) {
+        self.count(msg.event());
+        self.queue
+            .schedule(now + Cycle(delay), Event::ToL1 { core, msg });
+    }
+
+    fn dispatch(&mut self, now: Cycle, ev: Event) {
+        match ev {
+            Event::CoreReq { core, req } => self.l1_access(now, core, req),
+            Event::ToLlc(msg) => self.llc_handle(now, msg),
+            Event::ToL1 { core, msg } => self.l1_handle(now, core, msg),
+            Event::MemDone { addr } => self.llc_mem_done(now, addr),
+            Event::L1InsertRetry { core, block, state } => {
+                self.l1_install_line(now, core, block, state);
+            }
+        }
+    }
+
+    fn complete(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        req: &PendingReq,
+        llc_before: Option<LlcState>,
+        served_from: ServedFrom,
+    ) {
+        self.completions.push(Completion {
+            req: req.id,
+            core,
+            issued_at: req.issued_at,
+            done_at: now,
+            class: AccessClass {
+                kind: req.kind,
+                l1_before: req.l1_before,
+                llc_before,
+                write_protected: req.wp,
+            },
+            served_from,
+        });
+    }
+
+    // -----------------------------------------------------------------------
+    // L1 controller
+    // -----------------------------------------------------------------------
+
+    fn l1_access(&mut self, now: Cycle, core: usize, mut req: PendingReq) {
+        let block = req.block.0;
+        let lat = self.lat();
+
+        // Merge into an outstanding transaction on the same block.
+        if let Some(waiters) = self.l1s[core].pending.get_mut(&block) {
+            waiters.push(req);
+            self.stats.mshr_merges += 1;
+            return;
+        }
+
+        let state = self.l1s[core]
+            .array
+            .get(block)
+            .map_or(L1State::I, |l| l.state);
+        req.l1_before = if state.is_stable() { state } else { L1State::I };
+
+        match (req.kind, state) {
+            // ---- hits ----
+            (AccessKind::Load, s) if s.load_hits() => {
+                self.stats.l1_hits += 1;
+                let done = now + Cycle(lat.l1_lookup);
+                self.complete(done, core, &req, None, ServedFrom::L1);
+            }
+            (AccessKind::Store, L1State::M) => {
+                self.stats.l1_hits += 1;
+                let done = now + Cycle(lat.l1_lookup);
+                self.complete(done, core, &req, None, ServedFrom::L1);
+            }
+            (AccessKind::Store, L1State::E) => {
+                if self.cfg.protocol.silent_upgrade() {
+                    // MESI / SwiftDir: silent E→M in the L1 (paper Fig. 3a /
+                    // Fig. 4d). No coherence traffic at all.
+                    self.stats.l1_hits += 1;
+                    self.stats.silent_upgrades += 1;
+                    self.l1s[core].array.get_mut(block).expect("line present").state =
+                        L1State::M;
+                    let done = now + Cycle(lat.l1_lookup);
+                    self.complete(done, core, &req, None, ServedFrom::L1);
+                } else {
+                    // S-MESI: explicit Upgrade/ACK round trip (paper Fig. 2,
+                    // Fig. 3b). The store waits in EM_A.
+                    self.l1s[core].array.get_mut(block).expect("line present").state =
+                        L1State::EmA;
+                    self.l1s[core].pending.insert(block, vec![req]);
+                    self.send_to_llc(
+                        now,
+                        lat.l1_lookup + lat.l1_to_llc,
+                        Msg::Upgrade {
+                            core,
+                            addr: req.block,
+                            req: req.id,
+                        },
+                    );
+                }
+            }
+            (AccessKind::Store, L1State::S) => {
+                self.l1s[core].array.get_mut(block).expect("line present").state =
+                    L1State::SmA;
+                self.l1s[core].pending.insert(block, vec![req]);
+                self.send_to_llc(
+                    now,
+                    lat.l1_lookup + lat.l1_to_llc,
+                    Msg::Upgrade {
+                        core,
+                        addr: req.block,
+                        req: req.id,
+                    },
+                );
+            }
+            // ---- misses ----
+            (_, L1State::I) => {
+                if self.l1s[core].pending.len() >= self.l1s[core].mshr_capacity {
+                    // MSHRs full: retry shortly.
+                    self.queue
+                        .schedule(now + Cycle(4), Event::CoreReq { core, req });
+                    return;
+                }
+                self.stats.l1_misses += 1;
+                self.l1s[core].pending.insert(block, vec![req]);
+                let msg = match req.kind {
+                    AccessKind::Load => {
+                        if req.wp && self.cfg.protocol == ProtocolKind::SwiftDir {
+                            // The WP bit rode along with the translation;
+                            // SwiftDir turns the miss into GETS_WP (§IV-C1).
+                            Msg::GetsWp {
+                                core,
+                                addr: req.block,
+                                req: req.id,
+                            }
+                        } else {
+                            Msg::Gets {
+                                core,
+                                addr: req.block,
+                                req: req.id,
+                            }
+                        }
+                    }
+                    AccessKind::Store => Msg::Getx {
+                        core,
+                        addr: req.block,
+                        req: req.id,
+                    },
+                };
+                self.send_to_llc(now, lat.l1_lookup + lat.l1_to_llc, msg);
+            }
+            (_, other) => {
+                unreachable!("L1 access reached unexpected state {other} without pending entry")
+            }
+        }
+    }
+
+    /// Installs a line that arrived at the L1, evicting if necessary.
+    fn l1_install_line(&mut self, now: Cycle, core: usize, block: PhysAddr, state: L1State) {
+        let lat = self.lat();
+        if !self.l1s[core].array.set_has_free_way(block.0) {
+            let victim = self.l1s[core]
+                .array
+                .choose_victim(block.0, |l| l.state.is_stable() && l.state != L1State::I);
+            match victim {
+                Some(vaddr) => {
+                    let vline = self.l1s[core]
+                        .array
+                        .invalidate(vaddr)
+                        .expect("victim exists");
+                    let vaddr = PhysAddr(vaddr);
+                    match vline.state {
+                        L1State::S => {
+                            // Fire-and-forget eviction notice.
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::WbDataClean { core, addr: vaddr },
+                            );
+                        }
+                        L1State::E => {
+                            self.l1s[core].wb_buffer.insert(vaddr.0, L1State::EiA);
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::WbDataClean { core, addr: vaddr },
+                            );
+                        }
+                        L1State::M => {
+                            self.l1s[core].wb_buffer.insert(vaddr.0, L1State::MiA);
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::WbDataDirty { core, addr: vaddr },
+                            );
+                        }
+                        other => unreachable!("stable victim had state {other}"),
+                    }
+                }
+                None => {
+                    // Every way is mid-transaction; retry shortly.
+                    self.queue.schedule(
+                        now + Cycle(8),
+                        Event::L1InsertRetry { core, block, state },
+                    );
+                    return;
+                }
+            }
+        }
+        let evicted = self.l1s[core].array.insert(block.0, L1Line { state });
+        debug_assert!(evicted.is_none(), "free way was ensured above");
+    }
+
+    /// Completes the primary request on `block` and replays merged ones.
+    fn l1_finish_pending(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        block: PhysAddr,
+        llc_before: Option<LlcState>,
+        served_from: ServedFrom,
+    ) {
+        let Some(waiters) = self.l1s[core].pending.remove(&block.0) else {
+            return;
+        };
+        let mut iter = waiters.into_iter();
+        if let Some(primary) = iter.next() {
+            self.complete(now, core, &primary, llc_before, served_from);
+        }
+        for merged in iter {
+            // Replay through the L1: typically an immediate hit now; a
+            // merged store behind a load grant re-issues an upgrade.
+            self.queue
+                .schedule(now, Event::CoreReq { core, req: merged });
+        }
+    }
+
+    fn l1_handle(&mut self, now: Cycle, core: usize, msg: Msg) {
+        let lat = self.lat();
+        let block = msg.addr();
+        match msg {
+            Msg::Data { addr, llc_was, source, .. } => {
+                // Load data without exclusivity: line becomes S (this is the
+                // only grant SwiftDir allows for WP data — I→S, Fig. 4a).
+                self.l1_install_line(now, core, addr, L1State::S);
+                self.send_to_l1_unblock(now, core, addr, false);
+                self.l1_finish_pending(now, core, addr, Some(llc_was), source);
+            }
+            Msg::DataExclusive {
+                addr,
+                for_store,
+                llc_was,
+                source,
+                ..
+            } => {
+                let state = if for_store { L1State::M } else { L1State::E };
+                self.l1_install_line(now, core, addr, state);
+                self.send_to_l1_unblock(now, core, addr, true);
+                self.l1_finish_pending(now, core, addr, Some(llc_was), source);
+            }
+            Msg::DataFromOwner {
+                addr,
+                for_store,
+                llc_was,
+                ..
+            } => {
+                let state = if for_store { L1State::M } else { L1State::S };
+                self.l1_install_line(now, core, addr, state);
+                self.send_to_l1_unblock(now, core, addr, for_store);
+                self.l1_finish_pending(now, core, addr, Some(llc_was), ServedFrom::RemoteL1);
+            }
+            Msg::UpgradeAck { addr, llc_was, .. } => {
+                // EM_A or SM_A → M (paper Fig. 2 steps 3a/4).
+                if let Some(line) = self.l1s[core].array.get_mut(addr.0) {
+                    debug_assert!(
+                        matches!(line.state, L1State::EmA | L1State::SmA),
+                        "UpgradeAck in state {}",
+                        line.state
+                    );
+                    line.state = L1State::M;
+                }
+                self.l1_finish_pending(now, core, addr, Some(llc_was), ServedFrom::Llc);
+            }
+            Msg::FwdGets { requester, addr, req, llc_was } => {
+                // We are the owner: supply the data (paper Fig. 1a / 4e).
+                let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
+                match here {
+                    Some(L1State::EmA) => {
+                        // Our upgrade raced a remote load and lost: hand the
+                        // (clean) data over, demote to S, and let the
+                        // in-flight Upgrade be re-evaluated by the LLC as an
+                        // upgrade-from-S.
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state =
+                            L1State::SmA;
+                        self.send_to_l1(
+                            now,
+                            lat.owner_lookup + lat.owner_to_requester,
+                            requester,
+                            Msg::DataFromOwner {
+                                addr,
+                                req,
+                                for_store: false,
+                                llc_was,
+                            },
+                        );
+                        self.send_to_llc(
+                            now,
+                            lat.owner_lookup + lat.l1_to_llc,
+                            Msg::WbDataClean { core, addr },
+                        );
+                    }
+                    Some(L1State::M) => {
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
+                        self.send_to_l1(
+                            now,
+                            lat.owner_lookup + lat.owner_to_requester,
+                            requester,
+                            Msg::DataFromOwner {
+                                addr,
+                                req,
+                                for_store: false,
+                                llc_was,
+                            },
+                        );
+                        self.send_to_llc(
+                            now,
+                            lat.owner_lookup + lat.l1_to_llc,
+                            Msg::WbDataDirty { core, addr },
+                        );
+                    }
+                    Some(L1State::E) => {
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
+                        self.send_to_l1(
+                            now,
+                            lat.owner_lookup + lat.owner_to_requester,
+                            requester,
+                            Msg::DataFromOwner {
+                                addr,
+                                req,
+                                for_store: false,
+                                llc_was,
+                            },
+                        );
+                        self.send_to_llc(
+                            now,
+                            lat.owner_lookup + lat.l1_to_llc,
+                            Msg::WbDataClean { core, addr },
+                        );
+                    }
+                    _ => {
+                        // Owner is mid-eviction: the wb_buffer still has the
+                        // data; the eviction WB doubles as the LLC's signal.
+                        if self.l1s[core].wb_buffer.contains_key(&addr.0) {
+                            self.send_to_l1(
+                                now,
+                                lat.owner_lookup + lat.owner_to_requester,
+                                requester,
+                                Msg::DataFromOwner {
+                                    addr,
+                                    req,
+                                    for_store: false,
+                                    llc_was,
+                                },
+                            );
+                        }
+                        // else: stale forward; LLC will serve via its own copy
+                        // (cannot happen with the blocking directory).
+                    }
+                }
+            }
+            Msg::FwdGetx { requester, addr, req, llc_was } => {
+                let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
+                match here {
+                    Some(L1State::EmA) | Some(L1State::SmA) => {
+                        // Our upgrade raced a remote store and lost: give the
+                        // line away and fall back to needing data — the LLC
+                        // will answer our in-flight Upgrade with
+                        // Data_Exclusive once the winner is done.
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state =
+                            L1State::ImD;
+                        self.send_to_l1(
+                            now,
+                            lat.owner_lookup + lat.owner_to_requester,
+                            requester,
+                            Msg::DataFromOwner {
+                                addr,
+                                req,
+                                for_store: true,
+                                llc_was,
+                            },
+                        );
+                        self.send_to_llc(
+                            now,
+                            lat.owner_lookup + lat.l1_to_llc,
+                            Msg::InvAck { core, addr, dirty: false },
+                        );
+                    }
+                    Some(L1State::M) | Some(L1State::E) => {
+                        let dirty = here == Some(L1State::M);
+                        self.l1s[core].array.invalidate(addr.0);
+                        self.send_to_l1(
+                            now,
+                            lat.owner_lookup + lat.owner_to_requester,
+                            requester,
+                            Msg::DataFromOwner {
+                                addr,
+                                req,
+                                for_store: true,
+                                llc_was,
+                            },
+                        );
+                        self.send_to_llc(
+                            now,
+                            lat.owner_lookup + lat.l1_to_llc,
+                            Msg::InvAck { core, addr, dirty },
+                        );
+                    }
+                    _ => {
+                        if self.l1s[core].wb_buffer.contains_key(&addr.0) {
+                            self.send_to_l1(
+                                now,
+                                lat.owner_lookup + lat.owner_to_requester,
+                                requester,
+                                Msg::DataFromOwner {
+                                    addr,
+                                    req,
+                                    for_store: true,
+                                    llc_was,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Msg::Inv { addr } => {
+                // Invalidate whatever we have; ack regardless (conservative
+                // sharer lists make Inv-to-non-holder normal).
+                let dirty = match self.l1s[core].array.peek(addr.0).map(|l| l.state) {
+                    Some(L1State::M) => true,
+                    Some(L1State::SmA) | Some(L1State::EmA) => {
+                        // Upgrade race lost: our Upgrade will be treated as a
+                        // GETX by the LLC; we now need data, not just an ack.
+                        self.l1s[core].array.invalidate(addr.0);
+                        self.send_to_llc(
+                            now,
+                            lat.l1_to_llc,
+                            Msg::InvAck { core, addr, dirty: false },
+                        );
+                        return;
+                    }
+                    _ => false,
+                };
+                self.l1s[core].array.invalidate(addr.0);
+                self.send_to_llc(now, lat.l1_to_llc, Msg::InvAck { core, addr, dirty });
+            }
+            Msg::WbAck { addr } => {
+                self.l1s[core].wb_buffer.remove(&addr.0);
+            }
+            other => unreachable!("L1 received unexpected message {other:?} for {block}"),
+        }
+    }
+
+    /// Acknowledges a writeback. The delay matches every other LLC→L1
+    /// message (`llc_lookup + llc_to_l1`) so that messages to one core are
+    /// delivered in LLC processing order — a WbAck must never overtake a
+    /// forward sent earlier, or the owner would drop its wb_buffer entry
+    /// before answering the forward.
+    fn send_wb_ack(&mut self, now: Cycle, core: usize, addr: PhysAddr) {
+        let lat = self.lat();
+        self.send_to_l1(
+            now,
+            lat.llc_lookup + lat.llc_to_l1,
+            core,
+            Msg::WbAck { addr },
+        );
+    }
+
+    fn send_to_l1_unblock(&mut self, now: Cycle, core: usize, addr: PhysAddr, exclusive: bool) {
+        let lat = self.lat();
+        let msg = if exclusive {
+            Msg::ExclusiveUnblock { core, addr }
+        } else {
+            Msg::Unblock { core, addr }
+        };
+        self.send_to_llc(now, lat.l1_to_llc, msg);
+    }
+
+    // -----------------------------------------------------------------------
+    // LLC / directory controller
+    // -----------------------------------------------------------------------
+
+    fn llc_handle(&mut self, now: Cycle, msg: Msg) {
+        match msg {
+            Msg::Gets { .. } | Msg::GetsWp { .. } | Msg::Getx { .. } | Msg::Upgrade { .. } => {
+                self.llc_request(now, msg);
+            }
+            Msg::WbDataClean { core, addr } => self.llc_writeback(now, core, addr, false),
+            Msg::WbDataDirty { core, addr } => self.llc_writeback(now, core, addr, true),
+            Msg::InvAck { core, addr, dirty } => self.llc_inv_ack(now, core, addr, dirty),
+            Msg::Unblock { core, addr } => self.llc_unblock(now, core, addr, false),
+            Msg::ExclusiveUnblock { core, addr } => self.llc_unblock(now, core, addr, true),
+            other => unreachable!("LLC received unexpected message {other:?}"),
+        }
+    }
+
+    /// Handles the four request messages; may stall them on blocked lines
+    /// or full sets.
+    fn llc_request(&mut self, now: Cycle, msg: Msg) {
+        let addr = msg.addr();
+        let lat = self.lat();
+
+        // Stall on a blocked line.
+        if let Some(line) = self.llc.get_mut(addr.0) {
+            if line.txn.is_some() {
+                line.waiters.push_back(msg);
+                return;
+            }
+        }
+
+        let (core, req, is_store, is_upgrade, wp) = match msg {
+            Msg::Gets { core, addr: _, req } => (core, req, false, false, false),
+            Msg::GetsWp { core, addr: _, req } => (core, req, false, false, true),
+            Msg::Getx { core, addr: _, req } => (core, req, true, false, false),
+            Msg::Upgrade { core, addr: _, req } => (core, req, true, true, false),
+            _ => unreachable!(),
+        };
+
+        let present = self.llc.get(addr.0).is_some();
+        if !present {
+            // Allocate (possibly evicting/recalling) and fetch from memory.
+            if !self.llc_make_room(now, addr, msg) {
+                return; // stalled on the set; will be replayed
+            }
+            let grant_shared = match self.cfg.protocol.initial_load_grant(wp) {
+                InitialGrant::Shared => true,
+                InitialGrant::Exclusive => false,
+            } && !is_store;
+            let mut line = LlcLine::fresh();
+            line.txn = Some(LlcTxn::Fetch {
+                requester: core,
+                req,
+                for_store: is_store,
+                grant_shared,
+            });
+            let inserted = self.llc.insert(addr.0, line);
+            debug_assert!(inserted.is_none(), "room was made above");
+            self.count(CoherenceEvent::Fetch);
+            let done = self.mem.access(now + Cycle(lat.llc_lookup), addr, false);
+            self.queue.schedule(done, Event::MemDone { addr });
+            return;
+        }
+
+        let line = self.llc.get_mut(addr.0).expect("present");
+        let llc_was = line.state;
+        match (line.state, is_store) {
+            // ---------------- loads ----------------
+            (LlcState::S, false) => {
+                // When no core caches the block, this is an "initial load"
+                // in the paper's sense: the MESI family grants exclusivity
+                // (the line re-enters E), except SwiftDir for WP data and
+                // MSI, which grant S. With copies outstanding the LLC
+                // serves it shared directly (paper Fig. 1b / 4b).
+                let exclusive = !line.has_copies()
+                    && self.cfg.protocol.initial_load_grant(wp) == InitialGrant::Exclusive;
+                if exclusive {
+                    line.txn = Some(LlcTxn::AwaitUnblockE {
+                        requester: core,
+                        final_m: false,
+                    });
+                    self.send_to_l1(
+                        now,
+                        lat.llc_lookup + lat.llc_to_l1,
+                        core,
+                        Msg::DataExclusive {
+                            addr,
+                            req,
+                            for_store: false,
+                            llc_was,
+                            source: ServedFrom::Llc,
+                        },
+                    );
+                } else {
+                    line.txn = Some(LlcTxn::AwaitUnblockS { requester: core });
+                    self.send_to_l1(
+                        now,
+                        lat.llc_lookup + lat.llc_to_l1,
+                        core,
+                        Msg::Data {
+                            addr,
+                            req,
+                            llc_was,
+                            source: ServedFrom::Llc,
+                        },
+                    );
+                }
+            }
+            (LlcState::E, false) if self.cfg.protocol.llc_serves_e_directly() => {
+                // S-MESI: E-state LLC data are guaranteed current; serve
+                // directly and degrade to S (paper §II-C).
+                line.txn = Some(LlcTxn::AwaitUnblockS { requester: core });
+                self.send_to_l1(
+                    now,
+                    lat.llc_lookup + lat.llc_to_l1,
+                    core,
+                    Msg::Data {
+                        addr,
+                        req,
+                        llc_was,
+                        source: ServedFrom::Llc,
+                    },
+                );
+            }
+            (LlcState::E, false) | (LlcState::M, false) => {
+                // Forward to the owner (paper Fig. 1a).
+                let owner = line.owner.expect("E/M line has an owner");
+                line.txn = Some(LlcTxn::FwdLoad {
+                    requester: core,
+                    wb_done: false,
+                    unblock_done: false,
+                });
+                self.send_to_l1(
+                    now,
+                    lat.llc_lookup + lat.fwd_to_owner,
+                    owner,
+                    Msg::FwdGets {
+                        requester: core,
+                        addr,
+                        req,
+                        llc_was,
+                    },
+                );
+            }
+            // ---------------- stores ----------------
+            (LlcState::S, true) => {
+                let mut pending = line.sharers & !(1u64 << core);
+                if let Some(o) = line.owner {
+                    if o != core {
+                        pending |= 1 << o;
+                    }
+                }
+                // An Upgrade from a core that lost its copy to a racing
+                // invalidation degenerates to a GETX: it needs data again.
+                let needs_data = !is_upgrade || line.sharers & (1 << core) == 0;
+                if pending == 0 {
+                    self.llc_grant_ownership(now, addr, core, req, needs_data, llc_was);
+                } else {
+                    let line = self.llc.get_mut(addr.0).expect("present");
+                    line.txn = Some(LlcTxn::Invalidating {
+                        requester: core,
+                        req,
+                        pending,
+                        with_data: needs_data,
+                        llc_was,
+                    });
+                    for c in bits(pending) {
+                        self.send_to_l1(
+                            now,
+                            lat.llc_lookup + lat.llc_to_l1,
+                            c,
+                            Msg::Inv { addr },
+                        );
+                    }
+                }
+            }
+            (LlcState::E, true) | (LlcState::M, true) => {
+                let owner = line.owner.expect("E/M line has an owner");
+                if owner == core {
+                    // S-MESI E→M upgrade by the owner itself (paper Fig. 2):
+                    // flip the directory state and ack — no invalidations.
+                    line.state = LlcState::M;
+                    self.send_to_l1(
+                        now,
+                        lat.llc_lookup + lat.llc_to_l1,
+                        core,
+                        Msg::UpgradeAck { addr, req, llc_was },
+                    );
+                } else {
+                    line.txn = Some(LlcTxn::FwdStore {
+                        requester: core,
+                        wb_done: false,
+                        unblock_done: false,
+                    });
+                    self.send_to_l1(
+                        now,
+                        lat.llc_lookup + lat.fwd_to_owner,
+                        owner,
+                        Msg::FwdGetx {
+                            requester: core,
+                            addr,
+                            req,
+                            llc_was,
+                        },
+                    );
+                }
+            }
+            (LlcState::I, _) => unreachable!("present line cannot be I"),
+        }
+    }
+
+    /// Grants M to `core`, with data (GETX) or a bare ack (Upgrade).
+    fn llc_grant_ownership(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        core: usize,
+        req: RequestId,
+        with_data: bool,
+        llc_was: LlcState,
+    ) {
+        let lat = self.lat();
+        let line = self.llc.get_mut(addr.0).expect("present");
+        if with_data {
+            line.txn = Some(LlcTxn::AwaitUnblockE {
+                requester: core,
+                final_m: true,
+            });
+            self.send_to_l1(
+                now,
+                lat.llc_lookup + lat.llc_to_l1,
+                core,
+                Msg::DataExclusive {
+                    addr,
+                    req,
+                    for_store: true,
+                    llc_was,
+                    source: ServedFrom::Llc,
+                },
+            );
+        } else {
+            line.state = LlcState::M;
+            line.owner = Some(core);
+            line.sharers = 0;
+            line.txn = None;
+            self.send_to_l1(
+                now,
+                lat.llc_lookup + lat.llc_to_l1,
+                core,
+                Msg::UpgradeAck { addr, req, llc_was },
+            );
+            self.llc_replay_waiters(now, addr);
+        }
+    }
+
+    /// Ensures a free way exists in `addr`'s LLC set, possibly starting a
+    /// recall. Returns false if `msg` was stalled.
+    fn llc_make_room(&mut self, now: Cycle, addr: PhysAddr, msg: Msg) -> bool {
+        if self.llc.set_has_free_way(addr.0) {
+            return true;
+        }
+        let lat = self.lat();
+        // Prefer victims with no private copies.
+        if let Some(vaddr) = self
+            .llc
+            .choose_victim(addr.0, |l| l.txn.is_none() && !l.has_copies())
+        {
+            let vline = self.llc.invalidate(vaddr).expect("victim exists");
+            if vline.dirty {
+                // Writeback to memory, fire-and-forget.
+                self.mem.access(now, PhysAddr(vaddr), true);
+            }
+            self.llc_replay_set_stalls(now, PhysAddr(vaddr));
+            return true;
+        }
+        // Recall a line with copies.
+        if let Some(vaddr) = self.llc.choose_victim(addr.0, |l| l.txn.is_none()) {
+            self.stats.recalls += 1;
+            let vline = self.llc.get_mut(vaddr).expect("victim exists");
+            let mut pending = vline.sharers;
+            if let Some(o) = vline.owner {
+                pending |= 1 << o;
+            }
+            debug_assert!(pending != 0, "recall victim has copies");
+            vline.txn = Some(LlcTxn::Recall { pending });
+            for c in bits(pending) {
+                self.send_to_l1(
+                    now,
+                    lat.llc_lookup + lat.llc_to_l1,
+                    c,
+                    Msg::Inv { addr: PhysAddr(vaddr) },
+                );
+            }
+        }
+        // Stall the request on the set either way.
+        let set = self.cfg.llc_bank_geometry.index_of(addr.0);
+        self.llc_set_stalls.entry(set).or_default().push_back(msg);
+        false
+    }
+
+    /// DRAM returned data for `addr`: respond per the pending fetch.
+    fn llc_mem_done(&mut self, now: Cycle, addr: PhysAddr) {
+        self.count(CoherenceEvent::MemData);
+        let lat = self.lat();
+        let line = self.llc.get_mut(addr.0).expect("fetching line present");
+        let Some(LlcTxn::Fetch {
+            requester,
+            req,
+            for_store,
+            grant_shared,
+        }) = line.txn
+        else {
+            unreachable!("MemDone without Fetch txn");
+        };
+        if grant_shared {
+            line.txn = Some(LlcTxn::AwaitUnblockS { requester });
+            self.send_to_l1(
+                now,
+                lat.llc_to_l1,
+                requester,
+                Msg::Data {
+                    addr,
+                    req,
+                    llc_was: LlcState::I,
+                    source: ServedFrom::Memory,
+                },
+            );
+        } else {
+            line.txn = Some(LlcTxn::AwaitUnblockE {
+                requester,
+                final_m: for_store,
+            });
+            self.send_to_l1(
+                now,
+                lat.llc_to_l1,
+                requester,
+                Msg::DataExclusive {
+                    addr,
+                    req,
+                    for_store,
+                    llc_was: LlcState::I,
+                    source: ServedFrom::Memory,
+                },
+            );
+        }
+    }
+
+    /// A writeback (clean or dirty) arrived from `core`.
+    fn llc_writeback(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool) {
+        let Some(line) = self.llc.get_mut(addr.0) else {
+            // Line already evicted from the LLC (recall completed on acks
+            // while this WB crossed): just ack so the L1 can drop it.
+            if dirty {
+                self.mem.access(now, addr, true);
+            }
+            self.send_wb_ack(now, core, addr);
+            return;
+        };
+
+        let is_owner = line.owner == Some(core);
+        if dirty {
+            line.dirty = true;
+        }
+
+        match line.txn {
+            Some(LlcTxn::FwdLoad {
+                requester,
+                unblock_done,
+                ..
+            }) if is_owner => {
+                // The owner's WB (fwd-triggered demotion, or a crossing
+                // eviction) satisfies the transaction's WB requirement.
+                // Conservatively keep the owner listed as a sharer.
+                line.sharers |= 1 << core;
+                line.owner = None;
+                if unblock_done {
+                    line.state = LlcState::S;
+                    line.sharers |= 1 << requester;
+                    line.txn = None;
+                    if dirty {
+                        self.send_wb_ack(now, core, addr);
+                    }
+                    self.llc_replay_waiters(now, addr);
+                } else {
+                    line.txn = Some(LlcTxn::FwdLoad {
+                        requester,
+                        wb_done: true,
+                        unblock_done: false,
+                    });
+                    if dirty {
+                        self.send_wb_ack(now, core, addr);
+                    }
+                }
+                return;
+            }
+            Some(LlcTxn::FwdStore {
+                requester,
+                unblock_done,
+                ..
+            }) if is_owner => {
+                line.owner = None;
+                if unblock_done {
+                    line.state = LlcState::M;
+                    line.owner = Some(requester);
+                    line.sharers = 0;
+                    line.txn = None;
+                    self.send_wb_ack(now, core, addr);
+                    self.llc_replay_waiters(now, addr);
+                } else {
+                    line.txn = Some(LlcTxn::FwdStore {
+                        requester,
+                        wb_done: true,
+                        unblock_done: false,
+                    });
+                    self.send_wb_ack(now, core, addr);
+                }
+                return;
+            }
+            Some(LlcTxn::Recall { pending }) if pending & (1 << core) != 0 => {
+                // Eviction WB doubles as the recall ack.
+                line.sharers &= !(1 << core);
+                if line.owner == Some(core) {
+                    line.owner = None;
+                }
+                self.send_wb_ack(now, core, addr);
+                self.llc_recall_ack(now, addr, core);
+                return;
+            }
+            Some(LlcTxn::Invalidating { .. }) => {
+                // A sharer evicted while we were invalidating: treat the WB
+                // as its ack (handled by llc_inv_ack's shared logic).
+                if dirty {
+                    self.send_wb_ack(now, core, addr);
+                }
+                self.llc_inv_ack(now, core, addr, dirty);
+                return;
+            }
+            _ => {}
+        }
+
+        // Plain eviction handling on an unblocked (or unrelated-txn) line.
+        line.sharers &= !(1 << core);
+        if is_owner {
+            line.owner = None;
+            // E/M line returns to shared-clean (dirty flag remembers data).
+            line.state = LlcState::S;
+            self.send_wb_ack(now, core, addr);
+        }
+        // S evictions are fire-and-forget: no ack.
+    }
+
+    /// An invalidation ack (explicit, or synthesized from a crossing WB).
+    fn llc_inv_ack(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool) {
+        let Some(line) = self.llc.get_mut(addr.0) else {
+            return; // late ack for an already-recalled line
+        };
+        if dirty {
+            line.dirty = true;
+        }
+        line.sharers &= !(1 << core);
+        if line.owner == Some(core) {
+            line.owner = None;
+        }
+        match line.txn {
+            Some(LlcTxn::Invalidating {
+                requester,
+                req,
+                pending,
+                with_data,
+                llc_was,
+            }) => {
+                let pending = pending & !(1 << core);
+                if pending == 0 {
+                    line.txn = None;
+                    self.llc_grant_ownership(now, addr, requester, req, with_data, llc_was);
+                } else {
+                    line.txn = Some(LlcTxn::Invalidating {
+                        requester,
+                        req,
+                        pending,
+                        with_data,
+                        llc_was,
+                    });
+                }
+            }
+            Some(LlcTxn::Recall { .. }) => self.llc_recall_ack(now, addr, core),
+            Some(LlcTxn::FwdStore {
+                requester,
+                unblock_done,
+                ..
+            }) if line.owner.is_none() => {
+                // Owner's InvAck for a forwarded store.
+                if unblock_done {
+                    line.state = LlcState::M;
+                    line.owner = Some(requester);
+                    line.sharers = 0;
+                    line.txn = None;
+                    self.llc_replay_waiters(now, addr);
+                } else {
+                    line.txn = Some(LlcTxn::FwdStore {
+                        requester,
+                        wb_done: true,
+                        unblock_done: false,
+                    });
+                }
+            }
+            _ => {
+                // Ack with no matching txn: a stale ack from a conservative
+                // sharer listing. The sharer-bit clearing above suffices.
+            }
+        }
+    }
+
+    fn llc_recall_ack(&mut self, now: Cycle, addr: PhysAddr, core: usize) {
+        let line = self.llc.get_mut(addr.0).expect("recalling line present");
+        let Some(LlcTxn::Recall { pending }) = line.txn else {
+            return;
+        };
+        let pending = pending & !(1 << core);
+        if pending != 0 {
+            line.txn = Some(LlcTxn::Recall { pending });
+            return;
+        }
+        // All copies invalidated: evict the line.
+        let dirty = line.dirty;
+        let waiters: Vec<Msg> = line.waiters.drain(..).collect();
+        self.llc.invalidate(addr.0);
+        if dirty {
+            self.mem.access(now, addr, true);
+        }
+        for w in waiters {
+            self.queue.schedule(now, Event::ToLlc(w));
+        }
+        self.llc_replay_set_stalls(now, addr);
+    }
+
+    /// An `Unblock` / `Exclusive_Unblock` from the requester.
+    fn llc_unblock(&mut self, now: Cycle, core: usize, addr: PhysAddr, exclusive: bool) {
+        let line = self.llc.get_mut(addr.0).expect("unblocking line present");
+        match line.txn {
+            Some(LlcTxn::AwaitUnblockS { requester }) => {
+                debug_assert_eq!(core, requester);
+                debug_assert!(!exclusive);
+                line.state = LlcState::S;
+                line.sharers |= 1 << core;
+                line.txn = None;
+            }
+            Some(LlcTxn::AwaitUnblockE { requester, final_m }) => {
+                debug_assert_eq!(core, requester);
+                line.state = if final_m { LlcState::M } else { LlcState::E };
+                line.owner = Some(core);
+                line.sharers = 0;
+                line.txn = None;
+            }
+            Some(LlcTxn::FwdLoad {
+                requester,
+                wb_done,
+                ..
+            }) => {
+                debug_assert_eq!(core, requester);
+                if wb_done {
+                    line.state = LlcState::S;
+                    line.sharers |= 1 << requester;
+                    line.txn = None;
+                } else {
+                    line.txn = Some(LlcTxn::FwdLoad {
+                        requester,
+                        wb_done: false,
+                        unblock_done: true,
+                    });
+                    return;
+                }
+            }
+            Some(LlcTxn::FwdStore {
+                requester,
+                wb_done,
+                ..
+            }) => {
+                debug_assert_eq!(core, requester);
+                if wb_done {
+                    line.state = LlcState::M;
+                    line.owner = Some(requester);
+                    line.sharers = 0;
+                    line.txn = None;
+                } else {
+                    line.txn = Some(LlcTxn::FwdStore {
+                        requester,
+                        wb_done: false,
+                        unblock_done: true,
+                    });
+                    return;
+                }
+            }
+            other => unreachable!("Unblock with txn {other:?}"),
+        }
+        self.llc_replay_waiters(now, addr);
+    }
+
+    /// Replays requests stalled on `addr`'s (now unblocked) line, plus any
+    /// requests stalled on the set (they may have been waiting for *any*
+    /// transaction in the set to finish so a victim becomes eligible).
+    fn llc_replay_waiters(&mut self, now: Cycle, addr: PhysAddr) {
+        if let Some(line) = self.llc.get_mut(addr.0) {
+            let waiters: Vec<Msg> = line.waiters.drain(..).collect();
+            for w in waiters {
+                self.queue.schedule(now, Event::ToLlc(w));
+            }
+        }
+        self.llc_replay_set_stalls(now, addr);
+    }
+
+    /// Replays requests stalled on `addr`'s set (a way was freed).
+    fn llc_replay_set_stalls(&mut self, now: Cycle, addr: PhysAddr) {
+        let set = self.cfg.llc_bank_geometry.index_of(addr.0);
+        if let Some(stalls) = self.llc_set_stalls.remove(&set) {
+            for msg in stalls {
+                self.queue.schedule(now, Event::ToLlc(msg));
+            }
+        }
+    }
+}
+
+/// Iterates over the set bit indices of a mask.
+fn bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| mask & (1u64 << i) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier(protocol: ProtocolKind, cores: usize) -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::table_v(cores, protocol))
+    }
+
+    fn one(completions: Vec<Completion>) -> Completion {
+        assert_eq!(completions.len(), 1, "expected one completion");
+        completions[0]
+    }
+
+    const A: PhysAddr = PhysAddr(0x10_0040);
+
+    #[test]
+    fn cold_load_comes_from_memory() {
+        let mut h = hier(ProtocolKind::Mesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::Memory);
+        assert_eq!(c.class.l1_before, L1State::I);
+        assert_eq!(c.class.llc_before, Some(LlcState::I));
+        assert!(c.latency() > Cycle(50), "DRAM latency dominates: {c:?}");
+        assert_eq!(h.l1_state(0, A), L1State::E, "MESI initial load is E");
+        assert_eq!(h.llc_state(A), LlcState::E);
+    }
+
+    #[test]
+    fn swiftdir_wp_load_is_shared_everywhere() {
+        let mut h = hier(ProtocolKind::SwiftDir, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A).write_protected());
+        one(h.run_until_idle());
+        assert_eq!(h.l1_state(0, A), L1State::S, "SwiftDir I→S for WP data");
+        assert_eq!(h.llc_state(A), LlcState::S);
+        assert_eq!(h.stats().event(CoherenceEvent::GetsWp), 1);
+        assert_eq!(h.stats().event(CoherenceEvent::Gets), 0);
+    }
+
+    #[test]
+    fn swiftdir_non_wp_load_still_exclusive() {
+        let mut h = hier(ProtocolKind::SwiftDir, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        one(h.run_until_idle());
+        assert_eq!(h.l1_state(0, A), L1State::E);
+        assert_eq!(h.stats().event(CoherenceEvent::Gets), 1);
+    }
+
+    #[test]
+    fn msi_never_grants_exclusive() {
+        let mut h = hier(ProtocolKind::Msi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        one(h.run_until_idle());
+        assert_eq!(h.l1_state(0, A), L1State::S);
+    }
+
+    #[test]
+    fn l1_hit_is_one_cycle() {
+        let mut h = hier(ProtocolKind::Mesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.run_until_idle();
+        h.issue(Cycle(1000), 0, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::L1);
+        assert_eq!(c.latency(), Cycle(1));
+    }
+
+    #[test]
+    fn remote_load_of_s_data_served_from_llc_at_17_cycles() {
+        let mut h = hier(ProtocolKind::SwiftDir, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A).write_protected());
+        h.run_until_idle();
+        // Core 1 reads the same (now S) block: LLC serves directly.
+        h.issue(Cycle(1000), 1, CoreRequest::load(A).write_protected());
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::Llc);
+        assert_eq!(c.class.llc_before, Some(LlcState::S));
+        assert_eq!(c.latency(), Cycle(17), "the Figure 6 anchor");
+    }
+
+    #[test]
+    fn remote_load_of_e_data_forwarded_with_26_cycle_gap() {
+        let mut h = hier(ProtocolKind::Mesi, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.run_until_idle();
+        assert_eq!(h.l1_state(0, A), L1State::E);
+        h.issue(Cycle(1000), 1, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::RemoteL1);
+        assert_eq!(c.class.llc_before, Some(LlcState::E));
+        assert_eq!(c.latency(), Cycle(17 + 26), "S latency + the E/S gap");
+        // Both copies end shared; LLC is S.
+        assert_eq!(h.l1_state(0, A), L1State::S);
+        assert_eq!(h.l1_state(1, A), L1State::S);
+        assert_eq!(h.llc_state(A), LlcState::S);
+    }
+
+    #[test]
+    fn smesi_serves_e_data_from_llc() {
+        let mut h = hier(ProtocolKind::SMesi, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.run_until_idle();
+        assert_eq!(h.l1_state(0, A), L1State::E);
+        h.issue(Cycle(1000), 1, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::Llc, "S-MESI: E served from LLC");
+        assert_eq!(c.latency(), Cycle(17));
+    }
+
+    #[test]
+    fn silent_upgrade_in_mesi_and_swiftdir() {
+        for p in [ProtocolKind::Mesi, ProtocolKind::SwiftDir] {
+            let mut h = hier(p, 1);
+            h.issue(Cycle(0), 0, CoreRequest::load(A));
+            h.run_until_idle();
+            let upgrades_before = h.stats().event(CoherenceEvent::Upgrade);
+            h.issue(Cycle(1000), 0, CoreRequest::store(A));
+            let c = one(h.run_until_idle());
+            assert_eq!(c.latency(), Cycle(1), "{p}: silent upgrade is an L1 hit");
+            assert_eq!(h.l1_state(0, A), L1State::M);
+            assert_eq!(h.llc_state(A), LlcState::E, "{p}: LLC not notified");
+            assert_eq!(h.stats().event(CoherenceEvent::Upgrade), upgrades_before);
+            assert_eq!(h.stats().silent_upgrades, 1);
+        }
+    }
+
+    #[test]
+    fn smesi_upgrade_round_trip() {
+        let mut h = hier(ProtocolKind::SMesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.run_until_idle();
+        h.issue(Cycle(1000), 0, CoreRequest::store(A));
+        let c = one(h.run_until_idle());
+        // Upgrade/ACK round trip: 1 (L1) + 7 + 2 + 7 = 17 cycles.
+        assert_eq!(c.latency(), Cycle(17), "S-MESI store pays the round trip");
+        assert_eq!(h.l1_state(0, A), L1State::M);
+        assert_eq!(h.llc_state(A), LlcState::M, "LLC tracks M explicitly");
+        assert_eq!(h.stats().event(CoherenceEvent::Upgrade), 1);
+        assert_eq!(h.stats().silent_upgrades, 0);
+    }
+
+    #[test]
+    fn store_to_shared_invalidates_other_sharers() {
+        let mut h = hier(ProtocolKind::Mesi, 2);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.run_until_idle();
+        h.issue(Cycle(1000), 1, CoreRequest::load(A));
+        h.run_until_idle();
+        assert_eq!(h.l1_state(0, A), L1State::S);
+        assert_eq!(h.l1_state(1, A), L1State::S);
+        // Core 0 stores: core 1 must be invalidated.
+        h.issue(Cycle(2000), 0, CoreRequest::store(A));
+        one(h.run_until_idle());
+        assert_eq!(h.l1_state(0, A), L1State::M);
+        assert_eq!(h.l1_state(1, A), L1State::I);
+        assert_eq!(h.llc_state(A), LlcState::M);
+        assert!(h.stats().event(CoherenceEvent::Inv) >= 1);
+    }
+
+    #[test]
+    fn store_miss_to_modified_line_transfers_ownership() {
+        let mut h = hier(ProtocolKind::Mesi, 2);
+        h.issue(Cycle(0), 0, CoreRequest::store(A));
+        h.run_until_idle();
+        assert_eq!(h.l1_state(0, A), L1State::M);
+        h.issue(Cycle(1000), 1, CoreRequest::store(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::RemoteL1);
+        assert_eq!(h.l1_state(0, A), L1State::I);
+        assert_eq!(h.l1_state(1, A), L1State::M);
+        assert_eq!(h.llc_state(A), LlcState::M);
+    }
+
+    #[test]
+    fn load_from_modified_line_gets_dirty_data() {
+        let mut h = hier(ProtocolKind::Mesi, 2);
+        h.issue(Cycle(0), 0, CoreRequest::store(A));
+        h.run_until_idle();
+        h.issue(Cycle(1000), 1, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::RemoteL1);
+        assert_eq!(c.class.llc_before, Some(LlcState::M));
+        assert_eq!(h.l1_state(0, A), L1State::S);
+        assert_eq!(h.l1_state(1, A), L1State::S);
+        assert_eq!(h.llc_state(A), LlcState::S);
+    }
+
+    #[test]
+    fn mshr_merging_same_block() {
+        let mut h = hier(ProtocolKind::Mesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.issue(Cycle(1), 0, CoreRequest::load(PhysAddr(A.0 + 8)));
+        let done = h.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(h.stats().l1_misses, 1, "second load merged");
+        assert_eq!(h.stats().mshr_merges, 1);
+    }
+
+    #[test]
+    fn store_merged_behind_load_upgrades_afterwards() {
+        let mut h = hier(ProtocolKind::Mesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::load(A));
+        h.issue(Cycle(1), 0, CoreRequest::store(A));
+        let done = h.run_until_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(h.l1_state(0, A), L1State::M, "store completed after load");
+    }
+
+    #[test]
+    fn l1_eviction_writes_back_dirty_data() {
+        let mut h = hier(ProtocolKind::Mesi, 1);
+        h.issue(Cycle(0), 0, CoreRequest::store(A));
+        h.run_until_idle();
+        // Fill the set: L1 is 4-way; 5 conflicting blocks evict A.
+        let set_stride = 128 * 64; // sets * block
+        for i in 1..=4u64 {
+            h.issue(
+                Cycle(1000 * i),
+                0,
+                CoreRequest::load(PhysAddr(A.0 + i * set_stride)),
+            );
+            h.run_until_idle();
+        }
+        assert_eq!(h.l1_state(0, A), L1State::I, "A was evicted");
+        assert!(h.stats().event(CoherenceEvent::WbDataDirty) >= 1);
+        // After the dirty WB the LLC serves the block directly.
+        h.issue(Cycle(100_000), 0, CoreRequest::load(A));
+        let c = one(h.run_until_idle());
+        assert_eq!(c.served_from, ServedFrom::Llc);
+        assert_eq!(c.class.llc_before, Some(LlcState::S));
+    }
+
+    #[test]
+    fn concurrent_cross_core_traffic_quiesces() {
+        // Stress determinism/forward-progress: many cores hammer few blocks.
+        let mut h = hier(ProtocolKind::Mesi, 4);
+        let mut t = Cycle(0);
+        let mut n = 0;
+        for round in 0..50u64 {
+            for core in 0..4usize {
+                let addr = PhysAddr(0x4_0000 + (round % 8) * 64);
+                let req = if (round + core as u64) % 3 == 0 {
+                    CoreRequest::store(addr)
+                } else {
+                    CoreRequest::load(addr)
+                };
+                h.issue(t, core, req);
+                n += 1;
+                t += Cycle(3);
+            }
+        }
+        let done = h.run_until_idle();
+        assert_eq!(done.len(), n);
+    }
+
+    #[test]
+    fn all_protocols_quiesce_under_stress() {
+        for p in ProtocolKind::ALL {
+            let mut h = hier(p, 4);
+            let mut t = Cycle(0);
+            let mut n = 0;
+            for round in 0..120u64 {
+                for core in 0..4usize {
+                    let addr = PhysAddr(0x8_0000 + (round % 16) * 64);
+                    let req = match (round + core as u64) % 4 {
+                        0 => CoreRequest::store(addr),
+                        1 => CoreRequest::load(addr).write_protected(),
+                        _ => CoreRequest::load(addr),
+                    };
+                    h.issue(t, core, req);
+                    n += 1;
+                    t += Cycle(7);
+                }
+            }
+            let done = h.run_until_idle();
+            assert_eq!(done.len(), n, "{p}: all requests must complete");
+        }
+    }
+
+    #[test]
+    fn single_writer_invariant_probe() {
+        // After any store completes with the system idle, no other core may
+        // hold the block in a readable state.
+        let mut h = hier(ProtocolKind::SwiftDir, 4);
+        for i in 0..20u64 {
+            let addr = PhysAddr(0x9_0000 + (i % 4) * 64);
+            let core = (i % 4) as usize;
+            h.issue(Cycle(i * 500), core, CoreRequest::store(addr));
+            h.run_until_idle();
+            let holders: Vec<usize> = (0..4)
+                .filter(|&c| h.l1_state(c, addr).load_hits())
+                .collect();
+            assert_eq!(holders, vec![core], "store {i}: single writer");
+            assert_eq!(h.l1_state(core, addr), L1State::M);
+        }
+    }
+}

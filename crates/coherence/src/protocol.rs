@@ -1,0 +1,158 @@
+//! Protocol variants and their policy decisions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What the LLC grants a core on the initial load of an uncached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialGrant {
+    /// `Data_Exclusive`: the line enters state E (MESI family).
+    Exclusive,
+    /// Plain `Data`: the line enters state S (MSI, and SwiftDir for
+    /// write-protected data — the paper's I→S modification, §IV-C1).
+    Shared,
+}
+
+/// The coherence protocol in force.
+///
+/// All four share one controller implementation; they differ in exactly
+/// three policy decisions (this is faithful to the paper, which frames
+/// SwiftDir as a *lightweight modification* of MESI):
+///
+/// 1. [`ProtocolKind::initial_load_grant`] — MESI/S-MESI grant E; MSI
+///    grants S; SwiftDir grants S **iff the request is `GETS_WP`**.
+/// 2. [`ProtocolKind::silent_upgrade`] — MESI/SwiftDir upgrade E→M in the
+///    L1 without telling the LLC; S-MESI requires an `Upgrade`/`ACK`
+///    round-trip (paper Figure 2); MSI has no E state at all.
+/// 3. [`ProtocolKind::llc_serves_e_directly`] — S-MESI's explicit M
+///    notification guarantees E-state LLC data are current, so the LLC
+///    can serve them without forwarding to the owner (paper §II-C).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The MSI baseline (§II-A2): no E state, every initial load is S.
+    Msi,
+    /// Unprotected directory-based MESI — the paper's baseline.
+    #[default]
+    Mesi,
+    /// S-MESI (Yao et al.): MESI with silent upgrade revoked for *all*
+    /// data; secure but overprotective.
+    SMesi,
+    /// SwiftDir: MESI with I→S for write-protected data (via `GETS_WP`),
+    /// silent upgrade preserved for everything else.
+    SwiftDir,
+}
+
+impl ProtocolKind {
+    /// Grant policy for the initial load of an uncached block.
+    /// `write_protected` is the WP bit carried by the request (only
+    /// SwiftDir looks at it).
+    pub fn initial_load_grant(self, write_protected: bool) -> InitialGrant {
+        match self {
+            ProtocolKind::Msi => InitialGrant::Shared,
+            ProtocolKind::Mesi | ProtocolKind::SMesi => InitialGrant::Exclusive,
+            ProtocolKind::SwiftDir => {
+                if write_protected {
+                    InitialGrant::Shared
+                } else {
+                    InitialGrant::Exclusive
+                }
+            }
+        }
+    }
+
+    /// Whether an L1 store to an E-state line may upgrade to M silently.
+    /// (MSI never holds E lines, so the answer is irrelevant there.)
+    pub fn silent_upgrade(self) -> bool {
+        match self {
+            ProtocolKind::Mesi | ProtocolKind::SwiftDir => true,
+            ProtocolKind::SMesi => false,
+            ProtocolKind::Msi => true, // vacuous: no E state exists
+        }
+    }
+
+    /// Whether the LLC may serve a request that hits an E-state LLC line
+    /// directly (instead of forwarding to the owner). True only for
+    /// S-MESI, whose explicit E→M notification keeps E-state LLC data
+    /// trustworthy.
+    pub fn llc_serves_e_directly(self) -> bool {
+        matches!(self, ProtocolKind::SMesi)
+    }
+
+    /// Whether this protocol closes the E/S timing channel for
+    /// write-protected shared data.
+    pub fn secure(self) -> bool {
+        match self {
+            ProtocolKind::Mesi => false,
+            // MSI has no E state, S-MESI serves E from the LLC, SwiftDir
+            // never lets WP data reach E.
+            ProtocolKind::Msi | ProtocolKind::SMesi | ProtocolKind::SwiftDir => true,
+        }
+    }
+
+    /// All protocols, in the order the paper's figures present them.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+        ProtocolKind::Msi,
+    ];
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolKind::Msi => "MSI",
+            ProtocolKind::Mesi => "MESI",
+            ProtocolKind::SMesi => "S-MESI",
+            ProtocolKind::SwiftDir => "SwiftDir",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_grant_matrix() {
+        use InitialGrant::*;
+        // Non-WP data: only MSI demotes to shared.
+        assert_eq!(ProtocolKind::Mesi.initial_load_grant(false), Exclusive);
+        assert_eq!(ProtocolKind::SMesi.initial_load_grant(false), Exclusive);
+        assert_eq!(ProtocolKind::SwiftDir.initial_load_grant(false), Exclusive);
+        assert_eq!(ProtocolKind::Msi.initial_load_grant(false), Shared);
+        // WP data: SwiftDir (and MSI) load straight to S.
+        assert_eq!(ProtocolKind::SwiftDir.initial_load_grant(true), Shared);
+        assert_eq!(ProtocolKind::Mesi.initial_load_grant(true), Exclusive);
+        assert_eq!(ProtocolKind::SMesi.initial_load_grant(true), Exclusive);
+    }
+
+    #[test]
+    fn silent_upgrade_matrix() {
+        assert!(ProtocolKind::Mesi.silent_upgrade());
+        assert!(ProtocolKind::SwiftDir.silent_upgrade());
+        assert!(!ProtocolKind::SMesi.silent_upgrade());
+    }
+
+    #[test]
+    fn llc_e_service_only_smesi() {
+        assert!(ProtocolKind::SMesi.llc_serves_e_directly());
+        assert!(!ProtocolKind::Mesi.llc_serves_e_directly());
+        assert!(!ProtocolKind::SwiftDir.llc_serves_e_directly());
+    }
+
+    #[test]
+    fn security_matrix() {
+        assert!(!ProtocolKind::Mesi.secure());
+        assert!(ProtocolKind::SMesi.secure());
+        assert!(ProtocolKind::SwiftDir.secure());
+        assert!(ProtocolKind::Msi.secure());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::SwiftDir.to_string(), "SwiftDir");
+        assert_eq!(ProtocolKind::SMesi.to_string(), "S-MESI");
+    }
+}

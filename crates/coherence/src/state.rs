@@ -1,0 +1,144 @@
+//! Stable and transient coherence states (paper Tables I and II).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// L1 cache-line states: the four stable MESI states plus the transient
+/// states of paper Table I (and the eviction-handshake transients the
+/// protocol needs for forward-progress).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L1State {
+    /// Invalid (or not present).
+    #[default]
+    I,
+    /// Shared: clean, possibly other copies exist.
+    S,
+    /// Exclusive: clean, the only cached copy.
+    E,
+    /// Modified: dirty, the only valid copy.
+    M,
+    /// I→S/E, waiting for a Data response (`IS^D`, Table I). Ends in E if
+    /// the response carries exclusivity.
+    IsD,
+    /// I→M, waiting for data with ownership (store miss).
+    ImD,
+    /// S→M, waiting for the LLC's upgrade ACK.
+    SmA,
+    /// E→M, waiting for the LLC's ACK (`EM^A`, Table I — S-MESI only).
+    EmA,
+    /// M→I, waiting for the LLC's writeback ACK (still owns the data and
+    /// answers forwards while here).
+    MiA,
+    /// E→I, waiting for the LLC's writeback ACK.
+    EiA,
+}
+
+impl L1State {
+    /// Whether this is one of the four stable states.
+    pub fn is_stable(self) -> bool {
+        matches!(self, L1State::I | L1State::S | L1State::E | L1State::M)
+    }
+
+    /// Whether a local load hits in this state.
+    pub fn load_hits(self) -> bool {
+        matches!(self, L1State::S | L1State::E | L1State::M)
+    }
+
+    /// Whether the line holds valid data (stable or eviction-pending).
+    pub fn has_data(self) -> bool {
+        matches!(
+            self,
+            L1State::S | L1State::E | L1State::M | L1State::MiA | L1State::EiA
+        )
+    }
+
+    /// Whether the line's data is dirty with respect to the LLC.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, L1State::M | L1State::MiA)
+    }
+}
+
+impl fmt::Display for L1State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            L1State::I => "I",
+            L1State::S => "S",
+            L1State::E => "E",
+            L1State::M => "M",
+            L1State::IsD => "IS_D",
+            L1State::ImD => "IM_D",
+            L1State::SmA => "SM_A",
+            L1State::EmA => "EM_A",
+            L1State::MiA => "MI_A",
+            L1State::EiA => "EI_A",
+        })
+    }
+}
+
+/// The stable class of an LLC directory line, reported in completions so
+/// experiments can classify accesses (e.g. Figure 6's `Load(L1I&L2S)`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LlcState {
+    /// Not present.
+    #[default]
+    I,
+    /// Present, clean, served directly from the LLC.
+    S,
+    /// Present, one core holds it exclusively; LLC data possibly stale
+    /// under silent upgrade.
+    E,
+    /// One core holds it modified (explicitly known to the LLC).
+    M,
+}
+
+impl fmt::Display for LlcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LlcState::I => "I",
+            LlcState::S => "S",
+            LlcState::E => "E",
+            LlcState::M => "M",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_classification() {
+        assert!(L1State::I.is_stable());
+        assert!(L1State::M.is_stable());
+        assert!(!L1State::IsD.is_stable());
+        assert!(!L1State::EmA.is_stable());
+    }
+
+    #[test]
+    fn hit_rules() {
+        assert!(L1State::S.load_hits());
+        assert!(L1State::E.load_hits());
+        assert!(L1State::M.load_hits());
+        assert!(!L1State::I.load_hits());
+        assert!(!L1State::IsD.load_hits());
+    }
+
+    #[test]
+    fn data_and_dirtiness() {
+        assert!(L1State::MiA.has_data(), "evicting M line still answers forwards");
+        assert!(L1State::MiA.is_dirty());
+        assert!(L1State::EiA.has_data());
+        assert!(!L1State::EiA.is_dirty());
+        assert!(!L1State::IsD.has_data());
+    }
+
+    #[test]
+    fn display_names_match_tables() {
+        assert_eq!(L1State::IsD.to_string(), "IS_D");
+        assert_eq!(L1State::EmA.to_string(), "EM_A");
+        assert_eq!(LlcState::M.to_string(), "M");
+        assert_eq!(L1State::default(), L1State::I);
+        assert_eq!(LlcState::default(), LlcState::I);
+    }
+}

@@ -1,0 +1,326 @@
+//! The E/S coherence timing-channel attacks (paper §II-B), reproduced as
+//! executable experiments.
+//!
+//! Both attacks build shared memory through a shared library (two
+//! processes mapping the same file pages), then modulate/observe per-line
+//! coherence states:
+//!
+//! * [`CovertChannel`] — sender and receiver collude: bit 1 is encoded by
+//!   leaving a line Exclusive (one sender thread touches it), bit 0 by
+//!   making it Shared (two sender threads touch it). The receiver times a
+//!   load: a directory-forwarded E-line is ~26 cycles slower than an
+//!   LLC-served S-line.
+//! * [`SideChannel`] — an attacker primes a victim-adjacent line to E and
+//!   later probes it; if the victim accessed the line in between, it
+//!   degraded to S and the probe is fast.
+//!
+//! Under SwiftDir both collapse: write-protected data loads I→S, every
+//! probe is served from the LLC at the same latency, and decoding drops to
+//! chance.
+
+use sim_engine::{Cycle, DetRng};
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_cpu::{CpuModel, MemOp};
+use swiftdir_mmu::{LibraryImage, SegmentKind, VirtAddr, PAGE_SIZE};
+
+use crate::config::SystemConfig;
+use crate::system::{ProcessId, System};
+
+/// Cache lines per page (64-byte lines, 4 KiB pages).
+const LINES_PER_PAGE: u64 = PAGE_SIZE / 64;
+/// Line 0 of each page is reserved for TLB/page-table warm-up probes.
+const USABLE_LINES_PER_PAGE: u64 = LINES_PER_PAGE - 1;
+
+/// The decode threshold: midway between the LLC-served latency (17) and
+/// the owner-forwarded latency (43).
+const THRESHOLD: u64 = 30;
+
+/// Result of a covert-channel transmission.
+#[derive(Debug, Clone)]
+pub struct CovertOutcome {
+    /// The bits the sender encoded.
+    pub sent: Vec<bool>,
+    /// The bits the receiver decoded.
+    pub decoded: Vec<bool>,
+    /// The receiver's measured latency per bit, in cycles.
+    pub latencies: Vec<Cycle>,
+}
+
+impl CovertOutcome {
+    /// Fraction of bits decoded correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.sent.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .sent
+            .iter()
+            .zip(&self.decoded)
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f64 / self.sent.len() as f64
+    }
+
+    /// Whether the channel leaked (accuracy well above coin-flipping).
+    pub fn leaks(&self) -> bool {
+        self.accuracy() > 0.75
+    }
+}
+
+/// The E/S covert channel of paper §II-B.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_core::CovertChannel;
+/// use swiftdir_coherence::ProtocolKind;
+///
+/// let outcome = CovertChannel::new(ProtocolKind::Mesi).transmit_random(16, 7);
+/// assert!(outcome.leaks(), "MESI leaks");
+/// let outcome = CovertChannel::new(ProtocolKind::SwiftDir).transmit_random(16, 7);
+/// assert!(!outcome.leaks(), "SwiftDir does not");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CovertChannel {
+    protocol: ProtocolKind,
+}
+
+impl CovertChannel {
+    /// A channel over a machine running `protocol`.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        CovertChannel { protocol }
+    }
+
+    /// Transmits `bits` from the sender pair (cores 0 and 1) to the
+    /// receiver (core 2) over shared-library memory.
+    pub fn transmit(&self, bits: &[bool]) -> CovertOutcome {
+        let mut sys = attack_system(self.protocol);
+        let (sender, receiver) = colluding_processes(&mut sys, bits.len() as u64);
+
+        let mut decoded = Vec::with_capacity(bits.len());
+        let mut latencies = Vec::with_capacity(bits.len());
+        for (i, &bit) in bits.iter().enumerate() {
+            let (s_va, r_va) = (line_va(sender.base, i), line_va(receiver.base, i));
+            warmup(&mut sys, &sender, &receiver, i);
+            // Sender encodes.
+            sys.timed_access(0, sender.pid, s_va, MemOp::Load);
+            if !bit {
+                // Bit 0: a second sender thread shares the line → S.
+                sys.timed_access(1, sender.pid, s_va, MemOp::Load);
+            }
+            // Receiver decodes by timing.
+            let lat = sys.timed_access(2, receiver.pid, r_va, MemOp::Load);
+            latencies.push(lat);
+            decoded.push(lat.get() >= THRESHOLD);
+        }
+        CovertOutcome {
+            sent: bits.to_vec(),
+            decoded,
+            latencies,
+        }
+    }
+
+    /// Transmits `n` deterministic pseudo-random bits from `seed`.
+    pub fn transmit_random(&self, n: usize, seed: u64) -> CovertOutcome {
+        let mut rng = DetRng::new(seed);
+        let bits: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        self.transmit(&bits)
+    }
+}
+
+/// Result of a side-channel run.
+#[derive(Debug, Clone)]
+pub struct SideOutcome {
+    /// Whether the victim actually accessed the probed line, per trial.
+    pub ground_truth: Vec<bool>,
+    /// The attacker's inference, per trial.
+    pub inferred: Vec<bool>,
+    /// Probe latencies.
+    pub latencies: Vec<Cycle>,
+}
+
+impl SideOutcome {
+    /// Fraction of trials where the attacker inferred correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.ground_truth.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .ground_truth
+            .iter()
+            .zip(&self.inferred)
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f64 / self.ground_truth.len() as f64
+    }
+
+    /// Whether the attacker learned the victim's accesses.
+    pub fn leaks(&self) -> bool {
+        self.accuracy() > 0.75
+    }
+}
+
+/// The access-detection side channel of paper §II-B: two colluding attack
+/// processes infer whether a victim touched shared data.
+#[derive(Debug, Clone, Copy)]
+pub struct SideChannel {
+    protocol: ProtocolKind,
+}
+
+impl SideChannel {
+    /// A side channel on a machine running `protocol`.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        SideChannel { protocol }
+    }
+
+    /// Runs one trial per entry of `victim_accesses`: the attacker primes
+    /// line *i* (core 0), the victim (core 1) accesses it iff
+    /// `victim_accesses[i]`, and the attacker probes it (core 2).
+    pub fn run(&self, victim_accesses: &[bool]) -> SideOutcome {
+        let mut sys = attack_system(self.protocol);
+        let (attacker, victim) = colluding_processes(&mut sys, victim_accesses.len() as u64);
+
+        let mut inferred = Vec::with_capacity(victim_accesses.len());
+        let mut latencies = Vec::with_capacity(victim_accesses.len());
+        for (i, &accessed) in victim_accesses.iter().enumerate() {
+            let (a_va, v_va) = (line_va(attacker.base, i), line_va(victim.base, i));
+            warmup(&mut sys, &attacker, &victim, i);
+            // Prime: attacker's first thread makes the line E (MESI) or S
+            // (SwiftDir WP data).
+            sys.timed_access(0, attacker.pid, a_va, MemOp::Load);
+            // Victim may access within the window.
+            if accessed {
+                sys.timed_access(1, victim.pid, v_va, MemOp::Load);
+            }
+            // Probe: fast ⇒ S ⇒ the victim shared the line.
+            let lat = sys.timed_access(2, attacker.pid, a_va, MemOp::Load);
+            latencies.push(lat);
+            inferred.push(lat.get() < THRESHOLD);
+        }
+        SideOutcome {
+            ground_truth: victim_accesses.to_vec(),
+            inferred,
+            latencies,
+        }
+    }
+
+    /// Runs `n` trials with a deterministic pseudo-random victim pattern.
+    pub fn run_random(&self, n: usize, seed: u64) -> SideOutcome {
+        let mut rng = DetRng::new(seed);
+        let pattern: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        self.run(&pattern)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct Mapping {
+    pid: ProcessId,
+    base: VirtAddr,
+}
+
+fn attack_system(protocol: ProtocolKind) -> System {
+    System::new(
+        SystemConfig::builder()
+            .cores(4)
+            .protocol(protocol)
+            .cpu_model(CpuModel::TimingSimple)
+            .build(),
+    )
+}
+
+/// Two processes mapping the same shared library, with enough read-only
+/// pages for `bits` one-line-per-bit slots.
+fn colluding_processes(sys: &mut System, bits: u64) -> (Mapping, Mapping) {
+    let pages = bits.div_ceil(USABLE_LINES_PER_PAGE).max(1);
+    let lib = LibraryImage::synthetic("libchannel.so", 0, pages, 0);
+    let p1 = sys.spawn_process();
+    let p2 = sys.spawn_process();
+    let (l1, file) = sys
+        .process_mut(p1)
+        .load_library(&lib, None)
+        .expect("library mapping");
+    let (l2, _) = sys
+        .process_mut(p2)
+        .load_library(&lib, Some(file))
+        .expect("library mapping");
+    let base1 = l1.base_of(SegmentKind::Rodata).expect("rodata present");
+    let base2 = l2.base_of(SegmentKind::Rodata).expect("rodata present");
+    (
+        Mapping { pid: p1, base: base1 },
+        Mapping { pid: p2, base: base2 },
+    )
+}
+
+/// The virtual address of bit-slot `i`: line `1 + i % 63` of page
+/// `i / 63` (line 0 of each page is the warm-up line).
+fn line_va(base: VirtAddr, i: usize) -> VirtAddr {
+    let page = i as u64 / USABLE_LINES_PER_PAGE;
+    let line = 1 + (i as u64 % USABLE_LINES_PER_PAGE);
+    VirtAddr(base.0 + page * PAGE_SIZE + line * 64)
+}
+
+/// Touches the warm-up line of bit-slot `i`'s page on every participating
+/// core so page tables and TLBs are hot before any timed access — the
+/// simulator analogue of the attacker's untimed warm-up loop.
+fn warmup(sys: &mut System, a: &Mapping, b: &Mapping, i: usize) {
+    let page = i as u64 / USABLE_LINES_PER_PAGE;
+    let wa = VirtAddr(a.base.0 + page * PAGE_SIZE);
+    let wb = VirtAddr(b.base.0 + page * PAGE_SIZE);
+    sys.timed_access(0, a.pid, wa, MemOp::Load);
+    sys.timed_access(1, a.pid, wa, MemOp::Load);
+    sys.timed_access(1, b.pid, wb, MemOp::Load);
+    sys.timed_access(2, b.pid, wb, MemOp::Load);
+    sys.timed_access(2, a.pid, wa, MemOp::Load);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covert_channel_leaks_under_mesi() {
+        let outcome = CovertChannel::new(ProtocolKind::Mesi).transmit_random(32, 1);
+        assert!(
+            outcome.accuracy() > 0.95,
+            "MESI covert channel should be near-perfect: {}",
+            outcome.accuracy()
+        );
+    }
+
+    #[test]
+    fn covert_channel_closed_under_swiftdir() {
+        let outcome = CovertChannel::new(ProtocolKind::SwiftDir).transmit_random(32, 1);
+        // Every probe sees the same LLC latency; the receiver decodes
+        // everything as 0, which is chance-level on a balanced bitstream.
+        assert!(
+            outcome.accuracy() < 0.75,
+            "SwiftDir must close the channel: {}",
+            outcome.accuracy()
+        );
+        let distinct: std::collections::HashSet<u64> =
+            outcome.latencies.iter().map(|c| c.get()).collect();
+        assert_eq!(distinct.len(), 1, "all probes identical: {distinct:?}");
+    }
+
+    #[test]
+    fn covert_channel_closed_under_smesi() {
+        let outcome = CovertChannel::new(ProtocolKind::SMesi).transmit_random(32, 1);
+        assert!(!outcome.leaks(), "S-MESI also protects: {}", outcome.accuracy());
+    }
+
+    #[test]
+    fn side_channel_leaks_under_mesi_only() {
+        let mesi = SideChannel::new(ProtocolKind::Mesi).run_random(24, 3);
+        assert!(mesi.accuracy() > 0.95, "MESI: {}", mesi.accuracy());
+        let swift = SideChannel::new(ProtocolKind::SwiftDir).run_random(24, 3);
+        assert!(!swift.leaks(), "SwiftDir: {}", swift.accuracy());
+    }
+
+    #[test]
+    fn empty_transmission() {
+        let outcome = CovertChannel::new(ProtocolKind::Mesi).transmit(&[]);
+        assert_eq!(outcome.accuracy(), 0.0);
+        assert!(!outcome.leaks());
+    }
+}

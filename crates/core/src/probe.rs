@@ -1,0 +1,156 @@
+//! Latency probes: per-access-class histograms.
+
+use std::collections::HashMap;
+
+use sim_engine::Histogram;
+use swiftdir_coherence::{AccessKind, Completion, L1State, LlcState};
+
+/// The classification key a probe buckets completions under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// L1 state when the request arrived.
+    pub l1_before: L1State,
+    /// LLC directory state when the request reached it (`None` = L1 hit).
+    pub llc_before: Option<LlcState>,
+    /// Whether the request carried the write-protection bit.
+    pub write_protected: bool,
+}
+
+/// Collects latency histograms keyed by access class.
+///
+/// The paper's Figure 6 plots the CDF of `Load(L1I&L2S)` under MESI
+/// against `Load_WP(L1I&L2S)` under SwiftDir; both are single
+/// [`ClassKey`]s here, extracted with [`LatencyProbe::load_l1i_l2s`].
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_core::LatencyProbe;
+/// let probe = LatencyProbe::new();
+/// assert_eq!(probe.total_samples(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct LatencyProbe {
+    hists: HashMap<ClassKey, Histogram>,
+    cap: usize,
+}
+
+impl LatencyProbe {
+    /// A probe with an exact-bucket range of 4096 cycles (larger latencies
+    /// land in the overflow bucket).
+    pub fn new() -> Self {
+        LatencyProbe {
+            hists: HashMap::new(),
+            cap: 4096,
+        }
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, c: &Completion) {
+        let key = ClassKey {
+            kind: c.class.kind,
+            l1_before: c.class.l1_before,
+            llc_before: c.class.llc_before,
+            write_protected: c.class.write_protected,
+        };
+        self.hists
+            .entry(key)
+            .or_insert_with(|| Histogram::new(self.cap))
+            .record(c.latency().get());
+    }
+
+    /// The histogram for one exact class, if any samples were recorded.
+    pub fn class(&self, key: &ClassKey) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// Merges every class matching `filter` into one histogram.
+    pub fn merged<F: Fn(&ClassKey) -> bool>(&self, filter: F) -> Histogram {
+        let mut out = Histogram::new(self.cap);
+        for (k, h) in &self.hists {
+            if filter(k) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Figure 6's series: loads that found L1 Invalid and the LLC Shared.
+    /// `write_protected` selects `Load_WP` (true) or plain `Load` (false).
+    pub fn load_l1i_l2s(&self, write_protected: bool) -> Histogram {
+        self.merged(|k| {
+            k.kind == AccessKind::Load
+                && k.l1_before == L1State::I
+                && k.llc_before == Some(LlcState::S)
+                && k.write_protected == write_protected
+        })
+    }
+
+    /// All loads that missed the L1 (any LLC state).
+    pub fn l1_miss_loads(&self) -> Histogram {
+        self.merged(|k| k.kind == AccessKind::Load && k.llc_before.is_some())
+    }
+
+    /// Total samples across all classes.
+    pub fn total_samples(&self) -> u64 {
+        self.hists.values().map(Histogram::count).sum()
+    }
+
+    /// Iterates over `(class, histogram)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&ClassKey, &Histogram)> {
+        self.hists.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::Cycle;
+    use swiftdir_coherence::{AccessClass, ServedFrom};
+
+    fn completion(kind: AccessKind, llc: Option<LlcState>, wp: bool, lat: u64) -> Completion {
+        Completion {
+            req: 0,
+            core: 0,
+            issued_at: Cycle(100),
+            done_at: Cycle(100 + lat),
+            class: AccessClass {
+                kind,
+                l1_before: L1State::I,
+                llc_before: llc,
+                write_protected: wp,
+            },
+            served_from: ServedFrom::Llc,
+        }
+    }
+
+    #[test]
+    fn records_and_classifies() {
+        let mut p = LatencyProbe::new();
+        p.record(&completion(AccessKind::Load, Some(LlcState::S), true, 17));
+        p.record(&completion(AccessKind::Load, Some(LlcState::S), true, 17));
+        p.record(&completion(AccessKind::Load, Some(LlcState::S), false, 17));
+        p.record(&completion(AccessKind::Load, Some(LlcState::E), false, 43));
+        assert_eq!(p.total_samples(), 4);
+        let wp = p.load_l1i_l2s(true);
+        assert_eq!(wp.count(), 2);
+        assert_eq!(wp.median(), Some(17));
+        let plain = p.load_l1i_l2s(false);
+        assert_eq!(plain.count(), 1);
+        let misses = p.l1_miss_loads();
+        assert_eq!(misses.count(), 4);
+        assert_eq!(misses.max(), Some(43));
+    }
+
+    #[test]
+    fn merged_filter() {
+        let mut p = LatencyProbe::new();
+        p.record(&completion(AccessKind::Store, Some(LlcState::I), false, 100));
+        let stores = p.merged(|k| k.kind == AccessKind::Store);
+        assert_eq!(stores.count(), 1);
+        let loads = p.merged(|k| k.kind == AccessKind::Load);
+        assert_eq!(loads.count(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract instructions and instruction streams.
+
+use swiftdir_mmu::VirtAddr;
+
+/// One abstract instruction.
+///
+/// Workload generators model real benchmarks as mixes of these three:
+/// memory operations carry virtual addresses (translation happens at the
+/// memory port, where the write-protection bit joins the request), and
+/// `Compute` lumps together the non-memory work between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// A data load from a virtual address.
+    Load(VirtAddr),
+    /// A data store to a virtual address.
+    Store(VirtAddr),
+    /// `n` cycles of non-memory work (counts as one instruction).
+    Compute(u32),
+}
+
+impl Instr {
+    /// A load.
+    pub fn load(va: VirtAddr) -> Instr {
+        Instr::Load(va)
+    }
+
+    /// A store.
+    pub fn store(va: VirtAddr) -> Instr {
+        Instr::Store(va)
+    }
+
+    /// `n` cycles of compute.
+    pub fn compute(n: u32) -> Instr {
+        Instr::Compute(n)
+    }
+
+    /// Whether this is a memory operation.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load(_) | Instr::Store(_))
+    }
+}
+
+/// A pull-based instruction source.
+///
+/// Implemented by [`ProgramStream`] for in-memory programs and by the
+/// workload generators for procedurally generated billion-scale streams
+/// that never materialize in memory.
+pub trait InstrStream {
+    /// The next instruction, or `None` at end of stream.
+    fn next_instr(&mut self) -> Option<Instr>;
+
+    /// A hint of how many instructions remain (`None` if unknown).
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// An in-memory program: a concrete `Vec` of instructions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Wraps an instruction vector.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Self {
+        Program { instrs }
+    }
+
+    /// Appends an instruction (builder style).
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Converts into a stream for a core.
+    pub fn into_stream(self) -> ProgramStream {
+        ProgramStream {
+            instrs: self.instrs,
+            pos: 0,
+        }
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+/// The stream over an in-memory [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramStream {
+    instrs: Vec<Instr>,
+    pos: usize,
+}
+
+impl InstrStream for ProgramStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.instrs.len() - self.pos) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builder_and_stream() {
+        let mut p = Program::new();
+        p.push(Instr::compute(2)).push(Instr::load(VirtAddr(0x40)));
+        assert_eq!(p.len(), 2);
+        let mut s = p.into_stream();
+        assert_eq!(s.remaining_hint(), Some(2));
+        assert_eq!(s.next_instr(), Some(Instr::Compute(2)));
+        assert_eq!(s.next_instr(), Some(Instr::Load(VirtAddr(0x40))));
+        assert_eq!(s.next_instr(), None);
+        assert_eq!(s.next_instr(), None, "stream stays exhausted");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut p: Program = (0..3).map(|_| Instr::compute(1)).collect();
+        p.extend([Instr::store(VirtAddr(8))]);
+        assert_eq!(p.len(), 4);
+        assert!(p.instrs()[3].is_mem());
+        assert!(!p.instrs()[0].is_mem());
+    }
+}

@@ -1,0 +1,437 @@
+//! The out-of-order core (`DerivO3CPU`-like).
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use sim_engine::Cycle;
+
+use crate::inst::{Instr, InstrStream};
+use crate::port::{MemOp, MemPort};
+use crate::{Core, CoreStats, CoreStatus};
+
+/// Out-of-order engine parameters (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct O3Config {
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Load-queue entries (outstanding loads).
+    pub lq: usize,
+    /// Store-queue entries (outstanding stores).
+    pub sq: usize,
+    /// Superscalar issue width (instructions per cycle).
+    pub width: u32,
+    /// Store-drain width: how many store coherence transactions may be
+    /// outstanding at once. Stores commit from the store queue in order
+    /// (TSO), with ownership prefetched at most this deep — the knob that
+    /// makes slow store transactions (S-MESI's Upgrade/ACK) hard to hide.
+    pub sq_drain: usize,
+}
+
+impl O3Config {
+    /// Table V: 192-entry ROB, 32-entry LQ, 32-entry SQ, width 8.
+    pub fn table_v() -> Self {
+        O3Config {
+            rob: 192,
+            lq: 32,
+            sq: 32,
+            width: 8,
+            sq_drain: 8,
+        }
+    }
+}
+
+impl Default for O3Config {
+    fn default() -> Self {
+        Self::table_v()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Completes (is retirable) at the given cycle.
+    Ready(Cycle),
+    /// A load waiting on the memory system.
+    WaitLoad(u64),
+}
+
+/// An out-of-order core: in-order issue into a ROB at up to `width` per
+/// cycle, out-of-order completion, in-order retirement.
+///
+/// The performance-critical modelling choice (it drives the paper's
+/// Figure 10(b)): a **store occupies its store-queue entry from issue until
+/// its coherence transaction completes**. A 1-cycle silent E→M upgrade
+/// releases the entry immediately; S-MESI's 17-cycle Upgrade/ACK round trip
+/// holds it 17× longer, so write-after-read-intensive streams saturate the
+/// 32-entry SQ and throughput collapses by Little's law.
+pub struct OutOfOrderCore {
+    cfg: O3Config,
+    stream: Box<dyn InstrStream>,
+    stashed: Option<Instr>,
+    rob: VecDeque<Slot>,
+    /// Loads issued whose completion has not yet been reported.
+    loads_in_flight: usize,
+    /// Completion times of loads already reported but still in the future
+    /// (their LQ slot frees at that time, not at the report).
+    lq_release: Vec<Cycle>,
+    /// Stores issued to memory whose completion has not yet been reported.
+    stores_in_flight: HashSet<u64>,
+    /// Stores occupying SQ entries but waiting for a drain slot before
+    /// their coherence transaction can start.
+    stores_waiting: VecDeque<swiftdir_mmu::VirtAddr>,
+    /// Future SQ-slot release times.
+    sq_release: Vec<Cycle>,
+    now: Cycle,
+    issued_this_cycle: u32,
+    stats: CoreStats,
+    stream_done: bool,
+}
+
+impl std::fmt::Debug for OutOfOrderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutOfOrderCore")
+            .field("now", &self.now)
+            .field("rob_len", &self.rob.len())
+            .field("loads_in_flight", &self.loads_in_flight)
+            .field("stores_in_flight", &self.stores_in_flight.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl OutOfOrderCore {
+    /// A core with Table V parameters starting `stream` at `start`.
+    pub fn new(stream: impl InstrStream + 'static, start: Cycle) -> Self {
+        Self::with_config(stream, start, O3Config::table_v())
+    }
+
+    /// A core with explicit parameters.
+    pub fn with_config(
+        stream: impl InstrStream + 'static,
+        start: Cycle,
+        cfg: O3Config,
+    ) -> Self {
+        assert!(
+            cfg.rob > 0 && cfg.lq > 0 && cfg.sq > 0 && cfg.width > 0 && cfg.sq_drain > 0
+        );
+        OutOfOrderCore {
+            cfg,
+            stream: Box::new(stream),
+            stashed: None,
+            rob: VecDeque::with_capacity(cfg.rob),
+            loads_in_flight: 0,
+            lq_release: Vec::new(),
+            stores_in_flight: HashSet::new(),
+            stores_waiting: VecDeque::new(),
+            sq_release: Vec::new(),
+            now: start,
+            issued_this_cycle: 0,
+            stats: CoreStats {
+                started_at: start,
+                finished_at: start,
+                ..CoreStats::default()
+            },
+            stream_done: false,
+        }
+    }
+
+    fn peek_instr(&mut self) -> Option<Instr> {
+        if self.stashed.is_none() && !self.stream_done {
+            self.stashed = self.stream.next_instr();
+            if self.stashed.is_none() {
+                self.stream_done = true;
+            }
+        }
+        self.stashed
+    }
+
+    fn retire_ready(&mut self) {
+        while let Some(&Slot::Ready(t)) = self.rob.front() {
+            if t > self.now {
+                break;
+            }
+            self.rob.pop_front();
+            self.stats.instructions += 1;
+            self.stats.finished_at = self.now;
+        }
+    }
+
+    /// Slots of `queue` still busy at the current cycle: unreported
+    /// completions plus reported ones whose release time is in the future.
+    fn busy_slots(&self, in_flight: usize, release: &[Cycle]) -> usize {
+        in_flight + release.iter().filter(|&&t| t > self.now).count()
+    }
+
+    fn next_release(&self, release: &[Cycle]) -> Option<Cycle> {
+        release.iter().copied().filter(|&t| t > self.now).min()
+    }
+
+    /// Earliest known future completion in the ROB.
+    fn earliest_known(&self) -> Option<Cycle> {
+        self.rob
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Ready(t) if *t > self.now => Some(*t),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+impl Core for OutOfOrderCore {
+    fn run(&mut self, port: &mut dyn MemPort) -> CoreStatus {
+        loop {
+            self.retire_ready();
+
+            // Drain the store queue: start transactions for waiting stores
+            // as drain slots free up (in order).
+            while self.stores_in_flight.len() < self.cfg.sq_drain {
+                let Some(va) = self.stores_waiting.pop_front() else {
+                    break;
+                };
+                let token = port.issue(self.now, va, MemOp::Store);
+                self.stores_in_flight.insert(token);
+            }
+
+            // Issue stage.
+            let mut structurally_stalled = false;
+            let mut stall_release: Option<Cycle> = None;
+            while self.issued_this_cycle < self.cfg.width && self.rob.len() < self.cfg.rob {
+                let Some(instr) = self.peek_instr() else {
+                    break;
+                };
+                match instr {
+                    Instr::Compute(n) => {
+                        self.rob
+                            .push_back(Slot::Ready(self.now + Cycle(n.max(1) as u64)));
+                    }
+                    Instr::Load(va) => {
+                        if self.busy_slots(self.loads_in_flight, &self.lq_release) >= self.cfg.lq
+                        {
+                            structurally_stalled = true;
+                            stall_release = self.next_release(&self.lq_release);
+                            break;
+                        }
+                        let token = port.issue(self.now, va, MemOp::Load);
+                        self.rob.push_back(Slot::WaitLoad(token));
+                        self.loads_in_flight += 1;
+                        self.stats.mem_ops += 1;
+                    }
+                    Instr::Store(va) => {
+                        let sq_busy = self.stores_in_flight.len() + self.stores_waiting.len();
+                        if self.busy_slots(sq_busy, &self.sq_release) >= self.cfg.sq {
+                            structurally_stalled = true;
+                            stall_release = self.next_release(&self.sq_release);
+                            break;
+                        }
+                        // The store retires quickly (data waits in the SQ),
+                        // but the SQ entry is held until the coherence
+                        // transaction completes; the transaction itself may
+                        // have to wait for a drain slot.
+                        if self.stores_in_flight.len() < self.cfg.sq_drain {
+                            let token = port.issue(self.now, va, MemOp::Store);
+                            self.stores_in_flight.insert(token);
+                        } else {
+                            self.stores_waiting.push_back(va);
+                        }
+                        self.rob.push_back(Slot::Ready(self.now + Cycle(1)));
+                        self.stats.mem_ops += 1;
+                    }
+                }
+                self.stashed = None;
+                self.issued_this_cycle += 1;
+            }
+
+            self.retire_ready();
+
+            // Completely drained?
+            if self.rob.is_empty() && self.peek_instr().is_none() {
+                self.stats.finished_at = self.now;
+                return CoreStatus::Done;
+            }
+
+            // Choose the next local time step, if any exists.
+            let mut next: Option<Cycle> = self.earliest_known();
+            if let Some(t) = stall_release {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+            let more_work = self.stashed.is_some() || !self.stream_done;
+            let width_limited = self.issued_this_cycle >= self.cfg.width
+                && more_work
+                && self.rob.len() < self.cfg.rob
+                && !structurally_stalled;
+            if width_limited {
+                let step = self.now + Cycle(1);
+                next = Some(next.map_or(step, |t| t.min(step)));
+            }
+            match next {
+                Some(t) => {
+                    self.now = t;
+                    self.issued_this_cycle = 0;
+                    // Bound the release lists: past entries no longer matter.
+                    let now = self.now;
+                    self.lq_release.retain(|&r| r > now);
+                    self.sq_release.retain(|&r| r > now);
+                }
+                None => return CoreStatus::WaitingMem,
+            }
+        }
+    }
+
+    fn on_mem_complete(&mut self, token: u64, at: Cycle) {
+        if self.stores_in_flight.remove(&token) {
+            // The SQ entry stays busy until the coherence transaction's
+            // completion time, which may be in the core's future.
+            if at > self.now {
+                self.sq_release.push(at);
+            }
+            return;
+        }
+        let slot = self
+            .rob
+            .iter_mut()
+            .find(|s| matches!(s, Slot::WaitLoad(t) if *t == token))
+            .expect("completion for an unknown load token");
+        *slot = Slot::Ready(at.max(self.now));
+        self.loads_in_flight -= 1;
+        if at > self.now {
+            self.lq_release.push(at);
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn done(&self) -> bool {
+        self.rob.is_empty() && self.stream_done && self.stashed.is_none()
+    }
+
+    fn stats(&self) -> CoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Program;
+    use crate::port::FixedLatencyPort;
+    use crate::run_single;
+    use crate::simple::InOrderCore;
+    use swiftdir_mmu::VirtAddr;
+
+    fn loads(n: usize) -> Program {
+        (0..n)
+            .map(|i| Instr::load(VirtAddr(i as u64 * 64)))
+            .collect()
+    }
+
+    fn stores(n: usize) -> Program {
+        (0..n)
+            .map(|i| Instr::store(VirtAddr(i as u64 * 64)))
+            .collect()
+    }
+
+    #[test]
+    fn width_limits_compute_throughput() {
+        let prog: Program = (0..800).map(|_| Instr::compute(1)).collect();
+        let mut core = OutOfOrderCore::new(prog.into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(1);
+        run_single(&mut core, &mut port);
+        assert_eq!(core.stats().instructions, 800);
+        // Width 8: at least 100 cycles, but near it.
+        let cycles = core.stats().cycles();
+        assert!((100..=110).contains(&cycles), "cycles = {cycles}");
+        assert!(core.stats().ipc() > 7.0);
+    }
+
+    #[test]
+    fn loads_overlap_up_to_lq() {
+        let mut o3 = OutOfOrderCore::new(loads(128).into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(100);
+        run_single(&mut o3, &mut port);
+        let o3_cycles = o3.stats().cycles();
+
+        let mut inorder = InOrderCore::new(loads(128).into_stream(), Cycle(0));
+        let mut port2 = FixedLatencyPort::new(100);
+        run_single(&mut inorder, &mut port2);
+        let inorder_cycles = inorder.stats().cycles();
+
+        // 128 loads × 100 cycles serial vs ~4 waves of 32.
+        assert_eq!(inorder_cycles, 12_800);
+        assert!(
+            o3_cycles < inorder_cycles / 20,
+            "OoO must overlap loads: {o3_cycles} vs {inorder_cycles}"
+        );
+    }
+
+    #[test]
+    fn store_queue_occupancy_gates_throughput() {
+        // The S-MESI mechanism: slow store completions hold SQ entries.
+        let fast = {
+            let mut core = OutOfOrderCore::new(stores(1024).into_stream(), Cycle(0));
+            let mut port = FixedLatencyPort::new(1);
+            run_single(&mut core, &mut port);
+            core.stats().cycles()
+        };
+        let slow = {
+            let mut core = OutOfOrderCore::new(stores(1024).into_stream(), Cycle(0));
+            let mut port = FixedLatencyPort::new(17);
+            run_single(&mut core, &mut port);
+            core.stats().cycles()
+        };
+        // Fast: width-bound ≈ 1024/8 = 128 cycles.
+        // Slow: SQ-bound ≈ 1024 × 17 / 32 ≈ 544 cycles.
+        assert!(fast < 160, "fast stores should be width-bound: {fast}");
+        assert!(
+            slow > fast * 3,
+            "slow store completion must gate throughput: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn rob_capacity_bounds_run_ahead() {
+        // One very slow load at the head, then compute: the ROB fills and
+        // issue stalls until the load returns.
+        let mut instrs = vec![Instr::load(VirtAddr(0))];
+        instrs.extend((0..400).map(|_| Instr::compute(1)));
+        let mut core = OutOfOrderCore::new(Program::from_instrs(instrs).into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(1000);
+        run_single(&mut core, &mut port);
+        // All 401 instructions retire; the run takes ≥ the load latency but
+        // not much more (compute overlapped under the load).
+        assert_eq!(core.stats().instructions, 401);
+        let cycles = core.stats().cycles();
+        assert!((1000..1100).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn in_order_retirement_counts_all() {
+        let prog = Program::from_instrs(vec![
+            Instr::compute(50),
+            Instr::load(VirtAddr(0)),
+            Instr::compute(1),
+        ]);
+        let mut core = OutOfOrderCore::new(prog.into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(5);
+        run_single(&mut core, &mut port);
+        assert_eq!(core.stats().instructions, 3);
+        assert!(core.done());
+    }
+
+    #[test]
+    fn empty_stream_is_immediately_done() {
+        let mut core = OutOfOrderCore::new(Program::new().into_stream(), Cycle(7));
+        let mut port = FixedLatencyPort::new(1);
+        assert_eq!(core.run(&mut port), CoreStatus::Done);
+        assert!(core.done());
+        assert_eq!(core.stats().instructions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown load token")]
+    fn unknown_completion_panics() {
+        let mut core = OutOfOrderCore::new(Program::new().into_stream(), Cycle(0));
+        core.on_mem_complete(42, Cycle(1));
+    }
+}

@@ -1,0 +1,84 @@
+//! The core ↔ memory-system interface.
+
+use sim_engine::Cycle;
+use swiftdir_mmu::VirtAddr;
+
+/// Load or store, as seen by the memory port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+/// A core-bound memory port.
+///
+/// The system-assembly crate implements this on top of the MMU + coherent
+/// hierarchy: `issue` translates the virtual address (attaching the
+/// write-protection bit) and injects the request; completions flow back to
+/// the core via [`crate::Core::on_mem_complete`].
+pub trait MemPort {
+    /// Issues a memory operation at time `at`; returns an opaque token the
+    /// completion will carry.
+    fn issue(&mut self, at: Cycle, vaddr: VirtAddr, op: MemOp) -> u64;
+}
+
+/// A self-contained test port: every access completes after a fixed
+/// latency. Useful for unit-testing core models without a hierarchy.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyPort {
+    latency: u64,
+    next_token: u64,
+    completions: Vec<(u64, Cycle)>,
+    /// Every issue recorded as `(time, vaddr, op)`.
+    pub issued: Vec<(Cycle, VirtAddr, MemOp)>,
+}
+
+impl FixedLatencyPort {
+    /// A port whose accesses all take `latency` cycles.
+    pub fn new(latency: u64) -> Self {
+        FixedLatencyPort {
+            latency,
+            next_token: 0,
+            completions: Vec::new(),
+            issued: Vec::new(),
+        }
+    }
+}
+
+impl MemPort for FixedLatencyPort {
+    fn issue(&mut self, at: Cycle, vaddr: VirtAddr, op: MemOp) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.completions.push((token, at + Cycle(self.latency)));
+        self.issued.push((at, vaddr, op));
+        token
+    }
+}
+
+impl crate::PortDrain for FixedLatencyPort {
+    fn drain_completions(&mut self) -> Vec<(u64, Cycle)> {
+        // Deliver in completion-time order, like a real memory system.
+        let mut out = std::mem::take(&mut self.completions);
+        out.sort_by_key(|&(token, at)| (at, token));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortDrain;
+
+    #[test]
+    fn fixed_latency_completes_in_order() {
+        let mut p = FixedLatencyPort::new(10);
+        let t0 = p.issue(Cycle(0), VirtAddr(0x0), MemOp::Load);
+        let t1 = p.issue(Cycle(5), VirtAddr(0x40), MemOp::Store);
+        let done = p.drain_completions();
+        assert_eq!(done, vec![(t0, Cycle(10)), (t1, Cycle(15))]);
+        assert!(p.drain_completions().is_empty());
+        assert_eq!(p.issued.len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! The in-order blocking core (`TimingSimpleCPU`).
+
+use sim_engine::Cycle;
+
+use crate::inst::{Instr, InstrStream};
+use crate::port::{MemOp, MemPort};
+use crate::{Core, CoreStats, CoreStatus};
+
+/// An in-order core that executes one instruction at a time and blocks on
+/// every memory access — gem5's `TimingSimpleCPU`, used by the paper's
+/// Figure 10(a) to expose raw protocol latencies.
+pub struct InOrderCore {
+    stream: Box<dyn InstrStream>,
+    now: Cycle,
+    waiting: Option<u64>,
+    stats: CoreStats,
+    finished: bool,
+}
+
+impl std::fmt::Debug for InOrderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InOrderCore")
+            .field("now", &self.now)
+            .field("waiting", &self.waiting)
+            .field("stats", &self.stats)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl InOrderCore {
+    /// A core that starts executing `stream` at `start`.
+    pub fn new(stream: impl InstrStream + 'static, start: Cycle) -> Self {
+        InOrderCore {
+            stream: Box::new(stream),
+            now: start,
+            waiting: None,
+            stats: CoreStats {
+                started_at: start,
+                finished_at: start,
+                ..CoreStats::default()
+            },
+            finished: false,
+        }
+    }
+}
+
+impl Core for InOrderCore {
+    fn run(&mut self, port: &mut dyn MemPort) -> CoreStatus {
+        if self.waiting.is_some() {
+            return CoreStatus::WaitingMem;
+        }
+        loop {
+            match self.stream.next_instr() {
+                None => {
+                    self.finished = true;
+                    self.stats.finished_at = self.now;
+                    return CoreStatus::Done;
+                }
+                Some(Instr::Compute(n)) => {
+                    self.now += Cycle(n.max(1) as u64);
+                    self.stats.instructions += 1;
+                }
+                Some(Instr::Load(va)) => {
+                    let token = port.issue(self.now, va, MemOp::Load);
+                    self.stats.mem_ops += 1;
+                    self.waiting = Some(token);
+                    return CoreStatus::WaitingMem;
+                }
+                Some(Instr::Store(va)) => {
+                    let token = port.issue(self.now, va, MemOp::Store);
+                    self.stats.mem_ops += 1;
+                    self.waiting = Some(token);
+                    return CoreStatus::WaitingMem;
+                }
+            }
+        }
+    }
+
+    fn on_mem_complete(&mut self, token: u64, at: Cycle) {
+        assert_eq!(
+            self.waiting,
+            Some(token),
+            "completion for a token the core is not waiting on"
+        );
+        self.waiting = None;
+        self.now = self.now.max(at);
+        self.stats.instructions += 1; // the blocked load/store retires now
+        self.stats.finished_at = self.now;
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn done(&self) -> bool {
+        self.finished && self.waiting.is_none()
+    }
+
+    fn stats(&self) -> CoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Program;
+    use crate::port::FixedLatencyPort;
+    use crate::run_single;
+    use swiftdir_mmu::VirtAddr;
+
+    #[test]
+    fn pure_compute_runs_without_port_interaction() {
+        let prog = Program::from_instrs(vec![Instr::compute(5), Instr::compute(3)]);
+        let mut core = InOrderCore::new(prog.into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(1);
+        run_single(&mut core, &mut port);
+        assert!(core.done());
+        assert_eq!(core.stats().instructions, 2);
+        assert_eq!(core.stats().cycles(), 8);
+        assert!(port.issued.is_empty());
+    }
+
+    #[test]
+    fn blocks_on_each_memory_access() {
+        let prog = Program::from_instrs(vec![
+            Instr::load(VirtAddr(0x0)),
+            Instr::load(VirtAddr(0x40)),
+        ]);
+        let mut core = InOrderCore::new(prog.into_stream(), Cycle(0));
+        let mut port = FixedLatencyPort::new(20);
+        run_single(&mut core, &mut port);
+        // Strictly serial: 20 + 20.
+        assert_eq!(core.stats().cycles(), 40);
+        assert_eq!(core.stats().mem_ops, 2);
+        assert_eq!(port.issued[1].0, Cycle(20), "second load waits for first");
+    }
+
+    #[test]
+    fn mixed_stream_latency_adds_up() {
+        let prog = Program::from_instrs(vec![
+            Instr::compute(10),
+            Instr::store(VirtAddr(0x80)),
+            Instr::compute(5),
+        ]);
+        let mut core = InOrderCore::new(prog.into_stream(), Cycle(100));
+        let mut port = FixedLatencyPort::new(7);
+        run_single(&mut core, &mut port);
+        assert_eq!(core.stats().started_at, Cycle(100));
+        assert_eq!(core.stats().cycles(), 10 + 7 + 5);
+        assert_eq!(core.stats().instructions, 3);
+    }
+
+    #[test]
+    fn starts_at_given_cycle() {
+        let prog = Program::from_instrs(vec![Instr::load(VirtAddr(0))]);
+        let mut core = InOrderCore::new(prog.into_stream(), Cycle(500));
+        let mut port = FixedLatencyPort::new(3);
+        run_single(&mut core, &mut port);
+        assert_eq!(port.issued[0].0, Cycle(500));
+        assert_eq!(core.now(), Cycle(503));
+    }
+
+    #[test]
+    #[should_panic(expected = "not waiting on")]
+    fn unexpected_completion_panics() {
+        let prog = Program::from_instrs(vec![Instr::compute(1)]);
+        let mut core = InOrderCore::new(prog.into_stream(), Cycle(0));
+        core.on_mem_complete(99, Cycle(1));
+    }
+}

@@ -1,0 +1,188 @@
+//! Simulated time, measured in CPU clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) simulated time, in CPU clock cycles.
+///
+/// The simulated processor runs at 3 GHz (paper Table V), so one cycle is
+/// 1/3 ns; helpers such as [`Cycle::as_nanos_at_ghz`] convert when a
+/// wall-clock figure is reported.
+///
+/// `Cycle` is used both as an absolute timestamp and as a duration; the
+/// arithmetic impls below are the ones meaningful for either reading.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::Cycle;
+/// let start = Cycle(100);
+/// let latency = Cycle(17);
+/// assert_eq!(start + latency, Cycle(117));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    ///
+    /// ```
+    /// # use sim_engine::Cycle;
+    /// assert_eq!(Cycle(42).get(), 42);
+    /// ```
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition; scheduling "never" does not wrap around.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(rhs.0))
+    }
+
+    /// Duration between two timestamps, saturating at zero when `earlier`
+    /// is actually later (useful for defensive stat computation).
+    #[inline]
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Converts a cycle count to nanoseconds at the given clock frequency.
+    ///
+    /// ```
+    /// # use sim_engine::Cycle;
+    /// // 3 GHz: 3 cycles per nanosecond.
+    /// assert_eq!(Cycle(9).as_nanos_at_ghz(3.0), 3.0);
+    /// ```
+    #[inline]
+    pub fn as_nanos_at_ghz(self, ghz: f64) -> f64 {
+        self.0 as f64 / ghz
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`, exactly like
+    /// integer subtraction; use [`Cycle::saturating_since`] when the ordering
+    /// is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(10);
+        let b = Cycle(7);
+        assert_eq!(a + b, Cycle(17));
+        assert_eq!((a + b) - b, a);
+        let mut c = a;
+        c += b;
+        c -= Cycle(2);
+        assert_eq!(c, Cycle(15));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(Cycle::MAX.saturating_add(Cycle(1)), Cycle::MAX);
+        assert_eq!(Cycle(3).saturating_since(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_since(Cycle(3)), Cycle(7));
+    }
+
+    #[test]
+    fn conversion_and_display() {
+        assert_eq!(u64::from(Cycle::from(9u64)), 9);
+        assert_eq!(Cycle(12).to_string(), "12cy");
+        assert_eq!(Cycle(6).as_nanos_at_ghz(3.0), 2.0);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Cycle(3) < Cycle(5));
+        assert!(Cycle::ZERO < Cycle::MAX);
+    }
+}

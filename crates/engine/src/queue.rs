@@ -1,0 +1,212 @@
+//! The discrete-event scheduler queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cycle::Cycle;
+
+/// An event scheduled for a particular cycle.
+///
+/// Ordering is by time first, then by insertion sequence number, so two
+/// events scheduled for the same cycle are delivered in the order they were
+/// scheduled. This tie-break is what makes the whole simulator deterministic.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// The queue is generic over the event payload `E`; the simulator's main
+/// loop pops events in `(time, insertion order)` order and dispatches them
+/// to the owning component.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(10), "late");
+/// q.schedule(Cycle(1), "early");
+/// q.schedule(Cycle(1), "early-but-second");
+///
+/// assert_eq!(q.pop(), Some((Cycle(1), "early")));
+/// assert_eq!(q.pop(), Some((Cycle(1), "early-but-second")));
+/// assert_eq!(q.pop(), Some((Cycle(10), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` for absolute time `at`.
+    ///
+    /// Events scheduled in the past are delivered at the current time
+    /// instead; this keeps component code simple (a zero-latency response
+    /// is just `schedule(now, ..)`).
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule_after(&mut self, delay: Cycle, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the simulation has drained.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Scheduled { time, event, .. } = self.heap.pop()?;
+        debug_assert!(time >= self.now, "event queue time went backwards");
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// Returns the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for stats / fuel limits).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.schedule(Cycle(4), ());
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, Cycle(4));
+        assert_eq!(q.now(), Cycle(4));
+        // Scheduling in the past clamps to `now`.
+        q.schedule(Cycle(1), ());
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, Cycle(4));
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, Cycle(10));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(100), "a");
+        q.pop();
+        q.schedule_after(Cycle(5), "b");
+        assert_eq!(q.pop(), Some((Cycle(105), "b")));
+    }
+
+    #[test]
+    fn len_and_counts() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_count(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(7), ());
+        assert_eq!(q.peek_time(), Some(Cycle(7)));
+        assert_eq!(q.now(), Cycle::ZERO);
+    }
+}

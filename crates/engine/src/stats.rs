@@ -1,0 +1,403 @@
+//! Statistics primitives: counters, histograms, and running summaries.
+//!
+//! The paper's Figure 6 is a latency CDF; [`Histogram::cdf`] regenerates it
+//! directly from simulation samples. IPC, execution-time, and message-count
+//! tables are computed from [`Counter`]s and [`RunningStats`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::Counter;
+/// let mut loads = Counter::default();
+/// loads.inc();
+/// loads.add(2);
+/// assert_eq!(loads.get(), 3);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (one bucket per value up to a
+/// cap, plus an overflow bucket).
+///
+/// Coherence-request latencies are small integers (tens of cycles), so an
+/// exact per-value histogram is cheap and lets us print the precise CDF the
+/// paper plots in Figure 6.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::Histogram;
+/// let mut h = Histogram::new(100);
+/// h.record(17);
+/// h.record(17);
+/// h.record(43);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.median(), Some(17));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with exact buckets for values `0..cap`; larger
+    /// samples land in a single overflow bucket.
+    pub fn new(cap: usize) -> Self {
+        Histogram {
+            buckets: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of samples that exceeded the bucket cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) over the exact buckets, or `None` when
+    /// empty. Overflow samples count as "≥ cap" and are returned as the cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(value as u64);
+            }
+        }
+        Some(self.buckets.len() as u64)
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// The empirical CDF as `(value, cumulative_fraction)` points, one per
+    /// non-empty bucket — exactly the series plotted in the paper's Fig. 6.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::new();
+        if self.count == 0 {
+            return points;
+        }
+        let mut seen = 0u64;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                seen += n;
+                points.push((value as u64, seen as f64 / self.count as f64));
+            }
+        }
+        if self.overflow > 0 {
+            points.push((self.buckets.len() as u64, 1.0));
+        }
+        points
+    }
+
+    /// Merges another histogram's samples into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket caps differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merging histograms with different caps"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Running mean/min/max without storing samples (Welford for variance).
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::RunningStats;
+/// let mut s = RunningStats::default();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance, or `None` with fewer than two samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation, or `None` with fewer than two samples.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new(50);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(20.0));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+        assert_eq!(h.sum(), 60);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(10);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.median(), None);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(5);
+        h.record(100);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), Some(100));
+        let cdf = h.cdf();
+        assert_eq!(cdf, vec![(5, 1.0)]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.0), Some(1));
+        // Value 100 overflows a cap-100 histogram, so the top quantile
+        // reports the cap itself ("≥ cap").
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new(64);
+        let mut rng = crate::DetRng::new(3);
+        for _ in 0..1000 {
+            h.record(rng.below(60));
+        }
+        let cdf = h.cdf();
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(10);
+        let mut b = Histogram::new(10);
+        a.record(1);
+        b.record(3);
+        b.record(20); // overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(20));
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different caps")]
+    fn histogram_merge_cap_mismatch_panics() {
+        let mut a = Histogram::new(10);
+        let b = Histogram::new(20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn running_stats_welford() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.variance(), None);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Bounded event tracing for protocol debugging.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::cycle::Cycle;
+
+/// A bounded ring buffer of timestamped trace records.
+///
+/// Controllers push human-readable records of every message they handle;
+/// when an invariant check fails, the recent protocol history can be dumped
+/// for diagnosis. The buffer is bounded so long simulations don't grow
+/// memory, and tracing can be disabled entirely (the common case) at
+/// negligible cost.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::{Cycle, TraceBuffer};
+/// let mut t = TraceBuffer::new(4);
+/// t.push(Cycle(1), || "L1[0] GETS 0x80".to_string());
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: VecDeque<(Cycle, String)>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl TraceBuffer {
+    /// Creates an enabled trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace; [`TraceBuffer::push`] becomes a no-op.
+    pub fn disabled() -> Self {
+        TraceBuffer {
+            records: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether records are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message. The closure only runs when tracing is enabled, so
+    /// formatting cost is not paid in production runs.
+    pub fn push<F: FnOnce() -> String>(&mut self, at: Cycle, message: F) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back((at, message()));
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &str)> {
+        self.records.iter().map(|(c, s)| (*c, s.as_str()))
+    }
+}
+
+impl fmt::Display for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (cycle, msg) in self.iter() {
+            writeln!(f, "[{cycle}] {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_within_capacity() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.push(Cycle(i), || format!("ev{i}"));
+        }
+        let msgs: Vec<&str> = t.iter().map(|(_, m)| m).collect();
+        assert_eq!(msgs, vec!["ev2", "ev3", "ev4"]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        t.push(Cycle(1), || panic!("must not format when disabled"));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn display_includes_timestamps() {
+        let mut t = TraceBuffer::new(2);
+        t.push(Cycle(7), || "hello".to_string());
+        assert_eq!(t.to_string(), "[7cy] hello\n");
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-bank open-row state.
+
+use sim_engine::Cycle;
+
+/// The row-buffer state of one bank.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum RowState {
+    /// No row open (after precharge or at reset).
+    #[default]
+    Closed,
+    /// A row is latched in the row buffer.
+    Open(u64),
+}
+
+/// One DRAM bank: an open-row latch and a busy-until timestamp.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Bank {
+    row: RowState,
+    ready_at: Cycle,
+}
+
+/// How an access interacted with the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Requested row was already open.
+    Hit,
+    /// Bank was closed; the row had to be activated.
+    Closed,
+    /// A different row was open; precharge then activate.
+    Conflict,
+}
+
+impl Bank {
+    /// A closed, idle bank.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// Current row state.
+    pub fn row(&self) -> RowState {
+        self.row
+    }
+
+    /// Earliest time the bank can accept a new command.
+    pub fn ready_at(&self) -> Cycle {
+        self.ready_at
+    }
+
+    /// Performs an access to `row` arriving at `now`: classifies the
+    /// row-buffer outcome, serializes behind the bank's previous command,
+    /// opens the row, and returns `(outcome, start_time)` where
+    /// `start_time` is when the command actually began (the caller adds the
+    /// outcome's latency and then [`Bank::complete`]s).
+    pub fn begin_access(&mut self, now: Cycle, row: u64) -> (RowOutcome, Cycle) {
+        let outcome = match self.row {
+            RowState::Open(r) if r == row => RowOutcome::Hit,
+            RowState::Open(_) => RowOutcome::Conflict,
+            RowState::Closed => RowOutcome::Closed,
+        };
+        let start = now.max(self.ready_at);
+        self.row = RowState::Open(row);
+        (outcome, start)
+    }
+
+    /// Marks the bank busy until `until` (the completion time of the
+    /// in-flight command).
+    pub fn complete(&mut self, until: Cycle) {
+        self.ready_at = self.ready_at.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        let mut bank = Bank::new();
+        let (o1, _) = bank.begin_access(Cycle(0), 5);
+        assert_eq!(o1, RowOutcome::Closed);
+        let (o2, _) = bank.begin_access(Cycle(10), 5);
+        assert_eq!(o2, RowOutcome::Hit);
+        let (o3, _) = bank.begin_access(Cycle(20), 6);
+        assert_eq!(o3, RowOutcome::Conflict);
+        assert_eq!(bank.row(), RowState::Open(6));
+    }
+
+    #[test]
+    fn serializes_behind_busy_bank() {
+        let mut bank = Bank::new();
+        let (_, s1) = bank.begin_access(Cycle(0), 1);
+        assert_eq!(s1, Cycle(0));
+        bank.complete(Cycle(100));
+        let (_, s2) = bank.begin_access(Cycle(10), 1);
+        assert_eq!(s2, Cycle(100), "second access waits for the first");
+        assert_eq!(bank.ready_at(), Cycle(100));
+    }
+
+    #[test]
+    fn complete_never_moves_ready_backwards() {
+        let mut bank = Bank::new();
+        bank.complete(Cycle(50));
+        bank.complete(Cycle(20));
+        assert_eq!(bank.ready_at(), Cycle(50));
+    }
+}

@@ -1,0 +1,98 @@
+//! DRAM geometry and timing configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM configuration, with timings expressed in **CPU cycles** (3 GHz
+/// core clock) so the memory controller composes directly with the rest of
+/// the simulator.
+///
+/// The defaults reproduce Table V's `DDR3_1600_8x8`: the DRAM command
+/// clock is 800 MHz, so one memory cycle is 3.75 CPU cycles; the 11-cycle
+/// tCAS/tRCD/tRP each round to 41 CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of channels (Table V: 1).
+    pub channels: u32,
+    /// Ranks per channel (Table V: 2).
+    pub ranks: u32,
+    /// Banks per rank (Table V: 8).
+    pub banks_per_rank: u32,
+    /// Row-buffer size in bytes (Table V: 1 KB).
+    pub row_buffer_bytes: u64,
+    /// Column-access latency (tCAS) in CPU cycles.
+    pub t_cas: u64,
+    /// RAS-to-CAS delay (tRCD) in CPU cycles.
+    pub t_rcd: u64,
+    /// Row-precharge time (tRP) in CPU cycles.
+    pub t_rp: u64,
+    /// Data-burst transfer time for one 64-byte block, in CPU cycles
+    /// (BL8 at 1600 MT/s ≈ 5 ns ≈ 15 CPU cycles).
+    pub t_burst: u64,
+}
+
+impl DramConfig {
+    /// The paper's configuration: `DDR3_1600_8x8`, 1 channel, 2 ranks,
+    /// 8 banks/rank, 1 KB row buffers, tCAS-tRCD-tRP = 11-11-11.
+    pub fn ddr3_1600_8x8() -> Self {
+        DramConfig {
+            channels: 1,
+            ranks: 2,
+            banks_per_rank: 8,
+            row_buffer_bytes: 1024,
+            // 11 DRAM cycles x 3.75 CPU cycles, rounded.
+            t_cas: 41,
+            t_rcd: 41,
+            t_rp: 41,
+            t_burst: 15,
+        }
+    }
+
+    /// Total banks across all ranks and channels.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks * self.banks_per_rank
+    }
+
+    /// Latency of a row-buffer hit (CAS + burst).
+    pub fn row_hit_latency(&self) -> u64 {
+        self.t_cas + self.t_burst
+    }
+
+    /// Latency when the bank is idle/closed (RCD + CAS + burst).
+    pub fn row_closed_latency(&self) -> u64 {
+        self.t_rcd + self.t_cas + self.t_burst
+    }
+
+    /// Latency of a row conflict (precharge + RCD + CAS + burst).
+    pub fn row_conflict_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr3_1600_8x8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_defaults() {
+        let cfg = DramConfig::ddr3_1600_8x8();
+        assert_eq!(cfg.channels, 1);
+        assert_eq!(cfg.ranks, 2);
+        assert_eq!(cfg.banks_per_rank, 8);
+        assert_eq!(cfg.row_buffer_bytes, 1024);
+        assert_eq!(cfg.total_banks(), 16);
+        assert_eq!(cfg, DramConfig::default());
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let cfg = DramConfig::default();
+        assert!(cfg.row_hit_latency() < cfg.row_closed_latency());
+        assert!(cfg.row_closed_latency() < cfg.row_conflict_latency());
+    }
+}

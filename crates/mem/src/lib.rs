@@ -1,0 +1,33 @@
+//! DDR3-1600 DRAM timing model (paper Table V: `DDR3_1600_8x8`, one
+//! channel, 2 ranks, 8 banks per rank, 1 KB row buffers,
+//! tCAS-tRCD-tRP = 11-11-11).
+//!
+//! The model is transaction-level: the LLC's coherence controller asks the
+//! [`MemoryController`] when a `Fetch` for a physical address completes and
+//! schedules the corresponding `Mem_Data` response at that time. Banks keep
+//! open-row state, so the three canonical access costs (row hit, closed
+//! row, row conflict) and per-bank serialization all surface in the
+//! latencies the cache hierarchy observes.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::Cycle;
+//! use swiftdir_mem::{DramConfig, MemoryController};
+//!
+//! let mut mc = MemoryController::new(DramConfig::ddr3_1600_8x8());
+//! let first = mc.access(Cycle(0), swiftdir_mmu::PhysAddr(0), false);
+//! let second = mc.access(first, swiftdir_mmu::PhysAddr(64), false);
+//! // The second access hits the open row: strictly cheaper.
+//! assert!(second - first < first - Cycle(0));
+//! ```
+
+pub mod bank;
+pub mod config;
+pub mod controller;
+pub mod mapping;
+
+pub use bank::{Bank, RowState};
+pub use config::DramConfig;
+pub use controller::{MemStats, MemoryController};
+pub use mapping::DramAddress;

@@ -1,0 +1,89 @@
+//! Physical-address → DRAM-coordinate mapping.
+
+use swiftdir_mmu::PhysAddr;
+
+use crate::config::DramConfig;
+
+/// The DRAM coordinates of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramAddress {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Flat bank index across channels and ranks (for bank-state arrays).
+    pub flat_bank: u32,
+}
+
+impl DramAddress {
+    /// Decomposes `addr` using row-interleaved mapping: consecutive
+    /// row-buffer-sized chunks rotate across banks, then ranks, then
+    /// channels, which is the standard layout that spreads streaming
+    /// accesses across banks.
+    pub fn decompose(addr: PhysAddr, cfg: &DramConfig) -> Self {
+        let chunk = addr.0 / cfg.row_buffer_bytes;
+        let bank = (chunk % cfg.banks_per_rank as u64) as u32;
+        let after_bank = chunk / cfg.banks_per_rank as u64;
+        let rank = (after_bank % cfg.ranks as u64) as u32;
+        let after_rank = after_bank / cfg.ranks as u64;
+        let channel = (after_rank % cfg.channels as u64) as u32;
+        let row = after_rank / cfg.channels as u64;
+        let flat_bank =
+            (channel * cfg.ranks + rank) * cfg.banks_per_rank + bank;
+        DramAddress {
+            channel,
+            rank,
+            bank,
+            row,
+            flat_bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_chunk_same_coordinates() {
+        let cfg = DramConfig::default();
+        let a = DramAddress::decompose(PhysAddr(0), &cfg);
+        let b = DramAddress::decompose(PhysAddr(1023), &cfg);
+        assert_eq!(a, b, "addresses within one row-buffer chunk co-locate");
+    }
+
+    #[test]
+    fn adjacent_chunks_hit_different_banks() {
+        let cfg = DramConfig::default();
+        let a = DramAddress::decompose(PhysAddr(0), &cfg);
+        let b = DramAddress::decompose(PhysAddr(1024), &cfg);
+        assert_ne!(a.flat_bank, b.flat_bank);
+    }
+
+    #[test]
+    fn row_advances_after_all_banks() {
+        let cfg = DramConfig::default();
+        let chunks_per_row_step =
+            (cfg.banks_per_rank * cfg.ranks * cfg.channels) as u64;
+        let a = DramAddress::decompose(PhysAddr(0), &cfg);
+        let b = DramAddress::decompose(
+            PhysAddr(chunks_per_row_step * cfg.row_buffer_bytes),
+            &cfg,
+        );
+        assert_eq!(a.flat_bank, b.flat_bank, "wrapped to the same bank");
+        assert_eq!(b.row, a.row + 1, "but one row further");
+    }
+
+    #[test]
+    fn flat_bank_within_bounds() {
+        let cfg = DramConfig::default();
+        for i in 0..1000u64 {
+            let d = DramAddress::decompose(PhysAddr(i * 717), &cfg);
+            assert!(d.flat_bank < cfg.total_banks());
+        }
+    }
+}

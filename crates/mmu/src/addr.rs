@@ -1,0 +1,203 @@
+//! Address newtypes and the 4 KiB paging layout.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Base-2 log of the page size (4 KiB pages, as on x86-64 Linux).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A virtual address within some process address space.
+///
+/// ```
+/// use swiftdir_mmu::{VirtAddr, PAGE_SIZE};
+/// let va = VirtAddr(PAGE_SIZE + 0x10);
+/// assert_eq!(va.vpn().0, 1);
+/// assert_eq!(va.page_offset(), 0x10);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in simulated DRAM.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number (virtual address >> [`PAGE_SHIFT`]).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number (physical address >> [`PAGE_SHIFT`]).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Pfn(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Rounds down to the start of the containing page.
+    #[inline]
+    #[must_use]
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Whether this address is page-aligned.
+    #[inline]
+    pub const fn is_page_aligned(self) -> bool {
+        self.0 & (PAGE_SIZE - 1) == 0
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame containing this address.
+    #[inline]
+    pub const fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the frame.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl Vpn {
+    /// The first address of this page.
+    #[inline]
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `n` pages after this one.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self, n: u64) -> Vpn {
+        Vpn(self.0 + n)
+    }
+}
+
+impl Pfn {
+    /// The first address of this frame.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The physical address `off` bytes into this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `off` exceeds the page size.
+    #[inline]
+    pub fn at_offset(self, off: u64) -> PhysAddr {
+        debug_assert!(off < PAGE_SIZE, "offset {off} outside page");
+        PhysAddr((self.0 << PAGE_SHIFT) | off)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let va = VirtAddr(0x3_1234);
+        assert_eq!(va.vpn(), Vpn(0x31));
+        assert_eq!(va.page_offset(), 0x234);
+        assert_eq!(va.page_base(), VirtAddr(0x3_1000));
+        assert!(!va.is_page_aligned());
+        assert!(va.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn vpn_pfn_roundtrip() {
+        let vpn = Vpn(7);
+        assert_eq!(vpn.base().vpn(), vpn);
+        let pfn = Pfn(9);
+        assert_eq!(pfn.base().pfn(), pfn);
+        assert_eq!(pfn.at_offset(0x40), PhysAddr(9 * PAGE_SIZE + 0x40));
+    }
+
+    #[test]
+    fn offsets_and_addition() {
+        assert_eq!(Vpn(3).offset(2), Vpn(5));
+        assert_eq!(VirtAddr(10) + 6, VirtAddr(16));
+        assert_eq!(PhysAddr(0x1000) + 0x20, PhysAddr(0x1020));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr(0x10).to_string(), "v:0x10");
+        assert_eq!(PhysAddr(0x20).to_string(), "p:0x20");
+        assert_eq!(format!("{:x}", VirtAddr(0xff)), "ff");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside page")]
+    #[cfg(debug_assertions)]
+    fn at_offset_rejects_oversized() {
+        Pfn(1).at_offset(PAGE_SIZE);
+    }
+}

@@ -1,0 +1,247 @@
+//! Kernel same-page merging (KSM), the second producer of exploitable
+//! shared memory (paper §IV-A1).
+//!
+//! The scanner hashes the contents of anonymous writable pages across all
+//! address spaces; identical pages are merged onto one frame and every
+//! mapper's PTE is rewritten by `write_protect_page` — R/W cleared, CoW
+//! set — exactly the Linux behaviour the paper traces.
+
+use std::collections::HashMap;
+
+use crate::addr::{Pfn, Vpn};
+use crate::manager::{MemoryManager, SpaceId};
+
+/// Results of one merge pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KsmStats {
+    /// Pages examined.
+    pub scanned: u64,
+    /// Pages merged away (each merge of k copies counts k-1).
+    pub merged: u64,
+    /// Frames freed by merging.
+    pub frames_freed: u64,
+}
+
+/// The same-page-merging scanner.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_mmu::{Ksm, MapFlags, MemoryManager, Prot};
+///
+/// let mut mm = MemoryManager::new();
+/// let a = mm.create_space();
+/// let b = mm.create_space();
+/// let va_a = mm.mmap(a, 4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE).unwrap();
+/// let va_b = mm.mmap(b, 4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE).unwrap();
+/// mm.write(a, va_a, b"same content").unwrap();
+/// mm.write(b, va_b, b"same content").unwrap();
+///
+/// let stats = Ksm::new().run(&mut mm);
+/// assert_eq!(stats.merged, 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Ksm {
+    _private: (),
+}
+
+impl Ksm {
+    /// A scanner with default settings.
+    pub fn new() -> Self {
+        Ksm::default()
+    }
+
+    /// Scans every anonymous page in every space and merges identical
+    /// contents, returning pass statistics.
+    ///
+    /// Already-merged (KSM) pages participate as merge targets, so repeated
+    /// passes are idempotent and new identical pages join existing merges.
+    pub fn run(&self, mm: &mut MemoryManager) -> KsmStats {
+        let mut stats = KsmStats::default();
+
+        // Gather candidate pages: anonymous mappings (the paper's dedup
+        // sources are process heaps), present, not already sharing via the
+        // page cache.
+        let spaces: Vec<SpaceId> = mm.space_ids().collect();
+        let mut candidates: Vec<(SpaceId, Vpn, Pfn)> = Vec::new();
+        for &sid in &spaces {
+            let space = mm.space(sid);
+            let anon_ranges: Vec<(Vpn, u64)> = space
+                .vmas()
+                .iter()
+                .filter(|v| matches!(v.backing, crate::vma::Backing::Anonymous))
+                .map(|v| (v.start, v.pages))
+                .collect();
+            for (start, pages) in anon_ranges {
+                for i in 0..pages {
+                    let vpn = start.offset(i);
+                    if let Some(pte) = space.page_table().get(vpn) {
+                        candidates.push((sid, vpn, pte.pfn));
+                        stats.scanned += 1;
+                    }
+                }
+            }
+        }
+
+        // Group by content hash, confirm with exact comparison, then merge
+        // each group onto its first frame.
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &(_, _, pfn)) in candidates.iter().enumerate() {
+            by_hash.entry(mm.phys().content_hash(pfn)).or_default().push(i);
+        }
+
+        for group in by_hash.into_values() {
+            if group.len() < 2 {
+                continue;
+            }
+            // Partition the hash bucket into exact-content classes.
+            let mut classes: Vec<(Pfn, Vec<usize>)> = Vec::new();
+            for &idx in &group {
+                let pfn = candidates[idx].2;
+                match classes
+                    .iter_mut()
+                    .find(|(rep, _)| *rep == pfn || mm.phys().pages_equal(*rep, pfn))
+                {
+                    Some((_, members)) => members.push(idx),
+                    None => classes.push((pfn, vec![idx])),
+                }
+            }
+            for (target, members) in classes {
+                if members.len() < 2 {
+                    continue;
+                }
+                for &idx in &members {
+                    let (sid, vpn, pfn) = candidates[idx];
+                    if pfn == target {
+                        // The canonical copy is still write-protected: once a
+                        // page is merged, *all* mappers must CoW on write.
+                        mm.space_mut(sid)
+                            .page_table_mut()
+                            .update(vpn, |pte| pte.write_protect_for_ksm(target));
+                        continue;
+                    }
+                    // Repoint the PTE at the merged frame.
+                    mm.phys_mut().add_ref(target);
+                    let freed = mm.phys_mut().release(pfn) == 0;
+                    mm.space_mut(sid)
+                        .page_table_mut()
+                        .update(vpn, |pte| pte.write_protect_for_ksm(target));
+                    stats.merged += 1;
+                    if freed {
+                        stats.frames_freed += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Access;
+    use crate::prot::{MapFlags, Prot};
+    use crate::PAGE_SIZE;
+
+    fn two_identical_pages() -> (MemoryManager, SpaceId, SpaceId, crate::VirtAddr, crate::VirtAddr)
+    {
+        let mut mm = MemoryManager::new();
+        let a = mm.create_space();
+        let b = mm.create_space();
+        let va_a = mm
+            .mmap(a, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        let va_b = mm
+            .mmap(b, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        mm.write(a, va_a, b"dedup me").unwrap();
+        mm.write(b, va_b, b"dedup me").unwrap();
+        (mm, a, b, va_a, va_b)
+    }
+
+    #[test]
+    fn merges_identical_anonymous_pages() {
+        let (mut mm, a, b, va_a, va_b) = two_identical_pages();
+        let before = mm.phys().live_frames();
+        let stats = Ksm::new().run(&mut mm);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.frames_freed, 1);
+        assert_eq!(mm.phys().live_frames(), before - 1);
+        let ta = mm.translate(a, va_a, Access::Read).unwrap();
+        let tb = mm.translate(b, va_b, Access::Read).unwrap();
+        assert_eq!(ta.paddr, tb.paddr, "both map the merged frame");
+        assert!(ta.write_protected, "merged pages are write-protected");
+        assert!(tb.write_protected);
+    }
+
+    #[test]
+    fn merged_page_write_triggers_cow_and_unmerges() {
+        let (mut mm, a, b, va_a, va_b) = two_identical_pages();
+        Ksm::new().run(&mut mm);
+        mm.write(a, va_a, b"DIVERGE").unwrap();
+        let ta = mm.translate(a, va_a, Access::Read).unwrap();
+        let tb = mm.translate(b, va_b, Access::Read).unwrap();
+        assert_ne!(ta.paddr.pfn(), tb.paddr.pfn(), "writer got a private copy");
+        assert!(!ta.write_protected);
+        assert!(tb.write_protected, "non-writer still on the merged frame");
+        assert_eq!(mm.read(b, va_b, 8).unwrap(), b"dedup me");
+    }
+
+    #[test]
+    fn different_content_not_merged() {
+        let mut mm = MemoryManager::new();
+        let a = mm.create_space();
+        let va1 = mm
+            .mmap(a, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        let va2 = mm
+            .mmap(a, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        mm.write(a, va1, b"one").unwrap();
+        mm.write(a, va2, b"two").unwrap();
+        let stats = Ksm::new().run(&mut mm);
+        assert_eq!(stats.merged, 0);
+    }
+
+    #[test]
+    fn three_way_merge_counts() {
+        let mut mm = MemoryManager::new();
+        let mut addrs = Vec::new();
+        for _ in 0..3 {
+            let s = mm.create_space();
+            let va = mm
+                .mmap(s, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+                .unwrap();
+            mm.write(s, va, b"triple").unwrap();
+            addrs.push((s, va));
+        }
+        let stats = Ksm::new().run(&mut mm);
+        assert_eq!(stats.merged, 2, "three copies merge into one: two freed");
+        let frames: Vec<_> = addrs
+            .iter()
+            .map(|&(s, va)| mm.translate(s, va, Access::Read).unwrap().paddr.pfn())
+            .collect();
+        assert_eq!(frames[0], frames[1]);
+        assert_eq!(frames[1], frames[2]);
+    }
+
+    #[test]
+    fn rerun_is_idempotent() {
+        let (mut mm, ..) = two_identical_pages();
+        let first = Ksm::new().run(&mut mm);
+        assert_eq!(first.merged, 1);
+        let second = Ksm::new().run(&mut mm);
+        assert_eq!(second.merged, 0, "already merged; nothing to do");
+    }
+
+    #[test]
+    fn untouched_pages_are_not_scanned() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        mm.mmap(s, PAGE_SIZE * 8, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        let stats = Ksm::new().run(&mut mm);
+        assert_eq!(stats.scanned, 0, "never-faulted pages have no frames");
+    }
+}

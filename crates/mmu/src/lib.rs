@@ -1,0 +1,66 @@
+//! Memory-management substrate for the SwiftDir reproduction.
+//!
+//! SwiftDir (MICRO 2022, §IV-A) identifies *exploitable shared data* as
+//! **write-protected** data: pages whose page-table-entry R/W field is 0.
+//! On Linux those are exactly
+//!
+//! 1. shared-library mappings — `mmap` with `PROT_READ` (text, rodata) or
+//!    with `PROT_WRITE | MAP_PRIVATE` (data segment, copy-on-write), and
+//! 2. pages merged by kernel same-page merging (KSM), which
+//!    `write_protect_page`s the merged frame.
+//!
+//! This crate reproduces that whole mechanism functionally:
+//!
+//! * [`addr`] — virtual/physical address newtypes and 4 KiB paging layout.
+//! * [`prot`] — `PROT_*` and `MAP_*` equivalents ([`Prot`], [`MapFlags`]).
+//! * [`pte`] — page-table entries with the R/W bit SwiftDir hitch-hikes.
+//! * [`page_table`] — a 4-level radix page table (x86-64 shaped).
+//! * [`phys`] — physical frames with reference counts and page contents
+//!   (contents are what KSM hashes and merges).
+//! * [`vma`] / [`space`] — virtual memory areas and per-process address
+//!   spaces with demand paging.
+//! * [`manager`] — the [`MemoryManager`]: `mmap`, page-fault handling
+//!   (demand paging and copy-on-write), the shared page cache that makes
+//!   library mappings share frames across processes, and translation.
+//! * [`tlb`] — 64-entry fully-associative TLBs (paper Table V) that cache
+//!   the translation *and* the write-protection bit.
+//! * [`ksm`] — the same-page-merging scanner.
+//! * [`shlib`] — shared-library images and the loader that maps their
+//!   segments with the permissions `strace` reveals (paper §IV-A1).
+//!
+//! # Example: the WP bit reaches the translation
+//!
+//! ```
+//! use swiftdir_mmu::{Access, MapFlags, MemoryManager, Prot};
+//!
+//! let mut mm = MemoryManager::new();
+//! let space = mm.create_space();
+//! // A read-only private mapping, like a shared library's text segment.
+//! let va = mm.mmap(space, 4096, Prot::READ, MapFlags::PRIVATE).unwrap();
+//! let t = mm.translate(space, va, Access::Read).unwrap();
+//! assert!(t.write_protected, "read-only data must be write-protected");
+//! ```
+
+pub mod addr;
+pub mod ksm;
+pub mod manager;
+pub mod page_table;
+pub mod phys;
+pub mod prot;
+pub mod pte;
+pub mod shlib;
+pub mod space;
+pub mod tlb;
+pub mod vma;
+
+pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use ksm::{Ksm, KsmStats};
+pub use manager::{Access, FaultKind, MemoryManager, SpaceId, TranslateError, Translation};
+pub use page_table::{PageTable, WalkResult, PT_LEVELS};
+pub use phys::PhysMemory;
+pub use prot::{MapFlags, Prot};
+pub use pte::Pte;
+pub use shlib::{load_library, LibraryImage, LoadedLibrary, Segment, SegmentKind};
+pub use space::{AddressSpace, MapError};
+pub use tlb::{Tlb, TlbEntry, TlbStats};
+pub use vma::{Backing, Vma};

@@ -1,0 +1,631 @@
+//! The memory manager: `mmap`, demand paging, copy-on-write, the shared
+//! page cache, and address translation carrying the write-protection bit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::addr::{Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
+use crate::page_table::PT_LEVELS;
+use crate::phys::PhysMemory;
+use crate::prot::{MapFlags, Prot};
+use crate::pte::Pte;
+use crate::space::{AddressSpace, MapError};
+use crate::vma::{Backing, Vma};
+
+/// Handle to an address space created by [`MemoryManager::create_space`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpaceId(pub u32);
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// A completed translation: what the MMU hands the cache hierarchy.
+///
+/// Besides the physical address, SwiftDir transmits the PTE's R/W bit —
+/// [`Translation::write_protected`] — which the L1 controller turns into a
+/// `GETS_WP` coherence request (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The translated physical address.
+    pub paddr: PhysAddr,
+    /// The PTE R/W bit, inverted: true when the page is write-protected.
+    pub write_protected: bool,
+    /// Page-walk levels touched (0 when served from software state without
+    /// a walk; callers model TLB hits separately via [`crate::Tlb`]).
+    pub walk_levels: u32,
+    /// Faults taken while resolving this access (demand paging, CoW).
+    pub faults: u32,
+}
+
+/// Why a translation could not be completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No VMA covers the address (SIGSEGV).
+    Unmapped,
+    /// The VMA forbids this access and no CoW applies (SIGSEGV).
+    Protection,
+}
+
+/// Error type for [`MemoryManager::translate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateError {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// The faulting address.
+    pub addr: VirtAddr,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            FaultKind::Unmapped => "unmapped address",
+            FaultKind::Protection => "protection violation",
+        };
+        write!(f, "{what} at {}", self.addr)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Central memory-management state shared by all cores: physical memory,
+/// per-process address spaces, the file registry, and the page cache.
+///
+/// # Example: copy-on-write leaves write-protection behind
+///
+/// ```
+/// use swiftdir_mmu::{Access, MapFlags, MemoryManager, Prot};
+///
+/// let mut mm = MemoryManager::new();
+/// let file = mm.register_file("libdemo.so", vec![7u8; 4096].into());
+/// let s = mm.create_space();
+/// let va = mm
+///     .mmap_file(s, file, 0, 4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+///     .unwrap();
+///
+/// // The first read faults the shared page-cache frame in, write-protected.
+/// let read = mm.translate(s, va, Access::Read).unwrap();
+/// assert!(read.write_protected);
+///
+/// // A write triggers copy-on-write: new frame, and now writable.
+/// let write = mm.translate(s, va, Access::Write).unwrap();
+/// assert!(!write.write_protected);
+/// assert_ne!(read.paddr.pfn(), write.paddr.pfn());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryManager {
+    phys: PhysMemory,
+    spaces: Vec<AddressSpace>,
+    files: Vec<FileImage>,
+    /// (file, page offset) → page-cache frame, shared across processes.
+    page_cache: HashMap<(u32, u64), Pfn>,
+    stats: MmStats,
+}
+
+#[derive(Debug)]
+struct FileImage {
+    name: String,
+    data: Bytes,
+}
+
+/// Counters the manager accumulates across its lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MmStats {
+    /// Demand-paging (minor/major) faults handled.
+    pub demand_faults: u64,
+    /// Copy-on-write faults handled.
+    pub cow_faults: u64,
+    /// Page-cache hits (a second process mapping an already-resident file page).
+    pub page_cache_hits: u64,
+}
+
+impl MemoryManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        MemoryManager::default()
+    }
+
+    /// Creates a new, empty address space.
+    pub fn create_space(&mut self) -> SpaceId {
+        let id = SpaceId(self.spaces.len() as u32);
+        self.spaces.push(AddressSpace::new());
+        id
+    }
+
+    /// Registers a file image (e.g. a shared-library ELF) and returns its
+    /// handle for [`MemoryManager::mmap_file`].
+    pub fn register_file(&mut self, name: &str, data: Bytes) -> u32 {
+        let id = self.files.len() as u32;
+        self.files.push(FileImage {
+            name: name.to_string(),
+            data,
+        });
+        id
+    }
+
+    /// The registered name of file `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`MemoryManager::register_file`].
+    pub fn file_name(&self, id: u32) -> &str {
+        &self.files[id as usize].name
+    }
+
+    /// Anonymous `mmap`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the address-space allocator.
+    pub fn mmap(
+        &mut self,
+        space: SpaceId,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+    ) -> Result<VirtAddr, MapError> {
+        self.space_mut(space).map(len, prot, flags, Backing::Anonymous)
+    }
+
+    /// File-backed `mmap` of `len` bytes starting `offset_pages` pages into
+    /// the registered file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the address-space allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is not a registered handle.
+    pub fn mmap_file(
+        &mut self,
+        space: SpaceId,
+        file: u32,
+        offset_pages: u64,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+    ) -> Result<VirtAddr, MapError> {
+        assert!((file as usize) < self.files.len(), "unknown file {file}");
+        self.space_mut(space)
+            .map(len, prot, flags, Backing::File { file, offset_pages })
+    }
+
+    /// Removes the mapping containing `va`, releasing frames. Returns true
+    /// if a mapping was removed.
+    pub fn munmap(&mut self, space: SpaceId, va: VirtAddr) -> bool {
+        match self.space_mut(space).unmap(va.vpn()) {
+            Some((_vma, freed)) => {
+                for (_vpn, pte) in freed {
+                    self.phys.release(pte.pfn);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Translates `va` for `access`, handling demand-paging and CoW faults
+    /// inline (the simulator's equivalent of fault-and-retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslateError`] for unmapped addresses or protection
+    /// violations (including writes to read-only non-CoW mappings).
+    pub fn translate(
+        &mut self,
+        space: SpaceId,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<Translation, TranslateError> {
+        let vpn = va.vpn();
+        let mut faults = 0;
+        let mut walk_levels;
+
+        // Look up the VMA and check nominal permission first; a protection
+        // violation never reaches the fault handlers.
+        let vma = *self
+            .space(space)
+            .vma_for(vpn)
+            .ok_or(TranslateError {
+                kind: FaultKind::Unmapped,
+                addr: va,
+            })?;
+        let permitted = match access {
+            Access::Read => vma.prot.readable(),
+            Access::Write => vma.prot.writable(),
+            Access::Fetch => vma.prot.executable(),
+        };
+        if !permitted {
+            return Err(TranslateError {
+                kind: FaultKind::Protection,
+                addr: va,
+            });
+        }
+
+        // Hardware walk.
+        let walk = self.space(space).page_table().walk(vpn);
+        walk_levels = walk.levels_touched;
+        let mut pte = walk.pte;
+
+        // Demand-paging fault: no frame yet.
+        if !pte.present {
+            self.demand_fault(space, &vma, vpn);
+            faults += 1;
+            self.stats.demand_faults += 1;
+            let rewalk = self.space(space).page_table().walk(vpn);
+            walk_levels += rewalk.levels_touched;
+            pte = rewalk.pte;
+            debug_assert!(pte.present, "demand fault must install a PTE");
+        }
+
+        // Copy-on-write fault: write to a WP page whose VMA permits writes.
+        if access == Access::Write && !pte.writable {
+            if pte.cow && vma.cow_on_write() {
+                self.cow_fault(space, vpn, pte);
+                faults += 1;
+                self.stats.cow_faults += 1;
+                let rewalk = self.space(space).page_table().walk(vpn);
+                walk_levels += rewalk.levels_touched;
+                pte = rewalk.pte;
+                debug_assert!(pte.writable, "CoW fault must make the page writable");
+            } else {
+                return Err(TranslateError {
+                    kind: FaultKind::Protection,
+                    addr: va,
+                });
+            }
+        }
+
+        // Update accessed/dirty bits like a hardware walker.
+        let is_write = access == Access::Write;
+        self.space_mut(space).page_table_mut().update(vpn, |p| {
+            p.accessed = true;
+            if is_write {
+                p.dirty = true;
+            }
+        });
+
+        Ok(Translation {
+            paddr: pte.pfn.at_offset(va.page_offset()),
+            write_protected: pte.write_protected(),
+            walk_levels,
+            faults,
+        })
+    }
+
+    /// Functional (untimed) memory read through the address space.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`MemoryManager::translate`] with `Access::Read`.
+    pub fn read(
+        &mut self,
+        space: SpaceId,
+        va: VirtAddr,
+        len: usize,
+    ) -> Result<Vec<u8>, TranslateError> {
+        assert!(
+            va.page_offset() + len as u64 <= PAGE_SIZE,
+            "read crosses a page boundary"
+        );
+        let t = self.translate(space, va, Access::Read)?;
+        Ok(self
+            .phys
+            .read_bytes(t.paddr.pfn(), t.paddr.page_offset() as usize, len))
+    }
+
+    /// Functional (untimed) memory write through the address space,
+    /// triggering CoW exactly like a timed store would.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`MemoryManager::translate`] with `Access::Write`.
+    pub fn write(
+        &mut self,
+        space: SpaceId,
+        va: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), TranslateError> {
+        assert!(
+            va.page_offset() + data.len() as u64 <= PAGE_SIZE,
+            "write crosses a page boundary"
+        );
+        let t = self.translate(space, va, Access::Write)?;
+        self.phys
+            .write_bytes(t.paddr.pfn(), t.paddr.page_offset() as usize, data);
+        Ok(())
+    }
+
+    /// The physical memory (for KSM and content checks).
+    pub fn phys(&self) -> &PhysMemory {
+        &self.phys
+    }
+
+    /// The physical memory, mutable.
+    pub fn phys_mut(&mut self) -> &mut PhysMemory {
+        &mut self.phys
+    }
+
+    /// The address space for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`MemoryManager::create_space`].
+    pub fn space(&self, id: SpaceId) -> &AddressSpace {
+        &self.spaces[id.0 as usize]
+    }
+
+    /// The address space for `id`, mutable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`MemoryManager::create_space`].
+    pub fn space_mut(&mut self, id: SpaceId) -> &mut AddressSpace {
+        &mut self.spaces[id.0 as usize]
+    }
+
+    /// Handles of all live spaces.
+    pub fn space_ids(&self) -> impl Iterator<Item = SpaceId> {
+        (0..self.spaces.len() as u32).map(SpaceId)
+    }
+
+    /// Accumulated fault/page-cache statistics.
+    pub fn stats(&self) -> MmStats {
+        self.stats
+    }
+
+    /// Estimated page-walk latency in cycles for `levels` radix levels, at
+    /// `per_level` cycles each — a helper for timing models.
+    pub fn walk_latency_cycles(levels: u32, per_level: u64) -> u64 {
+        levels.min(PT_LEVELS) as u64 * per_level
+    }
+
+    // --- fault handlers -------------------------------------------------
+
+    /// Demand-paging: allocate (or page-cache-share) a frame and `mk_pte`.
+    fn demand_fault(&mut self, space: SpaceId, vma: &Vma, vpn: crate::Vpn) {
+        let writable = vma.pte_writable();
+        let executable = vma.prot.executable();
+        let pte = match vma.backing {
+            Backing::Anonymous => {
+                let pfn = self.phys.alloc();
+                Pte::leaf(pfn, writable, executable)
+            }
+            Backing::File { file, offset_pages } => {
+                let page_in_file = offset_pages + (vpn.0 - vma.start.0);
+                let pfn = self.page_cache_frame(file, page_in_file);
+                let mut pte = Pte::leaf(pfn, writable, executable);
+                if vma.cow_on_write() && !writable {
+                    pte = pte.with_cow();
+                }
+                pte
+            }
+        };
+        self.space_mut(space).page_table_mut().map(vpn, pte);
+    }
+
+    /// Copy-on-write: duplicate the frame privately and make it writable.
+    fn cow_fault(&mut self, space: SpaceId, vpn: crate::Vpn, old: Pte) {
+        let new_pfn = self.phys.alloc();
+        self.phys.copy_page(old.pfn, new_pfn);
+        self.phys.release(old.pfn);
+        let executable = old.executable;
+        self.space_mut(space)
+            .page_table_mut()
+            .map(vpn, Pte::leaf(new_pfn, true, executable));
+    }
+
+    /// Returns the page-cache frame for `(file, page)`, reading it in on
+    /// first use, and bumps its refcount for the new mapping.
+    fn page_cache_frame(&mut self, file: u32, page: u64) -> Pfn {
+        if let Some(&pfn) = self.page_cache.get(&(file, page)) {
+            self.phys.add_ref(pfn);
+            self.stats.page_cache_hits += 1;
+            return pfn;
+        }
+        let pfn = self.phys.alloc();
+        // "Read" the file contents into the frame.
+        let data = &self.files[file as usize].data;
+        let start = (page * PAGE_SIZE) as usize;
+        if start < data.len() {
+            let end = (start + PAGE_SIZE as usize).min(data.len());
+            let chunk = data.slice(start..end);
+            self.phys.write_bytes(pfn, 0, &chunk);
+        }
+        // The cache itself holds one reference, the new mapping another.
+        self.phys.add_ref(pfn);
+        self.page_cache.insert((file, page), pfn);
+        pfn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager_with_lib() -> (MemoryManager, u32) {
+        let mut mm = MemoryManager::new();
+        let mut image = vec![0u8; 3 * PAGE_SIZE as usize];
+        image[0] = 0xAA; // page 0: "text"
+        image[PAGE_SIZE as usize] = 0xBB; // page 1: "rodata"
+        image[2 * PAGE_SIZE as usize] = 0xCC; // page 2: "data"
+        let file = mm.register_file("libtest.so", image.into());
+        (mm, file)
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let err = mm.translate(s, VirtAddr(0x1000), Access::Read).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+    }
+
+    #[test]
+    fn anonymous_demand_paging() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let va = mm
+            .mmap(s, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        let t = mm.translate(s, va, Access::Read).unwrap();
+        assert_eq!(t.faults, 1, "first touch demand-faults");
+        assert!(!t.write_protected, "heap pages are not WP");
+        let t2 = mm.translate(s, va, Access::Read).unwrap();
+        assert_eq!(t2.faults, 0, "second touch is resident");
+        assert_eq!(t.paddr, t2.paddr);
+    }
+
+    #[test]
+    fn readonly_mapping_is_write_protected_and_rejects_writes() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let va = mm.mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE).unwrap();
+        let t = mm.translate(s, va, Access::Read).unwrap();
+        assert!(t.write_protected);
+        let err = mm.translate(s, va, Access::Write).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Protection);
+    }
+
+    #[test]
+    fn two_processes_share_library_frames() {
+        let (mut mm, file) = manager_with_lib();
+        let p1 = mm.create_space();
+        let p2 = mm.create_space();
+        let va1 = mm
+            .mmap_file(p1, file, 0, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
+        let va2 = mm
+            .mmap_file(p2, file, 0, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
+        let t1 = mm.translate(p1, va1, Access::Read).unwrap();
+        let t2 = mm.translate(p2, va2, Access::Read).unwrap();
+        assert_eq!(
+            t1.paddr, t2.paddr,
+            "page cache must give both processes the same frame"
+        );
+        assert!(t1.write_protected && t2.write_protected);
+        assert_eq!(mm.stats().page_cache_hits, 1);
+    }
+
+    #[test]
+    fn file_content_visible_through_mapping() {
+        let (mut mm, file) = manager_with_lib();
+        let s = mm.create_space();
+        let va = mm
+            .mmap_file(s, file, 1, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
+        let bytes = mm.read(s, va, 1).unwrap();
+        assert_eq!(bytes, vec![0xBB], "offset_pages=1 maps the second file page");
+    }
+
+    #[test]
+    fn private_writable_file_mapping_cows_on_write() {
+        let (mut mm, file) = manager_with_lib();
+        let p1 = mm.create_space();
+        let p2 = mm.create_space();
+        let va1 = mm
+            .mmap_file(p1, file, 2, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        let va2 = mm
+            .mmap_file(p2, file, 2, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+
+        // Both initially share the WP page-cache frame.
+        let r1 = mm.translate(p1, va1, Access::Read).unwrap();
+        let r2 = mm.translate(p2, va2, Access::Read).unwrap();
+        assert_eq!(r1.paddr, r2.paddr);
+        assert!(r1.write_protected);
+
+        // P1 writes: gets a private copy with the original content.
+        mm.write(p1, va1, b"!").unwrap();
+        let w1 = mm.translate(p1, va1, Access::Read).unwrap();
+        assert_ne!(w1.paddr.pfn(), r2.paddr.pfn());
+        assert!(!w1.write_protected);
+        assert_eq!(mm.read(p1, va1, 1).unwrap(), b"!");
+
+        // P2 still sees the pristine shared frame.
+        assert_eq!(mm.read(p2, va2, 1).unwrap(), vec![0xCC]);
+        assert_eq!(mm.stats().cow_faults, 1);
+    }
+
+    #[test]
+    fn shared_writable_mapping_writes_through() {
+        let (mut mm, file) = manager_with_lib();
+        let p1 = mm.create_space();
+        let p2 = mm.create_space();
+        let va1 = mm
+            .mmap_file(p1, file, 0, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::SHARED)
+            .unwrap();
+        let va2 = mm
+            .mmap_file(p2, file, 0, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::SHARED)
+            .unwrap();
+        mm.write(p1, va1, b"Z").unwrap();
+        assert_eq!(mm.read(p2, va2, 1).unwrap(), b"Z");
+        assert_eq!(mm.stats().cow_faults, 0);
+        let t = mm.translate(p1, va1, Access::Read).unwrap();
+        assert!(!t.write_protected, "MAP_SHARED writable is not WP");
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let rx = mm
+            .mmap(s, PAGE_SIZE, Prot::READ | Prot::EXEC, MapFlags::PRIVATE)
+            .unwrap();
+        assert!(mm.translate(s, rx, Access::Fetch).is_ok());
+        let ro = mm.mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE).unwrap();
+        let err = mm.translate(s, ro, Access::Fetch).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Protection);
+    }
+
+    #[test]
+    fn munmap_releases_frames() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let va = mm
+            .mmap(s, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        mm.translate(s, va, Access::Read).unwrap();
+        let live_before = mm.phys().live_frames();
+        assert!(mm.munmap(s, va));
+        assert_eq!(mm.phys().live_frames(), live_before - 1);
+        assert!(!mm.munmap(s, va), "second munmap finds nothing");
+        assert_eq!(
+            mm.translate(s, va, Access::Read).unwrap_err().kind,
+            FaultKind::Unmapped
+        );
+    }
+
+    #[test]
+    fn accessed_and_dirty_bits_tracked() {
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let va = mm
+            .mmap(s, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .unwrap();
+        mm.translate(s, va, Access::Read).unwrap();
+        let pte = mm.space(s).page_table().get(va.vpn()).unwrap();
+        assert!(pte.accessed && !pte.dirty);
+        mm.translate(s, va, Access::Write).unwrap();
+        let pte = mm.space(s).page_table().get(va.vpn()).unwrap();
+        assert!(pte.dirty);
+    }
+
+    #[test]
+    fn walk_latency_helper() {
+        assert_eq!(MemoryManager::walk_latency_cycles(4, 10), 40);
+        assert_eq!(MemoryManager::walk_latency_cycles(99, 10), 40, "clamped");
+    }
+}

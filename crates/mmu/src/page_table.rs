@@ -1,0 +1,247 @@
+//! A 4-level radix page table, x86-64 shaped (9 bits per level).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Vpn;
+use crate::pte::Pte;
+
+/// Number of radix levels walked on a TLB miss (PML4 → PDPT → PD → PT).
+pub const PT_LEVELS: u32 = 4;
+
+/// Bits of virtual page number consumed per level.
+const LEVEL_BITS: u32 = 9;
+
+/// The result of a page-table walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkResult {
+    /// The leaf entry found (absent if any level was missing).
+    pub pte: Pte,
+    /// How many levels were actually touched before the walk resolved or
+    /// failed — the number of memory accesses a hardware walker would make.
+    pub levels_touched: u32,
+}
+
+/// A 4-level page table mapping [`Vpn`] → [`Pte`].
+///
+/// Interior nodes are sparse hash tables keyed by the partial index, which
+/// keeps the structure honest about radix levels (the walk reports how many
+/// levels it touched, which the timing model charges for) without allocating
+/// 512-entry arrays for mostly-empty tables.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_mmu::{PageTable, Pte, Pfn, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vpn(42), Pte::leaf(Pfn(7), false, false));
+/// let walk = pt.walk(Vpn(42));
+/// assert!(walk.pte.present);
+/// assert_eq!(walk.pte.pfn, Pfn(7));
+/// assert_eq!(walk.levels_touched, 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    root: Node,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    children: HashMap<u16, Node>,
+    leaves: HashMap<u16, Pte>,
+}
+
+fn level_index(vpn: Vpn, level: u32) -> u16 {
+    // level 0 is the root (highest bits), level 3 holds leaves.
+    let shift = LEVEL_BITS * (PT_LEVELS - 1 - level);
+    ((vpn.0 >> shift) & ((1 << LEVEL_BITS) - 1)) as u16
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Installs (or replaces) the leaf entry for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) {
+        let mut node = &mut self.root;
+        for level in 0..PT_LEVELS - 1 {
+            node = node.children.entry(level_index(vpn, level)).or_default();
+        }
+        node.leaves.insert(level_index(vpn, PT_LEVELS - 1), pte);
+    }
+
+    /// Removes the leaf entry for `vpn`, returning it if present.
+    ///
+    /// Empty interior nodes are left in place; they model page-table pages
+    /// that Linux also does not eagerly free.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let mut node = &mut self.root;
+        for level in 0..PT_LEVELS - 1 {
+            node = node.children.get_mut(&level_index(vpn, level))?;
+        }
+        node.leaves.remove(&level_index(vpn, PT_LEVELS - 1))
+    }
+
+    /// Hardware page walk: descends the radix levels and reports both the
+    /// leaf (or an absent PTE) and how many levels were touched.
+    pub fn walk(&self, vpn: Vpn) -> WalkResult {
+        let mut node = &self.root;
+        let mut levels = 0;
+        for level in 0..PT_LEVELS - 1 {
+            levels += 1;
+            match node.children.get(&level_index(vpn, level)) {
+                Some(child) => node = child,
+                None => {
+                    return WalkResult {
+                        pte: Pte::absent(),
+                        levels_touched: levels,
+                    }
+                }
+            }
+        }
+        levels += 1;
+        let pte = node
+            .leaves
+            .get(&level_index(vpn, PT_LEVELS - 1))
+            .copied()
+            .unwrap_or_else(Pte::absent);
+        WalkResult {
+            pte,
+            levels_touched: levels,
+        }
+    }
+
+    /// Returns the leaf entry for `vpn` if one is present.
+    pub fn get(&self, vpn: Vpn) -> Option<Pte> {
+        let r = self.walk(vpn);
+        r.pte.present.then_some(r.pte)
+    }
+
+    /// Mutates the leaf entry for `vpn` in place via `f`; returns whether an
+    /// entry was present.
+    pub fn update<F: FnOnce(&mut Pte)>(&mut self, vpn: Vpn, f: F) -> bool {
+        let mut node = &mut self.root;
+        for level in 0..PT_LEVELS - 1 {
+            match node.children.get_mut(&level_index(vpn, level)) {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        match node.leaves.get_mut(&level_index(vpn, PT_LEVELS - 1)) {
+            Some(pte) => {
+                f(pte);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all present mappings (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        let mut out = Vec::new();
+        collect(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    /// Number of present leaf entries.
+    pub fn mapped_pages(&self) -> usize {
+        self.iter().count()
+    }
+}
+
+fn collect(node: &Node, level: u32, prefix: u64, out: &mut Vec<(Vpn, Pte)>) {
+    if level == PT_LEVELS - 1 {
+        for (&idx, &pte) in &node.leaves {
+            if pte.present {
+                out.push((Vpn(prefix << LEVEL_BITS | idx as u64), pte));
+            }
+        }
+        return;
+    }
+    for (&idx, child) in &node.children {
+        collect(child, level + 1, prefix << LEVEL_BITS | idx as u64, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+
+    #[test]
+    fn map_walk_roundtrip() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0x12345), Pte::leaf(Pfn(99), true, false));
+        let walk = pt.walk(Vpn(0x12345));
+        assert!(walk.pte.present);
+        assert_eq!(walk.pte.pfn, Pfn(99));
+        assert_eq!(walk.levels_touched, PT_LEVELS);
+    }
+
+    #[test]
+    fn missing_high_level_short_circuits() {
+        let pt = PageTable::new();
+        let walk = pt.walk(Vpn(5));
+        assert!(!walk.pte.present);
+        assert_eq!(walk.levels_touched, 1, "empty root stops the walk early");
+    }
+
+    #[test]
+    fn neighbours_in_same_leaf_table() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(100), Pte::leaf(Pfn(1), true, false));
+        // A neighbouring page shares all interior nodes; the walk reaches the
+        // leaf level before discovering absence.
+        let walk = pt.walk(Vpn(101));
+        assert!(!walk.pte.present);
+        assert_eq!(walk.levels_touched, PT_LEVELS);
+    }
+
+    #[test]
+    fn unmap_removes_only_target() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pte::leaf(Pfn(1), true, false));
+        pt.map(Vpn(2), Pte::leaf(Pfn(2), true, false));
+        assert!(pt.unmap(Vpn(1)).is_some());
+        assert!(pt.get(Vpn(1)).is_none());
+        assert!(pt.get(Vpn(2)).is_some());
+        assert!(pt.unmap(Vpn(1)).is_none());
+    }
+
+    #[test]
+    fn update_mutates_in_place() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(8), Pte::leaf(Pfn(8), true, false));
+        assert!(pt.update(Vpn(8), |pte| pte.accessed = true));
+        assert!(pt.get(Vpn(8)).unwrap().accessed);
+        assert!(!pt.update(Vpn(9), |_| panic!("must not run")));
+    }
+
+    #[test]
+    fn iter_returns_all_mappings() {
+        let mut pt = PageTable::new();
+        let vpns = [Vpn(0), Vpn(511), Vpn(512), Vpn(1 << 27), Vpn(99999)];
+        for (i, &vpn) in vpns.iter().enumerate() {
+            pt.map(vpn, Pte::leaf(Pfn(i as u64), false, false));
+        }
+        let mut got: Vec<Vpn> = pt.iter().map(|(v, _)| v).collect();
+        got.sort();
+        let mut want = vpns.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(pt.mapped_pages(), vpns.len());
+    }
+
+    #[test]
+    fn remap_replaces() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(3), Pte::leaf(Pfn(1), true, false));
+        pt.map(Vpn(3), Pte::leaf(Pfn(2), false, false));
+        assert_eq!(pt.get(Vpn(3)).unwrap().pfn, Pfn(2));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+}

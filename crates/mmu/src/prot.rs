@@ -1,0 +1,145 @@
+//! Protection and mapping flags mirroring `mmap(2)`'s `prot` and `flags`.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Memory protection bits, the `prot` argument of `mmap(2)`.
+///
+/// The paper's identification rule (§IV-A) is driven by these: a mapping
+/// without [`Prot::WRITE`], or a writable mapping that is
+/// [`MapFlags::PRIVATE`], yields write-protected PTEs (R/W = 0).
+///
+/// ```
+/// use swiftdir_mmu::Prot;
+/// let rw = Prot::READ | Prot::WRITE;
+/// assert!(rw.readable() && rw.writable() && !rw.executable());
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access at all (`PROT_NONE`).
+    pub const NONE: Prot = Prot(0);
+    /// `PROT_READ`.
+    pub const READ: Prot = Prot(1);
+    /// `PROT_WRITE`.
+    pub const WRITE: Prot = Prot(2);
+    /// `PROT_EXEC`.
+    pub const EXEC: Prot = Prot(4);
+
+    /// Whether reads are permitted.
+    pub const fn readable(self) -> bool {
+        self.0 & Self::READ.0 != 0
+    }
+
+    /// Whether writes are permitted.
+    pub const fn writable(self) -> bool {
+        self.0 & Self::WRITE.0 != 0
+    }
+
+    /// Whether instruction fetches are permitted.
+    pub const fn executable(self) -> bool {
+        self.0 & Self::EXEC.0 != 0
+    }
+
+    /// Whether all bits in `other` are present in `self`.
+    pub const fn contains(self, other: Prot) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for Prot {
+    type Output = Prot;
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Prot {
+    fn bitor_assign(&mut self, rhs: Prot) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' },
+        )
+    }
+}
+
+/// Mapping visibility, the `flags` argument of `mmap(2)`.
+///
+/// [`MapFlags::PRIVATE`] is `MAP_PRIVATE`: writes trigger copy-on-write and
+/// are not visible to other processes — the write-protected permission the
+/// paper keys on. [`MapFlags::SHARED`] is `MAP_SHARED`: writes go to the
+/// shared backing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapFlags {
+    /// `MAP_PRIVATE`: copy-on-write mapping.
+    PRIVATE,
+    /// `MAP_SHARED`: writes visible to all mappers.
+    SHARED,
+}
+
+impl MapFlags {
+    /// Whether this is a private (copy-on-write) mapping.
+    pub const fn is_private(self) -> bool {
+        matches!(self, MapFlags::PRIVATE)
+    }
+}
+
+impl fmt::Display for MapFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MapFlags::PRIVATE => "MAP_PRIVATE",
+            MapFlags::SHARED => "MAP_SHARED",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_bit_tests() {
+        assert!(Prot::READ.readable());
+        assert!(!Prot::READ.writable());
+        assert!(Prot::NONE == Prot::default());
+        let rwx = Prot::READ | Prot::WRITE | Prot::EXEC;
+        assert!(rwx.contains(Prot::READ | Prot::EXEC));
+        assert!(!Prot::READ.contains(Prot::WRITE));
+    }
+
+    #[test]
+    fn prot_or_assign() {
+        let mut p = Prot::READ;
+        p |= Prot::EXEC;
+        assert!(p.executable());
+        assert!(!p.writable());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!((Prot::READ | Prot::WRITE).to_string(), "rw-");
+        assert_eq!(Prot::NONE.to_string(), "---");
+        assert_eq!(MapFlags::PRIVATE.to_string(), "MAP_PRIVATE");
+        assert_eq!(MapFlags::SHARED.to_string(), "MAP_SHARED");
+    }
+
+    #[test]
+    fn map_flags_private_check() {
+        assert!(MapFlags::PRIVATE.is_private());
+        assert!(!MapFlags::SHARED.is_private());
+    }
+}

@@ -1,0 +1,156 @@
+//! Page-table entries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Pfn;
+
+/// A page-table entry, modelled on the x86-64 leaf PTE fields that matter
+/// to SwiftDir.
+///
+/// The **R/W bit** ([`Pte::writable`]) is the write-protection signal the
+/// MMU transmits to the cache hierarchy (paper §IV-A2): `mk_pte` clears it
+/// for private file mappings and unwritable shared mappings, and KSM's
+/// `write_protect_page` clears it when merging.
+///
+/// The software-defined [`Pte::cow`] bit distinguishes "write-protected
+/// because copy-on-write is pending" (a write fault duplicates the frame)
+/// from "write-protected, writes are a protection error".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pte {
+    /// Present bit: the page is mapped to a frame.
+    pub present: bool,
+    /// R/W bit: 1 = writable, 0 = write-protected (read-only).
+    pub writable: bool,
+    /// NX complement: whether instruction fetch is allowed.
+    pub executable: bool,
+    /// Accessed bit, set by the MMU on any translation.
+    pub accessed: bool,
+    /// Dirty bit, set by the MMU on a write translation.
+    pub dirty: bool,
+    /// Software bit: a write fault should copy-on-write rather than fail.
+    pub cow: bool,
+    /// Software bit: frame is KSM-merged (shared, write-protected).
+    pub ksm: bool,
+    /// The mapped physical frame.
+    pub pfn: Pfn,
+}
+
+impl Pte {
+    /// An absent (all-zero) entry.
+    pub fn absent() -> Pte {
+        Pte::default()
+    }
+
+    /// A present leaf entry; the analogue of Linux's `mk_pte(page, prot)`.
+    ///
+    /// `writable` here is the *effective* R/W bit after the `vm_page_prot`
+    /// logic (paper §IV-A2), not the VMA's nominal protection.
+    pub fn leaf(pfn: Pfn, writable: bool, executable: bool) -> Pte {
+        Pte {
+            present: true,
+            writable,
+            executable,
+            accessed: false,
+            dirty: false,
+            cow: false,
+            ksm: false,
+            pfn,
+        }
+    }
+
+    /// Marks the entry copy-on-write: clears R/W and sets the CoW bit.
+    /// This is what mapping a writable `MAP_PRIVATE` region produces.
+    #[must_use]
+    pub fn with_cow(mut self) -> Pte {
+        self.writable = false;
+        self.cow = true;
+        self
+    }
+
+    /// Linux's `write_protect_page` as used by KSM: clears R/W, flags the
+    /// entry as merged, and makes writes copy-on-write.
+    pub fn write_protect_for_ksm(&mut self, merged_pfn: Pfn) {
+        self.pfn = merged_pfn;
+        self.writable = false;
+        self.cow = true;
+        self.ksm = true;
+        self.dirty = false;
+    }
+
+    /// The write-protection signal SwiftDir transmits with the translated
+    /// address: present and R/W = 0.
+    pub fn write_protected(&self) -> bool {
+        self.present && !self.writable
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.present {
+            return f.write_str("<absent>");
+        }
+        write!(
+            f,
+            "pfn={} {}{}{}{}{}{}",
+            self.pfn.0,
+            if self.writable { 'W' } else { 'r' },
+            if self.executable { 'X' } else { '-' },
+            if self.accessed { 'A' } else { '-' },
+            if self.dirty { 'D' } else { '-' },
+            if self.cow { 'C' } else { '-' },
+            if self.ksm { 'K' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_is_not_write_protected() {
+        let pte = Pte::absent();
+        assert!(!pte.present);
+        assert!(!pte.write_protected(), "absent pages are not WP data");
+    }
+
+    #[test]
+    fn leaf_readonly_is_write_protected() {
+        let pte = Pte::leaf(Pfn(3), false, true);
+        assert!(pte.write_protected());
+        assert!(pte.executable);
+    }
+
+    #[test]
+    fn leaf_writable_is_not_write_protected() {
+        let pte = Pte::leaf(Pfn(3), true, false);
+        assert!(!pte.write_protected());
+    }
+
+    #[test]
+    fn cow_clears_rw() {
+        let pte = Pte::leaf(Pfn(4), true, false).with_cow();
+        assert!(!pte.writable);
+        assert!(pte.cow);
+        assert!(pte.write_protected());
+    }
+
+    #[test]
+    fn ksm_write_protect() {
+        let mut pte = Pte::leaf(Pfn(5), true, false);
+        pte.dirty = true;
+        pte.write_protect_for_ksm(Pfn(9));
+        assert_eq!(pte.pfn, Pfn(9));
+        assert!(pte.ksm && pte.cow && !pte.writable && !pte.dirty);
+        assert!(pte.write_protected());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Pte::absent().to_string(), "<absent>");
+        let pte = Pte::leaf(Pfn(1), true, true);
+        assert!(pte.to_string().contains("pfn=1"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Shared-library images and the loader.
+//!
+//! The paper (§IV-A1) traces `mmap` calls made by the dynamic loader:
+//! text and rodata segments are mapped `PROT_READ`(`|PROT_EXEC`) —
+//! write-protected outright — and the data segment is mapped
+//! `PROT_READ|PROT_WRITE` with `MAP_PRIVATE` — write-protected with
+//! copy-on-write pending. Both therefore produce PTEs with R/W = 0, which
+//! is how SwiftDir recognizes them as exploitable shared data.
+
+use bytes::Bytes;
+
+use crate::addr::{VirtAddr, PAGE_SIZE};
+use crate::manager::{MemoryManager, SpaceId};
+use crate::prot::{MapFlags, Prot};
+use crate::space::MapError;
+
+/// The role of a segment within a library image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Executable code: `PROT_READ | PROT_EXEC`, `MAP_PRIVATE`.
+    Text,
+    /// Read-only data: `PROT_READ`, `MAP_PRIVATE`.
+    Rodata,
+    /// Writable data: `PROT_READ | PROT_WRITE`, `MAP_PRIVATE` (CoW).
+    Data,
+}
+
+impl SegmentKind {
+    /// The protection the loader passes to `mmap` for this segment.
+    pub fn prot(self) -> Prot {
+        match self {
+            SegmentKind::Text => Prot::READ | Prot::EXEC,
+            SegmentKind::Rodata => Prot::READ,
+            SegmentKind::Data => Prot::READ | Prot::WRITE,
+        }
+    }
+}
+
+/// One loadable segment: `pages` pages starting at `offset_pages` in the
+/// file image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment role (determines mapping protection).
+    pub kind: SegmentKind,
+    /// Page offset within the file image.
+    pub offset_pages: u64,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+/// A shared-library file image, pre-registration.
+#[derive(Debug, Clone)]
+pub struct LibraryImage {
+    name: String,
+    segments: Vec<Segment>,
+    data: Bytes,
+}
+
+impl LibraryImage {
+    /// Builds a synthetic library image with the classic text/rodata/data
+    /// layout. Contents are a deterministic per-page pattern derived from
+    /// `name`, so two distinct libraries never accidentally KSM-merge.
+    pub fn synthetic(name: &str, text_pages: u64, rodata_pages: u64, data_pages: u64) -> Self {
+        let total = text_pages + rodata_pages + data_pages;
+        let mut data = vec![0u8; (total * PAGE_SIZE) as usize];
+        let seed: u64 = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            });
+        for page in 0..total {
+            let tag = seed.wrapping_mul(page + 1).to_le_bytes();
+            let base = (page * PAGE_SIZE) as usize;
+            data[base..base + 8].copy_from_slice(&tag);
+        }
+        let segments = vec![
+            Segment {
+                kind: SegmentKind::Text,
+                offset_pages: 0,
+                pages: text_pages,
+            },
+            Segment {
+                kind: SegmentKind::Rodata,
+                offset_pages: text_pages,
+                pages: rodata_pages,
+            },
+            Segment {
+                kind: SegmentKind::Data,
+                offset_pages: text_pages + rodata_pages,
+                pages: data_pages,
+            },
+        ];
+        LibraryImage {
+            name: name.to_string(),
+            segments: segments.into_iter().filter(|s| s.pages > 0).collect(),
+            data: data.into(),
+        }
+    }
+
+    /// Library name (e.g. `libc.so.6`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The segments, in file order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total size in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.segments.iter().map(|s| s.pages).sum()
+    }
+}
+
+/// A library mapped into one address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedLibrary {
+    /// Registered file handle.
+    pub file: u32,
+    /// Base virtual address of each segment, in [`LibraryImage::segments`]
+    /// order.
+    pub segment_bases: Vec<(SegmentKind, VirtAddr)>,
+}
+
+impl LoadedLibrary {
+    /// Base address of the first segment of the given kind.
+    pub fn base_of(&self, kind: SegmentKind) -> Option<VirtAddr> {
+        self.segment_bases
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, va)| va)
+    }
+}
+
+/// Registers `image` with the manager (once) and maps all its segments
+/// into `space` with loader-faithful permissions.
+///
+/// Call once per process to emulate two programs `dlopen`ing the same
+/// library; the page cache makes them share frames.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] if the address space cannot place a segment.
+pub fn load_library(
+    mm: &mut MemoryManager,
+    space: SpaceId,
+    image: &LibraryImage,
+    file_handle: Option<u32>,
+) -> Result<(LoadedLibrary, u32), MapError> {
+    let file = match file_handle {
+        Some(f) => f,
+        None => mm.register_file(&image.name, image.data.clone()),
+    };
+    let mut segment_bases = Vec::with_capacity(image.segments.len());
+    for seg in &image.segments {
+        let va = mm.mmap_file(
+            space,
+            file,
+            seg.offset_pages,
+            seg.pages * PAGE_SIZE,
+            seg.kind.prot(),
+            MapFlags::PRIVATE,
+        )?;
+        segment_bases.push((seg.kind, va));
+    }
+    Ok((LoadedLibrary { file, segment_bases }, file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Access;
+
+    #[test]
+    fn synthetic_layout() {
+        let lib = LibraryImage::synthetic("libdemo.so", 4, 2, 1);
+        assert_eq!(lib.total_pages(), 7);
+        assert_eq!(lib.segments().len(), 3);
+        assert_eq!(lib.name(), "libdemo.so");
+    }
+
+    #[test]
+    fn zero_page_segments_dropped() {
+        let lib = LibraryImage::synthetic("libnodata.so", 2, 0, 0);
+        assert_eq!(lib.segments().len(), 1);
+        assert_eq!(lib.segments()[0].kind, SegmentKind::Text);
+    }
+
+    #[test]
+    fn all_segments_fault_in_write_protected() {
+        let lib = LibraryImage::synthetic("libwp.so", 1, 1, 1);
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let (loaded, _) = load_library(&mut mm, s, &lib, None).unwrap();
+        for &(kind, va) in &loaded.segment_bases {
+            let access = if kind == SegmentKind::Text {
+                Access::Fetch
+            } else {
+                Access::Read
+            };
+            let t = mm.translate(s, va, access).unwrap();
+            assert!(t.write_protected, "{kind:?} segment must be WP");
+        }
+    }
+
+    #[test]
+    fn data_segment_writable_via_cow() {
+        let lib = LibraryImage::synthetic("libcow.so", 1, 0, 1);
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let (loaded, _) = load_library(&mut mm, s, &lib, None).unwrap();
+        let data = loaded.base_of(SegmentKind::Data).unwrap();
+        mm.write(s, data, b"patched").unwrap();
+        let t = mm.translate(s, data, Access::Read).unwrap();
+        assert!(!t.write_protected, "after CoW the private copy is writable");
+    }
+
+    #[test]
+    fn text_segment_rejects_writes() {
+        let lib = LibraryImage::synthetic("librx.so", 1, 0, 0);
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let (loaded, _) = load_library(&mut mm, s, &lib, None).unwrap();
+        let text = loaded.base_of(SegmentKind::Text).unwrap();
+        assert!(mm.write(s, text, b"!").is_err(), "text is not writable");
+    }
+
+    #[test]
+    fn two_processes_share_text_frames() {
+        let lib = LibraryImage::synthetic("libshared.so", 2, 0, 0);
+        let mut mm = MemoryManager::new();
+        let p1 = mm.create_space();
+        let p2 = mm.create_space();
+        let (l1, file) = load_library(&mut mm, p1, &lib, None).unwrap();
+        let (l2, _) = load_library(&mut mm, p2, &lib, Some(file)).unwrap();
+        let t1 = mm
+            .translate(p1, l1.base_of(SegmentKind::Text).unwrap(), Access::Fetch)
+            .unwrap();
+        let t2 = mm
+            .translate(p2, l2.base_of(SegmentKind::Text).unwrap(), Access::Fetch)
+            .unwrap();
+        assert_eq!(t1.paddr, t2.paddr, "same physical text page");
+    }
+
+    #[test]
+    fn distinct_libraries_have_distinct_content() {
+        let a = LibraryImage::synthetic("liba.so", 1, 0, 0);
+        let b = LibraryImage::synthetic("libb.so", 1, 0, 0);
+        let mut mm = MemoryManager::new();
+        let s = mm.create_space();
+        let (la, _) = load_library(&mut mm, s, &a, None).unwrap();
+        let (lb, _) = load_library(&mut mm, s, &b, None).unwrap();
+        let ca = mm.read(s, la.base_of(SegmentKind::Text).unwrap(), 8).unwrap();
+        let cb = mm.read(s, lb.base_of(SegmentKind::Text).unwrap(), 8).unwrap();
+        assert_ne!(ca, cb);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-process address spaces.
+
+use crate::addr::{VirtAddr, Vpn, PAGE_SIZE};
+use crate::page_table::PageTable;
+use crate::prot::{MapFlags, Prot};
+use crate::vma::{Backing, Vma};
+
+/// A process address space: a sorted list of [`Vma`]s plus the page table.
+///
+/// Mapping placement is a simple bump allocator starting at a conventional
+/// `mmap` base; fixed-address mapping is available for tests that need
+/// deterministic layouts. Fault handling lives in
+/// [`MemoryManager`](crate::MemoryManager) because it needs physical memory
+/// and the shared page cache.
+#[derive(Debug, Default, Clone)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    page_table: PageTable,
+    next_map: Vpn,
+}
+
+/// Errors from mapping operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested fixed range overlaps an existing mapping.
+    Overlap,
+    /// Zero-length mapping requested.
+    EmptyMapping,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MapError::Overlap => "requested range overlaps an existing mapping",
+            MapError::EmptyMapping => "zero-length mapping",
+        })
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Conventional first page handed out by the bump allocator
+/// (0x0000_7000_0000_0000 >> 12, a user-space-looking mmap base).
+const MMAP_BASE: Vpn = Vpn(0x7000_0000_0);
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            vmas: Vec::new(),
+            page_table: PageTable::new(),
+            next_map: MMAP_BASE,
+        }
+    }
+
+    /// Creates a mapping of `len` bytes (rounded up to whole pages) at an
+    /// allocator-chosen address; the core of `mmap(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::EmptyMapping`] when `len == 0`.
+    pub fn map(
+        &mut self,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+        backing: Backing,
+    ) -> Result<VirtAddr, MapError> {
+        if len == 0 {
+            return Err(MapError::EmptyMapping);
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        let start = self.next_map;
+        // Leave a one-page guard gap between mappings; real mmap does not,
+        // but the gap makes accidental range overruns fail fast in tests.
+        self.next_map = Vpn(self.next_map.0 + pages + 1);
+        let vma = Vma {
+            start,
+            pages,
+            prot,
+            flags,
+            backing,
+        };
+        self.vmas.push(vma);
+        Ok(start.base())
+    }
+
+    /// Creates a mapping at a caller-chosen page (like `MAP_FIXED`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Overlap`] if the range intersects an existing
+    /// mapping, or [`MapError::EmptyMapping`] when `pages == 0`.
+    pub fn map_fixed(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        prot: Prot,
+        flags: MapFlags,
+        backing: Backing,
+    ) -> Result<VirtAddr, MapError> {
+        if pages == 0 {
+            return Err(MapError::EmptyMapping);
+        }
+        let end = Vpn(start.0 + pages);
+        if self
+            .vmas
+            .iter()
+            .any(|v| start.0 < v.end().0 && v.start.0 < end.0)
+        {
+            return Err(MapError::Overlap);
+        }
+        self.vmas.push(Vma {
+            start,
+            pages,
+            prot,
+            flags,
+            backing,
+        });
+        self.next_map = Vpn(self.next_map.0.max(end.0 + 1));
+        Ok(start.base())
+    }
+
+    /// Removes the mapping containing `vpn` and returns it along with every
+    /// present PTE inside it (so the caller can release frames).
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<(Vma, Vec<(Vpn, crate::Pte)>)> {
+        let idx = self.vmas.iter().position(|v| v.contains(vpn))?;
+        let vma = self.vmas.remove(idx);
+        let mut freed = Vec::new();
+        for i in 0..vma.pages {
+            let page = vma.start.offset(i);
+            if let Some(pte) = self.page_table.unmap(page) {
+                if pte.present {
+                    freed.push((page, pte));
+                }
+            }
+        }
+        Some((vma, freed))
+    }
+
+    /// The VMA containing `vpn`, if any.
+    pub fn vma_for(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(vpn))
+    }
+
+    /// All VMAs (unordered).
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// The page table (read-only).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The page table (mutable; used by the fault handler and KSM).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+    use crate::pte::Pte;
+
+    #[test]
+    fn map_allocates_distinct_ranges() {
+        let mut space = AddressSpace::new();
+        let a = space
+            .map(PAGE_SIZE * 2, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        let b = space
+            .map(PAGE_SIZE, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        assert_ne!(a.vpn(), b.vpn());
+        assert!(space.vma_for(a.vpn()).is_some());
+        assert!(space.vma_for(b.vpn()).is_some());
+        // The 2-page mapping covers its second page too.
+        assert!(space.vma_for(a.vpn().offset(1)).is_some());
+    }
+
+    #[test]
+    fn map_rounds_up_to_pages() {
+        let mut space = AddressSpace::new();
+        let a = space
+            .map(1, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        let vma = space.vma_for(a.vpn()).unwrap();
+        assert_eq!(vma.pages, 1);
+        let b = space
+            .map(PAGE_SIZE + 1, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        assert_eq!(space.vma_for(b.vpn()).unwrap().pages, 2);
+    }
+
+    #[test]
+    fn zero_length_map_fails() {
+        let mut space = AddressSpace::new();
+        assert_eq!(
+            space.map(0, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous),
+            Err(MapError::EmptyMapping)
+        );
+    }
+
+    #[test]
+    fn fixed_mapping_and_overlap_detection() {
+        let mut space = AddressSpace::new();
+        space
+            .map_fixed(Vpn(100), 10, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        // Overlapping tail.
+        assert_eq!(
+            space.map_fixed(
+                Vpn(105),
+                10,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous
+            ),
+            Err(MapError::Overlap)
+        );
+        // Adjacent is fine.
+        space
+            .map_fixed(Vpn(110), 5, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+    }
+
+    #[test]
+    fn unmap_returns_present_ptes() {
+        let mut space = AddressSpace::new();
+        let va = space
+            .map(PAGE_SIZE * 3, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .unwrap();
+        let vpn = va.vpn();
+        space.page_table_mut().map(vpn, Pte::leaf(Pfn(1), false, false));
+        space
+            .page_table_mut()
+            .map(vpn.offset(2), Pte::leaf(Pfn(2), false, false));
+        let (vma, freed) = space.unmap(vpn.offset(1)).unwrap();
+        assert_eq!(vma.pages, 3);
+        assert_eq!(freed.len(), 2);
+        assert!(space.vma_for(vpn).is_none());
+        assert!(space.page_table().get(vpn).is_none());
+    }
+
+    #[test]
+    fn unmap_unknown_page_is_none() {
+        let mut space = AddressSpace::new();
+        assert!(space.unmap(Vpn(1)).is_none());
+    }
+}

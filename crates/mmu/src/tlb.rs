@@ -1,0 +1,247 @@
+//! Translation lookaside buffers.
+//!
+//! Table V configures 64-entry fully-associative instruction and data TLBs.
+//! A TLB entry caches the translation *and* the permission bits — including
+//! the write-protection bit SwiftDir transmits to the cache hierarchy — so
+//! a TLB hit delivers the WP bit with zero extra latency (paper §IV-B).
+
+use crate::addr::{Pfn, Vpn};
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The virtual page.
+    pub vpn: Vpn,
+    /// The physical frame.
+    pub pfn: Pfn,
+    /// Cached R/W permission (true = writable).
+    pub writable: bool,
+    /// Cached write-protection signal (present ∧ ¬writable at fill time).
+    pub write_protected: bool,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity.
+    pub evictions: u64,
+    /// Entries removed by shootdowns.
+    pub shootdowns: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative TLB with true-LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_mmu::{Pfn, Tlb, TlbEntry, Vpn};
+///
+/// let mut tlb = Tlb::new(64);
+/// assert!(tlb.lookup(Vpn(1)).is_none());
+/// tlb.fill(TlbEntry { vpn: Vpn(1), pfn: Pfn(9), writable: false, write_protected: true });
+/// let e = tlb.lookup(Vpn(1)).expect("filled");
+/// assert!(e.write_protected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(TlbEntry, u64)>, // (entry, last-use tick)
+    capacity: usize,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// A TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity TLB");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up `vpn`, updating LRU state and hit/miss counters.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|(e, _)| e.vpn == vpn) {
+            Some((entry, last_use)) => {
+                *last_use = self.tick;
+                self.stats.hits += 1;
+                Some(*entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a translation after a page walk, evicting LRU if full.
+    /// Replaces any stale entry for the same page.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        self.tick += 1;
+        if let Some((existing, last_use)) =
+            self.entries.iter_mut().find(|(e, _)| e.vpn == entry.vpn)
+        {
+            *existing = entry;
+            *last_use = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("capacity > 0, so the TLB is non-empty here");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((entry, self.tick));
+    }
+
+    /// Removes the entry for `vpn` (single-page shootdown, as after a CoW
+    /// fault or KSM merge changes the PTE). Returns whether one was present.
+    pub fn shootdown(&mut self, vpn: Vpn) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(e, _)| e.vpn != vpn);
+        let removed = self.entries.len() != before;
+        if removed {
+            self.stats.shootdowns += 1;
+        }
+        removed
+    }
+
+    /// Removes all entries (full flush, e.g. context switch without ASIDs).
+    pub fn flush(&mut self) {
+        self.stats.shootdowns += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            vpn: Vpn(vpn),
+            pfn: Pfn(vpn + 1000),
+            writable: true,
+            write_protected: false,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(4);
+        assert!(tlb.lookup(Vpn(1)).is_none());
+        tlb.fill(entry(1));
+        assert_eq!(tlb.lookup(Vpn(1)).unwrap().pfn, Pfn(1001));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+        assert!((tlb.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1));
+        tlb.fill(entry(2));
+        tlb.lookup(Vpn(1)); // 1 is now MRU
+        tlb.fill(entry(3)); // evicts 2
+        assert!(tlb.lookup(Vpn(1)).is_some());
+        assert!(tlb.lookup(Vpn(2)).is_none());
+        assert!(tlb.lookup(Vpn(3)).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refill_same_page_updates_in_place() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1));
+        let mut updated = entry(1);
+        updated.write_protected = true;
+        tlb.fill(updated);
+        assert_eq!(tlb.len(), 1);
+        assert!(tlb.lookup(Vpn(1)).unwrap().write_protected);
+    }
+
+    #[test]
+    fn shootdown_removes_target_only() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(entry(1));
+        tlb.fill(entry(2));
+        assert!(tlb.shootdown(Vpn(1)));
+        assert!(!tlb.shootdown(Vpn(1)));
+        assert!(tlb.lookup(Vpn(2)).is_some());
+        assert_eq!(tlb.stats().shootdowns, 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(entry(1));
+        tlb.fill(entry(2));
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().shootdowns, 2);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut tlb = Tlb::new(64);
+        for i in 0..200 {
+            tlb.fill(entry(i));
+        }
+        assert_eq!(tlb.len(), 64);
+        assert_eq!(tlb.stats().evictions, 136);
+        // The most recent 64 survive.
+        assert!(tlb.lookup(Vpn(199)).is_some());
+        assert!(tlb.lookup(Vpn(100)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        Tlb::new(0);
+    }
+}

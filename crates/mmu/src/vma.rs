@@ -1,0 +1,193 @@
+//! Virtual memory areas.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{VirtAddr, Vpn};
+use crate::prot::{MapFlags, Prot};
+
+/// What backs a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backing {
+    /// Anonymous memory (heap, stacks); demand-zero pages.
+    Anonymous,
+    /// A file region: `file` is a registry handle, `offset_pages` the page
+    /// offset within the file. Shared-library segments use this.
+    File {
+        /// Handle into the [`MemoryManager`](crate::MemoryManager)'s file
+        /// registry.
+        file: u32,
+        /// Page offset of the mapping within the file image.
+        offset_pages: u64,
+    },
+}
+
+/// A contiguous virtual mapping with uniform protection, the analogue of a
+/// Linux `vm_area_struct`.
+///
+/// The *nominal* protection is [`Vma::prot`]; the *effective* PTE R/W bit is
+/// computed by `vm_page_prot` logic at fault time (see
+/// [`Vma::pte_writable`]), which is where the paper's write-protection rule
+/// lives: a writable `MAP_PRIVATE` mapping still yields R/W = 0 with
+/// copy-on-write pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// First page of the mapping.
+    pub start: Vpn,
+    /// Number of pages.
+    pub pages: u64,
+    /// Nominal protection (`mmap`'s `prot`).
+    pub prot: Prot,
+    /// Visibility (`mmap`'s `flags`).
+    pub flags: MapFlags,
+    /// Backing store.
+    pub backing: Backing,
+}
+
+impl Vma {
+    /// One-past-the-last page of the mapping.
+    pub fn end(&self) -> Vpn {
+        Vpn(self.start.0 + self.pages)
+    }
+
+    /// Whether `vpn` falls inside this area.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        (self.start.0..self.end().0).contains(&vpn.0)
+    }
+
+    /// First byte address of the mapping.
+    pub fn base(&self) -> VirtAddr {
+        self.start.base()
+    }
+
+    /// The `vm_page_prot` decision (paper §IV-A2): whether a freshly
+    /// faulted PTE in this area gets R/W = 1.
+    ///
+    /// * not `PROT_WRITE` → R/W = 0 (plain write-protected);
+    /// * `PROT_WRITE` + `MAP_PRIVATE` on a file → R/W = 0 with CoW pending;
+    /// * `PROT_WRITE` + `MAP_SHARED` → R/W = 1;
+    /// * anonymous private writable memory → R/W = 1 (ordinary heap; Linux
+    ///   uses a CoW zero-page dance that converges to the same state after
+    ///   the first write, which is when the page first exists here).
+    pub fn pte_writable(&self) -> bool {
+        if !self.prot.writable() {
+            return false;
+        }
+        match (self.backing, self.flags) {
+            (Backing::File { .. }, MapFlags::PRIVATE) => false,
+            _ => true,
+        }
+    }
+
+    /// Whether a write fault on a write-protected page here should
+    /// copy-on-write (vs. being a protection error).
+    pub fn cow_on_write(&self) -> bool {
+        self.prot.writable() && matches!(self.flags, MapFlags::PRIVATE)
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#x}-{:#x}) {} {} {:?}",
+            self.base().0,
+            self.end().base().0,
+            self.prot,
+            self.flags,
+            self.backing,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma(prot: Prot, flags: MapFlags, backing: Backing) -> Vma {
+        Vma {
+            start: Vpn(16),
+            pages: 4,
+            prot,
+            flags,
+            backing,
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let v = vma(Prot::READ, MapFlags::PRIVATE, Backing::Anonymous);
+        assert!(v.contains(Vpn(16)));
+        assert!(v.contains(Vpn(19)));
+        assert!(!v.contains(Vpn(20)));
+        assert!(!v.contains(Vpn(15)));
+        assert_eq!(v.end(), Vpn(20));
+    }
+
+    #[test]
+    fn readonly_mapping_never_writable() {
+        let v = vma(Prot::READ, MapFlags::PRIVATE, Backing::Anonymous);
+        assert!(!v.pte_writable());
+        assert!(!v.cow_on_write(), "read-only area cannot CoW");
+    }
+
+    #[test]
+    fn private_file_writable_is_cow() {
+        // The shared-library data segment: PROT_WRITE + MAP_PRIVATE.
+        let v = vma(
+            Prot::READ | Prot::WRITE,
+            MapFlags::PRIVATE,
+            Backing::File {
+                file: 0,
+                offset_pages: 0,
+            },
+        );
+        assert!(!v.pte_writable(), "private file mapping faults in as WP");
+        assert!(v.cow_on_write());
+    }
+
+    #[test]
+    fn shared_writable_file_is_directly_writable() {
+        let v = vma(
+            Prot::READ | Prot::WRITE,
+            MapFlags::SHARED,
+            Backing::File {
+                file: 0,
+                offset_pages: 0,
+            },
+        );
+        assert!(v.pte_writable());
+    }
+
+    #[test]
+    fn shared_readonly_file_is_write_protected() {
+        let v = vma(
+            Prot::READ,
+            MapFlags::SHARED,
+            Backing::File {
+                file: 0,
+                offset_pages: 0,
+            },
+        );
+        assert!(!v.pte_writable());
+    }
+
+    #[test]
+    fn anonymous_private_heap_is_writable() {
+        let v = vma(
+            Prot::READ | Prot::WRITE,
+            MapFlags::PRIVATE,
+            Backing::Anonymous,
+        );
+        assert!(v.pte_writable(), "ordinary heap pages are not WP");
+    }
+
+    #[test]
+    fn display_mentions_range_and_prot() {
+        let v = vma(Prot::READ, MapFlags::PRIVATE, Backing::Anonymous);
+        let s = v.to_string();
+        assert!(s.contains("r--"));
+        assert!(s.contains("MAP_PRIVATE"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generators reproducing the paper's evaluation inputs.
+//!
+//! The paper evaluates on SPEC CPU 2017, PARSEC 3.0, hand-built
+//! multi-threaded read-only applications, and hand-built write-after-read
+//! intensive applications. We do not have the licensed suites, so (per the
+//! substitution documented in `DESIGN.md`) each benchmark is modelled as a
+//! **named synthetic profile**: a deterministic instruction stream with the
+//! benchmark's approximate working-set size, load/store mix, locality, and
+//! sharing behaviour. The profile parameters are what drive the paper's
+//! protocol-level effects — write-after-read frequency (silent-upgrade
+//! sensitivity), LLC pressure, and cross-thread sharing of read-only vs
+//! written data — so the *shape* of the protocol comparisons survives the
+//! substitution even though absolute IPC does not.
+//!
+//! * [`synth`] — the parameterized generator ([`SynthParams`],
+//!   [`SynthStream`]) everything else builds on.
+//! * [`spec`] — the 23 SPECrate 2017 Int+FP benchmarks (Figure 7).
+//! * [`parsec`] — the 13 PARSEC 3.0 benchmarks' ROIs (Figure 8).
+//! * [`readonly`] — the two-thread shared-data re-access sweep (Figure 9).
+//! * [`war`] — array assignment / insertion / sorting (Figure 10).
+
+pub mod parsec;
+pub mod readonly;
+pub mod spec;
+pub mod synth;
+pub mod war;
+
+pub use parsec::ParsecBenchmark;
+pub use readonly::ReadOnlySweep;
+pub use spec::SpecBenchmark;
+pub use synth::{SynthParams, SynthStream, WorkloadRegions};
+pub use war::{WarApp, WarPrograms};

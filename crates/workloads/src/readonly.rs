@@ -1,0 +1,120 @@
+//! The multi-threaded read-only benchmark of paper §V-D (Figure 9).
+//!
+//! "We construct a two-threaded application and pin the threads to
+//! respective cores. We first run one thread to access a series of
+//! exploitable shared data. Then we run the other cross-core thread to
+//! re-access the accessed data through remote loads." The re-access is
+//! the measured region: MESI pays the owner-forwarding E→S path, while
+//! S-MESI and SwiftDir serve it from the LLC.
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{System, SystemConfig};
+use swiftdir_cpu::{CpuModel, Instr};
+use swiftdir_mmu::{LibraryImage, SegmentKind, VirtAddr, PAGE_SIZE};
+
+/// The Figure 9 experiment: `amount` exploitable shared cache lines,
+/// accessed by thread 0 then re-accessed by thread 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOnlySweep {
+    /// Number of shared data items (cache lines), 1 000–5 000 in Fig. 9.
+    pub amount: u64,
+}
+
+/// Result of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepResult {
+    /// Cycles of the measured re-access phase.
+    pub reaccess_cycles: u64,
+    /// Cycles of the (unmeasured) first-access phase.
+    pub first_access_cycles: u64,
+}
+
+impl ReadOnlySweep {
+    /// A sweep point over `amount` shared lines.
+    pub fn new(amount: u64) -> Self {
+        assert!(amount > 0, "empty sweep");
+        ReadOnlySweep { amount }
+    }
+
+    /// Runs the two-phase experiment under `protocol` and returns the
+    /// phase timings.
+    pub fn run(&self, protocol: ProtocolKind) -> SweepResult {
+        let mut sys = System::new(
+            SystemConfig::builder()
+                .cores(2)
+                .protocol(protocol)
+                .cpu_model(CpuModel::TimingSimple)
+                .build(),
+        );
+        // Both threads belong to one process here; the shared data is a
+        // read-only library mapping (write-protected), the exploitable
+        // kind. One line per item.
+        let pid = sys.spawn_process();
+        let pages = (self.amount * 64).div_ceil(PAGE_SIZE);
+        let lib = LibraryImage::synthetic("libdata.so", 0, pages, 0);
+        let (loaded, _) = sys
+            .process_mut(pid)
+            .load_library(&lib, None)
+            .expect("library mapping");
+        let base = loaded.base_of(SegmentKind::Rodata).expect("rodata");
+
+        let line = |i: u64| VirtAddr(base.0 + i * 64);
+        let program: Vec<Instr> = (0..self.amount).map(|i| Instr::load(line(i))).collect();
+
+        // Phase 1: thread on core 0 walks the shared data (E under MESI,
+        // S under SwiftDir).
+        sys.run_thread_program(pid, 0, program.clone());
+        let phase1 = sys.run_to_completion();
+
+        // Phase 2 (measured): thread on core 1 re-accesses everything.
+        sys.run_thread_program(pid, 1, program);
+        let phase2 = sys.run_to_completion();
+
+        SweepResult {
+            reaccess_cycles: phase2.roi_cycles(),
+            first_access_cycles: phase1.roi_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesi_reaccess_slower_than_swiftdir() {
+        let sweep = ReadOnlySweep::new(500);
+        let mesi = sweep.run(ProtocolKind::Mesi);
+        let swift = sweep.run(ProtocolKind::SwiftDir);
+        let smesi = sweep.run(ProtocolKind::SMesi);
+        // MESI re-access pays owner forwarding per line (+26 cycles);
+        // SwiftDir and S-MESI serve from the LLC.
+        assert!(
+            mesi.reaccess_cycles > swift.reaccess_cycles,
+            "MESI {} vs SwiftDir {}",
+            mesi.reaccess_cycles,
+            swift.reaccess_cycles
+        );
+        let rel = (smesi.reaccess_cycles as f64 - swift.reaccess_cycles as f64).abs()
+            / (swift.reaccess_cycles as f64);
+        assert!(
+            rel < 0.05,
+            "S-MESI and SwiftDir comparable: {} vs {}",
+            smesi.reaccess_cycles,
+            swift.reaccess_cycles
+        );
+    }
+
+    #[test]
+    fn reaccess_scales_with_amount() {
+        let small = ReadOnlySweep::new(200).run(ProtocolKind::SwiftDir);
+        let large = ReadOnlySweep::new(800).run(ProtocolKind::SwiftDir);
+        assert!(large.reaccess_cycles > small.reaccess_cycles * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn zero_amount_rejected() {
+        ReadOnlySweep::new(0);
+    }
+}

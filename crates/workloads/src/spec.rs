@@ -1,0 +1,191 @@
+//! SPEC CPU 2017-like single-threaded profiles (paper Figure 7).
+//!
+//! Each benchmark is a named [`SynthParams`] profile. Parameters follow
+//! the benchmarks' published characterizations qualitatively: `mcf`,
+//! `lbm`, `fotonik3d` are memory-bound with poor locality; `exchange2`,
+//! `leela`, `deepsjeng` are compute/branch-bound with tiny footprints;
+//! `blender`/`povray` are store-light renderers; `gcc`/`perlbench` mix
+//! pointer chasing with moderate stores and touch shared library code.
+
+use crate::synth::SynthParams;
+
+/// The 23 SPECrate 2017 Integer + Floating Point benchmarks the paper's
+/// Figure 7 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are benchmark names
+pub enum SpecBenchmark {
+    Perlbench,
+    Gcc,
+    Mcf,
+    Omnetpp,
+    Xalancbmk,
+    X264,
+    Deepsjeng,
+    Leela,
+    Exchange2,
+    Xz,
+    Bwaves,
+    Cactubssn,
+    Namd,
+    Parest,
+    Povray,
+    Lbm,
+    Wrf,
+    Blender,
+    Cam4,
+    Imagick,
+    Nab,
+    Fotonik3d,
+    Roms,
+}
+
+impl SpecBenchmark {
+    /// All benchmarks in Figure 7's order.
+    pub const ALL: [SpecBenchmark; 23] = [
+        SpecBenchmark::Perlbench,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Omnetpp,
+        SpecBenchmark::Xalancbmk,
+        SpecBenchmark::X264,
+        SpecBenchmark::Deepsjeng,
+        SpecBenchmark::Leela,
+        SpecBenchmark::Exchange2,
+        SpecBenchmark::Xz,
+        SpecBenchmark::Bwaves,
+        SpecBenchmark::Cactubssn,
+        SpecBenchmark::Namd,
+        SpecBenchmark::Parest,
+        SpecBenchmark::Povray,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Wrf,
+        SpecBenchmark::Blender,
+        SpecBenchmark::Cam4,
+        SpecBenchmark::Imagick,
+        SpecBenchmark::Nab,
+        SpecBenchmark::Fotonik3d,
+        SpecBenchmark::Roms,
+    ];
+
+    /// The benchmark's display name (SPEC naming).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpecBenchmark::Perlbench => "perlbench",
+            SpecBenchmark::Gcc => "gcc",
+            SpecBenchmark::Mcf => "mcf",
+            SpecBenchmark::Omnetpp => "omnetpp",
+            SpecBenchmark::Xalancbmk => "xalancbmk",
+            SpecBenchmark::X264 => "x264",
+            SpecBenchmark::Deepsjeng => "deepsjeng",
+            SpecBenchmark::Leela => "leela",
+            SpecBenchmark::Exchange2 => "exchange2",
+            SpecBenchmark::Xz => "xz",
+            SpecBenchmark::Bwaves => "bwaves",
+            SpecBenchmark::Cactubssn => "cactuBSSN",
+            SpecBenchmark::Namd => "namd",
+            SpecBenchmark::Parest => "parest",
+            SpecBenchmark::Povray => "povray",
+            SpecBenchmark::Lbm => "lbm",
+            SpecBenchmark::Wrf => "wrf",
+            SpecBenchmark::Blender => "blender",
+            SpecBenchmark::Cam4 => "cam4",
+            SpecBenchmark::Imagick => "imagick",
+            SpecBenchmark::Nab => "nab",
+            SpecBenchmark::Fotonik3d => "fotonik3d",
+            SpecBenchmark::Roms => "roms",
+        }
+    }
+
+    /// A stable per-benchmark seed (so reruns reproduce Figure 7 exactly).
+    pub fn seed(&self) -> u64 {
+        // Position in ALL, offset so seed 0 is never used.
+        Self::ALL.iter().position(|b| b == self).unwrap() as u64 + 101
+    }
+
+    /// The benchmark's synthetic profile, scaled to `instructions`.
+    pub fn params(&self, instructions: u64) -> SynthParams {
+        let base = SynthParams::balanced(instructions);
+        // (private KiB, load, store, shared-load frac, WAR frac, locality, compute)
+        let (ws_kib, ld, st, sh, war, loc, comp) = match self {
+            SpecBenchmark::Perlbench => (384, 0.34, 0.16, 0.22, 0.14, 0.95, 1),
+            SpecBenchmark::Gcc => (512, 0.33, 0.15, 0.20, 0.12, 0.90, 1),
+            SpecBenchmark::Mcf => (4096, 0.42, 0.10, 0.04, 0.06, 0.40, 1),
+            SpecBenchmark::Omnetpp => (2048, 0.36, 0.14, 0.10, 0.10, 0.60, 1),
+            SpecBenchmark::Xalancbmk => (1024, 0.38, 0.12, 0.18, 0.08, 0.70, 1),
+            SpecBenchmark::X264 => (768, 0.30, 0.14, 0.08, 0.16, 0.85, 2),
+            SpecBenchmark::Deepsjeng => (192, 0.26, 0.10, 0.06, 0.10, 1.00, 2),
+            SpecBenchmark::Leela => (128, 0.24, 0.08, 0.06, 0.08, 1.00, 2),
+            SpecBenchmark::Exchange2 => (64, 0.18, 0.08, 0.02, 0.06, 1.10, 2),
+            SpecBenchmark::Xz => (1536, 0.34, 0.16, 0.06, 0.18, 0.65, 1),
+            SpecBenchmark::Bwaves => (3072, 0.40, 0.14, 0.02, 0.20, 0.55, 1),
+            SpecBenchmark::Cactubssn => (2048, 0.38, 0.14, 0.02, 0.16, 0.60, 1),
+            SpecBenchmark::Namd => (512, 0.30, 0.10, 0.04, 0.12, 0.90, 2),
+            SpecBenchmark::Parest => (1024, 0.34, 0.12, 0.04, 0.12, 0.75, 1),
+            SpecBenchmark::Povray => (256, 0.28, 0.06, 0.10, 0.04, 0.95, 2),
+            SpecBenchmark::Lbm => (4096, 0.40, 0.20, 0.02, 0.22, 0.45, 1),
+            SpecBenchmark::Wrf => (2560, 0.36, 0.15, 0.03, 0.17, 0.60, 1),
+            SpecBenchmark::Blender => (768, 0.30, 0.07, 0.08, 0.05, 0.85, 2),
+            SpecBenchmark::Cam4 => (1792, 0.35, 0.13, 0.03, 0.14, 0.65, 1),
+            SpecBenchmark::Imagick => (512, 0.30, 0.12, 0.04, 0.15, 0.90, 2),
+            SpecBenchmark::Nab => (384, 0.30, 0.11, 0.04, 0.12, 0.90, 2),
+            SpecBenchmark::Fotonik3d => (3584, 0.41, 0.13, 0.02, 0.14, 0.50, 1),
+            SpecBenchmark::Roms => (3072, 0.39, 0.14, 0.02, 0.15, 0.55, 1),
+        };
+        SynthParams {
+            private_bytes: ws_kib * 1024,
+            load_ratio: ld,
+            store_ratio: st,
+            shared_load_fraction: sh,
+            war_fraction: war,
+            locality: loc,
+            compute_cycles: comp,
+            ..base
+        }
+    }
+}
+
+impl std::fmt::Display for SpecBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_benchmarks() {
+        assert_eq!(SpecBenchmark::ALL.len(), 23);
+        let names: std::collections::HashSet<&str> =
+            SpecBenchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 23, "names unique");
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let seeds: std::collections::HashSet<u64> =
+            SpecBenchmark::ALL.iter().map(|b| b.seed()).collect();
+        assert_eq!(seeds.len(), 23);
+        assert_eq!(SpecBenchmark::Perlbench.seed(), 101);
+    }
+
+    #[test]
+    fn profiles_scale_with_instructions() {
+        let p = SpecBenchmark::Mcf.params(1_000);
+        assert_eq!(p.instructions, 1_000);
+        assert_eq!(p.private_bytes, 4096 * 1024);
+        let q = SpecBenchmark::Mcf.params(2_000);
+        assert_eq!(q.instructions, 2_000);
+    }
+
+    #[test]
+    fn ratios_are_probabilities() {
+        for b in SpecBenchmark::ALL {
+            let p = b.params(100);
+            assert!(p.load_ratio + p.store_ratio < 1.0, "{b}: ratios sum < 1");
+            assert!(p.shared_load_fraction <= 1.0);
+            assert!(p.war_fraction <= 1.0);
+        }
+    }
+}

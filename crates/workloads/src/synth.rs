@@ -1,0 +1,315 @@
+//! The parameterized synthetic workload generator.
+
+use sim_engine::{DetRng, Zipf};
+use swiftdir_core::{ProcessId, System};
+use swiftdir_cpu::{Instr, InstrStream};
+use swiftdir_mmu::{MapFlags, Prot, VirtAddr};
+
+/// Parameters of one synthetic workload profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthParams {
+    /// Instructions to generate.
+    pub instructions: u64,
+    /// Private (read-write, heap-like) working set in bytes.
+    pub private_bytes: u64,
+    /// Shared read-only (library-like, write-protected) region in bytes
+    /// (0 = none).
+    pub shared_ro_bytes: u64,
+    /// Probability an instruction is a load.
+    pub load_ratio: f64,
+    /// Probability an instruction is a store (the rest is compute).
+    pub store_ratio: f64,
+    /// Fraction of loads that target the shared read-only region.
+    pub shared_load_fraction: f64,
+    /// Probability that a store immediately follows a load **to the same
+    /// block** — the write-after-read knob the E state exists for.
+    pub war_fraction: f64,
+    /// Zipf exponent over the private working set (higher = more locality).
+    pub locality: f64,
+    /// Average compute latency per non-memory instruction.
+    pub compute_cycles: u32,
+}
+
+impl SynthParams {
+    /// A balanced default profile (used as the base the named benchmark
+    /// profiles perturb).
+    pub fn balanced(instructions: u64) -> Self {
+        SynthParams {
+            instructions,
+            private_bytes: 256 * 1024,
+            shared_ro_bytes: 64 * 1024,
+            load_ratio: 0.30,
+            store_ratio: 0.12,
+            shared_load_fraction: 0.15,
+            war_fraction: 0.10,
+            locality: 0.8,
+            compute_cycles: 1,
+        }
+    }
+}
+
+/// The mapped regions a workload instance runs against.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRegions {
+    /// Base of the private read-write region.
+    pub private_base: VirtAddr,
+    /// Size of the private region in bytes.
+    pub private_bytes: u64,
+    /// Base of the shared read-only region (if any).
+    pub shared_base: Option<VirtAddr>,
+    /// Size of the shared region in bytes.
+    pub shared_bytes: u64,
+}
+
+impl WorkloadRegions {
+    /// Maps the regions `params` needs into `pid`'s address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if mapping fails (address-space exhaustion cannot happen in
+    /// these experiments).
+    pub fn map(sys: &mut System, pid: ProcessId, params: &SynthParams) -> Self {
+        let mut proc = sys.process_mut(pid);
+        let private_base = proc
+            .mmap(
+                params.private_bytes.max(4096),
+                Prot::READ | Prot::WRITE,
+                MapFlags::PRIVATE,
+            )
+            .expect("private region");
+        let shared_base = (params.shared_ro_bytes > 0).then(|| {
+            proc.mmap(params.shared_ro_bytes, Prot::READ, MapFlags::PRIVATE)
+                .expect("shared region")
+        });
+        WorkloadRegions {
+            private_base,
+            private_bytes: params.private_bytes.max(4096),
+            shared_base,
+            shared_bytes: params.shared_ro_bytes,
+        }
+    }
+}
+
+/// A deterministic, generative instruction stream over mapped regions.
+///
+/// Instructions are produced lazily, so billion-instruction streams cost
+/// no memory. Identical `(params, seed, regions)` produce identical
+/// streams.
+#[derive(Debug, Clone)]
+pub struct SynthStream {
+    params: SynthParams,
+    regions: WorkloadRegions,
+    rng: DetRng,
+    zipf: Zipf,
+    emitted: u64,
+    /// A pending same-block store (the write half of a WAR pair).
+    pending_war_store: Option<VirtAddr>,
+}
+
+impl SynthStream {
+    /// Builds the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` requests shared loads without a shared region.
+    pub fn new(params: SynthParams, regions: WorkloadRegions, seed: u64) -> Self {
+        assert!(
+            params.shared_load_fraction == 0.0 || regions.shared_base.is_some(),
+            "shared loads need a shared region"
+        );
+        let blocks = (regions.private_bytes / 64).max(1) as usize;
+        SynthStream {
+            params,
+            regions,
+            rng: DetRng::new(seed),
+            zipf: Zipf::new(blocks, params.locality),
+            emitted: 0,
+            pending_war_store: None,
+        }
+    }
+
+    fn private_addr(&mut self) -> VirtAddr {
+        let block = self.zipf.sample(&mut self.rng) as u64;
+        VirtAddr(self.regions.private_base.0 + block * 64)
+    }
+
+    fn shared_addr(&mut self) -> VirtAddr {
+        let base = self.regions.shared_base.expect("checked in new");
+        let blocks = (self.regions.shared_bytes / 64).max(1);
+        VirtAddr(base.0 + self.rng.below(blocks) * 64)
+    }
+}
+
+impl InstrStream for SynthStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.emitted >= self.params.instructions {
+            return None;
+        }
+        self.emitted += 1;
+
+        // Complete a write-after-read pair first.
+        if let Some(va) = self.pending_war_store.take() {
+            return Some(Instr::store(va));
+        }
+
+        let draw = self.rng.next_f64();
+        if draw < self.params.load_ratio {
+            // A load; decide target and whether a WAR store follows.
+            if self.params.shared_load_fraction > 0.0
+                && self.rng.chance(self.params.shared_load_fraction)
+            {
+                Some(Instr::load(self.shared_addr()))
+            } else {
+                let va = self.private_addr();
+                if self.rng.chance(self.params.war_fraction) {
+                    self.pending_war_store = Some(va);
+                }
+                Some(Instr::load(va))
+            }
+        } else if draw < self.params.load_ratio + self.params.store_ratio {
+            Some(Instr::store(self.private_addr()))
+        } else {
+            Some(Instr::compute(self.params.compute_cycles.max(1)))
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.params.instructions - self.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftdir_coherence::ProtocolKind;
+    use swiftdir_core::SystemConfig;
+    use swiftdir_cpu::CpuModel;
+
+    fn system() -> System {
+        System::new(
+            SystemConfig::builder()
+                .cores(1)
+                .protocol(ProtocolKind::Mesi)
+                .cpu_model(CpuModel::TimingSimple)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut sys = system();
+        let pid = sys.spawn_process();
+        let params = SynthParams::balanced(500);
+        let regions = WorkloadRegions::map(&mut sys, pid, &params);
+        let collect = |mut s: SynthStream| {
+            let mut v = Vec::new();
+            while let Some(i) = s.next_instr() {
+                v.push(i);
+            }
+            v
+        };
+        let a = collect(SynthStream::new(params, regions, 42));
+        let b = collect(SynthStream::new(params, regions, 42));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        let c = collect(SynthStream::new(params, regions, 43));
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn ratios_roughly_respected() {
+        let mut sys = system();
+        let pid = sys.spawn_process();
+        let params = SynthParams {
+            war_fraction: 0.0,
+            ..SynthParams::balanced(20_000)
+        };
+        let regions = WorkloadRegions::map(&mut sys, pid, &params);
+        let mut s = SynthStream::new(params, regions, 1);
+        let (mut loads, mut stores, mut compute) = (0u64, 0u64, 0u64);
+        while let Some(i) = s.next_instr() {
+            match i {
+                Instr::Load(_) => loads += 1,
+                Instr::Store(_) => stores += 1,
+                Instr::Compute(_) => compute += 1,
+            }
+        }
+        let total = (loads + stores + compute) as f64;
+        assert!((loads as f64 / total - 0.30).abs() < 0.02);
+        assert!((stores as f64 / total - 0.12).abs() < 0.02);
+    }
+
+    #[test]
+    fn war_pairs_store_to_loaded_block() {
+        let mut sys = system();
+        let pid = sys.spawn_process();
+        let params = SynthParams {
+            load_ratio: 1.0,
+            store_ratio: 0.0,
+            shared_load_fraction: 0.0,
+            war_fraction: 1.0,
+            ..SynthParams::balanced(100)
+        };
+        let regions = WorkloadRegions::map(&mut sys, pid, &params);
+        let mut s = SynthStream::new(params, regions, 5);
+        let mut last_load: Option<VirtAddr> = None;
+        while let Some(i) = s.next_instr() {
+            match i {
+                Instr::Load(va) => last_load = Some(va),
+                Instr::Store(va) => {
+                    assert_eq!(Some(va), last_load, "WAR store hits the loaded block")
+                }
+                Instr::Compute(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn runs_on_a_system_end_to_end() {
+        let mut sys = system();
+        let pid = sys.spawn_process();
+        let params = SynthParams::balanced(2_000);
+        let regions = WorkloadRegions::map(&mut sys, pid, &params);
+        let stream = SynthStream::new(params, regions, 9);
+        sys.run_thread_stream(pid, 0, stream);
+        let stats = sys.run_to_completion();
+        assert_eq!(stats.instructions(), 2_000);
+        assert!(stats.roi_cycles() > 2_000, "memory latency shows up");
+    }
+
+    #[test]
+    fn shared_region_loads_are_write_protected() {
+        let mut sys = System::new(
+            SystemConfig::builder()
+                .cores(1)
+                .protocol(ProtocolKind::SwiftDir)
+                .cpu_model(CpuModel::TimingSimple)
+                .build(),
+        );
+        let pid = sys.spawn_process();
+        let params = SynthParams {
+            shared_load_fraction: 1.0,
+            load_ratio: 1.0,
+            store_ratio: 0.0,
+            war_fraction: 0.0,
+            ..SynthParams::balanced(200)
+        };
+        let regions = WorkloadRegions::map(&mut sys, pid, &params);
+        let stream = SynthStream::new(params, regions, 2);
+        sys.run_thread_stream(pid, 0, stream);
+        let stats = sys.run_to_completion();
+        assert!(
+            stats
+                .hierarchy
+                .event(swiftdir_coherence::CoherenceEvent::GetsWp)
+                > 0,
+            "shared-region loads must be GETS_WP under SwiftDir"
+        );
+        assert_eq!(
+            stats
+                .hierarchy
+                .event(swiftdir_coherence::CoherenceEvent::Gets),
+            0
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Write-after-read intensive applications (paper §V-E, Figure 10).
+//!
+//! "We compile three typical applications with intensive write-after-read
+//! operations — array assignment, array insertion, and array sorting."
+//! Every element is read and then written shortly after, which is exactly
+//! the pattern the E state's silent upgrade accelerates: under MESI and
+//! SwiftDir the store is a 1-cycle L1 transition, under S-MESI it is an
+//! Upgrade/ACK round trip to the LLC.
+
+use sim_engine::DetRng;
+use swiftdir_core::{ProcessId, System};
+use swiftdir_cpu::{Instr, Program};
+use swiftdir_mmu::{MapFlags, Prot, VirtAddr};
+
+/// The three Figure 10 applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarApp {
+    /// `b[i] = f(a[i])`: load each element, store the result.
+    ArrayAssignment,
+    /// Insertion into a sorted array: scan back reading elements and
+    /// shifting them right (read-then-write per slot).
+    ArrayInsertion,
+    /// In-place sorting (selection-style): read pairs, write swaps.
+    ArraySorting,
+}
+
+impl WarApp {
+    /// All three, in Figure 10's order.
+    pub const ALL: [WarApp; 3] = [
+        WarApp::ArrayAssignment,
+        WarApp::ArrayInsertion,
+        WarApp::ArraySorting,
+    ];
+
+    /// Display name (as labelled in Figure 10).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarApp::ArrayAssignment => "array assignment",
+            WarApp::ArrayInsertion => "array insertion",
+            WarApp::ArraySorting => "array sorting",
+        }
+    }
+
+    /// Builds the application over an array of `elements` elements (one
+    /// cache line each — coherence transactions are per line) mapped into
+    /// `pid`. Returns a warm-up pass plus the measured program.
+    ///
+    /// The warm-up walks the array once so the measured region is the
+    /// steady state the paper times (LLC-resident data, DRAM out of the
+    /// picture). The write-after-read effect additionally requires lines
+    /// to *leave the L1* between rounds (otherwise stores hit an M line
+    /// and no E→M transition happens again), so choose `elements` > 512
+    /// (the L1 holds 512 lines).
+    pub fn build(&self, sys: &mut System, pid: ProcessId, elements: u64) -> WarPrograms {
+        assert!(elements >= 2, "need at least two elements");
+        let bytes = elements * 64; // one line per element
+        let base = sys
+            .process_mut(pid)
+            .mmap(bytes, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .expect("array mapping");
+        let at = |i: u64| VirtAddr(base.0 + i * 64);
+        let warmup: Program = (0..elements).map(|i| Instr::load(at(i))).collect();
+        let mut prog = Program::new();
+        match self {
+            WarApp::ArrayAssignment => {
+                // for pass in 0..2: for i: tmp = a[i]; a[i] = f(tmp).
+                for _pass in 0..2 {
+                    for i in 0..elements {
+                        prog.push(Instr::load(at(i)));
+                        prog.push(Instr::compute(1));
+                        prog.push(Instr::store(at(i)));
+                    }
+                }
+            }
+            WarApp::ArrayInsertion => {
+                // Repeated insertion into a sorted prefix: scan back
+                // reading a[j] and shifting it to a[j+1]. The shift window
+                // grows with the prefix up to a cap just above the L1
+                // capacity, so in the steady state every shifted line has
+                // been evicted since its last write — the densest
+                // write-after-read pattern of the three apps (the paper's
+                // Figure 10 shows insertion with the largest S-MESI gap
+                // out-of-order).
+                let cap = 640; // lines; > the 512-line L1
+                for i in 1..elements {
+                    let window = cap.min(i);
+                    for k in 0..window {
+                        let j = i - 1 - k;
+                        prog.push(Instr::load(at(j)));
+                        prog.push(Instr::store(at(j + 1)));
+                    }
+                    prog.push(Instr::store(at(i - window)));
+                }
+            }
+            WarApp::ArraySorting => {
+                // Bubble-sort flavour: passes of adjacent compares (two
+                // loads) with a swap (two stores) on a fraction of the
+                // pairs. Stores are a smaller fraction of the mix than in
+                // assignment/insertion, so the store-side protocol
+                // difference matters least here — Figure 10 shows sorting
+                // with the smallest S-MESI gap.
+                let mut rng = DetRng::new(0x5047_u64);
+                for _pass in 0..2 {
+                    for j in 0..elements - 1 {
+                        prog.push(Instr::load(at(j)));
+                        prog.push(Instr::load(at(j + 1)));
+                        prog.push(Instr::compute(1));
+                        if rng.chance(0.3) {
+                            prog.push(Instr::store(at(j)));
+                            prog.push(Instr::store(at(j + 1)));
+                        }
+                    }
+                }
+            }
+        }
+        WarPrograms {
+            warmup,
+            measured: prog,
+        }
+    }
+}
+
+/// The two phases of a Figure 10 run.
+#[derive(Debug, Clone)]
+pub struct WarPrograms {
+    /// One untimed pass over the array (brings it into the LLC).
+    pub warmup: Program,
+    /// The measured write-after-read-intensive region.
+    pub measured: Program,
+}
+
+impl std::fmt::Display for WarApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftdir_coherence::ProtocolKind;
+    use swiftdir_core::SystemConfig;
+    use swiftdir_cpu::CpuModel;
+
+    fn run_sized(app: WarApp, protocol: ProtocolKind, model: CpuModel, elements: u64) -> u64 {
+        let mut sys = System::new(
+            SystemConfig::builder()
+                .cores(1)
+                .protocol(protocol)
+                .cpu_model(model)
+                .build(),
+        );
+        let pid = sys.spawn_process();
+        let progs = app.build(&mut sys, pid, elements);
+        sys.run_thread_program(pid, 0, progs.warmup.instrs().to_vec());
+        sys.run_to_completion();
+        sys.run_thread_program(pid, 0, progs.measured.instrs().to_vec());
+        sys.run_to_completion().roi_cycles()
+    }
+
+    #[test]
+    fn smesi_slower_on_all_war_apps_in_order() {
+        for app in WarApp::ALL {
+            let n = 600; // must exceed the 512-line L1 for steady-state WAR
+            let mesi = run_sized(app, ProtocolKind::Mesi, CpuModel::TimingSimple, n);
+            let swift = run_sized(app, ProtocolKind::SwiftDir, CpuModel::TimingSimple, n);
+            let smesi = run_sized(app, ProtocolKind::SMesi, CpuModel::TimingSimple, n);
+            assert!(
+                smesi > mesi,
+                "{app}: S-MESI must pay the upgrade round trips: {smesi} vs {mesi}"
+            );
+            let rel = (swift as f64 - mesi as f64).abs() / mesi as f64;
+            assert!(rel < 0.02, "{app}: SwiftDir ≈ MESI: {swift} vs {mesi}");
+        }
+    }
+
+    #[test]
+    fn ooo_amplifies_the_gap() {
+        // Steady state needs the array to exceed the 512-line L1.
+        let app = WarApp::ArrayAssignment;
+        let n = 1024;
+        let inorder_ratio = run_sized(app, ProtocolKind::SMesi, CpuModel::TimingSimple, n) as f64
+            / run_sized(app, ProtocolKind::SwiftDir, CpuModel::TimingSimple, n) as f64;
+        let ooo_ratio = run_sized(app, ProtocolKind::SMesi, CpuModel::DerivO3, n) as f64
+            / run_sized(app, ProtocolKind::SwiftDir, CpuModel::DerivO3, n) as f64;
+        assert!(
+            ooo_ratio > inorder_ratio,
+            "paper Fig. 10: OoO slowdown ({ooo_ratio:.2}x) exceeds in-order ({inorder_ratio:.2}x)"
+        );
+        assert!(ooo_ratio > 1.2, "OoO S-MESI slowdown is substantial: {ooo_ratio:.2}x");
+    }
+
+    #[test]
+    fn programs_are_war_shaped() {
+        let mut sys = System::new(
+            SystemConfig::builder()
+                .cores(1)
+                .protocol(ProtocolKind::Mesi)
+                .cpu_model(CpuModel::TimingSimple)
+                .build(),
+        );
+        let pid = sys.spawn_process();
+        for app in WarApp::ALL {
+            let prog = app.build(&mut sys, pid, 64).measured;
+            let stores = prog
+                .instrs()
+                .iter()
+                .filter(|i| matches!(i, Instr::Store(_)))
+                .count();
+            let loads = prog
+                .instrs()
+                .iter()
+                .filter(|i| matches!(i, Instr::Load(_)))
+                .count();
+            assert!(stores > 0 && loads > 0, "{app} mixes loads and stores");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two elements")]
+    fn tiny_array_rejected() {
+        let mut sys = System::new(SystemConfig::builder().cores(1).build());
+        let pid = sys.spawn_process();
+        WarApp::ArrayAssignment.build(&mut sys, pid, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! The E/S coherence covert channel (paper §II-B), demonstrated live:
+//! a sender/receiver pair leaks a message byte-by-byte under MESI, and
+//! the same attack collapses to garbage under SwiftDir.
+//!
+//! ```sh
+//! cargo run --example covert_channel
+//! ```
+
+use swiftdir::core::CovertChannel;
+use swiftdir::prelude::*;
+
+fn to_bits(msg: &str) -> Vec<bool> {
+    msg.bytes()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+fn from_bits(bits: &[bool]) -> String {
+    bits.chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .map(|b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let secret = "SWIFTDIR";
+    let bits = to_bits(secret);
+    println!("secret: {secret:?} ({} bits)\n", bits.len());
+
+    for protocol in [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi] {
+        let outcome = CovertChannel::new(protocol).transmit(&bits);
+        let decoded = from_bits(&outcome.decoded);
+        let lat_min = outcome.latencies.iter().min().unwrap().get();
+        let lat_max = outcome.latencies.iter().max().unwrap().get();
+        println!("{protocol}:");
+        println!("  receiver decoded : {decoded:?}");
+        println!(
+            "  bit accuracy     : {:.1}%  (probe latencies {}..{} cycles)",
+            outcome.accuracy() * 100.0,
+            lat_min,
+            lat_max
+        );
+        println!(
+            "  verdict          : {}\n",
+            if outcome.leaks() {
+                "LEAKS — E- and S-state probes are distinguishable"
+            } else {
+                "closed — every probe served from the LLC at one latency"
+            }
+        );
+    }
+}

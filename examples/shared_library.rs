@@ -1,0 +1,91 @@
+//! The identification pipeline end to end (paper §IV-A): two processes
+//! `dlopen` the same library and a third pair of heap pages is merged by
+//! KSM — every resulting page is write-protected, travels as `GETS_WP`,
+//! and is served from the LLC under SwiftDir.
+//!
+//! ```sh
+//! cargo run --example shared_library
+//! ```
+
+use swiftdir::cpu::MemOp;
+use swiftdir::mmu::{LibraryImage, SegmentKind};
+use swiftdir::prelude::*;
+
+fn main() {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(2)
+            .protocol(ProtocolKind::SwiftDir)
+            .cpu_model(CpuModel::TimingSimple)
+            .build(),
+    );
+
+    // --- shared library ----------------------------------------------------
+    let lib = LibraryImage::synthetic("libdemo.so.1", 4, 2, 1);
+    let p1 = sys.spawn_process();
+    let p2 = sys.spawn_process();
+    let (map1, file) = sys.process_mut(p1).load_library(&lib, None).unwrap();
+    let (map2, _) = sys.process_mut(p2).load_library(&lib, Some(file)).unwrap();
+    println!("loaded {} into two processes (shared page cache)\n", lib.name());
+
+    for kind in [SegmentKind::Text, SegmentKind::Rodata, SegmentKind::Data] {
+        let va1 = map1.base_of(kind).unwrap();
+        let wp = sys.process_mut(p1).is_write_protected(va1).unwrap();
+        println!("  {kind:?} segment: write-protected = {wp}");
+    }
+
+    // Process 1 (core 0) reads a rodata line, then process 2 (core 1) reads
+    // the same *physical* line through its own mapping.
+    let ro1 = map1.base_of(SegmentKind::Rodata).unwrap();
+    let ro2 = map2.base_of(SegmentKind::Rodata).unwrap();
+    sys.timed_access(0, p1, ro1, MemOp::Load);
+    sys.timed_access(1, p2, VirtAddr(ro2.0 + 128), MemOp::Load); // TLB warm-up
+    let remote = sys.timed_access(1, p2, ro2, MemOp::Load);
+    println!(
+        "\n  cross-process read of the shared rodata line: {remote} \
+         (LLC-served, state S — no owner forwarding)"
+    );
+    println!(
+        "  GETS_WP sent so far: {}",
+        sys.hierarchy().stats().event(CoherenceEvent::GetsWp)
+    );
+
+    // --- CoW on the data segment -------------------------------------------
+    let d1 = map1.base_of(SegmentKind::Data).unwrap();
+    sys.process_mut(p1).write(d1, b"patched!").unwrap();
+    println!(
+        "\n  after process 1 writes its data segment: write-protected = {}",
+        sys.process_mut(p1).is_write_protected(d1).unwrap()
+    );
+    println!(
+        "  process 2 still sees pristine data: write-protected = {}",
+        sys.process_mut(p2)
+            .is_write_protected(map2.base_of(SegmentKind::Data).unwrap())
+            .unwrap()
+    );
+
+    // --- KSM ---------------------------------------------------------------
+    let h1 = sys
+        .process_mut(p1)
+        .mmap(4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+        .unwrap();
+    let h2 = sys
+        .process_mut(p2)
+        .mmap(4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+        .unwrap();
+    sys.process_mut(p1).write(h1, b"identical heap page").unwrap();
+    sys.process_mut(p2).write(h2, b"identical heap page").unwrap();
+    let merged = sys.run_ksm();
+    println!(
+        "\nKSM pass: scanned {} pages, merged {}, freed {} frames",
+        merged.scanned, merged.merged, merged.frames_freed
+    );
+    println!(
+        "  merged heap page now write-protected = {}",
+        sys.process_mut(p1).is_write_protected(h1).unwrap()
+    );
+    sys.timed_access(0, p1, h1, MemOp::Load);
+    sys.timed_access(1, p2, VirtAddr(h2.0 + 128), MemOp::Load);
+    let remote = sys.timed_access(1, p2, h2, MemOp::Load);
+    println!("  cross-process read of the merged page: {remote} (LLC-served)");
+}

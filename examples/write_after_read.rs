@@ -1,0 +1,60 @@
+//! Write-after-read intensive applications (paper §V-E / Figure 10):
+//! shows S-MESI's overprotection tax and that SwiftDir keeps MESI's
+//! silent-upgrade speed, on both CPU models.
+//!
+//! ```sh
+//! cargo run --release --example write_after_read
+//! ```
+
+use swiftdir::prelude::*;
+use swiftdir::workloads::WarApp;
+
+fn run(app: WarApp, protocol: ProtocolKind, model: CpuModel, elements: u64) -> u64 {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(1)
+            .protocol(protocol)
+            .cpu_model(model)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    let progs = app.build(&mut sys, pid, elements);
+    sys.run_thread_program(pid, 0, progs.warmup.instrs().to_vec());
+    sys.run_to_completion();
+    sys.run_thread_program(pid, 0, progs.measured.instrs().to_vec());
+    sys.run_to_completion().roi_cycles()
+}
+
+fn main() {
+    let elements = 1024; // exceeds the 512-line L1: steady-state WAR
+    for (label, model) in [
+        ("TimingSimpleCPU (in-order)", CpuModel::TimingSimple),
+        ("DerivO3CPU (out-of-order)", CpuModel::DerivO3),
+    ] {
+        println!("{label}, {elements}-line arrays — cycles (normalized to MESI):");
+        println!(
+            "  {:<18} {:>12} {:>12} {:>12}",
+            "application", "MESI", "SwiftDir", "S-MESI"
+        );
+        for app in WarApp::ALL {
+            let mesi = run(app, ProtocolKind::Mesi, model, elements);
+            let swift = run(app, ProtocolKind::SwiftDir, model, elements);
+            let smesi = run(app, ProtocolKind::SMesi, model, elements);
+            println!(
+                "  {:<18} {:>7} 1.00 {:>7} {:.2} {:>7} {:.2}",
+                app.to_string(),
+                mesi,
+                swift,
+                swift as f64 / mesi as f64,
+                smesi,
+                smesi as f64 / mesi as f64,
+            );
+        }
+        println!();
+    }
+    println!(
+        "SwiftDir tracks MESI (silent E→M preserved for unshared arrays); \
+         S-MESI pays an Upgrade/ACK round trip per write-after-read and the \
+         out-of-order core amplifies the gap (paper reports up to 2.62x)."
+    );
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the coherence protocol invariants, driven by
+//! random multi-core request sequences under all four protocols.
+//!
+//! Invariants checked after quiescing:
+//! * every issued request completes (no lost/deadlocked transactions);
+//! * single-writer-or-multiple-readers (SWMR): an M line on one core means
+//!   no other core can read the block;
+//! * L1/LLC directory agreement: a core holding E/M is the line's single
+//!   holder; the LLC never claims I while a core holds data;
+//! * determinism: the same request sequence produces identical statistics.
+
+use proptest::prelude::*;
+use sim_engine::Cycle;
+use swiftdir::coherence::{
+    CoreRequest, Hierarchy, HierarchyConfig, L1State, LlcState, ProtocolKind,
+};
+use swiftdir::mmu::PhysAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    core: usize,
+    block: u64,
+    store: bool,
+    wp: bool,
+    gap: u64,
+}
+
+fn op_strategy(cores: usize, blocks: u64) -> impl Strategy<Value = Op> {
+    (
+        0..cores,
+        0..blocks,
+        any::<bool>(),
+        any::<bool>(),
+        0u64..32,
+    )
+        .prop_map(|(core, block, store, wp, gap)| Op {
+            core,
+            block,
+            // WP data is never stored to in practice (CoW redirects);
+            // keep the generator faithful.
+            store: store && !wp,
+            wp: wp && !store,
+            gap,
+        })
+}
+
+fn run_ops(protocol: ProtocolKind, ops: &[Op]) -> (Hierarchy, usize) {
+    let mut h = Hierarchy::new(HierarchyConfig::table_v(4, protocol));
+    let mut t = Cycle(0);
+    for op in ops {
+        let addr = PhysAddr(0x10_0000 + op.block * 64);
+        let mut req = if op.store {
+            CoreRequest::store(addr)
+        } else {
+            CoreRequest::load(addr)
+        };
+        if op.wp {
+            req = req.write_protected();
+        }
+        h.issue(t, op.core, req);
+        t += Cycle(op.gap);
+    }
+    let completions = h.run_until_idle();
+    (h, completions.len())
+}
+
+fn check_invariants(h: &Hierarchy, protocol: ProtocolKind, blocks: u64) {
+    for b in 0..blocks {
+        let addr = PhysAddr(0x10_0000 + b * 64);
+        let states: Vec<L1State> = (0..4).map(|c| h.l1_state(c, addr)).collect();
+        let writers = states.iter().filter(|s| **s == L1State::M).count();
+        let readers = states.iter().filter(|s| s.load_hits()).count();
+        // SWMR: a writer excludes all other readable copies.
+        if writers > 0 {
+            assert_eq!(writers, 1, "block {b}: multiple writers: {states:?}");
+            assert_eq!(readers, 1, "block {b}: writer plus readers: {states:?}");
+        }
+        // E is exclusive — except under S-MESI, where the LLC serves
+        // E-state lines directly (paper §II-C): the old owner keeps an
+        // *advisory* E while new sharers hold S. That is safe only because
+        // S-MESI has no silent upgrade — every write still asks the LLC,
+        // which knows the real sharer set.
+        if protocol != ProtocolKind::SMesi {
+            let exclusives = states.iter().filter(|s| **s == L1State::E).count();
+            if exclusives > 0 {
+                assert_eq!(readers, 1, "block {b}: E not exclusive: {states:?}");
+            }
+        }
+        // Inclusion-ish agreement: cores hold data ⇒ LLC knows the block.
+        if readers > 0 {
+            assert_ne!(
+                h.llc_state(addr),
+                LlcState::I,
+                "block {b}: L1 data without an LLC line"
+            );
+        }
+        // Quiesced lines are stable.
+        for (c, s) in states.iter().enumerate() {
+            assert!(s.is_stable(), "block {b} core {c}: transient {s} at rest");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_requests_complete_and_swmr_holds(
+        ops in prop::collection::vec(op_strategy(4, 12), 1..120),
+        protocol in prop::sample::select(vec![
+            ProtocolKind::Mesi,
+            ProtocolKind::SMesi,
+            ProtocolKind::SwiftDir,
+            ProtocolKind::Msi,
+        ]),
+    ) {
+        let (h, completed) = run_ops(protocol, &ops);
+        prop_assert_eq!(completed, ops.len(), "all requests complete");
+        check_invariants(&h, protocol, 12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        ops in prop::collection::vec(op_strategy(4, 8), 1..60),
+    ) {
+        let (h1, _) = run_ops(ProtocolKind::SwiftDir, &ops);
+        let (h2, _) = run_ops(ProtocolKind::SwiftDir, &ops);
+        prop_assert_eq!(h1.now(), h2.now());
+        for e in swiftdir::coherence::CoherenceEvent::ALL {
+            prop_assert_eq!(h1.stats().event(e), h2.stats().event(e));
+        }
+    }
+
+    #[test]
+    fn wp_loads_never_create_exclusive_lines_under_swiftdir(
+        ops in prop::collection::vec(op_strategy(2, 6), 1..80),
+    ) {
+        // Re-tag every op as a WP load: after quiescing, no L1 line for
+        // these blocks may be E or M anywhere.
+        let wp_ops: Vec<Op> = ops
+            .iter()
+            .map(|o| Op { store: false, wp: true, ..*o })
+            .collect();
+        let (h, _) = run_ops(ProtocolKind::SwiftDir, &wp_ops);
+        for b in 0..6u64 {
+            let addr = PhysAddr(0x10_0000 + b * 64);
+            for c in 0..4 {
+                let s = h.l1_state(c, addr);
+                prop_assert!(
+                    s == L1State::I || s == L1State::S,
+                    "WP block {} on core {} reached {}", b, c, s
+                );
+            }
+            let llc = h.llc_state(addr);
+            prop_assert!(
+                llc == LlcState::I || llc == LlcState::S,
+                "WP block {} at LLC reached {}", b, llc
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_wp_and_private_traffic_quiesces_with_small_caches(
+        ops in prop::collection::vec(op_strategy(4, 64), 1..200),
+    ) {
+        // A tiny LLC forces recalls and evictions to actually trigger.
+        let mut cfg = HierarchyConfig::table_v(4, ProtocolKind::SwiftDir);
+        cfg.llc_bank_geometry = swiftdir::cache::CacheGeometry::new(8 * 1024, 2, 64);
+        cfg.l1_geometry = swiftdir::cache::CacheGeometry::new(1024, 2, 64);
+        let mut h = Hierarchy::new(cfg);
+        let mut t = Cycle(0);
+        for op in &ops {
+            let addr = PhysAddr(0x10_0000 + op.block * 64);
+            let mut req = if op.store {
+                CoreRequest::store(addr)
+            } else {
+                CoreRequest::load(addr)
+            };
+            if op.wp {
+                req = req.write_protected();
+            }
+            h.issue(t, op.core, req);
+            t += Cycle(op.gap);
+        }
+        let completions = h.run_until_idle();
+        prop_assert_eq!(completions.len(), ops.len());
+    }
+}

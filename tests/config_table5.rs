@@ -1,0 +1,63 @@
+//! Asserts that the default configuration reproduces paper Table V.
+
+use swiftdir::cpu::O3Config;
+use swiftdir::mem::DramConfig;
+use swiftdir::prelude::*;
+
+#[test]
+fn processor_parameters() {
+    // 1~4 cores, 3 GHz, OoO, 192-entry ROB, 32-entry LQ & SQ, width 8.
+    let o3 = O3Config::table_v();
+    assert_eq!(o3.rob, 192);
+    assert_eq!(o3.lq, 32);
+    assert_eq!(o3.sq, 32);
+    assert_eq!(o3.width, 8);
+    let cfg = SystemConfig::default();
+    assert!(cfg.cores >= 1 && cfg.cores <= 4);
+    assert_eq!(cfg.cpu_model, CpuModel::DerivO3);
+}
+
+#[test]
+fn cache_parameters() {
+    // L1: 64-byte blocks, 4-way, 32 KB, 1-cycle RT.
+    let l1 = CacheGeometry::table_v_l1();
+    assert_eq!(l1.block_bytes(), 64);
+    assert_eq!(l1.associativity(), 4);
+    assert_eq!(l1.size_bytes(), 32 * 1024);
+    // L2: 64-byte blocks, 16-way, 2 MB per core; 16-cycle RT.
+    let l2 = CacheGeometry::table_v_l2_bank();
+    assert_eq!(l2.block_bytes(), 64);
+    assert_eq!(l2.associativity(), 16);
+    assert_eq!(l2.size_bytes(), 2 * 1024 * 1024);
+    // Round-trip calibration: 1-cycle L1, 16-cycle L2 (1+7+2+7-1 = 16
+    // beyond the L1 probe).
+    let hier = SystemConfig::default().hierarchy();
+    assert_eq!(hier.latency.l1_lookup, 1);
+    assert_eq!(hier.latency.llc_load_latency() - hier.latency.l1_lookup, 16);
+}
+
+#[test]
+fn tlb_parameters() {
+    // 64-entry ITB & DTB, fully associative (we model the DTB; it is a
+    // single fully-associative structure).
+    assert_eq!(SystemConfig::default().tlb_entries, 64);
+}
+
+#[test]
+fn memory_parameters() {
+    // DDR3_1600_8x8, 1 channel, 2 ranks, 8 banks/rank, 1 KB row buffers,
+    // tCAS-tRCD-tRP = 11-11-11 (expressed in CPU cycles: 11 x 3.75 ≈ 41).
+    let dram = DramConfig::ddr3_1600_8x8();
+    assert_eq!(dram.channels, 1);
+    assert_eq!(dram.ranks, 2);
+    assert_eq!(dram.banks_per_rank, 8);
+    assert_eq!(dram.row_buffer_bytes, 1024);
+    assert_eq!(dram.t_cas, 41);
+    assert_eq!(dram.t_rcd, 41);
+    assert_eq!(dram.t_rp, 41);
+}
+
+#[test]
+fn baseline_protocol_is_directory_mesi() {
+    assert_eq!(SystemConfig::default().protocol, ProtocolKind::Mesi);
+}

@@ -1,0 +1,66 @@
+//! Security integration tests: the E/S timing channel exists under MESI
+//! and is closed by SwiftDir (and the baselines S-MESI and MSI), via both
+//! the covert channel and the side channel of paper §II-B.
+
+use swiftdir::core::{CovertChannel, SideChannel};
+use swiftdir::prelude::*;
+
+#[test]
+fn covert_channel_accuracy_by_protocol() {
+    let bits = 40;
+    let mesi = CovertChannel::new(ProtocolKind::Mesi).transmit_random(bits, 11);
+    assert!(
+        mesi.accuracy() >= 0.975,
+        "MESI channel is near-perfect: {}",
+        mesi.accuracy()
+    );
+    for p in [ProtocolKind::SwiftDir, ProtocolKind::SMesi, ProtocolKind::Msi] {
+        let out = CovertChannel::new(p).transmit_random(bits, 11);
+        assert!(
+            !out.leaks(),
+            "{p} must close the covert channel (accuracy {})",
+            out.accuracy()
+        );
+    }
+}
+
+#[test]
+fn swiftdir_probe_latencies_are_indistinguishable() {
+    // The defense is constant-time service, not noise: every receiver
+    // probe must observe exactly the same latency.
+    let out = CovertChannel::new(ProtocolKind::SwiftDir).transmit_random(32, 23);
+    let first = out.latencies[0];
+    assert!(
+        out.latencies.iter().all(|&l| l == first),
+        "latencies vary: {:?}",
+        out.latencies
+    );
+}
+
+#[test]
+fn mesi_probe_latencies_split_into_two_clusters() {
+    let out = CovertChannel::new(ProtocolKind::Mesi).transmit_random(32, 23);
+    let distinct: std::collections::BTreeSet<u64> =
+        out.latencies.iter().map(|c| c.get()).collect();
+    assert_eq!(distinct.len(), 2, "E and S latencies: {distinct:?}");
+    let gap = distinct.iter().max().unwrap() - distinct.iter().min().unwrap();
+    assert_eq!(gap, 26, "the calibrated E/S gap");
+}
+
+#[test]
+fn side_channel_detects_victim_accesses_only_under_mesi() {
+    let mesi = SideChannel::new(ProtocolKind::Mesi).run_random(32, 5);
+    assert!(mesi.accuracy() >= 0.975, "MESI: {}", mesi.accuracy());
+    for p in [ProtocolKind::SwiftDir, ProtocolKind::SMesi] {
+        let out = SideChannel::new(p).run_random(32, 5);
+        assert!(!out.leaks(), "{p}: accuracy {}", out.accuracy());
+    }
+}
+
+#[test]
+fn channel_is_deterministic_across_runs() {
+    let a = CovertChannel::new(ProtocolKind::Mesi).transmit_random(16, 99);
+    let b = CovertChannel::new(ProtocolKind::Mesi).transmit_random(16, 99);
+    assert_eq!(a.latencies, b.latencies, "simulation is reproducible");
+    assert_eq!(a.decoded, b.decoded);
+}
