@@ -3,7 +3,7 @@
 //! execution time normalized over MESI.
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{System, SystemConfig};
+use swiftdir_core::{ExperimentSet, System, SystemConfig};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::WarApp;
 
@@ -39,10 +39,16 @@ fn main() {
             "  {:<18} {:>12} {:>10} {:>10} {:>14}",
             "application", "MESI(cyc)", "SwiftDir%", "S-MESI%", "speedup vs S-MESI"
         );
-        for app in WarApp::ALL {
-            let mesi = run(app, ProtocolKind::Mesi, model) as f64;
-            let swift = run(app, ProtocolKind::SwiftDir, model) as f64;
-            let smesi = run(app, ProtocolKind::SMesi, model) as f64;
+        let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+        let points: Vec<(WarApp, ProtocolKind)> = WarApp::ALL
+            .into_iter()
+            .flat_map(|a| protocols.into_iter().map(move |p| (a, p)))
+            .collect();
+        let times = ExperimentSet::new(points).run(|&(a, p)| run(a, p, model));
+        for (i, app) in WarApp::ALL.into_iter().enumerate() {
+            let mesi = times[i * 3] as f64;
+            let swift = times[i * 3 + 1] as f64;
+            let smesi = times[i * 3 + 2] as f64;
             println!(
                 "  {:<18} {:>12.0} {:>10.2} {:>10.2} {:>13.2}x",
                 app.to_string(),

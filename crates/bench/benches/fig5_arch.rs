@@ -4,9 +4,35 @@
 
 use swiftdir_cache::L1Architecture;
 use swiftdir_coherence::{CoherenceEvent, ProtocolKind};
-use swiftdir_core::{System, SystemConfig};
+use swiftdir_core::{ExperimentSet, System, SystemConfig};
 use swiftdir_cpu::{CpuModel, MemOp};
 use swiftdir_mmu::{MapFlags, Prot, VirtAddr};
+
+/// One architecture's measured row: steady-state hit and miss latency,
+/// and whether the WP bit reached the directory.
+fn measure(arch: L1Architecture) -> (u64, u64, bool) {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(2)
+            .protocol(ProtocolKind::SwiftDir)
+            .cpu_model(CpuModel::TimingSimple)
+            .l1_architecture(arch)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    let va = sys
+        .process_mut(pid)
+        .mmap(8192, Prot::READ, MapFlags::PRIVATE)
+        .unwrap();
+    // Cold access faults the page in; warm-ups leave a measurable
+    // steady state.
+    sys.timed_access(0, pid, va, MemOp::Load);
+    let hit = sys.timed_access(0, pid, va, MemOp::Load);
+    // A warm-TLB L1 miss: another line of the same page, evict-free.
+    let miss = sys.timed_access(0, pid, VirtAddr(va.0 + 64), MemOp::Load);
+    let wp_ok = sys.hierarchy().stats().event(CoherenceEvent::GetsWp) >= 2;
+    (hit.get(), miss.get(), wp_ok)
+}
 
 fn main() {
     println!("Figure 5 — write-protected information transport per L1 architecture\n");
@@ -14,33 +40,14 @@ fn main() {
         "{:<6} {:<22} {:>9} {:>10} {:>12}",
         "arch", "(where, when)", "hit(cyc)", "miss(cyc)", "GETS_WP ok"
     );
-    for arch in L1Architecture::ALL {
-        let mut sys = System::new(
-            SystemConfig::builder()
-                .cores(2)
-                .protocol(ProtocolKind::SwiftDir)
-                .cpu_model(CpuModel::TimingSimple)
-                .l1_architecture(arch)
-                .build(),
-        );
-        let pid = sys.spawn_process();
-        let va = sys
-            .process_mut(pid)
-            .mmap(8192, Prot::READ, MapFlags::PRIVATE)
-            .unwrap();
-        // Cold access faults the page in; warm-ups leave a measurable
-        // steady state.
-        sys.timed_access(0, pid, va, MemOp::Load);
-        let hit = sys.timed_access(0, pid, va, MemOp::Load);
-        // A warm-TLB L1 miss: another line of the same page, evict-free.
-        let miss = sys.timed_access(0, pid, VirtAddr(va.0 + 64), MemOp::Load);
-        let wp_ok = sys.hierarchy().stats().event(CoherenceEvent::GetsWp) >= 2;
+    let rows = ExperimentSet::new(L1Architecture::ALL.to_vec()).run(|&arch| measure(arch));
+    for (arch, (hit, miss, wp_ok)) in L1Architecture::ALL.into_iter().zip(rows) {
         println!(
             "{:<6} {:<22} {:>9} {:>10} {:>12}",
             arch.to_string(),
             format!("{:?}", arch.wp_arrival()),
-            hit.get(),
-            miss.get(),
+            hit,
+            miss,
             wp_ok,
         );
     }

@@ -8,7 +8,7 @@
 //! (the exploitable one) is printed alongside for contrast.
 
 use swiftdir_coherence::{CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind};
-use swiftdir_core::{LatencyProbe, SystemConfig};
+use swiftdir_core::{ExperimentSet, LatencyProbe, SystemConfig};
 use swiftdir_mmu::PhysAddr;
 use sim_engine::{Cycle, Histogram};
 
@@ -72,19 +72,23 @@ fn main() {
     let _ = SystemConfig::default();
     println!("Figure 6 — coherence request latency CDF ({LINES} samples/series)\n");
 
-    // Paper series 1: MESI Load(L1I&L2S) — two sharers make the line S.
-    let mesi_s = sample_s_loads(ProtocolKind::Mesi, false, 2);
-    print_cdf("MESI Load(L1I&L2S)", &mesi_s);
-
-    // Paper series 2: SwiftDir Load_WP(L1I&L2S) — one initial load
-    // suffices (I→S), every subsequent load is the same class.
-    let swift_wp = sample_s_loads(ProtocolKind::SwiftDir, true, 1);
-    print_cdf("SwiftDir Load_WP(L1I&L2S)", &swift_wp);
-
-    // Contrast (not in Fig. 6 but the channel it closes): MESI remote load
-    // of E-state data.
-    let mesi_e = sample_s_loads(ProtocolKind::Mesi, false, 1);
-    print_cdf("MESI Load(L1I&L2E)", &mesi_e);
+    // Three independent series:
+    //  1. MESI Load(L1I&L2S) — two sharers make the line S;
+    //  2. SwiftDir Load_WP(L1I&L2S) — one initial load suffices (I→S),
+    //     every subsequent load is the same class;
+    //  3. contrast (not in Fig. 6 but the channel it closes): MESI remote
+    //     load of E-state data.
+    let series = [
+        ("MESI Load(L1I&L2S)", ProtocolKind::Mesi, false, 2usize),
+        ("SwiftDir Load_WP(L1I&L2S)", ProtocolKind::SwiftDir, true, 1),
+        ("MESI Load(L1I&L2E)", ProtocolKind::Mesi, false, 1),
+    ];
+    let hists = ExperimentSet::new(series.to_vec())
+        .run(|&(_, protocol, wp, sharers)| sample_s_loads(protocol, wp, sharers));
+    for ((label, ..), h) in series.iter().zip(&hists) {
+        print_cdf(label, h);
+    }
+    let (mesi_s, swift_wp, mesi_e) = (&hists[0], &hists[1], &hists[2]);
 
     let gap = mesi_e.median().unwrap_or(0) as i64 - mesi_s.median().unwrap_or(0) as i64;
     println!(

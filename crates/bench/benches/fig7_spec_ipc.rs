@@ -2,7 +2,7 @@
 //! and S-MESI over MESI, per benchmark (23 synthetic profiles).
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{System, SystemConfig};
+use swiftdir_core::{ExperimentSet, System, SystemConfig};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
@@ -33,12 +33,21 @@ fn main() {
         "{:<12} {:>9} {:>10} {:>10}",
         "benchmark", "MESI", "SwiftDir%", "S-MESI%"
     );
+    // One experiment per (benchmark, protocol) point, fanned over worker
+    // threads; results come back in input order, so rows print as before.
+    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let points: Vec<(SpecBenchmark, ProtocolKind)> = SpecBenchmark::ALL
+        .into_iter()
+        .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
+        .collect();
+    let ipcs = ExperimentSet::new(points).run(|&(b, p)| ipc(b, p));
+
     let mut swift_sum = 0.0;
     let mut smesi_sum = 0.0;
-    for bench in SpecBenchmark::ALL {
-        let mesi = ipc(bench, ProtocolKind::Mesi);
-        let swift = ipc(bench, ProtocolKind::SwiftDir) / mesi * 100.0;
-        let smesi = ipc(bench, ProtocolKind::SMesi) / mesi * 100.0;
+    for (i, bench) in SpecBenchmark::ALL.into_iter().enumerate() {
+        let mesi = ipcs[i * 3];
+        let swift = ipcs[i * 3 + 1] / mesi * 100.0;
+        let smesi = ipcs[i * 3 + 2] / mesi * 100.0;
         swift_sum += swift;
         smesi_sum += smesi;
         println!("{:<12} {:>9.4} {:>10.3} {:>10.3}", bench.name(), mesi, swift, smesi);

@@ -2,7 +2,7 @@
 //! and S-MESI normalized over MESI (4 cores, 13 synthetic profiles).
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{System, SystemConfig};
+use swiftdir_core::{ExperimentSet, System, SystemConfig};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::ParsecBenchmark;
 
@@ -32,12 +32,19 @@ fn main() {
         "{:<15} {:>10} {:>10} {:>10}",
         "benchmark", "MESI(cyc)", "SwiftDir%", "S-MESI%"
     );
+    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let points: Vec<(ParsecBenchmark, ProtocolKind)> = ParsecBenchmark::ALL
+        .into_iter()
+        .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
+        .collect();
+    let cycles = ExperimentSet::new(points).run(|&(b, p)| roi_cycles(b, p));
+
     let mut swift_sum = 0.0;
     let mut smesi_sum = 0.0;
-    for bench in ParsecBenchmark::ALL {
-        let mesi = roi_cycles(bench, ProtocolKind::Mesi) as f64;
-        let swift = roi_cycles(bench, ProtocolKind::SwiftDir) as f64 / mesi * 100.0;
-        let smesi = roi_cycles(bench, ProtocolKind::SMesi) as f64 / mesi * 100.0;
+    for (i, bench) in ParsecBenchmark::ALL.into_iter().enumerate() {
+        let mesi = cycles[i * 3] as f64;
+        let swift = cycles[i * 3 + 1] as f64 / mesi * 100.0;
+        let smesi = cycles[i * 3 + 2] as f64 / mesi * 100.0;
         swift_sum += swift;
         smesi_sum += smesi;
         println!(

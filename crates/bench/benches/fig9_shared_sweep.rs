@@ -2,6 +2,7 @@
 //! 1 000–5 000 exploitable shared data items, normalized over MESI.
 
 use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::ExperimentSet;
 use swiftdir_workloads::ReadOnlySweep;
 
 fn main() {
@@ -10,14 +11,21 @@ fn main() {
         "{:<8} {:>12} {:>10} {:>10}",
         "amount", "MESI(cyc)", "SwiftDir%", "S-MESI%"
     );
+    let amounts = [1000u64, 2000, 3000, 4000, 5000];
+    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let points: Vec<(u64, ProtocolKind)> = amounts
+        .into_iter()
+        .flat_map(|a| protocols.into_iter().map(move |p| (a, p)))
+        .collect();
+    let cycles = ExperimentSet::new(points)
+        .run(|&(amount, p)| ReadOnlySweep::new(amount).run(p).reaccess_cycles);
+
     let mut swift_sum = 0.0;
     let mut smesi_sum = 0.0;
-    let amounts = [1000u64, 2000, 3000, 4000, 5000];
-    for &amount in &amounts {
-        let sweep = ReadOnlySweep::new(amount);
-        let mesi = sweep.run(ProtocolKind::Mesi).reaccess_cycles as f64;
-        let swift = sweep.run(ProtocolKind::SwiftDir).reaccess_cycles as f64 / mesi * 100.0;
-        let smesi = sweep.run(ProtocolKind::SMesi).reaccess_cycles as f64 / mesi * 100.0;
+    for (i, amount) in amounts.into_iter().enumerate() {
+        let mesi = cycles[i * 3] as f64;
+        let swift = cycles[i * 3 + 1] as f64 / mesi * 100.0;
+        let smesi = cycles[i * 3 + 2] as f64 / mesi * 100.0;
         swift_sum += swift;
         smesi_sum += smesi;
         println!("{amount:<8} {mesi:>12.0} {swift:>10.2} {smesi:>10.2}");

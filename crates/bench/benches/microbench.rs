@@ -1,105 +1,142 @@
-//! Criterion micro-benchmarks of the simulator substrates themselves:
-//! event-queue throughput, cache-array operations, TLB lookups, DRAM
-//! timing, and the end-to-end hierarchy load path.
+//! Micro-benchmarks of the simulator substrates themselves: event-queue
+//! throughput, cache-array operations, TLB lookups, DRAM timing, and the
+//! end-to-end hierarchy load path.
+//!
+//! Hand-rolled harness (no external benchmark framework): each case runs
+//! `ITERS` times after `WARMUP` discarded iterations and reports the
+//! minimum, median, and mean wall time per iteration. The minimum is the
+//! most noise-resistant single number on a busy host; compare minima
+//! across commits.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
 use sim_engine::{Cycle, DetRng, EventQueue};
 use swiftdir_cache::{CacheArray, CacheGeometry, ReplacementPolicy};
 use swiftdir_coherence::{CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind};
 use swiftdir_mem::{DramConfig, MemoryController};
 use swiftdir_mmu::{Pfn, PhysAddr, Tlb, TlbEntry, Vpn};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("engine/event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::new();
-            for i in 0..1000u32 {
-                q.schedule(Cycle((i as u64 * 7919) % 4096), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
+const WARMUP: usize = 5;
+const ITERS: usize = 30;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[ITERS / 2];
+    let mean = times.iter().sum::<Duration>() / ITERS as u32;
+    println!(
+        "{name:<36} min {:>9.2?}  median {:>9.2?}  mean {:>9.2?}  (n={ITERS})",
+        min, median, mean
+    );
+}
+
+fn bench_event_queue() {
+    bench("engine/event_queue_push_pop_1k", || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..1000u32 {
+            q.schedule(Cycle((i as u64 * 7919) % 4096), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc += v as u64;
+        }
+        acc
+    });
+    bench("engine/event_queue_pop_batch_1k", || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..1000u32 {
+            q.schedule(Cycle((i as u64 * 7919) % 4096), i);
+        }
+        let mut acc = 0u64;
+        let mut batch = Vec::new();
+        while q.pop_batch(Cycle::MAX, &mut batch).is_some() {
+            for v in batch.drain(..) {
                 acc += v as u64;
             }
-            acc
-        })
+        }
+        acc
     });
 }
 
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache/array_insert_get_1k", |b| {
-        let geom = CacheGeometry::table_v_l1();
-        b.iter(|| {
-            let mut array: CacheArray<u8> = CacheArray::new(geom, ReplacementPolicy::Lru);
-            let mut rng = DetRng::new(1);
-            let mut hits = 0u32;
-            for _ in 0..1000 {
-                let addr = rng.below(1 << 16) * 64;
-                if array.get(addr).is_some() {
-                    hits += 1;
-                } else {
-                    array.insert(addr, 0);
-                }
+fn bench_cache_array() {
+    let geom = CacheGeometry::table_v_l1();
+    bench("cache/array_insert_get_1k", move || {
+        let mut array: CacheArray<u8> = CacheArray::new(geom, ReplacementPolicy::Lru);
+        let mut rng = DetRng::new(1);
+        let mut hits = 0u32;
+        for _ in 0..1000 {
+            let addr = rng.below(1 << 16) * 64;
+            if array.get(addr).is_some() {
+                hits += 1;
+            } else {
+                array.insert(addr, 0);
             }
-            hits
-        })
+        }
+        hits
     });
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("mmu/tlb_lookup_fill_1k", |b| {
-        b.iter(|| {
-            let mut tlb = Tlb::new(64);
-            let mut rng = DetRng::new(2);
-            let mut hits = 0u32;
-            for _ in 0..1000 {
-                let vpn = Vpn(rng.below(128));
-                if tlb.lookup(vpn).is_none() {
-                    tlb.fill(TlbEntry {
-                        vpn,
-                        pfn: Pfn(vpn.0 + 100),
-                        writable: true,
-                        write_protected: false,
-                    });
-                } else {
-                    hits += 1;
-                }
+fn bench_tlb() {
+    bench("mmu/tlb_lookup_fill_1k", || {
+        let mut tlb = Tlb::new(64);
+        let mut rng = DetRng::new(2);
+        let mut hits = 0u32;
+        for _ in 0..1000 {
+            let vpn = Vpn(rng.below(128));
+            if tlb.lookup(vpn).is_none() {
+                tlb.fill(TlbEntry {
+                    vpn,
+                    pfn: Pfn(vpn.0 + 100),
+                    writable: true,
+                    write_protected: false,
+                });
+            } else {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("mem/dram_access_1k", |b| {
-        b.iter(|| {
-            let mut mc = MemoryController::new(DramConfig::default());
-            let mut t = Cycle(0);
-            for i in 0..1000u64 {
-                t = mc.access(t, PhysAddr(i * 64), i % 4 == 0);
-            }
-            t
-        })
+fn bench_dram() {
+    bench("mem/dram_access_1k", || {
+        let mut mc = MemoryController::new(DramConfig::default());
+        let mut t = Cycle(0);
+        for i in 0..1000u64 {
+            t = mc.access(t, PhysAddr(i * 64), i % 4 == 0);
+        }
+        t
     });
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
-    c.bench_function("coherence/hierarchy_1k_loads", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(HierarchyConfig::table_v(2, ProtocolKind::SwiftDir));
-            let mut t = Cycle(0);
-            for i in 0..1000u64 {
-                let addr = PhysAddr(0x10_0000 + (i % 256) * 64);
-                h.issue(t, (i % 2) as usize, CoreRequest::load(addr));
-                t += Cycle(5);
-            }
-            h.run_until_idle().len()
-        })
+fn bench_hierarchy() {
+    bench("coherence/hierarchy_1k_loads", || {
+        let mut h = Hierarchy::new(HierarchyConfig::table_v(2, ProtocolKind::SwiftDir));
+        let mut t = Cycle(0);
+        for i in 0..1000u64 {
+            let addr = PhysAddr(0x10_0000 + (i % 256) * 64);
+            h.issue(t, (i % 2) as usize, CoreRequest::load(addr));
+            t += Cycle(5);
+        }
+        h.run_until_idle().len()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_cache_array, bench_tlb, bench_dram, bench_hierarchy
+fn main() {
+    println!("Simulator micro-benchmarks ({WARMUP} warmup + {ITERS} timed iterations)\n");
+    bench_event_queue();
+    bench_cache_array();
+    bench_tlb();
+    bench_dram();
+    bench_hierarchy();
 }
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! the MESI channel work.
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{CovertChannel, SideChannel};
+use swiftdir_core::{CovertChannel, ExperimentSet, SideChannel};
 
 const BITS: usize = 64;
 const SEED: u64 = 2022;
@@ -14,14 +14,19 @@ fn main() {
         "{:<10} {:>16} {:>16} {:>20}",
         "protocol", "covert acc.", "side-ch acc.", "probe latencies"
     );
-    for p in [
+    let protocols = [
         ProtocolKind::Mesi,
         ProtocolKind::SwiftDir,
         ProtocolKind::SMesi,
         ProtocolKind::Msi,
-    ] {
-        let covert = CovertChannel::new(p).transmit_random(BITS, SEED);
-        let side = SideChannel::new(p).run_random(BITS, SEED + 1);
+    ];
+    let outcomes = ExperimentSet::new(protocols.to_vec()).run(|&p| {
+        (
+            CovertChannel::new(p).transmit_random(BITS, SEED),
+            SideChannel::new(p).run_random(BITS, SEED + 1),
+        )
+    });
+    for (p, (covert, side)) in protocols.into_iter().zip(outcomes) {
         let distinct: std::collections::BTreeSet<u64> =
             covert.latencies.iter().map(|c| c.get()).collect();
         let lat: Vec<String> = distinct.iter().map(|l| format!("{l}")).collect();

@@ -6,6 +6,7 @@ use sim_engine::Cycle;
 use swiftdir_coherence::{
     CoherenceEvent, CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind, ServedFrom,
 };
+use swiftdir_core::ExperimentSet;
 use swiftdir_mmu::PhysAddr;
 
 const X: PhysAddr = PhysAddr(0x20_0000);
@@ -39,9 +40,12 @@ fn main() {
         "{:<10} {:>22} {:>24}",
         "protocol", "shared E from LLC", "silent E->M on L1"
     );
-    for p in [ProtocolKind::Mesi, ProtocolKind::SMesi, ProtocolKind::SwiftDir] {
-        let (llc, shared_lat) = shared_from_llc(p);
-        let (silent, store_lat, upgrades) = silent_upgrade(p);
+    let protocols = [ProtocolKind::Mesi, ProtocolKind::SMesi, ProtocolKind::SwiftDir];
+    let rows = ExperimentSet::new(protocols.to_vec())
+        .run(|&p| (shared_from_llc(p), silent_upgrade(p)));
+    for (p, ((llc, shared_lat), (silent, store_lat, upgrades))) in
+        protocols.into_iter().zip(rows)
+    {
         println!(
             "{:<10} {:>12} ({:>3}cyc) {:>12} ({:>2}cyc, {} upgrades)",
             p.to_string(),

@@ -1,0 +1,126 @@
+//! Performance harness for the simulator itself.
+//!
+//! Measures two things and writes them to `BENCH_driver.json` in the
+//! current directory:
+//!
+//! 1. **Single-simulation throughput** — wall time of one Figure-7-style
+//!    run (first SPEC profile, MESI, DerivO3, 60 k instructions), the
+//!    number the hot-path work (FxHash maps, `pop_batch`, geometry
+//!    shift/mask, TLB index) moves.
+//! 2. **Sweep wall-clock** — the full 23 × 3 Figure-7 grid through
+//!    [`ExperimentSet`], serial (`threads(1)`) vs parallel (host
+//!    default), the number the experiment driver moves. Per-point
+//!    results must be identical between the two runs; the harness
+//!    asserts it.
+//!
+//! Reference numbers from the commit that introduced this harness are
+//! embedded under `"baseline"` so a regression shows up as a ratio
+//! without digging through git history. They were measured on a 1-core
+//! container; re-baseline when moving to different hardware.
+
+use std::time::Instant;
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{driver, ExperimentSet, RunStats, System, SystemConfig};
+use swiftdir_cpu::CpuModel;
+use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
+
+const INSTRUCTIONS: u64 = 60_000;
+
+/// Pre-optimization numbers measured on the reference container (1 CPU):
+/// ms per single run (best of 5 × 40-run averages) and seconds for the
+/// serial 69-point sweep.
+const BASELINE_SINGLE_MS: f64 = 45.1;
+const BASELINE_SWEEP_SERIAL_S: f64 = 6.571;
+
+fn single_run(bench: SpecBenchmark, protocol: ProtocolKind) -> RunStats {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(1)
+            .protocol(protocol)
+            .cpu_model(CpuModel::DerivO3)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    let params = bench.params(INSTRUCTIONS);
+    let regions = WorkloadRegions::map(&mut sys, pid, &params);
+    let stream = SynthStream::new(params, regions, bench.seed());
+    sys.run_thread_stream(pid, 0, stream);
+    sys.run_to_completion()
+}
+
+fn sweep_points() -> Vec<(SpecBenchmark, ProtocolKind)> {
+    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    SpecBenchmark::ALL
+        .into_iter()
+        .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
+        .collect()
+}
+
+fn time_sweep(threads: usize) -> (f64, Vec<RunStats>) {
+    let start = Instant::now();
+    let stats = ExperimentSet::new(sweep_points())
+        .threads(threads)
+        .run(|&(b, p)| single_run(b, p));
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+fn main() {
+    let threads = driver::default_threads();
+    println!("bench_driver: {threads} worker thread(s) available\n");
+
+    // --- single-simulation throughput: best of `reps` batches ----------
+    let bench = SpecBenchmark::ALL[0];
+    let (batches, runs_per_batch) = (5, 20);
+    for _ in 0..3 {
+        single_run(bench, ProtocolKind::Mesi); // warm-up
+    }
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..runs_per_batch {
+            single_run(bench, ProtocolKind::Mesi);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1000.0 / runs_per_batch as f64;
+        best_ms = best_ms.min(ms);
+    }
+    println!(
+        "single run ({} x {INSTRUCTIONS} instr): {best_ms:.1} ms/run \
+         (baseline {BASELINE_SINGLE_MS} ms, ratio {:.2}x)",
+        bench.name(),
+        BASELINE_SINGLE_MS / best_ms,
+    );
+
+    // --- sweep: serial vs parallel -------------------------------------
+    let (serial_s, serial_stats) = time_sweep(1);
+    println!("fig7 sweep, serial   (69 runs): {serial_s:.3} s");
+    let (parallel_s, parallel_stats) = time_sweep(threads);
+    println!("fig7 sweep, {threads:>2} thread(s)        : {parallel_s:.3} s");
+    assert_eq!(
+        serial_stats, parallel_stats,
+        "serial and parallel sweeps must produce identical per-run stats"
+    );
+    println!("per-run stats identical across schedules: ok");
+    let speedup = serial_s / parallel_s;
+    println!(
+        "sweep speedup {speedup:.2}x on {threads} thread(s) \
+         (baseline serial {BASELINE_SWEEP_SERIAL_S} s)"
+    );
+
+    // --- report ---------------------------------------------------------
+    let json = format!(
+        "{{\n  \"instructions_per_run\": {INSTRUCTIONS},\n  \
+         \"baseline\": {{\n    \"single_run_ms\": {BASELINE_SINGLE_MS},\n    \
+         \"sweep_serial_s\": {BASELINE_SWEEP_SERIAL_S}\n  }},\n  \
+         \"current\": {{\n    \"single_run_ms\": {best_ms:.2},\n    \
+         \"single_run_speedup\": {:.3},\n    \
+         \"sweep_serial_s\": {serial_s:.3},\n    \
+         \"sweep_parallel_s\": {parallel_s:.3},\n    \
+         \"sweep_threads\": {threads},\n    \
+         \"sweep_speedup\": {speedup:.3},\n    \
+         \"serial_parallel_stats_identical\": true\n  }}\n}}\n",
+        BASELINE_SINGLE_MS / best_ms,
+    );
+    std::fs::write("BENCH_driver.json", &json).expect("write BENCH_driver.json");
+    println!("\nwrote BENCH_driver.json");
+}

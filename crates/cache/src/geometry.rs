@@ -1,6 +1,5 @@
 //! Cache size / associativity / block arithmetic.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache: capacity, associativity, and block size.
 ///
@@ -16,11 +15,18 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.num_sets(), 128);
 /// assert_eq!(g.block_base(0x12345), 0x12340);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_bytes: u64,
     associativity: u32,
     block_bytes: u64,
+    // Derived shift/mask values, precomputed at construction so the
+    // per-access index/tag extraction is two bit operations with no
+    // division or recounting of trailing zeros.
+    offset_bits: u32,
+    index_bits: u32,
+    index_mask: u64,
+    block_mask: u64,
 }
 
 impl CacheGeometry {
@@ -44,10 +50,15 @@ impl CacheGeometry {
             size_bytes >= associativity as u64 * block_bytes,
             "cache smaller than one set"
         );
+        let num_sets = size_bytes / (associativity as u64 * block_bytes);
         CacheGeometry {
             size_bytes,
             associativity,
             block_bytes,
+            offset_bits: block_bytes.trailing_zeros(),
+            index_bits: num_sets.trailing_zeros(),
+            index_mask: num_sets - 1,
+            block_mask: !(block_bytes - 1),
         }
     }
 
@@ -78,38 +89,45 @@ impl CacheGeometry {
     }
 
     /// Number of sets.
+    #[inline]
     pub fn num_sets(&self) -> u64 {
-        self.size_bytes / (self.associativity as u64 * self.block_bytes)
+        self.index_mask + 1
     }
 
     /// Low bits consumed by the block offset.
+    #[inline]
     pub fn offset_bits(&self) -> u32 {
-        self.block_bytes.trailing_zeros()
+        self.offset_bits
     }
 
     /// Bits consumed by the set index.
+    #[inline]
     pub fn index_bits(&self) -> u32 {
-        self.num_sets().trailing_zeros()
+        self.index_bits
     }
 
     /// The set index of `addr`.
+    #[inline]
     pub fn index_of(&self, addr: u64) -> u64 {
-        (addr >> self.offset_bits()) & (self.num_sets() - 1)
+        (addr >> self.offset_bits) & self.index_mask
     }
 
     /// The tag of `addr` (bits above index and offset).
+    #[inline]
     pub fn tag_of(&self, addr: u64) -> u64 {
-        addr >> (self.offset_bits() + self.index_bits())
+        addr >> (self.offset_bits + self.index_bits)
     }
 
     /// The first byte address of the block containing `addr`.
+    #[inline]
     pub fn block_base(&self, addr: u64) -> u64 {
-        addr & !(self.block_bytes - 1)
+        addr & self.block_mask
     }
 
     /// Reconstructs a block base address from its tag and index.
+    #[inline]
     pub fn address_of(&self, tag: u64, index: u64) -> u64 {
-        (tag << (self.offset_bits() + self.index_bits())) | (index << self.offset_bits())
+        (tag << (self.offset_bits + self.index_bits)) | (index << self.offset_bits)
     }
 }
 

@@ -13,14 +13,13 @@
 //! | VIPT    | L1, tag comparison | overlapped           |
 //! | VIVT    | LLC, set indexing | after L1 (miss path only) |
 
-use serde::{Deserialize, Serialize};
 use swiftdir_mmu::{PhysAddr, VirtAddr};
 
 use crate::geometry::CacheGeometry;
 
 /// Where and when the write-protection bit reaches the cache hierarchy —
 /// the `(where, when)` property of paper Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WpArrival {
     /// Available at the L1 as soon as set indexing starts (PIPT).
     L1SetIndexing,
@@ -31,7 +30,7 @@ pub enum WpArrival {
 }
 
 /// An L1 cache addressing architecture.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum L1Architecture {
     /// Physically indexed, physically tagged (e.g. ARM Cortex-A L1D).
     Pipt,

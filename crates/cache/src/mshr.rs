@@ -1,6 +1,6 @@
 //! Miss-status holding registers.
 
-use std::collections::HashMap;
+use sim_engine::FxHashMap;
 
 /// What happened when a miss was presented to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
-    entries: HashMap<u64, Vec<W>>,
+    entries: FxHashMap<u64, Vec<W>>,
     capacity: usize,
 }
 
@@ -46,7 +46,7 @@ impl<W> MshrFile<W> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity MSHR file");
         MshrFile {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
         }
     }

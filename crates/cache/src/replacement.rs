@@ -1,13 +1,12 @@
 //! Victim selection policies.
 
-use serde::{Deserialize, Serialize};
 
 /// Which line to evict when a set is full.
 ///
 /// The paper's configuration uses LRU (its §V-B discussion of S-MESI's
 /// occasional wins hinges on LRU recency effects); FIFO and a deterministic
 /// pseudo-random policy are provided for ablations.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used line.
     #[default]

@@ -1,6 +1,5 @@
 //! Hierarchy configuration: geometry and interconnect latencies.
 
-use serde::{Deserialize, Serialize};
 use swiftdir_cache::{CacheGeometry, ReplacementPolicy};
 use swiftdir_mem::DramConfig;
 
@@ -18,7 +17,7 @@ use crate::protocol::ProtocolKind;
 ///   `fwd_to_owner + owner_lookup + owner_to_requester − llc_to_l1`
 ///   = 7+4+22−7 = **26 additional cycles**, the Intel Xeon E/S gap
 ///   reported by Yao et al. and quoted in §I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// L1 array lookup (Table V: 1-cycle round trip).
     pub l1_lookup: u64,
@@ -70,7 +69,7 @@ impl Default for LatencyConfig {
 }
 
 /// Full hierarchy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchyConfig {
     /// Number of cores (Table V: 1–4).
     pub cores: usize,

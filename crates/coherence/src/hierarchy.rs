@@ -8,9 +8,9 @@
 //! line, and an `Inv` to a non-holder is simply acknowledged — which keeps
 //! every race benign while preserving the single-writer invariant.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use sim_engine::{Cycle, EventQueue};
+use sim_engine::{Cycle, EventQueue, FxHashMap};
 use swiftdir_cache::CacheArray;
 use swiftdir_mem::MemoryController;
 use swiftdir_mmu::PhysAddr;
@@ -125,10 +125,10 @@ impl Completion {
 }
 
 /// Aggregate statistics of a hierarchy run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Message counts by Table III event class.
-    pub events: HashMap<CoherenceEvent, u64>,
+    pub events: FxHashMap<CoherenceEvent, u64>,
     /// L1 load/store hits.
     pub l1_hits: u64,
     /// L1 misses (primary, excluding MSHR merges).
@@ -173,10 +173,10 @@ struct L1 {
     array: CacheArray<L1Line>,
     /// Blocks with an outstanding L1 transaction → queued requests
     /// (index 0 is the primary that created the transaction).
-    pending: HashMap<u64, Vec<PendingReq>>,
+    pending: FxHashMap<u64, Vec<PendingReq>>,
     /// Evicted E/M lines awaiting the LLC's writeback ack; they still
     /// answer forwarded requests from here.
-    wb_buffer: HashMap<u64, L1State>,
+    wb_buffer: FxHashMap<u64, L1State>,
     mshr_capacity: usize,
 }
 
@@ -282,10 +282,13 @@ pub struct Hierarchy {
     l1s: Vec<L1>,
     llc: CacheArray<LlcLine>,
     /// Requests stalled because their LLC set had no eligible victim.
-    llc_set_stalls: HashMap<u64, VecDeque<Msg>>,
+    llc_set_stalls: FxHashMap<u64, VecDeque<Msg>>,
     mem: MemoryController,
     next_req: RequestId,
     completions: Vec<Completion>,
+    /// Scratch buffer for [`EventQueue::pop_batch`]; kept on the struct so
+    /// its allocation is reused across ticks.
+    batch: Vec<Event>,
     stats: HierarchyStats,
 }
 
@@ -295,8 +298,8 @@ impl Hierarchy {
         let l1s = (0..cfg.cores)
             .map(|_| L1 {
                 array: CacheArray::new(cfg.l1_geometry, cfg.replacement),
-                pending: HashMap::new(),
-                wb_buffer: HashMap::new(),
+                pending: FxHashMap::default(),
+                wb_buffer: FxHashMap::default(),
                 mshr_capacity: cfg.l1_mshrs,
             })
             .collect();
@@ -304,10 +307,11 @@ impl Hierarchy {
             queue: EventQueue::new(),
             l1s,
             llc: CacheArray::new(cfg.llc_bank_geometry, cfg.replacement),
-            llc_set_stalls: HashMap::new(),
+            llc_set_stalls: FxHashMap::default(),
             mem: MemoryController::new(cfg.dram),
             next_req: 0,
             completions: Vec::new(),
+            batch: Vec::new(),
             stats: HierarchyStats::default(),
             cfg,
         }
@@ -380,22 +384,34 @@ impl Hierarchy {
 
     /// Processes all events with timestamp ≤ `upto`; returns completions
     /// produced in that window.
+    ///
+    /// Events are drained one timestamp at a time via
+    /// [`EventQueue::pop_batch`]: one heap operation per distinct cycle
+    /// instead of a peek/pop pair per event, with dispatch order identical
+    /// to the one-at-a-time loop.
     pub fn tick(&mut self, upto: Cycle) -> Vec<Completion> {
-        while matches!(self.queue.peek_time(), Some(t) if t <= upto) {
-            let (now, ev) = self.queue.pop().expect("peeked");
-            self.dispatch(now, ev);
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(now) = self.queue.pop_batch(upto, &mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(now, ev);
+            }
         }
+        self.batch = batch;
         std::mem::take(&mut self.completions)
     }
 
     /// Runs until no events remain; returns all completions.
     pub fn run_until_idle(&mut self) -> Vec<Completion> {
         let mut fuel: u64 = 500_000_000;
-        while let Some((now, ev)) = self.queue.pop() {
-            self.dispatch(now, ev);
-            fuel -= 1;
-            assert!(fuel > 0, "hierarchy failed to quiesce: livelock suspected");
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(now) = self.queue.pop_batch(Cycle::MAX, &mut batch) {
+            for ev in batch.drain(..) {
+                self.dispatch(now, ev);
+                fuel -= 1;
+                assert!(fuel > 0, "hierarchy failed to quiesce: livelock suspected");
+            }
         }
+        self.batch = batch;
         std::mem::take(&mut self.completions)
     }
 

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// What the LLC grants a core on the initial load of an uncached block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +27,7 @@ pub enum InitialGrant {
 /// 3. [`ProtocolKind::llc_serves_e_directly`] — S-MESI's explicit M
 ///    notification guarantees E-state LLC data are current, so the LLC
 ///    can serve them without forwarding to the owner (paper §II-C).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// The MSI baseline (§II-A2): no E state, every initial load is S.
     Msi,

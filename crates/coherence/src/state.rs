@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// L1 cache-line states: the four stable MESI states plus the transient
 /// states of paper Table I (and the eviction-handshake transients the
 /// protocol needs for forward-progress).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum L1State {
     /// Invalid (or not present).
     #[default]
@@ -78,7 +77,7 @@ impl fmt::Display for L1State {
 
 /// The stable class of an LLC directory line, reported in completions so
 /// experiments can classify accesses (e.g. Figure 6's `Load(L1I&L2S)`).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LlcState {
     /// Not present.
     #[default]

@@ -1,0 +1,201 @@
+//! The parallel experiment driver.
+//!
+//! Every figure in the paper is a sweep: the same simulation run over a
+//! grid of (workload, protocol, architecture) points. The points are
+//! independent — each builds its own [`System`](crate::System) — so the
+//! sweep is embarrassingly parallel, and this module fans it over a
+//! scoped thread pool with plain `std` primitives (no extra dependencies).
+//!
+//! Determinism is preserved by construction: each point's simulation is
+//! seeded and self-contained, threads only pick *which* point to run next
+//! (work stealing via an atomic index), and results are written into a
+//! slot pre-assigned by input position. The output `Vec` is therefore in
+//! input order and bit-identical to a serial run, whatever the schedule.
+//!
+//! The worker count comes from, in priority order: an explicit
+//! [`ExperimentSet::threads`] call, the `SWIFTDIR_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use swiftdir_core::ExperimentSet;
+//!
+//! let squares = ExperimentSet::new(vec![1u64, 2, 3, 4])
+//!     .threads(2)
+//!     .run(|&n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "SWIFTDIR_THREADS";
+
+/// A set of independent experiment configurations to fan over worker
+/// threads.
+#[derive(Debug)]
+pub struct ExperimentSet<C> {
+    configs: Vec<C>,
+    threads: Option<usize>,
+}
+
+/// Worker count from the environment / host, used when
+/// [`ExperimentSet::threads`] was not called: `SWIFTDIR_THREADS` if set
+/// and positive, else the host's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl<C> ExperimentSet<C> {
+    /// A set over `configs`, one experiment per element.
+    pub fn new(configs: Vec<C>) -> Self {
+        ExperimentSet {
+            configs,
+            threads: None,
+        }
+    }
+
+    /// Builds the set from any iterator of configurations.
+    pub fn from_iter(configs: impl IntoIterator<Item = C>) -> Self {
+        Self::new(configs.into_iter().collect())
+    }
+
+    /// Pins the worker count (overrides `SWIFTDIR_THREADS` and the host
+    /// default). `threads(1)` forces a serial run on the calling thread.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one worker thread is required");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Number of configurations in the set.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Runs `f` once per configuration and returns the results **in input
+    /// order**, regardless of which thread ran which point or in what
+    /// order they finished.
+    ///
+    /// `f` must be safe to call from multiple threads at once; each call
+    /// gets a distinct configuration. Panics in `f` propagate: a panicking
+    /// worker poisons the run and this call panics rather than returning
+    /// partial results.
+    pub fn run<R, F>(self, f: F) -> Vec<R>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C) -> R + Sync,
+    {
+        let workers = self
+            .threads
+            .unwrap_or_else(default_threads)
+            .min(self.configs.len().max(1));
+        let configs = self.configs;
+        if workers <= 1 {
+            return configs.iter().map(|c| f(c)).collect();
+        }
+
+        // Work stealing by atomic index; results land in the slot matching
+        // their input position, so completion order never shows.
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(configs.len());
+        slots.resize_with(configs.len(), || None);
+        let results = Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(config) = configs.get(i) else {
+                        break;
+                    };
+                    let r = f(config);
+                    results.lock().expect("a worker panicked")[i] = Some(r);
+                }));
+            }
+            for h in handles {
+                h.join().expect("experiment worker panicked");
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("a worker panicked")
+            .into_iter()
+            .map(|r| r.expect("every slot was filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let out = ExperimentSet::new((0..100u64).collect::<Vec<_>>())
+            .threads(8)
+            .run(|&i| i * 10);
+        assert_eq!(out, (0..100).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        let work = |&(a, b): &(u64, u64)| -> u64 {
+            // A deterministic but nontrivial function of the config.
+            (0..1000).fold(a, |acc, i| acc.wrapping_mul(31).wrapping_add(b ^ i))
+        };
+        let configs: Vec<(u64, u64)> = (0..16).map(|i| (i, i * 7 + 1)).collect();
+        let serial = ExperimentSet::new(configs.clone()).threads(1).run(work);
+        let parallel = ExperimentSet::new(configs).threads(4).run(work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_workers_than_configs_is_fine() {
+        let out = ExperimentSet::new(vec![1, 2]).threads(64).run(|&n| n + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_set_returns_empty() {
+        let out: Vec<u32> = ExperimentSet::new(Vec::<u32>::new()).run(|&n| n);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_one_runs_on_calling_thread() {
+        let caller = std::thread::current().id();
+        let ids = ExperimentSet::new(vec![(); 4])
+            .threads(1)
+            .run(|_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        ExperimentSet::new(vec![1]).threads(0);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -17,6 +17,8 @@
 //!   (regenerates Figure 6).
 //! * [`attack`] — the E/S covert- and side-channel attacks of §II-B, used
 //!   to demonstrate that MESI leaks and SwiftDir does not.
+//! * [`driver`] — [`ExperimentSet`]: fans independent experiment
+//!   configurations over worker threads, results in input order.
 //!
 //! # Example
 //!
@@ -42,11 +44,13 @@
 
 pub mod attack;
 pub mod config;
+pub mod driver;
 pub mod probe;
 pub mod system;
 
 pub use attack::{CovertChannel, CovertOutcome, SideChannel, SideOutcome};
 pub use config::{SystemConfig, SystemConfigBuilder};
+pub use driver::ExperimentSet;
 pub use probe::{ClassKey, LatencyProbe};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};
 

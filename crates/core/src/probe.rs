@@ -1,6 +1,6 @@
 //! Latency probes: per-access-class histograms.
 
-use std::collections::HashMap;
+use sim_engine::FxHashMap;
 
 use sim_engine::Histogram;
 use swiftdir_coherence::{AccessKind, Completion, L1State, LlcState};
@@ -33,7 +33,7 @@ pub struct ClassKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct LatencyProbe {
-    hists: HashMap<ClassKey, Histogram>,
+    hists: FxHashMap<ClassKey, Histogram>,
     cap: usize,
 }
 
@@ -42,7 +42,7 @@ impl LatencyProbe {
     /// land in the overflow bucket).
     pub fn new() -> Self {
         LatencyProbe {
-            hists: HashMap::new(),
+            hists: FxHashMap::default(),
             cap: 4096,
         }
     }

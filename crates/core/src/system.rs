@@ -30,7 +30,7 @@ pub struct ThreadStats {
 }
 
 /// Statistics of one [`System::run_to_completion`] call.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Per-thread statistics, in core order.
     pub threads: Vec<ThreadStats>,

@@ -1,6 +1,6 @@
 //! The out-of-order core (`DerivO3CPU`-like).
 
-use std::collections::HashSet;
+use sim_engine::FxHashSet;
 use std::collections::VecDeque;
 
 use sim_engine::Cycle;
@@ -74,7 +74,7 @@ pub struct OutOfOrderCore {
     /// (their LQ slot frees at that time, not at the report).
     lq_release: Vec<Cycle>,
     /// Stores issued to memory whose completion has not yet been reported.
-    stores_in_flight: HashSet<u64>,
+    stores_in_flight: FxHashSet<u64>,
     /// Stores occupying SQ entries but waiting for a drain slot before
     /// their coherence transaction can start.
     stores_waiting: VecDeque<swiftdir_mmu::VirtAddr>,
@@ -120,7 +120,7 @@ impl OutOfOrderCore {
             rob: VecDeque::with_capacity(cfg.rob),
             loads_in_flight: 0,
             lq_release: Vec::new(),
-            stores_in_flight: HashSet::new(),
+            stores_in_flight: FxHashSet::default(),
             stores_waiting: VecDeque::new(),
             sq_release: Vec::new(),
             now: start,

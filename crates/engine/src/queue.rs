@@ -1,7 +1,7 @@
 //! The discrete-event scheduler queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cycle::Cycle;
 
@@ -65,6 +65,16 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    /// Events due exactly at `now`, scheduled while the clock already stood
+    /// at `now` (zero-latency replies, replays). They bypass the heap: a
+    /// push and pop here are O(1) instead of O(log n) sift operations.
+    ///
+    /// Ordering stays correct because `now` only reaches a time T after
+    /// every earlier schedule call completed, so anything already in the
+    /// heap at time T carries a smaller sequence number than anything that
+    /// enters `ready` while the clock stands at T — heap-first at equal
+    /// times is exactly `(time, seq)` order.
+    ready: VecDeque<E>,
     next_seq: u64,
     now: Cycle,
 }
@@ -80,6 +90,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            ready: VecDeque::new(),
             next_seq: 0,
             now: Cycle::ZERO,
         }
@@ -99,9 +110,15 @@ impl<E> EventQueue<E> {
     /// is just `schedule(now, ..)`).
     pub fn schedule(&mut self, at: Cycle, event: E) {
         let time = at.max(self.now);
-        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        if time == self.now {
+            // Same-cycle event: FIFO push preserves seq order within the
+            // cycle without touching the heap.
+            self.ready.push_back(event);
+        } else {
+            let seq = self.next_seq;
+            self.heap.push(Scheduled { time, seq, event });
+        }
     }
 
     /// Schedules `event` to fire `delay` cycles from now.
@@ -112,25 +129,66 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the simulation has drained.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        // Heap events at `now` precede `ready` events (smaller seq; see the
+        // `ready` field docs); `ready` events precede later heap events.
+        if !self.ready.is_empty() {
+            let heap_at_now = matches!(self.heap.peek(), Some(s) if s.time == self.now);
+            if !heap_at_now {
+                let event = self.ready.pop_front().expect("checked non-empty");
+                return Some((self.now, event));
+            }
+        }
         let Scheduled { time, event, .. } = self.heap.pop()?;
         debug_assert!(time >= self.now, "event queue time went backwards");
         self.now = time;
         Some((time, event))
     }
 
+    /// Drains every event due at the next timestamp (if it is ≤ `upto`)
+    /// into `out`, preserving `(time, seq)` order, and advances the clock
+    /// there. Returns that timestamp, or `None` if the next event is after
+    /// `upto` (or the queue is empty). One call replaces a
+    /// peek-compare-pop cycle per event, which is what the hierarchy's
+    /// event loop runs hottest on.
+    ///
+    /// Events scheduled *while the batch is processed* land in a fresh
+    /// batch — the caller re-calls until `None`, which is exactly the order
+    /// a one-at-a-time pop loop would produce, since in-flight schedules
+    /// always carry larger sequence numbers than the drained batch.
+    pub fn pop_batch(&mut self, upto: Cycle, out: &mut Vec<E>) -> Option<Cycle> {
+        let t = self.peek_time()?;
+        if t > upto {
+            return None;
+        }
+        self.now = t;
+        while matches!(self.heap.peek(), Some(s) if s.time == t) {
+            out.push(self.heap.pop().expect("peeked").event);
+        }
+        // `ready` events are due at the old `now`; they are part of this
+        // batch only when the clock did not move (t == old now), which is
+        // the only case where `ready` can be non-empty here.
+        out.extend(self.ready.drain(..));
+        Some(t)
+    }
+
     /// Returns the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|s| s.time)
+        if self.ready.is_empty() {
+            self.heap.peek().map(|s| s.time)
+        } else {
+            // Ready events are due now; a heap event can tie but not beat.
+            Some(self.now)
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.ready.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.ready.is_empty()
     }
 
     /// Total number of events ever scheduled (for stats / fuel limits).
@@ -200,6 +258,67 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 1);
+        q.schedule(Cycle(5), 2);
+        q.schedule(Cycle(9), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(Cycle(100), &mut batch), Some(Cycle(5)));
+        assert_eq!(batch, vec![1, 2], "same-cycle events only, seq order");
+        assert_eq!(q.now(), Cycle(5));
+        batch.clear();
+        assert_eq!(q.pop_batch(Cycle(7), &mut batch), None, "9 > 7: untouched");
+        assert_eq!(q.pop_batch(Cycle(9), &mut batch), Some(Cycle(9)));
+        assert_eq!(batch, vec![3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_includes_same_cycle_ready_events_after_heap_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(4), 1);
+        q.schedule(Cycle(4), 2);
+        let (t, first) = q.pop().unwrap();
+        assert_eq!((t, first), (Cycle(4), 1));
+        // Scheduled while the clock stands at 4: goes to the ready queue,
+        // and must drain *after* the remaining heap event at 4.
+        q.schedule(Cycle(4), 3);
+        q.schedule(Cycle(0), 4); // past: clamps to now=4
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(Cycle::MAX, &mut batch), Some(Cycle(4)));
+        assert_eq!(batch, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn same_cycle_schedule_pop_interleave_keeps_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(7), 0);
+        q.pop();
+        // A zero-latency cascade: each pop schedules the next at `now`.
+        q.schedule(Cycle(7), 1);
+        q.schedule(Cycle(7), 2);
+        assert_eq!(q.pop(), Some((Cycle(7), 1)));
+        q.schedule(Cycle(7), 3);
+        assert_eq!(q.pop(), Some((Cycle(7), 2)));
+        assert_eq!(q.pop(), Some((Cycle(7), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ready_events_do_not_starve_later_heap_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(3), "a");
+        q.schedule(Cycle(10), "z");
+        q.pop(); // now = 3
+        q.schedule(Cycle(3), "b");
+        assert_eq!(q.peek_time(), Some(Cycle(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Cycle(3), "b")));
+        assert_eq!(q.pop(), Some((Cycle(10), "z")));
     }
 
     #[test]

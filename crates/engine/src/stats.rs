@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing event counter.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// loads.add(2);
 /// assert_eq!(loads.get(), 3);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -71,7 +70,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(h.count(), 3);
 /// assert_eq!(h.median(), Some(17));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     overflow: u64,
@@ -221,7 +220,7 @@ impl Histogram {
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.max(), Some(3.0));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,

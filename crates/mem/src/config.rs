@@ -1,6 +1,5 @@
 //! DRAM geometry and timing configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// DRAM configuration, with timings expressed in **CPU cycles** (3 GHz
 /// core clock) so the memory controller composes directly with the rest of
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The defaults reproduce Table V's `DDR3_1600_8x8`: the DRAM command
 /// clock is 800 MHz, so one memory cycle is 3.75 CPU cycles; the 11-cycle
 /// tCAS/tRCD/tRP each round to 41 CPU cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of channels (Table V: 1).
     pub channels: u32,

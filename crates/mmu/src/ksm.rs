@@ -6,7 +6,7 @@
 //! mapper's PTE is rewritten by `write_protect_page` — R/W cleared, CoW
 //! set — exactly the Linux behaviour the paper traces.
 
-use std::collections::HashMap;
+use sim_engine::FxHashMap;
 
 use crate::addr::{Pfn, Vpn};
 use crate::manager::{MemoryManager, SpaceId};
@@ -85,7 +85,7 @@ impl Ksm {
 
         // Group by content hash, confirm with exact comparison, then merge
         // each group onto its first frame.
-        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut by_hash: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         for (i, &(_, _, pfn)) in candidates.iter().enumerate() {
             by_hash.entry(mm.phys().content_hash(pfn)).or_default().push(i);
         }

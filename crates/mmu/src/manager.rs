@@ -1,10 +1,10 @@
 //! The memory manager: `mmap`, demand paging, copy-on-write, the shared
 //! page cache, and address translation carrying the write-protection bit.
 
-use std::collections::HashMap;
+use sim_engine::FxHashMap;
 use std::fmt;
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 use crate::addr::{Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
 use crate::page_table::PT_LEVELS;
@@ -107,14 +107,14 @@ pub struct MemoryManager {
     spaces: Vec<AddressSpace>,
     files: Vec<FileImage>,
     /// (file, page offset) → page-cache frame, shared across processes.
-    page_cache: HashMap<(u32, u64), Pfn>,
+    page_cache: FxHashMap<(u32, u64), Pfn>,
     stats: MmStats,
 }
 
 #[derive(Debug)]
 struct FileImage {
     name: String,
-    data: Bytes,
+    data: Arc<[u8]>,
 }
 
 /// Counters the manager accumulates across its lifetime.
@@ -143,7 +143,7 @@ impl MemoryManager {
 
     /// Registers a file image (e.g. a shared-library ELF) and returns its
     /// handle for [`MemoryManager::mmap_file`].
-    pub fn register_file(&mut self, name: &str, data: Bytes) -> u32 {
+    pub fn register_file(&mut self, name: &str, data: Arc<[u8]>) -> u32 {
         let id = self.files.len() as u32;
         self.files.push(FileImage {
             name: name.to_string(),
@@ -439,8 +439,8 @@ impl MemoryManager {
         let start = (page * PAGE_SIZE) as usize;
         if start < data.len() {
             let end = (start + PAGE_SIZE as usize).min(data.len());
-            let chunk = data.slice(start..end);
-            self.phys.write_bytes(pfn, 0, &chunk);
+            let chunk = &data[start..end];
+            self.phys.write_bytes(pfn, 0, chunk);
         }
         // The cache itself holds one reference, the new mapping another.
         self.phys.add_ref(pfn);

@@ -1,8 +1,7 @@
 //! A 4-level radix page table, x86-64 shaped (9 bits per level).
 
-use std::collections::HashMap;
+use sim_engine::FxHashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::addr::Vpn;
 use crate::pte::Pte;
@@ -14,7 +13,7 @@ pub const PT_LEVELS: u32 = 4;
 const LEVEL_BITS: u32 = 9;
 
 /// The result of a page-table walk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkResult {
     /// The leaf entry found (absent if any level was missing).
     pub pte: Pte,
@@ -49,8 +48,8 @@ pub struct PageTable {
 
 #[derive(Debug, Default, Clone)]
 struct Node {
-    children: HashMap<u16, Node>,
-    leaves: HashMap<u16, Pte>,
+    children: FxHashMap<u16, Node>,
+    leaves: FxHashMap<u16, Pte>,
 }
 
 fn level_index(vpn: Vpn, level: u32) -> u16 {

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// Memory protection bits, the `prot` argument of `mmap(2)`.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(rw.readable() && rw.writable() && !rw.executable());
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Prot(u8);
 
@@ -83,7 +82,7 @@ impl fmt::Display for Prot {
 /// are not visible to other processes — the write-protected permission the
 /// paper keys on. [`MapFlags::SHARED`] is `MAP_SHARED`: writes go to the
 /// shared backing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapFlags {
     /// `MAP_PRIVATE`: copy-on-write mapping.
     PRIVATE,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::addr::Pfn;
 
@@ -17,7 +16,7 @@ use crate::addr::Pfn;
 /// The software-defined [`Pte::cow`] bit distinguishes "write-protected
 /// because copy-on-write is pending" (a write fault duplicates the frame)
 /// from "write-protected, writes are a protection error".
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pte {
     /// Present bit: the page is mapped to a frame.
     pub present: bool,

@@ -7,7 +7,7 @@
 //! copy-on-write pending. Both therefore produce PTEs with R/W = 0, which
 //! is how SwiftDir recognizes them as exploitable shared data.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 use crate::addr::{VirtAddr, PAGE_SIZE};
 use crate::manager::{MemoryManager, SpaceId};
@@ -53,7 +53,7 @@ pub struct Segment {
 pub struct LibraryImage {
     name: String,
     segments: Vec<Segment>,
-    data: Bytes,
+    data: Arc<[u8]>,
 }
 
 impl LibraryImage {

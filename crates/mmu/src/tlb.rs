@@ -5,6 +5,8 @@
 //! the write-protection bit SwiftDir transmits to the cache hierarchy — so
 //! a TLB hit delivers the WP bit with zero extra latency (paper §IV-B).
 
+use sim_engine::FxHashMap;
+
 use crate::addr::{Pfn, Vpn};
 
 /// One cached translation.
@@ -61,6 +63,9 @@ impl TlbStats {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<(TlbEntry, u64)>, // (entry, last-use tick)
+    /// vpn → slot in `entries`, so lookups are a hash probe instead of a
+    /// linear scan over the whole TLB. Kept in sync across `swap_remove`.
+    slots: FxHashMap<Vpn, usize>,
     capacity: usize,
     tick: u64,
     stats: TlbStats,
@@ -76,17 +81,30 @@ impl Tlb {
         assert!(capacity > 0, "zero-capacity TLB");
         Tlb {
             entries: Vec::with_capacity(capacity),
+            slots: FxHashMap::default(),
             capacity,
             tick: 0,
             stats: TlbStats::default(),
         }
     }
 
+    /// Removes the entry in `slot`, repairing the vpn→slot map for the
+    /// entry that `swap_remove` moves into its place.
+    fn evict_slot(&mut self, slot: usize) -> TlbEntry {
+        let (removed, _) = self.entries.swap_remove(slot);
+        self.slots.remove(&removed.vpn);
+        if let Some((moved, _)) = self.entries.get(slot) {
+            self.slots.insert(moved.vpn, slot);
+        }
+        removed
+    }
+
     /// Looks up `vpn`, updating LRU state and hit/miss counters.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
         self.tick += 1;
-        match self.entries.iter_mut().find(|(e, _)| e.vpn == vpn) {
-            Some((entry, last_use)) => {
+        match self.slots.get(&vpn) {
+            Some(&slot) => {
+                let (entry, last_use) = &mut self.entries[slot];
                 *last_use = self.tick;
                 self.stats.hits += 1;
                 Some(*entry)
@@ -102,11 +120,8 @@ impl Tlb {
     /// Replaces any stale entry for the same page.
     pub fn fill(&mut self, entry: TlbEntry) {
         self.tick += 1;
-        if let Some((existing, last_use)) =
-            self.entries.iter_mut().find(|(e, _)| e.vpn == entry.vpn)
-        {
-            *existing = entry;
-            *last_use = self.tick;
+        if let Some(&slot) = self.slots.get(&entry.vpn) {
+            self.entries[slot] = (entry, self.tick);
             return;
         }
         if self.entries.len() == self.capacity {
@@ -117,28 +132,29 @@ impl Tlb {
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
                 .expect("capacity > 0, so the TLB is non-empty here");
-            self.entries.swap_remove(lru);
+            self.evict_slot(lru);
             self.stats.evictions += 1;
         }
+        self.slots.insert(entry.vpn, self.entries.len());
         self.entries.push((entry, self.tick));
     }
 
     /// Removes the entry for `vpn` (single-page shootdown, as after a CoW
     /// fault or KSM merge changes the PTE). Returns whether one was present.
     pub fn shootdown(&mut self, vpn: Vpn) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|(e, _)| e.vpn != vpn);
-        let removed = self.entries.len() != before;
-        if removed {
-            self.stats.shootdowns += 1;
-        }
-        removed
+        let Some(&slot) = self.slots.get(&vpn) else {
+            return false;
+        };
+        self.evict_slot(slot);
+        self.stats.shootdowns += 1;
+        true
     }
 
     /// Removes all entries (full flush, e.g. context switch without ASIDs).
     pub fn flush(&mut self) {
         self.stats.shootdowns += self.entries.len() as u64;
         self.entries.clear();
+        self.slots.clear();
     }
 
     /// Number of resident entries.

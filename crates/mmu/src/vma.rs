@@ -2,13 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{VirtAddr, Vpn};
 use crate::prot::{MapFlags, Prot};
 
 /// What backs a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backing {
     /// Anonymous memory (heap, stacks); demand-zero pages.
     Anonymous,
@@ -31,7 +30,7 @@ pub enum Backing {
 /// [`Vma::pte_writable`]), which is where the paper's write-protection rule
 /// lives: a writable `MAP_PRIVATE` mapping still yields R/W = 0 with
 /// copy-on-write pending.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Vma {
     /// First page of the mapping.
     pub start: Vpn,

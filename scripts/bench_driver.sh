@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the simulator performance harness and refreshes BENCH_driver.json.
+#
+# Honors SWIFTDIR_THREADS for the parallel sweep (defaults to the host's
+# available parallelism). Run from the repository root:
+#
+#   scripts/bench_driver.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p swiftdir-bench
+exec ./target/release/bench_driver

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and all benchmark
+# targets compile. Run from the repository root:
+#
+#   scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace --quiet
+cargo build --benches --workspace
+echo "verify: ok"

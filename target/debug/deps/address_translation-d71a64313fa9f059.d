@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/address_translation-d71a64313fa9f059.d: tests/address_translation.rs
+
+/root/repo/target/debug/deps/address_translation-d71a64313fa9f059: tests/address_translation.rs
+
+tests/address_translation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_driver-466331da5c9ae203.d: crates/bench/src/bin/bench_driver.rs
+
+/root/repo/target/debug/deps/bench_driver-466331da5c9ae203: crates/bench/src/bin/bench_driver.rs
+
+crates/bench/src/bin/bench_driver.rs:

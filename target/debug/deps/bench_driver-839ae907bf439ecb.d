@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_driver-839ae907bf439ecb.d: crates/bench/src/bin/bench_driver.rs
+
+/root/repo/target/debug/deps/bench_driver-839ae907bf439ecb: crates/bench/src/bin/bench_driver.rs
+
+crates/bench/src/bin/bench_driver.rs:

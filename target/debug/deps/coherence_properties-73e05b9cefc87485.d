@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence_properties-73e05b9cefc87485.d: tests/coherence_properties.rs
+
+/root/repo/target/debug/deps/coherence_properties-73e05b9cefc87485: tests/coherence_properties.rs
+
+tests/coherence_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_table5-4a5ad6709c0699ae.d: tests/config_table5.rs
+
+/root/repo/target/debug/deps/config_table5-4a5ad6709c0699ae: tests/config_table5.rs
+
+tests/config_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d7855d255f89a6b2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d7855d255f89a6b2: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_war-87f88f836e409e3a.d: crates/bench/benches/fig10_war.rs
+
+/root/repo/target/debug/deps/fig10_war-87f88f836e409e3a: crates/bench/benches/fig10_war.rs
+
+crates/bench/benches/fig10_war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_war-eb5d1032471d70f0.d: crates/bench/benches/fig10_war.rs
+
+/root/repo/target/debug/deps/fig10_war-eb5d1032471d70f0: crates/bench/benches/fig10_war.rs
+
+crates/bench/benches/fig10_war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_arch-bc66ab5f3a973086.d: crates/bench/benches/fig5_arch.rs
+
+/root/repo/target/debug/deps/fig5_arch-bc66ab5f3a973086: crates/bench/benches/fig5_arch.rs
+
+crates/bench/benches/fig5_arch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_arch-cc06543e64a5ec42.d: crates/bench/benches/fig5_arch.rs
+
+/root/repo/target/debug/deps/fig5_arch-cc06543e64a5ec42: crates/bench/benches/fig5_arch.rs
+
+crates/bench/benches/fig5_arch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_latency_cdf-1ff2bd048dd2714d.d: crates/bench/benches/fig6_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig6_latency_cdf-1ff2bd048dd2714d: crates/bench/benches/fig6_latency_cdf.rs
+
+crates/bench/benches/fig6_latency_cdf.rs:

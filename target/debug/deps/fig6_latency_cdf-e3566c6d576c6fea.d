@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_latency_cdf-e3566c6d576c6fea.d: crates/bench/benches/fig6_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig6_latency_cdf-e3566c6d576c6fea: crates/bench/benches/fig6_latency_cdf.rs
+
+crates/bench/benches/fig6_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_spec_ipc-26d8ed77884ca422.d: crates/bench/benches/fig7_spec_ipc.rs
+
+/root/repo/target/debug/deps/fig7_spec_ipc-26d8ed77884ca422: crates/bench/benches/fig7_spec_ipc.rs
+
+crates/bench/benches/fig7_spec_ipc.rs:

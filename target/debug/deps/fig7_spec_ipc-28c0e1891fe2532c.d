@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_spec_ipc-28c0e1891fe2532c.d: crates/bench/benches/fig7_spec_ipc.rs
+
+/root/repo/target/debug/deps/fig7_spec_ipc-28c0e1891fe2532c: crates/bench/benches/fig7_spec_ipc.rs
+
+crates/bench/benches/fig7_spec_ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_parsec_time-10e839802f13c36a.d: crates/bench/benches/fig8_parsec_time.rs
+
+/root/repo/target/debug/deps/fig8_parsec_time-10e839802f13c36a: crates/bench/benches/fig8_parsec_time.rs
+
+crates/bench/benches/fig8_parsec_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_parsec_time-1c674b91710bc623.d: crates/bench/benches/fig8_parsec_time.rs
+
+/root/repo/target/debug/deps/fig8_parsec_time-1c674b91710bc623: crates/bench/benches/fig8_parsec_time.rs
+
+crates/bench/benches/fig8_parsec_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_shared_sweep-bf7423db118f4600.d: crates/bench/benches/fig9_shared_sweep.rs
+
+/root/repo/target/debug/deps/fig9_shared_sweep-bf7423db118f4600: crates/bench/benches/fig9_shared_sweep.rs
+
+crates/bench/benches/fig9_shared_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_shared_sweep-eca53d4f1d6843a6.d: crates/bench/benches/fig9_shared_sweep.rs
+
+/root/repo/target/debug/deps/fig9_shared_sweep-eca53d4f1d6843a6: crates/bench/benches/fig9_shared_sweep.rs
+
+crates/bench/benches/fig9_shared_sweep.rs:

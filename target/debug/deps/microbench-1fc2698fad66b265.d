@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-1fc2698fad66b265.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-1fc2698fad66b265: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-77526a1b97f551cd.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-77526a1b97f551cd: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

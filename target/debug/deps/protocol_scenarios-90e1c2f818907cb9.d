@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_scenarios-90e1c2f818907cb9.d: tests/protocol_scenarios.rs
+
+/root/repo/target/debug/deps/protocol_scenarios-90e1c2f818907cb9: tests/protocol_scenarios.rs
+
+tests/protocol_scenarios.rs:

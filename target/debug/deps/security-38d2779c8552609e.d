@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-38d2779c8552609e.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-38d2779c8552609e: tests/security.rs
+
+tests/security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_channel-2dcb89d80e5a3c5a.d: crates/bench/benches/security_channel.rs
+
+/root/repo/target/debug/deps/security_channel-2dcb89d80e5a3c5a: crates/bench/benches/security_channel.rs
+
+crates/bench/benches/security_channel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_channel-ae2993c58586086d.d: crates/bench/benches/security_channel.rs
+
+/root/repo/target/debug/deps/security_channel-ae2993c58586086d: crates/bench/benches/security_channel.rs
+
+crates/bench/benches/security_channel.rs:

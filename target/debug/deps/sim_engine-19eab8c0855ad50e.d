@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sim_engine-19eab8c0855ad50e.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+/root/repo/target/debug/deps/sim_engine-19eab8c0855ad50e: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/trace.rs:

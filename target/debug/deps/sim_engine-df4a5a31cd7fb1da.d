@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sim_engine-df4a5a31cd7fb1da.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_engine-df4a5a31cd7fb1da.rlib: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_engine-df4a5a31cd7fb1da.rmeta: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swiftdir-3825883da0d2a791.d: src/lib.rs
+
+/root/repo/target/debug/deps/libswiftdir-3825883da0d2a791.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libswiftdir-3825883da0d2a791.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftdir-f9e07935d6b4c11e.d: src/lib.rs
+
+/root/repo/target/debug/deps/swiftdir-f9e07935d6b4c11e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swiftdir_bench-5f0118a05b6dd035.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/swiftdir_bench-5f0118a05b6dd035: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

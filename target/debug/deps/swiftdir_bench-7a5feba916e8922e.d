@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swiftdir_bench-7a5feba916e8922e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswiftdir_bench-7a5feba916e8922e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswiftdir_bench-7a5feba916e8922e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swiftdir_cache-170ce048b5bbb9cd.d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+/root/repo/target/debug/deps/libswiftdir_cache-170ce048b5bbb9cd.rlib: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+/root/repo/target/debug/deps/libswiftdir_cache-170ce048b5bbb9cd.rmeta: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/array.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/indexing.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/replacement.rs:

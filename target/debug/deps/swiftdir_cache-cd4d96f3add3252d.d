@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftdir_cache-cd4d96f3add3252d.d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+/root/repo/target/debug/deps/swiftdir_cache-cd4d96f3add3252d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/array.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/indexing.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/replacement.rs:

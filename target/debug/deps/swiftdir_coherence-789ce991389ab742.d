@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swiftdir_coherence-789ce991389ab742.d: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+/root/repo/target/debug/deps/libswiftdir_coherence-789ce991389ab742.rlib: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+/root/repo/target/debug/deps/libswiftdir_coherence-789ce991389ab742.rmeta: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/config.rs:
+crates/coherence/src/hierarchy.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/state.rs:

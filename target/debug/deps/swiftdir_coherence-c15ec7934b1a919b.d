@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftdir_coherence-c15ec7934b1a919b.d: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+/root/repo/target/debug/deps/swiftdir_coherence-c15ec7934b1a919b: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/config.rs:
+crates/coherence/src/hierarchy.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/state.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swiftdir_core-3415814ae40e9531.d: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libswiftdir_core-3415814ae40e9531.rlib: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libswiftdir_core-3415814ae40e9531.rmeta: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/probe.rs:
+crates/core/src/system.rs:

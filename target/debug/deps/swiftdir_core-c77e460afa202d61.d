@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftdir_core-c77e460afa202d61.d: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/swiftdir_core-c77e460afa202d61: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/probe.rs:
+crates/core/src/system.rs:

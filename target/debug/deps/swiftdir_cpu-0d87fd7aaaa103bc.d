@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swiftdir_cpu-0d87fd7aaaa103bc.d: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+/root/repo/target/debug/deps/swiftdir_cpu-0d87fd7aaaa103bc: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/o3.rs:
+crates/cpu/src/port.rs:
+crates/cpu/src/simple.rs:

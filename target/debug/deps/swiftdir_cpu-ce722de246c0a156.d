@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftdir_cpu-ce722de246c0a156.d: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+/root/repo/target/debug/deps/libswiftdir_cpu-ce722de246c0a156.rlib: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+/root/repo/target/debug/deps/libswiftdir_cpu-ce722de246c0a156.rmeta: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/o3.rs:
+crates/cpu/src/port.rs:
+crates/cpu/src/simple.rs:

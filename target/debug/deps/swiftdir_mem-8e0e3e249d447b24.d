@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swiftdir_mem-8e0e3e249d447b24.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+/root/repo/target/debug/deps/libswiftdir_mem-8e0e3e249d447b24.rlib: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+/root/repo/target/debug/deps/libswiftdir_mem-8e0e3e249d447b24.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/config.rs:
+crates/mem/src/controller.rs:
+crates/mem/src/mapping.rs:

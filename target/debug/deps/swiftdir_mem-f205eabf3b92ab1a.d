@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swiftdir_mem-f205eabf3b92ab1a.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+/root/repo/target/debug/deps/swiftdir_mem-f205eabf3b92ab1a: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/config.rs:
+crates/mem/src/controller.rs:
+crates/mem/src/mapping.rs:

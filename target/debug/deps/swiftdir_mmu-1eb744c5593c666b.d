@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/swiftdir_mmu-1eb744c5593c666b.d: crates/mmu/src/lib.rs crates/mmu/src/addr.rs crates/mmu/src/ksm.rs crates/mmu/src/manager.rs crates/mmu/src/page_table.rs crates/mmu/src/phys.rs crates/mmu/src/prot.rs crates/mmu/src/pte.rs crates/mmu/src/shlib.rs crates/mmu/src/space.rs crates/mmu/src/tlb.rs crates/mmu/src/vma.rs
+
+/root/repo/target/debug/deps/swiftdir_mmu-1eb744c5593c666b: crates/mmu/src/lib.rs crates/mmu/src/addr.rs crates/mmu/src/ksm.rs crates/mmu/src/manager.rs crates/mmu/src/page_table.rs crates/mmu/src/phys.rs crates/mmu/src/prot.rs crates/mmu/src/pte.rs crates/mmu/src/shlib.rs crates/mmu/src/space.rs crates/mmu/src/tlb.rs crates/mmu/src/vma.rs
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/addr.rs:
+crates/mmu/src/ksm.rs:
+crates/mmu/src/manager.rs:
+crates/mmu/src/page_table.rs:
+crates/mmu/src/phys.rs:
+crates/mmu/src/prot.rs:
+crates/mmu/src/pte.rs:
+crates/mmu/src/shlib.rs:
+crates/mmu/src/space.rs:
+crates/mmu/src/tlb.rs:
+crates/mmu/src/vma.rs:

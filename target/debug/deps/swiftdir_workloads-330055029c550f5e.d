@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swiftdir_workloads-330055029c550f5e.d: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+/root/repo/target/debug/deps/libswiftdir_workloads-330055029c550f5e.rlib: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+/root/repo/target/debug/deps/libswiftdir_workloads-330055029c550f5e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/readonly.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/war.rs:

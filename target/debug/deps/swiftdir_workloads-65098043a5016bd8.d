@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swiftdir_workloads-65098043a5016bd8.d: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+/root/repo/target/debug/deps/swiftdir_workloads-65098043a5016bd8: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/readonly.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_features-b5e881baccb23b17.d: crates/bench/benches/table4_features.rs
+
+/root/repo/target/debug/deps/table4_features-b5e881baccb23b17: crates/bench/benches/table4_features.rs
+
+crates/bench/benches/table4_features.rs:

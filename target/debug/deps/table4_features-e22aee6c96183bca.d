@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_features-e22aee6c96183bca.d: crates/bench/benches/table4_features.rs
+
+/root/repo/target/debug/deps/table4_features-e22aee6c96183bca: crates/bench/benches/table4_features.rs
+
+crates/bench/benches/table4_features.rs:

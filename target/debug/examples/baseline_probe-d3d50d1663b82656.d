@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_probe-d3d50d1663b82656.d: examples/baseline_probe.rs
+
+/root/repo/target/debug/examples/baseline_probe-d3d50d1663b82656: examples/baseline_probe.rs
+
+examples/baseline_probe.rs:

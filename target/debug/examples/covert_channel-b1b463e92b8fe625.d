@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/covert_channel-b1b463e92b8fe625.d: examples/covert_channel.rs
+
+/root/repo/target/debug/examples/covert_channel-b1b463e92b8fe625: examples/covert_channel.rs
+
+examples/covert_channel.rs:

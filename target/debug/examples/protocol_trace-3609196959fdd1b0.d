@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_trace-3609196959fdd1b0.d: examples/protocol_trace.rs
+
+/root/repo/target/debug/examples/protocol_trace-3609196959fdd1b0: examples/protocol_trace.rs
+
+examples/protocol_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3847edf750e3f6c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3847edf750e3f6c0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_library-c2fc3466c4f514ff.d: examples/shared_library.rs
+
+/root/repo/target/debug/examples/shared_library-c2fc3466c4f514ff: examples/shared_library.rs
+
+examples/shared_library.rs:

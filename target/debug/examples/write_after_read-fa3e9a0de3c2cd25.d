@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/write_after_read-fa3e9a0de3c2cd25.d: examples/write_after_read.rs
+
+/root/repo/target/debug/examples/write_after_read-fa3e9a0de3c2cd25: examples/write_after_read.rs
+
+examples/write_after_read.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_driver-ad3f625e2b6950dd.d: crates/bench/src/bin/bench_driver.rs
+
+/root/repo/target/release/deps/bench_driver-ad3f625e2b6950dd: crates/bench/src/bin/bench_driver.rs
+
+crates/bench/src/bin/bench_driver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_arch-09dbe2dcc713e1a1.d: crates/bench/benches/fig5_arch.rs
+
+/root/repo/target/release/deps/fig5_arch-09dbe2dcc713e1a1: crates/bench/benches/fig5_arch.rs
+
+crates/bench/benches/fig5_arch.rs:

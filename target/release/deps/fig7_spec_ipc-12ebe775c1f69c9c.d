@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_spec_ipc-12ebe775c1f69c9c.d: crates/bench/benches/fig7_spec_ipc.rs
+
+/root/repo/target/release/deps/fig7_spec_ipc-12ebe775c1f69c9c: crates/bench/benches/fig7_spec_ipc.rs
+
+crates/bench/benches/fig7_spec_ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_spec_ipc-8fee9f7cce0cc0fa.d: crates/bench/benches/fig7_spec_ipc.rs
+
+/root/repo/target/release/deps/fig7_spec_ipc-8fee9f7cce0cc0fa: crates/bench/benches/fig7_spec_ipc.rs
+
+crates/bench/benches/fig7_spec_ipc.rs:

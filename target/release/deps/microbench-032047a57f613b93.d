@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-032047a57f613b93.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-032047a57f613b93: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

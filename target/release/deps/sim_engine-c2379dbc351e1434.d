@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sim_engine-c2379dbc351e1434.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+/root/repo/target/release/deps/libsim_engine-c2379dbc351e1434.rlib: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+/root/repo/target/release/deps/libsim_engine-c2379dbc351e1434.rmeta: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/trace.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/trace.rs:

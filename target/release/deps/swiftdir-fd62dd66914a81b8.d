@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swiftdir-fd62dd66914a81b8.d: src/lib.rs
+
+/root/repo/target/release/deps/libswiftdir-fd62dd66914a81b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libswiftdir-fd62dd66914a81b8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/swiftdir_bench-7a2a24e7e20fab4b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libswiftdir_bench-7a2a24e7e20fab4b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libswiftdir_bench-7a2a24e7e20fab4b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swiftdir_cache-c117cdf4990d83b5.d: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+/root/repo/target/release/deps/libswiftdir_cache-c117cdf4990d83b5.rlib: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+/root/repo/target/release/deps/libswiftdir_cache-c117cdf4990d83b5.rmeta: crates/cache/src/lib.rs crates/cache/src/array.rs crates/cache/src/geometry.rs crates/cache/src/indexing.rs crates/cache/src/mshr.rs crates/cache/src/replacement.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/array.rs:
+crates/cache/src/geometry.rs:
+crates/cache/src/indexing.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/replacement.rs:

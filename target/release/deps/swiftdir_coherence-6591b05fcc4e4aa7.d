@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swiftdir_coherence-6591b05fcc4e4aa7.d: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+/root/repo/target/release/deps/libswiftdir_coherence-6591b05fcc4e4aa7.rlib: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+/root/repo/target/release/deps/libswiftdir_coherence-6591b05fcc4e4aa7.rmeta: crates/coherence/src/lib.rs crates/coherence/src/config.rs crates/coherence/src/hierarchy.rs crates/coherence/src/msg.rs crates/coherence/src/protocol.rs crates/coherence/src/state.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/config.rs:
+crates/coherence/src/hierarchy.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/protocol.rs:
+crates/coherence/src/state.rs:

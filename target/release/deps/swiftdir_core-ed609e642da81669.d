@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swiftdir_core-ed609e642da81669.d: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libswiftdir_core-ed609e642da81669.rlib: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libswiftdir_core-ed609e642da81669.rmeta: crates/core/src/lib.rs crates/core/src/attack.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/probe.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/probe.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/swiftdir_cpu-1d9bd7cef30f9a7b.d: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+/root/repo/target/release/deps/libswiftdir_cpu-1d9bd7cef30f9a7b.rlib: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+/root/repo/target/release/deps/libswiftdir_cpu-1d9bd7cef30f9a7b.rmeta: crates/cpu/src/lib.rs crates/cpu/src/inst.rs crates/cpu/src/o3.rs crates/cpu/src/port.rs crates/cpu/src/simple.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/inst.rs:
+crates/cpu/src/o3.rs:
+crates/cpu/src/port.rs:
+crates/cpu/src/simple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/swiftdir_mem-e0dc3b21055d51f6.d: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+/root/repo/target/release/deps/libswiftdir_mem-e0dc3b21055d51f6.rlib: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+/root/repo/target/release/deps/libswiftdir_mem-e0dc3b21055d51f6.rmeta: crates/mem/src/lib.rs crates/mem/src/bank.rs crates/mem/src/config.rs crates/mem/src/controller.rs crates/mem/src/mapping.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bank.rs:
+crates/mem/src/config.rs:
+crates/mem/src/controller.rs:
+crates/mem/src/mapping.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/swiftdir_mmu-aa3f281c8c63f303.d: crates/mmu/src/lib.rs crates/mmu/src/addr.rs crates/mmu/src/ksm.rs crates/mmu/src/manager.rs crates/mmu/src/page_table.rs crates/mmu/src/phys.rs crates/mmu/src/prot.rs crates/mmu/src/pte.rs crates/mmu/src/shlib.rs crates/mmu/src/space.rs crates/mmu/src/tlb.rs crates/mmu/src/vma.rs
+
+/root/repo/target/release/deps/libswiftdir_mmu-aa3f281c8c63f303.rlib: crates/mmu/src/lib.rs crates/mmu/src/addr.rs crates/mmu/src/ksm.rs crates/mmu/src/manager.rs crates/mmu/src/page_table.rs crates/mmu/src/phys.rs crates/mmu/src/prot.rs crates/mmu/src/pte.rs crates/mmu/src/shlib.rs crates/mmu/src/space.rs crates/mmu/src/tlb.rs crates/mmu/src/vma.rs
+
+/root/repo/target/release/deps/libswiftdir_mmu-aa3f281c8c63f303.rmeta: crates/mmu/src/lib.rs crates/mmu/src/addr.rs crates/mmu/src/ksm.rs crates/mmu/src/manager.rs crates/mmu/src/page_table.rs crates/mmu/src/phys.rs crates/mmu/src/prot.rs crates/mmu/src/pte.rs crates/mmu/src/shlib.rs crates/mmu/src/space.rs crates/mmu/src/tlb.rs crates/mmu/src/vma.rs
+
+crates/mmu/src/lib.rs:
+crates/mmu/src/addr.rs:
+crates/mmu/src/ksm.rs:
+crates/mmu/src/manager.rs:
+crates/mmu/src/page_table.rs:
+crates/mmu/src/phys.rs:
+crates/mmu/src/prot.rs:
+crates/mmu/src/pte.rs:
+crates/mmu/src/shlib.rs:
+crates/mmu/src/space.rs:
+crates/mmu/src/tlb.rs:
+crates/mmu/src/vma.rs:

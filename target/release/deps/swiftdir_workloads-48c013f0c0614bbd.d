@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swiftdir_workloads-48c013f0c0614bbd.d: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+/root/repo/target/release/deps/libswiftdir_workloads-48c013f0c0614bbd.rlib: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+/root/repo/target/release/deps/libswiftdir_workloads-48c013f0c0614bbd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/parsec.rs crates/workloads/src/readonly.rs crates/workloads/src/spec.rs crates/workloads/src/synth.rs crates/workloads/src/war.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/parsec.rs:
+crates/workloads/src/readonly.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_features-35604a88573a17cd.d: crates/bench/benches/table4_features.rs
+
+/root/repo/target/release/deps/table4_features-35604a88573a17cd: crates/bench/benches/table4_features.rs
+
+crates/bench/benches/table4_features.rs:

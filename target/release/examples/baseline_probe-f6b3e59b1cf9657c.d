@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/baseline_probe-f6b3e59b1cf9657c.d: examples/baseline_probe.rs
+
+/root/repo/target/release/examples/baseline_probe-f6b3e59b1cf9657c: examples/baseline_probe.rs
+
+examples/baseline_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9333fa33acbbf1ea.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9333fa33acbbf1ea: examples/quickstart.rs
+
+examples/quickstart.rs:

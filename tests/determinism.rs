@@ -1,0 +1,93 @@
+//! End-to-end determinism: the same configuration must produce
+//! bit-identical [`RunStats`] on every run, whether the points execute
+//! serially or fanned over the experiment driver's worker threads.
+//!
+//! This is the property the whole reproduction rests on — every figure is
+//! a ratio of runs, so any nondeterminism (hash-order leakage, event-queue
+//! tie-break changes, thread-schedule dependence) would silently corrupt
+//! results rather than fail loudly. Here it fails loudly.
+
+use swiftdir::coherence::ProtocolKind;
+use swiftdir::core::{ExperimentSet, RunStats, System, SystemConfig};
+use swiftdir::cpu::CpuModel;
+use swiftdir::workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
+
+const INSTRUCTIONS: u64 = 8_000;
+
+fn run_point(bench: SpecBenchmark, protocol: ProtocolKind, model: CpuModel) -> RunStats {
+    let mut sys = System::new(
+        SystemConfig::builder()
+            .cores(1)
+            .protocol(protocol)
+            .cpu_model(model)
+            .build(),
+    );
+    let pid = sys.spawn_process();
+    let params = bench.params(INSTRUCTIONS);
+    let regions = WorkloadRegions::map(&mut sys, pid, &params);
+    let stream = SynthStream::new(params, regions, bench.seed());
+    sys.run_thread_stream(pid, 0, stream);
+    sys.run_to_completion()
+}
+
+fn points() -> Vec<(SpecBenchmark, ProtocolKind)> {
+    // A small but protocol-diverse grid: 4 benchmarks x all protocols.
+    SpecBenchmark::ALL
+        .into_iter()
+        .take(4)
+        .flat_map(|b| ProtocolKind::ALL.into_iter().map(move |p| (b, p)))
+        .collect()
+}
+
+#[test]
+fn same_seed_same_stats_across_repeated_serial_runs() {
+    let first: Vec<RunStats> = points()
+        .iter()
+        .map(|&(b, p)| run_point(b, p, CpuModel::DerivO3))
+        .collect();
+    let second: Vec<RunStats> = points()
+        .iter()
+        .map(|&(b, p)| run_point(b, p, CpuModel::DerivO3))
+        .collect();
+    assert_eq!(first, second, "two serial sweeps diverged");
+}
+
+#[test]
+fn parallel_driver_matches_serial_run() {
+    let serial = ExperimentSet::new(points())
+        .threads(1)
+        .run(|&(b, p)| run_point(b, p, CpuModel::DerivO3));
+    // More workers than the host has cores is fine — oversubscription
+    // must not change results, only the schedule.
+    let parallel = ExperimentSet::new(points())
+        .threads(4)
+        .run(|&(b, p)| run_point(b, p, CpuModel::DerivO3));
+    assert_eq!(serial, parallel, "thread schedule leaked into stats");
+}
+
+#[test]
+fn in_order_model_is_deterministic_too() {
+    let serial = ExperimentSet::new(points())
+        .threads(1)
+        .run(|&(b, p)| run_point(b, p, CpuModel::TimingSimple));
+    let parallel = ExperimentSet::new(points())
+        .threads(3)
+        .run(|&(b, p)| run_point(b, p, CpuModel::TimingSimple));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn driver_preserves_input_order_under_contention() {
+    // Workloads of very different lengths: late-finishing early points
+    // must still land in their input slots.
+    let mut grid: Vec<(SpecBenchmark, ProtocolKind)> = points();
+    grid.reverse();
+    let expected: Vec<f64> = grid
+        .iter()
+        .map(|&(b, p)| run_point(b, p, CpuModel::DerivO3).ipc())
+        .collect();
+    let got = ExperimentSet::new(grid)
+        .threads(8)
+        .run(|&(b, p)| run_point(b, p, CpuModel::DerivO3).ipc());
+    assert_eq!(expected, got);
+}
