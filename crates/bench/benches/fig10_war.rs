@@ -39,7 +39,11 @@ fn main() {
             "  {:<18} {:>12} {:>10} {:>10} {:>14}",
             "application", "MESI(cyc)", "SwiftDir%", "S-MESI%", "speedup vs S-MESI"
         );
-        let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+        let protocols = [
+            ProtocolKind::Mesi,
+            ProtocolKind::SwiftDir,
+            ProtocolKind::SMesi,
+        ];
         let points: Vec<(WarApp, ProtocolKind)> = WarApp::ALL
             .into_iter()
             .flat_map(|a| protocols.into_iter().map(move |p| (a, p)))

@@ -7,10 +7,10 @@
 //! around 17 cycles with no observable difference; the MESI E-state path
 //! (the exploitable one) is printed alongside for contrast.
 
+use sim_engine::{Cycle, Histogram};
 use swiftdir_coherence::{CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind};
 use swiftdir_core::{ExperimentSet, LatencyProbe, SystemConfig};
 use swiftdir_mmu::PhysAddr;
-use sim_engine::{Cycle, Histogram};
 
 const LINES: u64 = 4000;
 

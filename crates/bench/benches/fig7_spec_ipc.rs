@@ -35,7 +35,11 @@ fn main() {
     );
     // One experiment per (benchmark, protocol) point, fanned over worker
     // threads; results come back in input order, so rows print as before.
-    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ];
     let points: Vec<(SpecBenchmark, ProtocolKind)> = SpecBenchmark::ALL
         .into_iter()
         .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
@@ -50,12 +54,21 @@ fn main() {
         let smesi = ipcs[i * 3 + 2] / mesi * 100.0;
         swift_sum += swift;
         smesi_sum += smesi;
-        println!("{:<12} {:>9.4} {:>10.3} {:>10.3}", bench.name(), mesi, swift, smesi);
+        println!(
+            "{:<12} {:>9.4} {:>10.3} {:>10.3}",
+            bench.name(),
+            mesi,
+            swift,
+            smesi
+        );
     }
     let n = SpecBenchmark::ALL.len() as f64;
     println!(
         "\n{:<12} {:>9} {:>10.3} {:>10.3}",
-        "average", "100", swift_sum / n, smesi_sum / n
+        "average",
+        "100",
+        swift_sum / n,
+        smesi_sum / n
     );
     println!(
         "\nShape check (paper): SwiftDir ≥ 100% on average (it serves shared \

@@ -32,7 +32,11 @@ fn main() {
         "{:<15} {:>10} {:>10} {:>10}",
         "benchmark", "MESI(cyc)", "SwiftDir%", "S-MESI%"
     );
-    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ];
     let points: Vec<(ParsecBenchmark, ProtocolKind)> = ParsecBenchmark::ALL
         .into_iter()
         .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
@@ -58,7 +62,10 @@ fn main() {
     let n = ParsecBenchmark::ALL.len() as f64;
     println!(
         "\n{:<15} {:>10} {:>10.2} {:>10.2}",
-        "average", "100", swift_sum / n, smesi_sum / n
+        "average",
+        "100",
+        swift_sum / n,
+        smesi_sum / n
     );
     println!(
         "\nShape check (paper): SwiftDir shorter than MESI on average \

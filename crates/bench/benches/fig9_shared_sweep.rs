@@ -12,7 +12,11 @@ fn main() {
         "amount", "MESI(cyc)", "SwiftDir%", "S-MESI%"
     );
     let amounts = [1000u64, 2000, 3000, 4000, 5000];
-    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ];
     let points: Vec<(u64, ProtocolKind)> = amounts
         .into_iter()
         .flat_map(|a| protocols.into_iter().map(move |p| (a, p)))
@@ -33,7 +37,10 @@ fn main() {
     let n = amounts.len() as f64;
     println!(
         "\n{:<8} {:>12} {:>10.2} {:>10.2}",
-        "average", "100", swift_sum / n, smesi_sum / n
+        "average",
+        "100",
+        swift_sum / n,
+        smesi_sum / n
     );
     println!(
         "\nShape check (paper): SwiftDir and S-MESI comparable, both below \

@@ -40,12 +40,14 @@ fn main() {
         "{:<10} {:>22} {:>24}",
         "protocol", "shared E from LLC", "silent E->M on L1"
     );
-    let protocols = [ProtocolKind::Mesi, ProtocolKind::SMesi, ProtocolKind::SwiftDir];
-    let rows = ExperimentSet::new(protocols.to_vec())
-        .run(|&p| (shared_from_llc(p), silent_upgrade(p)));
-    for (p, ((llc, shared_lat), (silent, store_lat, upgrades))) in
-        protocols.into_iter().zip(rows)
-    {
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SMesi,
+        ProtocolKind::SwiftDir,
+    ];
+    let rows =
+        ExperimentSet::new(protocols.to_vec()).run(|&p| (shared_from_llc(p), silent_upgrade(p)));
+    for (p, ((llc, shared_lat), (silent, store_lat, upgrades))) in protocols.into_iter().zip(rows) {
         println!(
             "{:<10} {:>12} ({:>3}cyc) {:>12} ({:>2}cyc, {} upgrades)",
             p.to_string(),

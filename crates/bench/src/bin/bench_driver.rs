@@ -20,8 +20,9 @@
 
 use std::time::Instant;
 
+use sim_engine::Json;
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{driver, ExperimentSet, RunStats, System, SystemConfig};
+use swiftdir_core::{driver, DriverReport, ExperimentSet, RunStats, System, SystemConfig};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
@@ -50,19 +51,22 @@ fn single_run(bench: SpecBenchmark, protocol: ProtocolKind) -> RunStats {
 }
 
 fn sweep_points() -> Vec<(SpecBenchmark, ProtocolKind)> {
-    let protocols = [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi];
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ];
     SpecBenchmark::ALL
         .into_iter()
         .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
         .collect()
 }
 
-fn time_sweep(threads: usize) -> (f64, Vec<RunStats>) {
-    let start = Instant::now();
-    let stats = ExperimentSet::new(sweep_points())
+fn time_sweep(threads: usize) -> (DriverReport, Vec<RunStats>) {
+    let (stats, report) = ExperimentSet::new(sweep_points())
         .threads(threads)
-        .run(|&(b, p)| single_run(b, p));
-    (start.elapsed().as_secs_f64(), stats)
+        .run_with_report(|&(b, p)| single_run(b, p));
+    (report, stats)
 }
 
 fn main() {
@@ -75,6 +79,9 @@ fn main() {
     for _ in 0..3 {
         single_run(bench, ProtocolKind::Mesi); // warm-up
     }
+    // One run's dispatched-event count (deterministic across repeats)
+    // gives the event-throughput denominator.
+    let events_per_run = single_run(bench, ProtocolKind::Mesi).hierarchy.dispatched;
     let mut best_ms = f64::INFINITY;
     for _ in 0..batches {
         let start = Instant::now();
@@ -84,17 +91,24 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() * 1000.0 / runs_per_batch as f64;
         best_ms = best_ms.min(ms);
     }
+    let events_per_sec = events_per_run as f64 / (best_ms / 1000.0);
     println!(
         "single run ({} x {INSTRUCTIONS} instr): {best_ms:.1} ms/run \
          (baseline {BASELINE_SINGLE_MS} ms, ratio {:.2}x)",
         bench.name(),
         BASELINE_SINGLE_MS / best_ms,
     );
+    println!(
+        "event throughput: {events_per_run} events/run, {:.0} k events/s",
+        events_per_sec / 1000.0
+    );
 
     // --- sweep: serial vs parallel -------------------------------------
-    let (serial_s, serial_stats) = time_sweep(1);
+    let (serial_report, serial_stats) = time_sweep(1);
+    let serial_s = serial_report.total_wall_s;
     println!("fig7 sweep, serial   (69 runs): {serial_s:.3} s");
-    let (parallel_s, parallel_stats) = time_sweep(threads);
+    let (parallel_report, parallel_stats) = time_sweep(threads);
+    let parallel_s = parallel_report.total_wall_s;
     println!("fig7 sweep, {threads:>2} thread(s)        : {parallel_s:.3} s");
     assert_eq!(
         serial_stats, parallel_stats,
@@ -106,21 +120,45 @@ fn main() {
         "sweep speedup {speedup:.2}x on {threads} thread(s) \
          (baseline serial {BASELINE_SWEEP_SERIAL_S} s)"
     );
+    if let Some(slow) = serial_report.slowest() {
+        let (b, p) = sweep_points()[slow.index];
+        println!(
+            "slowest point: {} / {p:?} at {:.1} ms",
+            b.name(),
+            slow.wall_s * 1000.0
+        );
+    }
 
     // --- report ---------------------------------------------------------
-    let json = format!(
-        "{{\n  \"instructions_per_run\": {INSTRUCTIONS},\n  \
-         \"baseline\": {{\n    \"single_run_ms\": {BASELINE_SINGLE_MS},\n    \
-         \"sweep_serial_s\": {BASELINE_SWEEP_SERIAL_S}\n  }},\n  \
-         \"current\": {{\n    \"single_run_ms\": {best_ms:.2},\n    \
-         \"single_run_speedup\": {:.3},\n    \
-         \"sweep_serial_s\": {serial_s:.3},\n    \
-         \"sweep_parallel_s\": {parallel_s:.3},\n    \
-         \"sweep_threads\": {threads},\n    \
-         \"sweep_speedup\": {speedup:.3},\n    \
-         \"serial_parallel_stats_identical\": true\n  }}\n}}\n",
-        BASELINE_SINGLE_MS / best_ms,
-    );
-    std::fs::write("BENCH_driver.json", &json).expect("write BENCH_driver.json");
+    let json = Json::object([
+        ("instructions_per_run", Json::Uint(INSTRUCTIONS)),
+        (
+            "baseline",
+            Json::object([
+                ("single_run_ms", Json::Float(BASELINE_SINGLE_MS)),
+                ("sweep_serial_s", Json::Float(BASELINE_SWEEP_SERIAL_S)),
+            ]),
+        ),
+        (
+            "current",
+            Json::object([
+                ("single_run_ms", Json::Float(best_ms)),
+                (
+                    "single_run_speedup",
+                    Json::Float(BASELINE_SINGLE_MS / best_ms),
+                ),
+                ("events_per_run", Json::Uint(events_per_run)),
+                ("events_per_sec", Json::Float(events_per_sec)),
+                ("sweep_serial_s", Json::Float(serial_s)),
+                ("sweep_parallel_s", Json::Float(parallel_s)),
+                ("sweep_threads", Json::Uint(threads as u64)),
+                ("sweep_speedup", Json::Float(speedup)),
+                ("serial_parallel_stats_identical", Json::Bool(true)),
+            ]),
+        ),
+        ("sweep_serial", serial_report.to_json()),
+        ("sweep_parallel", parallel_report.to_json()),
+    ]);
+    std::fs::write("BENCH_driver.json", json.to_pretty()).expect("write BENCH_driver.json");
     println!("\nwrote BENCH_driver.json");
 }

@@ -1,0 +1,235 @@
+//! Observability-overhead harness.
+//!
+//! Measures what tracing costs — and, just as important, what it costs
+//! when it is **off** — and writes `BENCH_obs.json`:
+//!
+//! 1. **Disabled-path single run** — the same Figure-7-style point as
+//!    `bench_driver` (first SPEC profile, MESI, DerivO3), tracing off.
+//!    When `BENCH_driver.json` is present (the normal case:
+//!    `scripts/bench_obs.sh` runs the driver harness first), the harness
+//!    asserts this time is within 2% of the driver's number — the
+//!    instrumentation must stay off the hot path.
+//! 2. **Traced single run** — the same point with full (uncapped)
+//!    tracing into a scratch directory; reports the per-event cost.
+//! 3. **Fig7 grid** — the 23 × 3 sweep, serial, tracing off and then
+//!    tracing on (capped at [`GRID_TRACE_LIMIT`] events per run so the
+//!    sweep cannot fill the disk; the cap is recorded in the output).
+//!
+//! Scratch trace files go under `target/bench_obs_traces/` and are
+//! removed afterwards.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sim_engine::Json;
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::{driver, ExperimentSet, RunStats, System, SystemConfig, TraceConfig};
+use swiftdir_cpu::CpuModel;
+use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
+
+const INSTRUCTIONS: u64 = 60_000;
+
+/// Allowed disabled-path regression over `BENCH_driver.json`'s
+/// single-run time.
+const MAX_DISABLED_OVERHEAD: f64 = 1.02;
+
+/// Per-run event cap for the traced grid sweep (bounds disk usage; the
+/// traced *single* run is uncapped).
+const GRID_TRACE_LIMIT: u64 = 50_000;
+
+fn single_run(bench: SpecBenchmark, protocol: ProtocolKind, trace: TraceConfig) -> RunStats {
+    let mut sys = System::with_trace(
+        SystemConfig::builder()
+            .cores(1)
+            .protocol(protocol)
+            .cpu_model(CpuModel::DerivO3)
+            .build(),
+        trace,
+    );
+    let pid = sys.spawn_process();
+    let params = bench.params(INSTRUCTIONS);
+    let regions = WorkloadRegions::map(&mut sys, pid, &params);
+    let stream = SynthStream::new(params, regions, bench.seed());
+    sys.run_thread_stream(pid, 0, stream);
+    sys.run_to_completion()
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from("target/bench_obs_traces");
+    std::fs::create_dir_all(&dir).expect("create trace scratch dir");
+    dir
+}
+
+fn clear_scratch() {
+    let _ = std::fs::remove_dir_all("target/bench_obs_traces");
+}
+
+/// Best-of-batches single-run milliseconds under `trace`.
+fn time_single(batches: usize, runs: usize, trace: &TraceConfig) -> f64 {
+    let bench = SpecBenchmark::ALL[0];
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..runs {
+            single_run(bench, ProtocolKind::Mesi, trace.clone());
+        }
+        let ms = start.elapsed().as_secs_f64() * 1000.0 / runs as f64;
+        best_ms = best_ms.min(ms);
+        if trace.is_enabled() {
+            clear_scratch();
+            scratch_dir();
+        }
+    }
+    best_ms
+}
+
+fn sweep_points() -> Vec<(SpecBenchmark, ProtocolKind)> {
+    let protocols = [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ];
+    SpecBenchmark::ALL
+        .into_iter()
+        .flat_map(|b| protocols.into_iter().map(move |p| (b, p)))
+        .collect()
+}
+
+/// Serial fig7 sweep under `trace`; returns wall seconds.
+fn time_sweep(trace: &TraceConfig) -> f64 {
+    let (_, report) = ExperimentSet::new(sweep_points())
+        .threads(1)
+        .run_with_report(|&(b, p)| single_run(b, p, trace.clone()));
+    report.total_wall_s
+}
+
+/// The driver harness's current single-run ms, if `BENCH_driver.json`
+/// exists next to the working directory.
+fn driver_single_ms() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_driver.json").ok()?;
+    let json = Json::parse(&text).ok()?;
+    json.get("current")?.get("single_run_ms")?.as_f64()
+}
+
+/// `bench_obs --smoke <base>`: runs ONE traced fig7 point (first SPEC
+/// profile, SwiftDir) writing `<base>.{jsonl,chrome.json,metrics.json}`,
+/// for CI to feed into `swiftdir-report`. No timing, no assertions.
+fn smoke(base: &str) {
+    if let Some(dir) = std::path::Path::new(base).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create smoke output dir");
+        }
+    }
+    let stats = single_run(
+        SpecBenchmark::ALL[0],
+        ProtocolKind::SwiftDir,
+        TraceConfig::to_path(base),
+    );
+    println!(
+        "smoke: traced fig7 point ({} instr, {} events) -> {base}.metrics.json",
+        stats.instructions(),
+        stats.hierarchy.dispatched
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--smoke") {
+        let base = args.get(1).map_or("trace/fig7", String::as_str);
+        smoke(base);
+        return;
+    }
+    println!(
+        "bench_obs: {} worker thread(s) available\n",
+        driver::default_threads()
+    );
+    let bench = SpecBenchmark::ALL[0];
+    for _ in 0..3 {
+        single_run(bench, ProtocolKind::Mesi, TraceConfig::default()); // warm-up
+    }
+    let events_per_run = single_run(bench, ProtocolKind::Mesi, TraceConfig::default())
+        .hierarchy
+        .dispatched;
+
+    // --- single run, tracing off vs on ---------------------------------
+    let off_ms = time_single(5, 20, &TraceConfig::default());
+    println!("single run, tracing off: {off_ms:.1} ms");
+
+    let traced = TraceConfig::to_path(scratch_dir().join("single"));
+    let on_ms = time_single(3, 5, &traced);
+    clear_scratch();
+    let single_overhead = on_ms / off_ms;
+    let ns_per_event = (on_ms - off_ms) * 1e6 / events_per_run as f64;
+    println!(
+        "single run, tracing on : {on_ms:.1} ms ({single_overhead:.2}x, \
+         {events_per_run} events/run, {ns_per_event:.0} ns/event)"
+    );
+
+    // --- fig7 grid, tracing off vs capped-on ---------------------------
+    let grid_off_s = time_sweep(&TraceConfig::default());
+    println!("fig7 grid, tracing off : {grid_off_s:.3} s");
+    let mut grid_trace = TraceConfig::to_path(scratch_dir().join("grid"));
+    grid_trace.limit = Some(GRID_TRACE_LIMIT);
+    let grid_on_s = time_sweep(&grid_trace);
+    clear_scratch();
+    println!(
+        "fig7 grid, tracing on  : {grid_on_s:.3} s \
+         (capped at {GRID_TRACE_LIMIT} events/run)"
+    );
+
+    // --- disabled-path budget vs the driver harness --------------------
+    let driver_ms = driver_single_ms();
+    match driver_ms {
+        Some(d) => {
+            let ratio = off_ms / d;
+            println!(
+                "\ndisabled path vs BENCH_driver.json: {off_ms:.1} ms vs {d:.1} ms \
+                 ({ratio:.3}x, budget {MAX_DISABLED_OVERHEAD}x)"
+            );
+            assert!(
+                ratio <= MAX_DISABLED_OVERHEAD,
+                "tracing-disabled single run regressed {ratio:.3}x over \
+                 BENCH_driver.json (budget {MAX_DISABLED_OVERHEAD}x)"
+            );
+            println!("disabled-path budget: ok");
+        }
+        None => println!("\nBENCH_driver.json not found; skipping the disabled-path budget check"),
+    }
+
+    let json = Json::object([
+        ("instructions_per_run", Json::Uint(INSTRUCTIONS)),
+        ("events_per_run", Json::Uint(events_per_run)),
+        ("grid_trace_limit", Json::Uint(GRID_TRACE_LIMIT)),
+        ("max_disabled_overhead", Json::Float(MAX_DISABLED_OVERHEAD)),
+        (
+            "single_run",
+            Json::object([
+                ("off_ms", Json::Float(off_ms)),
+                ("on_ms", Json::Float(on_ms)),
+                ("overhead", Json::Float(single_overhead)),
+                ("ns_per_event", Json::Float(ns_per_event)),
+            ]),
+        ),
+        (
+            "fig7_grid_serial",
+            Json::object([
+                ("off_s", Json::Float(grid_off_s)),
+                ("on_s", Json::Float(grid_on_s)),
+                ("overhead", Json::Float(grid_on_s / grid_off_s)),
+            ]),
+        ),
+        (
+            "driver_single_run_ms",
+            driver_ms.map_or(Json::Null, Json::Float),
+        ),
+        (
+            "disabled_path_within_budget",
+            match driver_ms {
+                Some(d) => Json::Bool(off_ms / d <= MAX_DISABLED_OVERHEAD),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    std::fs::write("BENCH_obs.json", json.to_pretty()).expect("write BENCH_obs.json");
+    println!("\nwrote BENCH_obs.json");
+}

@@ -1,0 +1,214 @@
+//! `swiftdir-report`: renders a human-readable run report from the
+//! machine-readable snapshot a traced run writes
+//! (`<base>.metrics.json`, see `swiftdir_core::obs`).
+//!
+//! ```text
+//! swiftdir-report <run.metrics.json>...
+//! ```
+//!
+//! For each snapshot, prints the run summary (instructions, ROI cycles,
+//! IPC), the per-request-class latency quantiles (Hit / GETS / GETS_WP /
+//! GETX / Upgrade), the L1 and LLC transition-count matrices, the
+//! Table III coherence-event counts, and the DRAM counters.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use sim_engine::Json;
+
+/// L1 states in matrix order (mirrors `L1State::ALL`).
+const L1_STATES: [&str; 10] = [
+    "I", "S", "E", "M", "IS_D", "IM_D", "SM_A", "EM_A", "MI_A", "EI_A",
+];
+
+/// LLC states in matrix order (mirrors `LlcState::ALL`).
+const LLC_STATES: [&str; 4] = ["I", "S", "E", "M"];
+
+/// Request classes in report order (mirrors `RequestClass::ALL`).
+const CLASSES: [&str; 5] = ["Hit", "GETS", "GETS_WP", "GETX", "Upgrade"];
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: swiftdir-report <run.metrics.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match render(path) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("swiftdir-report: {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let snap = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = snap.get("schema").and_then(Json::as_str).unwrap_or("?");
+    if schema != "swiftdir.run.v1" {
+        return Err(format!("unsupported snapshot schema {schema:?}"));
+    }
+    let metrics = snap
+        .get("metrics")
+        .ok_or("snapshot has no \"metrics\" section")?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "SwiftDir run report — {path}");
+    summary(&mut out, &snap);
+    latency_table(&mut out, metrics);
+    matrix(
+        &mut out,
+        metrics,
+        "L1 transitions",
+        "protocol.transitions.l1.",
+        &L1_STATES,
+    );
+    matrix(
+        &mut out,
+        metrics,
+        "LLC transitions",
+        "protocol.transitions.llc.",
+        &LLC_STATES,
+    );
+    events(&mut out, &snap);
+    memory(&mut out, &snap);
+    Ok(out)
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn get_f64(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn summary(out: &mut String, snap: &Json) {
+    let threads = snap
+        .get("threads")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    let _ = writeln!(
+        out,
+        "\n  threads {threads}   instructions {}   ROI cycles {}   IPC {:.3}",
+        get_u64(snap, "instructions"),
+        get_u64(snap, "roi_cycles"),
+        get_f64(snap, "ipc"),
+    );
+}
+
+fn latency_table(out: &mut String, metrics: &Json) {
+    let _ = writeln!(out, "\nRequest latency (cycles)");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>10} {:>8} {:>6} {:>6} {:>6} {:>6}",
+        "class", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for class in CLASSES {
+        let Some(h) = metrics.get(&format!("protocol.latency.{class}")) else {
+            continue;
+        };
+        let count = get_u64(h, "count");
+        let cell = |key: &str| match h.get(key).and_then(Json::as_u64) {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        let mean = match h.get("mean").and_then(Json::as_f64) {
+            Some(m) => format!("{m:.1}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {class:<8} {count:>10} {mean:>8} {:>6} {:>6} {:>6} {:>6}",
+            cell("p50"),
+            cell("p90"),
+            cell("p99"),
+            cell("max"),
+        );
+    }
+}
+
+/// Prints a from→to transition matrix from `{prefix}{from}->{to}`
+/// counters, showing only rows and columns with traffic.
+fn matrix(out: &mut String, metrics: &Json, title: &str, prefix: &str, states: &[&str]) {
+    let cell = |from: &str, to: &str| {
+        metrics
+            .get(&format!("{prefix}{from}->{to}"))
+            .map_or(0, |m| get_u64(m, "value"))
+    };
+    let live_row = |s: &&&str| states.iter().any(|to| cell(s, to) > 0);
+    let live_col = |s: &&&str| states.iter().any(|from| cell(from, s) > 0);
+    let rows: Vec<&str> = states.iter().filter(live_row).copied().collect();
+    let cols: Vec<&str> = states.iter().filter(live_col).copied().collect();
+    let _ = writeln!(out, "\n{title} (from \\ to)");
+    if rows.is_empty() {
+        let _ = writeln!(out, "  (none)");
+        return;
+    }
+    let _ = write!(out, "  {:<6}", "");
+    for to in &cols {
+        let _ = write!(out, " {to:>8}");
+    }
+    let _ = writeln!(out);
+    for from in rows {
+        let _ = write!(out, "  {from:<6}");
+        for to in &cols {
+            match cell(from, to) {
+                0 => {
+                    let _ = write!(out, " {:>8}", ".");
+                }
+                n => {
+                    let _ = write!(out, " {n:>8}");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+}
+
+fn events(out: &mut String, snap: &Json) {
+    let Some(events) = snap.get("events").and_then(Json::as_object) else {
+        return;
+    };
+    let _ = writeln!(out, "\nCoherence events (Table III)");
+    let mut line = String::new();
+    for (name, count) in events {
+        let n = count.as_u64().unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        if line.len() > 60 {
+            let _ = writeln!(out, "  {line}");
+            line.clear();
+        }
+        let _ = write!(line, "{name}={n}  ");
+    }
+    if !line.is_empty() {
+        let _ = writeln!(out, "  {}", line.trim_end());
+    }
+}
+
+fn memory(out: &mut String, snap: &Json) {
+    let Some(mem) = snap.get("memory") else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "\nDRAM: {} reads, {} writes, row-hit rate {:.2}",
+        get_u64(mem, "reads"),
+        get_u64(mem, "writes"),
+        get_f64(mem, "row_hit_rate"),
+    );
+}

@@ -3,4 +3,3 @@
 
 /// The instruction budget figure-level benches default to per run.
 pub const DEFAULT_INSTRUCTIONS: u64 = 100_000;
-

@@ -145,8 +145,7 @@ impl<S> CacheArray<S> {
     /// Whether the set for `addr` still has a free way (an insert would not
     /// evict).
     pub fn set_has_free_way(&self, addr: u64) -> bool {
-        self.sets[self.geom.index_of(addr) as usize].len()
-            < self.geom.associativity() as usize
+        self.sets[self.geom.index_of(addr) as usize].len() < self.geom.associativity() as usize
     }
 
     /// Chooses a victim in `addr`'s set according to the replacement policy,
@@ -257,7 +256,7 @@ mod tests {
         c.insert(0x000, 1);
         c.insert(0x080, 2);
         c.peek(0x000); // not a use
-        // 0x000 is still LRU, so it gets evicted.
+                       // 0x000 is still LRU, so it gets evicted.
         let ev = c.insert(0x100, 3).unwrap();
         assert_eq!(ev.addr, 0x000);
     }

@@ -1,6 +1,5 @@
 //! Cache size / associativity / block arithmetic.
 
-
 /// Geometry of one cache: capacity, associativity, and block size.
 ///
 /// All three must be powers of two so index and tag extraction are bit

@@ -128,10 +128,7 @@ mod tests {
             L1Architecture::Vipt.wp_arrival(),
             WpArrival::L1TagComparison
         );
-        assert_eq!(
-            L1Architecture::Vivt.wp_arrival(),
-            WpArrival::LlcSetIndexing
-        );
+        assert_eq!(L1Architecture::Vivt.wp_arrival(), WpArrival::LlcSetIndexing);
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Victim selection policies.
 
-
 /// Which line to evict when a set is full.
 ///
 /// The paper's configuration uses LRU (its §V-B discussion of S-MESI's

@@ -10,12 +10,14 @@
 
 use std::collections::VecDeque;
 
+use sim_engine::tracer::{TraceEvent, TraceKind, Tracer, Unit};
 use sim_engine::{Cycle, EventQueue, FxHashMap};
 use swiftdir_cache::CacheArray;
 use swiftdir_mem::MemoryController;
 use swiftdir_mmu::PhysAddr;
 
 use crate::config::HierarchyConfig;
+use crate::metrics::{ProtocolMetrics, RequestClass};
 use crate::msg::{CoherenceEvent, Msg};
 use crate::protocol::{InitialGrant, ProtocolKind};
 use crate::state::{L1State, LlcState};
@@ -85,6 +87,18 @@ pub enum ServedFrom {
     RemoteL1,
 }
 
+impl ServedFrom {
+    /// Stable display name (tracer/report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedFrom::L1 => "L1",
+            ServedFrom::Llc => "LLC",
+            ServedFrom::Memory => "Memory",
+            ServedFrom::RemoteL1 => "RemoteL1",
+        }
+    }
+}
+
 /// Classification of a completed access, sufficient to reproduce the
 /// paper's latency taxonomy (e.g. Figure 6's `Load(L1I&L2S)` and
 /// `Load_WP(L1I&L2S)`).
@@ -139,6 +153,11 @@ pub struct HierarchyStats {
     pub recalls: u64,
     /// Silent E→M upgrades performed in L1s.
     pub silent_upgrades: u64,
+    /// Total simulator events dispatched (the denominator of event
+    /// throughput in driver reports).
+    pub dispatched: u64,
+    /// Transition-count matrices and per-class latency histograms.
+    pub protocol: ProtocolMetrics,
 }
 
 impl HierarchyStats {
@@ -290,6 +309,9 @@ pub struct Hierarchy {
     /// its allocation is reused across ticks.
     batch: Vec<Event>,
     stats: HierarchyStats,
+    /// Structured protocol tracer (disabled by default: one branch per
+    /// would-be event).
+    tracer: Tracer,
 }
 
 impl Hierarchy {
@@ -313,8 +335,30 @@ impl Hierarchy {
             completions: Vec::new(),
             batch: Vec::new(),
             stats: HierarchyStats::default(),
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Replaces the tracer (pass an enabled [`Tracer`] with sinks attached
+    /// to record a run; the default is disabled).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer in force.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Finalizes the tracer's sinks (flushes files, closes the Chrome
+    /// array) and disables further tracing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink I/O failure.
+    pub fn finish_trace(&mut self) -> std::io::Result<()> {
+        self.tracer.finish()
     }
 
     /// The configuration in force.
@@ -367,8 +411,23 @@ impl Hierarchy {
             issued_at: at,
             l1_before: L1State::I, // filled in at L1 arrival
         };
-        self.queue
-            .schedule(at + Cycle(translation), Event::CoreReq { core, req: pending });
+        self.tracer.emit(|| TraceEvent {
+            at,
+            core: Some(core),
+            addr: block.0,
+            req: Some(id),
+            kind: TraceKind::Issue {
+                class: match (req.kind, req.write_protected) {
+                    (AccessKind::Load, true) => "Load_WP",
+                    (AccessKind::Load, false) => "Load",
+                    (AccessKind::Store, _) => "Store",
+                },
+            },
+        });
+        self.queue.schedule(
+            at + Cycle(translation),
+            Event::CoreReq { core, req: pending },
+        );
         id
     }
 
@@ -428,10 +487,7 @@ impl Hierarchy {
         let mut out = String::new();
         for (c, l1) in self.l1s.iter().enumerate() {
             for (&block, reqs) in &l1.pending {
-                let state = l1
-                    .array
-                    .peek(block)
-                    .map_or(L1State::I, |l| l.state);
+                let state = l1.array.peek(block).map_or(L1State::I, |l| l.state);
                 let _ = writeln!(
                     out,
                     "L1[{c}] pending block {block:#x} state {state} ({} reqs)",
@@ -489,22 +545,124 @@ impl Hierarchy {
         self.cfg.latency
     }
 
+    /// Records an L1 state change in the transition matrix and the trace.
+    #[inline]
+    fn l1_transition(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        addr: PhysAddr,
+        from: L1State,
+        to: L1State,
+    ) {
+        self.stats.protocol.record_l1(from, to);
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: Some(core),
+            addr: addr.0,
+            req: None,
+            kind: TraceKind::Transition {
+                unit: Unit::L1,
+                from: from.name(),
+                to: to.name(),
+            },
+        });
+    }
+
+    /// Records an LLC directory state change.
+    #[inline]
+    fn llc_transition(&mut self, now: Cycle, addr: PhysAddr, from: LlcState, to: LlcState) {
+        self.stats.protocol.record_llc(from, to);
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: None,
+            addr: addr.0,
+            req: None,
+            kind: TraceKind::Transition {
+                unit: Unit::Llc,
+                from: from.name(),
+                to: to.name(),
+            },
+        });
+    }
+
     fn send_to_llc(&mut self, now: Cycle, delay: u64, msg: Msg) {
         self.count(msg.event());
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: msg.core(),
+            addr: msg.addr().0,
+            req: msg.req(),
+            kind: TraceKind::MsgSend {
+                msg: msg.event().name(),
+                from: Unit::L1,
+                to: Unit::Llc,
+            },
+        });
         self.queue.schedule(now + Cycle(delay), Event::ToLlc(msg));
     }
 
     fn send_to_l1(&mut self, now: Cycle, delay: u64, core: usize, msg: Msg) {
         self.count(msg.event());
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: Some(core),
+            addr: msg.addr().0,
+            req: msg.req(),
+            kind: TraceKind::MsgSend {
+                msg: msg.event().name(),
+                from: if matches!(msg, Msg::DataFromOwner { .. }) {
+                    Unit::L1
+                } else {
+                    Unit::Llc
+                },
+                to: Unit::L1,
+            },
+        });
         self.queue
             .schedule(now + Cycle(delay), Event::ToL1 { core, msg });
     }
 
     fn dispatch(&mut self, now: Cycle, ev: Event) {
+        self.stats.dispatched += 1;
         match ev {
             Event::CoreReq { core, req } => self.l1_access(now, core, req),
-            Event::ToLlc(msg) => self.llc_handle(now, msg),
-            Event::ToL1 { core, msg } => self.l1_handle(now, core, msg),
+            Event::ToLlc(msg) => {
+                self.tracer.emit(|| TraceEvent {
+                    at: now,
+                    core: msg.core(),
+                    addr: msg.addr().0,
+                    req: msg.req(),
+                    kind: TraceKind::MsgRecv {
+                        msg: msg.event().name(),
+                        unit: Unit::Llc,
+                    },
+                });
+                // Directory state changes are scattered across the handler
+                // and its continuations; diffing the line's state around the
+                // event captures each exactly once (victim evictions of
+                // *other* addresses are recorded at their eviction sites).
+                let addr = msg.addr();
+                let prev = self.llc.peek(addr.0).map(|l| l.state);
+                self.llc_handle(now, msg);
+                if let Some(prev) = prev {
+                    let new = self.llc.peek(addr.0).map_or(LlcState::I, |l| l.state);
+                    self.llc_transition(now, addr, prev, new);
+                }
+            }
+            Event::ToL1 { core, msg } => {
+                self.tracer.emit(|| TraceEvent {
+                    at: now,
+                    core: Some(core),
+                    addr: msg.addr().0,
+                    req: msg.req(),
+                    kind: TraceKind::MsgRecv {
+                        msg: msg.event().name(),
+                        unit: Unit::L1,
+                    },
+                });
+                self.l1_handle(now, core, msg);
+            }
             Event::MemDone { addr } => self.llc_mem_done(now, addr),
             Event::L1InsertRetry { core, block, state } => {
                 self.l1_install_line(now, core, block, state);
@@ -520,6 +678,26 @@ impl Hierarchy {
         llc_before: Option<LlcState>,
         served_from: ServedFrom,
     ) {
+        let latency = now.saturating_since(req.issued_at);
+        let class = RequestClass::classify(
+            req.kind,
+            req.l1_before,
+            req.wp,
+            self.cfg.protocol == ProtocolKind::SwiftDir,
+            served_from,
+        );
+        self.stats.protocol.record_latency(class, latency.get());
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: Some(core),
+            addr: req.block.0,
+            req: Some(req.id),
+            kind: TraceKind::Complete {
+                class: class.name(),
+                served_from: served_from.name(),
+                latency: latency.get(),
+            },
+        });
         self.completions.push(Completion {
             req: req.id,
             core,
@@ -547,6 +725,13 @@ impl Hierarchy {
         if let Some(waiters) = self.l1s[core].pending.get_mut(&block) {
             waiters.push(req);
             self.stats.mshr_merges += 1;
+            self.tracer.emit(|| TraceEvent {
+                at: now,
+                core: Some(core),
+                addr: block,
+                req: Some(req.id),
+                kind: TraceKind::MshrMerge,
+            });
             return;
         }
 
@@ -574,15 +759,23 @@ impl Hierarchy {
                     // Fig. 4d). No coherence traffic at all.
                     self.stats.l1_hits += 1;
                     self.stats.silent_upgrades += 1;
-                    self.l1s[core].array.get_mut(block).expect("line present").state =
-                        L1State::M;
+                    self.l1s[core]
+                        .array
+                        .get_mut(block)
+                        .expect("line present")
+                        .state = L1State::M;
+                    self.l1_transition(now, core, req.block, L1State::E, L1State::M);
                     let done = now + Cycle(lat.l1_lookup);
                     self.complete(done, core, &req, None, ServedFrom::L1);
                 } else {
                     // S-MESI: explicit Upgrade/ACK round trip (paper Fig. 2,
                     // Fig. 3b). The store waits in EM_A.
-                    self.l1s[core].array.get_mut(block).expect("line present").state =
-                        L1State::EmA;
+                    self.l1s[core]
+                        .array
+                        .get_mut(block)
+                        .expect("line present")
+                        .state = L1State::EmA;
+                    self.l1_transition(now, core, req.block, L1State::E, L1State::EmA);
                     self.l1s[core].pending.insert(block, vec![req]);
                     self.send_to_llc(
                         now,
@@ -596,8 +789,12 @@ impl Hierarchy {
                 }
             }
             (AccessKind::Store, L1State::S) => {
-                self.l1s[core].array.get_mut(block).expect("line present").state =
-                    L1State::SmA;
+                self.l1s[core]
+                    .array
+                    .get_mut(block)
+                    .expect("line present")
+                    .state = L1State::SmA;
+                self.l1_transition(now, core, req.block, L1State::S, L1State::SmA);
                 self.l1s[core].pending.insert(block, vec![req]);
                 self.send_to_llc(
                     now,
@@ -613,11 +810,25 @@ impl Hierarchy {
             (_, L1State::I) => {
                 if self.l1s[core].pending.len() >= self.l1s[core].mshr_capacity {
                     // MSHRs full: retry shortly.
+                    self.tracer.emit(|| TraceEvent {
+                        at: now,
+                        core: Some(core),
+                        addr: block,
+                        req: Some(req.id),
+                        kind: TraceKind::MshrStall,
+                    });
                     self.queue
                         .schedule(now + Cycle(4), Event::CoreReq { core, req });
                     return;
                 }
                 self.stats.l1_misses += 1;
+                // The MSHR holds the miss transient (Table I's IS^D/IM^D);
+                // the array only learns the line at install.
+                let transient = match req.kind {
+                    AccessKind::Load => L1State::IsD,
+                    AccessKind::Store => L1State::ImD,
+                };
+                self.l1_transition(now, core, req.block, L1State::I, transient);
                 self.l1s[core].pending.insert(block, vec![req]);
                 let msg = match req.kind {
                     AccessKind::Load => {
@@ -668,6 +879,7 @@ impl Hierarchy {
                     match vline.state {
                         L1State::S => {
                             // Fire-and-forget eviction notice.
+                            self.l1_transition(now, core, vaddr, L1State::S, L1State::I);
                             self.send_to_llc(
                                 now,
                                 lat.l1_to_llc,
@@ -676,6 +888,7 @@ impl Hierarchy {
                         }
                         L1State::E => {
                             self.l1s[core].wb_buffer.insert(vaddr.0, L1State::EiA);
+                            self.l1_transition(now, core, vaddr, L1State::E, L1State::EiA);
                             self.send_to_llc(
                                 now,
                                 lat.l1_to_llc,
@@ -684,6 +897,7 @@ impl Hierarchy {
                         }
                         L1State::M => {
                             self.l1s[core].wb_buffer.insert(vaddr.0, L1State::MiA);
+                            self.l1_transition(now, core, vaddr, L1State::M, L1State::MiA);
                             self.send_to_llc(
                                 now,
                                 lat.l1_to_llc,
@@ -695,16 +909,25 @@ impl Hierarchy {
                 }
                 None => {
                     // Every way is mid-transaction; retry shortly.
-                    self.queue.schedule(
-                        now + Cycle(8),
-                        Event::L1InsertRetry { core, block, state },
-                    );
+                    self.queue
+                        .schedule(now + Cycle(8), Event::L1InsertRetry { core, block, state });
                     return;
                 }
             }
         }
+        // The line leaves its miss transient (or a raced transient still in
+        // the array, e.g. IM_D after a lost upgrade) for its granted state.
+        let from = self.l1s[core].array.peek(block.0).map_or(
+            if state == L1State::M {
+                L1State::ImD
+            } else {
+                L1State::IsD
+            },
+            |l| l.state,
+        );
         let evicted = self.l1s[core].array.insert(block.0, L1Line { state });
         debug_assert!(evicted.is_none(), "free way was ensured above");
+        self.l1_transition(now, core, block, from, state);
     }
 
     /// Completes the primary request on `block` and replays merged ones.
@@ -735,7 +958,12 @@ impl Hierarchy {
         let lat = self.lat();
         let block = msg.addr();
         match msg {
-            Msg::Data { addr, llc_was, source, .. } => {
+            Msg::Data {
+                addr,
+                llc_was,
+                source,
+                ..
+            } => {
                 // Load data without exclusivity: line becomes S (this is the
                 // only grant SwiftDir allows for WP data — I→S, Fig. 4a).
                 self.l1_install_line(now, core, addr, L1State::S);
@@ -773,11 +1001,18 @@ impl Hierarchy {
                         "UpgradeAck in state {}",
                         line.state
                     );
+                    let from = line.state;
                     line.state = L1State::M;
+                    self.l1_transition(now, core, addr, from, L1State::M);
                 }
                 self.l1_finish_pending(now, core, addr, Some(llc_was), ServedFrom::Llc);
             }
-            Msg::FwdGets { requester, addr, req, llc_was } => {
+            Msg::FwdGets {
+                requester,
+                addr,
+                req,
+                llc_was,
+            } => {
                 // We are the owner: supply the data (paper Fig. 1a / 4e).
                 let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
                 match here {
@@ -786,8 +1021,8 @@ impl Hierarchy {
                         // (clean) data over, demote to S, and let the
                         // in-flight Upgrade be re-evaluated by the LLC as an
                         // upgrade-from-S.
-                        self.l1s[core].array.get_mut(addr.0).expect("line").state =
-                            L1State::SmA;
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::SmA;
+                        self.l1_transition(now, core, addr, L1State::EmA, L1State::SmA);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
@@ -807,6 +1042,7 @@ impl Hierarchy {
                     }
                     Some(L1State::M) => {
                         self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
+                        self.l1_transition(now, core, addr, L1State::M, L1State::S);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
@@ -826,6 +1062,7 @@ impl Hierarchy {
                     }
                     Some(L1State::E) => {
                         self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
+                        self.l1_transition(now, core, addr, L1State::E, L1State::S);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
@@ -864,7 +1101,12 @@ impl Hierarchy {
                     }
                 }
             }
-            Msg::FwdGetx { requester, addr, req, llc_was } => {
+            Msg::FwdGetx {
+                requester,
+                addr,
+                req,
+                llc_was,
+            } => {
                 let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
                 match here {
                     Some(L1State::EmA) | Some(L1State::SmA) => {
@@ -872,8 +1114,8 @@ impl Hierarchy {
                         // line away and fall back to needing data — the LLC
                         // will answer our in-flight Upgrade with
                         // Data_Exclusive once the winner is done.
-                        self.l1s[core].array.get_mut(addr.0).expect("line").state =
-                            L1State::ImD;
+                        self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::ImD;
+                        self.l1_transition(now, core, addr, here.expect("matched"), L1State::ImD);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
@@ -888,12 +1130,17 @@ impl Hierarchy {
                         self.send_to_llc(
                             now,
                             lat.owner_lookup + lat.l1_to_llc,
-                            Msg::InvAck { core, addr, dirty: false },
+                            Msg::InvAck {
+                                core,
+                                addr,
+                                dirty: false,
+                            },
                         );
                     }
                     Some(L1State::M) | Some(L1State::E) => {
                         let dirty = here == Some(L1State::M);
                         self.l1s[core].array.invalidate(addr.0);
+                        self.l1_transition(now, core, addr, here.expect("matched"), L1State::I);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
@@ -931,26 +1178,38 @@ impl Hierarchy {
             Msg::Inv { addr } => {
                 // Invalidate whatever we have; ack regardless (conservative
                 // sharer lists make Inv-to-non-holder normal).
-                let dirty = match self.l1s[core].array.peek(addr.0).map(|l| l.state) {
+                let prev = self.l1s[core].array.peek(addr.0).map(|l| l.state);
+                let dirty = match prev {
                     Some(L1State::M) => true,
-                    Some(L1State::SmA) | Some(L1State::EmA) => {
+                    Some(from @ (L1State::SmA | L1State::EmA)) => {
                         // Upgrade race lost: our Upgrade will be treated as a
                         // GETX by the LLC; we now need data, not just an ack.
                         self.l1s[core].array.invalidate(addr.0);
+                        self.l1_transition(now, core, addr, from, L1State::I);
                         self.send_to_llc(
                             now,
                             lat.l1_to_llc,
-                            Msg::InvAck { core, addr, dirty: false },
+                            Msg::InvAck {
+                                core,
+                                addr,
+                                dirty: false,
+                            },
                         );
                         return;
                     }
                     _ => false,
                 };
                 self.l1s[core].array.invalidate(addr.0);
+                if let Some(from) = prev {
+                    self.l1_transition(now, core, addr, from, L1State::I);
+                }
                 self.send_to_llc(now, lat.l1_to_llc, Msg::InvAck { core, addr, dirty });
             }
             Msg::WbAck { addr } => {
-                self.l1s[core].wb_buffer.remove(&addr.0);
+                if let Some(from) = self.l1s[core].wb_buffer.remove(&addr.0) {
+                    // The eviction handshake closes: EI_A/MI_A → I.
+                    self.l1_transition(now, core, addr, from, L1State::I);
+                }
             }
             other => unreachable!("L1 received unexpected message {other:?} for {block}"),
         }
@@ -1149,12 +1408,7 @@ impl Hierarchy {
                         llc_was,
                     });
                     for c in bits(pending) {
-                        self.send_to_l1(
-                            now,
-                            lat.llc_lookup + lat.llc_to_l1,
-                            c,
-                            Msg::Inv { addr },
-                        );
+                        self.send_to_l1(now, lat.llc_lookup + lat.llc_to_l1, c, Msg::Inv { addr });
                     }
                 }
             }
@@ -1250,6 +1504,7 @@ impl Hierarchy {
             .choose_victim(addr.0, |l| l.txn.is_none() && !l.has_copies())
         {
             let vline = self.llc.invalidate(vaddr).expect("victim exists");
+            self.llc_transition(now, PhysAddr(vaddr), vline.state, LlcState::I);
             if vline.dirty {
                 // Writeback to memory, fire-and-forget.
                 self.mem.access(now, PhysAddr(vaddr), true);
@@ -1272,7 +1527,9 @@ impl Hierarchy {
                     now,
                     lat.llc_lookup + lat.llc_to_l1,
                     c,
-                    Msg::Inv { addr: PhysAddr(vaddr) },
+                    Msg::Inv {
+                        addr: PhysAddr(vaddr),
+                    },
                 );
             }
         }
@@ -1331,6 +1588,13 @@ impl Hierarchy {
 
     /// A writeback (clean or dirty) arrived from `core`.
     fn llc_writeback(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool) {
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: Some(core),
+            addr: addr.0,
+            req: None,
+            kind: TraceKind::Writeback { dirty },
+        });
         let Some(line) = self.llc.get_mut(addr.0) else {
             // Line already evicted from the LLC (recall completed on acks
             // while this WB crossed): just ack so the L1 can drop it.
@@ -1537,9 +1801,7 @@ impl Hierarchy {
                 line.txn = None;
             }
             Some(LlcTxn::FwdLoad {
-                requester,
-                wb_done,
-                ..
+                requester, wb_done, ..
             }) => {
                 debug_assert_eq!(core, requester);
                 if wb_done {
@@ -1556,9 +1818,7 @@ impl Hierarchy {
                 }
             }
             Some(LlcTxn::FwdStore {
-                requester,
-                wb_done,
-                ..
+                requester, wb_done, ..
             }) => {
                 debug_assert_eq!(core, requester);
                 if wb_done {
@@ -1886,6 +2146,118 @@ mod tests {
             let done = h.run_until_idle();
             assert_eq!(done.len(), n, "{p}: all requests must complete");
         }
+    }
+
+    /// Drives a cross-core mix of loads/stores/WP-loads and returns the
+    /// quiesced hierarchy plus the number of issued requests.
+    fn stress(protocol: ProtocolKind, rounds: u64) -> (Hierarchy, usize) {
+        let mut h = hier(protocol, 4);
+        let mut t = Cycle(0);
+        let mut n = 0;
+        for round in 0..rounds {
+            for core in 0..4usize {
+                let addr = PhysAddr(0x8_0000 + (round % 16) * 64);
+                let req = match (round + core as u64) % 4 {
+                    0 => CoreRequest::store(addr),
+                    1 => CoreRequest::load(addr).write_protected(),
+                    _ => CoreRequest::load(addr),
+                };
+                h.issue(t, core, req);
+                n += 1;
+                t += Cycle(7);
+            }
+        }
+        let done = h.run_until_idle();
+        assert_eq!(done.len(), n);
+        (h, n)
+    }
+
+    #[test]
+    fn transition_matrix_reconciles_with_event_counts() {
+        for p in ProtocolKind::ALL {
+            let (h, n) = stress(p, 120);
+            let s = h.stats();
+            // Every data grant installs a line out of a miss transient.
+            let data_msgs = s.event(CoherenceEvent::Data)
+                + s.event(CoherenceEvent::DataExclusive)
+                + s.event(CoherenceEvent::DataFromOwner);
+            assert_eq!(
+                s.protocol.l1_installs(),
+                data_msgs,
+                "{p}: installs = data grants"
+            );
+            // Silent upgrades are exactly the L1 E→M edge.
+            assert_eq!(
+                s.protocol.l1_transitions(L1State::E, L1State::M),
+                s.silent_upgrades,
+                "{p}: E→M = silent upgrades"
+            );
+            // Every completion lands in exactly one latency histogram.
+            let latency_total: u64 = crate::metrics::RequestClass::ALL
+                .into_iter()
+                .map(|c| s.protocol.latency(c).count())
+                .sum();
+            assert_eq!(
+                latency_total, n as u64,
+                "{p}: one latency sample per request"
+            );
+            // The upgrade round trips of S-MESI land in the Upgrade class.
+            if p == ProtocolKind::SMesi {
+                assert!(
+                    s.protocol
+                        .latency(crate::metrics::RequestClass::Upgrade)
+                        .count()
+                        > 0,
+                    "S-MESI stress must exercise upgrades"
+                );
+            }
+            assert!(s.dispatched > n as u64, "{p}: misses multiply events");
+        }
+    }
+
+    #[test]
+    fn swiftdir_wp_loads_populate_the_gets_wp_histogram() {
+        let (h, _) = stress(ProtocolKind::SwiftDir, 120);
+        let wp = h
+            .stats()
+            .protocol
+            .latency(crate::metrics::RequestClass::GetsWp);
+        assert!(wp.count() > 0);
+        assert_eq!(
+            wp.count(),
+            h.stats().event(CoherenceEvent::GetsWp),
+            "one GETS_WP completion per GETS_WP request"
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_stats_and_fills_the_ring() {
+        let (plain, _) = stress(ProtocolKind::SwiftDir, 60);
+        let mut traced = hier(ProtocolKind::SwiftDir, 4);
+        traced.set_tracer(Tracer::enabled().with_ring(256));
+        let mut t = Cycle(0);
+        for round in 0..60u64 {
+            for core in 0..4usize {
+                let addr = PhysAddr(0x8_0000 + (round % 16) * 64);
+                let req = match (round + core as u64) % 4 {
+                    0 => CoreRequest::store(addr),
+                    1 => CoreRequest::load(addr).write_protected(),
+                    _ => CoreRequest::load(addr),
+                };
+                traced.issue(t, core, req);
+                t += Cycle(7);
+            }
+        }
+        traced.run_until_idle();
+        assert_eq!(
+            plain.stats(),
+            traced.stats(),
+            "tracing must not perturb the simulation"
+        );
+        assert!(traced.tracer().emitted() > 0);
+        let ring = traced.tracer().ring().expect("ring attached");
+        assert!(!ring.is_empty());
+        assert_eq!(ring.len(), 256, "long run saturates the bounded ring");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod hierarchy;
+pub mod metrics;
 pub mod msg;
 pub mod protocol;
 pub mod state;
@@ -45,6 +46,7 @@ pub use hierarchy::{
     AccessClass, AccessKind, Completion, CoreRequest, Hierarchy, HierarchyStats, RequestId,
     ServedFrom,
 };
+pub use metrics::{ProtocolMetrics, RequestClass};
 pub use msg::{CoherenceEvent, Msg};
 pub use protocol::ProtocolKind;
 pub use state::{L1State, LlcState};

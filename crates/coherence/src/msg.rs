@@ -194,6 +194,41 @@ impl Msg {
         }
     }
 
+    /// The core a request-side message names (requester, evicting, or
+    /// acknowledging core); `None` for LLC-originated messages.
+    pub fn core(&self) -> Option<usize> {
+        match *self {
+            Msg::Gets { core, .. }
+            | Msg::GetsWp { core, .. }
+            | Msg::Getx { core, .. }
+            | Msg::Upgrade { core, .. }
+            | Msg::WbDataClean { core, .. }
+            | Msg::WbDataDirty { core, .. }
+            | Msg::Unblock { core, .. }
+            | Msg::ExclusiveUnblock { core, .. }
+            | Msg::InvAck { core, .. } => Some(core),
+            Msg::FwdGets { requester, .. } | Msg::FwdGetx { requester, .. } => Some(requester),
+            _ => None,
+        }
+    }
+
+    /// The core request this message serves, if it names one.
+    pub fn req(&self) -> Option<RequestId> {
+        match *self {
+            Msg::Gets { req, .. }
+            | Msg::GetsWp { req, .. }
+            | Msg::Getx { req, .. }
+            | Msg::Upgrade { req, .. }
+            | Msg::Data { req, .. }
+            | Msg::DataExclusive { req, .. }
+            | Msg::FwdGets { req, .. }
+            | Msg::FwdGetx { req, .. }
+            | Msg::UpgradeAck { req, .. }
+            | Msg::DataFromOwner { req, .. } => Some(req),
+            _ => None,
+        }
+    }
+
     /// The Table III event class of this message, for statistics.
     pub fn event(&self) -> CoherenceEvent {
         match self {
@@ -284,11 +319,10 @@ impl CoherenceEvent {
         CoherenceEvent::Fetch,
         CoherenceEvent::MemData,
     ];
-}
 
-impl fmt::Display for CoherenceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The Table III display name as a static string (tracer/metrics key).
+    pub fn name(self) -> &'static str {
+        match self {
             CoherenceEvent::Load => "Load",
             CoherenceEvent::Store => "Store",
             CoherenceEvent::Gets => "GETS",
@@ -308,7 +342,13 @@ impl fmt::Display for CoherenceEvent {
             CoherenceEvent::Ack => "ACK",
             CoherenceEvent::Fetch => "Fetch",
             CoherenceEvent::MemData => "Mem_Data",
-        })
+        }
+    }
+}
+
+impl fmt::Display for CoherenceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -324,7 +364,9 @@ mod tests {
             req: 0,
         };
         assert_eq!(m.addr(), PhysAddr(0x40));
-        let m = Msg::Inv { addr: PhysAddr(0x80) };
+        let m = Msg::Inv {
+            addr: PhysAddr(0x80),
+        };
         assert_eq!(m.addr(), PhysAddr(0x80));
     }
 
@@ -343,10 +385,8 @@ mod tests {
 
     #[test]
     fn all_events_have_unique_names() {
-        let names: std::collections::HashSet<String> = CoherenceEvent::ALL
-            .iter()
-            .map(|e| e.to_string())
-            .collect();
+        let names: std::collections::HashSet<String> =
+            CoherenceEvent::ALL.iter().map(|e| e.to_string()).collect();
         assert_eq!(names.len(), CoherenceEvent::ALL.len());
     }
 }

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// What the LLC grants a core on the initial load of an uncached block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitialGrant {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// L1 cache-line states: the four stable MESI states plus the transient
 /// states of paper Table I (and the eviction-handshake transients the
 /// protocol needs for forward-progress).
@@ -34,6 +33,46 @@ pub enum L1State {
 }
 
 impl L1State {
+    /// Every L1 state, in [`L1State::index`] order (rows/columns of the
+    /// transition-count matrix).
+    pub const ALL: [L1State; Self::COUNT] = [
+        L1State::I,
+        L1State::S,
+        L1State::E,
+        L1State::M,
+        L1State::IsD,
+        L1State::ImD,
+        L1State::SmA,
+        L1State::EmA,
+        L1State::MiA,
+        L1State::EiA,
+    ];
+
+    /// Number of L1 states (stable + transient).
+    pub const COUNT: usize = 10;
+
+    /// Dense index of this state into [`L1State::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Table I / Table II display name as a static string (what the
+    /// tracer and metrics snapshots use).
+    pub fn name(self) -> &'static str {
+        match self {
+            L1State::I => "I",
+            L1State::S => "S",
+            L1State::E => "E",
+            L1State::M => "M",
+            L1State::IsD => "IS_D",
+            L1State::ImD => "IM_D",
+            L1State::SmA => "SM_A",
+            L1State::EmA => "EM_A",
+            L1State::MiA => "MI_A",
+            L1State::EiA => "EI_A",
+        }
+    }
+
     /// Whether this is one of the four stable states.
     pub fn is_stable(self) -> bool {
         matches!(self, L1State::I | L1State::S | L1State::E | L1State::M)
@@ -60,18 +99,7 @@ impl L1State {
 
 impl fmt::Display for L1State {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            L1State::I => "I",
-            L1State::S => "S",
-            L1State::E => "E",
-            L1State::M => "M",
-            L1State::IsD => "IS_D",
-            L1State::ImD => "IM_D",
-            L1State::SmA => "SM_A",
-            L1State::EmA => "EM_A",
-            L1State::MiA => "MI_A",
-            L1State::EiA => "EI_A",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -91,14 +119,32 @@ pub enum LlcState {
     M,
 }
 
-impl fmt::Display for LlcState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl LlcState {
+    /// Every LLC state, in [`LlcState::index`] order.
+    pub const ALL: [LlcState; Self::COUNT] = [LlcState::I, LlcState::S, LlcState::E, LlcState::M];
+
+    /// Number of LLC directory states.
+    pub const COUNT: usize = 4;
+
+    /// Dense index of this state into [`LlcState::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The display name as a static string.
+    pub fn name(self) -> &'static str {
+        match self {
             LlcState::I => "I",
             LlcState::S => "S",
             LlcState::E => "E",
             LlcState::M => "M",
-        })
+        }
+    }
+}
+
+impl fmt::Display for LlcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -125,11 +171,24 @@ mod tests {
 
     #[test]
     fn data_and_dirtiness() {
-        assert!(L1State::MiA.has_data(), "evicting M line still answers forwards");
+        assert!(
+            L1State::MiA.has_data(),
+            "evicting M line still answers forwards"
+        );
         assert!(L1State::MiA.is_dirty());
         assert!(L1State::EiA.has_data());
         assert!(!L1State::EiA.is_dirty());
         assert!(!L1State::IsD.has_data());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, s) in L1State::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, s) in LlcState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
     }
 
     #[test]

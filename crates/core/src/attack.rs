@@ -247,8 +247,14 @@ fn colluding_processes(sys: &mut System, bits: u64) -> (Mapping, Mapping) {
     let base1 = l1.base_of(SegmentKind::Rodata).expect("rodata present");
     let base2 = l2.base_of(SegmentKind::Rodata).expect("rodata present");
     (
-        Mapping { pid: p1, base: base1 },
-        Mapping { pid: p2, base: base2 },
+        Mapping {
+            pid: p1,
+            base: base1,
+        },
+        Mapping {
+            pid: p2,
+            base: base2,
+        },
     )
 }
 
@@ -306,7 +312,11 @@ mod tests {
     #[test]
     fn covert_channel_closed_under_smesi() {
         let outcome = CovertChannel::new(ProtocolKind::SMesi).transmit_random(32, 1);
-        assert!(!outcome.leaks(), "S-MESI also protects: {}", outcome.accuracy());
+        assert!(
+            !outcome.leaks(),
+            "S-MESI also protects: {}",
+            outcome.accuracy()
+        );
     }
 
     #[test]

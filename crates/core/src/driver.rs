@@ -29,9 +29,66 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use sim_engine::Json;
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "SWIFTDIR_THREADS";
+
+/// Wall-clock accounting of one sweep point (one configuration run by
+/// [`ExperimentSet::run_with_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointTiming {
+    /// Input position of the point.
+    pub index: usize,
+    /// Wall-clock seconds the point's closure took.
+    pub wall_s: f64,
+}
+
+/// Wall-clock accounting of a whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverReport {
+    /// Per-point timings, in input order.
+    pub points: Vec<PointTiming>,
+    /// End-to-end wall-clock seconds of the sweep.
+    pub total_wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl DriverReport {
+    /// Sum of per-point wall seconds (CPU-side work; exceeds
+    /// [`DriverReport::total_wall_s`] when workers run in parallel).
+    pub fn points_wall_s(&self) -> f64 {
+        self.points.iter().map(|p| p.wall_s).sum()
+    }
+
+    /// The slowest point, if any.
+    pub fn slowest(&self) -> Option<&PointTiming> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.wall_s.total_cmp(&b.wall_s))
+    }
+
+    /// The report as a JSON value (for driver output files).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("threads", Json::Uint(self.threads as u64)),
+            ("total_wall_s", Json::Float(self.total_wall_s)),
+            ("points_wall_s", Json::Float(self.points_wall_s())),
+            (
+                "points",
+                Json::array(self.points.iter().map(|p| {
+                    Json::object([
+                        ("index", Json::Uint(p.index as u64)),
+                        ("wall_s", Json::Float(p.wall_s)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
 
 /// A set of independent experiment configurations to fan over worker
 /// threads.
@@ -62,11 +119,6 @@ impl<C> ExperimentSet<C> {
             configs,
             threads: None,
         }
-    }
-
-    /// Builds the set from any iterator of configurations.
-    pub fn from_iter(configs: impl IntoIterator<Item = C>) -> Self {
-        Self::new(configs.into_iter().collect())
     }
 
     /// Pins the worker count (overrides `SWIFTDIR_THREADS` and the host
@@ -107,7 +159,7 @@ impl<C> ExperimentSet<C> {
             .min(self.configs.len().max(1));
         let configs = self.configs;
         if workers <= 1 {
-            return configs.iter().map(|c| f(c)).collect();
+            return configs.iter().map(&f).collect();
         }
 
         // Work stealing by atomic index; results land in the slot matching
@@ -140,6 +192,50 @@ impl<C> ExperimentSet<C> {
             .into_iter()
             .map(|r| r.expect("every slot was filled"))
             .collect()
+    }
+
+    /// Like [`ExperimentSet::run`], but also reports wall-clock timing:
+    /// per-point seconds (in input order) plus the sweep total, for
+    /// driver output and throughput accounting. The results themselves
+    /// are identical to a plain `run` — timing never influences them.
+    pub fn run_with_report<R, F>(self, f: F) -> (Vec<R>, DriverReport)
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C) -> R + Sync,
+    {
+        let threads = self
+            .threads
+            .unwrap_or_else(default_threads)
+            .min(self.configs.len().max(1));
+        let start = Instant::now();
+        let timed = self.run(|c| {
+            let t0 = Instant::now();
+            let r = f(c);
+            (r, t0.elapsed().as_secs_f64())
+        });
+        let total_wall_s = start.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(timed.len());
+        let mut points = Vec::with_capacity(timed.len());
+        for (index, (r, wall_s)) in timed.into_iter().enumerate() {
+            results.push(r);
+            points.push(PointTiming { index, wall_s });
+        }
+        (
+            results,
+            DriverReport {
+                points,
+                total_wall_s,
+                threads,
+            },
+        )
+    }
+}
+
+impl<C> FromIterator<C> for ExperimentSet<C> {
+    /// Builds the set from any iterator of configurations.
+    fn from_iter<I: IntoIterator<Item = C>>(configs: I) -> Self {
+        Self::new(configs.into_iter().collect())
     }
 }
 
@@ -197,5 +293,30 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn run_with_report_times_every_point() {
+        let (out, report) = ExperimentSet::new(vec![1u64, 2, 3])
+            .threads(2)
+            .run_with_report(|&n| n * n);
+        assert_eq!(out, vec![1, 4, 9]);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(
+            report.points.iter().map(|p| p.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(report.points.iter().all(|p| p.wall_s >= 0.0));
+        assert!(report.total_wall_s >= 0.0);
+        assert!(report.slowest().is_some());
+        let json = report.to_json();
+        assert_eq!(json.get("threads").and_then(|j| j.as_u64()), Some(2));
+        assert_eq!(
+            json.get("points")
+                .and_then(|j| j.as_array())
+                .map(<[_]>::len),
+            Some(3)
+        );
     }
 }

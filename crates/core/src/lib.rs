@@ -19,6 +19,9 @@
 //!   to demonstrate that MESI leaks and SwiftDir does not.
 //! * [`driver`] — [`ExperimentSet`]: fans independent experiment
 //!   configurations over worker threads, results in input order.
+//! * [`obs`] — observability: the `SWIFTDIR_TRACE` /
+//!   `SWIFTDIR_TRACE_LIMIT` knobs, trace-file construction, and
+//!   [`RunStats::snapshot`]'s machine-readable JSON.
 //!
 //! # Example
 //!
@@ -45,12 +48,14 @@
 pub mod attack;
 pub mod config;
 pub mod driver;
+pub mod obs;
 pub mod probe;
 pub mod system;
 
 pub use attack::{CovertChannel, CovertOutcome, SideChannel, SideOutcome};
 pub use config::{SystemConfig, SystemConfigBuilder};
-pub use driver::ExperimentSet;
+pub use driver::{DriverReport, ExperimentSet, PointTiming};
+pub use obs::{TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};
 

@@ -1,0 +1,290 @@
+//! Observability wiring: trace environment knobs, trace-file
+//! construction, and the machine-readable run snapshot.
+//!
+//! Tracing is opt-in via two environment variables, read once per
+//! [`System`](crate::System) at construction:
+//!
+//! * **`SWIFTDIR_TRACE=<path>`** — enables tracing and names the output
+//!   base. A traced run writes three sibling files:
+//!   `<path>.jsonl` (one JSON trace event per line),
+//!   `<path>.chrome.json` (Chrome `about:tracing` / Perfetto format), and
+//!   `<path>.metrics.json` (the [`RunStats`](crate::RunStats) snapshot,
+//!   consumed by the `swiftdir-report` binary).
+//! * **`SWIFTDIR_TRACE_LIMIT=<n>`** — caps the number of events written
+//!   to the sinks; tracing self-disables after `n` events so a long run
+//!   cannot fill the disk. `0` disables tracing outright.
+//!
+//! Multiple traced systems in one process (e.g. an
+//! [`ExperimentSet`](crate::ExperimentSet) sweep with the knob set) get
+//! distinct files: every traced `System` claims a process-wide sequence
+//! number that is appended to the base path (`trace`, `trace-1`,
+//! `trace-2`, …), so parallel workers never clobber each other.
+//!
+//! The knob *parsing* is a pure function ([`TraceConfig::from_values`])
+//! so it can be tested without touching the process environment.
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sim_engine::{ChromeTraceSink, Json, JsonlSink, Metric, MetricsRegistry, Tracer};
+use swiftdir_coherence::CoherenceEvent;
+
+use crate::system::RunStats;
+
+/// Environment variable naming the trace-output base path.
+pub const TRACE_ENV: &str = "SWIFTDIR_TRACE";
+
+/// Environment variable capping the number of traced events.
+pub const TRACE_LIMIT_ENV: &str = "SWIFTDIR_TRACE_LIMIT";
+
+/// Capacity of the in-memory ring every traced run keeps for
+/// invariant-failure dumps (the most recent events, always available
+/// even when a file sink lags).
+pub const TRACE_RING: usize = 4096;
+
+/// Process-wide sequence distinguishing the files of concurrently (or
+/// repeatedly) traced systems.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Parsed trace knobs (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Output base path; `None` disables tracing.
+    pub path: Option<PathBuf>,
+    /// Event cap; `None` means unlimited.
+    pub limit: Option<u64>,
+}
+
+impl TraceConfig {
+    /// Reads `SWIFTDIR_TRACE` / `SWIFTDIR_TRACE_LIMIT` from the process
+    /// environment.
+    pub fn from_env() -> Self {
+        let path = std::env::var(TRACE_ENV).ok();
+        let limit = std::env::var(TRACE_LIMIT_ENV).ok();
+        Self::from_values(path.as_deref(), limit.as_deref())
+    }
+
+    /// Pure knob parsing: `path` and `limit` as the environment would
+    /// supply them. Empty or whitespace-only `path` disables tracing;
+    /// an unparsable `limit` is ignored; `limit == 0` disables tracing.
+    pub fn from_values(path: Option<&str>, limit: Option<&str>) -> Self {
+        let path = path
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+        let limit = limit.and_then(|v| v.trim().parse::<u64>().ok());
+        let path = if limit == Some(0) { None } else { path };
+        TraceConfig { path, limit }
+    }
+
+    /// A config tracing to `path` with no event cap (programmatic
+    /// equivalent of setting `SWIFTDIR_TRACE`).
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        TraceConfig {
+            path: Some(path.into()),
+            limit: None,
+        }
+    }
+
+    /// Whether this config enables tracing.
+    pub fn is_enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Builds the tracer and its output files, claiming a fresh sequence
+    /// number. Returns `Ok(None)` when tracing is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures for either sink.
+    pub fn build(&self) -> io::Result<Option<(Tracer, TraceFiles)>> {
+        let Some(base) = &self.path else {
+            return Ok(None);
+        };
+        let files = TraceFiles::claim(base);
+        let jsonl = BufWriter::new(File::create(&files.events)?);
+        let chrome = BufWriter::new(File::create(&files.chrome)?);
+        let mut tracer = Tracer::enabled()
+            .with_ring(TRACE_RING)
+            .with_sink(Box::new(JsonlSink::new(jsonl)))
+            .with_sink(Box::new(ChromeTraceSink::new(chrome)));
+        if let Some(limit) = self.limit {
+            tracer = tracer.with_limit(limit);
+        }
+        Ok(Some((tracer, files)))
+    }
+}
+
+/// The three output paths of one traced run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFiles {
+    /// JSONL event stream (`<base>.jsonl`).
+    pub events: PathBuf,
+    /// Chrome `trace_event` export (`<base>.chrome.json`).
+    pub chrome: PathBuf,
+    /// Metrics snapshot (`<base>.metrics.json`).
+    pub metrics: PathBuf,
+}
+
+impl TraceFiles {
+    /// Claims the next sequence number and derives the three paths. The
+    /// first claimant gets the bare base; later ones get `-<n>` suffixes.
+    fn claim(base: &Path) -> TraceFiles {
+        let n = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let base = if n == 0 {
+            base.to_path_buf()
+        } else {
+            let mut s = base.as_os_str().to_os_string();
+            s.push(format!("-{n}"));
+            PathBuf::from(s)
+        };
+        TraceFiles::at(&base)
+    }
+
+    /// The three paths derived from `base` with no sequencing (what a
+    /// single traced run named `base` produces).
+    pub fn at(base: &Path) -> TraceFiles {
+        let with_ext = |ext: &str| {
+            let mut s = base.as_os_str().to_os_string();
+            s.push(ext);
+            PathBuf::from(s)
+        };
+        TraceFiles {
+            events: with_ext(".jsonl"),
+            chrome: with_ext(".chrome.json"),
+            metrics: with_ext(".metrics.json"),
+        }
+    }
+}
+
+/// Schema tag stamped into every snapshot, so `swiftdir-report` can
+/// reject files it does not understand.
+pub const SNAPSHOT_SCHEMA: &str = "swiftdir.run.v1";
+
+impl RunStats {
+    /// The machine-readable snapshot of this run: every typed statistic
+    /// — per-thread CPU counters, Table III event counts, hierarchy and
+    /// DRAM counters, and the protocol metrics (per-request-class
+    /// latency histograms and the L1/LLC transition matrices) exported
+    /// through a [`MetricsRegistry`].
+    ///
+    /// The result is deterministic: object keys are emitted in a fixed
+    /// order and the registry section is sorted by metric name.
+    pub fn snapshot(&self) -> Json {
+        let threads = Json::array(self.threads.iter().map(|t| {
+            Json::object([
+                ("core", Json::Uint(t.core as u64)),
+                ("instructions", Json::Uint(t.cpu.instructions)),
+                ("mem_ops", Json::Uint(t.cpu.mem_ops)),
+                ("started_at", Json::Uint(t.cpu.started_at.get())),
+                ("finished_at", Json::Uint(t.cpu.finished_at.get())),
+                ("cycles", Json::Uint(t.cpu.cycles())),
+                ("ipc", Json::Float(t.cpu.ipc())),
+            ])
+        }));
+
+        let events = Json::object(
+            CoherenceEvent::ALL
+                .iter()
+                .map(|&e| (e.name(), Json::Uint(self.hierarchy.event(e)))),
+        );
+
+        let hierarchy = Json::object([
+            ("l1_hits", Json::Uint(self.hierarchy.l1_hits)),
+            ("l1_misses", Json::Uint(self.hierarchy.l1_misses)),
+            ("mshr_merges", Json::Uint(self.hierarchy.mshr_merges)),
+            ("recalls", Json::Uint(self.hierarchy.recalls)),
+            (
+                "silent_upgrades",
+                Json::Uint(self.hierarchy.silent_upgrades),
+            ),
+            ("dispatched", Json::Uint(self.hierarchy.dispatched)),
+        ]);
+
+        let memory = Json::object([
+            ("reads", Json::Uint(self.memory.reads)),
+            ("writes", Json::Uint(self.memory.writes)),
+            ("row_hits", Json::Uint(self.memory.row_hits)),
+            ("row_closed", Json::Uint(self.memory.row_closed)),
+            ("row_conflicts", Json::Uint(self.memory.row_conflicts)),
+            ("row_hit_rate", Json::Float(self.memory.row_hit_rate())),
+        ]);
+
+        let mut reg = MetricsRegistry::new();
+        self.hierarchy.protocol.export_into(&mut reg, "protocol.");
+        reg.insert(
+            "run.instructions",
+            Metric::Counter(self.instructions().into()),
+        );
+        reg.insert("run.roi_cycles", Metric::Counter(self.roi_cycles().into()));
+
+        Json::object([
+            ("schema", Json::from(SNAPSHOT_SCHEMA)),
+            ("threads", threads),
+            ("roi_cycles", Json::Uint(self.roi_cycles())),
+            ("instructions", Json::Uint(self.instructions())),
+            ("ipc", Json::Float(self.ipc())),
+            ("events", events),
+            ("hierarchy", hierarchy),
+            ("memory", memory),
+            ("metrics", reg.snapshot()),
+        ])
+    }
+
+    /// [`RunStats::snapshot`] rendered as pretty-printed JSON text.
+    pub fn snapshot_pretty(&self) -> String {
+        self.snapshot().to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_parses_knobs() {
+        assert_eq!(TraceConfig::from_values(None, None), TraceConfig::default());
+        let c = TraceConfig::from_values(Some("out/trace"), None);
+        assert_eq!(c.path.as_deref(), Some(Path::new("out/trace")));
+        assert_eq!(c.limit, None);
+        assert!(c.is_enabled());
+
+        let c = TraceConfig::from_values(Some(" t "), Some("500"));
+        assert_eq!(c.path.as_deref(), Some(Path::new("t")));
+        assert_eq!(c.limit, Some(500));
+    }
+
+    #[test]
+    fn empty_path_or_zero_limit_disables() {
+        assert!(!TraceConfig::from_values(Some(""), None).is_enabled());
+        assert!(!TraceConfig::from_values(Some("  "), None).is_enabled());
+        assert!(!TraceConfig::from_values(Some("t"), Some("0")).is_enabled());
+        // An unparsable limit is ignored, not an error.
+        let c = TraceConfig::from_values(Some("t"), Some("lots"));
+        assert!(c.is_enabled());
+        assert_eq!(c.limit, None);
+    }
+
+    #[test]
+    fn trace_files_derive_the_three_siblings() {
+        let f = TraceFiles::at(Path::new("/tmp/run7"));
+        assert_eq!(f.events, Path::new("/tmp/run7.jsonl"));
+        assert_eq!(f.chrome, Path::new("/tmp/run7.chrome.json"));
+        assert_eq!(f.metrics, Path::new("/tmp/run7.metrics.json"));
+    }
+
+    #[test]
+    fn claimed_bases_are_distinct() {
+        let a = TraceFiles::claim(Path::new("/tmp/seq"));
+        let b = TraceFiles::claim(Path::new("/tmp/seq"));
+        assert_ne!(a.events, b.events, "sequence numbers must disambiguate");
+        assert_ne!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn disabled_config_builds_nothing() {
+        assert!(TraceConfig::default().build().unwrap().is_none());
+    }
+}

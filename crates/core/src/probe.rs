@@ -147,7 +147,12 @@ mod tests {
     #[test]
     fn merged_filter() {
         let mut p = LatencyProbe::new();
-        p.record(&completion(AccessKind::Store, Some(LlcState::I), false, 100));
+        p.record(&completion(
+            AccessKind::Store,
+            Some(LlcState::I),
+            false,
+            100,
+        ));
         let stores = p.merged(|k| k.kind == AccessKind::Store);
         assert_eq!(stores.count(), 1);
         let loads = p.merged(|k| k.kind == AccessKind::Load);

@@ -9,11 +9,12 @@ use swiftdir_cpu::{
 };
 use swiftdir_mem::MemStats;
 use swiftdir_mmu::{
-    Access, Ksm, KsmStats, LibraryImage, LoadedLibrary, MapError, MapFlags, MemoryManager,
-    Prot, SpaceId, Tlb, TlbEntry, TlbStats, VirtAddr,
+    Access, Ksm, KsmStats, LibraryImage, LoadedLibrary, MapError, MapFlags, MemoryManager, Prot,
+    SpaceId, Tlb, TlbEntry, TlbStats, VirtAddr,
 };
 
 use crate::config::SystemConfig;
+use crate::obs::{TraceConfig, TraceFiles};
 use crate::probe::LatencyProbe;
 
 /// Handle to a simulated process (one address space).
@@ -106,6 +107,7 @@ pub struct System {
     slots: Vec<CoreSlot>,
     processes: Vec<SpaceId>,
     probe: LatencyProbe,
+    trace: Option<TraceFiles>,
 }
 
 impl std::fmt::Debug for System {
@@ -119,8 +121,22 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Builds an idle machine.
+    /// Builds an idle machine. Honors the `SWIFTDIR_TRACE` /
+    /// `SWIFTDIR_TRACE_LIMIT` environment knobs (see [`crate::obs`]):
+    /// when set, the machine traces into the configured files until
+    /// [`System::run_to_completion`] or [`System::finish_trace`] closes
+    /// them.
     pub fn new(cfg: SystemConfig) -> Self {
+        Self::with_trace(cfg, TraceConfig::from_env())
+    }
+
+    /// Builds an idle machine with an explicit trace configuration
+    /// (bypassing the environment knobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace-output files cannot be created.
+    pub fn with_trace(cfg: SystemConfig, trace: TraceConfig) -> Self {
         let slots = (0..cfg.cores)
             .map(|_| CoreSlot {
                 cpu: None,
@@ -128,12 +144,22 @@ impl System {
                 dtlb: Tlb::new(cfg.tlb_entries),
             })
             .collect();
+        let mut hier = Hierarchy::new(cfg.hierarchy());
+        let trace = match trace.build() {
+            Ok(Some((tracer, files))) => {
+                hier.set_tracer(tracer);
+                Some(files)
+            }
+            Ok(None) => None,
+            Err(e) => panic!("cannot create trace files: {e}"),
+        };
         System {
-            hier: Hierarchy::new(cfg.hierarchy()),
+            hier,
             mm: MemoryManager::new(),
             slots,
             processes: Vec::new(),
             probe: LatencyProbe::new(),
+            trace,
             cfg,
         }
     }
@@ -263,11 +289,41 @@ impl System {
                 slot.space = None;
             }
         }
-        RunStats {
+        let stats = RunStats {
             threads,
             hierarchy: self.hier.stats().clone(),
             memory: self.hier.mem_stats(),
+        };
+        if self.trace.is_some() {
+            self.write_snapshot(&stats);
+            self.finish_trace();
         }
+        stats
+    }
+
+    /// Writes `stats`' snapshot to the trace's `.metrics.json` file (a
+    /// no-op when tracing is off).
+    fn write_snapshot(&self, stats: &RunStats) {
+        if let Some(files) = &self.trace {
+            std::fs::write(&files.metrics, stats.snapshot_pretty())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", files.metrics.display()));
+        }
+    }
+
+    /// Flushes and closes the trace files, disabling further tracing.
+    /// Idempotent; called automatically at the end of
+    /// [`System::run_to_completion`]. Call it directly after
+    /// [`System::timed_access`]-style experiments that never run a
+    /// thread to completion.
+    pub fn finish_trace(&mut self) {
+        if let Err(e) = self.hier.finish_trace() {
+            panic!("cannot finalize trace files: {e}");
+        }
+    }
+
+    /// The output files of this system's trace, when tracing is on.
+    pub fn trace_files(&self) -> Option<&TraceFiles> {
+        self.trace.as_ref()
     }
 
     /// Performs one timed access from `core` on behalf of `pid` and runs
@@ -275,13 +331,7 @@ impl System {
     ///
     /// This is the measurement primitive the attack harness uses — the
     /// simulated equivalent of an `rdtsc`-fenced load.
-    pub fn timed_access(
-        &mut self,
-        core: usize,
-        pid: ProcessId,
-        va: VirtAddr,
-        op: MemOp,
-    ) -> Cycle {
+    pub fn timed_access(&mut self, core: usize, pid: ProcessId, va: VirtAddr, op: MemOp) -> Cycle {
         let space = self.processes[pid.0 as usize];
         let mut dtlb = std::mem::replace(&mut self.slots[core].dtlb, Tlb::new(1));
         let at = self.hier.now();
@@ -410,7 +460,11 @@ impl Process<'_> {
     /// # Errors
     ///
     /// Fails on protection violations or unmapped addresses.
-    pub fn read(&mut self, va: VirtAddr, len: usize) -> Result<Vec<u8>, swiftdir_mmu::TranslateError> {
+    pub fn read(
+        &mut self,
+        va: VirtAddr,
+        len: usize,
+    ) -> Result<Vec<u8>, swiftdir_mmu::TranslateError> {
         self.sys.mm.read(self.space, va, len)
     }
 
@@ -419,7 +473,10 @@ impl Process<'_> {
     /// # Errors
     ///
     /// Fails on unmapped addresses.
-    pub fn is_write_protected(&mut self, va: VirtAddr) -> Result<bool, swiftdir_mmu::TranslateError> {
+    pub fn is_write_protected(
+        &mut self,
+        va: VirtAddr,
+    ) -> Result<bool, swiftdir_mmu::TranslateError> {
         Ok(self
             .sys
             .mm
@@ -563,11 +620,7 @@ mod tests {
         // The L1 line is S, not E.
         let paddr = sys
             .memory_manager()
-            .translate(
-                SpaceId(0),
-                va,
-                Access::Read,
-            )
+            .translate(SpaceId(0), va, Access::Read)
             .unwrap()
             .paddr;
         assert_eq!(sys.hierarchy().l1_state(0, paddr), L1State::S);
@@ -656,7 +709,10 @@ mod tests {
         // measure the coherence latency of the S-state line: 17 cycles.
         sys.timed_access(1, pid, VirtAddr(va.0 + 128), MemOp::Load);
         let remote = sys.timed_access(1, pid, va, MemOp::Load);
-        assert!(cold > remote, "cold miss slower than LLC hit: {cold} vs {remote}");
+        assert!(
+            cold > remote,
+            "cold miss slower than LLC hit: {cold} vs {remote}"
+        );
         assert_eq!(hit, Cycle(1));
         assert_eq!(remote, Cycle(17));
     }

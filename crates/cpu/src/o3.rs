@@ -105,14 +105,8 @@ impl OutOfOrderCore {
     }
 
     /// A core with explicit parameters.
-    pub fn with_config(
-        stream: impl InstrStream + 'static,
-        start: Cycle,
-        cfg: O3Config,
-    ) -> Self {
-        assert!(
-            cfg.rob > 0 && cfg.lq > 0 && cfg.sq > 0 && cfg.width > 0 && cfg.sq_drain > 0
-        );
+    pub fn with_config(stream: impl InstrStream + 'static, start: Cycle, cfg: O3Config) -> Self {
+        assert!(cfg.rob > 0 && cfg.lq > 0 && cfg.sq > 0 && cfg.width > 0 && cfg.sq_drain > 0);
         OutOfOrderCore {
             cfg,
             stream: Box::new(stream),
@@ -205,8 +199,7 @@ impl Core for OutOfOrderCore {
                             .push_back(Slot::Ready(self.now + Cycle(n.max(1) as u64)));
                     }
                     Instr::Load(va) => {
-                        if self.busy_slots(self.loads_in_flight, &self.lq_release) >= self.cfg.lq
-                        {
+                        if self.busy_slots(self.loads_in_flight, &self.lq_release) >= self.cfg.lq {
                             structurally_stalled = true;
                             stall_release = self.next_release(&self.lq_release);
                             break;

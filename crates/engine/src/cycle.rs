@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-
 /// A point in (or duration of) simulated time, in CPU clock cycles.
 ///
 /// The simulated processor runs at 3 GHz (paper Table V), so one cycle is
@@ -23,9 +22,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(start + latency, Cycle(117));
 /// assert_eq!((start + latency) - start, latency);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycle(pub u64);
 
 impl Cycle {

@@ -1,0 +1,628 @@
+//! Dependency-free JSON value model, writer, and parser.
+//!
+//! The observability layer (metrics snapshots, trace sinks, run reports)
+//! needs machine-readable output, and the workspace builds offline with no
+//! external crates, so the serializer lives in-tree. [`Json`] keeps object
+//! members in insertion order (a `Vec` of pairs, not a map), which makes
+//! snapshots deterministic byte-for-byte — the property every diffable
+//! artifact in this repository rests on.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::Json;
+//! let v = Json::object([
+//!     ("name", Json::from("fig7")),
+//!     ("runs", Json::from(69u64)),
+//! ]);
+//! let text = v.to_string();
+//! assert_eq!(text, r#"{"name":"fig7","runs":69}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A JSON document.
+///
+/// Numbers are split into unsigned/signed/float variants so `u64` counters
+/// round-trip exactly (an `f64` would silently lose precision above 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; members keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// The member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Uint(n) => Some(n),
+            Json::Int(n) => u64::try_from(n).ok(),
+            Json::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Uint(n) => Some(n as f64),
+            Json::Int(n) => Some(n as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(n) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_u64(*n, &mut buf));
+            }
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{f}` prints shortest-roundtrip in Rust; integral
+                    // floats get an explicit ".0" so they re-parse as Float.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&format!("{f}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes with two-space indentation (for human-facing files).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the byte offset and cause on
+    /// malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Uint(n)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Uint(n as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        if n >= 0 {
+            Json::Uint(n as u64)
+        } else {
+            Json::Int(n)
+        }
+    }
+}
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Formats a `u64` without going through `format!` (hot for big bucket
+/// arrays in snapshots).
+fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                s.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not recombined; snapshots never
+                            // emit them.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+            at: start,
+            msg: "invalid number",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Uint(0),
+            Json::Uint(u64::MAX),
+            Json::Int(-42),
+            Json::Float(17.25),
+            Json::Str("hello".into()),
+        ] {
+            let text = v.to_string();
+            assert_eq!(Json::parse(&text).unwrap(), v, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        // 2^53 + 1 is not representable as f64; the Uint variant must
+        // carry it exactly.
+        let n = (1u64 << 53) + 1;
+        let text = Json::Uint(n).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(n));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::object([
+            ("counters", Json::object([("loads", Json::from(3u64))])),
+            (
+                "cdf",
+                Json::array([
+                    Json::array([Json::from(17u64), Json::from(0.5)]),
+                    Json::array([Json::from(43u64), Json::from(1.0)]),
+                ]),
+            ),
+            ("label", Json::from("GETS_WP")),
+            ("empty_arr", Json::Array(vec![])),
+            ("empty_obj", Json::Object(vec![])),
+        ]);
+        let compact = v.to_string();
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        let pretty = v.to_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        let text = v.to_string();
+        assert_eq!(text, r#""a\"b\\c\nd\te\u0001""#);
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let text = r#"{"z":1,"a":2}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(v.get("z").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn whitespace_and_unicode() {
+        let v = Json::parse(" { \"k\" : [ 1 , 2.5 , \"héllo\" ] } ").unwrap();
+        let arr = v.get("k").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        let err = Json::parse("{} trailing").unwrap_err();
+        assert_eq!(err.msg, "trailing characters after document");
+        assert!(err.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(Json::parse("-2.5e-1").unwrap().as_f64(), Some(-0.25));
+    }
+}

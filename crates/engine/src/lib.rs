@@ -13,8 +13,15 @@
 //! * [`rng`] — a small, explicitly-seeded SplitMix64/xoshiro random stream
 //!   plus the Zipf sampler workload generators use, so every simulation is
 //!   bit-reproducible regardless of platform or dependency versions.
-//! * [`trace`] — an optional bounded event trace for debugging protocol
-//!   transitions.
+//! * [`trace`] — a bounded ring of timestamped records, the storage behind
+//!   the tracer's recent-history dumps.
+//! * [`tracer`] — the structured protocol tracer: typed [`TraceEvent`]s,
+//!   pluggable sinks (bounded ring, JSONL, Chrome `trace_event`), and a
+//!   closure-deferred emit path that costs one branch when disabled.
+//! * [`metrics`] — a named registry of counters/histograms/summaries with
+//!   deterministic JSON snapshots.
+//! * [`json`] — a dependency-free JSON model, writer, and parser used for
+//!   every machine-readable artifact the simulator produces.
 //!
 //! # Example
 //!
@@ -30,14 +37,20 @@
 
 pub mod cycle;
 pub mod fxhash;
+pub mod json;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod tracer;
 
 pub use cycle::Cycle;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::{Json, JsonError};
+pub use metrics::{Metric, MetricsRegistry};
 pub use queue::EventQueue;
 pub use rng::{DetRng, Zipf};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use trace::TraceBuffer;
+pub use tracer::{ChromeTraceSink, JsonlSink, TraceEvent, TraceKind, TraceSink, Tracer, Unit};

@@ -1,0 +1,259 @@
+//! A named metrics registry: counters, histograms, and running summaries
+//! under stable string names, snapshottable to JSON.
+//!
+//! Simulator components keep their hot-path statistics in typed fields
+//! (a map lookup per event would be felt); at reporting time they *export*
+//! those fields into a [`MetricsRegistry`], which owns the naming scheme
+//! and the JSON snapshot format consumed by `swiftdir-report` and CI.
+//!
+//! Names follow a dotted hierarchy (`coherence.events.GETS_WP`,
+//! `latency.GETX`). Snapshots list metrics sorted by name so two snapshots
+//! of the same run are byte-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::MetricsRegistry;
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter("events.loads").add(3);
+//! reg.histogram("latency", 64).record(17);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.get("events.loads").and_then(|m| m.get("value")).and_then(|v| v.as_u64()), Some(3));
+//! ```
+
+use crate::json::Json;
+use crate::stats::{Counter, Histogram, RunningStats};
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(Counter),
+    /// A sample distribution with exact buckets.
+    Histogram(Histogram),
+    /// A running mean/min/max/stddev summary.
+    Stats(RunningStats),
+}
+
+impl Metric {
+    /// Renders this metric as a JSON object with a `"type"` tag.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Metric::Counter(c) => Json::object([
+                ("type", Json::from("counter")),
+                ("value", Json::from(c.get())),
+            ]),
+            Metric::Histogram(h) => {
+                let quantile = |q: f64| match h.quantile(q) {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                };
+                Json::object([
+                    ("type", Json::from("histogram")),
+                    ("count", Json::from(h.count())),
+                    ("sum", Json::from(h.sum())),
+                    ("mean", h.mean().map_or(Json::Null, Json::from)),
+                    ("min", h.min().map_or(Json::Null, Json::from)),
+                    ("max", h.max().map_or(Json::Null, Json::from)),
+                    ("p50", quantile(0.5)),
+                    ("p90", quantile(0.9)),
+                    ("p99", quantile(0.99)),
+                    ("overflow", Json::from(h.overflow())),
+                    (
+                        "buckets",
+                        Json::array(
+                            h.nonzero_buckets()
+                                .map(|(value, n)| Json::array([Json::from(value), Json::from(n)])),
+                        ),
+                    ),
+                ])
+            }
+            Metric::Stats(s) => Json::object([
+                ("type", Json::from("stats")),
+                ("count", Json::from(s.count())),
+                ("mean", Json::from(s.mean())),
+                ("min", s.min().map_or(Json::Null, Json::from)),
+                ("max", s.max().map_or(Json::Null, Json::from)),
+                ("stddev", s.stddev().map_or(Json::Null, Json::from)),
+            ]),
+        }
+    }
+}
+
+/// Named metrics with deterministic JSON snapshots.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    metrics: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    fn slot(&mut self, name: &str, fresh: Metric) -> &mut Metric {
+        if let Some(i) = self.metrics.iter().position(|(n, _)| n == name) {
+            return &mut self.metrics[i].1;
+        }
+        self.metrics.push((name.to_string(), fresh));
+        &mut self.metrics.last_mut().expect("just pushed").1
+    }
+
+    /// The counter named `name`, created at zero if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        match self.slot(name, Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, created with `cap` exact buckets if
+    /// absent (an existing histogram keeps its original cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str, cap: usize) -> &mut Histogram {
+        match self.slot(name, Metric::Histogram(Histogram::new(cap))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The running summary named `name`, created empty if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn stats(&mut self, name: &str) -> &mut RunningStats {
+        match self.slot(name, Metric::Stats(RunningStats::new())) {
+            Metric::Stats(s) => s,
+            other => panic!("metric {name:?} is not a stats summary: {other:?}"),
+        }
+    }
+
+    /// Registers a pre-built metric under `name`, replacing any existing
+    /// entry (used when exporting typed hot-path fields wholesale).
+    pub fn insert(&mut self, name: &str, metric: Metric) {
+        if let Some(i) = self.metrics.iter().position(|(n, _)| n == name) {
+            self.metrics[i].1 = metric;
+        } else {
+            self.metrics.push((name.to_string(), metric));
+        }
+    }
+
+    /// The metric named `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Iterates over `(name, metric)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// A JSON object of every metric, sorted by name (deterministic).
+    pub fn snapshot(&self) -> Json {
+        let mut names: Vec<usize> = (0..self.metrics.len()).collect();
+        names.sort_by(|&a, &b| self.metrics[a].0.cmp(&self.metrics[b].0));
+        Json::Object(
+            names
+                .into_iter()
+                .map(|i| {
+                    let (name, metric) = &self.metrics[i];
+                    (name.clone(), metric.to_json())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_lookups() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(2);
+        assert_eq!(reg.counter("a").get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_has_quantiles_and_buckets() {
+        let mut reg = MetricsRegistry::new();
+        for v in [17, 17, 43] {
+            reg.histogram("lat", 64).record(v);
+        }
+        let snap = reg.snapshot();
+        let h = snap.get("lat").expect("lat present");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(h.get("p50").and_then(Json::as_u64), Some(17));
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(43));
+        let buckets = h.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2, "two distinct values");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.stats("m.mid").push(1.0);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.to_string(), reg.snapshot().to_string());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_uses_null() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("empty", 8);
+        let snap = reg.snapshot();
+        let h = snap.get("empty").unwrap();
+        assert_eq!(h.get("mean"), Some(&Json::Null));
+        assert_eq!(h.get("p50"), Some(&Json::Null));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("x", 8);
+        reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_parser() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("events.GETS_WP").add(7);
+        reg.histogram("latency.GETX", 128).record(30);
+        reg.stats("ipc").push(0.8);
+        let text = reg.snapshot().to_string();
+        let parsed = Json::parse(&text).expect("snapshot is valid JSON");
+        assert_eq!(parsed, reg.snapshot());
+    }
+}

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -49,6 +48,12 @@ impl Counter {
 impl fmt::Display for Counter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(n: u64) -> Self {
+        Counter(n)
     }
 }
 
@@ -181,6 +186,22 @@ impl Histogram {
             points.push((self.buckets.len() as u64, 1.0));
         }
         points
+    }
+
+    /// The exact-bucket cap this histogram was created with.
+    pub fn cap(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over `(value, count)` pairs of non-empty exact buckets,
+    /// ascending by value (the overflow bucket is not included; see
+    /// [`Histogram::overflow`]).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(value, &n)| (value as u64, n))
     }
 
     /// Merges another histogram's samples into this one.

@@ -1,4 +1,9 @@
-//! Bounded event tracing for protocol debugging.
+//! Bounded record ring for protocol debugging.
+//!
+//! [`TraceBuffer`] is the bounded-ring storage behind the structured
+//! tracer's ring (see [`crate::tracer::Tracer::with_ring`]): it retains
+//! the most recent `capacity` records so an invariant failure can dump
+//! recent protocol history without long simulations growing memory.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -7,11 +12,9 @@ use crate::cycle::Cycle;
 
 /// A bounded ring buffer of timestamped trace records.
 ///
-/// Controllers push human-readable records of every message they handle;
-/// when an invariant check fails, the recent protocol history can be dumped
-/// for diagnosis. The buffer is bounded so long simulations don't grow
-/// memory, and tracing can be disabled entirely (the common case) at
-/// negligible cost.
+/// Generic over the record type: the structured tracer's ring stores typed
+/// [`TraceEvent`](crate::tracer::TraceEvent)s, ad-hoc debugging can store
+/// `String`s (the default).
 ///
 /// # Example
 ///
@@ -22,14 +25,15 @@ use crate::cycle::Cycle;
 /// assert_eq!(t.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct TraceBuffer {
-    records: VecDeque<(Cycle, String)>,
+pub struct TraceBuffer<T = String> {
+    records: VecDeque<(Cycle, T)>,
     capacity: usize,
     enabled: bool,
 }
 
-impl TraceBuffer {
+impl<T> TraceBuffer<T> {
     /// Creates an enabled trace holding at most `capacity` records.
+    /// `capacity == 0` retains nothing (but the push closures still run).
     pub fn new(capacity: usize) -> Self {
         TraceBuffer {
             records: VecDeque::with_capacity(capacity.min(1024)),
@@ -54,12 +58,16 @@ impl TraceBuffer {
 
     /// Records a message. The closure only runs when tracing is enabled, so
     /// formatting cost is not paid in production runs.
-    pub fn push<F: FnOnce() -> String>(&mut self, at: Cycle, message: F) {
+    pub fn push<F: FnOnce() -> T>(&mut self, at: Cycle, message: F) {
         if !self.enabled {
             return;
         }
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
+        // `>=` rather than `==`: a capacity-0 buffer (or one that somehow
+        // overfilled) must never grow without bound.
+        while self.records.len() >= self.capacity {
+            if self.records.pop_front().is_none() {
+                return; // capacity 0: retain nothing
+            }
         }
         self.records.push_back((at, message()));
     }
@@ -75,12 +83,12 @@ impl TraceBuffer {
     }
 
     /// Iterates over retained records, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &str)> {
-        self.records.iter().map(|(c, s)| (*c, s.as_str()))
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.records.iter().map(|(c, s)| (*c, s))
     }
 }
 
-impl fmt::Display for TraceBuffer {
+impl<T: fmt::Display> fmt::Display for TraceBuffer<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (cycle, msg) in self.iter() {
             writeln!(f, "[{cycle}] {msg}")?;
@@ -99,16 +107,39 @@ mod tests {
         for i in 0..5u64 {
             t.push(Cycle(i), || format!("ev{i}"));
         }
-        let msgs: Vec<&str> = t.iter().map(|(_, m)| m).collect();
+        let msgs: Vec<&str> = t.iter().map(|(_, m)| m.as_str()).collect();
         assert_eq!(msgs, vec!["ev2", "ev3", "ev4"]);
     }
 
     #[test]
     fn disabled_records_nothing() {
-        let mut t = TraceBuffer::disabled();
+        let mut t: TraceBuffer = TraceBuffer::disabled();
         t.push(Cycle(1), || panic!("must not format when disabled"));
         assert!(t.is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_zero_never_grows() {
+        // Regression: `push` used to compare `len == capacity`, which a
+        // capacity-0 buffer passes only before the first insert — it then
+        // grew without bound for the rest of the run.
+        let mut t = TraceBuffer::new(0);
+        for i in 0..100u64 {
+            t.push(Cycle(i), || format!("ev{i}"));
+        }
+        assert_eq!(t.len(), 0, "capacity-0 buffer must stay empty");
+        assert!(t.is_enabled(), "capacity 0 is bounded, not disabled");
+    }
+
+    #[test]
+    fn generic_record_types() {
+        let mut t: TraceBuffer<u64> = TraceBuffer::new(2);
+        for i in 0..4 {
+            t.push(Cycle(i), || i * 10);
+        }
+        let vals: Vec<u64> = t.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, vec![20, 30]);
     }
 
     #[test]

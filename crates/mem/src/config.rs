@@ -1,6 +1,5 @@
 //! DRAM geometry and timing configuration.
 
-
 /// DRAM configuration, with timings expressed in **CPU cycles** (3 GHz
 /// core clock) so the memory controller composes directly with the rest of
 /// the simulator.

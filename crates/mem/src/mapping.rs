@@ -32,8 +32,7 @@ impl DramAddress {
         let after_rank = after_bank / cfg.ranks as u64;
         let channel = (after_rank % cfg.channels as u64) as u32;
         let row = after_rank / cfg.channels as u64;
-        let flat_bank =
-            (channel * cfg.ranks + rank) * cfg.banks_per_rank + bank;
+        let flat_bank = (channel * cfg.ranks + rank) * cfg.banks_per_rank + bank;
         DramAddress {
             channel,
             rank,
@@ -67,13 +66,9 @@ mod tests {
     #[test]
     fn row_advances_after_all_banks() {
         let cfg = DramConfig::default();
-        let chunks_per_row_step =
-            (cfg.banks_per_rank * cfg.ranks * cfg.channels) as u64;
+        let chunks_per_row_step = (cfg.banks_per_rank * cfg.ranks * cfg.channels) as u64;
         let a = DramAddress::decompose(PhysAddr(0), &cfg);
-        let b = DramAddress::decompose(
-            PhysAddr(chunks_per_row_step * cfg.row_buffer_bytes),
-            &cfg,
-        );
+        let b = DramAddress::decompose(PhysAddr(chunks_per_row_step * cfg.row_buffer_bytes), &cfg);
         assert_eq!(a.flat_bank, b.flat_bank, "wrapped to the same bank");
         assert_eq!(b.row, a.row + 1, "but one row further");
     }

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::Add;
 
-
 /// Base-2 log of the page size (4 KiB pages, as on x86-64 Linux).
 pub const PAGE_SHIFT: u32 = 12;
 
@@ -18,27 +17,19 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// assert_eq!(va.vpn().0, 1);
 /// assert_eq!(va.page_offset(), 0x10);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 /// A physical address in simulated DRAM.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual page number (virtual address >> [`PAGE_SHIFT`]).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vpn(pub u64);
 
 /// A physical frame number (physical address >> [`PAGE_SHIFT`]).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pfn(pub u64);
 
 impl VirtAddr {

@@ -87,7 +87,10 @@ impl Ksm {
         // each group onto its first frame.
         let mut by_hash: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         for (i, &(_, _, pfn)) in candidates.iter().enumerate() {
-            by_hash.entry(mm.phys().content_hash(pfn)).or_default().push(i);
+            by_hash
+                .entry(mm.phys().content_hash(pfn))
+                .or_default()
+                .push(i);
         }
 
         for group in by_hash.into_values() {
@@ -144,8 +147,13 @@ mod tests {
     use crate::prot::{MapFlags, Prot};
     use crate::PAGE_SIZE;
 
-    fn two_identical_pages() -> (MemoryManager, SpaceId, SpaceId, crate::VirtAddr, crate::VirtAddr)
-    {
+    fn two_identical_pages() -> (
+        MemoryManager,
+        SpaceId,
+        SpaceId,
+        crate::VirtAddr,
+        crate::VirtAddr,
+    ) {
         let mut mm = MemoryManager::new();
         let a = mm.create_space();
         let b = mm.create_space();
@@ -239,8 +247,13 @@ mod tests {
     fn untouched_pages_are_not_scanned() {
         let mut mm = MemoryManager::new();
         let s = mm.create_space();
-        mm.mmap(s, PAGE_SIZE * 8, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
-            .unwrap();
+        mm.mmap(
+            s,
+            PAGE_SIZE * 8,
+            Prot::READ | Prot::WRITE,
+            MapFlags::PRIVATE,
+        )
+        .unwrap();
         let stats = Ksm::new().run(&mut mm);
         assert_eq!(stats.scanned, 0, "never-faulted pages have no frames");
     }

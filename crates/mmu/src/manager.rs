@@ -173,7 +173,8 @@ impl MemoryManager {
         prot: Prot,
         flags: MapFlags,
     ) -> Result<VirtAddr, MapError> {
-        self.space_mut(space).map(len, prot, flags, Backing::Anonymous)
+        self.space_mut(space)
+            .map(len, prot, flags, Backing::Anonymous)
     }
 
     /// File-backed `mmap` of `len` bytes starting `offset_pages` pages into
@@ -233,13 +234,10 @@ impl MemoryManager {
 
         // Look up the VMA and check nominal permission first; a protection
         // violation never reaches the fault handlers.
-        let vma = *self
-            .space(space)
-            .vma_for(vpn)
-            .ok_or(TranslateError {
-                kind: FaultKind::Unmapped,
-                addr: va,
-            })?;
+        let vma = *self.space(space).vma_for(vpn).ok_or(TranslateError {
+            kind: FaultKind::Unmapped,
+            addr: va,
+        })?;
         let permitted = match access {
             Access::Read => vma.prot.readable(),
             Access::Write => vma.prot.writable(),
@@ -490,7 +488,9 @@ mod tests {
     fn readonly_mapping_is_write_protected_and_rejects_writes() {
         let mut mm = MemoryManager::new();
         let s = mm.create_space();
-        let va = mm.mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE).unwrap();
+        let va = mm
+            .mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
         let t = mm.translate(s, va, Access::Read).unwrap();
         assert!(t.write_protected);
         let err = mm.translate(s, va, Access::Write).unwrap_err();
@@ -526,7 +526,11 @@ mod tests {
             .mmap_file(s, file, 1, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
             .unwrap();
         let bytes = mm.read(s, va, 1).unwrap();
-        assert_eq!(bytes, vec![0xBB], "offset_pages=1 maps the second file page");
+        assert_eq!(
+            bytes,
+            vec![0xBB],
+            "offset_pages=1 maps the second file page"
+        );
     }
 
     #[test]
@@ -535,10 +539,24 @@ mod tests {
         let p1 = mm.create_space();
         let p2 = mm.create_space();
         let va1 = mm
-            .mmap_file(p1, file, 2, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .mmap_file(
+                p1,
+                file,
+                2,
+                PAGE_SIZE,
+                Prot::READ | Prot::WRITE,
+                MapFlags::PRIVATE,
+            )
             .unwrap();
         let va2 = mm
-            .mmap_file(p2, file, 2, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
+            .mmap_file(
+                p2,
+                file,
+                2,
+                PAGE_SIZE,
+                Prot::READ | Prot::WRITE,
+                MapFlags::PRIVATE,
+            )
             .unwrap();
 
         // Both initially share the WP page-cache frame.
@@ -565,10 +583,24 @@ mod tests {
         let p1 = mm.create_space();
         let p2 = mm.create_space();
         let va1 = mm
-            .mmap_file(p1, file, 0, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::SHARED)
+            .mmap_file(
+                p1,
+                file,
+                0,
+                PAGE_SIZE,
+                Prot::READ | Prot::WRITE,
+                MapFlags::SHARED,
+            )
             .unwrap();
         let va2 = mm
-            .mmap_file(p2, file, 0, PAGE_SIZE, Prot::READ | Prot::WRITE, MapFlags::SHARED)
+            .mmap_file(
+                p2,
+                file,
+                0,
+                PAGE_SIZE,
+                Prot::READ | Prot::WRITE,
+                MapFlags::SHARED,
+            )
             .unwrap();
         mm.write(p1, va1, b"Z").unwrap();
         assert_eq!(mm.read(p2, va2, 1).unwrap(), b"Z");
@@ -585,7 +617,9 @@ mod tests {
             .mmap(s, PAGE_SIZE, Prot::READ | Prot::EXEC, MapFlags::PRIVATE)
             .unwrap();
         assert!(mm.translate(s, rx, Access::Fetch).is_ok());
-        let ro = mm.mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE).unwrap();
+        let ro = mm
+            .mmap(s, PAGE_SIZE, Prot::READ, MapFlags::PRIVATE)
+            .unwrap();
         let err = mm.translate(s, ro, Access::Fetch).unwrap_err();
         assert_eq!(err.kind, FaultKind::Protection);
     }

@@ -2,7 +2,6 @@
 
 use sim_engine::FxHashMap;
 
-
 use crate::addr::Vpn;
 use crate::pte::Pte;
 

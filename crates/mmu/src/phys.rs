@@ -170,8 +170,14 @@ impl PhysMemory {
 
     /// Exact content equality between two frames.
     pub fn pages_equal(&self, a: Pfn, b: Pfn) -> bool {
-        let fa = self.frames.get(a.0 as usize).and_then(|f| f.content.as_ref());
-        let fb = self.frames.get(b.0 as usize).and_then(|f| f.content.as_ref());
+        let fa = self
+            .frames
+            .get(a.0 as usize)
+            .and_then(|f| f.content.as_ref());
+        let fb = self
+            .frames
+            .get(b.0 as usize)
+            .and_then(|f| f.content.as_ref());
         match (fa, fb) {
             (Some(ca), Some(cb)) => ca == cb,
             (None, None) => true,
@@ -219,7 +225,11 @@ mod tests {
         phys.release(f);
         let g = phys.alloc();
         assert_eq!(g, f, "free list reuses the frame");
-        assert_eq!(phys.read_bytes(g, 0, 6), vec![0; 6], "recycled frame reads zero");
+        assert_eq!(
+            phys.read_bytes(g, 0, 6),
+            vec![0; 6],
+            "recycled frame reads zero"
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
-
 /// Memory protection bits, the `prot` argument of `mmap(2)`.
 ///
 /// The paper's identification rule (§IV-A) is driven by these: a mapping
@@ -15,9 +14,7 @@ use std::ops::{BitOr, BitOrAssign};
 /// let rw = Prot::READ | Prot::WRITE;
 /// assert!(rw.readable() && rw.writable() && !rw.executable());
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prot(u8);
 
 impl Prot {

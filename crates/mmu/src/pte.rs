@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::addr::Pfn;
 
 /// A page-table entry, modelled on the x86-64 leaf PTE fields that matter

@@ -63,11 +63,9 @@ impl LibraryImage {
     pub fn synthetic(name: &str, text_pages: u64, rodata_pages: u64, data_pages: u64) -> Self {
         let total = text_pages + rodata_pages + data_pages;
         let mut data = vec![0u8; (total * PAGE_SIZE) as usize];
-        let seed: u64 = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-            });
+        let seed: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
         for page in 0..total {
             let tag = seed.wrapping_mul(page + 1).to_le_bytes();
             let base = (page * PAGE_SIZE) as usize;
@@ -164,7 +162,13 @@ pub fn load_library(
         )?;
         segment_bases.push((seg.kind, va));
     }
-    Ok((LoadedLibrary { file, segment_bases }, file))
+    Ok((
+        LoadedLibrary {
+            file,
+            segment_bases,
+        },
+        file,
+    ))
 }
 
 #[cfg(test)]
@@ -251,8 +255,12 @@ mod tests {
         let s = mm.create_space();
         let (la, _) = load_library(&mut mm, s, &a, None).unwrap();
         let (lb, _) = load_library(&mut mm, s, &b, None).unwrap();
-        let ca = mm.read(s, la.base_of(SegmentKind::Text).unwrap(), 8).unwrap();
-        let cb = mm.read(s, lb.base_of(SegmentKind::Text).unwrap(), 8).unwrap();
+        let ca = mm
+            .read(s, la.base_of(SegmentKind::Text).unwrap(), 8)
+            .unwrap();
+        let cb = mm
+            .read(s, lb.base_of(SegmentKind::Text).unwrap(), 8)
+            .unwrap();
         assert_ne!(ca, cb);
     }
 }

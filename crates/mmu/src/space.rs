@@ -41,7 +41,7 @@ impl std::error::Error for MapError {}
 
 /// Conventional first page handed out by the bump allocator
 /// (0x0000_7000_0000_0000 >> 12, a user-space-looking mmap base).
-const MMAP_BASE: Vpn = Vpn(0x7000_0000_0);
+const MMAP_BASE: Vpn = Vpn(0x0007_0000_0000);
 
 impl AddressSpace {
     /// An empty address space.
@@ -169,7 +169,12 @@ mod tests {
     fn map_allocates_distinct_ranges() {
         let mut space = AddressSpace::new();
         let a = space
-            .map(PAGE_SIZE * 2, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .map(
+                PAGE_SIZE * 2,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous,
+            )
             .unwrap();
         let b = space
             .map(PAGE_SIZE, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
@@ -190,7 +195,12 @@ mod tests {
         let vma = space.vma_for(a.vpn()).unwrap();
         assert_eq!(vma.pages, 1);
         let b = space
-            .map(PAGE_SIZE + 1, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .map(
+                PAGE_SIZE + 1,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous,
+            )
             .unwrap();
         assert_eq!(space.vma_for(b.vpn()).unwrap().pages, 2);
     }
@@ -208,7 +218,13 @@ mod tests {
     fn fixed_mapping_and_overlap_detection() {
         let mut space = AddressSpace::new();
         space
-            .map_fixed(Vpn(100), 10, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .map_fixed(
+                Vpn(100),
+                10,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous,
+            )
             .unwrap();
         // Overlapping tail.
         assert_eq!(
@@ -223,7 +239,13 @@ mod tests {
         );
         // Adjacent is fine.
         space
-            .map_fixed(Vpn(110), 5, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .map_fixed(
+                Vpn(110),
+                5,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous,
+            )
             .unwrap();
     }
 
@@ -231,10 +253,17 @@ mod tests {
     fn unmap_returns_present_ptes() {
         let mut space = AddressSpace::new();
         let va = space
-            .map(PAGE_SIZE * 3, Prot::READ, MapFlags::PRIVATE, Backing::Anonymous)
+            .map(
+                PAGE_SIZE * 3,
+                Prot::READ,
+                MapFlags::PRIVATE,
+                Backing::Anonymous,
+            )
             .unwrap();
         let vpn = va.vpn();
-        space.page_table_mut().map(vpn, Pte::leaf(Pfn(1), false, false));
+        space
+            .page_table_mut()
+            .map(vpn, Pte::leaf(Pfn(1), false, false));
         space
             .page_table_mut()
             .map(vpn.offset(2), Pte::leaf(Pfn(2), false, false));

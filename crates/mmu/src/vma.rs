@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::addr::{VirtAddr, Vpn};
 use crate::prot::{MapFlags, Prot};
 
@@ -73,10 +72,10 @@ impl Vma {
         if !self.prot.writable() {
             return false;
         }
-        match (self.backing, self.flags) {
-            (Backing::File { .. }, MapFlags::PRIVATE) => false,
-            _ => true,
-        }
+        !matches!(
+            (self.backing, self.flags),
+            (Backing::File { .. }, MapFlags::PRIVATE)
+        )
     }
 
     /// Whether a write fault on a write-protected page here should

@@ -187,7 +187,10 @@ mod tests {
             ooo_ratio > inorder_ratio,
             "paper Fig. 10: OoO slowdown ({ooo_ratio:.2}x) exceeds in-order ({inorder_ratio:.2}x)"
         );
-        assert!(ooo_ratio > 1.2, "OoO S-MESI slowdown is substantial: {ooo_ratio:.2}x");
+        assert!(
+            ooo_ratio > 1.2,
+            "OoO S-MESI slowdown is substantial: {ooo_ratio:.2}x"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn main() {
     let bits = to_bits(secret);
     println!("secret: {secret:?} ({} bits)\n", bits.len());
 
-    for protocol in [ProtocolKind::Mesi, ProtocolKind::SwiftDir, ProtocolKind::SMesi] {
+    for protocol in [
+        ProtocolKind::Mesi,
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+    ] {
         let outcome = CovertChannel::new(protocol).transmit(&bits);
         let decoded = from_bits(&outcome.decoded);
         let lat_min = outcome.latencies.iter().min().unwrap().get();

@@ -33,7 +33,14 @@ fn delta(h: &Hierarchy, before: &[(CoherenceEvent, u64)]) {
             (now > n).then(|| format!("{e}×{}", now - n))
         })
         .collect();
-    println!("  messages: {}", if msgs.is_empty() { "(none)".into() } else { msgs.join(", ") });
+    println!(
+        "  messages: {}",
+        if msgs.is_empty() {
+            "(none)".into()
+        } else {
+            msgs.join(", ")
+        }
+    );
 }
 
 fn snapshot(h: &Hierarchy) -> Vec<(CoherenceEvent, u64)> {
@@ -55,7 +62,10 @@ fn main() {
     let done = h.run_until_idle();
     states(&h, "after core A's remote load ");
     delta(&h, &snap);
-    println!("  core A's latency: {} cycles (owner-forwarded)", done[0].latency());
+    println!(
+        "  core A's latency: {} cycles (owner-forwarded)",
+        done[0].latency()
+    );
 
     section("Figure 1(b) — MESI: remote load of S-state data");
     let mut h = Hierarchy::new(HierarchyConfig::table_v(3, ProtocolKind::Mesi));
@@ -82,7 +92,10 @@ fn main() {
     let done = h.run_until_idle();
     states(&h, "after the store");
     delta(&h, &snap);
-    println!("  store latency: {} cycle (LLC still believes E)", done[0].latency());
+    println!(
+        "  store latency: {} cycle (LLC still believes E)",
+        done[0].latency()
+    );
 
     section("Figure 2 / 3(b) — S-MESI: explicit E→M with LLC ACK");
     let mut h = Hierarchy::new(HierarchyConfig::table_v(2, ProtocolKind::SMesi));
@@ -93,7 +106,10 @@ fn main() {
     let done = h.run_until_idle();
     states(&h, "after the store");
     delta(&h, &snap);
-    println!("  store latency: {} cycles (the overprotection tax)", done[0].latency());
+    println!(
+        "  store latency: {} cycles (the overprotection tax)",
+        done[0].latency()
+    );
 
     // --- Figure 4: SwiftDir -------------------------------------------------
     section("Figure 4(a) — SwiftDir: initial load of write-protected data");
@@ -111,7 +127,10 @@ fn main() {
     let done = h.run_until_idle();
     states(&h, "after core A's remote load ");
     delta(&h, &snap);
-    println!("  latency: {} cycles — identical to the S case; channel closed", done[0].latency());
+    println!(
+        "  latency: {} cycles — identical to the S case; channel closed",
+        done[0].latency()
+    );
 
     section("Figure 4(c)+(d) — SwiftDir: unshared data keep MESI speed");
     let y = PhysAddr(0x9_0000);

@@ -26,7 +26,10 @@ fn main() {
     let p2 = sys.spawn_process();
     let (map1, file) = sys.process_mut(p1).load_library(&lib, None).unwrap();
     let (map2, _) = sys.process_mut(p2).load_library(&lib, Some(file)).unwrap();
-    println!("loaded {} into two processes (shared page cache)\n", lib.name());
+    println!(
+        "loaded {} into two processes (shared page cache)\n",
+        lib.name()
+    );
 
     for kind in [SegmentKind::Text, SegmentKind::Rodata, SegmentKind::Data] {
         let va1 = map1.base_of(kind).unwrap();
@@ -73,8 +76,12 @@ fn main() {
         .process_mut(p2)
         .mmap(4096, Prot::READ | Prot::WRITE, MapFlags::PRIVATE)
         .unwrap();
-    sys.process_mut(p1).write(h1, b"identical heap page").unwrap();
-    sys.process_mut(p2).write(h2, b"identical heap page").unwrap();
+    sys.process_mut(p1)
+        .write(h1, b"identical heap page")
+        .unwrap();
+    sys.process_mut(p2)
+        .write(h2, b"identical heap page")
+        .unwrap();
     let merged = sys.run_ksm();
     println!(
         "\nKSM pass: scanned {} pages, merged {}, freed {} frames",

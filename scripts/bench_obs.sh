@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Measures observability overhead and refreshes BENCH_obs.json.
+#
+# Runs the driver harness first (refreshing BENCH_driver.json) so the
+# observability harness has a same-machine, same-build number to compare
+# its tracing-disabled path against; bench_obs then asserts the disabled
+# path is within 2% of it. Run from the repository root:
+#
+#   scripts/bench_obs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p swiftdir-bench
+./target/release/bench_driver
+exec ./target/release/bench_obs

@@ -2,10 +2,10 @@
 //! journey from `mmap`/KSM through the PTE and TLB to the coherence
 //! controller, under all three commercial L1 architectures (Figure 5).
 
-use swiftdir::prelude::*;
+use sim_engine::Cycle;
 use swiftdir::cpu::MemOp;
 use swiftdir::mmu::LibraryImage;
-use sim_engine::Cycle;
+use swiftdir::prelude::*;
 
 fn system(arch: L1Architecture, protocol: ProtocolKind) -> System {
     System::new(
@@ -114,9 +114,7 @@ fn cow_write_redirects_and_unprotects() {
     let pid = sys.spawn_process();
     let lib = LibraryImage::synthetic("libcow.so", 1, 0, 1);
     let (loaded, _) = sys.process_mut(pid).load_library(&lib, None).unwrap();
-    let data = loaded
-        .base_of(swiftdir::mmu::SegmentKind::Data)
-        .unwrap();
+    let data = loaded.base_of(swiftdir::mmu::SegmentKind::Data).unwrap();
     assert!(sys.process_mut(pid).is_write_protected(data).unwrap());
     // A timed store: CoW fault, then the store proceeds on the copy.
     sys.timed_access(0, pid, data, MemOp::Store);

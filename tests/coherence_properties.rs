@@ -146,7 +146,11 @@ fn wp_loads_never_create_exclusive_lines_under_swiftdir() {
         // these blocks may be E or M anywhere.
         let wp_ops: Vec<Op> = random_ops(&mut rng, 2, 6, 80)
             .iter()
-            .map(|o| Op { store: false, wp: true, ..*o })
+            .map(|o| Op {
+                store: false,
+                wp: true,
+                ..*o
+            })
             .collect();
         let (h, _) = run_ops(ProtocolKind::SwiftDir, &wp_ops);
         for b in 0..6u64 {
@@ -202,7 +206,13 @@ fn mixed_wp_and_private_traffic_quiesces_with_small_caches() {
 // ---------------------------------------------------------------------------
 
 fn op(core: usize, block: u64, store: bool, wp: bool, gap: u64) -> Op {
-    Op { core, block, store, wp, gap }
+    Op {
+        core,
+        block,
+        store,
+        wp,
+        gap,
+    }
 }
 
 /// Two same-cycle loads of one block under S-MESI: the second must be served

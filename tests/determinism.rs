@@ -8,19 +8,29 @@
 //! results rather than fail loudly. Here it fails loudly.
 
 use swiftdir::coherence::ProtocolKind;
-use swiftdir::core::{ExperimentSet, RunStats, System, SystemConfig};
+use swiftdir::core::{ExperimentSet, RunStats, System, SystemConfig, TraceConfig};
 use swiftdir::cpu::CpuModel;
 use swiftdir::workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
 const INSTRUCTIONS: u64 = 8_000;
 
 fn run_point(bench: SpecBenchmark, protocol: ProtocolKind, model: CpuModel) -> RunStats {
-    let mut sys = System::new(
+    run_point_traced(bench, protocol, model, TraceConfig::default())
+}
+
+fn run_point_traced(
+    bench: SpecBenchmark,
+    protocol: ProtocolKind,
+    model: CpuModel,
+    trace: TraceConfig,
+) -> RunStats {
+    let mut sys = System::with_trace(
         SystemConfig::builder()
             .cores(1)
             .protocol(protocol)
             .cpu_model(model)
             .build(),
+        trace,
     );
     let pid = sys.spawn_process();
     let params = bench.params(INSTRUCTIONS);
@@ -74,6 +84,27 @@ fn in_order_model_is_deterministic_too() {
         .threads(3)
         .run(|&(b, p)| run_point(b, p, CpuModel::TimingSimple));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn tracing_never_changes_run_stats() {
+    // Observability must be pure measurement: the same point run with a
+    // disabled tracer (the default), with a plain `System::new`, and
+    // with full file tracing must produce bit-identical RunStats.
+    let dir = std::env::temp_dir().join("swiftdir_determinism_trace");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for &(b, p) in points().iter().take(4) {
+        let plain = run_point(b, p, CpuModel::DerivO3);
+        let traced = run_point_traced(
+            b,
+            p,
+            CpuModel::DerivO3,
+            TraceConfig::to_path(dir.join("point")),
+        );
+        assert_eq!(plain, traced, "tracing perturbed {b:?}/{p:?}");
+        // The snapshot is a pure function of the stats, so it agrees too.
+        assert_eq!(plain.snapshot(), traced.snapshot());
+    }
 }
 
 #[test]

@@ -3,9 +3,9 @@
 //! transition in MESI vs S-MESI), Figure 4 (all five SwiftDir scenarios),
 //! and Table IV (the qualitative feature matrix).
 
-use swiftdir::prelude::*;
-use swiftdir::coherence::{CoreRequest, Hierarchy, HierarchyConfig, ServedFrom};
 use sim_engine::Cycle;
+use swiftdir::coherence::{CoreRequest, Hierarchy, HierarchyConfig, ServedFrom};
+use swiftdir::prelude::*;
 
 const X: PhysAddr = PhysAddr(0x4_0000);
 
@@ -67,7 +67,11 @@ fn figure3a_mesi_silent_upgrade_no_traffic() {
     // Only the Store core-event itself; zero coherence messages.
     assert_eq!(events_after - events_before, 1, "silent upgrade is silent");
     assert_eq!(done[0].latency(), Cycle(1));
-    assert_eq!(h.llc_state(X), LlcState::E, "LLC state stays E (stale view)");
+    assert_eq!(
+        h.llc_state(X),
+        LlcState::E,
+        "LLC state stays E (stale view)"
+    );
 }
 
 #[test]

@@ -14,7 +14,11 @@ fn covert_channel_accuracy_by_protocol() {
         "MESI channel is near-perfect: {}",
         mesi.accuracy()
     );
-    for p in [ProtocolKind::SwiftDir, ProtocolKind::SMesi, ProtocolKind::Msi] {
+    for p in [
+        ProtocolKind::SwiftDir,
+        ProtocolKind::SMesi,
+        ProtocolKind::Msi,
+    ] {
         let out = CovertChannel::new(p).transmit_random(bits, 11);
         assert!(
             !out.leaks(),
@@ -40,8 +44,7 @@ fn swiftdir_probe_latencies_are_indistinguishable() {
 #[test]
 fn mesi_probe_latencies_split_into_two_clusters() {
     let out = CovertChannel::new(ProtocolKind::Mesi).transmit_random(32, 23);
-    let distinct: std::collections::BTreeSet<u64> =
-        out.latencies.iter().map(|c| c.get()).collect();
+    let distinct: std::collections::BTreeSet<u64> = out.latencies.iter().map(|c| c.get()).collect();
     assert_eq!(distinct.len(), 2, "E and S latencies: {distinct:?}");
     let gap = distinct.iter().max().unwrap() - distinct.iter().min().unwrap();
     assert_eq!(gap, 26, "the calibrated E/S gap");
