@@ -1,0 +1,141 @@
+//! `swiftdir-fuzz`: deterministic protocol stress fuzzing.
+//!
+//! Drives seeded adversarial access streams (see `swiftdir_core::fuzz`)
+//! against the coherence hierarchy while every global invariant — SWMR,
+//! directory-superset sharer tracking, transient-occupancy bounds, and
+//! the golden data-value model — is audited after every simulated event.
+//!
+//! ```text
+//! swiftdir-fuzz [--seeds N] [--seed X] [--protocol NAME] [--ops N]
+//!               [--jitter N] [--smoke] [--minimize]
+//! ```
+//!
+//! * `--seeds N` — fuzz seeds `0..N` (default 100) per protocol.
+//! * `--seed X` — fuzz exactly one seed.
+//! * `--protocol NAME` — limit to `msi|mesi|smesi|swiftdir` (default all).
+//! * `--ops N` / `--jitter N` — override the per-run operation count and
+//!   maximum per-hop jitter.
+//! * `--smoke` — the CI configuration: 25 seeds, 150 ops each.
+//! * `--minimize` — on failure, shrink the failing scenario and print
+//!   the smallest configuration that still fails.
+//!
+//! Exits non-zero if any seed fails. Every failure line carries the
+//! exact `FuzzConfig` needed to replay it bit-for-bit.
+
+use std::process::ExitCode;
+
+use swiftdir_coherence::ProtocolKind;
+use swiftdir_core::fuzz::{minimize, run_fuzz, FuzzConfig};
+
+const ALL_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Msi,
+    ProtocolKind::Mesi,
+    ProtocolKind::SMesi,
+    ProtocolKind::SwiftDir,
+];
+
+struct Args {
+    seeds: u64,
+    one_seed: Option<u64>,
+    protocols: Vec<ProtocolKind>,
+    ops: Option<usize>,
+    jitter: Option<u64>,
+    do_minimize: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 100,
+        one_seed: None,
+        protocols: ALL_PROTOCOLS.to_vec(),
+        ops: None,
+        jitter: None,
+        do_minimize: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.one_seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--ops" => args.ops = Some(value("--ops")?.parse().map_err(|e| format!("{e}"))?),
+            "--jitter" => {
+                args.jitter = Some(value("--jitter")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--protocol" => {
+                let name = value("--protocol")?;
+                args.protocols = vec![match name.to_ascii_lowercase().as_str() {
+                    "msi" => ProtocolKind::Msi,
+                    "mesi" => ProtocolKind::Mesi,
+                    "smesi" | "s-mesi" => ProtocolKind::SMesi,
+                    "swiftdir" => ProtocolKind::SwiftDir,
+                    other => return Err(format!("unknown protocol {other:?}")),
+                }];
+            }
+            "--smoke" => {
+                args.seeds = 25;
+                args.ops = Some(150);
+            }
+            "--minimize" => args.do_minimize = true,
+            other => return Err(format!("unknown flag {other:?} (see --help in the doc)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let seeds: Vec<u64> = match args.one_seed {
+        Some(s) => vec![s],
+        None => (0..args.seeds).collect(),
+    };
+
+    let mut runs = 0u64;
+    let mut events = 0u64;
+    let mut failures = 0u64;
+    for &protocol in &args.protocols {
+        for &seed in &seeds {
+            let mut cfg = FuzzConfig::new(seed, protocol);
+            if let Some(ops) = args.ops {
+                cfg.ops = ops;
+            }
+            if let Some(j) = args.jitter {
+                cfg.jitter_max = j;
+            }
+            let report = run_fuzz(&cfg);
+            runs += 1;
+            events += report.events;
+            if let Some(failure) = &report.failure {
+                failures += 1;
+                eprintln!("FAIL {protocol:?} seed {seed}: {failure}");
+                eprintln!("  replay: {cfg:?}");
+                if args.do_minimize {
+                    let small = minimize(&cfg);
+                    let small_report = run_fuzz(&small);
+                    eprintln!("  minimized: {small:?}");
+                    if let Some(f) = small_report.failure {
+                        eprintln!("  minimized failure: {f}");
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "swiftdir-fuzz: {runs} runs ({} protocols x {} seeds), {events} events, {failures} failures",
+        args.protocols.len(),
+        seeds.len(),
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

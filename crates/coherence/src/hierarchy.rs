@@ -9,9 +9,10 @@
 //! every race benign while preserving the single-writer invariant.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use sim_engine::tracer::{TraceEvent, TraceKind, Tracer, Unit};
-use sim_engine::{Cycle, EventQueue, FxHashMap};
+use sim_engine::{Cycle, EventQueue, FxHashMap, LinkJitter};
 use swiftdir_cache::CacheArray;
 use swiftdir_mem::MemoryController;
 use swiftdir_mmu::PhysAddr;
@@ -121,6 +122,8 @@ pub struct Completion {
     pub req: RequestId,
     /// The issuing core.
     pub core: usize,
+    /// The block the access targeted (block-aligned).
+    pub block: PhysAddr,
     /// When the request entered the L1.
     pub issued_at: Cycle,
     /// When the data/permission reached the core.
@@ -129,6 +132,12 @@ pub struct Completion {
     pub class: AccessClass,
     /// Who supplied the data.
     pub served_from: ServedFrom,
+    /// The value the access observed (loads) or wrote (stores), in the
+    /// modelled one-word-per-block data image. Stores write a value
+    /// derived from their request id; loads report the block's current
+    /// contents, which the invariant checker audits against a golden
+    /// memory model.
+    pub value: u64,
 }
 
 impl Completion {
@@ -172,7 +181,7 @@ impl HierarchyStats {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy)]
-struct PendingReq {
+pub(crate) struct PendingReq {
     id: RequestId,
     block: PhysAddr,
     kind: AccessKind,
@@ -182,25 +191,50 @@ struct PendingReq {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct L1Line {
-    state: L1State,
+pub(crate) struct L1Line {
+    pub(crate) state: L1State,
+    pub(crate) data: u64,
+}
+
+/// A granted line that has arrived at the L1 but not yet landed in the
+/// array (every way of its set was mid-transaction). The entry is the
+/// single source of truth for the grant: a racing `Inv` or forward
+/// between the grant and the eventual install updates or cancels it here,
+/// so the install can never resurrect a state the protocol has since
+/// revoked.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingInstall {
+    pub(crate) state: L1State,
+    pub(crate) data: u64,
+}
+
+/// An evicted E/M line awaiting the LLC's writeback ack.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WbEntry {
+    pub(crate) state: L1State,
+    pub(crate) data: u64,
 }
 
 /// One L1 controller's private state.
 #[derive(Debug)]
-struct L1 {
-    array: CacheArray<L1Line>,
+pub(crate) struct L1 {
+    pub(crate) array: CacheArray<L1Line>,
     /// Blocks with an outstanding L1 transaction → queued requests
     /// (index 0 is the primary that created the transaction).
-    pending: FxHashMap<u64, Vec<PendingReq>>,
+    pub(crate) pending: FxHashMap<u64, Vec<PendingReq>>,
     /// Evicted E/M lines awaiting the LLC's writeback ack; they still
     /// answer forwarded requests from here.
-    wb_buffer: FxHashMap<u64, L1State>,
-    mshr_capacity: usize,
+    pub(crate) wb_buffer: FxHashMap<u64, WbEntry>,
+    /// Granted lines waiting for an eligible way (see [`PendingInstall`]).
+    pub(crate) installing: FxHashMap<u64, PendingInstall>,
+    /// Blocks whose install exhausted its retry budget; woken when a way
+    /// in their set becomes eligible.
+    pub(crate) stalled_installs: Vec<u64>,
+    pub(crate) mshr_capacity: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LlcTxn {
+pub(crate) enum LlcTxn {
     /// Waiting for DRAM data.
     Fetch {
         requester: usize,
@@ -241,15 +275,17 @@ enum LlcTxn {
 }
 
 #[derive(Debug)]
-struct LlcLine {
-    state: LlcState,
-    sharers: u64,
-    owner: Option<usize>,
+pub(crate) struct LlcLine {
+    pub(crate) state: LlcState,
+    pub(crate) sharers: u64,
+    pub(crate) owner: Option<usize>,
     /// LLC data differs from memory (writeback needed on eviction).
-    dirty: bool,
-    txn: Option<LlcTxn>,
+    pub(crate) dirty: bool,
+    pub(crate) txn: Option<LlcTxn>,
     /// Requests stalled on this line while a transaction is in flight.
-    waiters: VecDeque<Msg>,
+    pub(crate) waiters: VecDeque<Msg>,
+    /// The block's (modelled) contents as last known to the LLC.
+    pub(crate) data: u64,
 }
 
 impl LlcLine {
@@ -261,6 +297,7 @@ impl LlcLine {
             dirty: false,
             txn: None,
             waiters: VecDeque::new(),
+            data: 0,
         }
     }
 
@@ -283,9 +320,73 @@ enum Event {
     L1InsertRetry {
         core: usize,
         block: PhysAddr,
-        state: L1State,
+        attempt: u32,
     },
 }
+
+/// How many times an L1 install is re-scheduled before it escalates to a
+/// blocking stall (woken by the next state change in its set).
+const INSTALL_RETRY_LIMIT: u32 = 3;
+
+/// Delay between L1 install retry attempts.
+const INSTALL_RETRY_DELAY: u64 = 8;
+
+/// The value a store writes into the modelled data image: unique per
+/// request and never the `0` that uninitialized memory reads as.
+fn store_value(id: RequestId) -> u64 {
+    id.wrapping_add(1)
+}
+
+/// A protocol state the FSM has no legal transition for.
+///
+/// The stress fuzzer steers the hierarchy into adversarial interleavings;
+/// when a controller receives a message its state machine cannot accept,
+/// the error carries the offending event plus the per-block history from
+/// the tracer ring (when one is attached) so the failure is diagnosable
+/// from the report alone.
+#[derive(Debug, Clone)]
+pub struct ProtocolError {
+    /// When the illegal event was processed.
+    pub at: Cycle,
+    /// The block involved.
+    pub addr: PhysAddr,
+    /// The core involved, if the event targeted an L1.
+    pub core: Option<usize>,
+    /// What went wrong.
+    pub detail: String,
+    /// Per-block event history harvested from the tracer ring (empty when
+    /// no ring is attached).
+    pub history: Vec<String>,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol error at cycle {}: {} (block {:#x}",
+            self.at.get(),
+            self.detail,
+            self.addr.0
+        )?;
+        match self.core {
+            Some(c) => write!(f, ", core {c})")?,
+            None => write!(f, ")")?,
+        }
+        if self.history.is_empty() {
+            write!(f, "\n  (attach a ring tracer for per-block history)")?;
+        } else {
+            write!(f, "\n  history of block {:#x}:", self.addr.0)?;
+            for h in &self.history {
+                write!(f, "\n    {h}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+type PResult = Result<(), Box<ProtocolError>>;
 
 /// The coherent two-level hierarchy.
 ///
@@ -298,11 +399,13 @@ enum Event {
 pub struct Hierarchy {
     cfg: HierarchyConfig,
     queue: EventQueue<Event>,
-    l1s: Vec<L1>,
-    llc: CacheArray<LlcLine>,
+    pub(crate) l1s: Vec<L1>,
+    pub(crate) llc: CacheArray<LlcLine>,
     /// Requests stalled because their LLC set had no eligible victim.
     llc_set_stalls: FxHashMap<u64, VecDeque<Msg>>,
     mem: MemoryController,
+    /// Golden DRAM image: blocks the LLC has written back (absent = 0).
+    pub(crate) mem_image: FxHashMap<u64, u64>,
     next_req: RequestId,
     completions: Vec<Completion>,
     /// Scratch buffer for [`EventQueue::pop_batch`]; kept on the struct so
@@ -312,6 +415,9 @@ pub struct Hierarchy {
     /// Structured protocol tracer (disabled by default: one branch per
     /// would-be event).
     tracer: Tracer,
+    /// Optional per-hop latency jitter (fuzzing only; `None` keeps the
+    /// calibrated fixed latencies).
+    jitter: Option<LinkJitter>,
 }
 
 impl Hierarchy {
@@ -322,6 +428,8 @@ impl Hierarchy {
                 array: CacheArray::new(cfg.l1_geometry, cfg.replacement),
                 pending: FxHashMap::default(),
                 wb_buffer: FxHashMap::default(),
+                installing: FxHashMap::default(),
+                stalled_installs: Vec::new(),
                 mshr_capacity: cfg.l1_mshrs,
             })
             .collect();
@@ -331,13 +439,28 @@ impl Hierarchy {
             llc: CacheArray::new(cfg.llc_bank_geometry, cfg.replacement),
             llc_set_stalls: FxHashMap::default(),
             mem: MemoryController::new(cfg.dram),
+            mem_image: FxHashMap::default(),
             next_req: 0,
             completions: Vec::new(),
             batch: Vec::new(),
             stats: HierarchyStats::default(),
             tracer: Tracer::disabled(),
+            jitter: None,
             cfg,
         }
+    }
+
+    /// Enables randomized per-hop latency jitter of up to `max_extra`
+    /// cycles, seeded by `seed`. Each source→destination link stays FIFO
+    /// (see [`LinkJitter`]); cross-link interleavings vary. Intended for
+    /// the stress fuzzer — jitter invalidates the calibrated Figure-6
+    /// latency anchors, so benchmarks leave it off.
+    pub fn set_jitter(&mut self, seed: u64, max_extra: u64) {
+        self.jitter = if max_extra == 0 {
+            None
+        } else {
+            Some(LinkJitter::new(seed, max_extra))
+        };
     }
 
     /// Replaces the tracer (pass an enabled [`Tracer`] with sinks attached
@@ -449,29 +572,101 @@ impl Hierarchy {
     /// instead of a peek/pop pair per event, with dispatch order identical
     /// to the one-at-a-time loop.
     pub fn tick(&mut self, upto: Cycle) -> Vec<Completion> {
+        self.try_tick(upto).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`tick`](Hierarchy::tick): returns the [`ProtocolError`]
+    /// instead of panicking when a controller receives a message its state
+    /// machine has no transition for.
+    ///
+    /// # Errors
+    ///
+    /// The first illegal protocol event encountered.
+    pub fn try_tick(&mut self, upto: Cycle) -> Result<Vec<Completion>, Box<ProtocolError>> {
         let mut batch = std::mem::take(&mut self.batch);
-        while let Some(now) = self.queue.pop_batch(upto, &mut batch) {
+        let mut failure = None;
+        'ticks: while let Some(now) = self.queue.pop_batch(upto, &mut batch) {
             for ev in batch.drain(..) {
-                self.dispatch(now, ev);
+                if let Err(e) = self.dispatch(now, ev) {
+                    failure = Some(e);
+                    break 'ticks;
+                }
             }
         }
+        batch.clear();
         self.batch = batch;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(std::mem::take(&mut self.completions)),
+        }
+    }
+
+    /// Processes the single next event, if any; returns its timestamp.
+    /// This is the fuzzer's stepping primitive: invariants are checked
+    /// between every two events, not just at tick granularity.
+    ///
+    /// # Errors
+    ///
+    /// The [`ProtocolError`] if the event was illegal in the current state.
+    pub fn try_step(&mut self) -> Result<Option<Cycle>, Box<ProtocolError>> {
+        match self.queue.pop() {
+            Some((now, ev)) => {
+                self.dispatch(now, ev)?;
+                Ok(Some(now))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Drains completions produced so far (used with
+    /// [`try_step`](Hierarchy::try_step), which does not return them).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
     }
 
     /// Runs until no events remain; returns all completions.
     pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        self.try_run_until_idle().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_until_idle`](Hierarchy::run_until_idle).
+    ///
+    /// # Errors
+    ///
+    /// The first illegal protocol event, or a synthesized error when the
+    /// hierarchy fails to quiesce within its fuel budget (livelock).
+    pub fn try_run_until_idle(&mut self) -> Result<Vec<Completion>, Box<ProtocolError>> {
         let mut fuel: u64 = 500_000_000;
         let mut batch = std::mem::take(&mut self.batch);
-        while let Some(now) = self.queue.pop_batch(Cycle::MAX, &mut batch) {
+        let mut failure = None;
+        'ticks: while let Some(now) = self.queue.pop_batch(Cycle::MAX, &mut batch) {
             for ev in batch.drain(..) {
-                self.dispatch(now, ev);
-                fuel -= 1;
-                assert!(fuel > 0, "hierarchy failed to quiesce: livelock suspected");
+                match self.dispatch(now, ev) {
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'ticks;
+                    }
+                    Ok(()) => {
+                        fuel -= 1;
+                        if fuel == 0 {
+                            failure = Some(self.protocol_error(
+                                now,
+                                PhysAddr(0),
+                                None,
+                                "hierarchy failed to quiesce: livelock suspected".to_string(),
+                            ));
+                            break 'ticks;
+                        }
+                    }
+                }
             }
         }
+        batch.clear();
         self.batch = batch;
-        std::mem::take(&mut self.completions)
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(std::mem::take(&mut self.completions)),
+        }
     }
 
     /// Accumulated statistics.
@@ -494,8 +689,14 @@ impl Hierarchy {
                     reqs.len()
                 );
             }
-            for (&block, state) in &l1.wb_buffer {
-                let _ = writeln!(out, "L1[{c}] wb_buffer {block:#x} {state}");
+            for (&block, entry) in &l1.wb_buffer {
+                let _ = writeln!(out, "L1[{c}] wb_buffer {block:#x} {}", entry.state);
+            }
+            for (&block, ins) in &l1.installing {
+                let _ = writeln!(out, "L1[{c}] installing {block:#x} {}", ins.state);
+            }
+            for &block in &l1.stalled_installs {
+                let _ = writeln!(out, "L1[{c}] install stalled {block:#x}");
             }
         }
         for (addr, line) in self.llc.iter() {
@@ -535,7 +736,45 @@ impl Hierarchy {
         self.llc.peek(block).map_or(LlcState::I, |l| l.state)
     }
 
+    /// The per-block event history recorded in the tracer ring, rendered
+    /// for diagnostics (empty when no ring is attached).
+    pub fn history_for(&self, addr: PhysAddr) -> Vec<String> {
+        self.tracer
+            .ring()
+            .map(|ring| {
+                ring.iter()
+                    .filter(|(_, e)| e.addr == addr.0)
+                    .map(|(_, e)| e.to_json().to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Overwrites `addr`'s stable L1 state on `core` — a test-only hook
+    /// for planting invariant violations the checker must catch.
+    #[doc(hidden)]
+    pub fn test_force_l1_state(&mut self, core: usize, addr: PhysAddr, state: L1State, data: u64) {
+        let block = self.cfg.l1_geometry.block_base(addr.0);
+        self.l1s[core].array.insert(block, L1Line { state, data });
+    }
+
     // -- plumbing ----------------------------------------------------------
+
+    fn protocol_error(
+        &self,
+        at: Cycle,
+        addr: PhysAddr,
+        core: Option<usize>,
+        detail: String,
+    ) -> Box<ProtocolError> {
+        Box::new(ProtocolError {
+            at,
+            addr,
+            core,
+            detail,
+            history: self.history_for(addr),
+        })
+    }
 
     fn count(&mut self, e: CoherenceEvent) {
         *self.stats.events.entry(e).or_insert(0) += 1;
@@ -586,6 +825,24 @@ impl Hierarchy {
         });
     }
 
+    /// Delivery time over the `src → dst` link (`None` = the LLC): the
+    /// nominal latency, plus jitter with a FIFO clamp when enabled.
+    fn link_deliver(
+        &mut self,
+        now: Cycle,
+        src: Option<usize>,
+        dst: Option<usize>,
+        delay: u64,
+    ) -> Cycle {
+        let encode = |u: Option<usize>| u.map_or(0u64, |c| c as u64 + 1);
+        match &mut self.jitter {
+            Some(j) => j.delay((encode(src), encode(dst)), now, delay),
+            None => now + Cycle(delay),
+        }
+    }
+
+    /// Sends `msg` to the LLC. The sender is the core the message names
+    /// (every L1→LLC message carries one).
     fn send_to_llc(&mut self, now: Cycle, delay: u64, msg: Msg) {
         self.count(msg.event());
         self.tracer.emit(|| TraceEvent {
@@ -599,10 +856,13 @@ impl Hierarchy {
                 to: Unit::Llc,
             },
         });
-        self.queue.schedule(now + Cycle(delay), Event::ToLlc(msg));
+        let at = self.link_deliver(now, msg.core(), None, delay);
+        self.queue.schedule(at, Event::ToLlc(msg));
     }
 
-    fn send_to_l1(&mut self, now: Cycle, delay: u64, core: usize, msg: Msg) {
+    /// Sends `msg` to `core`'s L1 from `src` (`None` = the LLC;
+    /// `Some(owner)` for L1→L1 `DataFromOwner` hops).
+    fn send_to_l1(&mut self, now: Cycle, delay: u64, src: Option<usize>, core: usize, msg: Msg) {
         self.count(msg.event());
         self.tracer.emit(|| TraceEvent {
             at: now,
@@ -619,11 +879,11 @@ impl Hierarchy {
                 to: Unit::L1,
             },
         });
-        self.queue
-            .schedule(now + Cycle(delay), Event::ToL1 { core, msg });
+        let at = self.link_deliver(now, src, Some(core), delay);
+        self.queue.schedule(at, Event::ToL1 { core, msg });
     }
 
-    fn dispatch(&mut self, now: Cycle, ev: Event) {
+    fn dispatch(&mut self, now: Cycle, ev: Event) -> PResult {
         self.stats.dispatched += 1;
         match ev {
             Event::CoreReq { core, req } => self.l1_access(now, core, req),
@@ -644,11 +904,12 @@ impl Hierarchy {
                 // *other* addresses are recorded at their eviction sites).
                 let addr = msg.addr();
                 let prev = self.llc.peek(addr.0).map(|l| l.state);
-                self.llc_handle(now, msg);
+                self.llc_handle(now, msg)?;
                 if let Some(prev) = prev {
                     let new = self.llc.peek(addr.0).map_or(LlcState::I, |l| l.state);
                     self.llc_transition(now, addr, prev, new);
                 }
+                Ok(())
             }
             Event::ToL1 { core, msg } => {
                 self.tracer.emit(|| TraceEvent {
@@ -661,12 +922,14 @@ impl Hierarchy {
                         unit: Unit::L1,
                     },
                 });
-                self.l1_handle(now, core, msg);
+                self.l1_handle(now, core, msg)
             }
             Event::MemDone { addr } => self.llc_mem_done(now, addr),
-            Event::L1InsertRetry { core, block, state } => {
-                self.l1_install_line(now, core, block, state);
-            }
+            Event::L1InsertRetry {
+                core,
+                block,
+                attempt,
+            } => self.l1_install_line(now, core, block, attempt),
         }
     }
 
@@ -678,6 +941,28 @@ impl Hierarchy {
         llc_before: Option<LlcState>,
         served_from: ServedFrom,
     ) {
+        // Apply the access to the modelled data image at its serialization
+        // point (this event): stores write their unique value, loads read
+        // the block's current contents. A grant whose install is still
+        // waiting for a way lives in the installing buffer.
+        let block = req.block.0;
+        let value = match req.kind {
+            AccessKind::Store => {
+                let v = store_value(req.id);
+                if let Some(ins) = self.l1s[core].installing.get_mut(&block) {
+                    ins.data = v;
+                } else if let Some(line) = self.l1s[core].array.get_mut(block) {
+                    line.data = v;
+                }
+                v
+            }
+            AccessKind::Load => self.l1s[core]
+                .installing
+                .get(&block)
+                .map(|ins| ins.data)
+                .or_else(|| self.l1s[core].array.peek(block).map(|l| l.data))
+                .unwrap_or(0),
+        };
         let latency = now.saturating_since(req.issued_at);
         let class = RequestClass::classify(
             req.kind,
@@ -701,6 +986,7 @@ impl Hierarchy {
         self.completions.push(Completion {
             req: req.id,
             core,
+            block: req.block,
             issued_at: req.issued_at,
             done_at: now,
             class: AccessClass {
@@ -710,6 +996,7 @@ impl Hierarchy {
                 write_protected: req.wp,
             },
             served_from,
+            value,
         });
     }
 
@@ -717,7 +1004,26 @@ impl Hierarchy {
     // L1 controller
     // -----------------------------------------------------------------------
 
-    fn l1_access(&mut self, now: Cycle, core: usize, mut req: PendingReq) {
+    /// True (and the request rescheduled) when `core` has no free MSHR
+    /// for a new transaction. Both misses and S/E→M upgrades occupy an
+    /// MSHR entry; requests merging into an existing entry never stall.
+    fn l1_mshr_full(&mut self, now: Cycle, core: usize, block: u64, req: PendingReq) -> bool {
+        if self.l1s[core].pending.len() < self.l1s[core].mshr_capacity {
+            return false;
+        }
+        self.tracer.emit(|| TraceEvent {
+            at: now,
+            core: Some(core),
+            addr: block,
+            req: Some(req.id),
+            kind: TraceKind::MshrStall,
+        });
+        self.queue
+            .schedule(now + Cycle(4), Event::CoreReq { core, req });
+        true
+    }
+
+    fn l1_access(&mut self, now: Cycle, core: usize, mut req: PendingReq) -> PResult {
         let block = req.block.0;
         let lat = self.lat();
 
@@ -732,7 +1038,33 @@ impl Hierarchy {
                 req: Some(req.id),
                 kind: TraceKind::MshrMerge,
             });
-            return;
+            return Ok(());
+        }
+
+        // A granted line still waiting for a way serves accesses from the
+        // installing buffer: it holds valid data in its granted state.
+        if let Some(ins) = self.l1s[core].installing.get_mut(&block) {
+            let hit = match (req.kind, ins.state) {
+                (AccessKind::Load, s) if s.load_hits() => true,
+                (AccessKind::Store, L1State::M) => true,
+                (AccessKind::Store, L1State::E) if self.cfg.protocol.silent_upgrade() => {
+                    ins.state = L1State::M;
+                    self.stats.silent_upgrades += 1;
+                    self.l1_transition(now, core, req.block, L1State::E, L1State::M);
+                    true
+                }
+                _ => false,
+            };
+            if hit {
+                req.l1_before = self.l1s[core].installing[&block].state;
+                self.stats.l1_hits += 1;
+                let done = now + Cycle(lat.l1_lookup);
+                self.complete(done, core, &req, None, ServedFrom::L1);
+                return Ok(());
+            }
+            // A store against an installing S/E line falls through to the
+            // miss path: with no array line there is no SM_A to park it in,
+            // so it re-requests with data (GETX).
         }
 
         let state = self.l1s[core]
@@ -769,7 +1101,11 @@ impl Hierarchy {
                     self.complete(done, core, &req, None, ServedFrom::L1);
                 } else {
                     // S-MESI: explicit Upgrade/ACK round trip (paper Fig. 2,
-                    // Fig. 3b). The store waits in EM_A.
+                    // Fig. 3b). The store waits in EM_A. Upgrades occupy an
+                    // MSHR just like misses do.
+                    if self.l1_mshr_full(now, core, block, req) {
+                        return Ok(());
+                    }
                     self.l1s[core]
                         .array
                         .get_mut(block)
@@ -789,6 +1125,9 @@ impl Hierarchy {
                 }
             }
             (AccessKind::Store, L1State::S) => {
+                if self.l1_mshr_full(now, core, block, req) {
+                    return Ok(());
+                }
                 self.l1s[core]
                     .array
                     .get_mut(block)
@@ -808,18 +1147,8 @@ impl Hierarchy {
             }
             // ---- misses ----
             (_, L1State::I) => {
-                if self.l1s[core].pending.len() >= self.l1s[core].mshr_capacity {
-                    // MSHRs full: retry shortly.
-                    self.tracer.emit(|| TraceEvent {
-                        at: now,
-                        core: Some(core),
-                        addr: block,
-                        req: Some(req.id),
-                        kind: TraceKind::MshrStall,
-                    });
-                    self.queue
-                        .schedule(now + Cycle(4), Event::CoreReq { core, req });
-                    return;
+                if self.l1_mshr_full(now, core, block, req) {
+                    return Ok(());
                 }
                 self.stats.l1_misses += 1;
                 // The MSHR holds the miss transient (Table I's IS^D/IM^D);
@@ -857,15 +1186,42 @@ impl Hierarchy {
                 self.send_to_llc(now, lat.l1_lookup + lat.l1_to_llc, msg);
             }
             (_, other) => {
-                unreachable!("L1 access reached unexpected state {other} without pending entry")
+                return Err(self.protocol_error(
+                    now,
+                    req.block,
+                    Some(core),
+                    format!("L1 access reached unexpected state {other} without pending entry"),
+                ));
             }
         }
+        Ok(())
     }
 
     /// Installs a line that arrived at the L1, evicting if necessary.
-    fn l1_install_line(&mut self, now: Cycle, core: usize, block: PhysAddr, state: L1State) {
+    ///
+    /// The granted state and data sit in the `installing` buffer until a way
+    /// frees up; `attempt` counts retries when every way is mid-transaction.
+    /// After [`INSTALL_RETRY_LIMIT`] failed attempts the install parks in
+    /// `stalled_installs` and is re-woken when the set drains, instead of
+    /// polling forever (the fixed-interval retry could livelock against a
+    /// same-period writer).
+    fn l1_install_line(
+        &mut self,
+        now: Cycle,
+        core: usize,
+        block: PhysAddr,
+        attempt: u32,
+    ) -> PResult {
         let lat = self.lat();
-        if !self.l1s[core].array.set_has_free_way(block.0) {
+        let Some(ins) = self.l1s[core].installing.get(&block.0).copied() else {
+            // The grant was cancelled (e.g. an Inv consumed the installing
+            // entry before a way freed up); nothing to do.
+            return Ok(());
+        };
+        // A transient for this very block still in the array (e.g. IM_D after
+        // a lost upgrade) is replaced in place — no way is needed.
+        let have_line = self.l1s[core].array.peek(block.0).is_some();
+        if !have_line && !self.l1s[core].array.set_has_free_way(block.0) {
             let victim = self.l1s[core]
                 .array
                 .choose_victim(block.0, |l| l.state.is_stable() && l.state != L1State::I);
@@ -887,7 +1243,13 @@ impl Hierarchy {
                             );
                         }
                         L1State::E => {
-                            self.l1s[core].wb_buffer.insert(vaddr.0, L1State::EiA);
+                            self.l1s[core].wb_buffer.insert(
+                                vaddr.0,
+                                WbEntry {
+                                    state: L1State::EiA,
+                                    data: vline.data,
+                                },
+                            );
                             self.l1_transition(now, core, vaddr, L1State::E, L1State::EiA);
                             self.send_to_llc(
                                 now,
@@ -896,38 +1258,108 @@ impl Hierarchy {
                             );
                         }
                         L1State::M => {
-                            self.l1s[core].wb_buffer.insert(vaddr.0, L1State::MiA);
+                            self.l1s[core].wb_buffer.insert(
+                                vaddr.0,
+                                WbEntry {
+                                    state: L1State::MiA,
+                                    data: vline.data,
+                                },
+                            );
                             self.l1_transition(now, core, vaddr, L1State::M, L1State::MiA);
                             self.send_to_llc(
                                 now,
                                 lat.l1_to_llc,
-                                Msg::WbDataDirty { core, addr: vaddr },
+                                Msg::WbDataDirty {
+                                    core,
+                                    addr: vaddr,
+                                    data: vline.data,
+                                },
                             );
                         }
-                        other => unreachable!("stable victim had state {other}"),
+                        other => {
+                            return Err(self.protocol_error(
+                                now,
+                                block,
+                                Some(core),
+                                format!("stable victim had state {other}"),
+                            ));
+                        }
                     }
                 }
-                None => {
+                None if attempt < INSTALL_RETRY_LIMIT => {
                     // Every way is mid-transaction; retry shortly.
-                    self.queue
-                        .schedule(now + Cycle(8), Event::L1InsertRetry { core, block, state });
-                    return;
+                    self.stats.protocol.record_install_retry();
+                    self.queue.schedule(
+                        now + Cycle(INSTALL_RETRY_DELAY),
+                        Event::L1InsertRetry {
+                            core,
+                            block,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    return Ok(());
+                }
+                None => {
+                    // Retries exhausted: park until something in this set
+                    // completes or invalidates, then re-wake.
+                    self.stats.protocol.record_install_stall();
+                    if !self.l1s[core].stalled_installs.contains(&block.0) {
+                        self.l1s[core].stalled_installs.push(block.0);
+                    }
+                    return Ok(());
                 }
             }
         }
         // The line leaves its miss transient (or a raced transient still in
         // the array, e.g. IM_D after a lost upgrade) for its granted state.
         let from = self.l1s[core].array.peek(block.0).map_or(
-            if state == L1State::M {
+            if ins.state == L1State::M {
                 L1State::ImD
             } else {
                 L1State::IsD
             },
             |l| l.state,
         );
-        let evicted = self.l1s[core].array.insert(block.0, L1Line { state });
+        let evicted = self.l1s[core].array.insert(
+            block.0,
+            L1Line {
+                state: ins.state,
+                data: ins.data,
+            },
+        );
         debug_assert!(evicted.is_none(), "free way was ensured above");
-        self.l1_transition(now, core, block, from, state);
+        self.l1s[core].installing.remove(&block.0);
+        self.l1_transition(now, core, block, from, ins.state);
+        // The installed line is a stable eviction candidate: any install
+        // parked on this set can now make room for itself.
+        self.l1_drain_stalls(now, core, block);
+        Ok(())
+    }
+
+    /// Re-wakes parked installs whose set may have gained a way after
+    /// `freed_addr`'s line left `core`'s array.
+    fn l1_drain_stalls(&mut self, now: Cycle, core: usize, freed_addr: PhysAddr) {
+        if self.l1s[core].stalled_installs.is_empty() {
+            return;
+        }
+        let set = self.cfg.l1_geometry.index_of(freed_addr.0);
+        let mut i = 0;
+        while i < self.l1s[core].stalled_installs.len() {
+            let block = self.l1s[core].stalled_installs[i];
+            if self.cfg.l1_geometry.index_of(block) == set {
+                self.l1s[core].stalled_installs.swap_remove(i);
+                self.queue.schedule(
+                    now,
+                    Event::L1InsertRetry {
+                        core,
+                        block: PhysAddr(block),
+                        attempt: 1,
+                    },
+                );
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Completes the primary request on `block` and replays merged ones.
@@ -954,7 +1386,7 @@ impl Hierarchy {
         }
     }
 
-    fn l1_handle(&mut self, now: Cycle, core: usize, msg: Msg) {
+    fn l1_handle(&mut self, now: Cycle, core: usize, msg: Msg) -> PResult {
         let lat = self.lat();
         let block = msg.addr();
         match msg {
@@ -962,11 +1394,19 @@ impl Hierarchy {
                 addr,
                 llc_was,
                 source,
+                data,
                 ..
             } => {
                 // Load data without exclusivity: line becomes S (this is the
                 // only grant SwiftDir allows for WP data — I→S, Fig. 4a).
-                self.l1_install_line(now, core, addr, L1State::S);
+                self.l1s[core].installing.insert(
+                    addr.0,
+                    PendingInstall {
+                        state: L1State::S,
+                        data,
+                    },
+                );
+                self.l1_install_line(now, core, addr, 0)?;
                 self.send_to_l1_unblock(now, core, addr, false);
                 self.l1_finish_pending(now, core, addr, Some(llc_was), source);
             }
@@ -975,10 +1415,14 @@ impl Hierarchy {
                 for_store,
                 llc_was,
                 source,
+                data,
                 ..
             } => {
                 let state = if for_store { L1State::M } else { L1State::E };
-                self.l1_install_line(now, core, addr, state);
+                self.l1s[core]
+                    .installing
+                    .insert(addr.0, PendingInstall { state, data });
+                self.l1_install_line(now, core, addr, 0)?;
                 self.send_to_l1_unblock(now, core, addr, true);
                 self.l1_finish_pending(now, core, addr, Some(llc_was), source);
             }
@@ -986,10 +1430,14 @@ impl Hierarchy {
                 addr,
                 for_store,
                 llc_was,
+                data,
                 ..
             } => {
                 let state = if for_store { L1State::M } else { L1State::S };
-                self.l1_install_line(now, core, addr, state);
+                self.l1s[core]
+                    .installing
+                    .insert(addr.0, PendingInstall { state, data });
+                self.l1_install_line(now, core, addr, 0)?;
                 self.send_to_l1_unblock(now, core, addr, for_store);
                 self.l1_finish_pending(now, core, addr, Some(llc_was), ServedFrom::RemoteL1);
             }
@@ -1004,6 +1452,17 @@ impl Hierarchy {
                     let from = line.state;
                     line.state = L1State::M;
                     self.l1_transition(now, core, addr, from, L1State::M);
+                    // The line is stable (and evictable) again.
+                    self.l1_drain_stalls(now, core, addr);
+                } else if let Some(ins) = self.l1s[core].installing.get_mut(&addr.0) {
+                    // The directory acked a store against a grant still
+                    // parked in the installing buffer (the owner bit was set
+                    // by our Exclusive_Unblock, so the LLC rightly skips the
+                    // data transfer). Upgrade the parked copy in place; the
+                    // completion below stamps the store's value into it.
+                    let from = ins.state;
+                    ins.state = L1State::M;
+                    self.l1_transition(now, core, addr, from, L1State::M);
                 }
                 self.l1_finish_pending(now, core, addr, Some(llc_was), ServedFrom::Llc);
             }
@@ -1014,9 +1473,9 @@ impl Hierarchy {
                 llc_was,
             } => {
                 // We are the owner: supply the data (paper Fig. 1a / 4e).
-                let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
+                let here = self.l1s[core].array.get(addr.0).map(|l| (l.state, l.data));
                 match here {
-                    Some(L1State::EmA) => {
+                    Some((L1State::EmA, data)) => {
                         // Our upgrade raced a remote load and lost: hand the
                         // (clean) data over, demote to S, and let the
                         // in-flight Upgrade be re-evaluated by the LLC as an
@@ -1026,12 +1485,14 @@ impl Hierarchy {
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
+                            Some(core),
                             requester,
                             Msg::DataFromOwner {
                                 addr,
                                 req,
                                 for_store: false,
                                 llc_was,
+                                data,
                             },
                         );
                         self.send_to_llc(
@@ -1040,38 +1501,42 @@ impl Hierarchy {
                             Msg::WbDataClean { core, addr },
                         );
                     }
-                    Some(L1State::M) => {
+                    Some((L1State::M, data)) => {
                         self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
                         self.l1_transition(now, core, addr, L1State::M, L1State::S);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
+                            Some(core),
                             requester,
                             Msg::DataFromOwner {
                                 addr,
                                 req,
                                 for_store: false,
                                 llc_was,
+                                data,
                             },
                         );
                         self.send_to_llc(
                             now,
                             lat.owner_lookup + lat.l1_to_llc,
-                            Msg::WbDataDirty { core, addr },
+                            Msg::WbDataDirty { core, addr, data },
                         );
                     }
-                    Some(L1State::E) => {
+                    Some((L1State::E, data)) => {
                         self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::S;
                         self.l1_transition(now, core, addr, L1State::E, L1State::S);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
+                            Some(core),
                             requester,
                             Msg::DataFromOwner {
                                 addr,
                                 req,
                                 for_store: false,
                                 llc_was,
+                                data,
                             },
                         );
                         self.send_to_llc(
@@ -1081,23 +1546,74 @@ impl Hierarchy {
                         );
                     }
                     _ => {
-                        // Owner is mid-eviction: the wb_buffer still has the
-                        // data; the eviction WB doubles as the LLC's signal.
-                        if self.l1s[core].wb_buffer.contains_key(&addr.0) {
+                        if let Some(ins) = self.l1s[core].installing.get(&addr.0).copied() {
+                            // The granted line is still in the installing
+                            // buffer (no way freed yet); it is the owner copy
+                            // all the same. Demote it in place.
+                            let was_m = ins.state == L1State::M;
+                            self.l1s[core]
+                                .installing
+                                .get_mut(&addr.0)
+                                .expect("entry")
+                                .state = L1State::S;
+                            self.l1_transition(now, core, addr, ins.state, L1State::S);
                             self.send_to_l1(
                                 now,
                                 lat.owner_lookup + lat.owner_to_requester,
+                                Some(core),
                                 requester,
                                 Msg::DataFromOwner {
                                     addr,
                                     req,
                                     for_store: false,
                                     llc_was,
+                                    data: ins.data,
                                 },
                             );
+                            if was_m {
+                                self.send_to_llc(
+                                    now,
+                                    lat.owner_lookup + lat.l1_to_llc,
+                                    Msg::WbDataDirty {
+                                        core,
+                                        addr,
+                                        data: ins.data,
+                                    },
+                                );
+                            } else {
+                                self.send_to_llc(
+                                    now,
+                                    lat.owner_lookup + lat.l1_to_llc,
+                                    Msg::WbDataClean { core, addr },
+                                );
+                            }
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(&addr.0).copied() {
+                            // Owner is mid-eviction: the wb_buffer still has
+                            // the data; the eviction WB doubles as the LLC's
+                            // signal.
+                            self.send_to_l1(
+                                now,
+                                lat.owner_lookup + lat.owner_to_requester,
+                                Some(core),
+                                requester,
+                                Msg::DataFromOwner {
+                                    addr,
+                                    req,
+                                    for_store: false,
+                                    llc_was,
+                                    data: entry.data,
+                                },
+                            );
+                        } else {
+                            // The blocking directory never forwards to a core
+                            // with no trace of the line.
+                            return Err(self.protocol_error(
+                                now,
+                                addr,
+                                Some(core),
+                                format!("Fwd_GETS reached core {core} which holds no copy"),
+                            ));
                         }
-                        // else: stale forward; LLC will serve via its own copy
-                        // (cannot happen with the blocking directory).
                     }
                 }
             }
@@ -1107,24 +1623,26 @@ impl Hierarchy {
                 req,
                 llc_was,
             } => {
-                let here = self.l1s[core].array.get_mut(addr.0).map(|l| l.state);
+                let here = self.l1s[core].array.get(addr.0).map(|l| (l.state, l.data));
                 match here {
-                    Some(L1State::EmA) | Some(L1State::SmA) => {
+                    Some((from @ (L1State::EmA | L1State::SmA), data)) => {
                         // Our upgrade raced a remote store and lost: give the
                         // line away and fall back to needing data — the LLC
                         // will answer our in-flight Upgrade with
                         // Data_Exclusive once the winner is done.
                         self.l1s[core].array.get_mut(addr.0).expect("line").state = L1State::ImD;
-                        self.l1_transition(now, core, addr, here.expect("matched"), L1State::ImD);
+                        self.l1_transition(now, core, addr, from, L1State::ImD);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
+                            Some(core),
                             requester,
                             Msg::DataFromOwner {
                                 addr,
                                 req,
                                 for_store: true,
                                 llc_was,
+                                data,
                             },
                         );
                         self.send_to_llc(
@@ -1134,43 +1652,90 @@ impl Hierarchy {
                                 core,
                                 addr,
                                 dirty: false,
+                                data: 0,
                             },
                         );
                     }
-                    Some(L1State::M) | Some(L1State::E) => {
-                        let dirty = here == Some(L1State::M);
+                    Some((from @ (L1State::M | L1State::E), data)) => {
+                        let dirty = from == L1State::M;
                         self.l1s[core].array.invalidate(addr.0);
-                        self.l1_transition(now, core, addr, here.expect("matched"), L1State::I);
+                        self.l1_transition(now, core, addr, from, L1State::I);
+                        self.l1_drain_stalls(now, core, addr);
                         self.send_to_l1(
                             now,
                             lat.owner_lookup + lat.owner_to_requester,
+                            Some(core),
                             requester,
                             Msg::DataFromOwner {
                                 addr,
                                 req,
                                 for_store: true,
                                 llc_was,
+                                data,
                             },
                         );
                         self.send_to_llc(
                             now,
                             lat.owner_lookup + lat.l1_to_llc,
-                            Msg::InvAck { core, addr, dirty },
+                            Msg::InvAck {
+                                core,
+                                addr,
+                                dirty,
+                                data: if dirty { data } else { 0 },
+                            },
                         );
                     }
                     _ => {
-                        if self.l1s[core].wb_buffer.contains_key(&addr.0) {
+                        if let Some(ins) = self.l1s[core].installing.remove(&addr.0) {
+                            // The granted line never reached the array; hand
+                            // it straight to the winner and drop the grant.
+                            self.l1s[core].stalled_installs.retain(|&b| b != addr.0);
+                            let dirty = ins.state == L1State::M;
+                            self.l1_transition(now, core, addr, ins.state, L1State::I);
                             self.send_to_l1(
                                 now,
                                 lat.owner_lookup + lat.owner_to_requester,
+                                Some(core),
                                 requester,
                                 Msg::DataFromOwner {
                                     addr,
                                     req,
                                     for_store: true,
                                     llc_was,
+                                    data: ins.data,
                                 },
                             );
+                            self.send_to_llc(
+                                now,
+                                lat.owner_lookup + lat.l1_to_llc,
+                                Msg::InvAck {
+                                    core,
+                                    addr,
+                                    dirty,
+                                    data: if dirty { ins.data } else { 0 },
+                                },
+                            );
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(&addr.0).copied() {
+                            self.send_to_l1(
+                                now,
+                                lat.owner_lookup + lat.owner_to_requester,
+                                Some(core),
+                                requester,
+                                Msg::DataFromOwner {
+                                    addr,
+                                    req,
+                                    for_store: true,
+                                    llc_was,
+                                    data: entry.data,
+                                },
+                            );
+                        } else {
+                            return Err(self.protocol_error(
+                                now,
+                                addr,
+                                Some(core),
+                                format!("Fwd_GETX reached core {core} which holds no copy"),
+                            ));
                         }
                     }
                 }
@@ -1178,14 +1743,14 @@ impl Hierarchy {
             Msg::Inv { addr } => {
                 // Invalidate whatever we have; ack regardless (conservative
                 // sharer lists make Inv-to-non-holder normal).
-                let prev = self.l1s[core].array.peek(addr.0).map(|l| l.state);
-                let dirty = match prev {
-                    Some(L1State::M) => true,
-                    Some(from @ (L1State::SmA | L1State::EmA)) => {
+                let prev = self.l1s[core].array.peek(addr.0).map(|l| (l.state, l.data));
+                match prev {
+                    Some((from @ (L1State::SmA | L1State::EmA), _)) => {
                         // Upgrade race lost: our Upgrade will be treated as a
                         // GETX by the LLC; we now need data, not just an ack.
                         self.l1s[core].array.invalidate(addr.0);
                         self.l1_transition(now, core, addr, from, L1State::I);
+                        self.l1_drain_stalls(now, core, addr);
                         self.send_to_llc(
                             now,
                             lat.l1_to_llc,
@@ -1193,26 +1758,91 @@ impl Hierarchy {
                                 core,
                                 addr,
                                 dirty: false,
+                                data: 0,
                             },
                         );
-                        return;
                     }
-                    _ => false,
-                };
-                self.l1s[core].array.invalidate(addr.0);
-                if let Some(from) = prev {
-                    self.l1_transition(now, core, addr, from, L1State::I);
+                    Some((from, data)) => {
+                        let dirty = from == L1State::M;
+                        self.l1s[core].array.invalidate(addr.0);
+                        self.l1_transition(now, core, addr, from, L1State::I);
+                        self.l1_drain_stalls(now, core, addr);
+                        self.send_to_llc(
+                            now,
+                            lat.l1_to_llc,
+                            Msg::InvAck {
+                                core,
+                                addr,
+                                dirty,
+                                data: if dirty { data } else { 0 },
+                            },
+                        );
+                    }
+                    None => {
+                        if let Some(ins) = self.l1s[core].installing.remove(&addr.0) {
+                            // The invalidation raced the install: cancel the
+                            // buffered grant and surrender its data.
+                            self.l1s[core].stalled_installs.retain(|&b| b != addr.0);
+                            let dirty = ins.state == L1State::M;
+                            self.l1_transition(now, core, addr, ins.state, L1State::I);
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::InvAck {
+                                    core,
+                                    addr,
+                                    dirty,
+                                    data: if dirty { ins.data } else { 0 },
+                                },
+                            );
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.remove(&addr.0) {
+                            // The Inv crossed our eviction: the WbData is
+                            // already ahead of this ack on the L1→LLC link,
+                            // so fold the eviction into the invalidation —
+                            // close the handshake locally and let the LLC
+                            // treat the writeback as the ack.
+                            self.l1_transition(now, core, addr, entry.state, L1State::I);
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::InvAck {
+                                    core,
+                                    addr,
+                                    dirty: false,
+                                    data: 0,
+                                },
+                            );
+                        } else {
+                            self.send_to_llc(
+                                now,
+                                lat.l1_to_llc,
+                                Msg::InvAck {
+                                    core,
+                                    addr,
+                                    dirty: false,
+                                    data: 0,
+                                },
+                            );
+                        }
+                    }
                 }
-                self.send_to_llc(now, lat.l1_to_llc, Msg::InvAck { core, addr, dirty });
             }
             Msg::WbAck { addr } => {
-                if let Some(from) = self.l1s[core].wb_buffer.remove(&addr.0) {
+                if let Some(entry) = self.l1s[core].wb_buffer.remove(&addr.0) {
                     // The eviction handshake closes: EI_A/MI_A → I.
-                    self.l1_transition(now, core, addr, from, L1State::I);
+                    self.l1_transition(now, core, addr, entry.state, L1State::I);
                 }
             }
-            other => unreachable!("L1 received unexpected message {other:?} for {block}"),
+            other => {
+                return Err(self.protocol_error(
+                    now,
+                    block,
+                    Some(core),
+                    format!("L1 received unexpected message {other:?}"),
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Acknowledges a writeback. The delay matches every other LLC→L1
@@ -1225,6 +1855,7 @@ impl Hierarchy {
         self.send_to_l1(
             now,
             lat.llc_lookup + lat.llc_to_l1,
+            None,
             core,
             Msg::WbAck { addr },
         );
@@ -1244,23 +1875,42 @@ impl Hierarchy {
     // LLC / directory controller
     // -----------------------------------------------------------------------
 
-    fn llc_handle(&mut self, now: Cycle, msg: Msg) {
+    fn llc_handle(&mut self, now: Cycle, msg: Msg) -> PResult {
         match msg {
             Msg::Gets { .. } | Msg::GetsWp { .. } | Msg::Getx { .. } | Msg::Upgrade { .. } => {
-                self.llc_request(now, msg);
+                self.llc_request(now, msg)
             }
-            Msg::WbDataClean { core, addr } => self.llc_writeback(now, core, addr, false),
-            Msg::WbDataDirty { core, addr } => self.llc_writeback(now, core, addr, true),
-            Msg::InvAck { core, addr, dirty } => self.llc_inv_ack(now, core, addr, dirty),
+            Msg::WbDataClean { core, addr } => {
+                self.llc_writeback(now, core, addr, false, 0);
+                Ok(())
+            }
+            Msg::WbDataDirty { core, addr, data } => {
+                self.llc_writeback(now, core, addr, true, data);
+                Ok(())
+            }
+            Msg::InvAck {
+                core,
+                addr,
+                dirty,
+                data,
+            } => {
+                self.llc_inv_ack(now, core, addr, dirty, data);
+                Ok(())
+            }
             Msg::Unblock { core, addr } => self.llc_unblock(now, core, addr, false),
             Msg::ExclusiveUnblock { core, addr } => self.llc_unblock(now, core, addr, true),
-            other => unreachable!("LLC received unexpected message {other:?}"),
+            other => Err(self.protocol_error(
+                now,
+                other.addr(),
+                None,
+                format!("LLC received unexpected message {other:?}"),
+            )),
         }
     }
 
     /// Handles the four request messages; may stall them on blocked lines
     /// or full sets.
-    fn llc_request(&mut self, now: Cycle, msg: Msg) {
+    fn llc_request(&mut self, now: Cycle, msg: Msg) -> PResult {
         let addr = msg.addr();
         let lat = self.lat();
 
@@ -1268,7 +1918,7 @@ impl Hierarchy {
         if let Some(line) = self.llc.get_mut(addr.0) {
             if line.txn.is_some() {
                 line.waiters.push_back(msg);
-                return;
+                return Ok(());
             }
         }
 
@@ -1277,14 +1927,21 @@ impl Hierarchy {
             Msg::GetsWp { core, addr: _, req } => (core, req, false, false, true),
             Msg::Getx { core, addr: _, req } => (core, req, true, false, false),
             Msg::Upgrade { core, addr: _, req } => (core, req, true, true, false),
-            _ => unreachable!(),
+            other => {
+                return Err(self.protocol_error(
+                    now,
+                    addr,
+                    None,
+                    format!("non-request message {other:?} routed to llc_request"),
+                ));
+            }
         };
 
         let present = self.llc.get(addr.0).is_some();
         if !present {
             // Allocate (possibly evicting/recalling) and fetch from memory.
             if !self.llc_make_room(now, addr, msg) {
-                return; // stalled on the set; will be replayed
+                return Ok(()); // stalled on the set; will be replayed
             }
             let grant_shared = match self.cfg.protocol.initial_load_grant(wp) {
                 InitialGrant::Shared => true,
@@ -1302,11 +1959,12 @@ impl Hierarchy {
             self.count(CoherenceEvent::Fetch);
             let done = self.mem.access(now + Cycle(lat.llc_lookup), addr, false);
             self.queue.schedule(done, Event::MemDone { addr });
-            return;
+            return Ok(());
         }
 
         let line = self.llc.get_mut(addr.0).expect("present");
         let llc_was = line.state;
+        let data = line.data;
         match (line.state, is_store) {
             // ---------------- loads ----------------
             (LlcState::S, false) => {
@@ -1325,6 +1983,7 @@ impl Hierarchy {
                     self.send_to_l1(
                         now,
                         lat.llc_lookup + lat.llc_to_l1,
+                        None,
                         core,
                         Msg::DataExclusive {
                             addr,
@@ -1332,6 +1991,7 @@ impl Hierarchy {
                             for_store: false,
                             llc_was,
                             source: ServedFrom::Llc,
+                            data,
                         },
                     );
                 } else {
@@ -1339,12 +1999,14 @@ impl Hierarchy {
                     self.send_to_l1(
                         now,
                         lat.llc_lookup + lat.llc_to_l1,
+                        None,
                         core,
                         Msg::Data {
                             addr,
                             req,
                             llc_was,
                             source: ServedFrom::Llc,
+                            data,
                         },
                     );
                 }
@@ -1356,18 +2018,28 @@ impl Hierarchy {
                 self.send_to_l1(
                     now,
                     lat.llc_lookup + lat.llc_to_l1,
+                    None,
                     core,
                     Msg::Data {
                         addr,
                         req,
                         llc_was,
                         source: ServedFrom::Llc,
+                        data,
                     },
                 );
             }
             (LlcState::E, false) | (LlcState::M, false) => {
                 // Forward to the owner (paper Fig. 1a).
-                let owner = line.owner.expect("E/M line has an owner");
+                let Some(owner) = line.owner else {
+                    return Err(self.protocol_error(
+                        now,
+                        addr,
+                        None,
+                        format!("{llc_was} line has no owner to forward a load to"),
+                    ));
+                };
+                let line = self.llc.get_mut(addr.0).expect("present");
                 line.txn = Some(LlcTxn::FwdLoad {
                     requester: core,
                     wb_done: false,
@@ -1376,6 +2048,7 @@ impl Hierarchy {
                 self.send_to_l1(
                     now,
                     lat.llc_lookup + lat.fwd_to_owner,
+                    None,
                     owner,
                     Msg::FwdGets {
                         requester: core,
@@ -1408,12 +2081,26 @@ impl Hierarchy {
                         llc_was,
                     });
                     for c in bits(pending) {
-                        self.send_to_l1(now, lat.llc_lookup + lat.llc_to_l1, c, Msg::Inv { addr });
+                        self.send_to_l1(
+                            now,
+                            lat.llc_lookup + lat.llc_to_l1,
+                            None,
+                            c,
+                            Msg::Inv { addr },
+                        );
                     }
                 }
             }
             (LlcState::E, true) | (LlcState::M, true) => {
-                let owner = line.owner.expect("E/M line has an owner");
+                let Some(owner) = line.owner else {
+                    return Err(self.protocol_error(
+                        now,
+                        addr,
+                        None,
+                        format!("{llc_was} line has no owner to forward a store to"),
+                    ));
+                };
+                let line = self.llc.get_mut(addr.0).expect("present");
                 if owner == core {
                     // S-MESI E→M upgrade by the owner itself (paper Fig. 2):
                     // flip the directory state and ack — no invalidations.
@@ -1421,6 +2108,7 @@ impl Hierarchy {
                     self.send_to_l1(
                         now,
                         lat.llc_lookup + lat.llc_to_l1,
+                        None,
                         core,
                         Msg::UpgradeAck { addr, req, llc_was },
                     );
@@ -1433,6 +2121,7 @@ impl Hierarchy {
                     self.send_to_l1(
                         now,
                         lat.llc_lookup + lat.fwd_to_owner,
+                        None,
                         owner,
                         Msg::FwdGetx {
                             requester: core,
@@ -1443,8 +2132,16 @@ impl Hierarchy {
                     );
                 }
             }
-            (LlcState::I, _) => unreachable!("present line cannot be I"),
+            (LlcState::I, _) => {
+                return Err(self.protocol_error(
+                    now,
+                    addr,
+                    None,
+                    "present LLC line cannot be I".to_string(),
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Grants M to `core`, with data (GETX) or a bare ack (Upgrade).
@@ -1460,6 +2157,7 @@ impl Hierarchy {
         let lat = self.lat();
         let line = self.llc.get_mut(addr.0).expect("present");
         if with_data {
+            let data = line.data;
             line.txn = Some(LlcTxn::AwaitUnblockE {
                 requester: core,
                 final_m: true,
@@ -1467,6 +2165,7 @@ impl Hierarchy {
             self.send_to_l1(
                 now,
                 lat.llc_lookup + lat.llc_to_l1,
+                None,
                 core,
                 Msg::DataExclusive {
                     addr,
@@ -1474,6 +2173,7 @@ impl Hierarchy {
                     for_store: true,
                     llc_was,
                     source: ServedFrom::Llc,
+                    data,
                 },
             );
         } else {
@@ -1484,6 +2184,7 @@ impl Hierarchy {
             self.send_to_l1(
                 now,
                 lat.llc_lookup + lat.llc_to_l1,
+                None,
                 core,
                 Msg::UpgradeAck { addr, req, llc_was },
             );
@@ -1507,6 +2208,7 @@ impl Hierarchy {
             self.llc_transition(now, PhysAddr(vaddr), vline.state, LlcState::I);
             if vline.dirty {
                 // Writeback to memory, fire-and-forget.
+                self.mem_image.insert(vaddr, vline.data);
                 self.mem.access(now, PhysAddr(vaddr), true);
             }
             self.llc_replay_set_stalls(now, PhysAddr(vaddr));
@@ -1526,6 +2228,7 @@ impl Hierarchy {
                 self.send_to_l1(
                     now,
                     lat.llc_lookup + lat.llc_to_l1,
+                    None,
                     c,
                     Msg::Inv {
                         addr: PhysAddr(vaddr),
@@ -1540,10 +2243,18 @@ impl Hierarchy {
     }
 
     /// DRAM returned data for `addr`: respond per the pending fetch.
-    fn llc_mem_done(&mut self, now: Cycle, addr: PhysAddr) {
+    fn llc_mem_done(&mut self, now: Cycle, addr: PhysAddr) -> PResult {
         self.count(CoherenceEvent::MemData);
         let lat = self.lat();
-        let line = self.llc.get_mut(addr.0).expect("fetching line present");
+        let data = self.mem_image.get(&addr.0).copied().unwrap_or(0);
+        let Some(line) = self.llc.get_mut(addr.0) else {
+            return Err(self.protocol_error(
+                now,
+                addr,
+                None,
+                "MemDone for a line absent from the LLC".to_string(),
+            ));
+        };
         let Some(LlcTxn::Fetch {
             requester,
             req,
@@ -1551,19 +2262,28 @@ impl Hierarchy {
             grant_shared,
         }) = line.txn
         else {
-            unreachable!("MemDone without Fetch txn");
+            let txn = line.txn;
+            return Err(self.protocol_error(
+                now,
+                addr,
+                None,
+                format!("MemDone without Fetch txn (found {txn:?})"),
+            ));
         };
+        line.data = data;
         if grant_shared {
             line.txn = Some(LlcTxn::AwaitUnblockS { requester });
             self.send_to_l1(
                 now,
                 lat.llc_to_l1,
+                None,
                 requester,
                 Msg::Data {
                     addr,
                     req,
                     llc_was: LlcState::I,
                     source: ServedFrom::Memory,
+                    data,
                 },
             );
         } else {
@@ -1574,6 +2294,7 @@ impl Hierarchy {
             self.send_to_l1(
                 now,
                 lat.llc_to_l1,
+                None,
                 requester,
                 Msg::DataExclusive {
                     addr,
@@ -1581,13 +2302,15 @@ impl Hierarchy {
                     for_store,
                     llc_was: LlcState::I,
                     source: ServedFrom::Memory,
+                    data,
                 },
             );
         }
+        Ok(())
     }
 
     /// A writeback (clean or dirty) arrived from `core`.
-    fn llc_writeback(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool) {
+    fn llc_writeback(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool, data: u64) {
         self.tracer.emit(|| TraceEvent {
             at: now,
             core: Some(core),
@@ -1599,6 +2322,7 @@ impl Hierarchy {
             // Line already evicted from the LLC (recall completed on acks
             // while this WB crossed): just ack so the L1 can drop it.
             if dirty {
+                self.mem_image.insert(addr.0, data);
                 self.mem.access(now, addr, true);
             }
             self.send_wb_ack(now, core, addr);
@@ -1608,6 +2332,7 @@ impl Hierarchy {
         let is_owner = line.owner == Some(core);
         if dirty {
             line.dirty = true;
+            line.data = data;
         }
 
         match line.txn {
@@ -1618,16 +2343,16 @@ impl Hierarchy {
             }) if is_owner => {
                 // The owner's WB (fwd-triggered demotion, or a crossing
                 // eviction) satisfies the transaction's WB requirement.
-                // Conservatively keep the owner listed as a sharer.
+                // Conservatively keep the owner listed as a sharer. Ack
+                // clean WBs too: a crossing eviction parked an EI_A entry
+                // that only this ack can release.
                 line.sharers |= 1 << core;
                 line.owner = None;
                 if unblock_done {
                     line.state = LlcState::S;
                     line.sharers |= 1 << requester;
                     line.txn = None;
-                    if dirty {
-                        self.send_wb_ack(now, core, addr);
-                    }
+                    self.send_wb_ack(now, core, addr);
                     self.llc_replay_waiters(now, addr);
                 } else {
                     line.txn = Some(LlcTxn::FwdLoad {
@@ -1635,9 +2360,7 @@ impl Hierarchy {
                         wb_done: true,
                         unblock_done: false,
                     });
-                    if dirty {
-                        self.send_wb_ack(now, core, addr);
-                    }
+                    self.send_wb_ack(now, core, addr);
                 }
                 return;
             }
@@ -1680,7 +2403,7 @@ impl Hierarchy {
                 if dirty {
                     self.send_wb_ack(now, core, addr);
                 }
-                self.llc_inv_ack(now, core, addr, dirty);
+                self.llc_inv_ack(now, core, addr, dirty, data);
                 return;
             }
             _ => {}
@@ -1693,17 +2416,23 @@ impl Hierarchy {
             // E/M line returns to shared-clean (dirty flag remembers data).
             line.state = LlcState::S;
             self.send_wb_ack(now, core, addr);
+        } else if dirty {
+            // A dirty WB whose owner bit was already cleared (e.g. by a
+            // crossing invalidation): the data was absorbed above; close
+            // the evictor's handshake so its MI_A entry does not leak.
+            self.send_wb_ack(now, core, addr);
         }
         // S evictions are fire-and-forget: no ack.
     }
 
     /// An invalidation ack (explicit, or synthesized from a crossing WB).
-    fn llc_inv_ack(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool) {
+    fn llc_inv_ack(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool, data: u64) {
         let Some(line) = self.llc.get_mut(addr.0) else {
             return; // late ack for an already-recalled line
         };
         if dirty {
             line.dirty = true;
+            line.data = data;
         }
         line.sharers &= !(1 << core);
         if line.owner == Some(core) {
@@ -1771,9 +2500,11 @@ impl Hierarchy {
         }
         // All copies invalidated: evict the line.
         let dirty = line.dirty;
+        let data = line.data;
         let waiters: Vec<Msg> = line.waiters.drain(..).collect();
         self.llc.invalidate(addr.0);
         if dirty {
+            self.mem_image.insert(addr.0, data);
             self.mem.access(now, addr, true);
         }
         for w in waiters {
@@ -1783,8 +2514,15 @@ impl Hierarchy {
     }
 
     /// An `Unblock` / `Exclusive_Unblock` from the requester.
-    fn llc_unblock(&mut self, now: Cycle, core: usize, addr: PhysAddr, exclusive: bool) {
-        let line = self.llc.get_mut(addr.0).expect("unblocking line present");
+    fn llc_unblock(&mut self, now: Cycle, core: usize, addr: PhysAddr, exclusive: bool) -> PResult {
+        let Some(line) = self.llc.get_mut(addr.0) else {
+            return Err(self.protocol_error(
+                now,
+                addr,
+                Some(core),
+                "Unblock for a line absent from the LLC".to_string(),
+            ));
+        };
         match line.txn {
             Some(LlcTxn::AwaitUnblockS { requester }) => {
                 debug_assert_eq!(core, requester);
@@ -1814,7 +2552,7 @@ impl Hierarchy {
                         wb_done: false,
                         unblock_done: true,
                     });
-                    return;
+                    return Ok(());
                 }
             }
             Some(LlcTxn::FwdStore {
@@ -1832,12 +2570,20 @@ impl Hierarchy {
                         wb_done: false,
                         unblock_done: true,
                     });
-                    return;
+                    return Ok(());
                 }
             }
-            other => unreachable!("Unblock with txn {other:?}"),
+            other => {
+                return Err(self.protocol_error(
+                    now,
+                    addr,
+                    Some(core),
+                    format!("Unblock with txn {other:?}"),
+                ));
+            }
         }
         self.llc_replay_waiters(now, addr);
+        Ok(())
     }
 
     /// Replays requests stalled on `addr`'s (now unblocked) line, plus any

@@ -19,6 +19,10 @@
 //! * [`hierarchy`] — the [`Hierarchy`]: cores issue timed requests, the
 //!   event queue drives the controllers, completions report latency and
 //!   the access class (which L1/LLC states served it).
+//! * [`check`] — the [`Checker`]: global invariant auditing (SWMR,
+//!   directory-superset sharer tracking, transient-occupancy bounds, and
+//!   a golden-memory data-value model) used by the stress fuzzer after
+//!   every simulated event.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 //! assert_eq!(done.len(), 1);
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod hierarchy;
 pub mod metrics;
@@ -41,10 +46,11 @@ pub mod msg;
 pub mod protocol;
 pub mod state;
 
+pub use check::{Checker, Violation};
 pub use config::{HierarchyConfig, LatencyConfig};
 pub use hierarchy::{
-    AccessClass, AccessKind, Completion, CoreRequest, Hierarchy, HierarchyStats, RequestId,
-    ServedFrom,
+    AccessClass, AccessKind, Completion, CoreRequest, Hierarchy, HierarchyStats, ProtocolError,
+    RequestId, ServedFrom,
 };
 pub use metrics::{ProtocolMetrics, RequestClass};
 pub use msg::{CoherenceEvent, Msg};

@@ -113,6 +113,12 @@ pub struct ProtocolMetrics {
     llc: [[u64; LlcState::COUNT]; LlcState::COUNT],
     /// Per-class end-to-end latency (indices per [`RequestClass::index`]).
     latency: [Histogram; RequestClass::COUNT],
+    /// L1 data installs re-scheduled because every way of the target set
+    /// was mid-transaction.
+    install_retries: u64,
+    /// Install retries that exhausted their budget and escalated to a
+    /// blocking stall (woken when a way in the set frees up).
+    install_stalls: u64,
 }
 
 impl Default for ProtocolMetrics {
@@ -121,6 +127,8 @@ impl Default for ProtocolMetrics {
             l1: [[0; L1State::COUNT]; L1State::COUNT],
             llc: [[0; LlcState::COUNT]; LlcState::COUNT],
             latency: std::array::from_fn(|_| Histogram::new(LATENCY_CAP)),
+            install_retries: 0,
+            install_stalls: 0,
         }
     }
 }
@@ -191,6 +199,28 @@ impl ProtocolMetrics {
         &self.latency[class.index()]
     }
 
+    /// Counts one rescheduled L1 install attempt.
+    #[inline]
+    pub fn record_install_retry(&mut self) {
+        self.install_retries += 1;
+    }
+
+    /// Counts one install-retry escalation to a blocking stall.
+    #[inline]
+    pub fn record_install_stall(&mut self) {
+        self.install_stalls += 1;
+    }
+
+    /// L1 installs re-scheduled because no way was evictable.
+    pub fn install_retries(&self) -> u64 {
+        self.install_retries
+    }
+
+    /// Install retries that escalated to a blocking stall.
+    pub fn install_stalls(&self) -> u64 {
+        self.install_stalls
+    }
+
     /// Iterates over non-zero L1 matrix cells as `(from, to, count)`.
     pub fn l1_nonzero(&self) -> impl Iterator<Item = (L1State, L1State, u64)> + '_ {
         L1State::ALL.into_iter().flat_map(move |from| {
@@ -227,6 +257,8 @@ impl ProtocolMetrics {
         for (h, oh) in self.latency.iter_mut().zip(&other.latency) {
             h.merge(oh);
         }
+        self.install_retries += other.install_retries;
+        self.install_stalls += other.install_stalls;
     }
 
     /// Exports everything into `reg` under `prefix`: non-zero matrix cells
@@ -256,6 +288,10 @@ impl ProtocolMetrics {
                 Metric::Histogram(self.latency(class).clone()),
             );
         }
+        reg.counter(&format!("{prefix}install_retries"))
+            .add(self.install_retries);
+        reg.counter(&format!("{prefix}install_stalls"))
+            .add(self.install_stalls);
     }
 
     /// The matrices as nested JSON objects (`{"from": {"to": count}}`,
@@ -310,6 +346,8 @@ impl ProtocolMetrics {
                         .collect(),
                 ),
             ),
+            ("install_retries", Json::from(self.install_retries)),
+            ("install_stalls", Json::from(self.install_stalls)),
         ])
     }
 }

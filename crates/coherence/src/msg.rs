@@ -64,6 +64,8 @@ pub enum Msg {
         core: usize,
         /// Block base address.
         addr: PhysAddr,
+        /// The block's (modelled) contents.
+        data: u64,
     },
     /// Requester signals it received `Data`; LLC may unblock the line.
     Unblock {
@@ -87,6 +89,8 @@ pub enum Msg {
         addr: PhysAddr,
         /// Whether the invalidated line was dirty (M); carries data.
         dirty: bool,
+        /// The block's contents when `dirty` (ignored otherwise).
+        data: u64,
     },
 
     // ---- LLC → L1 ----------------------------------------------------------
@@ -100,6 +104,8 @@ pub enum Msg {
         llc_was: LlcState,
         /// Where the data came from.
         source: ServedFrom,
+        /// The block's (modelled) contents.
+        data: u64,
     },
     /// LLC sends data with exclusivity (line becomes E, or M for stores).
     DataExclusive {
@@ -113,6 +119,8 @@ pub enum Msg {
         llc_was: LlcState,
         /// Where the data came from.
         source: ServedFrom,
+        /// The block's (modelled) contents.
+        data: u64,
     },
     /// LLC forwards a load request to the owning core.
     FwdGets {
@@ -167,6 +175,8 @@ pub enum Msg {
         for_store: bool,
         /// LLC directory state when the request was forwarded.
         llc_was: LlcState,
+        /// The block's (modelled) contents.
+        data: u64,
     },
 }
 

@@ -1,0 +1,388 @@
+//! Deterministic protocol stress fuzzer.
+//!
+//! [`run_fuzz`] drives a deliberately hostile configuration of the
+//! coherence hierarchy — many cores hammering a handful of blocks
+//! through an undersized L1 (forced evictions), an undersized LLC
+//! (forced recalls), tiny MSHRs (retry pressure), and randomized
+//! per-link latency jitter (message-race reordering) — while the
+//! [`Checker`] audits the global invariants after **every** simulated
+//! event and a golden memory model cross-checks every load's value.
+//!
+//! Everything is seeded: the same [`FuzzConfig`] always produces the
+//! same access stream, the same event interleaving, and the same
+//! [`FuzzReport::digest`], so any failure is replayable from its seed
+//! alone and [`minimize`] can shrink a failing configuration while
+//! preserving the failure.
+
+use sim_engine::{Cycle, DetRng, Tracer};
+use swiftdir_cache::CacheGeometry;
+use swiftdir_coherence::{
+    AccessKind, Checker, Completion, CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind,
+};
+use swiftdir_mmu::PhysAddr;
+
+/// Events without a single completion before the watchdog declares the
+/// protocol deadlocked. The worst honest case (a recall chain across
+/// every block) resolves in a few hundred events.
+const WATCHDOG_EVENTS: u64 = 200_000;
+
+/// Absolute event budget per run, against runaway livelock.
+const MAX_EVENTS: u64 = 5_000_000;
+
+/// One fuzz scenario: everything needed to reproduce a run bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzConfig {
+    /// Seed for the access stream and the link jitter.
+    pub seed: u64,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Cores hammering the block set.
+    pub cores: usize,
+    /// Distinct blocks contended over (block `i` lives at `i * 64`).
+    pub blocks: usize,
+    /// Total accesses issued across all cores.
+    pub ops: usize,
+    /// Maximum extra per-hop latency injected by [`sim_engine::LinkJitter`]
+    /// (0 disables jitter).
+    pub jitter_max: u64,
+    /// Probability an access is a store.
+    pub store_fraction: f64,
+    /// Probability a non-store access is a write-protected load.
+    pub wp_fraction: f64,
+}
+
+impl FuzzConfig {
+    /// The default adversarial scenario for `seed`: 4 cores, 8 blocks,
+    /// 400 operations, jitter up to 6 cycles, 45% stores, 30% of loads
+    /// write-protected.
+    pub fn new(seed: u64, protocol: ProtocolKind) -> Self {
+        FuzzConfig {
+            seed,
+            protocol,
+            cores: 4,
+            blocks: 8,
+            ops: 400,
+            jitter_max: 6,
+            store_fraction: 0.45,
+            wp_fraction: 0.3,
+        }
+    }
+
+    /// The shrunken hierarchy this scenario runs on: a 4-line 2-way L1
+    /// (constant eviction pressure), a 4-line 2-way LLC bank (constant
+    /// recall pressure once `blocks` exceeds its ways), and 4 MSHRs.
+    pub fn hierarchy_config(&self) -> HierarchyConfig {
+        let mut cfg = HierarchyConfig::table_v(self.cores, self.protocol);
+        cfg.l1_geometry = CacheGeometry::new(256, 1, 64);
+        cfg.llc_bank_geometry = CacheGeometry::new(256, 2, 64);
+        cfg.l1_mshrs = 4;
+        cfg
+    }
+}
+
+/// How a fuzz run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzFailureKind {
+    /// The hierarchy itself detected an illegal transition
+    /// (a structured [`swiftdir_coherence::ProtocolError`]).
+    Protocol,
+    /// The external [`Checker`] caught an invariant or data-value
+    /// violation the protocol machinery did not.
+    Invariant,
+    /// The no-progress watchdog tripped, or transient state survived
+    /// quiescence.
+    Deadlock,
+}
+
+impl std::fmt::Display for FuzzFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FuzzFailureKind::Protocol => "protocol error",
+            FuzzFailureKind::Invariant => "invariant violation",
+            FuzzFailureKind::Deadlock => "deadlock",
+        })
+    }
+}
+
+/// A failed run's diagnosis, including the offending block's recent
+/// protocol history when available.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Failure classification.
+    pub kind: FuzzFailureKind,
+    /// Human-readable detail (violation message plus traced history).
+    pub detail: String,
+}
+
+impl std::fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// The outcome of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The scenario that produced this report.
+    pub config: FuzzConfig,
+    /// Completions observed (equals `config.ops` on a clean run).
+    pub completions: usize,
+    /// Simulator events processed.
+    pub events: u64,
+    /// FNV-1a digest over the completion stream; bit-identical across
+    /// repeated runs of the same config.
+    pub digest: u64,
+    /// Install retries the run provoked (grant waiting on a way held by
+    /// in-flight transients).
+    pub install_retries: u64,
+    /// Installs that exhausted their retries and parked until the set
+    /// drained.
+    pub install_stalls: u64,
+    /// `None` on a clean run.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// Whether the run completed with no violation of any kind.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs one seeded fuzz scenario to quiescence, auditing invariants
+/// after every event.
+///
+/// # Example
+///
+/// ```
+/// use swiftdir_coherence::ProtocolKind;
+/// use swiftdir_core::fuzz::{run_fuzz, FuzzConfig};
+///
+/// let mut cfg = FuzzConfig::new(7, ProtocolKind::SwiftDir);
+/// cfg.ops = 60;
+/// let report = run_fuzz(&cfg);
+/// assert!(report.ok(), "{}", report.failure.unwrap());
+/// assert_eq!(report.completions, 60);
+/// ```
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut h = Hierarchy::new(cfg.hierarchy_config());
+    h.set_tracer(Tracer::enabled().with_ring(512));
+    if cfg.jitter_max > 0 {
+        h.set_jitter(cfg.seed ^ 0x9e37_79b9_7f4a_7c15, cfg.jitter_max);
+    }
+
+    // Issue the whole access stream up front at randomized times; the
+    // event queue serializes it against the protocol traffic.
+    let mut rng = DetRng::new(cfg.seed);
+    let mut at = 0u64;
+    for _ in 0..cfg.ops {
+        at += rng.below(24);
+        let core = rng.below(cfg.cores as u64) as usize;
+        let addr = PhysAddr(rng.below(cfg.blocks as u64) * 64);
+        let req = if rng.chance(cfg.store_fraction) {
+            CoreRequest::store(addr)
+        } else if rng.chance(cfg.wp_fraction) {
+            CoreRequest::load(addr).write_protected()
+        } else {
+            CoreRequest::load(addr)
+        };
+        h.issue(Cycle(at), core, req);
+    }
+
+    let mut checker = Checker::new();
+    let mut log: Vec<Completion> = Vec::with_capacity(cfg.ops);
+    let mut events = 0u64;
+    let mut last_progress = 0u64;
+    let mut failure = loop {
+        match h.try_step() {
+            Err(e) => {
+                break Some(FuzzFailure {
+                    kind: FuzzFailureKind::Protocol,
+                    detail: e.to_string(),
+                });
+            }
+            Ok(None) => break None,
+            Ok(Some(_)) => {}
+        }
+        events += 1;
+        let done = h.drain_completions();
+        if !done.is_empty() {
+            last_progress = events;
+        }
+        let audit = checker.after_event(&h, &done);
+        log.extend(done);
+        if let Err(v) = audit {
+            break Some(FuzzFailure {
+                kind: FuzzFailureKind::Invariant,
+                detail: v.to_string(),
+            });
+        }
+        if events - last_progress > WATCHDOG_EVENTS || events > MAX_EVENTS {
+            break Some(FuzzFailure {
+                kind: FuzzFailureKind::Deadlock,
+                detail: format!(
+                    "no completion in {} events at cycle {}\n{}",
+                    events - last_progress,
+                    h.now().get(),
+                    h.debug_stuck()
+                ),
+            });
+        }
+    };
+
+    if failure.is_none() {
+        if let Err(v) = checker.check_quiescent(&h) {
+            failure = Some(FuzzFailure {
+                kind: FuzzFailureKind::Deadlock,
+                detail: v.to_string(),
+            });
+        } else if log.len() != cfg.ops {
+            failure = Some(FuzzFailure {
+                kind: FuzzFailureKind::Deadlock,
+                detail: format!(
+                    "issued {} requests but saw {} completions",
+                    cfg.ops,
+                    log.len()
+                ),
+            });
+        }
+    }
+
+    FuzzReport {
+        config: *cfg,
+        completions: log.len(),
+        events,
+        digest: digest(&log),
+        install_retries: h.stats().protocol.install_retries(),
+        install_stalls: h.stats().protocol.install_stalls(),
+        failure,
+    }
+}
+
+/// FNV-1a over the completion stream in serialization order.
+fn digest(log: &[Completion]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for c in log {
+        mix(c.req);
+        mix(c.core as u64);
+        mix(c.block.0);
+        mix(match c.class.kind {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+        });
+        mix(c.value);
+        mix(c.done_at.get());
+    }
+    hash
+}
+
+/// Shrinks a failing scenario while it keeps failing: first the
+/// operation count, then the block set, then the core count. Returns
+/// the input unchanged if it does not fail.
+///
+/// Shrinking re-derives the access stream from the seed, so a smaller
+/// scenario exercises a different (shorter) schedule — the reduction is
+/// greedy and heuristic, not a strict subsequence, which is the usual
+/// trade for seed-replayable fuzzing.
+pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
+    let mut best = *cfg;
+    if run_fuzz(&best).ok() {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+        while best.ops > 4 {
+            let cand = FuzzConfig {
+                ops: best.ops / 2,
+                ..best
+            };
+            if run_fuzz(&cand).ok() {
+                break;
+            }
+            best = cand;
+            improved = true;
+        }
+        while best.blocks > 1 {
+            let cand = FuzzConfig {
+                blocks: best.blocks - 1,
+                ..best
+            };
+            if run_fuzz(&cand).ok() {
+                break;
+            }
+            best = cand;
+            improved = true;
+        }
+        while best.cores > 2 {
+            let cand = FuzzConfig {
+                cores: best.cores - 1,
+                ..best
+            };
+            if run_fuzz(&cand).ok() {
+                break;
+            }
+            best = cand;
+            improved = true;
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_all_protocols() {
+        for protocol in [
+            ProtocolKind::Msi,
+            ProtocolKind::Mesi,
+            ProtocolKind::SMesi,
+            ProtocolKind::SwiftDir,
+        ] {
+            let mut cfg = FuzzConfig::new(42, protocol);
+            cfg.ops = 120;
+            let report = run_fuzz(&cfg);
+            assert!(
+                report.ok(),
+                "{protocol:?} seed 42 failed: {}",
+                report.failure.unwrap()
+            );
+            assert_eq!(report.completions, 120);
+        }
+    }
+
+    #[test]
+    fn repeated_seed_is_bit_identical() {
+        let mut cfg = FuzzConfig::new(1234, ProtocolKind::SwiftDir);
+        cfg.ops = 150;
+        let a = run_fuzz(&cfg);
+        let b = run_fuzz(&cfg);
+        assert!(a.ok() && b.ok());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn distinct_seeds_explore_distinct_schedules() {
+        let a = run_fuzz(&FuzzConfig::new(1, ProtocolKind::Mesi));
+        let b = run_fuzz(&FuzzConfig::new(2, ProtocolKind::Mesi));
+        assert!(a.ok() && b.ok());
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn minimize_returns_clean_config_unchanged() {
+        let mut cfg = FuzzConfig::new(5, ProtocolKind::Mesi);
+        cfg.ops = 40;
+        assert_eq!(minimize(&cfg), cfg);
+    }
+}

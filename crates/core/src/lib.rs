@@ -19,6 +19,9 @@
 //!   to demonstrate that MESI leaks and SwiftDir does not.
 //! * [`driver`] — [`ExperimentSet`]: fans independent experiment
 //!   configurations over worker threads, results in input order.
+//! * [`fuzz`] — the protocol stress fuzzer: seeded adversarial access
+//!   streams over a shrunken hierarchy, audited by
+//!   [`swiftdir_coherence::Checker`] after every event.
 //! * [`obs`] — observability: the `SWIFTDIR_TRACE` /
 //!   `SWIFTDIR_TRACE_LIMIT` knobs, trace-file construction, and
 //!   [`RunStats::snapshot`]'s machine-readable JSON.
@@ -48,6 +51,7 @@
 pub mod attack;
 pub mod config;
 pub mod driver;
+pub mod fuzz;
 pub mod obs;
 pub mod probe;
 pub mod system;
@@ -55,6 +59,7 @@ pub mod system;
 pub use attack::{CovertChannel, CovertOutcome, SideChannel, SideOutcome};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use driver::{DriverReport, ExperimentSet, PointTiming};
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport};
 pub use obs::{TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};

@@ -114,6 +114,7 @@ mod tests {
         Completion {
             req: 0,
             core: 0,
+            block: swiftdir_mmu::PhysAddr(0),
             issued_at: Cycle(100),
             done_at: Cycle(100 + lat),
             class: AccessClass {
@@ -123,6 +124,7 @@ mod tests {
                 write_protected: wp,
             },
             served_from: ServedFrom::Llc,
+            value: 0,
         }
     }
 

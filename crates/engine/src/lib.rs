@@ -50,7 +50,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
 pub use metrics::{Metric, MetricsRegistry};
 pub use queue::EventQueue;
-pub use rng::{DetRng, Zipf};
+pub use rng::{DetRng, LinkJitter, Zipf};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use trace::TraceBuffer;
 pub use tracer::{ChromeTraceSink, JsonlSink, TraceEvent, TraceKind, TraceSink, Tracer, Unit};

@@ -95,6 +95,67 @@ impl DetRng {
     }
 }
 
+/// Randomized per-hop latency jitter that preserves point-to-point
+/// ordering.
+///
+/// Stress harnesses perturb message timing to widen race windows, but the
+/// protocol (like gem5's `MESI_Two_Level`) assumes each source→destination
+/// link delivers in send order. `LinkJitter` adds a seeded random extra
+/// delay per hop and then clamps the delivery time to be no earlier than
+/// the last delivery already scheduled on the same link, so cross-link
+/// interleavings vary while each link stays FIFO.
+///
+/// # Example
+///
+/// ```
+/// use sim_engine::{Cycle, LinkJitter};
+/// let mut j = LinkJitter::new(7, 4);
+/// let a = j.delay((0, 1), Cycle(100), 10);
+/// let b = j.delay((0, 1), Cycle(101), 10);
+/// assert!(a >= Cycle(110) && a <= Cycle(114));
+/// assert!(b >= a, "same link stays FIFO");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkJitter {
+    rng: DetRng,
+    max_extra: u64,
+    last: crate::fxhash::FxHashMap<(u64, u64), crate::cycle::Cycle>,
+}
+
+impl LinkJitter {
+    /// Creates a jitter model adding `0..=max_extra` cycles per hop.
+    pub fn new(seed: u64, max_extra: u64) -> Self {
+        LinkJitter {
+            rng: DetRng::new(seed),
+            max_extra,
+            last: crate::fxhash::FxHashMap::default(),
+        }
+    }
+
+    /// Delivery time for a message sent at `now` over `link` with nominal
+    /// latency `base`, after jitter and the link's FIFO clamp.
+    pub fn delay(
+        &mut self,
+        link: (u64, u64),
+        now: crate::cycle::Cycle,
+        base: u64,
+    ) -> crate::cycle::Cycle {
+        let extra = if self.max_extra == 0 {
+            0
+        } else {
+            self.rng.below(self.max_extra + 1)
+        };
+        let mut at = now + crate::cycle::Cycle(base + extra);
+        if let Some(&prev) = self.last.get(&link) {
+            if at < prev {
+                at = prev;
+            }
+        }
+        self.last.insert(link, at);
+        at
+    }
+}
+
 /// Zipf-distributed sampler over `[0, n)`.
 ///
 /// Cache workloads have skewed popularity; SPEC/PARSEC-like profiles use a
