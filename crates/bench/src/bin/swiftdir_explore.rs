@@ -1,0 +1,276 @@
+//! `swiftdir-explore`: bounded-exhaustive schedule exploration,
+//! differential cross-protocol checking, and the Table I–III
+//! transition-coverage gate.
+//!
+//! ```text
+//! swiftdir-explore [--smoke] [--coverage] [--diff] [--protocol NAME]
+//!                  [--cores N] [--blocks N] [--ops N] [--streams N]
+//!                  [--depth N] [--window N] [--seeds N]
+//! ```
+//!
+//! * default — explore `--streams` contended streams per protocol with
+//!   the given scenario shape, printing schedules explored, states
+//!   pruned, sleep-set skips, and transition coverage. Any protocol
+//!   error, invariant violation, or budget truncation fails the run.
+//! * `--diff` — additionally run the differential layer: architectural
+//!   equivalence of all four protocols on well-separated streams, and
+//!   SwiftDir≡MESI schedule-tree isomorphism on WP-free streams.
+//! * `--smoke` — the CI configuration: exhaustive 2-core × 2-block
+//!   exploration for every protocol plus the full differential layer.
+//! * `--coverage` — the CI coverage gate: union the transition matrices
+//!   from exploration and a `--seeds`-sized fuzz sweep, then require
+//!   exact Table I–III coverage per protocol — every legal (state,
+//!   event) pair observed, nothing outside the legal set — printing any
+//!   uncovered or illegal pairs.
+//!
+//! Exits non-zero on any failure.
+
+use std::process::ExitCode;
+
+use swiftdir_coherence::{CoverageSpec, ObservedCoverage, ProtocolKind};
+use swiftdir_core::diff::{
+    architectural_diff, contended_stream, explored_equivalence, tiny_config, well_separated_stream,
+};
+use swiftdir_core::explore::{explore, ExploreConfig};
+use swiftdir_core::fuzz::{run_fuzz, FuzzConfig};
+
+struct Args {
+    smoke: bool,
+    coverage: bool,
+    diff: bool,
+    protocols: Vec<ProtocolKind>,
+    cores: usize,
+    blocks: usize,
+    ops: usize,
+    streams: u64,
+    depth: usize,
+    window: u64,
+    seeds: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        coverage: false,
+        diff: false,
+        protocols: ProtocolKind::ALL.to_vec(),
+        cores: 2,
+        blocks: 2,
+        ops: 6,
+        streams: 8,
+        depth: 4096,
+        window: 48,
+        seeds: 500,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.ops = 5;
+                args.streams = 5;
+            }
+            "--coverage" => args.coverage = true,
+            "--diff" => args.diff = true,
+            "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--blocks" => args.blocks = value("--blocks")?.parse().map_err(|e| format!("{e}"))?,
+            "--ops" => args.ops = value("--ops")?.parse().map_err(|e| format!("{e}"))?,
+            "--streams" => {
+                args.streams = value("--streams")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--depth" => args.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => args.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--protocol" => {
+                let name = value("--protocol")?;
+                args.protocols = vec![match name.to_ascii_lowercase().as_str() {
+                    "msi" => ProtocolKind::Msi,
+                    "mesi" => ProtocolKind::Mesi,
+                    "smesi" | "s-mesi" => ProtocolKind::SMesi,
+                    "swiftdir" => ProtocolKind::SwiftDir,
+                    other => return Err(format!("unknown protocol {other:?}")),
+                }];
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help in the doc)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swiftdir-explore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    if args.coverage {
+        failed |= !coverage_gate(&args);
+    } else {
+        failed |= !explore_suite(&args);
+        if args.diff || args.smoke {
+            failed |= !differential_suite(&args);
+        }
+    }
+
+    if failed {
+        eprintln!("swiftdir-explore: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("swiftdir-explore: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Per-protocol bounded-exhaustive exploration over seeded contended
+/// streams. Returns false on any error or truncation.
+fn explore_suite(args: &Args) -> bool {
+    let ecfg = ExploreConfig {
+        window: args.window,
+        max_depth: args.depth,
+        ..ExploreConfig::default()
+    };
+    let wp_fraction = 0.3;
+    let mut ok = true;
+    for &protocol in &args.protocols {
+        let cfg = tiny_config(args.cores, protocol);
+        let mut schedules = 0u64;
+        let mut steps = 0u64;
+        let mut pruned = 0u64;
+        let mut skipped = 0u64;
+        let mut coverage = ObservedCoverage::new();
+        for seed in 0..args.streams {
+            let stream = contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction);
+            let report = explore(&cfg, &stream, &ecfg);
+            if let Some(e) = &report.error {
+                eprintln!("FAIL {protocol:?} stream {seed}: {e}");
+                ok = false;
+                continue;
+            }
+            if report.truncated {
+                eprintln!(
+                    "FAIL {protocol:?} stream {seed}: truncated (not exhaustive); \
+                     raise --depth or shrink the scenario"
+                );
+                ok = false;
+                continue;
+            }
+            schedules += report.schedules;
+            steps += report.steps;
+            pruned += report.pruned;
+            skipped += report.sleep_skipped;
+            coverage.merge(&report.coverage);
+        }
+        let report = CoverageSpec::for_protocol(protocol).check(&coverage);
+        let [(l1c, l1t), (llcc, llct), (evc, evt)] = report.covered();
+        println!(
+            "{protocol:?}: {} streams, {schedules} schedules, {steps} steps, \
+             {pruned} pruned, {skipped} sleep-skipped; coverage L1 {l1c}/{l1t}, \
+             LLC {llcc}/{llct}, events {evc}/{evt}",
+            args.streams
+        );
+        if !report.is_sound() {
+            eprintln!("FAIL {protocol:?}: exploration observed illegal transitions\n{report}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// The differential layer: architectural equivalence across all
+/// protocols on well-separated streams, and SwiftDir≡MESI schedule-tree
+/// isomorphism on WP-free contended streams.
+fn differential_suite(args: &Args) -> bool {
+    let mut ok = true;
+    let cores = args.cores.max(3);
+    for seed in 0..6 {
+        let stream = well_separated_stream(seed, cores, 6, 60, 0.3);
+        if let Err(e) = architectural_diff(&stream, cores, &ProtocolKind::ALL) {
+            eprintln!("FAIL differential (separated stream {seed}): {e}");
+            ok = false;
+        }
+    }
+    let ecfg = ExploreConfig {
+        window: args.window,
+        max_depth: args.depth,
+        ..ExploreConfig::default()
+    };
+    let mut schedules = 0u64;
+    for seed in 0..4 {
+        let stream = contended_stream(seed, 2, 2, 5, 0.0);
+        match explored_equivalence(&stream, 2, &ecfg) {
+            Ok((mesi, _)) => schedules += mesi.schedules,
+            Err(e) => {
+                eprintln!("FAIL differential (explored stream {seed}): {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!(
+            "differential: 6 separated streams x 4 protocols agree; \
+             SwiftDir==MESI on 4 explored trees ({schedules} schedules)"
+        );
+    }
+    ok
+}
+
+/// The CI coverage gate: explorer coverage plus a fuzz sweep must cover
+/// every legal Table I–III transition per protocol, and nothing else.
+fn coverage_gate(args: &Args) -> bool {
+    let ecfg = ExploreConfig {
+        window: args.window,
+        max_depth: args.depth,
+        ..ExploreConfig::default()
+    };
+    let mut ok = true;
+    for &protocol in &args.protocols {
+        let mut observed = ObservedCoverage::new();
+        // Explorer contribution: every transition reachable in the tiny
+        // scenario, across all schedules.
+        let cfg = tiny_config(2, protocol);
+        for seed in 0..4 {
+            let stream = contended_stream(seed, 2, 2, 5, 0.3);
+            let report = explore(&cfg, &stream, &ecfg);
+            if let Some(e) = &report.error {
+                eprintln!("FAIL {protocol:?} explorer stream {seed}: {e}");
+                ok = false;
+            }
+            observed.merge(&report.coverage);
+        }
+        // Fuzz contribution: eviction/recall/jitter pressure the tiny
+        // exhaustive scenario cannot reach. The hot variant hammers two
+        // blocks to hit upgrade races.
+        for seed in 0..args.seeds {
+            let mut cfg = FuzzConfig::new(seed, protocol);
+            cfg.ops = 300;
+            let report = run_fuzz(&cfg);
+            if let Some(f) = report.failure {
+                eprintln!("FAIL {protocol:?} fuzz seed {seed}: {f}");
+                ok = false;
+            }
+            observed.add(&report.stats);
+
+            let mut hot = FuzzConfig::new(seed ^ 0xdead_beef, protocol);
+            hot.ops = 300;
+            hot.blocks = 2;
+            hot.store_fraction = 0.6;
+            let report = run_fuzz(&hot);
+            if let Some(f) = report.failure {
+                eprintln!("FAIL {protocol:?} fuzz hot seed {seed}: {f}");
+                ok = false;
+            }
+            observed.add(&report.stats);
+        }
+        let report = CoverageSpec::for_protocol(protocol).check(&observed);
+        println!("{report}");
+        if !report.is_clean() {
+            ok = false;
+        }
+    }
+    ok
+}

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! swiftdir-fuzz [--seeds N] [--seed X] [--protocol NAME] [--ops N]
-//!               [--jitter N] [--smoke] [--minimize]
+//!               [--jitter N] [--smoke] [--minimize] [--replay FILE]
 //! ```
 //!
 //! * `--seeds N` — fuzz seeds `0..N` (default 100) per protocol.
@@ -16,16 +16,21 @@
 //! * `--ops N` / `--jitter N` — override the per-run operation count and
 //!   maximum per-hop jitter.
 //! * `--smoke` — the CI configuration: 25 seeds, 150 ops each.
-//! * `--minimize` — on failure, shrink the failing scenario and print
-//!   the smallest configuration that still fails.
+//! * `--minimize` — on failure, shrink the failing scenario: first the
+//!   scenario knobs, then the concrete access stream (delta-debugging),
+//!   and write the minimal repro to `swiftdir-fuzz-min-<proto>-<seed>.stream`.
+//! * `--replay FILE` — replay a `.stream` repro written by `--minimize`
+//!   (or by hand) instead of fuzzing; exits non-zero if it still fails.
 //!
 //! Exits non-zero if any seed fails. Every failure line carries the
-//! exact `FuzzConfig` needed to replay it bit-for-bit.
+//! exact `FuzzConfig` needed to replay it bit-for-bit, and `--minimize`
+//! additionally leaves a generator-independent op-for-op repro on disk.
 
 use std::process::ExitCode;
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::fuzz::{minimize, run_fuzz, FuzzConfig};
+use swiftdir_core::fuzz::{minimize, minimize_stream, replay, run_fuzz, FuzzConfig};
+use swiftdir_core::stream::StreamFile;
 
 const ALL_PROTOCOLS: [ProtocolKind; 4] = [
     ProtocolKind::Msi,
@@ -41,6 +46,7 @@ struct Args {
     ops: Option<usize>,
     jitter: Option<u64>,
     do_minimize: bool,
+    replay_file: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         ops: None,
         jitter: None,
         do_minimize: false,
+        replay_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
                 args.ops = Some(150);
             }
             "--minimize" => args.do_minimize = true,
+            "--replay" => args.replay_file = Some(value("--replay")?),
             other => return Err(format!("unknown flag {other:?} (see --help in the doc)")),
         }
     }
@@ -91,6 +99,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &args.replay_file {
+        return replay_file(path);
+    }
 
     let seeds: Vec<u64> = match args.one_seed {
         Some(s) => vec![s],
@@ -123,6 +135,20 @@ fn main() -> ExitCode {
                     if let Some(f) = small_report.failure {
                         eprintln!("  minimized failure: {f}");
                     }
+                    // Delta-debug the concrete access stream and leave a
+                    // generator-independent repro on disk.
+                    let stream = minimize_stream(&small.stream_file(), None);
+                    let path = format!(
+                        "swiftdir-fuzz-min-{}-{seed}.stream",
+                        format!("{protocol:?}").to_ascii_lowercase()
+                    );
+                    match std::fs::write(&path, stream.to_text()) {
+                        Ok(()) => eprintln!(
+                            "  minimal repro: {} ops -> {path} (replay with --replay {path})",
+                            stream.ops.len()
+                        ),
+                        Err(e) => eprintln!("  could not write {path}: {e}"),
+                    }
                 }
             }
         }
@@ -137,5 +163,42 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Replays a `.stream` repro file; exit status mirrors the outcome.
+fn replay_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match StreamFile::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = replay(&file);
+    println!(
+        "swiftdir-fuzz: replayed {} ops ({:?}, {} cores), {} events, digest {:#018x}",
+        file.ops.len(),
+        file.protocol,
+        file.cores,
+        report.events,
+        report.digest
+    );
+    match report.failure {
+        None => {
+            println!("swiftdir-fuzz: replay clean");
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            eprintln!("FAIL replay of {path}: {f}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -180,6 +180,37 @@ impl<S> CacheArray<S> {
         self.len() == 0
     }
 
+    /// Canonical view for state hashing: `(block_addr, lru_rank, fifo_rank,
+    /// &state)` for every resident line, sorted by address. Ranks are the
+    /// per-set orders of `last_use` / insertion time — the only recency
+    /// information replacement decisions depend on — so two arrays that
+    /// behave identically going forward yield identical views even when
+    /// their absolute access-tick histories differ.
+    pub fn canonical_lines(&self) -> Vec<(u64, u64, u64, &S)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (index, set) in self.sets.iter().enumerate() {
+            let mut lru: Vec<u64> = set.iter().map(|l| l.last_use).collect();
+            lru.sort_unstable();
+            let mut fifo: Vec<u64> = set.iter().map(|l| l.inserted).collect();
+            fifo.sort_unstable();
+            for l in set {
+                let lru_rank = lru.iter().position(|&t| t == l.last_use).expect("own tick") as u64;
+                let fifo_rank = fifo
+                    .iter()
+                    .position(|&t| t == l.inserted)
+                    .expect("own tick") as u64;
+                out.push((
+                    self.geom.address_of(l.tag, index as u64),
+                    lru_rank,
+                    fifo_rank,
+                    &l.state,
+                ));
+            }
+        }
+        out.sort_by_key(|&(a, ..)| a);
+        out
+    }
+
     /// Iterates over `(block_address, state)` for all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &S)> {
         self.sets.iter().enumerate().flat_map(move |(index, set)| {

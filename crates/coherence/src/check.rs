@@ -55,7 +55,7 @@ struct Holder {
 /// }
 /// checker.check_quiescent(&h).expect("quiescent state consistent");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Checker {
     /// Golden memory model: the last store value serialized per block
     /// (absent = 0, the value uninitialized memory reads as).

@@ -216,7 +216,7 @@ pub(crate) struct WbEntry {
 }
 
 /// One L1 controller's private state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct L1 {
     pub(crate) array: CacheArray<L1Line>,
     /// Blocks with an outstanding L1 transaction → queued requests
@@ -233,7 +233,7 @@ pub(crate) struct L1 {
     pub(crate) mshr_capacity: usize,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum LlcTxn {
     /// Waiting for DRAM data.
     Fetch {
@@ -274,7 +274,7 @@ pub(crate) enum LlcTxn {
     Recall { pending: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct LlcLine {
     pub(crate) state: LlcState,
     pub(crate) sharers: u64,
@@ -306,14 +306,21 @@ impl LlcLine {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     /// A core request arrives at its L1.
     CoreReq { core: usize, req: PendingReq },
     /// A message arrives at the LLC.
     ToLlc(Msg),
-    /// A message arrives at core `core`'s L1.
-    ToL1 { core: usize, msg: Msg },
+    /// A message arrives at core `core`'s L1 from `src` (`None` = the LLC,
+    /// `Some(owner)` for L1→L1 `DataFromOwner` hops). The source names the
+    /// network link the message rides, which the schedule explorer uses to
+    /// keep per-link FIFO order when enumerating delivery choices.
+    ToL1 {
+        core: usize,
+        src: Option<usize>,
+        msg: Msg,
+    },
     /// DRAM data for `addr` arrives back at the LLC.
     MemDone { addr: PhysAddr },
     /// Retry an L1 data insertion that found no eligible victim.
@@ -322,6 +329,51 @@ enum Event {
         block: PhysAddr,
         attempt: u32,
     },
+}
+
+/// What kind of simulator event a schedule [`Choice`] would deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChoiceKind {
+    /// A core request arriving at its L1 (per-core program order).
+    CoreReq,
+    /// An L1→LLC message.
+    ToLlc,
+    /// A message arriving at an L1 (from the LLC or a remote owner).
+    ToL1,
+    /// DRAM data returning to the LLC.
+    MemDone,
+    /// An L1 install retry timer firing.
+    InstallRetry,
+}
+
+/// One deliverable next event, as exposed to schedule exploration by
+/// [`Hierarchy::frontier_choices`].
+///
+/// Only per-link FIFO heads are offered: a message can never overtake an
+/// earlier message on the same source→destination link, which is the
+/// ordering the protocol itself relies on (e.g. a `WbAck` must not pass a
+/// crossing forward). Everything else — cross-link interleaving, and
+/// delaying an earlier message past a later one on a different link — is a
+/// legal network behavior the explorer may pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Stable identity; pass to [`Hierarchy::try_step_choice`]. Remains
+    /// valid across steps until this event is delivered.
+    pub seq: u64,
+    /// Effective delivery time if chosen next (never before `now`).
+    pub at: Cycle,
+    /// The block the event concerns.
+    pub block: PhysAddr,
+    /// The core involved (destination L1, issuing core, ...), if any.
+    pub core: Option<usize>,
+    /// Event category.
+    pub kind: ChoiceKind,
+    /// Table III message name for `ToLlc`/`ToL1` choices.
+    pub msg: Option<&'static str>,
+    /// Whether dispatching this event may touch the shared DRAM timing
+    /// state (used by partial-order reduction: two choices on different
+    /// blocks are only independent when at most one of them can).
+    pub touches_dram: bool,
 }
 
 /// How many times an L1 install is re-scheduled before it escalates to a
@@ -387,6 +439,10 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 type PResult = Result<(), Box<ProtocolError>>;
+
+/// One canonicalized pending event in [`Hierarchy::state_digest`]:
+/// `(relative time, link key, rank within link, payload hash)`.
+type FrontierItem = (u64, (u8, u64, u64), u64, u64);
 
 /// The coherent two-level hierarchy.
 ///
@@ -758,6 +814,259 @@ impl Hierarchy {
         self.l1s[core].array.insert(block, L1Line { state, data });
     }
 
+    // -- schedule exploration ----------------------------------------------
+
+    /// An independent copy of the hierarchy for schedule-tree branching.
+    ///
+    /// Everything behavioral is cloned — controller state, the event queue
+    /// (with in-flight messages and their identities), DRAM timing, the
+    /// data image, undrained completions, and accumulated stats. The one
+    /// exception is the tracer, which holds non-clonable sinks: forks get
+    /// [`Tracer::disabled`], so a forked run is silent even when the parent
+    /// records.
+    pub fn fork(&self) -> Hierarchy {
+        Hierarchy {
+            cfg: self.cfg,
+            queue: self.queue.clone(),
+            l1s: self.l1s.clone(),
+            llc: self.llc.clone(),
+            llc_set_stalls: self.llc_set_stalls.clone(),
+            mem: self.mem.clone(),
+            mem_image: self.mem_image.clone(),
+            next_req: self.next_req,
+            completions: self.completions.clone(),
+            batch: Vec::new(),
+            stats: self.stats.clone(),
+            tracer: Tracer::disabled(),
+            jitter: self.jitter.clone(),
+        }
+    }
+
+    /// The network link a pending event rides, for FIFO filtering. Events
+    /// on the same key must deliver in send order; events on different
+    /// keys may interleave freely (matching [`LinkJitter`]'s channels).
+    fn link_key(ev: &Event) -> (u8, u64, u64) {
+        let enc = |c: Option<usize>| c.map_or(u64::MAX, |c| c as u64);
+        match ev {
+            // Per-core program order into the L1.
+            Event::CoreReq { core, .. } => (0, *core as u64, 0),
+            // Every L1→LLC message names its sending core.
+            Event::ToLlc(msg) => (1, enc(msg.core()), 0),
+            // Distinct (source, destination) pairs are distinct links.
+            Event::ToL1 { core, src, .. } => (2, enc(*src), *core as u64),
+            // DRAM responses are per-block FIFO; different blocks may
+            // complete in any order (bank parallelism).
+            Event::MemDone { addr } => (3, addr.0, 0),
+            // Retry timers are per (core, block).
+            Event::L1InsertRetry { core, block, .. } => (4, *core as u64, block.0),
+        }
+    }
+
+    fn describe_choice(&self, seq: u64, at: Cycle, ev: &Event) -> Choice {
+        let (block, core, kind, msg, touches_dram) = match ev {
+            Event::CoreReq { core, req } => {
+                (req.block, Some(*core), ChoiceKind::CoreReq, None, false)
+            }
+            Event::ToLlc(m) => (
+                m.addr(),
+                m.core(),
+                ChoiceKind::ToLlc,
+                Some(m.event().name()),
+                // Request/writeback handling at the LLC may issue a DRAM
+                // access (fetch or writeback) on the shared controller.
+                true,
+            ),
+            Event::ToL1 { core, msg: m, .. } => (
+                m.addr(),
+                Some(*core),
+                ChoiceKind::ToL1,
+                Some(m.event().name()),
+                false,
+            ),
+            Event::MemDone { addr } => (*addr, None, ChoiceKind::MemDone, None, true),
+            Event::L1InsertRetry { core, block, .. } => {
+                (*block, Some(*core), ChoiceKind::InstallRetry, None, false)
+            }
+        };
+        Choice {
+            seq,
+            at,
+            block,
+            core,
+            kind,
+            msg,
+            touches_dram,
+        }
+    }
+
+    /// Every event the simulator could legally deliver next, within
+    /// `window` cycles of the earliest pending one.
+    ///
+    /// For each link (see [`Choice`]) only the earliest-sent message is
+    /// offered; links whose head lies beyond the window contribute no
+    /// choice. Choosing an event with a later timestamp advances the clock
+    /// there, and the skipped events deliver at the (later) current time —
+    /// the physical reading is that their messages spent longer on the
+    /// wire. `window == 0` restricts exploration to reordering events that
+    /// are tied for earliest delivery.
+    pub fn frontier_choices(&self, window: Cycle) -> Vec<Choice> {
+        let pend = self.queue.frontier(Cycle::MAX);
+        let Some(first) = pend.first() else {
+            return Vec::new();
+        };
+        let horizon = first.at.saturating_add(window);
+        let mut heads: FxHashMap<(u8, u64, u64), sim_engine::Pending<'_, Event>> =
+            FxHashMap::default();
+        for p in &pend {
+            let key = Self::link_key(p.event);
+            let head = heads.entry(key).or_insert(*p);
+            if p.seq < head.seq {
+                *head = *p;
+            }
+        }
+        let mut out: Vec<Choice> = heads
+            .into_values()
+            .filter(|p| p.at <= horizon)
+            .map(|p| self.describe_choice(p.seq, p.at, p.event))
+            .collect();
+        out.sort_by_key(|c| (c.at, c.seq));
+        out
+    }
+
+    /// Delivers the pending event identified by `seq` (from
+    /// [`frontier_choices`](Hierarchy::frontier_choices)) and dispatches
+    /// it. Returns its delivery timestamp, or `Ok(None)` if no pending
+    /// event has that identity.
+    ///
+    /// # Errors
+    ///
+    /// The [`ProtocolError`] if the event was illegal in the current state.
+    pub fn try_step_choice(&mut self, seq: u64) -> Result<Option<Cycle>, Box<ProtocolError>> {
+        match self.queue.pop_seq(seq) {
+            Some((now, ev)) => {
+                self.dispatch(now, ev)?;
+                Ok(Some(now))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// A canonical digest of the hierarchy's *behavioral* state, for
+    /// pruning revisited states during schedule exploration.
+    ///
+    /// Two states digest identically exactly when their future evolution is
+    /// the same modulo a global time shift: all pending-event and
+    /// bank-ready times are hashed relative to `now`, request issue times
+    /// relative to `now` (so remaining *latencies* are preserved), cache
+    /// recency as per-set ranks rather than absolute ticks, and in-flight
+    /// messages by per-link send order rather than raw sequence numbers.
+    /// Accumulated statistics, undrained completions, and tracer state are
+    /// excluded — they record the past, not the future. Jitter must be
+    /// disabled (exploration owns delivery-order variation; the jitter
+    /// rng's internal state is deliberately not hashed).
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        debug_assert!(
+            self.jitter.is_none(),
+            "state_digest is only meaningful with jitter disabled"
+        );
+        let now = self.queue.now();
+        let rel = |t: Cycle| t.get().wrapping_sub(now.get());
+        let mut h = sim_engine::FxHasher::default();
+
+        // Pending events, canonicalized: (relative time, link, rank-in-link).
+        let mut pend = self.queue.frontier(Cycle::MAX);
+        pend.sort_by_key(|p| p.seq);
+        let mut link_ranks: FxHashMap<(u8, u64, u64), u64> = FxHashMap::default();
+        let mut items: Vec<FrontierItem> = Vec::with_capacity(pend.len());
+        for p in &pend {
+            let key = Self::link_key(p.event);
+            let rank = link_ranks.entry(key).or_insert(0);
+            items.push((rel(p.at), key, *rank, Self::event_digest(p.event, now)));
+            *rank += 1;
+        }
+        items.sort_unstable();
+        items.hash(&mut h);
+
+        for l1 in &self.l1s {
+            0xA11C_A5E5u64.hash(&mut h);
+            for (addr, lru_rank, fifo_rank, line) in l1.array.canonical_lines() {
+                (addr, lru_rank, fifo_rank, line.state, line.data).hash(&mut h);
+            }
+            let mut pending: Vec<_> = l1.pending.iter().collect();
+            pending.sort_by_key(|(b, _)| **b);
+            for (block, reqs) in pending {
+                block.hash(&mut h);
+                for r in reqs {
+                    (r.id, r.block.0, r.kind, r.wp, rel(r.issued_at), r.l1_before).hash(&mut h);
+                }
+            }
+            let mut wb: Vec<_> = l1.wb_buffer.iter().collect();
+            wb.sort_by_key(|(b, _)| **b);
+            for (block, e) in wb {
+                (block, e.state, e.data).hash(&mut h);
+            }
+            let mut ins: Vec<_> = l1.installing.iter().collect();
+            ins.sort_by_key(|(b, _)| **b);
+            for (block, e) in ins {
+                (block, e.state, e.data).hash(&mut h);
+            }
+            // Wake order is behavioral: hash in place.
+            l1.stalled_installs.hash(&mut h);
+        }
+
+        0x11C0_FFEEu64.hash(&mut h);
+        for (addr, lru_rank, fifo_rank, line) in self.llc.canonical_lines() {
+            (addr, lru_rank, fifo_rank).hash(&mut h);
+            (line.state, line.sharers, line.owner, line.dirty, line.data).hash(&mut h);
+            line.txn.hash(&mut h);
+            for w in &line.waiters {
+                w.hash(&mut h);
+            }
+        }
+        let mut stalls: Vec<_> = self
+            .llc_set_stalls
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .collect();
+        stalls.sort_by_key(|(s, _)| **s);
+        for (set, q) in stalls {
+            set.hash(&mut h);
+            for m in q {
+                m.hash(&mut h);
+            }
+        }
+
+        self.mem.digest_into(now, &mut |x| x.hash(&mut h));
+        let mut image: Vec<_> = self.mem_image.iter().collect();
+        image.sort_unstable();
+        image.hash(&mut h);
+        self.next_req.hash(&mut h);
+        h.finish()
+    }
+
+    /// Hash of one pending event's payload, times relative to `now`.
+    fn event_digest(ev: &Event, now: Cycle) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let rel = |t: Cycle| t.get().wrapping_sub(now.get());
+        let mut h = sim_engine::FxHasher::default();
+        match ev {
+            Event::CoreReq { core, req } => {
+                (0u8, *core, req.id, req.block.0).hash(&mut h);
+                (req.kind, req.wp, rel(req.issued_at), req.l1_before).hash(&mut h);
+            }
+            Event::ToLlc(msg) => (1u8, msg).hash(&mut h),
+            Event::ToL1 { core, src, msg } => (2u8, *core, *src, msg).hash(&mut h),
+            Event::MemDone { addr } => (3u8, addr.0).hash(&mut h),
+            Event::L1InsertRetry {
+                core,
+                block,
+                attempt,
+            } => (4u8, *core, block.0, *attempt).hash(&mut h),
+        }
+        h.finish()
+    }
+
     // -- plumbing ----------------------------------------------------------
 
     fn protocol_error(
@@ -880,7 +1189,7 @@ impl Hierarchy {
             },
         });
         let at = self.link_deliver(now, src, Some(core), delay);
-        self.queue.schedule(at, Event::ToL1 { core, msg });
+        self.queue.schedule(at, Event::ToL1 { core, src, msg });
     }
 
     fn dispatch(&mut self, now: Cycle, ev: Event) -> PResult {
@@ -911,7 +1220,7 @@ impl Hierarchy {
                 }
                 Ok(())
             }
-            Event::ToL1 { core, msg } => {
+            Event::ToL1 { core, msg, .. } => {
                 self.tracer.emit(|| TraceEvent {
                     at: now,
                     core: Some(core),

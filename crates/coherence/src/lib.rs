@@ -40,6 +40,7 @@
 
 pub mod check;
 pub mod config;
+pub mod coverage;
 pub mod hierarchy;
 pub mod metrics;
 pub mod msg;
@@ -48,9 +49,10 @@ pub mod state;
 
 pub use check::{Checker, Violation};
 pub use config::{HierarchyConfig, LatencyConfig};
+pub use coverage::{CoverageReport, CoverageSpec, ObservedCoverage};
 pub use hierarchy::{
-    AccessClass, AccessKind, Completion, CoreRequest, Hierarchy, HierarchyStats, ProtocolError,
-    RequestId, ServedFrom,
+    AccessClass, AccessKind, Choice, ChoiceKind, Completion, CoreRequest, Hierarchy,
+    HierarchyStats, ProtocolError, RequestId, ServedFrom,
 };
 pub use metrics::{ProtocolMetrics, RequestClass};
 pub use msg::{CoherenceEvent, Msg};

@@ -11,7 +11,7 @@ use crate::state::LlcState;
 ///
 /// `GETS_WP` is the only request SwiftDir introduces (Table III): a `GETS`
 /// carrying the MMU's write-protection bit as an argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Msg {
     // ---- L1 → LLC requests ------------------------------------------------
     /// L1 load miss.

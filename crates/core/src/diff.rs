@@ -1,0 +1,337 @@
+//! Differential cross-protocol checking.
+//!
+//! The four protocols differ in *when* data moves (E grants, silent
+//! upgrades, forwarded loads) but must agree on *what* every access
+//! observes. This module checks that agreement at two strengths:
+//!
+//! * [`architectural_diff`] — the same access stream run under every
+//!   protocol yields identical per-access values and identical final
+//!   memory images. Streams come from [`well_separated_stream`], which
+//!   spaces same-block conflicts far enough apart that their
+//!   serialization order is protocol-independent (racy conflicts have
+//!   protocol-dependent winners, which is legal nondeterminism, not a
+//!   bug — the schedule explorer covers that regime instead).
+//! * [`swiftdir_mesi_cycle_identity`] — on streams with no
+//!   write-protected loads, SwiftDir *is* MESI: `GETS_WP` is the only
+//!   behavioral delta the paper adds (§IV-C), so completions must match
+//!   cycle-for-cycle and the full statistics (event counts, transition
+//!   matrices, latency histograms) must be bit-identical.
+//! * [`explored_equivalence`] — the same exactness, quantified over
+//!   every schedule: bounded-exhaustive exploration of a WP-free stream
+//!   under SwiftDir and MESI must walk isomorphic trees (same schedule
+//!   count, same outcome set, same timing set).
+
+use swiftdir_cache::CacheGeometry;
+use swiftdir_coherence::{
+    Checker, Completion, Hierarchy, HierarchyConfig, HierarchyStats, ProtocolKind,
+};
+
+use crate::explore::{explore, ExploreConfig, ExploreReport};
+use crate::stream::{issue_stream, AccessOp};
+
+/// Issue-time gap that makes same-block conflicts protocol-independent:
+/// generously above the worst transaction latency on the tiny test
+/// hierarchy (a recall chain plus a row-conflict DRAM fetch).
+const CONFLICT_GAP: u64 = 600;
+
+/// The shrunken hierarchy differential runs use: eviction and recall
+/// pressure like the fuzzer's, but with enough MSHRs that well-separated
+/// accesses never queue behind structural hazards in protocol-dependent
+/// ways.
+pub fn tiny_config(cores: usize, protocol: ProtocolKind) -> HierarchyConfig {
+    let mut cfg = HierarchyConfig::table_v(cores, protocol);
+    cfg.l1_geometry = CacheGeometry::new(256, 1, 64);
+    cfg.llc_bank_geometry = CacheGeometry::new(256, 2, 64);
+    cfg.l1_mshrs = 8;
+    cfg
+}
+
+/// A seeded random stream whose same-block conflicts are serialized by
+/// construction: any two accesses to the same block where at least one
+/// is a store sit `CONFLICT_GAP` cycles apart, so every protocol
+/// resolves them in the same order. Non-conflicting accesses still
+/// overlap freely.
+pub fn well_separated_stream(
+    seed: u64,
+    cores: usize,
+    blocks: usize,
+    ops: usize,
+    wp_fraction: f64,
+) -> Vec<AccessOp> {
+    let mut rng = sim_engine::DetRng::new(seed);
+    let mut at = 0u64;
+    // A store must trail *every* prior access to its block by the gap,
+    // and every access must trail the block's last store by the gap;
+    // only load/load pairs may overlap.
+    let mut last_any: Vec<u64> = vec![0; blocks];
+    let mut last_store: Vec<u64> = vec![0; blocks];
+    let mut stream = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        at += rng.below(30);
+        let core = rng.below(cores as u64) as usize;
+        let block = rng.below(blocks as u64) as usize;
+        let is_store = rng.chance(0.4);
+        let wp = !is_store && rng.chance(wp_fraction);
+        let when = if is_store {
+            at.max(last_any[block] + CONFLICT_GAP)
+        } else {
+            at.max(last_store[block] + CONFLICT_GAP)
+        };
+        if is_store {
+            last_store[block] = when;
+        }
+        last_any[block] = last_any[block].max(when);
+        let op = if is_store {
+            AccessOp::store(when, core, (block * 64) as u64)
+        } else if wp {
+            AccessOp::wp_load(when, core, (block * 64) as u64)
+        } else {
+            AccessOp::load(when, core, (block * 64) as u64)
+        };
+        stream.push(op);
+    }
+    stream
+}
+
+/// A short, tightly-timed contended stream for the schedule explorer.
+pub fn contended_stream(
+    seed: u64,
+    cores: usize,
+    blocks: usize,
+    ops: usize,
+    wp_fraction: f64,
+) -> Vec<AccessOp> {
+    let mut rng = sim_engine::DetRng::new(seed);
+    let mut at = 0u64;
+    let mut stream = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        at += rng.below(8);
+        let core = rng.below(cores as u64) as usize;
+        let block = rng.below(blocks as u64) * 64;
+        let op = if rng.chance(0.45) {
+            AccessOp::store(at, core, block)
+        } else if rng.chance(wp_fraction) {
+            AccessOp::wp_load(at, core, block)
+        } else {
+            AccessOp::load(at, core, block)
+        };
+        stream.push(op);
+    }
+    stream
+}
+
+/// One deterministic (FIFO-scheduled) run of a stream to quiescence,
+/// with the [`Checker`] auditing every event.
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// Completions sorted by request id.
+    pub completions: Vec<Completion>,
+    /// Final golden memory image as sorted `(block, value)` pairs.
+    pub image: Vec<(u64, u64)>,
+    /// The run's full statistics.
+    pub stats: HierarchyStats,
+}
+
+/// Runs `stream` under `cfg` with the trivial FIFO chooser.
+///
+/// # Errors
+///
+/// A description of the first protocol error, invariant violation, or
+/// missing completion.
+pub fn run_stream(cfg: &HierarchyConfig, stream: &[AccessOp]) -> Result<StreamRun, String> {
+    let mut h = Hierarchy::new(*cfg);
+    issue_stream(&mut h, stream);
+    let mut checker = Checker::new();
+    let mut completions = Vec::with_capacity(stream.len());
+    loop {
+        match h.try_step() {
+            Err(e) => return Err(format!("protocol error: {e}")),
+            Ok(None) => break,
+            Ok(Some(_)) => {}
+        }
+        let done = h.drain_completions();
+        checker
+            .after_event(&h, &done)
+            .map_err(|v| format!("invariant violation: {v}"))?;
+        completions.extend(done);
+    }
+    checker
+        .check_quiescent(&h)
+        .map_err(|v| format!("quiescence violation: {v}"))?;
+    if completions.len() != stream.len() {
+        return Err(format!(
+            "issued {} accesses but saw {} completions",
+            stream.len(),
+            completions.len()
+        ));
+    }
+    completions.sort_unstable_by_key(|c| c.req);
+    let mut blocks: Vec<u64> = stream.iter().map(|op| op.addr).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    let image = blocks.into_iter().map(|b| (b, checker.golden(b))).collect();
+    Ok(StreamRun {
+        completions,
+        image,
+        stats: h.stats().clone(),
+    })
+}
+
+/// Runs `stream` under every protocol in `protocols` on `cores` cores
+/// and requires identical per-access values and final memory images.
+///
+/// # Errors
+///
+/// The first divergence, naming the protocols and the access.
+pub fn architectural_diff(
+    stream: &[AccessOp],
+    cores: usize,
+    protocols: &[ProtocolKind],
+) -> Result<(), String> {
+    let mut baseline: Option<(ProtocolKind, StreamRun)> = None;
+    for &p in protocols {
+        let run = run_stream(&tiny_config(cores, p), stream).map_err(|e| format!("{p:?}: {e}"))?;
+        let Some((p0, base)) = &baseline else {
+            baseline = Some((p, run));
+            continue;
+        };
+        for (a, b) in base.completions.iter().zip(&run.completions) {
+            if a.req != b.req || a.value != b.value {
+                return Err(format!(
+                    "per-access divergence on req {} (core {}, block {:#x}, {:?}): \
+                     {p0:?} observed {:#x}, {p:?} observed {:#x}",
+                    a.req, a.core, a.block.0, a.class.kind, a.value, b.value
+                ));
+            }
+        }
+        if base.image != run.image {
+            return Err(format!(
+                "final memory image divergence between {p0:?} and {p:?}: {:?} vs {:?}",
+                base.image, run.image
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Strips write-protection from every load in `stream`.
+pub fn strip_wp(stream: &[AccessOp]) -> Vec<AccessOp> {
+    stream
+        .iter()
+        .map(|op| AccessOp { wp: false, ..*op })
+        .collect()
+}
+
+/// On a WP-free stream, SwiftDir and MESI must be the same machine:
+/// completions identical in every field (values, cycles, serving
+/// states) and statistics bit-identical.
+///
+/// # Errors
+///
+/// The first field-level difference found.
+pub fn swiftdir_mesi_cycle_identity(stream: &[AccessOp], cores: usize) -> Result<(), String> {
+    let stream = strip_wp(stream);
+    let mesi = run_stream(&tiny_config(cores, ProtocolKind::Mesi), &stream)?;
+    let swift = run_stream(&tiny_config(cores, ProtocolKind::SwiftDir), &stream)?;
+    for (a, b) in mesi.completions.iter().zip(&swift.completions) {
+        if a != b {
+            return Err(format!(
+                "cycle-identity divergence on req {}: MESI {a:?} vs SwiftDir {b:?}",
+                a.req
+            ));
+        }
+    }
+    if mesi.stats != swift.stats {
+        return Err("cycle-identity divergence in statistics".to_string());
+    }
+    Ok(())
+}
+
+/// Explores a WP-free stream under SwiftDir and MESI and requires
+/// isomorphic schedule trees: same schedule count, same architectural
+/// outcome set, same timing set. Returns the two reports on success.
+///
+/// # Errors
+///
+/// The first asymmetry between the two explorations.
+pub fn explored_equivalence(
+    stream: &[AccessOp],
+    cores: usize,
+    ecfg: &ExploreConfig,
+) -> Result<(ExploreReport, ExploreReport), String> {
+    let stream = strip_wp(stream);
+    let mesi = explore(&tiny_config(cores, ProtocolKind::Mesi), &stream, ecfg);
+    let swift = explore(&tiny_config(cores, ProtocolKind::SwiftDir), &stream, ecfg);
+    if let Some(e) = &mesi.error {
+        return Err(format!("Mesi exploration failed: {e}"));
+    }
+    if let Some(e) = &swift.error {
+        return Err(format!("SwiftDir exploration failed: {e}"));
+    }
+    if mesi.truncated || swift.truncated {
+        return Err("exploration truncated; raise the budgets".to_string());
+    }
+    if mesi.schedules != swift.schedules {
+        return Err(format!(
+            "schedule-tree divergence: MESI walked {} schedules, SwiftDir {}",
+            mesi.schedules, swift.schedules
+        ));
+    }
+    if mesi.outcomes != swift.outcomes {
+        return Err("outcome-set divergence between MESI and SwiftDir".to_string());
+    }
+    if mesi.timings != swift.timings {
+        return Err("timing-set divergence between MESI and SwiftDir".to_string());
+    }
+    Ok((mesi, swift))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architectural_equivalence_on_separated_streams() {
+        for seed in 0..8 {
+            let stream = well_separated_stream(seed, 4, 6, 60, 0.3);
+            architectural_diff(&stream, 4, &ProtocolKind::ALL).expect("protocols agree");
+        }
+    }
+
+    #[test]
+    fn cycle_identity_on_wp_free_streams() {
+        for seed in 0..8 {
+            let stream = well_separated_stream(seed, 4, 6, 60, 0.0);
+            swiftdir_mesi_cycle_identity(&stream, 4).expect("SwiftDir == MESI");
+        }
+    }
+
+    #[test]
+    fn cycle_identity_even_on_contended_streams() {
+        // FIFO scheduling is deterministic, so identity holds under
+        // contention too — the machines are the same machine.
+        for seed in 0..6 {
+            let stream = contended_stream(seed, 3, 3, 24, 0.0);
+            swiftdir_mesi_cycle_identity(&stream, 3).expect("SwiftDir == MESI");
+        }
+    }
+
+    #[test]
+    fn explored_trees_are_isomorphic() {
+        let stream = contended_stream(11, 2, 2, 5, 0.0);
+        let (mesi, _) =
+            explored_equivalence(&stream, 2, &ExploreConfig::default()).expect("isomorphic");
+        assert!(mesi.schedules > 1, "exploration found no interleavings");
+    }
+
+    #[test]
+    fn wp_load_is_the_only_behavioral_delta() {
+        // With WP loads present the machines may differ (that is the
+        // point of SwiftDir); stripped, they must not.
+        let stream = well_separated_stream(3, 2, 4, 40, 1.0);
+        let wp_free = strip_wp(&stream);
+        assert!(stream.iter().any(|op| op.wp));
+        assert!(wp_free.iter().all(|op| !op.wp));
+        swiftdir_mesi_cycle_identity(&stream, 2).expect("stripped identity");
+    }
+}

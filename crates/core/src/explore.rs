@@ -1,0 +1,498 @@
+//! Bounded-exhaustive schedule exploration with invariant checking.
+//!
+//! [`explore`] walks the tree of event schedules a concrete access
+//! stream can produce: at every step the hierarchy exposes its frontier
+//! of deliverable messages ([`Hierarchy::frontier_choices`], per-link
+//! FIFO heads within a time window) and the explorer forks the machine
+//! once per choice, depth-first, running the [`Checker`] after every
+//! dispatched event. Two reductions keep the walk tractable:
+//!
+//! * **state-hash pruning** — [`Hierarchy::state_digest`] is a
+//!   time-shift-invariant digest of the architectural *and* timing
+//!   future of the machine; a revisited digest means every schedule
+//!   suffix from here was already walked, so the subtree is cut.
+//! * **sleep sets** — after exploring choice `a` at a node, sibling
+//!   subtrees need not re-deliver `a` first unless an intervening
+//!   dispatch is dependent on it (same block, same core, shared DRAM
+//!   timing, or an LLC set collision). This is the classic partial-order
+//!   sleep-set reduction keyed on per-block independence; it is
+//!   conservative but heuristic (independence is judged from static
+//!   event attributes), so it can be disabled per run — the
+//!   `sleep_set_reduction_preserves_outcomes` test cross-checks the two
+//!   modes against each other.
+//!
+//! Every leaf (drained queue) contributes its architectural outcome
+//! (completion values + final golden memory), its timing outcome, its
+//! per-request latency, and its transition-coverage matrices to the
+//! [`ExploreReport`].
+
+use std::collections::BTreeMap;
+
+use sim_engine::{Cycle, FxHashMap, FxHashSet};
+use swiftdir_coherence::{
+    Checker, Choice, Completion, Hierarchy, HierarchyConfig, ObservedCoverage, RequestId,
+};
+
+use crate::stream::{issue_stream, AccessOp};
+
+/// Budgets and feature toggles for one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Frontier time window: only events within `window` cycles of the
+    /// earliest deliverable one are offered as choices. Larger windows
+    /// model laggier networks (more reorderings) at exponential cost.
+    pub window: u64,
+    /// Maximum schedule length before the path is abandoned as
+    /// runaway (a livelock guard, not a correctness bound).
+    pub max_depth: usize,
+    /// Stop after this many complete schedules.
+    pub max_schedules: u64,
+    /// Stop when the state-digest table reaches this size.
+    pub max_states: usize,
+    /// Enable the sleep-set partial-order reduction.
+    pub sleep_sets: bool,
+    /// Run the [`Checker`] after every dispatched event.
+    pub check_invariants: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            window: 48,
+            max_depth: 4096,
+            max_schedules: 250_000,
+            max_states: 1 << 21,
+            sleep_sets: true,
+            check_invariants: true,
+        }
+    }
+}
+
+/// A violation (protocol error, invariant breach, or stuck leaf) found
+/// on one explored schedule.
+#[derive(Debug, Clone)]
+pub struct ExploreError {
+    /// Human-readable description.
+    pub detail: String,
+    /// The schedule that produced it, as the event-seq choices taken
+    /// from the root (replayable via [`Hierarchy::try_step_choice`]).
+    pub schedule: Vec<u64>,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on schedule {:?}", self.detail, self.schedule)
+    }
+}
+
+/// The result of one bounded-exhaustive exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Complete schedules walked to quiescence.
+    pub schedules: u64,
+    /// Events dispatched across all schedules (tree edges).
+    pub steps: u64,
+    /// Subtrees cut because their state digest was already visited.
+    pub pruned: u64,
+    /// Choices skipped by the sleep-set reduction.
+    pub sleep_skipped: u64,
+    /// Longest schedule seen.
+    pub deepest: usize,
+    /// Whether any budget (`max_depth`, `max_schedules`, `max_states`)
+    /// truncated the walk — a truncated report is not exhaustive.
+    pub truncated: bool,
+    /// Sorted distinct architectural outcomes (completion values and
+    /// final memory image, timing excluded).
+    pub outcomes: Vec<u64>,
+    /// Sorted distinct full outcomes (architectural outcome plus every
+    /// completion's issue/finish cycles).
+    pub timings: Vec<u64>,
+    /// Union of Tables I–III transition coverage over all schedules.
+    pub coverage: ObservedCoverage,
+    /// Per-request completion-latency multisets across schedules
+    /// (latency → number of schedules finishing the request in it).
+    pub latencies: FxHashMap<RequestId, BTreeMap<u64, u64>>,
+    /// The first violation found, if any (exploration stops on it).
+    pub error: Option<ExploreError>,
+}
+
+impl ExploreReport {
+    /// True when the walk finished every schedule without violation or
+    /// budget truncation.
+    pub fn exhaustive_and_clean(&self) -> bool {
+        self.error.is_none() && !self.truncated
+    }
+
+    /// The latency multiset of `req` flattened to a sorted list of
+    /// `(latency, count)` pairs (empty if the request never completed).
+    pub fn latency_multiset(&self, req: RequestId) -> Vec<(u64, u64)> {
+        self.latencies
+            .get(&req)
+            .map(|m| m.iter().map(|(&l, &n)| (l, n)).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Explores every schedule of `stream` on a fresh hierarchy built from
+/// `cfg`, within `ecfg`'s budgets. Link jitter must be disabled (the
+/// explorer *is* the network nondeterminism).
+pub fn explore(cfg: &HierarchyConfig, stream: &[AccessOp], ecfg: &ExploreConfig) -> ExploreReport {
+    let mut h = Hierarchy::new(*cfg);
+    issue_stream(&mut h, stream);
+    let mut walker = Walker {
+        ecfg: *ecfg,
+        expected: stream.len(),
+        seen: FxHashMap::default(),
+        outcomes: FxHashSet::default(),
+        timings: FxHashSet::default(),
+        report: ExploreReport::default(),
+        trace: Vec::new(),
+        completions: Vec::new(),
+    };
+    let checker = Checker::new();
+    walker.dfs(&h, &checker, &[], 0);
+    walker.report.outcomes = walker.outcomes.into_iter().collect();
+    walker.report.outcomes.sort_unstable();
+    walker.report.timings = walker.timings.into_iter().collect();
+    walker.report.timings.sort_unstable();
+    walker.report
+}
+
+struct Walker {
+    ecfg: ExploreConfig,
+    expected: usize,
+    seen: FxHashMap<u64, bool>,
+    outcomes: FxHashSet<u64>,
+    timings: FxHashSet<u64>,
+    report: ExploreReport,
+    trace: Vec<u64>,
+    completions: Vec<Completion>,
+}
+
+impl Walker {
+    /// Walks the subtree under `h`; returns false to abort the whole
+    /// exploration (violation found or hard budget hit).
+    fn dfs(&mut self, h: &Hierarchy, checker: &Checker, sleep: &[Choice], depth: usize) -> bool {
+        self.report.deepest = self.report.deepest.max(depth);
+
+        let choices = h.frontier_choices(Cycle(self.ecfg.window));
+        if choices.is_empty() {
+            return self.leaf(h, checker);
+        }
+
+        if depth >= self.ecfg.max_depth {
+            self.report.truncated = true;
+            return true;
+        }
+        // State-hash pruning. A visit is "full" when its sleep set is
+        // empty: every schedule suffix from the state gets walked. Only
+        // full visits may prune later ones — a node first reached with a
+        // non-empty sleep set explored fewer behaviors than a revisit
+        // with a smaller one might need.
+        let digest = h.state_digest();
+        let full = sleep.is_empty() || !self.ecfg.sleep_sets;
+        match self.seen.get(&digest) {
+            Some(&true) => {
+                self.report.pruned += 1;
+                self.report.coverage.add(h.stats());
+                return true;
+            }
+            Some(&false) if full => {
+                self.seen.insert(digest, true);
+            }
+            Some(&false) => {}
+            None => {
+                self.seen.insert(digest, full);
+            }
+        }
+        if self.seen.len() >= self.ecfg.max_states {
+            self.report.truncated = true;
+            return false;
+        }
+
+        // `barred` grows as siblings are explored: after walking the
+        // subtree that delivers `a` first, later siblings only need to
+        // consider `a` after some dependent event (sleep-set reduction).
+        let mut barred: Vec<Choice> = sleep.to_vec();
+        for choice in &choices {
+            if self.ecfg.sleep_sets && barred.iter().any(|s| s.seq == choice.seq) {
+                self.report.sleep_skipped += 1;
+                continue;
+            }
+            let child_sleep: Vec<Choice> = if self.ecfg.sleep_sets {
+                barred
+                    .iter()
+                    .filter(|s| independent(s, choice))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            let mut child = h.fork();
+            let mut child_checker = checker.clone();
+            self.trace.push(choice.seq);
+            let completions_mark = self.completions.len();
+            let ok = match child.try_step_choice(choice.seq) {
+                Err(e) => {
+                    self.fail(format!("protocol error: {e}"));
+                    false
+                }
+                Ok(None) => {
+                    self.fail(format!("frontier choice seq {} vanished", choice.seq));
+                    false
+                }
+                Ok(Some(_)) => {
+                    self.report.steps += 1;
+                    let done = child.drain_completions();
+                    self.completions.extend_from_slice(&done);
+                    let audit = if self.ecfg.check_invariants {
+                        child_checker.after_event(&child, &done).err()
+                    } else {
+                        None
+                    };
+                    match audit {
+                        Some(v) => {
+                            self.fail(format!("invariant violation: {v}"));
+                            false
+                        }
+                        None => self.dfs(&child, &child_checker, &child_sleep, depth + 1),
+                    }
+                }
+            };
+            self.trace.pop();
+            self.completions.truncate(completions_mark);
+            if !ok {
+                return false;
+            }
+            if self.report.schedules >= self.ecfg.max_schedules {
+                self.report.truncated = true;
+                return false;
+            }
+            barred.push(*choice);
+        }
+        true
+    }
+
+    /// Handles a drained-queue leaf: audits quiescence, records the
+    /// outcome digests, latencies, and coverage.
+    fn leaf(&mut self, h: &Hierarchy, checker: &Checker) -> bool {
+        if self.completions.len() != self.expected {
+            self.fail(format!(
+                "schedule quiesced with {} of {} completions",
+                self.completions.len(),
+                self.expected
+            ));
+            return false;
+        }
+        if self.ecfg.check_invariants {
+            if let Err(v) = checker.check_quiescent(h) {
+                self.fail(format!("quiescence violation: {v}"));
+                return false;
+            }
+        }
+        self.report.schedules += 1;
+        self.report.coverage.add(h.stats());
+
+        let mut ordered: Vec<&Completion> = self.completions.iter().collect();
+        ordered.sort_unstable_by_key(|c| c.req);
+        let mut arch = Fnv::new();
+        for c in &ordered {
+            arch.mix(c.req);
+            arch.mix(c.core as u64);
+            arch.mix(c.block.0);
+            arch.mix(matches!(c.class.kind, swiftdir_coherence::AccessKind::Store) as u64);
+            arch.mix(c.value);
+        }
+        let mut blocks: Vec<u64> = ordered.iter().map(|c| c.block.0).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for b in blocks {
+            arch.mix(b);
+            arch.mix(checker.golden(b));
+        }
+        let mut timing = Fnv::new();
+        timing.mix(arch.0);
+        for c in &ordered {
+            timing.mix(c.issued_at.get());
+            timing.mix(c.done_at.get());
+        }
+        self.outcomes.insert(arch.0);
+        self.timings.insert(timing.0);
+        for c in &ordered {
+            *self
+                .report
+                .latencies
+                .entry(c.req)
+                .or_default()
+                .entry(c.latency().get())
+                .or_insert(0) += 1;
+        }
+        true
+    }
+
+    fn fail(&mut self, detail: String) {
+        if self.report.error.is_none() {
+            self.report.error = Some(ExploreError {
+                detail,
+                schedule: self.trace.clone(),
+            });
+        }
+    }
+}
+
+/// Static independence judgment for the sleep-set reduction.
+///
+/// Two deliverable events commute only when dispatching them in either
+/// order provably yields the same machine state:
+///
+/// * different blocks — else they race on the same line;
+/// * not both DRAM-touching — the controller's banks serialize FCFS,
+///   and any two LLC-side dispatches (ToLlc/MemDone, which are exactly
+///   the DRAM-touching kinds) may also emit responses onto the same
+///   LLC→L1 FIFO link, whose send order is part of the state;
+/// * different cores — same-core events share the L1 array, the MSHRs,
+///   and every outgoing link of that core;
+/// * **equal delivery times** — the explorer's clock semantics clamp
+///   skipped events forward when a later event is chosen first, so
+///   events at different effective times do not commute even when
+///   their state footprints are disjoint. This also keeps sleep-set
+///   entries fresh: an entry only survives past dispatches at its own
+///   timestamp, so its recorded delivery time can never go stale.
+fn independent(a: &Choice, b: &Choice) -> bool {
+    a.block != b.block
+        && !(a.touches_dram && b.touches_dram)
+        && !matches!((a.core, b.core), (Some(x), Some(y)) if x == y)
+        && a.at == b.at
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn mix(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::AccessOp;
+    use swiftdir_cache::CacheGeometry;
+    use swiftdir_coherence::ProtocolKind;
+
+    fn tiny(protocol: ProtocolKind, cores: usize) -> HierarchyConfig {
+        let mut cfg = HierarchyConfig::table_v(cores, protocol);
+        cfg.l1_geometry = CacheGeometry::new(256, 1, 64);
+        cfg.llc_bank_geometry = CacheGeometry::new(256, 2, 64);
+        cfg.l1_mshrs = 4;
+        cfg
+    }
+
+    fn contended() -> Vec<AccessOp> {
+        vec![
+            AccessOp::store(0, 0, 0x0),
+            AccessOp::load(2, 1, 0x0),
+            AccessOp::store(4, 1, 0x40),
+            AccessOp::load(6, 0, 0x40),
+        ]
+    }
+
+    #[test]
+    fn single_schedule_without_contention() {
+        // One op, one core: the tree is a path.
+        let cfg = tiny(ProtocolKind::Mesi, 1);
+        let stream = vec![AccessOp::load(0, 0, 0x0)];
+        let report = explore(&cfg, &stream, &ExploreConfig::default());
+        assert!(report.exhaustive_and_clean(), "{:?}", report.error);
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn contended_stream_explores_many_schedules_all_clean() {
+        for protocol in ProtocolKind::ALL {
+            let cfg = tiny(protocol, 2);
+            let report = explore(&cfg, &contended(), &ExploreConfig::default());
+            assert!(
+                report.exhaustive_and_clean(),
+                "{protocol:?}: {:?}",
+                report.error
+            );
+            assert!(report.schedules > 1, "{protocol:?} found no interleavings");
+            // Stores and loads race, but serialized values must always
+            // come from the golden set — a handful of outcomes at most.
+            assert!(report.outcomes.len() <= 4, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_fires_on_contended_streams() {
+        let cfg = tiny(ProtocolKind::SwiftDir, 2);
+        let report = explore(&cfg, &contended(), &ExploreConfig::default());
+        assert!(report.pruned > 0, "state-hash pruning never fired");
+    }
+
+    #[test]
+    fn sleep_set_reduction_preserves_outcomes() {
+        // The reduction may only cut *redundant* schedules: outcome and
+        // timing sets must match the unreduced walk exactly.
+        for protocol in [ProtocolKind::SwiftDir, ProtocolKind::SMesi] {
+            let cfg = tiny(protocol, 2);
+            let with = explore(&cfg, &contended(), &ExploreConfig::default());
+            let without = explore(
+                &cfg,
+                &contended(),
+                &ExploreConfig {
+                    sleep_sets: false,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(with.exhaustive_and_clean() && without.exhaustive_and_clean());
+            assert_eq!(with.outcomes, without.outcomes, "{protocol:?}");
+            assert_eq!(with.timings, without.timings, "{protocol:?}");
+            assert!(
+                with.sleep_skipped > 0,
+                "{protocol:?}: reduction never fired"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_window_explores_at_least_as_much() {
+        let cfg = tiny(ProtocolKind::Mesi, 2);
+        let narrow = explore(
+            &cfg,
+            &contended(),
+            &ExploreConfig {
+                window: 0,
+                ..ExploreConfig::default()
+            },
+        );
+        let wide = explore(&cfg, &contended(), &ExploreConfig::default());
+        assert!(narrow.exhaustive_and_clean() && wide.exhaustive_and_clean());
+        assert!(wide.timings.len() >= narrow.timings.len());
+    }
+
+    #[test]
+    fn budget_truncation_is_reported() {
+        let cfg = tiny(ProtocolKind::SwiftDir, 2);
+        let report = explore(
+            &cfg,
+            &contended(),
+            &ExploreConfig {
+                max_schedules: 1,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(report.truncated);
+        assert!(!report.exhaustive_and_clean());
+    }
+}

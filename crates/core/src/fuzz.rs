@@ -11,15 +11,21 @@
 //! Everything is seeded: the same [`FuzzConfig`] always produces the
 //! same access stream, the same event interleaving, and the same
 //! [`FuzzReport::digest`], so any failure is replayable from its seed
-//! alone and [`minimize`] can shrink a failing configuration while
-//! preserving the failure.
+//! alone. Failures shrink at two levels: [`minimize`] reduces the
+//! scenario knobs (ops/blocks/cores), and [`minimize_stream`]
+//! delta-debugs the concrete access stream itself, emitting a
+//! [`StreamFile`] that [`replay`] reproduces op-for-op — the repro
+//! survives changes to the stream *generator*, which a bare seed does
+//! not.
 
-use sim_engine::{Cycle, DetRng, Tracer};
+use sim_engine::{DetRng, Tracer};
 use swiftdir_cache::CacheGeometry;
 use swiftdir_coherence::{
-    AccessKind, Checker, Completion, CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind,
+    AccessKind, Checker, Completion, Hierarchy, HierarchyConfig, L1State, ProtocolKind,
 };
 use swiftdir_mmu::PhysAddr;
+
+use crate::stream::{issue_stream, AccessOp, StreamFile};
 
 /// Events without a single completion before the watchdog declares the
 /// protocol deadlocked. The worst honest case (a recall chain across
@@ -78,6 +84,58 @@ impl FuzzConfig {
         cfg.l1_mshrs = 4;
         cfg
     }
+
+    /// The concrete access stream this scenario's seed generates.
+    pub fn stream(&self) -> Vec<AccessOp> {
+        let mut rng = DetRng::new(self.seed);
+        let mut at = 0u64;
+        let mut ops = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            at += rng.below(24);
+            let core = rng.below(self.cores as u64) as usize;
+            let addr = rng.below(self.blocks as u64) * 64;
+            let op = if rng.chance(self.store_fraction) {
+                AccessOp::store(at, core, addr)
+            } else if rng.chance(self.wp_fraction) {
+                AccessOp::wp_load(at, core, addr)
+            } else {
+                AccessOp::load(at, core, addr)
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// This scenario as a self-contained replayable [`StreamFile`].
+    pub fn stream_file(&self) -> StreamFile {
+        StreamFile {
+            protocol: self.protocol,
+            cores: self.cores,
+            jitter_max: self.jitter_max,
+            jitter_seed: self.seed ^ 0x9e37_79b9_7f4a_7c15,
+            ops: self.stream(),
+        }
+    }
+}
+
+/// A deliberate mid-run corruption, for validating that the audit stack
+/// (structured protocol errors, the [`Checker`]'s invariants, the golden
+/// data model) actually catches bugs — and that [`minimize_stream`]
+/// preserves them while shrinking.
+///
+/// After `after_completions` requests have completed, the target core's
+/// L1 line for `addr` is forced to Modified with `value` — a rogue
+/// write the protocol never sanctioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedFault {
+    /// Completions to wait for before corrupting.
+    pub after_completions: usize,
+    /// Core whose L1 is corrupted.
+    pub core: usize,
+    /// Block address to corrupt.
+    pub addr: u64,
+    /// The bogus data value planted.
+    pub value: u64,
 }
 
 /// How a fuzz run failed.
@@ -138,6 +196,9 @@ pub struct FuzzReport {
     /// Installs that exhausted their retries and parked until the set
     /// drained.
     pub install_stalls: u64,
+    /// The hierarchy's full statistics (transition matrices, event
+    /// counts) — the coverage gate unions these across seeds.
+    pub stats: swiftdir_coherence::HierarchyStats,
     /// `None` on a clean run.
     pub failure: Option<FuzzFailure>,
 }
@@ -165,30 +226,44 @@ impl FuzzReport {
 /// assert_eq!(report.completions, 60);
 /// ```
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_ops(cfg, &cfg.stream_file(), None)
+}
+
+/// Replays a [`StreamFile`] op-for-op on the standard shrunken fuzz
+/// hierarchy, with the same full auditing as [`run_fuzz`].
+pub fn replay(file: &StreamFile) -> FuzzReport {
+    replay_with_fault(file, None)
+}
+
+/// [`replay`], optionally corrupting the hierarchy mid-run per `fault`.
+pub fn replay_with_fault(file: &StreamFile, fault: Option<&PlantedFault>) -> FuzzReport {
+    let cfg = FuzzConfig {
+        seed: file.jitter_seed ^ 0x9e37_79b9_7f4a_7c15,
+        protocol: file.protocol,
+        cores: file.cores,
+        blocks: 0,
+        ops: file.ops.len(),
+        jitter_max: file.jitter_max,
+        store_fraction: 0.0,
+        wp_fraction: 0.0,
+    };
+    run_ops(&cfg, file, fault)
+}
+
+/// The shared fuzz/replay core: issue the stream up front, step to
+/// quiescence with the [`Checker`] auditing every event.
+fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) -> FuzzReport {
     let mut h = Hierarchy::new(cfg.hierarchy_config());
     h.set_tracer(Tracer::enabled().with_ring(512));
-    if cfg.jitter_max > 0 {
-        h.set_jitter(cfg.seed ^ 0x9e37_79b9_7f4a_7c15, cfg.jitter_max);
+    if file.jitter_max > 0 {
+        h.set_jitter(file.jitter_seed, file.jitter_max);
     }
 
     // Issue the whole access stream up front at randomized times; the
     // event queue serializes it against the protocol traffic.
-    let mut rng = DetRng::new(cfg.seed);
-    let mut at = 0u64;
-    for _ in 0..cfg.ops {
-        at += rng.below(24);
-        let core = rng.below(cfg.cores as u64) as usize;
-        let addr = PhysAddr(rng.below(cfg.blocks as u64) * 64);
-        let req = if rng.chance(cfg.store_fraction) {
-            CoreRequest::store(addr)
-        } else if rng.chance(cfg.wp_fraction) {
-            CoreRequest::load(addr).write_protected()
-        } else {
-            CoreRequest::load(addr)
-        };
-        h.issue(Cycle(at), core, req);
-    }
+    issue_stream(&mut h, &file.ops);
 
+    let mut fault = fault.copied();
     let mut checker = Checker::new();
     let mut log: Vec<Completion> = Vec::with_capacity(cfg.ops);
     let mut events = 0u64;
@@ -217,6 +292,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 detail: v.to_string(),
             });
         }
+        if let Some(f) = fault {
+            if log.len() >= f.after_completions {
+                h.test_force_l1_state(f.core, PhysAddr(f.addr), L1State::M, f.value);
+                fault = None;
+            }
+        }
         if events - last_progress > WATCHDOG_EVENTS || events > MAX_EVENTS {
             break Some(FuzzFailure {
                 kind: FuzzFailureKind::Deadlock,
@@ -236,12 +317,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 kind: FuzzFailureKind::Deadlock,
                 detail: v.to_string(),
             });
-        } else if log.len() != cfg.ops {
+        } else if log.len() != file.ops.len() {
             failure = Some(FuzzFailure {
                 kind: FuzzFailureKind::Deadlock,
                 detail: format!(
                     "issued {} requests but saw {} completions",
-                    cfg.ops,
+                    file.ops.len(),
                     log.len()
                 ),
             });
@@ -255,6 +336,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         digest: digest(&log),
         install_retries: h.stats().protocol.install_retries(),
         install_stalls: h.stats().protocol.install_stalls(),
+        stats: h.stats().clone(),
         failure,
     }
 }
@@ -336,6 +418,61 @@ pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
     }
 }
 
+/// Delta-debugs a failing stream down to a (locally) minimal repro.
+///
+/// Unlike [`minimize`], which re-derives ever-shorter streams from the
+/// seed, this shrinks the **concrete op list**: the result is a strict
+/// subsequence of the input that [`replay`] (with the same `fault`, if
+/// any) still drives to a failure of the same kind. Removal proceeds by
+/// halving chunk sizes down to single ops, repeating until a fixpoint;
+/// finally jitter is dropped if the failure survives without it.
+///
+/// Returns the input unchanged if it does not fail.
+pub fn minimize_stream(file: &StreamFile, fault: Option<&PlantedFault>) -> StreamFile {
+    let Some(baseline) = replay_with_fault(file, fault).failure else {
+        return file.clone();
+    };
+    let still_fails = |cand: &StreamFile| {
+        replay_with_fault(cand, fault)
+            .failure
+            .is_some_and(|f| f.kind == baseline.kind)
+    };
+
+    let mut best = file.clone();
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut improved = false;
+        let mut start = 0;
+        while start < best.ops.len() {
+            let end = (start + chunk).min(best.ops.len());
+            let mut cand = best.clone();
+            cand.ops.drain(start..end);
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                // The ops after `start` shifted down; retry in place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !improved {
+            break;
+        }
+        if !improved {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    if best.jitter_max > 0 {
+        let mut cand = best.clone();
+        cand.jitter_max = 0;
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,5 +521,81 @@ mod tests {
         let mut cfg = FuzzConfig::new(5, ProtocolKind::Mesi);
         cfg.ops = 40;
         assert_eq!(minimize(&cfg), cfg);
+    }
+
+    #[test]
+    fn stream_file_replay_is_bit_identical_to_run_fuzz() {
+        for protocol in ProtocolKind::ALL {
+            let mut cfg = FuzzConfig::new(77, protocol);
+            cfg.ops = 120;
+            let direct = run_fuzz(&cfg);
+            let replayed = replay(&cfg.stream_file());
+            assert!(direct.ok(), "{}", direct.failure.unwrap());
+            assert!(replayed.ok(), "{}", replayed.failure.unwrap());
+            assert_eq!(direct.digest, replayed.digest, "{protocol:?}");
+            assert_eq!(direct.events, replayed.events, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn planted_fault_is_caught_by_the_audit_stack() {
+        let mut cfg = FuzzConfig::new(9, ProtocolKind::SwiftDir);
+        cfg.ops = 120;
+        let fault = PlantedFault {
+            after_completions: 30,
+            core: 1,
+            addr: 0x40,
+            value: 0xdead_beef,
+        };
+        let report = replay_with_fault(&cfg.stream_file(), Some(&fault));
+        let failure = report
+            .failure
+            .expect("a rogue Modified line must be caught");
+        assert_eq!(failure.kind, FuzzFailureKind::Invariant, "{failure}");
+    }
+
+    #[test]
+    fn minimized_stream_replays_to_the_same_failure() {
+        let mut cfg = FuzzConfig::new(9, ProtocolKind::SwiftDir);
+        cfg.ops = 120;
+        let fault = PlantedFault {
+            after_completions: 30,
+            core: 1,
+            addr: 0x40,
+            value: 0xdead_beef,
+        };
+        let file = cfg.stream_file();
+        let original = replay_with_fault(&file, Some(&fault))
+            .failure
+            .expect("fails");
+
+        let small = minimize_stream(&file, Some(&fault));
+        assert!(
+            small.ops.len() < file.ops.len(),
+            "minimizer failed to shrink {} ops",
+            file.ops.len()
+        );
+        // The emitted repro must survive a text round-trip and still
+        // reproduce the same failure, deterministically.
+        let text = small.to_text();
+        let parsed = StreamFile::parse(&text).expect("repro parses");
+        assert_eq!(parsed, small);
+        let a = replay_with_fault(&parsed, Some(&fault))
+            .failure
+            .expect("still fails");
+        let b = replay_with_fault(&parsed, Some(&fault))
+            .failure
+            .expect("still fails");
+        assert_eq!(a.kind, original.kind);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.detail, b.detail, "repro must be deterministic");
+    }
+
+    #[test]
+    fn minimize_stream_returns_clean_stream_unchanged() {
+        let mut cfg = FuzzConfig::new(5, ProtocolKind::Mesi);
+        cfg.ops = 30;
+        let file = cfg.stream_file();
+        assert_eq!(minimize_stream(&file, None), file);
     }
 }

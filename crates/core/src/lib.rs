@@ -50,18 +50,30 @@
 
 pub mod attack;
 pub mod config;
+pub mod diff;
 pub mod driver;
+pub mod explore;
 pub mod fuzz;
 pub mod obs;
 pub mod probe;
+pub mod stream;
 pub mod system;
 
 pub use attack::{CovertChannel, CovertOutcome, SideChannel, SideOutcome};
 pub use config::{SystemConfig, SystemConfigBuilder};
+pub use diff::{
+    architectural_diff, contended_stream, explored_equivalence, run_stream,
+    swiftdir_mesi_cycle_identity, well_separated_stream, StreamRun,
+};
 pub use driver::{DriverReport, ExperimentSet, PointTiming};
-pub use fuzz::{run_fuzz, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport};
+pub use explore::{explore, ExploreConfig, ExploreError, ExploreReport};
+pub use fuzz::{
+    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, FuzzConfig, FuzzFailure,
+    FuzzFailureKind, FuzzReport, PlantedFault,
+};
 pub use obs::{TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};
+pub use stream::{issue_stream, AccessOp, StreamFile};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};
 
 // The access taxonomy lives in the coherence crate; re-export the pieces a

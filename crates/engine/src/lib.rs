@@ -49,7 +49,7 @@ pub use cycle::Cycle;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
 pub use metrics::{Metric, MetricsRegistry};
-pub use queue::EventQueue;
+pub use queue::{Chooser, EventQueue, FifoChooser, Pending};
 pub use rng::{DetRng, LinkJitter, Zipf};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use trace::TraceBuffer;

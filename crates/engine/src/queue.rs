@@ -10,7 +10,7 @@ use crate::cycle::Cycle;
 /// Ordering is by time first, then by insertion sequence number, so two
 /// events scheduled for the same cycle are delivered in the order they were
 /// scheduled. This tie-break is what makes the whole simulator deterministic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
     time: Cycle,
     seq: u64,
@@ -41,6 +41,56 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// A pending event visible through [`EventQueue::frontier`].
+///
+/// `at` is the *effective* delivery time: events whose scheduled time has
+/// already passed (because a chooser jumped the clock over them) deliver at
+/// `now`. `seq` is a stable identity — it names the same event across
+/// repeated frontier calls until that event is delivered.
+#[derive(Debug)]
+pub struct Pending<'a, E> {
+    /// Effective delivery time if this event is chosen next.
+    pub at: Cycle,
+    /// Stable identity of the event (its scheduling sequence number).
+    pub seq: u64,
+    /// The event payload.
+    pub event: &'a E,
+}
+
+// Manual impls: the derive would demand `E: Copy`, but the field is only a
+// reference.
+impl<E> Clone for Pending<'_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E> Copy for Pending<'_, E> {}
+
+/// A scheduling policy plugged into [`EventQueue::pop_with`].
+///
+/// The deterministic simulator is the trivial chooser ([`FifoChooser`]):
+/// always deliver the frontier head, which is exactly what [`EventQueue::pop`]
+/// does without ever materializing the frontier. Exploration tools implement
+/// this trait (or drive [`EventQueue::frontier`] + [`EventQueue::pop_seq`]
+/// directly) to enumerate alternative delivery orders.
+pub trait Chooser<E> {
+    /// Given the deliverable frontier (never empty, sorted by effective
+    /// `(time, seq)`), return the `seq` of the event to deliver next.
+    fn choose(&mut self, frontier: &[Pending<'_, E>]) -> u64;
+}
+
+/// The trivial chooser: always delivers the earliest `(time, seq)` event,
+/// i.e. the exact order [`EventQueue::pop`] produces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoChooser;
+
+impl<E> Chooser<E> for FifoChooser {
+    fn choose(&mut self, frontier: &[Pending<'_, E>]) -> u64 {
+        frontier[0].seq
+    }
+}
+
 /// A deterministic priority queue of timed events.
 ///
 /// The queue is generic over the event payload `E`; the simulator's main
@@ -62,7 +112,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), Some((Cycle(10), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     /// Events due exactly at `now`, scheduled while the clock already stood
@@ -73,10 +123,17 @@ pub struct EventQueue<E> {
     /// every earlier schedule call completed, so anything already in the
     /// heap at time T carries a smaller sequence number than anything that
     /// enters `ready` while the clock stands at T — heap-first at equal
-    /// times is exactly `(time, seq)` order.
-    ready: VecDeque<E>,
+    /// times is exactly `(time, seq)` order. Each entry keeps its sequence
+    /// number so frontier views can name it.
+    ready: VecDeque<(u64, E)>,
     next_seq: u64,
     now: Cycle,
+    /// Set when [`pop_seq`](Self::pop_seq) delivered an event out of FIFO
+    /// order while others were pending. From then on the heap's raw
+    /// `(time, seq)` order no longer matches effective delivery order
+    /// (`(max(time, now), seq)`), so `pop`/`pop_batch` take a careful scan
+    /// path until the queue drains. Never set on the deterministic path.
+    disordered: bool,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -93,6 +150,7 @@ impl<E> EventQueue<E> {
             ready: VecDeque::new(),
             next_seq: 0,
             now: Cycle::ZERO,
+            disordered: false,
         }
     }
 
@@ -114,7 +172,7 @@ impl<E> EventQueue<E> {
         if time == self.now {
             // Same-cycle event: FIFO push preserves seq order within the
             // cycle without touching the heap.
-            self.ready.push_back(event);
+            self.ready.push_back((self.next_seq, event));
         } else {
             let seq = self.next_seq;
             self.heap.push(Scheduled { time, seq, event });
@@ -129,12 +187,15 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the simulation has drained.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        if self.disordered {
+            return self.pop_careful();
+        }
         // Heap events at `now` precede `ready` events (smaller seq; see the
         // `ready` field docs); `ready` events precede later heap events.
         if !self.ready.is_empty() {
             let heap_at_now = matches!(self.heap.peek(), Some(s) if s.time == self.now);
             if !heap_at_now {
-                let event = self.ready.pop_front().expect("checked non-empty");
+                let (_, event) = self.ready.pop_front().expect("checked non-empty");
                 return Some((self.now, event));
             }
         }
@@ -142,6 +203,30 @@ impl<E> EventQueue<E> {
         debug_assert!(time >= self.now, "event queue time went backwards");
         self.now = time;
         Some((time, event))
+    }
+
+    /// Pop for the disordered regime: select the minimum by effective
+    /// `(max(time, now), seq)` with a full scan. Only reachable after a
+    /// chooser deviated from FIFO order, where queues are small.
+    fn pop_careful(&mut self) -> Option<(Cycle, E)> {
+        let ready_best = self.ready.front().map(|(seq, _)| (self.now, *seq));
+        let heap_best = self
+            .heap
+            .iter()
+            .map(|s| (s.time.max(self.now), s.seq))
+            .min();
+        let (at, seq) = match (ready_best, heap_best) {
+            (None, None) => return None,
+            (Some(r), None) => r,
+            (None, Some(h)) => h,
+            (Some(r), Some(h)) => r.min(h),
+        };
+        let event = self.remove_seq(seq).expect("selected seq present");
+        self.now = at;
+        if self.is_empty() {
+            self.disordered = false;
+        }
+        Some((at, event))
     }
 
     /// Drains every event due at the next timestamp (if it is ≤ `upto`)
@@ -156,6 +241,16 @@ impl<E> EventQueue<E> {
     /// a one-at-a-time pop loop would produce, since in-flight schedules
     /// always carry larger sequence numbers than the drained batch.
     pub fn pop_batch(&mut self, upto: Cycle, out: &mut Vec<E>) -> Option<Cycle> {
+        if self.disordered {
+            // Careful path: deliver one event per call (still one
+            // timestamp, just a smaller batch). Correctness over batching.
+            if self.peek_time()? > upto {
+                return None;
+            }
+            let (t, e) = self.pop_careful()?;
+            out.push(e);
+            return Some(t);
+        }
         let t = self.peek_time()?;
         if t > upto {
             return None;
@@ -167,18 +262,108 @@ impl<E> EventQueue<E> {
         // `ready` events are due at the old `now`; they are part of this
         // batch only when the clock did not move (t == old now), which is
         // the only case where `ready` can be non-empty here.
-        out.extend(self.ready.drain(..));
+        out.extend(self.ready.drain(..).map(|(_, e)| e));
         Some(t)
     }
 
     /// Returns the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycle> {
+        if self.disordered {
+            let ready_best = self.ready.front().map(|_| self.now);
+            let heap_best = self.heap.iter().map(|s| s.time.max(self.now)).min();
+            return match (ready_best, heap_best) {
+                (None, None) => None,
+                (r, h) => r.into_iter().chain(h).min(),
+            };
+        }
         if self.ready.is_empty() {
             self.heap.peek().map(|s| s.time)
         } else {
             // Ready events are due now; a heap event can tie but not beat.
             Some(self.now)
         }
+    }
+
+    /// The deliverable frontier: every pending event whose effective
+    /// delivery time falls within `window` cycles of the earliest one,
+    /// sorted by effective `(time, seq)` — the order [`pop`](Self::pop)
+    /// would deliver them. `window == 0` lists only the events tied for
+    /// earliest; a wider window exposes later messages that a scheduler
+    /// could deliver *first* (modeling extra network delay on the earlier
+    /// ones).
+    pub fn frontier(&self, window: Cycle) -> Vec<Pending<'_, E>> {
+        let mut v: Vec<Pending<'_, E>> = self
+            .ready
+            .iter()
+            .map(|(seq, event)| Pending {
+                at: self.now,
+                seq: *seq,
+                event,
+            })
+            .chain(self.heap.iter().map(|s| Pending {
+                at: s.time.max(self.now),
+                seq: s.seq,
+                event: &s.event,
+            }))
+            .collect();
+        v.sort_by_key(|p| (p.at, p.seq));
+        if let Some(first) = v.first() {
+            let horizon = first.at.saturating_add(window);
+            v.retain(|p| p.at <= horizon);
+        }
+        v
+    }
+
+    /// Delivers the pending event identified by `seq` (from a
+    /// [`frontier`](Self::frontier) view), advancing the clock to its
+    /// effective delivery time. Events the clock jumps over stay pending
+    /// and deliver at the (later) current time — the physical reading is
+    /// that their messages sat on the wire a little longer.
+    ///
+    /// Returns `None` if no pending event has that seq.
+    pub fn pop_seq(&mut self, seq: u64) -> Option<(Cycle, E)> {
+        // Effective time must be computed before removal.
+        let at = if self.ready.iter().any(|(s, _)| *s == seq) {
+            self.now
+        } else {
+            self.heap.iter().find(|s| s.seq == seq)?.time.max(self.now)
+        };
+        let event = self.remove_seq(seq).expect("checked present");
+        self.now = at;
+        // Any deviation from strict FIFO order leaves the heap's raw order
+        // untrustworthy; flag it unless the queue is now empty.
+        self.disordered = !self.is_empty();
+        Some((at, event))
+    }
+
+    /// Removes the event with the given seq from wherever it lives.
+    fn remove_seq(&mut self, seq: u64) -> Option<E> {
+        if let Some(pos) = self.ready.iter().position(|(s, _)| *s == seq) {
+            return self.ready.remove(pos).map(|(_, e)| e);
+        }
+        let mut items = std::mem::take(&mut self.heap).into_vec();
+        let pos = items.iter().position(|s| s.seq == seq);
+        let found = pos.map(|p| items.swap_remove(p).event);
+        self.heap = BinaryHeap::from(items);
+        found
+    }
+
+    /// Pops the next event selected by `chooser` from the frontier within
+    /// `window`. With [`FifoChooser`] this is equivalent to
+    /// [`pop`](Self::pop) (modulo the frontier materialization cost).
+    pub fn pop_with<C: Chooser<E>>(
+        &mut self,
+        window: Cycle,
+        chooser: &mut C,
+    ) -> Option<(Cycle, E)> {
+        let seq = {
+            let f = self.frontier(window);
+            if f.is_empty() {
+                return None;
+            }
+            chooser.choose(&f)
+        };
+        self.pop_seq(seq)
     }
 
     /// Number of pending events.
@@ -327,5 +512,121 @@ mod tests {
         q.schedule(Cycle(7), ());
         assert_eq!(q.peek_time(), Some(Cycle(7)));
         assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn frontier_orders_by_effective_time_then_seq() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "a"); // seq 1
+        q.schedule(Cycle(12), "b"); // seq 2
+        q.schedule(Cycle(40), "c"); // seq 3
+        let f = q.frontier(Cycle(5));
+        assert_eq!(f.len(), 2, "c is outside the 5-cycle window");
+        assert_eq!((f[0].at, f[0].seq, *f[0].event), (Cycle(10), 1, "a"));
+        assert_eq!((f[1].at, f[1].seq, *f[1].event), (Cycle(12), 2, "b"));
+        // Window 0 exposes only the earliest timestamp.
+        assert_eq!(q.frontier(Cycle(0)).len(), 1);
+        // Window wide enough shows everything.
+        assert_eq!(q.frontier(Cycle(100)).len(), 3);
+    }
+
+    #[test]
+    fn frontier_includes_ready_events_in_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(4), "heap@4"); // seq 1
+        q.schedule(Cycle(4), "heap@4b"); // seq 2
+        q.pop(); // delivers seq 1, now = 4
+        q.schedule(Cycle(4), "ready"); // seq 3 → ready
+        q.schedule(Cycle(6), "later"); // seq 4
+        let f = q.frontier(Cycle(10));
+        let seqs: Vec<u64> = f.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "heap@now before ready before later");
+    }
+
+    #[test]
+    fn pop_seq_delivers_later_event_first_and_delays_the_rest() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "a"); // seq 1
+        q.schedule(Cycle(12), "b"); // seq 2
+                                    // Deliver b first: the clock jumps to 12 and a is now late.
+        assert_eq!(q.pop_seq(2), Some((Cycle(12), "b")));
+        assert_eq!(q.now(), Cycle(12));
+        // a delivers at the current time, not in the past.
+        assert_eq!(q.pop(), Some((Cycle(12), "a")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_seq_unknown_seq_is_none_and_lossless() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "a");
+        assert_eq!(q.pop_seq(99), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycle(10), "a")));
+    }
+
+    #[test]
+    fn disordered_pops_follow_effective_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1); // seq 1
+        q.schedule(Cycle(11), 2); // seq 2
+        q.schedule(Cycle(12), 3); // seq 3
+        q.schedule(Cycle(20), 4); // seq 4
+                                  // Jump over 1 and 2.
+        assert_eq!(q.pop_seq(3), Some((Cycle(12), 3)));
+        // 1 and 2 are both effectively due at 12 now: seq order breaks the tie.
+        assert_eq!(q.pop(), Some((Cycle(12), 1)));
+        assert_eq!(q.pop(), Some((Cycle(12), 2)));
+        assert_eq!(q.pop(), Some((Cycle(20), 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn disordered_pop_batch_still_drains_everything_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(11), 2);
+        q.schedule(Cycle(30), 3);
+        assert_eq!(q.pop_seq(2), Some((Cycle(11), 2)));
+        let mut out = Vec::new();
+        let mut times = Vec::new();
+        while let Some(t) = q.pop_batch(Cycle::MAX, &mut out) {
+            times.push(t);
+        }
+        assert_eq!(out, vec![1, 3]);
+        assert_eq!(times, vec![Cycle(11), Cycle(30)]);
+    }
+
+    #[test]
+    fn pop_with_fifo_chooser_matches_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (t, e) in [(9u64, 1), (3, 2), (3, 3), (15, 4)] {
+            a.schedule(Cycle(t), e);
+            b.schedule(Cycle(t), e);
+        }
+        let mut chooser = FifoChooser;
+        loop {
+            let x = a.pop();
+            let y = b.pop_with(Cycle(64), &mut chooser);
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn ready_events_survive_a_clock_jump() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "x"); // seq 1
+        q.pop(); // now = 5
+        q.schedule(Cycle(5), "ready"); // seq 2 → ready at now=5
+        q.schedule(Cycle(9), "heap"); // seq 3
+                                      // Jump to the heap event, leaving the ready event stale.
+        assert_eq!(q.pop_seq(3), Some((Cycle(9), "heap")));
+        // The stale ready event delivers at the current time.
+        assert_eq!(q.pop(), Some((Cycle(9), "ready")));
+        assert!(q.is_empty());
     }
 }

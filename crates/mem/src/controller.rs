@@ -4,7 +4,7 @@
 use sim_engine::Cycle;
 use swiftdir_mmu::PhysAddr;
 
-use crate::bank::{Bank, RowOutcome};
+use crate::bank::{Bank, RowOutcome, RowState};
 use crate::config::DramConfig;
 use crate::mapping::DramAddress;
 
@@ -106,6 +106,23 @@ impl MemoryController {
     /// Accumulated statistics.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// Feeds the controller's forward-looking timing state into `mix`, with
+    /// bank-ready times expressed relative to `now` — two controllers whose
+    /// future behavior is identical modulo a global time shift digest
+    /// identically. Used by state-hash pruning in schedule exploration.
+    pub fn digest_into(&self, now: Cycle, mix: &mut impl FnMut(u64)) {
+        for bank in &self.banks {
+            match bank.row() {
+                RowState::Closed => mix(0),
+                RowState::Open(row) => {
+                    mix(1);
+                    mix(row);
+                }
+            }
+            mix(bank.ready_at().get().saturating_sub(now.get()));
+        }
     }
 }
 

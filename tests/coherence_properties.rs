@@ -283,3 +283,43 @@ fn regression_mixed_wp_traffic_57_ops() {
         check_invariants(&h, protocol, 64);
     }
 }
+
+// -- differential cross-protocol regressions -------------------------------
+//
+// The same access stream must be architecturally indistinguishable across
+// protocols: identical per-access values and identical final memory
+// images. Streams come from `well_separated_stream`, which serializes
+// same-block conflicts so the winner is protocol-independent. On WP-free
+// streams, SwiftDir must additionally be MESI cycle-for-cycle.
+
+#[test]
+fn differential_architectural_equivalence_fixed_corpus() {
+    use swiftdir::core::diff::{architectural_diff, well_separated_stream};
+    for seed in 0..12u64 {
+        let stream = well_separated_stream(seed, 4, 6, 80, 0.3);
+        architectural_diff(&stream, 4, &ProtocolKind::ALL)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn differential_cycle_identity_fixed_corpus() {
+    use swiftdir::core::diff::{swiftdir_mesi_cycle_identity, well_separated_stream};
+    for seed in 0..12u64 {
+        let stream = well_separated_stream(seed, 4, 6, 80, 0.0);
+        swiftdir_mesi_cycle_identity(&stream, 4).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn differential_explored_tree_isomorphism() {
+    use swiftdir::core::diff::{contended_stream, explored_equivalence};
+    use swiftdir::core::explore::ExploreConfig;
+    for seed in [5u64, 11] {
+        let stream = contended_stream(seed, 2, 2, 5, 0.0);
+        let (mesi, swift) = explored_equivalence(&stream, 2, &ExploreConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(mesi.schedules, swift.schedules);
+        assert!(mesi.schedules >= 1, "seed {seed} explored nothing");
+    }
+}

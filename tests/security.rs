@@ -67,3 +67,88 @@ fn channel_is_deterministic_across_runs() {
     assert_eq!(a.latencies, b.latencies, "simulation is reproducible");
     assert_eq!(a.decoded, b.decoded);
 }
+
+// -- Fig. 6 invariant, quantified over every schedule ----------------------
+//
+// SwiftDir's security argument is that `GETS_WP` is *indistinguishable*
+// from a plain shared `GETS` fill: same grant (Shared), same latency, on
+// every possible message interleaving — not just the deterministic one.
+// The bounded-exhaustive explorer lets us state that as an exact
+// property: explore all schedules and compare completion-latency
+// multisets per request.
+
+#[test]
+fn gets_wp_fill_latency_matches_plain_shared_fill_on_every_schedule() {
+    use swiftdir::coherence::CoherenceEvent;
+    use swiftdir::core::diff::{contended_stream, strip_wp, tiny_config};
+    use swiftdir::core::explore::{explore, ExploreConfig};
+
+    // All loads write-protected: under SwiftDir every load is a GETS_WP
+    // granting Shared. MSI grants Shared for every plain load, so the
+    // stripped stream under MSI is the reference "plain shared fill"
+    // machine. The paper's invariant says the two must be
+    // timing-identical on every schedule.
+    let ecfg = ExploreConfig::default();
+    let mut wp_issued = 0u64;
+    for seed in 0..4u64 {
+        let wp_stream = contended_stream(seed, 2, 2, 5, 1.0);
+        let plain = strip_wp(&wp_stream);
+        let swift = explore(&tiny_config(2, ProtocolKind::SwiftDir), &wp_stream, &ecfg);
+        let msi = explore(&tiny_config(2, ProtocolKind::Msi), &plain, &ecfg);
+        assert!(
+            swift.exhaustive_and_clean(),
+            "seed {seed}: {:?}",
+            swift.error
+        );
+        assert!(msi.exhaustive_and_clean(), "seed {seed}: {:?}", msi.error);
+        wp_issued += swift.coverage.event(CoherenceEvent::GetsWp);
+
+        assert_eq!(
+            swift.schedules, msi.schedules,
+            "seed {seed}: schedule trees differ"
+        );
+        assert_eq!(
+            swift.timings, msi.timings,
+            "seed {seed}: some schedule is timing-distinguishable"
+        );
+        // Request ids are sequential in issue order, so compare each
+        // access's completion-latency distribution across all schedules.
+        for req in 0..wp_stream.len() as u64 {
+            assert_eq!(
+                swift.latency_multiset(req),
+                msi.latency_multiset(req),
+                "seed {seed}: request {req} has a distinguishable latency distribution"
+            );
+        }
+    }
+    assert!(wp_issued > 0, "the corpus never exercised GETS_WP");
+}
+
+#[test]
+fn gets_wp_on_a_shared_line_matches_plain_gets() {
+    use swiftdir::core::diff::tiny_config;
+    use swiftdir::core::explore::{explore, ExploreConfig};
+    use swiftdir::core::AccessOp;
+
+    // Pre-shared scenario, entirely within SwiftDir: core 0's WP load
+    // installs the block Shared; core 1 then loads it. Whether core 1's
+    // load is write-protected must be invisible in its latency, on
+    // every schedule.
+    let cfg = tiny_config(2, ProtocolKind::SwiftDir);
+    let ecfg = ExploreConfig::default();
+    let probe_wp = [
+        AccessOp::wp_load(0, 0, 0x40),
+        AccessOp::wp_load(60, 1, 0x40),
+    ];
+    let probe_plain = [AccessOp::wp_load(0, 0, 0x40), AccessOp::load(60, 1, 0x40)];
+    let a = explore(&cfg, &probe_wp, &ecfg);
+    let b = explore(&cfg, &probe_plain, &ecfg);
+    assert!(a.exhaustive_and_clean(), "{:?}", a.error);
+    assert!(b.exhaustive_and_clean(), "{:?}", b.error);
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(
+        a.latency_multiset(1),
+        b.latency_multiset(1),
+        "probe latency distinguishes GETS_WP from GETS on a shared line"
+    );
+}

@@ -1,0 +1,109 @@
+//! Table I–III transition-coverage gate, test-suite edition.
+//!
+//! Every protocol has a [`CoverageSpec`] naming exactly which L1
+//! (Table I) and LLC (Table II) transitions and Table III event classes
+//! it may legally produce. This suite unions the transition matrices
+//! from two corpora — bounded-exhaustive schedule exploration of tiny
+//! contended streams, and a curated set of fuzz seeds chosen (greedily,
+//! offline) to reach the rare corners (recalls, merged-store upgrades,
+//! S→M replacement installs) — and requires the union to be **clean**:
+//!
+//! * sound — nothing observed outside the legal set;
+//! * complete — every legal pair observed.
+//!
+//! Failures print the uncovered / illegal `(state, state)` and event
+//! pairs via [`CoverageReport`]'s `Display`. The release-mode CI gate
+//! (`swiftdir-explore --coverage`) runs the same check over a much
+//! larger sweep; this test keeps the property in `cargo test` at debug
+//! speed.
+
+use swiftdir::coherence::{CoverageSpec, ObservedCoverage, ProtocolKind};
+use swiftdir::core::diff::{contended_stream, tiny_config};
+use swiftdir::core::explore::{explore, ExploreConfig};
+use swiftdir::core::fuzz::{run_fuzz, FuzzConfig};
+
+/// Fuzz seeds whose unioned 300-op runs cover every legal transition,
+/// found by a greedy sweep over seeds `0..2000` per protocol.
+fn curated_seeds(protocol: ProtocolKind) -> &'static [u64] {
+    match protocol {
+        ProtocolKind::Mesi => &[0, 21, 113, 327],
+        ProtocolKind::SwiftDir => &[0, 1, 114, 167],
+        ProtocolKind::SMesi => &[0, 3, 13, 89, 174, 229],
+        ProtocolKind::Msi => &[0, 1, 96],
+    }
+}
+
+fn observed_union(protocol: ProtocolKind) -> ObservedCoverage {
+    let mut observed = ObservedCoverage::new();
+
+    // Explorer corpus: every schedule of two tiny contended streams.
+    let cfg = tiny_config(2, protocol);
+    let ecfg = ExploreConfig::default();
+    for seed in 0..2 {
+        let stream = contended_stream(seed, 2, 2, 5, 0.3);
+        let report = explore(&cfg, &stream, &ecfg);
+        assert!(
+            report.exhaustive_and_clean(),
+            "{protocol:?} exploration of stream {seed} failed: {:?}",
+            report.error
+        );
+        observed.merge(&report.coverage);
+    }
+
+    // Fuzz corpus: the curated seeds.
+    for &seed in curated_seeds(protocol) {
+        let mut fcfg = FuzzConfig::new(seed, protocol);
+        fcfg.ops = 300;
+        let report = run_fuzz(&fcfg);
+        assert!(
+            report.ok(),
+            "{protocol:?} fuzz seed {seed} failed: {}",
+            report.failure.unwrap()
+        );
+        observed.add(&report.stats);
+    }
+    observed
+}
+
+#[test]
+fn mesi_covers_every_legal_transition() {
+    assert_clean(ProtocolKind::Mesi);
+}
+
+#[test]
+fn swiftdir_covers_every_legal_transition() {
+    assert_clean(ProtocolKind::SwiftDir);
+}
+
+#[test]
+fn smesi_covers_every_legal_transition() {
+    assert_clean(ProtocolKind::SMesi);
+}
+
+#[test]
+fn msi_covers_every_legal_transition() {
+    assert_clean(ProtocolKind::Msi);
+}
+
+fn assert_clean(protocol: ProtocolKind) {
+    let observed = observed_union(protocol);
+    let report = CoverageSpec::for_protocol(protocol).check(&observed);
+    assert!(
+        report.is_clean(),
+        "coverage gate failed — uncovered or illegal pairs:\n{report}"
+    );
+}
+
+#[test]
+fn gets_wp_is_swiftdir_exclusive_in_practice() {
+    use swiftdir::coherence::CoherenceEvent;
+    for protocol in ProtocolKind::ALL {
+        let observed = observed_union(protocol);
+        let n = observed.event(CoherenceEvent::GetsWp);
+        if protocol == ProtocolKind::SwiftDir {
+            assert!(n > 0, "SwiftDir corpus never issued GETS_WP");
+        } else {
+            assert_eq!(n, 0, "{protocol:?} issued GETS_WP {n} times");
+        }
+    }
+}
