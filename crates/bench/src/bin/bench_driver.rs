@@ -1,28 +1,46 @@
 //! Performance harness for the simulator itself.
 //!
-//! Measures two things and writes them to `BENCH_driver.json` in the
+//! Measures four things and writes them to `BENCH_driver.json` in the
 //! current directory:
 //!
 //! 1. **Single-simulation throughput** — wall time of one Figure-7-style
 //!    run (first SPEC profile, MESI, DerivO3, 60 k instructions), the
-//!    number the hot-path work (FxHash maps, `pop_batch`, geometry
-//!    shift/mask, TLB index) moves.
+//!    number the hot-path work (calendar event queue, slab-allocated
+//!    transaction state, geometry shift/mask, TLB index) moves.
 //! 2. **Sweep wall-clock** — the full 23 × 3 Figure-7 grid through
-//!    [`ExperimentSet`], serial (`threads(1)`) vs parallel (host
-//!    default), the number the experiment driver moves. Per-point
-//!    results must be identical between the two runs; the harness
-//!    asserts it.
+//!    [`ExperimentSet`], serial (`threads(1)`) vs parallel, the number
+//!    the experiment driver moves. Per-point results must be identical
+//!    between the two runs; the harness asserts it.
+//! 3. **Fuzz throughput** — the CI smoke grid (4 protocols × 25 seeds)
+//!    serial vs parallel, asserting the per-seed digests and statistics
+//!    are bit-identical across thread counts.
+//! 4. **Explorer throughput** — coverage-gate-shaped explorations via
+//!    `explore_parallel`, serial vs parallel, asserting the merged
+//!    reports are bit-identical across thread counts.
+//!
+//! The parallel leg uses `SWIFTDIR_THREADS` when set, else at least 4
+//! workers (oversubscribing a small host is deliberate: the determinism
+//! assertions must hold under real interleaving, and the CI gates run
+//! with `SWIFTDIR_THREADS=4`).
+//!
+//! `bench_driver --check` instead re-measures the single-run figure and
+//! compares it against the committed `BENCH_driver.json`, failing on a
+//! >10% regression — the CI bench smoke step.
 //!
 //! Reference numbers from the commit that introduced this harness are
 //! embedded under `"baseline"` so a regression shows up as a ratio
 //! without digging through git history. They were measured on a 1-core
 //! container; re-baseline when moving to different hardware.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use sim_engine::Json;
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{driver, DriverReport, ExperimentSet, RunStats, System, SystemConfig};
+use swiftdir_core::{
+    driver, explore_parallel_threads, run_fuzz_many_threads, DriverReport, ExperimentSet,
+    ExploreConfig, FuzzConfig, RunStats, System, SystemConfig,
+};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
@@ -33,6 +51,10 @@ const INSTRUCTIONS: u64 = 60_000;
 /// serial 69-point sweep.
 const BASELINE_SINGLE_MS: f64 = 45.1;
 const BASELINE_SWEEP_SERIAL_S: f64 = 6.571;
+
+/// `--check` fails when the fresh single-run time exceeds the committed
+/// one by more than this factor.
+const CHECK_TOLERANCE: f64 = 1.10;
 
 fn single_run(bench: SpecBenchmark, protocol: ProtocolKind) -> RunStats {
     let mut sys = System::new(
@@ -69,19 +91,12 @@ fn time_sweep(threads: usize) -> (DriverReport, Vec<RunStats>) {
     (report, stats)
 }
 
-fn main() {
-    let threads = driver::default_threads();
-    println!("bench_driver: {threads} worker thread(s) available\n");
-
-    // --- single-simulation throughput: best of `reps` batches ----------
+/// Best-of-batches single-run milliseconds.
+fn measure_single_run(batches: usize, runs_per_batch: usize) -> f64 {
     let bench = SpecBenchmark::ALL[0];
-    let (batches, runs_per_batch) = (5, 20);
     for _ in 0..3 {
         single_run(bench, ProtocolKind::Mesi); // warm-up
     }
-    // One run's dispatched-event count (deterministic across repeats)
-    // gives the event-throughput denominator.
-    let events_per_run = single_run(bench, ProtocolKind::Mesi).hierarchy.dispatched;
     let mut best_ms = f64::INFINITY;
     for _ in 0..batches {
         let start = Instant::now();
@@ -91,6 +106,62 @@ fn main() {
         let ms = start.elapsed().as_secs_f64() * 1000.0 / runs_per_batch as f64;
         best_ms = best_ms.min(ms);
     }
+    best_ms
+}
+
+/// Worker count for the parallel legs: `SWIFTDIR_THREADS` when set,
+/// else at least 4 (the CI gates run with 4 even on small hosts — the
+/// determinism assertions are the point, the wall-clock is the bonus).
+fn parallel_threads() -> usize {
+    if std::env::var(driver::THREADS_ENV).is_ok() {
+        driver::default_threads()
+    } else {
+        driver::default_threads().max(4)
+    }
+}
+
+/// The CI smoke fuzz grid: every protocol × 25 seeds × 150 ops.
+fn fuzz_grid() -> Vec<FuzzConfig> {
+    ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| {
+            (0..25u64).map(move |seed| {
+                let mut cfg = FuzzConfig::new(seed, p);
+                cfg.ops = 150;
+                cfg
+            })
+        })
+        .collect()
+}
+
+/// Coverage-gate-shaped exploration workload: per protocol, the four
+/// contended streams the `--coverage` gate walks.
+fn explore_workload() -> Vec<(ProtocolKind, Vec<swiftdir_core::AccessOp>)> {
+    ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| {
+            (0..4u64).map(move |seed| (p, swiftdir_core::contended_stream(seed, 2, 2, 5, 0.3)))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--check") {
+        return check_committed();
+    }
+
+    let threads = parallel_threads();
+    println!(
+        "bench_driver: {} worker thread(s) available, parallel legs use {threads}\n",
+        driver::default_threads()
+    );
+
+    // --- single-simulation throughput: best of `reps` batches ----------
+    let bench = SpecBenchmark::ALL[0];
+    // One run's dispatched-event count (deterministic across repeats)
+    // gives the event-throughput denominator.
+    let events_per_run = single_run(bench, ProtocolKind::Mesi).hierarchy.dispatched;
+    let best_ms = measure_single_run(5, 20);
     let events_per_sec = events_per_run as f64 / (best_ms / 1000.0);
     println!(
         "single run ({} x {INSTRUCTIONS} instr): {best_ms:.1} ms/run \
@@ -129,6 +200,70 @@ fn main() {
         );
     }
 
+    // --- fuzz fan-out: serial vs parallel, digests must agree ----------
+    let grid = fuzz_grid();
+    let start = Instant::now();
+    let fuzz_serial = run_fuzz_many_threads(&grid, 1);
+    let fuzz_serial_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let fuzz_parallel = run_fuzz_many_threads(&grid, threads);
+    let fuzz_parallel_s = start.elapsed().as_secs_f64();
+    for (a, b) in fuzz_serial.iter().zip(&fuzz_parallel) {
+        assert!(a.ok(), "fuzz {:?} failed in the bench harness", a.config);
+        assert_eq!(
+            (a.digest, a.events, &a.stats),
+            (b.digest, b.events, &b.stats),
+            "fuzz fan-out diverged across thread counts for {:?}",
+            a.config
+        );
+    }
+    let fuzz_seeds_per_s = grid.len() as f64 / fuzz_parallel_s;
+    println!(
+        "\nfuzz grid ({} seeds): serial {fuzz_serial_s:.3} s, {threads} thread(s) \
+         {fuzz_parallel_s:.3} s ({:.2}x), {fuzz_seeds_per_s:.1} seeds/s; digests identical: ok",
+        grid.len(),
+        fuzz_serial_s / fuzz_parallel_s
+    );
+
+    // --- explorer fan-out: serial vs parallel, reports must agree ------
+    let workload = explore_workload();
+    let ecfg = ExploreConfig::default();
+    let mut explore_schedules = 0u64;
+    let start = Instant::now();
+    let explore_serial: Vec<_> = workload
+        .iter()
+        .map(|(p, stream)| {
+            explore_parallel_threads(&swiftdir_core::diff::tiny_config(2, *p), stream, &ecfg, 1)
+        })
+        .collect();
+    let explore_serial_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let explore_parallel: Vec<_> = workload
+        .iter()
+        .map(|(p, stream)| {
+            explore_parallel_threads(
+                &swiftdir_core::diff::tiny_config(2, *p),
+                stream,
+                &ecfg,
+                threads,
+            )
+        })
+        .collect();
+    let explore_parallel_s = start.elapsed().as_secs_f64();
+    for (a, b) in explore_serial.iter().zip(&explore_parallel) {
+        assert!(a.error.is_none(), "exploration failed: {:?}", a.error);
+        assert_eq!(a, b, "explorer fan-out diverged across thread counts");
+        explore_schedules += a.schedules;
+    }
+    let explore_schedules_per_s = explore_schedules as f64 / explore_parallel_s;
+    println!(
+        "explore workload ({} trees, {explore_schedules} schedules): serial \
+         {explore_serial_s:.3} s, {threads} thread(s) {explore_parallel_s:.3} s ({:.2}x), \
+         {explore_schedules_per_s:.0} schedules/s; reports identical: ok",
+        workload.len(),
+        explore_serial_s / explore_parallel_s
+    );
+
     // --- report ---------------------------------------------------------
     let json = Json::object([
         ("instructions_per_run", Json::Uint(INSTRUCTIONS)),
@@ -156,9 +291,83 @@ fn main() {
                 ("serial_parallel_stats_identical", Json::Bool(true)),
             ]),
         ),
+        (
+            "fuzz",
+            Json::object([
+                ("seeds", Json::Uint(grid.len() as u64)),
+                ("serial_s", Json::Float(fuzz_serial_s)),
+                ("parallel_s", Json::Float(fuzz_parallel_s)),
+                ("threads", Json::Uint(threads as u64)),
+                ("speedup", Json::Float(fuzz_serial_s / fuzz_parallel_s)),
+                ("seeds_per_s", Json::Float(fuzz_seeds_per_s)),
+                ("digests_identical", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "explore",
+            Json::object([
+                ("trees", Json::Uint(workload.len() as u64)),
+                ("schedules", Json::Uint(explore_schedules)),
+                ("serial_s", Json::Float(explore_serial_s)),
+                ("parallel_s", Json::Float(explore_parallel_s)),
+                ("threads", Json::Uint(threads as u64)),
+                (
+                    "speedup",
+                    Json::Float(explore_serial_s / explore_parallel_s),
+                ),
+                ("schedules_per_s", Json::Float(explore_schedules_per_s)),
+                ("reports_identical", Json::Bool(true)),
+            ]),
+        ),
         ("sweep_serial", serial_report.to_json()),
         ("sweep_parallel", parallel_report.to_json()),
     ]);
     std::fs::write("BENCH_driver.json", json.to_pretty()).expect("write BENCH_driver.json");
     println!("\nwrote BENCH_driver.json");
+    ExitCode::SUCCESS
+}
+
+/// `--check`: quick single-run measurement against the committed
+/// `BENCH_driver.json`; fails on a >10% regression. The CI bench smoke.
+fn check_committed() -> ExitCode {
+    let text = match std::fs::read_to_string("BENCH_driver.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_driver --check: cannot read BENCH_driver.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_driver --check: BENCH_driver.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(committed_ms) = committed
+        .get("current")
+        .and_then(|c| c.get("single_run_ms"))
+        .and_then(Json::as_f64)
+    else {
+        eprintln!("bench_driver --check: no current.single_run_ms in BENCH_driver.json");
+        return ExitCode::FAILURE;
+    };
+
+    let measured_ms = measure_single_run(3, 10);
+    let limit = committed_ms * CHECK_TOLERANCE;
+    println!(
+        "bench_driver --check: measured {measured_ms:.1} ms/run vs committed \
+         {committed_ms:.1} ms (limit {limit:.1} ms)"
+    );
+    if measured_ms > limit {
+        eprintln!(
+            "bench_driver --check: FAIL — single_run_ms regressed >{:.0}% \
+             (measured {measured_ms:.1} ms > {limit:.1} ms); rerun scripts/bench_driver.sh \
+             and commit the refreshed BENCH_driver.json if intentional",
+            (CHECK_TOLERANCE - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_driver --check: ok");
+    ExitCode::SUCCESS
 }

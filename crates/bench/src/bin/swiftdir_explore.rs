@@ -31,8 +31,8 @@ use swiftdir_coherence::{CoverageSpec, ObservedCoverage, ProtocolKind};
 use swiftdir_core::diff::{
     architectural_diff, contended_stream, explored_equivalence, tiny_config, well_separated_stream,
 };
-use swiftdir_core::explore::{explore, ExploreConfig};
-use swiftdir_core::fuzz::{run_fuzz, FuzzConfig};
+use swiftdir_core::explore::{explore_parallel, ExploreConfig};
+use swiftdir_core::fuzz::{run_fuzz_many, FuzzConfig};
 
 struct Args {
     smoke: bool,
@@ -145,7 +145,7 @@ fn explore_suite(args: &Args) -> bool {
         let mut coverage = ObservedCoverage::new();
         for seed in 0..args.streams {
             let stream = contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction);
-            let report = explore(&cfg, &stream, &ecfg);
+            let report = explore_parallel(&cfg, &stream, &ecfg);
             if let Some(e) = &report.error {
                 eprintln!("FAIL {protocol:?} stream {seed}: {e}");
                 ok = false;
@@ -235,7 +235,7 @@ fn coverage_gate(args: &Args) -> bool {
         let cfg = tiny_config(2, protocol);
         for seed in 0..4 {
             let stream = contended_stream(seed, 2, 2, 5, 0.3);
-            let report = explore(&cfg, &stream, &ecfg);
+            let report = explore_parallel(&cfg, &stream, &ecfg);
             if let Some(e) = &report.error {
                 eprintln!("FAIL {protocol:?} explorer stream {seed}: {e}");
                 ok = false;
@@ -244,24 +244,24 @@ fn coverage_gate(args: &Args) -> bool {
         }
         // Fuzz contribution: eviction/recall/jitter pressure the tiny
         // exhaustive scenario cannot reach. The hot variant hammers two
-        // blocks to hit upgrade races.
-        for seed in 0..args.seeds {
-            let mut cfg = FuzzConfig::new(seed, protocol);
-            cfg.ops = 300;
-            let report = run_fuzz(&cfg);
+        // blocks to hit upgrade races. The whole sweep fans over worker
+        // threads; reports return in seed order, so the coverage union
+        // and the failure output are thread-count-independent.
+        let sweep: Vec<FuzzConfig> = (0..args.seeds)
+            .flat_map(|seed| {
+                let mut cfg = FuzzConfig::new(seed, protocol);
+                cfg.ops = 300;
+                let mut hot = FuzzConfig::new(seed ^ 0xdead_beef, protocol);
+                hot.ops = 300;
+                hot.blocks = 2;
+                hot.store_fraction = 0.6;
+                [cfg, hot]
+            })
+            .collect();
+        for (cfg, report) in sweep.iter().zip(run_fuzz_many(&sweep)) {
             if let Some(f) = report.failure {
-                eprintln!("FAIL {protocol:?} fuzz seed {seed}: {f}");
-                ok = false;
-            }
-            observed.add(&report.stats);
-
-            let mut hot = FuzzConfig::new(seed ^ 0xdead_beef, protocol);
-            hot.ops = 300;
-            hot.blocks = 2;
-            hot.store_fraction = 0.6;
-            let report = run_fuzz(&hot);
-            if let Some(f) = report.failure {
-                eprintln!("FAIL {protocol:?} fuzz hot seed {seed}: {f}");
+                let hot = if cfg.blocks == 2 { " hot" } else { "" };
+                eprintln!("FAIL {protocol:?} fuzz{hot} seed {}: {f}", cfg.seed);
                 ok = false;
             }
             observed.add(&report.stats);

@@ -29,7 +29,7 @@
 use std::process::ExitCode;
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::fuzz::{minimize, minimize_stream, replay, run_fuzz, FuzzConfig};
+use swiftdir_core::fuzz::{minimize, minimize_stream, replay, run_fuzz, run_fuzz_many, FuzzConfig};
 use swiftdir_core::stream::StreamFile;
 
 const ALL_PROTOCOLS: [ProtocolKind; 4] = [
@@ -109,46 +109,58 @@ fn main() -> ExitCode {
         None => (0..args.seeds).collect(),
     };
 
-    let mut runs = 0u64;
+    // The (protocol, seed) grid is embarrassingly parallel: fan it over
+    // the experiment driver (`SWIFTDIR_THREADS` / host parallelism).
+    // Reports come back in grid order, so the output — including the
+    // failure lines — is identical to the old serial loop.
+    let grid: Vec<FuzzConfig> = args
+        .protocols
+        .iter()
+        .flat_map(|&protocol| {
+            seeds.iter().map(move |&seed| {
+                let mut cfg = FuzzConfig::new(seed, protocol);
+                if let Some(ops) = args.ops {
+                    cfg.ops = ops;
+                }
+                if let Some(j) = args.jitter {
+                    cfg.jitter_max = j;
+                }
+                cfg
+            })
+        })
+        .collect();
+    let reports = run_fuzz_many(&grid);
+
+    let runs = reports.len() as u64;
     let mut events = 0u64;
     let mut failures = 0u64;
-    for &protocol in &args.protocols {
-        for &seed in &seeds {
-            let mut cfg = FuzzConfig::new(seed, protocol);
-            if let Some(ops) = args.ops {
-                cfg.ops = ops;
-            }
-            if let Some(j) = args.jitter {
-                cfg.jitter_max = j;
-            }
-            let report = run_fuzz(&cfg);
-            runs += 1;
-            events += report.events;
-            if let Some(failure) = &report.failure {
-                failures += 1;
-                eprintln!("FAIL {protocol:?} seed {seed}: {failure}");
-                eprintln!("  replay: {cfg:?}");
-                if args.do_minimize {
-                    let small = minimize(&cfg);
-                    let small_report = run_fuzz(&small);
-                    eprintln!("  minimized: {small:?}");
-                    if let Some(f) = small_report.failure {
-                        eprintln!("  minimized failure: {f}");
-                    }
-                    // Delta-debug the concrete access stream and leave a
-                    // generator-independent repro on disk.
-                    let stream = minimize_stream(&small.stream_file(), None);
-                    let path = format!(
-                        "swiftdir-fuzz-min-{}-{seed}.stream",
-                        format!("{protocol:?}").to_ascii_lowercase()
-                    );
-                    match std::fs::write(&path, stream.to_text()) {
-                        Ok(()) => eprintln!(
-                            "  minimal repro: {} ops -> {path} (replay with --replay {path})",
-                            stream.ops.len()
-                        ),
-                        Err(e) => eprintln!("  could not write {path}: {e}"),
-                    }
+    for (cfg, report) in grid.iter().zip(&reports) {
+        events += report.events;
+        if let Some(failure) = &report.failure {
+            let (protocol, seed) = (cfg.protocol, cfg.seed);
+            failures += 1;
+            eprintln!("FAIL {protocol:?} seed {seed}: {failure}");
+            eprintln!("  replay: {cfg:?}");
+            if args.do_minimize {
+                let small = minimize(cfg);
+                let small_report = run_fuzz(&small);
+                eprintln!("  minimized: {small:?}");
+                if let Some(f) = small_report.failure {
+                    eprintln!("  minimized failure: {f}");
+                }
+                // Delta-debug the concrete access stream and leave a
+                // generator-independent repro on disk.
+                let stream = minimize_stream(&small.stream_file(), None);
+                let path = format!(
+                    "swiftdir-fuzz-min-{}-{seed}.stream",
+                    format!("{protocol:?}").to_ascii_lowercase()
+                );
+                match std::fs::write(&path, stream.to_text()) {
+                    Ok(()) => eprintln!(
+                        "  minimal repro: {} ops -> {path} (replay with --replay {path})",
+                        stream.ops.len()
+                    ),
+                    Err(e) => eprintln!("  could not write {path}: {e}"),
                 }
             }
         }

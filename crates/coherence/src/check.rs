@@ -149,7 +149,7 @@ impl Checker {
                     data: line.data,
                 });
             }
-            for (&block, ins) in &l1.installing {
+            for (block, ins) in l1.installing.iter() {
                 if !matches!(ins.state, L1State::S | L1State::E | L1State::M) {
                     return Err(violation(
                         h,
@@ -164,7 +164,7 @@ impl Checker {
                     data: ins.data,
                 });
             }
-            for (&block, entry) in &l1.wb_buffer {
+            for (block, entry) in l1.wb_buffer.iter() {
                 if !matches!(entry.state, L1State::MiA | L1State::EiA) {
                     return Err(violation(
                         h,
@@ -174,7 +174,7 @@ impl Checker {
                     ));
                 }
             }
-            if l1.pending.len() > l1.mshr_capacity {
+            if l1.pending.len() > l1.pending.capacity() {
                 return Err(violation(
                     h,
                     PhysAddr(0),
@@ -182,7 +182,7 @@ impl Checker {
                     format!(
                         "MSHR occupancy {} exceeds capacity {}",
                         l1.pending.len(),
-                        l1.mshr_capacity
+                        l1.pending.capacity()
                     ),
                 ));
             }
@@ -190,7 +190,7 @@ impl Checker {
             // backing it, or it can never leave.
             for (block, line) in l1.array.iter() {
                 if matches!(line.state, L1State::SmA | L1State::EmA | L1State::ImD)
-                    && !l1.pending.contains_key(&block)
+                    && !l1.pending.contains(block)
                 {
                     return Err(violation(
                         h,

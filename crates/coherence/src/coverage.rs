@@ -19,21 +19,19 @@
 
 use std::fmt;
 
-use sim_engine::FxHashMap;
-
 use crate::hierarchy::HierarchyStats;
-use crate::msg::CoherenceEvent;
+use crate::msg::{CoherenceEvent, EventCounts};
 use crate::protocol::ProtocolKind;
 use crate::state::{L1State, LlcState};
 
 /// A union of transition matrices and event counts accumulated across
 /// any number of runs (fuzz seeds, explored schedules, protocols ran
 /// separately and merged).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ObservedCoverage {
     l1: Vec<((L1State, L1State), u64)>,
     llc: Vec<((LlcState, LlcState), u64)>,
-    events: FxHashMap<CoherenceEvent, u64>,
+    events: EventCounts,
 }
 
 impl ObservedCoverage {
@@ -60,9 +58,7 @@ impl ObservedCoverage {
                 }
             }
         }
-        for (&ev, &n) in &stats.events {
-            *self.events.entry(ev).or_insert(0) += n;
-        }
+        self.events.merge(&stats.events);
     }
 
     fn bump_l1(&mut self, from: L1State, to: L1State, n: u64) {
@@ -97,7 +93,7 @@ impl ObservedCoverage {
 
     /// Count of one event class in the union.
     pub fn event(&self, ev: CoherenceEvent) -> u64 {
-        self.events.get(&ev).copied().unwrap_or(0)
+        self.events.get(ev)
     }
 
     /// Folds another union into this one.
@@ -108,9 +104,7 @@ impl ObservedCoverage {
         for &((from, to), n) in &other.llc {
             self.bump_llc(from, to, n);
         }
-        for (&ev, &n) in &other.events {
-            *self.events.entry(ev).or_insert(0) += n;
-        }
+        self.events.merge(&other.events);
     }
 }
 
@@ -290,10 +284,10 @@ impl CoverageSpec {
                 r.uncovered_events.push(ev);
             }
         }
-        let mut observed_events: Vec<_> = observed.events.iter().collect();
-        observed_events.sort_by_key(|(e, _)| e.name());
-        for (&ev, &n) in observed_events {
-            if n > 0 && !self.event_legal(ev) {
+        // `EventCounts::iter` yields non-zero classes in declaration
+        // order, so the report is deterministic without sorting.
+        for (ev, n) in observed.events.iter() {
+            if !self.event_legal(ev) {
                 r.illegal_events.push((ev, n));
             }
         }
@@ -310,7 +304,7 @@ impl CoverageSpec {
 
 /// The two-directional diff of observed coverage against a
 /// [`CoverageSpec`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageReport {
     /// The protocol checked.
     pub protocol: ProtocolKind,

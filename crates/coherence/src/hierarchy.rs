@@ -19,8 +19,9 @@ use swiftdir_mmu::PhysAddr;
 
 use crate::config::HierarchyConfig;
 use crate::metrics::{ProtocolMetrics, RequestClass};
-use crate::msg::{CoherenceEvent, Msg};
+use crate::msg::{CoherenceEvent, EventCounts, Msg};
 use crate::protocol::{InitialGrant, ProtocolKind};
+use crate::slab::{BlockMap, MshrTable};
 use crate::state::{L1State, LlcState};
 
 /// Identifier of one core-issued memory request.
@@ -151,7 +152,7 @@ impl Completion {
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Message counts by Table III event class.
-    pub events: FxHashMap<CoherenceEvent, u64>,
+    pub events: EventCounts,
     /// L1 load/store hits.
     pub l1_hits: u64,
     /// L1 misses (primary, excluding MSHR merges).
@@ -172,7 +173,7 @@ pub struct HierarchyStats {
 impl HierarchyStats {
     /// Count of one event class.
     pub fn event(&self, e: CoherenceEvent) -> u64 {
-        self.events.get(&e).copied().unwrap_or(0)
+        self.events.get(e)
     }
 }
 
@@ -220,17 +221,18 @@ pub(crate) struct WbEntry {
 pub(crate) struct L1 {
     pub(crate) array: CacheArray<L1Line>,
     /// Blocks with an outstanding L1 transaction → queued requests
-    /// (index 0 is the primary that created the transaction).
-    pub(crate) pending: FxHashMap<u64, Vec<PendingReq>>,
+    /// (index 0 is the primary that created the transaction). Slab slots:
+    /// capacity is the architectural MSHR count, and request vectors are
+    /// recycled across transactions.
+    pub(crate) pending: MshrTable<PendingReq>,
     /// Evicted E/M lines awaiting the LLC's writeback ack; they still
     /// answer forwarded requests from here.
-    pub(crate) wb_buffer: FxHashMap<u64, WbEntry>,
+    pub(crate) wb_buffer: BlockMap<WbEntry>,
     /// Granted lines waiting for an eligible way (see [`PendingInstall`]).
-    pub(crate) installing: FxHashMap<u64, PendingInstall>,
+    pub(crate) installing: BlockMap<PendingInstall>,
     /// Blocks whose install exhausted its retry budget; woken when a way
     /// in their set becomes eligible.
     pub(crate) stalled_installs: Vec<u64>,
-    pub(crate) mshr_capacity: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -467,6 +469,9 @@ pub struct Hierarchy {
     /// Scratch buffer for [`EventQueue::pop_batch`]; kept on the struct so
     /// its allocation is reused across ticks.
     batch: Vec<Event>,
+    /// Scratch for draining a closed MSHR transaction's queued requests;
+    /// reused so transaction completion never allocates.
+    finish_scratch: Vec<PendingReq>,
     stats: HierarchyStats,
     /// Structured protocol tracer (disabled by default: one branch per
     /// would-be event).
@@ -482,11 +487,10 @@ impl Hierarchy {
         let l1s = (0..cfg.cores)
             .map(|_| L1 {
                 array: CacheArray::new(cfg.l1_geometry, cfg.replacement),
-                pending: FxHashMap::default(),
-                wb_buffer: FxHashMap::default(),
-                installing: FxHashMap::default(),
+                pending: MshrTable::new(cfg.l1_mshrs),
+                wb_buffer: BlockMap::new(),
+                installing: BlockMap::new(),
                 stalled_installs: Vec::new(),
-                mshr_capacity: cfg.l1_mshrs,
             })
             .collect();
         Hierarchy {
@@ -499,6 +503,7 @@ impl Hierarchy {
             next_req: 0,
             completions: Vec::new(),
             batch: Vec::new(),
+            finish_scratch: Vec::new(),
             stats: HierarchyStats::default(),
             tracer: Tracer::disabled(),
             jitter: None,
@@ -631,14 +636,30 @@ impl Hierarchy {
         self.try_tick(upto).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`tick`](Hierarchy::tick): returns the [`ProtocolError`]
-    /// instead of panicking when a controller receives a message its state
-    /// machine has no transition for.
+    /// Buffer-reusing [`tick`](Hierarchy::tick): appends the window's
+    /// completions to `out` instead of returning a fresh vector, so the
+    /// internal completion buffer keeps its capacity across batches.
+    /// This is the simulation main loop's variant — one `tick` per
+    /// distinct event time means the returning-vector form reallocates
+    /// on every batch.
+    pub fn tick_into(&mut self, upto: Cycle, out: &mut Vec<Completion>) {
+        if let Err(e) = self.try_tick_into(upto, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`tick_into`](Hierarchy::tick_into).
     ///
     /// # Errors
     ///
-    /// The first illegal protocol event encountered.
-    pub fn try_tick(&mut self, upto: Cycle) -> Result<Vec<Completion>, Box<ProtocolError>> {
+    /// The first illegal protocol event encountered; completions from
+    /// the partial window stay queued internally, as with
+    /// [`try_tick`](Hierarchy::try_tick).
+    pub fn try_tick_into(
+        &mut self,
+        upto: Cycle,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), Box<ProtocolError>> {
         let mut batch = std::mem::take(&mut self.batch);
         let mut failure = None;
         'ticks: while let Some(now) = self.queue.pop_batch(upto, &mut batch) {
@@ -653,8 +674,24 @@ impl Hierarchy {
         self.batch = batch;
         match failure {
             Some(e) => Err(e),
-            None => Ok(std::mem::take(&mut self.completions)),
+            None => {
+                out.append(&mut self.completions);
+                Ok(())
+            }
         }
+    }
+
+    /// Fallible [`tick`](Hierarchy::tick): returns the [`ProtocolError`]
+    /// instead of panicking when a controller receives a message its state
+    /// machine has no transition for.
+    ///
+    /// # Errors
+    ///
+    /// The first illegal protocol event encountered.
+    pub fn try_tick(&mut self, upto: Cycle) -> Result<Vec<Completion>, Box<ProtocolError>> {
+        let mut out = Vec::new();
+        self.try_tick_into(upto, &mut out)?;
+        Ok(out)
     }
 
     /// Processes the single next event, if any; returns its timestamp.
@@ -737,7 +774,7 @@ impl Hierarchy {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (c, l1) in self.l1s.iter().enumerate() {
-            for (&block, reqs) in &l1.pending {
+            for (block, reqs) in l1.pending.iter() {
                 let state = l1.array.peek(block).map_or(L1State::I, |l| l.state);
                 let _ = writeln!(
                     out,
@@ -745,10 +782,10 @@ impl Hierarchy {
                     reqs.len()
                 );
             }
-            for (&block, entry) in &l1.wb_buffer {
+            for (block, entry) in l1.wb_buffer.iter() {
                 let _ = writeln!(out, "L1[{c}] wb_buffer {block:#x} {}", entry.state);
             }
-            for (&block, ins) in &l1.installing {
+            for (block, ins) in l1.installing.iter() {
                 let _ = writeln!(out, "L1[{c}] installing {block:#x} {}", ins.state);
             }
             for &block in &l1.stalled_installs {
@@ -836,6 +873,7 @@ impl Hierarchy {
             next_req: self.next_req,
             completions: self.completions.clone(),
             batch: Vec::new(),
+            finish_scratch: Vec::new(),
             stats: self.stats.clone(),
             tracer: Tracer::disabled(),
             jitter: self.jitter.clone(),
@@ -910,27 +948,48 @@ impl Hierarchy {
     /// wire. `window == 0` restricts exploration to reordering events that
     /// are tied for earliest delivery.
     pub fn frontier_choices(&self, window: Cycle) -> Vec<Choice> {
-        let pend = self.queue.frontier(Cycle::MAX);
-        let Some(first) = pend.first() else {
-            return Vec::new();
-        };
-        let horizon = first.at.saturating_add(window);
-        let mut heads: FxHashMap<(u8, u64, u64), sim_engine::Pending<'_, Event>> =
-            FxHashMap::default();
-        for p in &pend {
-            let key = Self::link_key(p.event);
-            let head = heads.entry(key).or_insert(*p);
-            if p.seq < head.seq {
-                *head = *p;
-            }
-        }
-        let mut out: Vec<Choice> = heads
-            .into_values()
-            .filter(|p| p.at <= horizon)
-            .map(|p| self.describe_choice(p.seq, p.at, p.event))
-            .collect();
-        out.sort_by_key(|c| (c.at, c.seq));
+        let mut keys = Vec::new();
+        let mut out = Vec::new();
+        self.frontier_choices_into(window, &mut keys, &mut out);
         out
+    }
+
+    /// Buffer-reusing variant of
+    /// [`frontier_choices`](Hierarchy::frontier_choices): fills `out` with
+    /// the same choices, using `keys` as link-key scratch. A single pass
+    /// over the pending events via [`EventQueue::for_each_pending`] — no
+    /// full-frontier vector is materialized or sorted, and callers that
+    /// step repeatedly (the schedule explorer) reuse both buffers'
+    /// allocations across steps.
+    pub fn frontier_choices_into(
+        &self,
+        window: Cycle,
+        keys: &mut Vec<(u8, u64, u64)>,
+        out: &mut Vec<Choice>,
+    ) {
+        keys.clear();
+        out.clear();
+        let mut earliest = Cycle::MAX;
+        self.queue.for_each_pending(|p| {
+            earliest = earliest.min(p.at);
+            let key = Self::link_key(p.event);
+            // `keys` runs parallel to `out`; link counts are small (a few
+            // per core), so a linear scan beats hashing here.
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => {
+                    if p.seq < out[i].seq {
+                        out[i] = self.describe_choice(p.seq, p.at, p.event);
+                    }
+                }
+                None => {
+                    keys.push(key);
+                    out.push(self.describe_choice(p.seq, p.at, p.event));
+                }
+            }
+        });
+        let horizon = earliest.saturating_add(window);
+        out.retain(|c| c.at <= horizon);
+        out.sort_by_key(|c| (c.at, c.seq));
     }
 
     /// Delivers the pending event identified by `seq` (from
@@ -975,7 +1034,8 @@ impl Hierarchy {
         let mut h = sim_engine::FxHasher::default();
 
         // Pending events, canonicalized: (relative time, link, rank-in-link).
-        let mut pend = self.queue.frontier(Cycle::MAX);
+        let mut pend = Vec::new();
+        self.queue.for_each_pending(|p| pend.push(p));
         pend.sort_by_key(|p| p.seq);
         let mut link_ranks: FxHashMap<(u8, u64, u64), u64> = FxHashMap::default();
         let mut items: Vec<FrontierItem> = Vec::with_capacity(pend.len());
@@ -994,7 +1054,7 @@ impl Hierarchy {
                 (addr, lru_rank, fifo_rank, line.state, line.data).hash(&mut h);
             }
             let mut pending: Vec<_> = l1.pending.iter().collect();
-            pending.sort_by_key(|(b, _)| **b);
+            pending.sort_by_key(|(b, _)| *b);
             for (block, reqs) in pending {
                 block.hash(&mut h);
                 for r in reqs {
@@ -1002,12 +1062,12 @@ impl Hierarchy {
                 }
             }
             let mut wb: Vec<_> = l1.wb_buffer.iter().collect();
-            wb.sort_by_key(|(b, _)| **b);
+            wb.sort_by_key(|(b, _)| *b);
             for (block, e) in wb {
                 (block, e.state, e.data).hash(&mut h);
             }
             let mut ins: Vec<_> = l1.installing.iter().collect();
-            ins.sort_by_key(|(b, _)| **b);
+            ins.sort_by_key(|(b, _)| *b);
             for (block, e) in ins {
                 (block, e.state, e.data).hash(&mut h);
             }
@@ -1086,7 +1146,7 @@ impl Hierarchy {
     }
 
     fn count(&mut self, e: CoherenceEvent) {
-        *self.stats.events.entry(e).or_insert(0) += 1;
+        self.stats.events.bump(e);
     }
 
     fn lat(&self) -> crate::config::LatencyConfig {
@@ -1258,7 +1318,7 @@ impl Hierarchy {
         let value = match req.kind {
             AccessKind::Store => {
                 let v = store_value(req.id);
-                if let Some(ins) = self.l1s[core].installing.get_mut(&block) {
+                if let Some(ins) = self.l1s[core].installing.get_mut(block) {
                     ins.data = v;
                 } else if let Some(line) = self.l1s[core].array.get_mut(block) {
                     line.data = v;
@@ -1267,7 +1327,7 @@ impl Hierarchy {
             }
             AccessKind::Load => self.l1s[core]
                 .installing
-                .get(&block)
+                .get(block)
                 .map(|ins| ins.data)
                 .or_else(|| self.l1s[core].array.peek(block).map(|l| l.data))
                 .unwrap_or(0),
@@ -1317,7 +1377,7 @@ impl Hierarchy {
     /// for a new transaction. Both misses and S/E→M upgrades occupy an
     /// MSHR entry; requests merging into an existing entry never stall.
     fn l1_mshr_full(&mut self, now: Cycle, core: usize, block: u64, req: PendingReq) -> bool {
-        if self.l1s[core].pending.len() < self.l1s[core].mshr_capacity {
+        if !self.l1s[core].pending.is_full() {
             return false;
         }
         self.tracer.emit(|| TraceEvent {
@@ -1337,7 +1397,7 @@ impl Hierarchy {
         let lat = self.lat();
 
         // Merge into an outstanding transaction on the same block.
-        if let Some(waiters) = self.l1s[core].pending.get_mut(&block) {
+        if let Some(waiters) = self.l1s[core].pending.get_mut(block) {
             waiters.push(req);
             self.stats.mshr_merges += 1;
             self.tracer.emit(|| TraceEvent {
@@ -1352,7 +1412,7 @@ impl Hierarchy {
 
         // A granted line still waiting for a way serves accesses from the
         // installing buffer: it holds valid data in its granted state.
-        if let Some(ins) = self.l1s[core].installing.get_mut(&block) {
+        if let Some(ins) = self.l1s[core].installing.get_mut(block) {
             let hit = match (req.kind, ins.state) {
                 (AccessKind::Load, s) if s.load_hits() => true,
                 (AccessKind::Store, L1State::M) => true,
@@ -1365,7 +1425,11 @@ impl Hierarchy {
                 _ => false,
             };
             if hit {
-                req.l1_before = self.l1s[core].installing[&block].state;
+                req.l1_before = self.l1s[core]
+                    .installing
+                    .get(block)
+                    .expect("installing entry")
+                    .state;
                 self.stats.l1_hits += 1;
                 let done = now + Cycle(lat.l1_lookup);
                 self.complete(done, core, &req, None, ServedFrom::L1);
@@ -1421,7 +1485,7 @@ impl Hierarchy {
                         .expect("line present")
                         .state = L1State::EmA;
                     self.l1_transition(now, core, req.block, L1State::E, L1State::EmA);
-                    self.l1s[core].pending.insert(block, vec![req]);
+                    self.l1s[core].pending.insert(block, req);
                     self.send_to_llc(
                         now,
                         lat.l1_lookup + lat.l1_to_llc,
@@ -1443,7 +1507,7 @@ impl Hierarchy {
                     .expect("line present")
                     .state = L1State::SmA;
                 self.l1_transition(now, core, req.block, L1State::S, L1State::SmA);
-                self.l1s[core].pending.insert(block, vec![req]);
+                self.l1s[core].pending.insert(block, req);
                 self.send_to_llc(
                     now,
                     lat.l1_lookup + lat.l1_to_llc,
@@ -1467,7 +1531,7 @@ impl Hierarchy {
                     AccessKind::Store => L1State::ImD,
                 };
                 self.l1_transition(now, core, req.block, L1State::I, transient);
-                self.l1s[core].pending.insert(block, vec![req]);
+                self.l1s[core].pending.insert(block, req);
                 let msg = match req.kind {
                     AccessKind::Load => {
                         if req.wp && self.cfg.protocol == ProtocolKind::SwiftDir {
@@ -1522,7 +1586,7 @@ impl Hierarchy {
         attempt: u32,
     ) -> PResult {
         let lat = self.lat();
-        let Some(ins) = self.l1s[core].installing.get(&block.0).copied() else {
+        let Some(ins) = self.l1s[core].installing.get(block.0).copied() else {
             // The grant was cancelled (e.g. an Inv consumed the installing
             // entry before a way freed up); nothing to do.
             return Ok(());
@@ -1637,7 +1701,7 @@ impl Hierarchy {
             },
         );
         debug_assert!(evicted.is_none(), "free way was ensured above");
-        self.l1s[core].installing.remove(&block.0);
+        self.l1s[core].installing.remove(block.0);
         self.l1_transition(now, core, block, from, ins.state);
         // The installed line is a stable eviction candidate: any install
         // parked on this set can now make room for itself.
@@ -1680,19 +1744,23 @@ impl Hierarchy {
         llc_before: Option<LlcState>,
         served_from: ServedFrom,
     ) {
-        let Some(waiters) = self.l1s[core].pending.remove(&block.0) else {
-            return;
-        };
-        let mut iter = waiters.into_iter();
-        if let Some(primary) = iter.next() {
-            self.complete(now, core, &primary, llc_before, served_from);
+        // Drain into the reusable scratch: closing a transaction performs
+        // no allocation (the slot's vector and the scratch are recycled).
+        let mut waiters = std::mem::take(&mut self.finish_scratch);
+        waiters.clear();
+        if self.l1s[core].pending.take_into(block.0, &mut waiters) {
+            if let Some((&primary, merged)) = waiters.split_first() {
+                self.complete(now, core, &primary, llc_before, served_from);
+                for &merged in merged {
+                    // Replay through the L1: typically an immediate hit now;
+                    // a merged store behind a load grant re-issues an
+                    // upgrade.
+                    self.queue
+                        .schedule(now, Event::CoreReq { core, req: merged });
+                }
+            }
         }
-        for merged in iter {
-            // Replay through the L1: typically an immediate hit now; a
-            // merged store behind a load grant re-issues an upgrade.
-            self.queue
-                .schedule(now, Event::CoreReq { core, req: merged });
-        }
+        self.finish_scratch = waiters;
     }
 
     fn l1_handle(&mut self, now: Cycle, core: usize, msg: Msg) -> PResult {
@@ -1763,7 +1831,7 @@ impl Hierarchy {
                     self.l1_transition(now, core, addr, from, L1State::M);
                     // The line is stable (and evictable) again.
                     self.l1_drain_stalls(now, core, addr);
-                } else if let Some(ins) = self.l1s[core].installing.get_mut(&addr.0) {
+                } else if let Some(ins) = self.l1s[core].installing.get_mut(addr.0) {
                     // The directory acked a store against a grant still
                     // parked in the installing buffer (the owner bit was set
                     // by our Exclusive_Unblock, so the LLC rightly skips the
@@ -1855,14 +1923,14 @@ impl Hierarchy {
                         );
                     }
                     _ => {
-                        if let Some(ins) = self.l1s[core].installing.get(&addr.0).copied() {
+                        if let Some(ins) = self.l1s[core].installing.get(addr.0).copied() {
                             // The granted line is still in the installing
                             // buffer (no way freed yet); it is the owner copy
                             // all the same. Demote it in place.
                             let was_m = ins.state == L1State::M;
                             self.l1s[core]
                                 .installing
-                                .get_mut(&addr.0)
+                                .get_mut(addr.0)
                                 .expect("entry")
                                 .state = L1State::S;
                             self.l1_transition(now, core, addr, ins.state, L1State::S);
@@ -1896,7 +1964,7 @@ impl Hierarchy {
                                     Msg::WbDataClean { core, addr },
                                 );
                             }
-                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(&addr.0).copied() {
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(addr.0).copied() {
                             // Owner is mid-eviction: the wb_buffer still has
                             // the data; the eviction WB doubles as the LLC's
                             // signal.
@@ -1995,7 +2063,7 @@ impl Hierarchy {
                         );
                     }
                     _ => {
-                        if let Some(ins) = self.l1s[core].installing.remove(&addr.0) {
+                        if let Some(ins) = self.l1s[core].installing.remove(addr.0) {
                             // The granted line never reached the array; hand
                             // it straight to the winner and drop the grant.
                             self.l1s[core].stalled_installs.retain(|&b| b != addr.0);
@@ -2024,7 +2092,7 @@ impl Hierarchy {
                                     data: if dirty { ins.data } else { 0 },
                                 },
                             );
-                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(&addr.0).copied() {
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.get(addr.0).copied() {
                             self.send_to_l1(
                                 now,
                                 lat.owner_lookup + lat.owner_to_requester,
@@ -2088,7 +2156,7 @@ impl Hierarchy {
                         );
                     }
                     None => {
-                        if let Some(ins) = self.l1s[core].installing.remove(&addr.0) {
+                        if let Some(ins) = self.l1s[core].installing.remove(addr.0) {
                             // The invalidation raced the install: cancel the
                             // buffered grant and surrender its data.
                             self.l1s[core].stalled_installs.retain(|&b| b != addr.0);
@@ -2104,7 +2172,7 @@ impl Hierarchy {
                                     data: if dirty { ins.data } else { 0 },
                                 },
                             );
-                        } else if let Some(entry) = self.l1s[core].wb_buffer.remove(&addr.0) {
+                        } else if let Some(entry) = self.l1s[core].wb_buffer.remove(addr.0) {
                             // The Inv crossed our eviction: the WbData is
                             // already ahead of this ack on the L1→LLC link,
                             // so fold the eviction into the invalidation —
@@ -2137,7 +2205,7 @@ impl Hierarchy {
                 }
             }
             Msg::WbAck { addr } => {
-                if let Some(entry) = self.l1s[core].wb_buffer.remove(&addr.0) {
+                if let Some(entry) = self.l1s[core].wb_buffer.remove(addr.0) {
                     // The eviction handshake closes: EI_A/MI_A → I.
                     self.l1_transition(now, core, addr, entry.state, L1State::I);
                 }
@@ -3165,7 +3233,7 @@ mod tests {
         for round in 0..50u64 {
             for core in 0..4usize {
                 let addr = PhysAddr(0x4_0000 + (round % 8) * 64);
-                let req = if (round + core as u64) % 3 == 0 {
+                let req = if (round + core as u64).is_multiple_of(3) {
                     CoreRequest::store(addr)
                 } else {
                     CoreRequest::load(addr)

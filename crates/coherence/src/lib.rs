@@ -45,6 +45,7 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod msg;
 pub mod protocol;
+mod slab;
 pub mod state;
 
 pub use check::{Checker, Violation};
@@ -55,6 +56,6 @@ pub use hierarchy::{
     HierarchyStats, ProtocolError, RequestId, ServedFrom,
 };
 pub use metrics::{ProtocolMetrics, RequestClass};
-pub use msg::{CoherenceEvent, Msg};
+pub use msg::{CoherenceEvent, EventCounts, Msg};
 pub use protocol::ProtocolKind;
 pub use state::{L1State, LlcState};

@@ -362,6 +362,56 @@ impl fmt::Display for CoherenceEvent {
     }
 }
 
+/// Flat per-event-class counters.
+///
+/// This replaces a `CoherenceEvent → u64` hash map on the per-message hot
+/// path: counting an event is a single indexed add (the enum discriminant
+/// is the index), and merging two counter sets is a fixed-width loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts([u64; CoherenceEvent::ALL.len()]);
+
+impl Default for EventCounts {
+    fn default() -> Self {
+        EventCounts([0; CoherenceEvent::ALL.len()])
+    }
+}
+
+impl EventCounts {
+    /// Counts one occurrence of `e`.
+    #[inline]
+    pub fn bump(&mut self, e: CoherenceEvent) {
+        self.0[e as usize] += 1;
+    }
+
+    /// Adds `n` occurrences of `e`.
+    #[inline]
+    pub fn add(&mut self, e: CoherenceEvent, n: u64) {
+        self.0[e as usize] += n;
+    }
+
+    /// Count of `e`.
+    #[inline]
+    pub fn get(&self, e: CoherenceEvent) -> u64 {
+        self.0[e as usize]
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// The event classes with a non-zero count, in [`CoherenceEvent::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoherenceEvent, u64)> + '_ {
+        CoherenceEvent::ALL
+            .iter()
+            .map(move |&e| (e, self.0[e as usize]))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,66 @@ impl<C> ExperimentSet<C> {
             .collect()
     }
 
+    /// Like [`ExperimentSet::run`], but hands each worker **ownership**
+    /// of its configuration instead of a shared reference — for
+    /// configurations that are `Send` but not `Sync` (e.g. whole
+    /// simulator instances carrying tracer sinks). Results are in input
+    /// order, exactly as for [`ExperimentSet::run`].
+    pub fn run_owned<R, F>(self, f: F) -> Vec<R>
+    where
+        C: Send,
+        R: Send,
+        F: Fn(C) -> R + Sync,
+    {
+        let workers = self
+            .threads
+            .unwrap_or_else(default_threads)
+            .min(self.configs.len().max(1));
+        let configs = self.configs;
+        if workers <= 1 {
+            return configs.into_iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let count = configs.len();
+        // Each config sits behind its own mutex so a worker can *take*
+        // it; the work-stealing index guarantees a slot is claimed once.
+        let inputs: Vec<Mutex<Option<C>>> =
+            configs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+        slots.resize_with(count, || None);
+        let results = Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = inputs.get(i) else {
+                        break;
+                    };
+                    let config = slot
+                        .lock()
+                        .expect("a worker panicked")
+                        .take()
+                        .expect("each config is claimed exactly once");
+                    let r = f(config);
+                    results.lock().expect("a worker panicked")[i] = Some(r);
+                }));
+            }
+            for h in handles {
+                h.join().expect("experiment worker panicked");
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("a worker panicked")
+            .into_iter()
+            .map(|r| r.expect("every slot was filled"))
+            .collect()
+    }
+
     /// Like [`ExperimentSet::run`], but also reports wall-clock timing:
     /// per-point seconds (in input order) plus the sweep total, for
     /// driver output and throughput accounting. The results themselves

@@ -33,6 +33,7 @@ use swiftdir_coherence::{
     Checker, Choice, Completion, Hierarchy, HierarchyConfig, ObservedCoverage, RequestId,
 };
 
+use crate::driver::{self, ExperimentSet};
 use crate::stream::{issue_stream, AccessOp};
 
 /// Budgets and feature toggles for one exploration.
@@ -70,7 +71,7 @@ impl Default for ExploreConfig {
 
 /// A violation (protocol error, invariant breach, or stuck leaf) found
 /// on one explored schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreError {
     /// Human-readable description.
     pub detail: String,
@@ -86,7 +87,7 @@ impl std::fmt::Display for ExploreError {
 }
 
 /// The result of one bounded-exhaustive exploration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExploreReport {
     /// Complete schedules walked to quiescence.
     pub schedules: u64,
@@ -139,23 +140,120 @@ impl ExploreReport {
 pub fn explore(cfg: &HierarchyConfig, stream: &[AccessOp], ecfg: &ExploreConfig) -> ExploreReport {
     let mut h = Hierarchy::new(*cfg);
     issue_stream(&mut h, stream);
-    let mut walker = Walker {
-        ecfg: *ecfg,
-        expected: stream.len(),
-        seen: FxHashMap::default(),
-        outcomes: FxHashSet::default(),
-        timings: FxHashSet::default(),
-        report: ExploreReport::default(),
-        trace: Vec::new(),
-        completions: Vec::new(),
-    };
+    let mut walker = Walker::new(*ecfg, stream.len());
     let checker = Checker::new();
     walker.dfs(&h, &checker, &[], 0);
-    walker.report.outcomes = walker.outcomes.into_iter().collect();
-    walker.report.outcomes.sort_unstable();
-    walker.report.timings = walker.timings.into_iter().collect();
-    walker.report.timings.sort_unstable();
-    walker.report
+    walker.finish()
+}
+
+/// [`explore`] with the root's frontier choices fanned over the
+/// experiment driver's worker threads (`SWIFTDIR_THREADS`, else the
+/// host parallelism).
+///
+/// Each top-level branch is walked as an independent depth-first
+/// exploration seeded with exactly the sleep set the serial walk would
+/// hand it (the earlier root choices, filtered by [`independent`]), and
+/// the per-branch reports are merged **in root-choice order**. The
+/// result is therefore bit-identical for every thread count, including
+/// one — the thread schedule only decides which branch runs where.
+///
+/// Relative to [`explore`], the architectural outcome set is preserved
+/// exactly and the timing set is a superset, but the work counters
+/// (`steps`, `pruned`, `schedules`) can run higher: each branch keeps a
+/// private state-digest table and full budgets, so revisits are only
+/// pruned within a branch, never across branches — and an unpruned
+/// revisit can surface absolute timings the time-shift-invariant digest
+/// would have folded away.
+pub fn explore_parallel(
+    cfg: &HierarchyConfig,
+    stream: &[AccessOp],
+    ecfg: &ExploreConfig,
+) -> ExploreReport {
+    explore_parallel_threads(cfg, stream, ecfg, driver::default_threads())
+}
+
+/// [`explore_parallel`] with a pinned worker count (`threads == 1` walks
+/// the branches serially on the calling thread, still producing the
+/// branch-decomposed report).
+pub fn explore_parallel_threads(
+    cfg: &HierarchyConfig,
+    stream: &[AccessOp],
+    ecfg: &ExploreConfig,
+    threads: usize,
+) -> ExploreReport {
+    let mut root = Hierarchy::new(*cfg);
+    issue_stream(&mut root, stream);
+    let root_choices = root.frontier_choices(Cycle(ecfg.window));
+    if root_choices.len() <= 1 {
+        // Degenerate root: nothing to fan out.
+        return explore(cfg, stream, ecfg);
+    }
+    let expected = stream.len();
+
+    // Branch `k` starts with the sleep set the serial root loop would
+    // pass it: every earlier sibling that is independent of this choice.
+    // Each branch owns a fork of the root (`Hierarchy` is `Send` but not
+    // `Sync`, so branches cannot share one), handed to its worker whole.
+    let branches: Vec<(Hierarchy, Choice, Vec<Choice>)> = root_choices
+        .iter()
+        .enumerate()
+        .map(|(k, &choice)| {
+            let sleep: Vec<Choice> = if ecfg.sleep_sets {
+                root_choices[..k]
+                    .iter()
+                    .filter(|s| independent(s, &choice))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (root.fork(), choice, sleep)
+        })
+        .collect();
+
+    let reports = ExperimentSet::new(branches)
+        .threads(threads)
+        .run_owned(|(h, choice, sleep)| {
+            let mut walker = Walker::new(*ecfg, expected);
+            let checker = Checker::new();
+            walker.step_into(&h, &checker, &choice, &sleep, 0);
+            walker.finish()
+        });
+    merge_reports(reports)
+}
+
+/// Folds per-branch reports (in canonical root-choice order) into one.
+fn merge_reports(reports: Vec<ExploreReport>) -> ExploreReport {
+    let mut merged = ExploreReport::default();
+    let mut outcomes: Vec<u64> = Vec::new();
+    let mut timings: Vec<u64> = Vec::new();
+    for r in reports {
+        merged.schedules += r.schedules;
+        merged.steps += r.steps;
+        merged.pruned += r.pruned;
+        merged.sleep_skipped += r.sleep_skipped;
+        merged.deepest = merged.deepest.max(r.deepest);
+        merged.truncated |= r.truncated;
+        outcomes.extend(r.outcomes);
+        timings.extend(r.timings);
+        merged.coverage.merge(&r.coverage);
+        for (req, m) in r.latencies {
+            let slot = merged.latencies.entry(req).or_default();
+            for (lat, n) in m {
+                *slot.entry(lat).or_insert(0) += n;
+            }
+        }
+        if merged.error.is_none() {
+            merged.error = r.error;
+        }
+    }
+    outcomes.sort_unstable();
+    outcomes.dedup();
+    timings.sort_unstable();
+    timings.dedup();
+    merged.outcomes = outcomes;
+    merged.timings = timings;
+    merged
 }
 
 struct Walker {
@@ -167,19 +265,65 @@ struct Walker {
     report: ExploreReport,
     trace: Vec<u64>,
     completions: Vec<Completion>,
+    /// Recycled per-depth frontier buffers: [`Walker::dfs`] pops one,
+    /// fills it via [`Hierarchy::frontier_choices_into`], and returns it
+    /// after the subtree — steady-state walking allocates nothing.
+    choice_pool: Vec<Vec<Choice>>,
+    /// Link-key scratch for [`Hierarchy::frontier_choices_into`].
+    choice_keys: Vec<(u8, u64, u64)>,
 }
 
 impl Walker {
+    fn new(ecfg: ExploreConfig, expected: usize) -> Self {
+        Walker {
+            ecfg,
+            expected,
+            seen: FxHashMap::default(),
+            outcomes: FxHashSet::default(),
+            timings: FxHashSet::default(),
+            report: ExploreReport::default(),
+            trace: Vec::new(),
+            completions: Vec::new(),
+            choice_pool: Vec::new(),
+            choice_keys: Vec::new(),
+        }
+    }
+
+    /// Sorts the accumulated outcome sets into the final report.
+    fn finish(mut self) -> ExploreReport {
+        self.report.outcomes = self.outcomes.into_iter().collect();
+        self.report.outcomes.sort_unstable();
+        self.report.timings = self.timings.into_iter().collect();
+        self.report.timings.sort_unstable();
+        self.report
+    }
+
     /// Walks the subtree under `h`; returns false to abort the whole
     /// exploration (violation found or hard budget hit).
     fn dfs(&mut self, h: &Hierarchy, checker: &Checker, sleep: &[Choice], depth: usize) -> bool {
         self.report.deepest = self.report.deepest.max(depth);
 
-        let choices = h.frontier_choices(Cycle(self.ecfg.window));
-        if choices.is_empty() {
-            return self.leaf(h, checker);
-        }
+        let mut choices = self.choice_pool.pop().unwrap_or_default();
+        h.frontier_choices_into(Cycle(self.ecfg.window), &mut self.choice_keys, &mut choices);
+        let ok = if choices.is_empty() {
+            self.leaf(h, checker)
+        } else {
+            self.visit(h, checker, sleep, depth, &choices)
+        };
+        choices.clear();
+        self.choice_pool.push(choices);
+        ok
+    }
 
+    /// Explores a non-leaf node whose frontier is `choices`.
+    fn visit(
+        &mut self,
+        h: &Hierarchy,
+        checker: &Checker,
+        sleep: &[Choice],
+        depth: usize,
+        choices: &[Choice],
+    ) -> bool {
         if depth >= self.ecfg.max_depth {
             self.report.truncated = true;
             return true;
@@ -214,7 +358,7 @@ impl Walker {
         // subtree that delivers `a` first, later siblings only need to
         // consider `a` after some dependent event (sleep-set reduction).
         let mut barred: Vec<Choice> = sleep.to_vec();
-        for choice in &choices {
+        for choice in choices {
             if self.ecfg.sleep_sets && barred.iter().any(|s| s.seq == choice.seq) {
                 self.report.sleep_skipped += 1;
                 continue;
@@ -229,40 +373,7 @@ impl Walker {
                 Vec::new()
             };
 
-            let mut child = h.fork();
-            let mut child_checker = checker.clone();
-            self.trace.push(choice.seq);
-            let completions_mark = self.completions.len();
-            let ok = match child.try_step_choice(choice.seq) {
-                Err(e) => {
-                    self.fail(format!("protocol error: {e}"));
-                    false
-                }
-                Ok(None) => {
-                    self.fail(format!("frontier choice seq {} vanished", choice.seq));
-                    false
-                }
-                Ok(Some(_)) => {
-                    self.report.steps += 1;
-                    let done = child.drain_completions();
-                    self.completions.extend_from_slice(&done);
-                    let audit = if self.ecfg.check_invariants {
-                        child_checker.after_event(&child, &done).err()
-                    } else {
-                        None
-                    };
-                    match audit {
-                        Some(v) => {
-                            self.fail(format!("invariant violation: {v}"));
-                            false
-                        }
-                        None => self.dfs(&child, &child_checker, &child_sleep, depth + 1),
-                    }
-                }
-            };
-            self.trace.pop();
-            self.completions.truncate(completions_mark);
-            if !ok {
+            if !self.step_into(h, checker, choice, &child_sleep, depth) {
                 return false;
             }
             if self.report.schedules >= self.ecfg.max_schedules {
@@ -272,6 +383,54 @@ impl Walker {
             barred.push(*choice);
         }
         true
+    }
+
+    /// Forks `h`, dispatches `choice`, audits the event, and walks the
+    /// child subtree (at `depth + 1`) with `child_sleep`; the path state
+    /// (trace, completion log) is restored afterwards. Returns false to
+    /// abort the exploration.
+    fn step_into(
+        &mut self,
+        h: &Hierarchy,
+        checker: &Checker,
+        choice: &Choice,
+        child_sleep: &[Choice],
+        depth: usize,
+    ) -> bool {
+        let mut child = h.fork();
+        let mut child_checker = checker.clone();
+        self.trace.push(choice.seq);
+        let completions_mark = self.completions.len();
+        let ok = match child.try_step_choice(choice.seq) {
+            Err(e) => {
+                self.fail(format!("protocol error: {e}"));
+                false
+            }
+            Ok(None) => {
+                self.fail(format!("frontier choice seq {} vanished", choice.seq));
+                false
+            }
+            Ok(Some(_)) => {
+                self.report.steps += 1;
+                let done = child.drain_completions();
+                self.completions.extend_from_slice(&done);
+                let audit = if self.ecfg.check_invariants {
+                    child_checker.after_event(&child, &done).err()
+                } else {
+                    None
+                };
+                match audit {
+                    Some(v) => {
+                        self.fail(format!("invariant violation: {v}"));
+                        false
+                    }
+                    None => self.dfs(&child, &child_checker, child_sleep, depth + 1),
+                }
+            }
+        };
+        self.trace.pop();
+        self.completions.truncate(completions_mark);
+        ok
     }
 
     /// Handles a drained-queue leaf: audits quiescence, records the
@@ -479,6 +638,46 @@ mod tests {
         let wide = explore(&cfg, &contended(), &ExploreConfig::default());
         assert!(narrow.exhaustive_and_clean() && wide.exhaustive_and_clean());
         assert!(wide.timings.len() >= narrow.timings.len());
+    }
+
+    #[test]
+    fn parallel_exploration_is_thread_count_invariant() {
+        // The branch-decomposed walk must produce a bit-identical report
+        // for every worker count — the thread schedule only decides
+        // which branch runs where, never what any branch computes.
+        for protocol in [ProtocolKind::SwiftDir, ProtocolKind::Mesi] {
+            let cfg = tiny(protocol, 2);
+            let ecfg = ExploreConfig::default();
+            let one = explore_parallel_threads(&cfg, &contended(), &ecfg, 1);
+            let four = explore_parallel_threads(&cfg, &contended(), &ecfg, 4);
+            assert_eq!(one, four, "{protocol:?}");
+            assert!(one.exhaustive_and_clean(), "{protocol:?}: {:?}", one.error);
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_preserves_serial_outcomes() {
+        // Branch decomposition loses cross-branch pruning (counters may
+        // grow) but must never change what behaviors exist.
+        for protocol in ProtocolKind::ALL {
+            let cfg = tiny(protocol, 2);
+            let ecfg = ExploreConfig::default();
+            let serial = explore(&cfg, &contended(), &ecfg);
+            let parallel = explore_parallel_threads(&cfg, &contended(), &ecfg, 4);
+            assert!(serial.exhaustive_and_clean() && parallel.exhaustive_and_clean());
+            assert_eq!(serial.outcomes, parallel.outcomes, "{protocol:?}");
+            // Timings: pruning is time-shift-invariant, so the serial
+            // walk's digest table can cut revisits whose absolute times
+            // differ; the less-pruned parallel walk records a superset.
+            assert!(
+                serial.timings.iter().all(|t| parallel.timings.contains(t)),
+                "{protocol:?}: parallel walk lost a timing outcome"
+            );
+            assert!(
+                parallel.schedules >= serial.schedules,
+                "{protocol:?}: private digest tables can only walk more"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use swiftdir_coherence::{
 };
 use swiftdir_mmu::PhysAddr;
 
+use crate::driver::ExperimentSet;
 use crate::stream::{issue_stream, AccessOp, StreamFile};
 
 /// Events without a single completion before the watchdog declares the
@@ -227,6 +228,26 @@ impl FuzzReport {
 /// ```
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     run_ops(cfg, &cfg.stream_file(), None)
+}
+
+/// Runs every scenario in `configs` fanned over the experiment driver's
+/// worker threads (`SWIFTDIR_THREADS`, else the host parallelism).
+///
+/// Each scenario is self-contained and seeded, so the fan-out cannot
+/// perturb it; results come back **in input order**, making the returned
+/// reports (digests, event counts, statistics) bit-identical to calling
+/// [`run_fuzz`] serially over the slice, whatever the thread count.
+pub fn run_fuzz_many(configs: &[FuzzConfig]) -> Vec<FuzzReport> {
+    ExperimentSet::new(configs.to_vec()).run(run_fuzz)
+}
+
+/// [`run_fuzz_many`] with a pinned worker count (`threads == 1` runs
+/// strictly serially on the calling thread). Used by the bench harness
+/// and the determinism tests to compare thread counts explicitly.
+pub fn run_fuzz_many_threads(configs: &[FuzzConfig], threads: usize) -> Vec<FuzzReport> {
+    ExperimentSet::new(configs.to_vec())
+        .threads(threads)
+        .run(run_fuzz)
 }
 
 /// Replays a [`StreamFile`] op-for-op on the standard shrunken fuzz
@@ -514,6 +535,29 @@ mod tests {
         let b = run_fuzz(&FuzzConfig::new(2, ProtocolKind::Mesi));
         assert!(a.ok() && b.ok());
         assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn fuzz_fan_out_is_thread_count_invariant() {
+        let configs: Vec<FuzzConfig> = ProtocolKind::ALL
+            .into_iter()
+            .flat_map(|p| {
+                (0..3u64).map(move |seed| {
+                    let mut c = FuzzConfig::new(seed, p);
+                    c.ops = 60;
+                    c
+                })
+            })
+            .collect();
+        let one = run_fuzz_many_threads(&configs, 1);
+        let four = run_fuzz_many_threads(&configs, 4);
+        assert_eq!(one.len(), configs.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert!(a.ok(), "{:?}: {}", a.config, a.failure.as_ref().unwrap());
+            assert_eq!(a.digest, b.digest, "{:?}", a.config);
+            assert_eq!(a.events, b.events, "{:?}", a.config);
+            assert_eq!(a.stats, b.stats, "{:?}", a.config);
+        }
     }
 
     #[test]

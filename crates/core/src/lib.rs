@@ -66,10 +66,12 @@ pub use diff::{
     swiftdir_mesi_cycle_identity, well_separated_stream, StreamRun,
 };
 pub use driver::{DriverReport, ExperimentSet, PointTiming};
-pub use explore::{explore, ExploreConfig, ExploreError, ExploreReport};
+pub use explore::{
+    explore, explore_parallel, explore_parallel_threads, ExploreConfig, ExploreError, ExploreReport,
+};
 pub use fuzz::{
-    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, FuzzConfig, FuzzFailure,
-    FuzzFailureKind, FuzzReport, PlantedFault,
+    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, run_fuzz_many,
+    run_fuzz_many_threads, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport, PlantedFault,
 };
 pub use obs::{TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};

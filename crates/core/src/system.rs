@@ -231,34 +231,37 @@ impl System {
     /// Panics on deadlock (a thread waits on memory while no events are
     /// pending), which would indicate a protocol bug.
     pub fn run_to_completion(&mut self) -> RunStats {
+        // Completion buffer reused across batches; `tick_into` appends
+        // instead of returning a fresh vector per event time.
+        let mut completions = Vec::new();
         loop {
-            // 1. Let every runnable CPU make progress.
-            for i in 0..self.slots.len() {
-                let Some(mut cpu) = self.slots[i].cpu.take() else {
+            // 1. Let every runnable CPU make progress. Split the slot's
+            // fields so the core, its TLB, and the shared hierarchy can
+            // be borrowed side by side without moving anything out.
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                let CoreSlot { cpu, space, dtlb } = slot;
+                let Some(cpu) = cpu.as_mut() else {
                     continue;
                 };
                 if !cpu.done() {
-                    let space = self.slots[i].space.expect("running thread has a space");
-                    let mut dtlb = std::mem::replace(&mut self.slots[i].dtlb, Tlb::new(1));
+                    let space = space.expect("running thread has a space");
                     let mut port = SysPort {
                         core: i,
                         space,
                         cfg: &self.cfg,
                         mm: &mut self.mm,
                         hier: &mut self.hier,
-                        dtlb: &mut dtlb,
+                        dtlb,
                     };
                     let _status: CoreStatus = cpu.run(&mut port);
-                    self.slots[i].dtlb = dtlb;
                 }
-                self.slots[i].cpu = Some(cpu);
             }
 
             // 2. Advance the hierarchy to its next event batch.
             match self.hier.next_event_time() {
                 Some(t) => {
-                    let completions = self.hier.tick(t);
-                    for c in completions {
+                    self.hier.tick_into(t, &mut completions);
+                    for c in completions.drain(..) {
                         self.probe.record(&c);
                         if let Some(cpu) = self.slots[c.core].cpu.as_mut() {
                             cpu.on_mem_complete(c.req, c.done_at);

@@ -1,7 +1,8 @@
 //! The out-of-order core (`DerivO3CPU`-like).
 
 use sim_engine::FxHashSet;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use sim_engine::Cycle;
 
@@ -80,6 +81,12 @@ pub struct OutOfOrderCore {
     stores_waiting: VecDeque<swiftdir_mmu::VirtAddr>,
     /// Future SQ-slot release times.
     sq_release: Vec<Cycle>,
+    /// Min-heap over every `Slot::Ready` completion time ever pushed to
+    /// the ROB, drained lazily past `now`. Keeps the next-time-step
+    /// choice O(log ROB) instead of a full ROB scan: a retired slot's
+    /// time was ≤ `now` at retirement and `now` is monotonic, so stale
+    /// heap entries are exactly the ones the lazy drain discards.
+    ready_times: BinaryHeap<Reverse<Cycle>>,
     now: Cycle,
     issued_this_cycle: u32,
     stats: CoreStats,
@@ -117,6 +124,7 @@ impl OutOfOrderCore {
             stores_in_flight: FxHashSet::default(),
             stores_waiting: VecDeque::new(),
             sq_release: Vec::new(),
+            ready_times: BinaryHeap::new(),
             now: start,
             issued_this_cycle: 0,
             stats: CoreStats {
@@ -159,15 +167,20 @@ impl OutOfOrderCore {
         release.iter().copied().filter(|&t| t > self.now).min()
     }
 
+    /// Records a newly retirable slot's completion time.
+    fn push_ready(&mut self, t: Cycle) {
+        self.ready_times.push(Reverse(t));
+    }
+
     /// Earliest known future completion in the ROB.
-    fn earliest_known(&self) -> Option<Cycle> {
-        self.rob
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Ready(t) if *t > self.now => Some(*t),
-                _ => None,
-            })
-            .min()
+    fn earliest_known(&mut self) -> Option<Cycle> {
+        while let Some(&Reverse(t)) = self.ready_times.peek() {
+            if t > self.now {
+                return Some(t);
+            }
+            self.ready_times.pop();
+        }
+        None
     }
 }
 
@@ -195,8 +208,9 @@ impl Core for OutOfOrderCore {
                 };
                 match instr {
                     Instr::Compute(n) => {
-                        self.rob
-                            .push_back(Slot::Ready(self.now + Cycle(n.max(1) as u64)));
+                        let t = self.now + Cycle(n.max(1) as u64);
+                        self.rob.push_back(Slot::Ready(t));
+                        self.push_ready(t);
                     }
                     Instr::Load(va) => {
                         if self.busy_slots(self.loads_in_flight, &self.lq_release) >= self.cfg.lq {
@@ -226,7 +240,9 @@ impl Core for OutOfOrderCore {
                         } else {
                             self.stores_waiting.push_back(va);
                         }
-                        self.rob.push_back(Slot::Ready(self.now + Cycle(1)));
+                        let t = self.now + Cycle(1);
+                        self.rob.push_back(Slot::Ready(t));
+                        self.push_ready(t);
                         self.stats.mem_ops += 1;
                     }
                 }
@@ -284,7 +300,9 @@ impl Core for OutOfOrderCore {
             .iter_mut()
             .find(|s| matches!(s, Slot::WaitLoad(t) if *t == token))
             .expect("completion for an unknown load token");
-        *slot = Slot::Ready(at.max(self.now));
+        let ready_at = at.max(self.now);
+        *slot = Slot::Ready(ready_at);
+        self.ready_times.push(Reverse(ready_at));
         self.loads_in_flight -= 1;
         if at > self.now {
             self.lq_release.push(at);

@@ -1,9 +1,34 @@
 //! The discrete-event scheduler queue.
+//!
+//! Internally the queue is a hybrid of three structures, picked per event at
+//! schedule time:
+//!
+//! * a **calendar wheel** of [`WHEEL`] one-cycle buckets for the dense
+//!   near-term horizon (`now < t < now + WHEEL`) — O(1) insert, O(1) pop
+//!   plus a bitmap scan, no sift traffic;
+//! * a **binary heap** fallback for far-future events (`t >= now + WHEEL`)
+//!   and for everything once a chooser has deviated from FIFO order;
+//! * a **ready lane** (`VecDeque`) for zero-latency events due exactly at
+//!   `now`.
+//!
+//! All three agree on the observable contract: events deliver in effective
+//! `(time, seq)` order, where `seq` is the global scheduling sequence
+//! number. The wheel preserves this for free — every bucket holds exactly
+//! one timestamp (two distinct times inside a window of length `WHEEL`
+//! never collide modulo `WHEEL`) and appends within a bucket are seq-
+//! ascending because `seq` is globally monotonic.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cycle::Cycle;
+
+/// Number of one-cycle calendar buckets. Events scheduled within this many
+/// cycles of `now` take the wheel fast path; farther ones fall back to the
+/// binary heap. 256 covers every point-to-point latency in the calibrated
+/// hierarchy (max ~22 cycles) plus DRAM turnarounds with a wide margin.
+pub const WHEEL: usize = 256;
+const WHEEL_WORDS: usize = WHEEL / 64;
 
 /// An event scheduled for a particular cycle.
 ///
@@ -114,25 +139,38 @@ impl<E> Chooser<E> for FifoChooser {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
+    /// Far-future events (`t >= now + WHEEL` at schedule time) and, after a
+    /// chooser deviated from FIFO order, everything with `t > now`.
     heap: BinaryHeap<Scheduled<E>>,
+    /// Calendar buckets for the near-term horizon. Invariant (ordered
+    /// regime): every entry's time lies in `[now, now + WHEEL)`, so bucket
+    /// `t % WHEEL` holds exactly one timestamp and its entries are in
+    /// ascending seq order. The wheel is empty in the disordered regime.
+    buckets: Vec<VecDeque<Scheduled<E>>>,
+    /// Occupancy bitmap over `buckets`: bit i set iff bucket i is non-empty.
+    occ: [u64; WHEEL_WORDS],
+    /// Number of events currently in the wheel.
+    wheel_len: usize,
     /// Events due exactly at `now`, scheduled while the clock already stood
-    /// at `now` (zero-latency replies, replays). They bypass the heap: a
-    /// push and pop here are O(1) instead of O(log n) sift operations.
+    /// at `now` (zero-latency replies, replays). They bypass the timer
+    /// structures: a push and pop here are O(1).
     ///
     /// Ordering stays correct because `now` only reaches a time T after
-    /// every earlier schedule call completed, so anything already in the
-    /// heap at time T carries a smaller sequence number than anything that
-    /// enters `ready` while the clock stands at T — heap-first at equal
-    /// times is exactly `(time, seq)` order. Each entry keeps its sequence
-    /// number so frontier views can name it.
+    /// every earlier schedule call completed, so any heap or wheel entry at
+    /// time T carries a smaller sequence number than anything that enters
+    /// `ready` while the clock stands at T — timer-first at equal times is
+    /// exactly `(time, seq)` order. Each entry keeps its sequence number so
+    /// frontier views can name it.
     ready: VecDeque<(u64, E)>,
     next_seq: u64,
     now: Cycle,
     /// Set when [`pop_seq`](Self::pop_seq) delivered an event out of FIFO
-    /// order while others were pending. From then on the heap's raw
-    /// `(time, seq)` order no longer matches effective delivery order
+    /// order while others were pending. From then on the raw `(time, seq)`
+    /// order no longer matches effective delivery order
     /// (`(max(time, now), seq)`), so `pop`/`pop_batch` take a careful scan
-    /// path until the queue drains. Never set on the deterministic path.
+    /// path until the queue drains. Entering this regime spills the wheel
+    /// into the heap and routes new timer events there, so the careful path
+    /// only ever scans heap + ready. Never set on the deterministic path.
     disordered: bool,
 }
 
@@ -147,6 +185,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            buckets: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            occ: [0; WHEEL_WORDS],
+            wheel_len: 0,
             ready: VecDeque::new(),
             next_seq: 0,
             now: Cycle::ZERO,
@@ -169,12 +210,18 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: Cycle, event: E) {
         let time = at.max(self.now);
         self.next_seq += 1;
+        let seq = self.next_seq;
         if time == self.now {
             // Same-cycle event: FIFO push preserves seq order within the
-            // cycle without touching the heap.
-            self.ready.push_back((self.next_seq, event));
+            // cycle without touching the heap or wheel.
+            self.ready.push_back((seq, event));
+        } else if !self.disordered && time.get() - self.now.get() < WHEEL as u64 {
+            let idx = (time.get() % WHEEL as u64) as usize;
+            debug_assert!(self.buckets[idx].back().is_none_or(|s| s.time == time));
+            self.buckets[idx].push_back(Scheduled { time, seq, event });
+            self.occ[idx / 64] |= 1u64 << (idx % 64);
+            self.wheel_len += 1;
         } else {
-            let seq = self.next_seq;
             self.heap.push(Scheduled { time, seq, event });
         }
     }
@@ -184,31 +231,112 @@ impl<E> EventQueue<E> {
         self.schedule(self.now.saturating_add(delay), event);
     }
 
+    /// Index of the first occupied bucket at or after `start` in circular
+    /// order, via the occupancy bitmap (at most `2 * WHEEL_WORDS` word ops).
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let (sw, sb) = (start / 64, start % 64);
+        // [start, WHEEL)
+        let mut word = self.occ[sw] & (!0u64 << sb);
+        let mut wi = sw;
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi == WHEEL_WORDS {
+                break;
+            }
+            word = self.occ[wi];
+        }
+        // wrap: [0, start)
+        for wi in 0..=sw {
+            let mut word = self.occ[wi];
+            if wi == sw {
+                word &= !(!0u64 << sb);
+            }
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The wheel's minimum pending event as `(bucket, time, seq)`.
+    ///
+    /// Scanning buckets circularly from `now % WHEEL` visits wheel
+    /// timestamps in ascending order (all lie in `[now, now + WHEEL)`), and
+    /// each bucket's front is its smallest seq.
+    fn min_wheel(&self) -> Option<(usize, Cycle, u64)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let idx = self
+            .next_occupied((self.now.get() % WHEEL as u64) as usize)
+            .expect("wheel_len > 0 implies an occupied bucket");
+        let front = self.buckets[idx].front().expect("occupied bucket");
+        Some((idx, front.time, front.seq))
+    }
+
+    /// Pops the front of an occupied bucket, maintaining the bitmap.
+    fn pop_bucket(&mut self, idx: usize) -> Scheduled<E> {
+        let s = self.buckets[idx].pop_front().expect("occupied bucket");
+        if self.buckets[idx].is_empty() {
+            self.occ[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        self.wheel_len -= 1;
+        s
+    }
+
+    /// Moves every wheel entry into the heap. Used when entering the
+    /// disordered regime, where the careful scan paths only consult
+    /// heap + ready.
+    fn spill_wheel(&mut self) {
+        if self.wheel_len == 0 {
+            return;
+        }
+        for bucket in &mut self.buckets {
+            for s in bucket.drain(..) {
+                self.heap.push(s);
+            }
+        }
+        self.occ = [0; WHEEL_WORDS];
+        self.wheel_len = 0;
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the simulation has drained.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         if self.disordered {
             return self.pop_careful();
         }
-        // Heap events at `now` precede `ready` events (smaller seq; see the
-        // `ready` field docs); `ready` events precede later heap events.
-        if !self.ready.is_empty() {
-            let heap_at_now = matches!(self.heap.peek(), Some(s) if s.time == self.now);
-            if !heap_at_now {
-                let (_, event) = self.ready.pop_front().expect("checked non-empty");
-                return Some((self.now, event));
-            }
-        }
-        let Scheduled { time, event, .. } = self.heap.pop()?;
+        // In the ordered regime every pending timer event has time >= now,
+        // so the minimum of the three candidate (time, seq) pairs is the
+        // next event in effective order. Seqs are unique, which also
+        // resolves the timer-vs-ready tie at `now` correctly (timer entries
+        // at `now` were scheduled earlier and carry smaller seqs).
+        let ready_c = self.ready.front().map(|(seq, _)| (self.now, *seq));
+        let heap_c = self.heap.peek().map(|s| (s.time, s.seq));
+        let wheel_c = self.min_wheel().map(|(_, t, seq)| (t, seq));
+        let (time, seq) = [ready_c, heap_c, wheel_c].into_iter().flatten().min()?;
         debug_assert!(time >= self.now, "event queue time went backwards");
+        let event = if ready_c == Some((time, seq)) {
+            self.ready.pop_front().expect("ready candidate present").1
+        } else if heap_c == Some((time, seq)) {
+            self.heap.pop().expect("heap candidate present").event
+        } else {
+            let (idx, ..) = self.min_wheel().expect("wheel candidate present");
+            self.pop_bucket(idx).event
+        };
         self.now = time;
         Some((time, event))
     }
 
     /// Pop for the disordered regime: select the minimum by effective
     /// `(max(time, now), seq)` with a full scan. Only reachable after a
-    /// chooser deviated from FIFO order, where queues are small.
+    /// chooser deviated from FIFO order, where queues are small. The wheel
+    /// is always empty here (spilled on entry to the regime).
     fn pop_careful(&mut self) -> Option<(Cycle, E)> {
+        debug_assert_eq!(self.wheel_len, 0, "wheel must be spilled when disordered");
         let ready_best = self.ready.front().map(|(seq, _)| (self.now, *seq));
         let heap_best = self
             .heap
@@ -234,7 +362,8 @@ impl<E> EventQueue<E> {
     /// there. Returns that timestamp, or `None` if the next event is after
     /// `upto` (or the queue is empty). One call replaces a
     /// peek-compare-pop cycle per event, which is what the hierarchy's
-    /// event loop runs hottest on.
+    /// event loop runs hottest on. The caller-provided buffer is reused
+    /// across calls — the queue never allocates here.
     ///
     /// Events scheduled *while the batch is processed* land in a fresh
     /// batch — the caller re-calls until `None`, which is exactly the order
@@ -256,8 +385,27 @@ impl<E> EventQueue<E> {
             return None;
         }
         self.now = t;
-        while matches!(self.heap.peek(), Some(s) if s.time == t) {
-            out.push(self.heap.pop().expect("peeked").event);
+        // Merge heap entries and the wheel bucket at `t` by seq; both are
+        // internally seq-sorted at a fixed timestamp.
+        let idx = (t.get() % WHEEL as u64) as usize;
+        loop {
+            let h = self.heap.peek().filter(|s| s.time == t).map(|s| s.seq);
+            let w = self.buckets[idx]
+                .front()
+                .filter(|s| s.time == t)
+                .map(|s| s.seq);
+            match (h, w) {
+                (None, None) => break,
+                (Some(_), None) => out.push(self.heap.pop().expect("peeked").event),
+                (None, Some(_)) => out.push(self.pop_bucket(idx).event),
+                (Some(hs), Some(ws)) => {
+                    if hs < ws {
+                        out.push(self.heap.pop().expect("peeked").event);
+                    } else {
+                        out.push(self.pop_bucket(idx).event);
+                    }
+                }
+            }
         }
         // `ready` events are due at the old `now`; they are part of this
         // batch only when the clock did not move (t == old now), which is
@@ -276,11 +424,61 @@ impl<E> EventQueue<E> {
                 (r, h) => r.into_iter().chain(h).min(),
             };
         }
-        if self.ready.is_empty() {
-            self.heap.peek().map(|s| s.time)
-        } else {
-            // Ready events are due now; a heap event can tie but not beat.
-            Some(self.now)
+        if !self.ready.is_empty() {
+            // Ready events are due now; a timer event can tie but not beat.
+            return Some(self.now);
+        }
+        let heap_t = self.heap.peek().map(|s| s.time);
+        let wheel_t = self.min_wheel().map(|(_, t, _)| t);
+        heap_t.into_iter().chain(wheel_t).min()
+    }
+
+    /// Visits every pending event, in no particular order, without
+    /// allocating. `at` on each [`Pending`] is the effective delivery time
+    /// `max(scheduled, now)`. This is the allocation-free primitive behind
+    /// [`frontier`](Self::frontier); callers that build their own
+    /// per-link/per-key summaries (the hierarchy's frontier choices, the
+    /// state digest) iterate directly instead of materializing a sorted
+    /// vector per step.
+    pub fn for_each_pending<'a, F: FnMut(Pending<'a, E>)>(&'a self, mut f: F) {
+        for (seq, event) in &self.ready {
+            f(Pending {
+                at: self.now,
+                seq: *seq,
+                event,
+            });
+        }
+        for s in &self.heap {
+            f(Pending {
+                at: s.time.max(self.now),
+                seq: s.seq,
+                event: &s.event,
+            });
+        }
+        if self.wheel_len > 0 {
+            for bucket in &self.buckets {
+                for s in bucket {
+                    f(Pending {
+                        at: s.time.max(self.now),
+                        seq: s.seq,
+                        event: &s.event,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Buffer-reusing variant of [`frontier`](Self::frontier): clears `out`
+    /// and fills it with the deliverable frontier, sorted by effective
+    /// `(time, seq)`. Reusing one buffer across calls within a borrow scope
+    /// avoids the per-step allocation of `frontier`.
+    pub fn frontier_into<'a>(&'a self, window: Cycle, out: &mut Vec<Pending<'a, E>>) {
+        out.clear();
+        self.for_each_pending(|p| out.push(p));
+        out.sort_by_key(|p| (p.at, p.seq));
+        if let Some(first) = out.first() {
+            let horizon = first.at.saturating_add(window);
+            out.retain(|p| p.at <= horizon);
         }
     }
 
@@ -292,25 +490,8 @@ impl<E> EventQueue<E> {
     /// could deliver *first* (modeling extra network delay on the earlier
     /// ones).
     pub fn frontier(&self, window: Cycle) -> Vec<Pending<'_, E>> {
-        let mut v: Vec<Pending<'_, E>> = self
-            .ready
-            .iter()
-            .map(|(seq, event)| Pending {
-                at: self.now,
-                seq: *seq,
-                event,
-            })
-            .chain(self.heap.iter().map(|s| Pending {
-                at: s.time.max(self.now),
-                seq: s.seq,
-                event: &s.event,
-            }))
-            .collect();
-        v.sort_by_key(|p| (p.at, p.seq));
-        if let Some(first) = v.first() {
-            let horizon = first.at.saturating_add(window);
-            v.retain(|p| p.at <= horizon);
-        }
+        let mut v = Vec::new();
+        self.frontier_into(window, &mut v);
         v
     }
 
@@ -325,18 +506,32 @@ impl<E> EventQueue<E> {
         // Effective time must be computed before removal.
         let at = if self.ready.iter().any(|(s, _)| *s == seq) {
             self.now
+        } else if let Some(s) = self.heap.iter().find(|s| s.seq == seq) {
+            s.time.max(self.now)
+        } else if let Some(t) = self
+            .buckets
+            .iter()
+            .flatten()
+            .find(|s| s.seq == seq)
+            .map(|s| s.time)
+        {
+            t.max(self.now)
         } else {
-            self.heap.iter().find(|s| s.seq == seq)?.time.max(self.now)
+            return None;
         };
+        // A chooser is steering delivery: abandon the wheel fast path so
+        // the careful scan paths only ever face heap + ready.
+        self.spill_wheel();
         let event = self.remove_seq(seq).expect("checked present");
         self.now = at;
-        // Any deviation from strict FIFO order leaves the heap's raw order
+        // Any deviation from strict FIFO order leaves the raw order
         // untrustworthy; flag it unless the queue is now empty.
         self.disordered = !self.is_empty();
         Some((at, event))
     }
 
-    /// Removes the event with the given seq from wherever it lives.
+    /// Removes the event with the given seq from the ready lane or the
+    /// heap. The wheel is spilled before this runs (disordered regime).
     fn remove_seq(&mut self, seq: u64) -> Option<E> {
         if let Some(pos) = self.ready.iter().position(|(s, _)| *s == seq) {
             return self.ready.remove(pos).map(|(_, e)| e);
@@ -368,12 +563,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.ready.len()
+        self.heap.len() + self.wheel_len + self.ready.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.ready.is_empty()
+        self.heap.is_empty() && self.wheel_len == 0 && self.ready.is_empty()
     }
 
     /// Total number of events ever scheduled (for stats / fuel limits).
@@ -470,7 +665,7 @@ mod tests {
         let (t, first) = q.pop().unwrap();
         assert_eq!((t, first), (Cycle(4), 1));
         // Scheduled while the clock stands at 4: goes to the ready queue,
-        // and must drain *after* the remaining heap event at 4.
+        // and must drain *after* the remaining timer event at 4.
         q.schedule(Cycle(4), 3);
         q.schedule(Cycle(0), 4); // past: clamps to now=4
         let mut batch = Vec::new();
@@ -540,7 +735,7 @@ mod tests {
         q.schedule(Cycle(6), "later"); // seq 4
         let f = q.frontier(Cycle(10));
         let seqs: Vec<u64> = f.iter().map(|p| p.seq).collect();
-        assert_eq!(seqs, vec![2, 3, 4], "heap@now before ready before later");
+        assert_eq!(seqs, vec![2, 3, 4], "timer@now before ready before later");
     }
 
     #[test]
@@ -628,5 +823,225 @@ mod tests {
         // The stale ready event delivers at the current time.
         assert_eq!(q.pop(), Some((Cycle(9), "ready")));
         assert!(q.is_empty());
+    }
+
+    // ---- calendar wheel specifics ----
+
+    /// Reference model: a flat vector popped by linear scan over effective
+    /// `(max(time, now), seq)`. This is the semantics every fast path must
+    /// reproduce exactly.
+    struct NaiveQueue<E> {
+        items: Vec<(Cycle, u64, E)>,
+        next_seq: u64,
+        now: Cycle,
+    }
+
+    impl<E> NaiveQueue<E> {
+        fn new() -> Self {
+            NaiveQueue {
+                items: Vec::new(),
+                next_seq: 0,
+                now: Cycle::ZERO,
+            }
+        }
+
+        fn schedule(&mut self, at: Cycle, event: E) {
+            self.next_seq += 1;
+            self.items.push((at.max(self.now), self.next_seq, event));
+        }
+
+        fn pop(&mut self) -> Option<(Cycle, E)> {
+            let pos = (0..self.items.len())
+                .min_by_key(|&i| (self.items[i].0.max(self.now), self.items[i].1))?;
+            let (t, _, e) = self.items.remove(pos);
+            self.now = t.max(self.now);
+            Some((self.now, e))
+        }
+
+        fn pop_seq(&mut self, seq: u64) -> Option<(Cycle, E)> {
+            let pos = self.items.iter().position(|&(_, s, _)| s == seq)?;
+            let (t, _, e) = self.items.remove(pos);
+            self.now = t.max(self.now);
+            Some((self.now, e))
+        }
+    }
+
+    /// A tiny deterministic PRNG (xorshift64*) so the recorded workload is
+    /// identical on every run.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn same_cycle_fifo_order_in_wheel_buckets() {
+        let mut q = EventQueue::new();
+        // All land in one wheel bucket (delta < WHEEL, same timestamp).
+        for i in 0..50 {
+            q.schedule(Cycle(17), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_wheel_boundary_crossing_preserves_order() {
+        let mut q = EventQueue::new();
+        let w = WHEEL as u64;
+        // Far event: goes to the heap (delta == WHEEL).
+        q.schedule(Cycle(w), "far"); // seq 1
+                                     // Near events: wheel (delta < WHEEL).
+        q.schedule(Cycle(w - 1), "near-late"); // seq 2
+        q.schedule(Cycle(3), "near-early"); // seq 3
+        assert_eq!(q.pop(), Some((Cycle(3), "near-early")));
+        // now = 3: time w is within the wheel horizon now, so a second
+        // event at the same timestamp as the heap-resident "far" lands in
+        // the wheel. The heap entry has the smaller seq and must win.
+        q.schedule(Cycle(w), "far-twin"); // seq 4 → wheel
+        assert_eq!(q.pop(), Some((Cycle(w - 1), "near-late")));
+        assert_eq!(q.pop(), Some((Cycle(w), "far")));
+        assert_eq!(q.pop(), Some((Cycle(w), "far-twin")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_wheel_tie_merges_by_seq_in_pop_batch() {
+        let mut q = EventQueue::new();
+        let w = WHEEL as u64;
+        q.schedule(Cycle(w + 5), 1); // heap
+        q.schedule(Cycle(2), 0); // wheel
+        q.pop(); // now = 2
+        q.schedule(Cycle(w + 5), 2); // wheel (delta < WHEEL now)
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(Cycle::MAX, &mut batch), Some(Cycle(w + 5)));
+        assert_eq!(batch, vec![1, 2], "heap seq 1 before wheel seq 3");
+    }
+
+    #[test]
+    fn wheel_wraparound_keeps_time_order() {
+        let mut q = EventQueue::new();
+        let w = WHEEL as u64;
+        // Advance the clock deep into the second wheel revolution so bucket
+        // indices wrap modulo WHEEL.
+        q.schedule(Cycle(w + 10), "start");
+        q.pop(); // now = w + 10
+        q.schedule(Cycle(w + 20), "a"); // bucket (w+20) % W = 20
+        q.schedule(Cycle(2 * w - 1), "b"); // bucket (2w-1) % W = W-1
+        q.schedule(Cycle(w + 11), "c"); // bucket 11
+        assert_eq!(q.pop(), Some((Cycle(w + 11), "c")));
+        assert_eq!(q.pop(), Some((Cycle(w + 20), "a")));
+        assert_eq!(q.pop(), Some((Cycle(2 * w - 1), "b")));
+    }
+
+    #[test]
+    fn pop_seq_on_wheel_entry_spills_and_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1); // seq 1 → wheel
+        q.schedule(Cycle(12), 2); // seq 2 → wheel
+        q.schedule(Cycle(500), 3); // seq 3 → heap
+        assert_eq!(q.pop_seq(2), Some((Cycle(12), 2)));
+        // Remaining wheel entry was spilled; effective order still holds.
+        assert_eq!(q.pop(), Some((Cycle(12), 1)));
+        assert_eq!(q.pop(), Some((Cycle(500), 3)));
+        assert!(q.is_empty());
+        // The queue leaves the disordered regime once drained: new events
+        // take the fast path again.
+        q.schedule(Cycle(600), 4);
+        assert_eq!(q.pop(), Some((Cycle(600), 4)));
+    }
+
+    #[test]
+    fn frontier_sees_wheel_heap_and_ready_entries() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "wheel"); // seq 1
+        q.schedule(Cycle(5000), "heap"); // seq 2
+        q.schedule(Cycle(1), "first"); // seq 3
+        q.pop(); // now = 1
+        q.schedule(Cycle(1), "ready"); // seq 4
+        let f = q.frontier(Cycle::MAX);
+        let seqs: Vec<u64> = f.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![4, 1, 2], "ready@1, wheel@5, heap@5000");
+    }
+
+    #[test]
+    fn frontier_into_reuses_buffer_and_matches_frontier() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "a");
+        q.schedule(Cycle(12), "b");
+        q.schedule(Cycle(900), "c");
+        let mut buf = Vec::with_capacity(8);
+        q.frontier_into(Cycle(5), &mut buf);
+        let fresh = q.frontier(Cycle(5));
+        assert_eq!(buf.len(), fresh.len());
+        for (x, y) in buf.iter().zip(&fresh) {
+            assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+        }
+        // Second call reuses the same allocation.
+        let cap = buf.capacity();
+        q.frontier_into(Cycle::MAX, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn recorded_stream_matches_reference_model() {
+        // A recorded mixed workload: schedules clustered near `now` (wheel),
+        // occasional far schedules (heap), zero-latency replies (ready),
+        // FIFO pops, and occasional out-of-order pop_seq jumps. The hybrid
+        // queue must produce the exact event order of the naive reference.
+        let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+        let mut fast: EventQueue<u64> = EventQueue::new();
+        let mut slow: NaiveQueue<u64> = NaiveQueue::new();
+        let mut payload = 0u64;
+        for step in 0..4000 {
+            let r = rng.next();
+            match r % 10 {
+                // 60%: schedule near-term (exercises the wheel, including
+                // the exact WHEEL-1 / WHEEL boundary).
+                0..=5 => {
+                    let delta = rng.next() % (WHEEL as u64 + 2);
+                    let at = fast.now().saturating_add(Cycle(delta));
+                    payload += 1;
+                    fast.schedule(at, payload);
+                    slow.schedule(at, payload);
+                }
+                // 10%: schedule far (heap).
+                6 => {
+                    let at = fast
+                        .now()
+                        .saturating_add(Cycle(WHEEL as u64 + rng.next() % 1000));
+                    payload += 1;
+                    fast.schedule(at, payload);
+                    slow.schedule(at, payload);
+                }
+                // 20%: FIFO pop.
+                7 | 8 => {
+                    assert_eq!(fast.pop(), slow.pop(), "step {step}");
+                }
+                // 10%: out-of-order jump to a random pending seq.
+                _ => {
+                    if fast.scheduled_count() > 0 {
+                        let seq = rng.next() % fast.scheduled_count() + 1;
+                        assert_eq!(fast.pop_seq(seq), slow.pop_seq(seq), "step {step}");
+                    }
+                }
+            }
+        }
+        // Drain both completely.
+        loop {
+            let (x, y) = (fast.pop(), slow.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! results rather than fail loudly. Here it fails loudly.
 
 use swiftdir::coherence::ProtocolKind;
-use swiftdir::core::{ExperimentSet, RunStats, System, SystemConfig, TraceConfig};
+use swiftdir::core::{
+    contended_stream, explore_parallel_threads, run_fuzz_many_threads, ExperimentSet,
+    ExploreConfig, FuzzConfig, RunStats, System, SystemConfig, TraceConfig,
+};
 use swiftdir::cpu::CpuModel;
 use swiftdir::workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
@@ -121,4 +124,56 @@ fn driver_preserves_input_order_under_contention() {
         .threads(8)
         .run(|&(b, p)| run_point(b, p, CpuModel::DerivO3).ipc());
     assert_eq!(expected, got);
+}
+
+#[test]
+fn fuzz_fan_out_digests_are_thread_count_invariant() {
+    // The fuzz fan-out must be a pure reordering of work: the digest,
+    // event count, and full hierarchy statistics of every seed are
+    // bit-identical whether the grid runs on one worker or four.
+    let grid: Vec<FuzzConfig> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| {
+            (0..6u64).map(move |seed| {
+                let mut cfg = FuzzConfig::new(seed, p);
+                cfg.ops = 80;
+                cfg
+            })
+        })
+        .collect();
+    let one = run_fuzz_many_threads(&grid, 1);
+    let four = run_fuzz_many_threads(&grid, 4);
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert!(a.ok(), "fuzz {:?} failed", a.config);
+        assert_eq!(a.digest, b.digest, "digest diverged for {:?}", a.config);
+        assert_eq!(
+            a.events, b.events,
+            "event count diverged for {:?}",
+            a.config
+        );
+        assert_eq!(a.stats, b.stats, "stats diverged for {:?}", a.config);
+    }
+}
+
+#[test]
+fn explorer_coverage_report_is_thread_count_invariant() {
+    // Parallel exploration splits the DFS at the root frontier and
+    // merges per-branch reports in canonical order, so the whole report
+    // — schedules, outcomes, coverage, latency histograms — must be
+    // bit-identical at any worker count.
+    let ecfg = ExploreConfig::default();
+    for protocol in [ProtocolKind::SwiftDir, ProtocolKind::SMesi] {
+        let cfg = swiftdir::core::diff::tiny_config(2, protocol);
+        for seed in 0..2 {
+            let stream = contended_stream(seed, 2, 2, 4, 0.3);
+            let one = explore_parallel_threads(&cfg, &stream, &ecfg, 1);
+            let four = explore_parallel_threads(&cfg, &stream, &ecfg, 4);
+            assert!(one.error.is_none(), "exploration failed: {:?}", one.error);
+            assert_eq!(
+                one, four,
+                "explorer report diverged for {protocol:?} seed {seed}"
+            );
+        }
+    }
 }
