@@ -39,7 +39,7 @@ use sim_engine::Json;
 use swiftdir_coherence::ProtocolKind;
 use swiftdir_core::{
     driver, explore_parallel_threads, run_fuzz_many_threads, DriverReport, ExperimentSet,
-    ExploreConfig, FuzzConfig, RunStats, System, SystemConfig,
+    ExploreConfig, ExploreMode, FuzzConfig, RunStats, System, SystemConfig,
 };
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
@@ -264,6 +264,33 @@ fn main() -> ExitCode {
         explore_serial_s / explore_parallel_s
     );
 
+    // --- undo vs fork walker: differential oracle + speedup -------------
+    let fork_ecfg = ExploreConfig {
+        mode: ExploreMode::Fork,
+        ..ecfg
+    };
+    let start = Instant::now();
+    let explore_fork: Vec<_> = workload
+        .iter()
+        .map(|(p, stream)| {
+            explore_parallel_threads(
+                &swiftdir_core::diff::tiny_config(2, *p),
+                stream,
+                &fork_ecfg,
+                1,
+            )
+        })
+        .collect();
+    let explore_fork_s = start.elapsed().as_secs_f64();
+    for (a, b) in explore_serial.iter().zip(&explore_fork) {
+        assert_eq!(a, b, "undo and fork walkers diverged");
+    }
+    let undo_vs_fork_speedup = explore_fork_s / explore_serial_s;
+    println!(
+        "fork-walker oracle: {explore_fork_s:.3} s serial — undo walker is \
+         {undo_vs_fork_speedup:.2}x faster; reports bit-identical: ok"
+    );
+
     // --- report ---------------------------------------------------------
     let json = Json::object([
         ("instructions_per_run", Json::Uint(INSTRUCTIONS)),
@@ -316,6 +343,8 @@ fn main() -> ExitCode {
                     Json::Float(explore_serial_s / explore_parallel_s),
                 ),
                 ("schedules_per_s", Json::Float(explore_schedules_per_s)),
+                ("fork_serial_s", Json::Float(explore_fork_s)),
+                ("undo_vs_fork_speedup", Json::Float(undo_vs_fork_speedup)),
                 ("reports_identical", Json::Bool(true)),
             ]),
         ),
@@ -327,8 +356,10 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `--check`: quick single-run measurement against the committed
-/// `BENCH_driver.json`; fails on a >10% regression. The CI bench smoke.
+/// `--check`: quick measurements against the committed
+/// `BENCH_driver.json`; fails on a >10% regression of either the
+/// single-run time or the explorer's schedule throughput. The CI bench
+/// smoke.
 fn check_committed() -> ExitCode {
     let text = match std::fs::read_to_string("BENCH_driver.json") {
         Ok(t) => t,
@@ -363,6 +394,46 @@ fn check_committed() -> ExitCode {
         eprintln!(
             "bench_driver --check: FAIL — single_run_ms regressed >{:.0}% \
              (measured {measured_ms:.1} ms > {limit:.1} ms); rerun scripts/bench_driver.sh \
+             and commit the refreshed BENCH_driver.json if intentional",
+            (CHECK_TOLERANCE - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Explorer throughput gate: re-walk the bench workload and compare
+    // schedules/s against the committed figure.
+    let Some(committed_sched_s) = committed
+        .get("explore")
+        .and_then(|c| c.get("schedules_per_s"))
+        .and_then(Json::as_f64)
+    else {
+        eprintln!("bench_driver --check: no explore.schedules_per_s in BENCH_driver.json");
+        return ExitCode::FAILURE;
+    };
+    let threads = parallel_threads();
+    let ecfg = ExploreConfig::default();
+    let mut schedules = 0u64;
+    let start = Instant::now();
+    for (p, stream) in explore_workload() {
+        let r = explore_parallel_threads(
+            &swiftdir_core::diff::tiny_config(2, p),
+            &stream,
+            &ecfg,
+            threads,
+        );
+        assert!(r.error.is_none(), "exploration failed: {:?}", r.error);
+        schedules += r.schedules;
+    }
+    let measured_sched_s = schedules as f64 / start.elapsed().as_secs_f64();
+    let floor = committed_sched_s / CHECK_TOLERANCE;
+    println!(
+        "bench_driver --check: measured {measured_sched_s:.0} schedules/s vs committed \
+         {committed_sched_s:.0} (floor {floor:.0})"
+    );
+    if measured_sched_s < floor {
+        eprintln!(
+            "bench_driver --check: FAIL — explore.schedules_per_s regressed >{:.0}% \
+             (measured {measured_sched_s:.0} < {floor:.0}); rerun scripts/bench_driver.sh \
              and commit the refreshed BENCH_driver.json if intentional",
             (CHECK_TOLERANCE - 1.0) * 100.0
         );

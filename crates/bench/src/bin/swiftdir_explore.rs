@@ -3,7 +3,8 @@
 //! transition-coverage gate.
 //!
 //! ```text
-//! swiftdir-explore [--smoke] [--coverage] [--diff] [--protocol NAME]
+//! swiftdir-explore [--smoke] [--coverage] [--diff] [--oracle]
+//!                  [--depth-profile] [--protocol NAME]
 //!                  [--cores N] [--blocks N] [--ops N] [--streams N]
 //!                  [--depth N] [--window N] [--seeds N]
 //! ```
@@ -15,29 +16,41 @@
 //! * `--diff` — additionally run the differential layer: architectural
 //!   equivalence of all four protocols on well-separated streams, and
 //!   SwiftDir≡MESI schedule-tree isomorphism on WP-free streams.
+//! * `--oracle` — additionally run the walker oracle: the undo-log
+//!   backtracking explorer and the fork-based explorer must produce
+//!   whole-report-identical results on every stream.
 //! * `--smoke` — the CI configuration: exhaustive 2-core × 2-block
-//!   exploration for every protocol plus the full differential layer.
+//!   exploration for every protocol plus the differential layer and
+//!   the walker oracle.
 //! * `--coverage` — the CI coverage gate: union the transition matrices
 //!   from exploration and a `--seeds`-sized fuzz sweep, then require
 //!   exact Table I–III coverage per protocol — every legal (state,
 //!   event) pair observed, nothing outside the legal set — printing any
 //!   uncovered or illegal pairs.
+//! * `--depth-profile` — print the per-depth walk profile (nodes,
+//!   backtracks, undo bytes) per protocol as a metrics snapshot.
 //!
 //! Exits non-zero on any failure.
 
 use std::process::ExitCode;
 
+use sim_engine::MetricsRegistry;
 use swiftdir_coherence::{CoverageSpec, ObservedCoverage, ProtocolKind};
 use swiftdir_core::diff::{
     architectural_diff, contended_stream, explored_equivalence, tiny_config, well_separated_stream,
 };
-use swiftdir_core::explore::{explore_parallel, ExploreConfig};
+use swiftdir_core::driver;
+use swiftdir_core::explore::{
+    explore_parallel, explore_parallel_profiled, DepthProfile, ExploreConfig, ExploreMode,
+};
 use swiftdir_core::fuzz::{run_fuzz_many, FuzzConfig};
 
 struct Args {
     smoke: bool,
     coverage: bool,
     diff: bool,
+    oracle: bool,
+    depth_profile: bool,
     protocols: Vec<ProtocolKind>,
     cores: usize,
     blocks: usize,
@@ -53,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         coverage: false,
         diff: false,
+        oracle: false,
+        depth_profile: false,
         protocols: ProtocolKind::ALL.to_vec(),
         cores: 2,
         blocks: 2,
@@ -73,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--coverage" => args.coverage = true,
             "--diff" => args.diff = true,
+            "--oracle" => args.oracle = true,
+            "--depth-profile" => args.depth_profile = true,
             "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--blocks" => args.blocks = value("--blocks")?.parse().map_err(|e| format!("{e}"))?,
             "--ops" => args.ops = value("--ops")?.parse().map_err(|e| format!("{e}"))?,
@@ -115,6 +132,9 @@ fn main() -> ExitCode {
         if args.diff || args.smoke {
             failed |= !differential_suite(&args);
         }
+        if args.oracle || args.smoke {
+            failed |= !oracle_suite(&args);
+        }
     }
 
     if failed {
@@ -143,9 +163,17 @@ fn explore_suite(args: &Args) -> bool {
         let mut pruned = 0u64;
         let mut skipped = 0u64;
         let mut coverage = ObservedCoverage::new();
+        let mut profile = DepthProfile::default();
         for seed in 0..args.streams {
             let stream = contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction);
-            let report = explore_parallel(&cfg, &stream, &ecfg);
+            let report = if args.depth_profile {
+                let (report, p) =
+                    explore_parallel_profiled(&cfg, &stream, &ecfg, driver::default_threads());
+                profile.merge(&p);
+                report
+            } else {
+                explore_parallel(&cfg, &stream, &ecfg)
+            };
             if let Some(e) = &report.error {
                 eprintln!("FAIL {protocol:?} stream {seed}: {e}");
                 ok = false;
@@ -177,6 +205,57 @@ fn explore_suite(args: &Args) -> bool {
             eprintln!("FAIL {protocol:?}: exploration observed illegal transitions\n{report}");
             ok = false;
         }
+        if args.depth_profile {
+            let mut reg = MetricsRegistry::new();
+            let prefix = format!("explore.{}.", format!("{protocol:?}").to_ascii_lowercase());
+            profile.export_into(&mut reg, &prefix);
+            println!("{}", reg.snapshot().to_pretty());
+        }
+    }
+    ok
+}
+
+/// The walker oracle: the snapshot-free undo-log explorer and the
+/// fork-based explorer must produce whole-report-identical results on
+/// every stream of the suite, for every protocol.
+fn oracle_suite(args: &Args) -> bool {
+    let undo_ecfg = ExploreConfig {
+        window: args.window,
+        max_depth: args.depth,
+        ..ExploreConfig::default()
+    };
+    let fork_ecfg = ExploreConfig {
+        mode: ExploreMode::Fork,
+        ..undo_ecfg
+    };
+    let wp_fraction = 0.3;
+    let mut ok = true;
+    let mut schedules = 0u64;
+    for &protocol in &args.protocols {
+        let cfg = tiny_config(args.cores, protocol);
+        for seed in 0..args.streams {
+            let stream = contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction);
+            let undo = explore_parallel(&cfg, &stream, &undo_ecfg);
+            let fork = explore_parallel(&cfg, &stream, &fork_ecfg);
+            if undo != fork {
+                eprintln!(
+                    "FAIL oracle {protocol:?} stream {seed}: undo-log and fork walkers \
+                     diverged (undo {} schedules / {} steps, fork {} schedules / {} steps)",
+                    undo.schedules, undo.steps, fork.schedules, fork.steps
+                );
+                ok = false;
+                continue;
+            }
+            schedules += undo.schedules;
+        }
+    }
+    if ok {
+        println!(
+            "oracle: undo-log and fork walkers identical on {} protocols x {} streams \
+             ({schedules} schedules)",
+            args.protocols.len(),
+            args.streams
+        );
     }
     ok
 }

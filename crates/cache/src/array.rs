@@ -1,5 +1,9 @@
 //! A set-associative cache array generic over per-line state.
 
+use std::hash::{Hash, Hasher};
+
+use sim_engine::FxHasher;
+
 use crate::geometry::CacheGeometry;
 use crate::replacement::{choose_victim, ReplacementPolicy};
 
@@ -19,6 +23,35 @@ struct Line<S> {
     state: S,
     last_use: u64,
     inserted: u64,
+}
+
+/// One journaled mutation record: a full snapshot of a set (plus the
+/// array-global tick and replacement RNG) taken just before the mutation.
+/// Restoring entries in reverse order rewinds the array exactly.
+#[derive(Debug, Clone)]
+struct SetSave<S> {
+    index: usize,
+    tick: u64,
+    rng_state: u64,
+    lines: Vec<Line<S>>,
+}
+
+/// An undo journal of pre-mutation set snapshots; see
+/// [`CacheArray::enable_journal`]. Entries past `live` are retired but keep
+/// their line buffers allocated for reuse.
+#[derive(Debug, Clone)]
+struct Journal<S> {
+    entries: Vec<SetSave<S>>,
+    live: usize,
+}
+
+impl<S> Default for Journal<S> {
+    fn default() -> Self {
+        Journal {
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
 }
 
 /// A set-associative array mapping block addresses to caller-defined line
@@ -48,19 +81,74 @@ pub struct CacheArray<S> {
     sets: Vec<Vec<Line<S>>>,
     tick: u64,
     rng_state: u64,
+    /// Per-set content hashes (valid only where `dirty` is clear) and the
+    /// XOR of all *clean* sets' hashes. Empty sets hash to 0, so the XOR
+    /// over clean hashes equals the XOR over clean non-empty sets.
+    set_hashes: Vec<u64>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    rolling: u64,
+    /// When present, every mutation snapshots its set first; see
+    /// [`enable_journal`](Self::enable_journal). Boxed so the common
+    /// non-journaling array pays one pointer.
+    journal: Option<Box<Journal<S>>>,
 }
 
 impl<S> CacheArray<S> {
     /// An empty array with the given geometry and policy.
     pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
-        let sets = (0..geom.num_sets()).map(|_| Vec::new()).collect();
+        let num_sets = geom.num_sets() as usize;
+        let sets = (0..num_sets).map(|_| Vec::new()).collect();
         CacheArray {
             geom,
             policy,
             sets,
             tick: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
+            set_hashes: vec![0; num_sets],
+            dirty: vec![false; num_sets],
+            dirty_list: Vec::new(),
+            rolling: 0,
+            journal: None,
         }
+    }
+
+    /// Marks a set's cached content hash stale, removing its contribution
+    /// from the rolling XOR until [`content_digest`](Self::content_digest)
+    /// recomputes it.
+    #[inline]
+    fn mark_dirty(&mut self, index: usize) {
+        if !self.dirty[index] {
+            self.dirty[index] = true;
+            self.rolling ^= self.set_hashes[index];
+            self.dirty_list.push(index as u32);
+        }
+    }
+
+    /// Snapshots `index`'s set (and the global tick/RNG) into the journal,
+    /// if journaling is on. Called before every mutation.
+    #[inline]
+    fn journal_save(&mut self, index: usize)
+    where
+        S: Clone,
+    {
+        let Some(journal) = self.journal.as_deref_mut() else {
+            return;
+        };
+        if journal.live == journal.entries.len() {
+            journal.entries.push(SetSave {
+                index: 0,
+                tick: 0,
+                rng_state: 0,
+                lines: Vec::new(),
+            });
+        }
+        let save = &mut journal.entries[journal.live];
+        journal.live += 1;
+        save.index = index;
+        save.tick = self.tick;
+        save.rng_state = self.rng_state;
+        save.lines.clone_from(&self.sets[index]);
     }
 
     /// The geometry in use.
@@ -69,27 +157,37 @@ impl<S> CacheArray<S> {
     }
 
     /// Looks up the block containing `addr`, refreshing recency on hit.
-    pub fn get(&mut self, addr: u64) -> Option<&S> {
+    pub fn get(&mut self, addr: u64) -> Option<&S>
+    where
+        S: Clone,
+    {
+        let index = self.geom.index_of(addr) as usize;
+        self.journal_save(index);
         self.tick += 1;
         let tick = self.tick;
         let tag = self.geom.tag_of(addr);
-        let set = &mut self.sets[self.geom.index_of(addr) as usize];
-        set.iter_mut().find(|l| l.tag == tag).map(|l| {
-            l.last_use = tick;
-            &l.state
-        })
+        let pos = self.sets[index].iter().position(|l| l.tag == tag)?;
+        self.mark_dirty(index);
+        let l = &mut self.sets[index][pos];
+        l.last_use = tick;
+        Some(&l.state)
     }
 
     /// Mutable lookup, refreshing recency on hit.
-    pub fn get_mut(&mut self, addr: u64) -> Option<&mut S> {
+    pub fn get_mut(&mut self, addr: u64) -> Option<&mut S>
+    where
+        S: Clone,
+    {
+        let index = self.geom.index_of(addr) as usize;
+        self.journal_save(index);
         self.tick += 1;
         let tick = self.tick;
         let tag = self.geom.tag_of(addr);
-        let set = &mut self.sets[self.geom.index_of(addr) as usize];
-        set.iter_mut().find(|l| l.tag == tag).map(|l| {
-            l.last_use = tick;
-            &mut l.state
-        })
+        let pos = self.sets[index].iter().position(|l| l.tag == tag)?;
+        self.mark_dirty(index);
+        let l = &mut self.sets[index][pos];
+        l.last_use = tick;
+        Some(&mut l.state)
     }
 
     /// Looks up without touching recency (for probes/assertions).
@@ -101,11 +199,16 @@ impl<S> CacheArray<S> {
 
     /// Inserts (or replaces) the block containing `addr`, returning the
     /// victim when the set was full.
-    pub fn insert(&mut self, addr: u64, state: S) -> Option<EvictedLine<S>> {
+    pub fn insert(&mut self, addr: u64, state: S) -> Option<EvictedLine<S>>
+    where
+        S: Clone,
+    {
+        let index = self.geom.index_of(addr);
+        self.journal_save(index as usize);
+        self.mark_dirty(index as usize);
         self.tick += 1;
         let tick = self.tick;
         let tag = self.geom.tag_of(addr);
-        let index = self.geom.index_of(addr);
         let assoc = self.geom.associativity() as usize;
         let set = &mut self.sets[index as usize];
 
@@ -135,11 +238,16 @@ impl<S> CacheArray<S> {
     }
 
     /// Removes the block containing `addr`, returning its state.
-    pub fn invalidate(&mut self, addr: u64) -> Option<S> {
+    pub fn invalidate(&mut self, addr: u64) -> Option<S>
+    where
+        S: Clone,
+    {
+        let index = self.geom.index_of(addr) as usize;
         let tag = self.geom.tag_of(addr);
-        let set = &mut self.sets[self.geom.index_of(addr) as usize];
-        let pos = set.iter().position(|l| l.tag == tag)?;
-        Some(set.swap_remove(pos).state)
+        let pos = self.sets[index].iter().position(|l| l.tag == tag)?;
+        self.journal_save(index);
+        self.mark_dirty(index);
+        Some(self.sets[index].swap_remove(pos).state)
     }
 
     /// Whether the set for `addr` still has a free way (an insert would not
@@ -152,8 +260,14 @@ impl<S> CacheArray<S> {
     /// considering only lines for which `eligible` returns true (coherence
     /// controllers pass "is in a stable state"). Returns the victim's block
     /// address without removing it, or `None` if no line is eligible.
-    pub fn choose_victim<F: Fn(&S) -> bool>(&mut self, addr: u64, eligible: F) -> Option<u64> {
+    pub fn choose_victim<F: Fn(&S) -> bool>(&mut self, addr: u64, eligible: F) -> Option<u64>
+    where
+        S: Clone,
+    {
         let index = self.geom.index_of(addr);
+        // Journal the RNG draw (set contents are untouched, but the
+        // replacement RNG advances and must rewind with everything else).
+        self.journal_save(index as usize);
         let set = &self.sets[index as usize];
         let candidates: Vec<(usize, (u64, u64))> = set
             .iter()
@@ -217,6 +331,127 @@ impl<S> CacheArray<S> {
             set.iter()
                 .map(move |l| (self.geom.address_of(l.tag, index as u64), &l.state))
         })
+    }
+
+    /// Turns on undo journaling and clears any inherited journal: from here
+    /// on, every mutation ([`get`](Self::get)/[`get_mut`](Self::get_mut)
+    /// recency refreshes, inserts, invalidates, and
+    /// [`choose_victim`](Self::choose_victim) RNG draws) first snapshots the
+    /// touched set, so [`journal_rollback`](Self::journal_rollback) can
+    /// rewind the array to any earlier [`journal_mark`](Self::journal_mark).
+    pub fn enable_journal(&mut self)
+    where
+        S: Clone,
+    {
+        match &mut self.journal {
+            Some(j) => {
+                j.live = 0;
+                j.entries.clear();
+            }
+            None => self.journal = Some(Box::default()),
+        }
+    }
+
+    /// The current journal position; pass to
+    /// [`journal_rollback`](Self::journal_rollback) to rewind to this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if journaling is not enabled.
+    pub fn journal_mark(&self) -> usize {
+        self.journal.as_ref().expect("journaling enabled").live
+    }
+
+    /// Rewinds the array to the state it had when `mark` was taken,
+    /// restoring journaled sets in reverse order. Restored sets are left
+    /// dirty in the digest cache.
+    pub fn journal_rollback(&mut self, mark: usize)
+    where
+        S: Clone,
+    {
+        let mut journal = self.journal.take().expect("journaling enabled");
+        debug_assert!(mark <= journal.live, "rollback past the journal head");
+        while journal.live > mark {
+            journal.live -= 1;
+            let save = &journal.entries[journal.live];
+            self.mark_dirty(save.index);
+            self.sets[save.index].clone_from(&save.lines);
+            self.tick = save.tick;
+            self.rng_state = save.rng_state;
+        }
+        self.journal = Some(journal);
+    }
+
+    /// Approximate heap footprint of journal entries past `mark`, for
+    /// profiling undo cost.
+    pub fn journal_bytes_since(&self, mark: usize) -> u64 {
+        let journal = self.journal.as_ref().expect("journaling enabled");
+        journal.entries[mark..journal.live]
+            .iter()
+            .map(|s| {
+                (std::mem::size_of::<SetSave<S>>() + s.lines.len() * std::mem::size_of::<Line<S>>())
+                    as u64
+            })
+            .sum()
+    }
+}
+
+impl<S: Hash> CacheArray<S> {
+    /// Content hash of one set: the set index, then every resident line in
+    /// ascending-tag order as `(block_addr, lru_rank, fifo_rank, state)`.
+    /// Ranks are per-set recency orders, exactly as in
+    /// [`canonical_lines`](Self::canonical_lines), so the hash is invariant
+    /// under global tick relabeling. Empty sets hash to 0 so they can be
+    /// skipped entirely.
+    fn set_hash(geom: &CacheGeometry, index: usize, set: &[Line<S>]) -> u64 {
+        if set.is_empty() {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        (index as u64).hash(&mut h);
+        // Selection by ascending tag; O(n²) in the associativity, which is
+        // small. Ticks are unique array-wide, so count-based ranks equal the
+        // position-based ranks `canonical_lines` computes.
+        let mut prev: Option<u64> = None;
+        for _ in 0..set.len() {
+            let l = set
+                .iter()
+                .filter(|l| prev.is_none_or(|p| l.tag > p))
+                .min_by_key(|l| l.tag)
+                .expect("lines remain");
+            prev = Some(l.tag);
+            let lru_rank = set.iter().filter(|o| o.last_use < l.last_use).count() as u64;
+            let fifo_rank = set.iter().filter(|o| o.inserted < l.inserted).count() as u64;
+            geom.address_of(l.tag, index as u64).hash(&mut h);
+            lru_rank.hash(&mut h);
+            fifo_rank.hash(&mut h);
+            l.state.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// XOR of all sets' content hashes, maintained incrementally: only sets
+    /// dirtied since the previous call are rehashed. Bit-identical to
+    /// [`content_digest_uncached`](Self::content_digest_uncached).
+    pub fn content_digest(&mut self) -> u64 {
+        while let Some(i) = self.dirty_list.pop() {
+            let i = i as usize;
+            let h = Self::set_hash(&self.geom, i, &self.sets[i]);
+            self.set_hashes[i] = h;
+            self.rolling ^= h;
+            self.dirty[i] = false;
+        }
+        self.rolling
+    }
+
+    /// Reference implementation of [`content_digest`](Self::content_digest):
+    /// a full rescan of every set, ignoring the cache.
+    pub fn content_digest_uncached(&self) -> u64 {
+        let mut acc = 0;
+        for (index, set) in self.sets.iter().enumerate() {
+            acc ^= Self::set_hash(&self.geom, index, set);
+        }
+        acc
     }
 }
 
@@ -334,6 +569,106 @@ mod tests {
         assert_eq!(c.choose_victim(0x000, |_| false), None);
         // choose_victim does not remove.
         assert_eq!(c.len(), 2);
+    }
+
+    /// Structural equality witness: same lines, same recency ranks, same
+    /// tick/rng — compared through the canonical view plus scalars.
+    fn fingerprint(c: &CacheArray<u32>) -> (Vec<(u64, u64, u64, u32)>, u64, u64, u64) {
+        (
+            c.canonical_lines()
+                .into_iter()
+                .map(|(a, l, f, &s)| (a, l, f, s))
+                .collect(),
+            c.tick,
+            c.rng_state,
+            c.content_digest_uncached(),
+        )
+    }
+
+    #[test]
+    fn journal_rollback_restores_exactly() {
+        let mut c = tiny();
+        c.insert(0x000, 1);
+        c.insert(0x080, 2);
+        c.get(0x000);
+        c.enable_journal();
+        let before = fingerprint(&c);
+        let mark = c.journal_mark();
+        // A burst of mutations across both sets, including an eviction.
+        c.get(0x080);
+        c.insert(0x100, 3); // evicts in set 0
+        c.insert(0x040, 4); // set 1
+        c.choose_victim(0x000, |_| true);
+        c.invalidate(0x040);
+        c.get(0x1234); // miss: only the tick moved
+        assert_ne!(fingerprint(&c), before);
+        assert!(c.journal_bytes_since(mark) > 0);
+        c.journal_rollback(mark);
+        assert_eq!(fingerprint(&c), before);
+    }
+
+    #[test]
+    fn journal_supports_nested_marks() {
+        let mut c = tiny();
+        c.enable_journal();
+        c.insert(0x000, 1);
+        let outer = c.journal_mark();
+        let after_outer = fingerprint(&c);
+        c.insert(0x080, 2);
+        let inner = c.journal_mark();
+        let after_inner = fingerprint(&c);
+        c.insert(0x100, 3);
+        c.journal_rollback(inner);
+        assert_eq!(fingerprint(&c), after_inner);
+        c.journal_rollback(outer);
+        assert_eq!(fingerprint(&c), after_outer);
+    }
+
+    #[test]
+    fn incremental_digest_matches_full_rescan() {
+        let mut c = tiny();
+        assert_eq!(c.content_digest(), c.content_digest_uncached());
+        c.insert(0x000, 1);
+        c.insert(0x040, 2);
+        assert_eq!(c.content_digest(), c.content_digest_uncached());
+        c.get(0x000); // recency-only change must still be visible
+        let d1 = c.content_digest();
+        assert_eq!(d1, c.content_digest_uncached());
+        c.insert(0x080, 3);
+        c.insert(0x100, 4); // eviction
+        c.invalidate(0x040);
+        assert_eq!(c.content_digest(), c.content_digest_uncached());
+        // Rollback leaves dirty sets behind; the digest must still agree.
+        c.enable_journal();
+        let m = c.journal_mark();
+        let before = c.content_digest();
+        c.insert(0x0c0, 9);
+        assert_ne!(c.content_digest(), before);
+        c.journal_rollback(m);
+        assert_eq!(c.content_digest(), before);
+        assert_eq!(c.content_digest(), c.content_digest_uncached());
+    }
+
+    #[test]
+    fn digest_depends_on_recency_ranks_not_ticks() {
+        // Two arrays with different absolute tick histories but identical
+        // ranks digest identically.
+        let mut a = tiny();
+        a.insert(0x000, 1);
+        a.insert(0x080, 2);
+        let mut b = tiny();
+        b.get(0x999); // burn ticks on misses
+        b.get(0x999);
+        b.get(0x999);
+        b.insert(0x000, 1);
+        b.insert(0x080, 2);
+        assert_eq!(a.content_digest_uncached(), b.content_digest_uncached());
+        a.get(0x000);
+        assert_ne!(
+            a.content_digest_uncached(),
+            b.content_digest_uncached(),
+            "rank change must show up"
+        );
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl Checker {
         self.golden.get(&block).copied().unwrap_or(0)
     }
 
+    /// Overwrites this checker's golden memory with `src`'s, reusing the
+    /// map's allocation. Equivalent to `*self = src.clone()` without the
+    /// fresh allocation — the undo-log walker calls this once per DFS step.
+    pub fn assign_from(&mut self, src: &Checker) {
+        self.golden.clone_from(&src.golden);
+    }
+
     /// Audits the hierarchy after one simulator event. `completions` are
     /// the completions that event produced, in serialization order.
     ///

@@ -12,13 +12,13 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use sim_engine::tracer::{TraceEvent, TraceKind, Tracer, Unit};
-use sim_engine::{Cycle, EventQueue, FxHashMap, LinkJitter};
+use sim_engine::{Cycle, EventQueue, FxHashMap, HistogramMark, LinkJitter, PopOrigin, QueueMark};
 use swiftdir_cache::CacheArray;
-use swiftdir_mem::MemoryController;
+use swiftdir_mem::{MemUndo, MemoryController};
 use swiftdir_mmu::PhysAddr;
 
 use crate::config::HierarchyConfig;
-use crate::metrics::{ProtocolMetrics, RequestClass};
+use crate::metrics::{MetricsCounters, ProtocolMetrics, RequestClass};
 use crate::msg::{CoherenceEvent, EventCounts, Msg};
 use crate::protocol::{InitialGrant, ProtocolKind};
 use crate::slab::{BlockMap, MshrTable};
@@ -191,7 +191,7 @@ pub(crate) struct PendingReq {
     l1_before: L1State,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Hash)]
 pub(crate) struct L1Line {
     pub(crate) state: L1State,
     pub(crate) data: u64,
@@ -276,7 +276,7 @@ pub(crate) enum LlcTxn {
     Recall { pending: u64 },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub(crate) struct LlcLine {
     pub(crate) state: LlcState,
     pub(crate) sharers: u64,
@@ -376,6 +376,124 @@ pub struct Choice {
     /// state (used by partial-order reduction: two choices on different
     /// blocks are only independent when at most one of them can).
     pub touches_dram: bool,
+}
+
+/// Opaque position in the hierarchy's undo log, returned by
+/// [`Hierarchy::undo_mark`] and consumed by [`Hierarchy::undo_to`].
+/// Marks are a stack discipline: taking a mark, stepping, and undoing to
+/// the mark restores the hierarchy bit-exactly; marks taken earlier remain
+/// valid after an undo, marks taken later do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UndoMark(usize);
+
+/// Which controller's transient buffers one undo frame snapshots.
+///
+/// Every event dispatches into exactly one side of the hierarchy: core
+/// requests, L1-bound messages, and install retries mutate one core's L1
+/// transient state (MSHRs, writeback/installing buffers, stall list) and
+/// never the LLC's; LLC-bound messages and DRAM completions mutate the
+/// LLC's stall queues, the DRAM timing model, and the golden memory image
+/// and never an L1's. (The cache *arrays* on both sides are covered
+/// separately by their own mutation journals, because an LLC-side recall
+/// or an L1-side drain may touch lines outside the event's own set.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameSide {
+    /// Frame predates any step (pool default); restores nothing extra.
+    None,
+    /// The event dispatched into core `n`'s L1 controller.
+    L1(usize),
+    /// The event dispatched into the LLC / memory controller.
+    Llc,
+}
+
+/// Everything needed to reverse one [`Hierarchy::try_step_choice`]: the
+/// queue rewind point plus pre-dispatch copies of the small mutable state
+/// the dispatched side may touch. Frames are pooled and refilled so
+/// steady-state stepping performs no heap allocation.
+#[derive(Debug)]
+struct UndoFrame {
+    qmark: QueueMark,
+    popped_origin: PopOrigin,
+    popped_seq: u64,
+    /// The delivered event, returned to the queue on undo.
+    popped: Option<Event>,
+    completions_len: usize,
+    next_req: RequestId,
+    /// Flat copies of every accumulated counter (all `Copy`).
+    events: EventCounts,
+    l1_hits: u64,
+    l1_misses: u64,
+    mshr_merges: u64,
+    recalls: u64,
+    silent_upgrades: u64,
+    dispatched: u64,
+    counters: MetricsCounters,
+    /// Latency-histogram records made during this step, reversed LIFO on
+    /// undo (whole-histogram copies would be ~160 KB per frame).
+    lat_records: Vec<(RequestClass, u64, HistogramMark)>,
+    side: FrameSide,
+    // L1-side buffers (valid when `side == L1(_)`); kept allocated across
+    // frame reuse via `copy_from`/`clone_from`.
+    l1_pending: MshrTable<PendingReq>,
+    l1_wb: BlockMap<WbEntry>,
+    l1_installing: BlockMap<PendingInstall>,
+    l1_stalled: Vec<u64>,
+    // LLC-side buffers (valid when `side == Llc`).
+    llc_set_stalls: FxHashMap<u64, VecDeque<Msg>>,
+    mem_undo: MemUndo,
+    mem_image: FxHashMap<u64, u64>,
+    /// Per-array journal watermarks at frame creation; rollback targets.
+    l1_marks: Vec<usize>,
+    llc_mark: usize,
+    /// Approximate heap bytes this frame pinned (depth profiling).
+    bytes: u64,
+}
+
+impl Default for UndoFrame {
+    fn default() -> Self {
+        UndoFrame {
+            qmark: QueueMark::default(),
+            popped_origin: PopOrigin::default(),
+            popped_seq: 0,
+            popped: None,
+            completions_len: 0,
+            next_req: 0,
+            events: EventCounts::default(),
+            l1_hits: 0,
+            l1_misses: 0,
+            mshr_merges: 0,
+            recalls: 0,
+            silent_upgrades: 0,
+            dispatched: 0,
+            counters: MetricsCounters::default(),
+            lat_records: Vec::new(),
+            side: FrameSide::None,
+            l1_pending: MshrTable::new(0),
+            l1_wb: BlockMap::new(),
+            l1_installing: BlockMap::new(),
+            l1_stalled: Vec::new(),
+            llc_set_stalls: FxHashMap::default(),
+            mem_undo: MemUndo::default(),
+            mem_image: FxHashMap::default(),
+            l1_marks: Vec::new(),
+            llc_mark: 0,
+            bytes: 0,
+        }
+    }
+}
+
+/// The hierarchy's step-reversal log: one [`UndoFrame`] per dispatched
+/// event since [`Hierarchy::enable_undo`]. Popped frames return to a free
+/// pool so their buffers (MSHR copies, latency journals, ...) are reused.
+// Frames are boxed on purpose: an `UndoFrame` embeds whole-table copies
+// (MSHRs, block maps, stall state), so keeping it behind a pointer makes
+// push/pop and pool recycling a pointer move instead of a bulk memcpy.
+#[allow(clippy::vec_box)]
+#[derive(Debug, Default)]
+struct UndoLog {
+    enabled: bool,
+    frames: Vec<Box<UndoFrame>>,
+    pool: Vec<Box<UndoFrame>>,
 }
 
 /// How many times an L1 install is re-scheduled before it escalates to a
@@ -479,6 +597,11 @@ pub struct Hierarchy {
     /// Optional per-hop latency jitter (fuzzing only; `None` keeps the
     /// calibrated fixed latencies).
     jitter: Option<LinkJitter>,
+    /// Step-reversal log (inactive until [`enable_undo`](Self::enable_undo)).
+    undo: UndoLog,
+    /// Scratch for per-L1 content digests in
+    /// [`state_digest_cached`](Self::state_digest_cached).
+    digest_l1_scratch: Vec<u64>,
 }
 
 impl Hierarchy {
@@ -507,6 +630,8 @@ impl Hierarchy {
             stats: HierarchyStats::default(),
             tracer: Tracer::disabled(),
             jitter: None,
+            undo: UndoLog::default(),
+            digest_l1_scratch: Vec::new(),
             cfg,
         }
     }
@@ -877,6 +1002,10 @@ impl Hierarchy {
             stats: self.stats.clone(),
             tracer: Tracer::disabled(),
             jitter: self.jitter.clone(),
+            // The undo log is a traversal artifact, not hierarchy state: a
+            // fork starts its own (callers re-arm with `enable_undo`).
+            undo: UndoLog::default(),
+            digest_l1_scratch: Vec::new(),
         }
     }
 
@@ -1001,12 +1130,184 @@ impl Hierarchy {
     ///
     /// The [`ProtocolError`] if the event was illegal in the current state.
     pub fn try_step_choice(&mut self, seq: u64) -> Result<Option<Cycle>, Box<ProtocolError>> {
-        match self.queue.pop_seq(seq) {
-            Some((now, ev)) => {
+        // The queue mark captures pre-pop scalars, so it must be taken
+        // before `pop_seq`; it is free (three words), so an unmatched-seq
+        // miss wastes nothing.
+        let qmark = self.undo.enabled.then(|| self.queue.mark());
+        match self.queue.pop_seq_traced(seq) {
+            Some((now, origin, ev)) => {
+                if let Some(qmark) = qmark {
+                    self.push_undo_frame(qmark, origin, seq, &ev);
+                }
                 self.dispatch(now, ev)?;
                 Ok(Some(now))
             }
             None => Ok(None),
+        }
+    }
+
+    // -- undo log -----------------------------------------------------------
+
+    /// Arms the step-reversal log: every subsequent
+    /// [`try_step_choice`](Self::try_step_choice) records an undo frame,
+    /// and [`undo_to`](Self::undo_to) rewinds dispatched steps in place —
+    /// the backbone of the explorer's snapshot-free depth-first search.
+    ///
+    /// Also switches every cache array into journaling mode (their line
+    /// mutations are rolled back per-set rather than copied wholesale).
+    /// Undo only reverses *stepping*; interleaving [`issue`](Self::issue),
+    /// [`tick`](Self::tick), or [`run_until_idle`](Self::run_until_idle)
+    /// with marked steps is unsupported. The tracer is not rewound —
+    /// exploration runs with tracing disabled.
+    pub fn enable_undo(&mut self) {
+        self.undo.enabled = true;
+        self.undo.frames.clear();
+        for l1 in &mut self.l1s {
+            l1.array.enable_journal();
+        }
+        self.llc.enable_journal();
+    }
+
+    /// The current undo-log position. Stepping pushes frames past it;
+    /// [`undo_to`](Self::undo_to) pops back down to it.
+    pub fn undo_mark(&self) -> UndoMark {
+        UndoMark(self.undo.frames.len())
+    }
+
+    /// Rewinds every step taken since `mark`, newest first, restoring the
+    /// hierarchy — queue, caches, transient buffers, DRAM timing, stats,
+    /// completions — to its exact state when the mark was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` lies above the current log (i.e. it was taken on a
+    /// branch already undone).
+    pub fn undo_to(&mut self, mark: UndoMark) {
+        assert!(
+            mark.0 <= self.undo.frames.len(),
+            "undo_to: mark {} above log top {}",
+            mark.0,
+            self.undo.frames.len()
+        );
+        while self.undo.frames.len() > mark.0 {
+            let mut frame = self.undo.frames.pop().expect("len checked");
+            self.restore_frame(&mut frame);
+            self.undo.pool.push(frame);
+        }
+    }
+
+    /// Approximate heap bytes pinned by the most recent undo frame (0 when
+    /// none) — the per-step cost the depth profiler reports.
+    pub fn undo_frame_bytes(&self) -> u64 {
+        self.undo.frames.last().map_or(0, |f| f.bytes)
+    }
+
+    /// Number of undrained completions (pair with
+    /// [`completions_since`](Self::completions_since) for drain-free reads:
+    /// the undo log truncates the completion list on rewind, so undo-mode
+    /// traversal must never [`drain_completions`](Self::drain_completions)).
+    pub fn completions_len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// The completions recorded since the list was `len` long.
+    pub fn completions_since(&self, len: usize) -> &[Completion] {
+        &self.completions[len..]
+    }
+
+    /// Captures the pre-dispatch state of everything `ev`'s handler may
+    /// mutate. `qmark` was taken before the queue pop; `origin`/`seq`/`ev`
+    /// identify the popped event so the rewind can reinsert it losslessly.
+    fn push_undo_frame(&mut self, qmark: QueueMark, origin: PopOrigin, seq: u64, ev: &Event) {
+        let mut f = self.undo.pool.pop().unwrap_or_default();
+        f.qmark = qmark;
+        f.popped_origin = origin;
+        f.popped_seq = seq;
+        f.popped = Some(ev.clone());
+        f.completions_len = self.completions.len();
+        f.next_req = self.next_req;
+        f.events = self.stats.events;
+        f.l1_hits = self.stats.l1_hits;
+        f.l1_misses = self.stats.l1_misses;
+        f.mshr_merges = self.stats.mshr_merges;
+        f.recalls = self.stats.recalls;
+        f.silent_upgrades = self.stats.silent_upgrades;
+        f.dispatched = self.stats.dispatched;
+        f.counters = self.stats.protocol.counters_snapshot();
+        f.lat_records.clear();
+        f.l1_marks.clear();
+        for l1 in &self.l1s {
+            f.l1_marks.push(l1.array.journal_mark());
+        }
+        f.llc_mark = self.llc.journal_mark();
+        let side_bytes;
+        f.side = match ev {
+            Event::CoreReq { core, .. }
+            | Event::ToL1 { core, .. }
+            | Event::L1InsertRetry { core, .. } => {
+                let l1 = &self.l1s[*core];
+                f.l1_pending.copy_from(&l1.pending);
+                f.l1_wb.copy_from(&l1.wb_buffer);
+                f.l1_installing.copy_from(&l1.installing);
+                f.l1_stalled.clone_from(&l1.stalled_installs);
+                side_bytes = f.l1_pending.approx_bytes()
+                    + f.l1_wb.approx_bytes()
+                    + f.l1_installing.approx_bytes()
+                    + (f.l1_stalled.len() * std::mem::size_of::<u64>()) as u64;
+                FrameSide::L1(*core)
+            }
+            Event::ToLlc(_) | Event::MemDone { .. } => {
+                f.llc_set_stalls.clone_from(&self.llc_set_stalls);
+                self.mem.save_into(&mut f.mem_undo);
+                f.mem_image.clone_from(&self.mem_image);
+                side_bytes = f.mem_undo.approx_bytes()
+                    + (self.llc_set_stalls.len() + self.mem_image.len()) as u64 * 16;
+                FrameSide::Llc
+            }
+        };
+        f.bytes = std::mem::size_of::<UndoFrame>() as u64 + side_bytes;
+        self.undo.frames.push(f);
+    }
+
+    /// Reverses one recorded step. The array journals roll back the line
+    /// mutations (on *both* sides — an L1 drain or LLC recall may touch
+    /// sets beyond the event's own); everything else restores from the
+    /// frame's flat copies.
+    fn restore_frame(&mut self, f: &mut UndoFrame) {
+        let ev = f.popped.take().expect("undo frame holds its event");
+        self.queue
+            .restore_mark(f.qmark, f.popped_origin, f.popped_seq, ev);
+        self.completions.truncate(f.completions_len);
+        self.next_req = f.next_req;
+        self.stats.events = f.events;
+        self.stats.l1_hits = f.l1_hits;
+        self.stats.l1_misses = f.l1_misses;
+        self.stats.mshr_merges = f.mshr_merges;
+        self.stats.recalls = f.recalls;
+        self.stats.silent_upgrades = f.silent_upgrades;
+        self.stats.dispatched = f.dispatched;
+        self.stats.protocol.restore_counters(&f.counters);
+        for (class, cycles, hmark) in f.lat_records.drain(..).rev() {
+            self.stats.protocol.unrecord_latency(class, cycles, hmark);
+        }
+        for (l1, &mark) in self.l1s.iter_mut().zip(&f.l1_marks) {
+            l1.array.journal_rollback(mark);
+        }
+        self.llc.journal_rollback(f.llc_mark);
+        match f.side {
+            FrameSide::None => unreachable!("restored a frame that was never filled"),
+            FrameSide::L1(core) => {
+                let l1 = &mut self.l1s[core];
+                l1.pending.copy_from(&f.l1_pending);
+                l1.wb_buffer.copy_from(&f.l1_wb);
+                l1.installing.copy_from(&f.l1_installing);
+                l1.stalled_installs.clone_from(&f.l1_stalled);
+            }
+            FrameSide::Llc => {
+                self.llc_set_stalls.clone_from(&f.llc_set_stalls);
+                self.mem.restore(&f.mem_undo);
+                self.mem_image.clone_from(&f.mem_image);
+            }
         }
     }
 
@@ -1024,6 +1325,37 @@ impl Hierarchy {
     /// disabled (exploration owns delivery-order variation; the jitter
     /// rng's internal state is deliberately not hashed).
     pub fn state_digest(&self) -> u64 {
+        let l1_digests: Vec<u64> = self
+            .l1s
+            .iter()
+            .map(|l1| l1.array.content_digest_uncached())
+            .collect();
+        self.state_digest_with(&l1_digests, self.llc.content_digest_uncached())
+    }
+
+    /// [`state_digest`](Self::state_digest) with the cache-array portions
+    /// served from each array's incrementally maintained rolling digest:
+    /// only sets mutated since the last call are rehashed, killing the
+    /// per-leaf full-state scan in the schedule explorer. Bit-identical to
+    /// `state_digest` (the rolling digest re-derives exactly the rescan's
+    /// per-set hashes; the cache is behaviorally invisible).
+    pub fn state_digest_cached(&mut self) -> u64 {
+        let mut scratch = std::mem::take(&mut self.digest_l1_scratch);
+        scratch.clear();
+        for l1 in &mut self.l1s {
+            scratch.push(l1.array.content_digest());
+        }
+        let llc_digest = self.llc.content_digest();
+        let digest = self.state_digest_with(&scratch, llc_digest);
+        self.digest_l1_scratch = scratch;
+        digest
+    }
+
+    /// Digest core: everything outside the cache arrays is hashed here;
+    /// the arrays' content digests (one per L1, one for the LLC) are mixed
+    /// in as opaque words so the cached and uncached entry points share
+    /// every byte of this logic.
+    fn state_digest_with(&self, l1_digests: &[u64], llc_digest: u64) -> u64 {
         use std::hash::{Hash, Hasher};
         debug_assert!(
             self.jitter.is_none(),
@@ -1048,11 +1380,9 @@ impl Hierarchy {
         items.sort_unstable();
         items.hash(&mut h);
 
-        for l1 in &self.l1s {
+        for (l1, digest) in self.l1s.iter().zip(l1_digests) {
             0xA11C_A5E5u64.hash(&mut h);
-            for (addr, lru_rank, fifo_rank, line) in l1.array.canonical_lines() {
-                (addr, lru_rank, fifo_rank, line.state, line.data).hash(&mut h);
-            }
+            digest.hash(&mut h);
             let mut pending: Vec<_> = l1.pending.iter().collect();
             pending.sort_by_key(|(b, _)| *b);
             for (block, reqs) in pending {
@@ -1075,15 +1405,10 @@ impl Hierarchy {
             l1.stalled_installs.hash(&mut h);
         }
 
+        // LLC lines — directory state, transactions, and waiter queues —
+        // hash through `LlcLine: Hash` inside the array content digest.
         0x11C0_FFEEu64.hash(&mut h);
-        for (addr, lru_rank, fifo_rank, line) in self.llc.canonical_lines() {
-            (addr, lru_rank, fifo_rank).hash(&mut h);
-            (line.state, line.sharers, line.owner, line.dirty, line.data).hash(&mut h);
-            line.txn.hash(&mut h);
-            for w in &line.waiters {
-                w.hash(&mut h);
-            }
-        }
+        llc_digest.hash(&mut h);
         let mut stalls: Vec<_> = self
             .llc_set_stalls
             .iter()
@@ -1125,6 +1450,79 @@ impl Hierarchy {
             } => (4u8, *core, block.0, *attempt).hash(&mut h),
         }
         h.finish()
+    }
+
+    /// Test-only: names the first behavioral component where `self` and
+    /// `other` differ (empty string when none) — undo-debugging aid.
+    #[cfg(test)]
+    fn debug_divergence(&self, other: &Hierarchy) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.queue.now() != other.queue.now() {
+            let _ = writeln!(
+                out,
+                "now: {:?} vs {:?}",
+                self.queue.now(),
+                other.queue.now()
+            );
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        self.queue
+            .for_each_pending(|p| a.push((p.at, p.seq, format!("{:?}", p.event))));
+        other
+            .queue
+            .for_each_pending(|p| b.push((p.at, p.seq, format!("{:?}", p.event))));
+        a.sort();
+        b.sort();
+        if a != b {
+            let _ = writeln!(out, "pending: {a:#?} vs {b:#?}");
+        }
+        for (i, (x, y)) in self.l1s.iter().zip(&other.l1s).enumerate() {
+            if x.array.content_digest_uncached() != y.array.content_digest_uncached() {
+                let _ = writeln!(out, "l1[{i}].array: {:?}\n vs {:?}", x.array, y.array);
+            }
+            let fmt = |l: &L1| {
+                format!(
+                    "pending {:?} wb {:?} ins {:?} stalled {:?}",
+                    l.pending.iter().collect::<Vec<_>>(),
+                    l.wb_buffer.iter().collect::<Vec<_>>(),
+                    l.installing.iter().collect::<Vec<_>>(),
+                    l.stalled_installs
+                )
+            };
+            if fmt(x) != fmt(y) {
+                let _ = writeln!(out, "l1[{i}] transients: {} vs {}", fmt(x), fmt(y));
+            }
+        }
+        if self.llc.content_digest_uncached() != other.llc.content_digest_uncached() {
+            let _ = writeln!(out, "llc array: {:?}\n vs {:?}", self.llc, other.llc);
+        }
+        if format!("{:?}", self.llc_set_stalls) != format!("{:?}", other.llc_set_stalls) {
+            let _ = writeln!(
+                out,
+                "set_stalls: {:?} vs {:?}",
+                self.llc_set_stalls, other.llc_set_stalls
+            );
+        }
+        let memd = |h: &Hierarchy| {
+            let mut v = Vec::new();
+            h.mem.digest_into(h.queue.now(), &mut |x| v.push(x));
+            v
+        };
+        if memd(self) != memd(other) {
+            let _ = writeln!(out, "mem: {:?} vs {:?}", memd(self), memd(other));
+        }
+        if self.mem_image != other.mem_image {
+            let _ = writeln!(
+                out,
+                "mem_image: {:?} vs {:?}",
+                self.mem_image, other.mem_image
+            );
+        }
+        if self.next_req != other.next_req {
+            let _ = writeln!(out, "next_req: {} vs {}", self.next_req, other.next_req);
+        }
+        out
     }
 
     // -- plumbing ----------------------------------------------------------
@@ -1340,6 +1738,15 @@ impl Hierarchy {
             self.cfg.protocol == ProtocolKind::SwiftDir,
             served_from,
         );
+        if self.undo.enabled {
+            // Journal the record so the undo frame can reverse it LIFO —
+            // copying whole histograms per frame would dwarf every other
+            // undo cost.
+            let mark = self.stats.protocol.latency_mark(class);
+            if let Some(frame) = self.undo.frames.last_mut() {
+                frame.lat_records.push((class, latency.get(), mark));
+            }
+        }
         self.stats.protocol.record_latency(class, latency.get());
         self.tracer.emit(|| TraceEvent {
             at: now,
@@ -3381,6 +3788,85 @@ mod tests {
         let ring = traced.tracer().ring().expect("ring attached");
         assert!(!ring.is_empty());
         assert_eq!(ring.len(), 256, "long run saturates the bounded ring");
+    }
+
+    /// A contended multi-core setup with requests issued but not yet run,
+    /// for step-level exploration tests.
+    fn primed(protocol: ProtocolKind, cores: usize) -> Hierarchy {
+        let mut h = hier(protocol, cores);
+        for i in 0..6u64 {
+            let core = (i % cores as u64) as usize;
+            let addr = PhysAddr(0xA_0000 + (i % 2) * 64);
+            let req = match i % 3 {
+                0 => CoreRequest::store(addr),
+                1 => CoreRequest::load(addr).write_protected(),
+                _ => CoreRequest::load(addr),
+            };
+            h.issue(Cycle(i), core, req);
+        }
+        h
+    }
+
+    /// DFS over the first few frontier choices, asserting at every node
+    /// that stepping + undoing restores digest, stats, and completions
+    /// bit-exactly, and that the cached digest tracks the rescan.
+    fn walk_and_unwind(h: &mut Hierarchy, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        let choices = h.frontier_choices(Cycle(8));
+        for c in choices.into_iter().take(3) {
+            let digest = h.state_digest();
+            assert_eq!(h.state_digest_cached(), digest, "cached == rescan");
+            let stats = h.stats().clone();
+            let completions = h.completions_len();
+            let mark = h.undo_mark();
+            let snap = h.fork();
+            if h.try_step_choice(c.seq).expect("legal step").is_none() {
+                continue;
+            }
+            assert!(h.undo_frame_bytes() > 0, "step recorded a frame");
+            walk_and_unwind(h, depth - 1);
+            h.undo_to(mark);
+            let div = h.debug_divergence(&snap);
+            assert!(div.is_empty(), "undo diverged after {c:?}:\n{div}");
+            assert_eq!(h.state_digest(), digest, "undo restores the digest");
+            assert_eq!(h.state_digest_cached(), digest, "cache tracks rollback");
+            assert_eq!(*h.stats(), stats, "undo restores stats + histograms");
+            assert_eq!(h.completions_len(), completions);
+        }
+    }
+
+    #[test]
+    fn undo_restores_state_digest_and_stats_exactly() {
+        for p in ProtocolKind::ALL {
+            let mut h = primed(p, 2);
+            h.enable_undo();
+            walk_and_unwind(&mut h, 4);
+        }
+    }
+
+    #[test]
+    fn undo_unwinds_a_full_run_to_the_root() {
+        let mut h = primed(ProtocolKind::SwiftDir, 2);
+        h.enable_undo();
+        let reference = h.fork();
+        let root_digest = h.state_digest();
+        let root = h.undo_mark();
+        let mut steps = 0u32;
+        loop {
+            let choices = h.frontier_choices(Cycle(8));
+            let Some(c) = choices.first() else { break };
+            h.try_step_choice(c.seq).expect("legal step");
+            steps += 1;
+            assert!(steps < 10_000, "runaway run");
+        }
+        assert!(steps > 20, "setup must produce a real run ({steps} steps)");
+        assert!(h.completions_len() > 0, "the run completed requests");
+        h.undo_to(root);
+        assert_eq!(h.state_digest(), root_digest);
+        assert_eq!(h.stats(), reference.stats());
+        assert_eq!(h.completions_len(), 0);
     }
 
     #[test]

@@ -121,6 +121,27 @@ pub struct ProtocolMetrics {
     install_stalls: u64,
 }
 
+/// Flat `Copy` snapshot of [`ProtocolMetrics`]' non-histogram counters;
+/// see [`ProtocolMetrics::counters_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsCounters {
+    l1: [[u64; L1State::COUNT]; L1State::COUNT],
+    llc: [[u64; LlcState::COUNT]; LlcState::COUNT],
+    install_retries: u64,
+    install_stalls: u64,
+}
+
+impl Default for MetricsCounters {
+    fn default() -> Self {
+        MetricsCounters {
+            l1: [[0; L1State::COUNT]; L1State::COUNT],
+            llc: [[0; LlcState::COUNT]; LlcState::COUNT],
+            install_retries: 0,
+            install_stalls: 0,
+        }
+    }
+}
+
 impl Default for ProtocolMetrics {
     fn default() -> Self {
         ProtocolMetrics {
@@ -219,6 +240,47 @@ impl ProtocolMetrics {
     /// Install retries that escalated to a blocking stall.
     pub fn install_stalls(&self) -> u64 {
         self.install_stalls
+    }
+
+    /// Copies every `Copy`-sized counter (both transition matrices and the
+    /// install counters) into a flat snapshot. The latency histograms are
+    /// deliberately excluded — they are journaled per-record via
+    /// [`latency_mark`](Self::latency_mark) /
+    /// [`unrecord_latency`](Self::unrecord_latency) because a full
+    /// histogram copy is [`LATENCY_CAP`]-sized.
+    pub fn counters_snapshot(&self) -> MetricsCounters {
+        MetricsCounters {
+            l1: self.l1,
+            llc: self.llc,
+            install_retries: self.install_retries,
+            install_stalls: self.install_stalls,
+        }
+    }
+
+    /// Restores counters captured by
+    /// [`counters_snapshot`](Self::counters_snapshot).
+    pub fn restore_counters(&mut self, snap: &MetricsCounters) {
+        self.l1 = snap.l1;
+        self.llc = snap.llc;
+        self.install_retries = snap.install_retries;
+        self.install_stalls = snap.install_stalls;
+    }
+
+    /// Pre-record mark for one class's latency histogram; pair with
+    /// [`unrecord_latency`](Self::unrecord_latency).
+    pub fn latency_mark(&self, class: RequestClass) -> sim_engine::HistogramMark {
+        self.latency[class.index()].mark()
+    }
+
+    /// Reverses one [`record_latency`](Self::record_latency) (LIFO order
+    /// only; see [`Histogram::unrecord`]).
+    pub fn unrecord_latency(
+        &mut self,
+        class: RequestClass,
+        cycles: u64,
+        mark: sim_engine::HistogramMark,
+    ) {
+        self.latency[class.index()].unrecord(cycles, mark);
     }
 
     /// Iterates over non-zero L1 matrix cells as `(from, to, count)`.

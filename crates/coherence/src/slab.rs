@@ -52,6 +52,33 @@ impl<V> MshrTable<V> {
         self.used == self.blocks.len()
     }
 
+    /// Overwrites `self` with `src`'s contents, reusing every per-slot
+    /// request buffer's allocation (undo frames call this in a loop).
+    pub(crate) fn copy_from(&mut self, src: &Self)
+    where
+        V: Clone,
+    {
+        self.blocks.clone_from(&src.blocks);
+        self.used = src.used;
+        if self.reqs.len() != src.reqs.len() {
+            self.reqs.resize_with(src.reqs.len(), Vec::new);
+        }
+        for (dst, s) in self.reqs.iter_mut().zip(&src.reqs) {
+            dst.clone_from(s);
+        }
+    }
+
+    /// Approximate heap footprint of live contents, for undo-cost
+    /// profiling.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        (self.blocks.len() * std::mem::size_of::<u64>()
+            + self
+                .reqs
+                .iter()
+                .map(|r| r.len() * std::mem::size_of::<V>())
+                .sum::<usize>()) as u64
+    }
+
     fn pos(&self, block: u64) -> Option<usize> {
         debug_assert_ne!(block, FREE);
         self.blocks.iter().position(|&b| b == block)
@@ -162,6 +189,20 @@ impl<V> BlockMap<V> {
 
     pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
         self.entries.iter().map(|(b, v)| (*b, v))
+    }
+
+    /// Overwrites `self` with `src`'s contents, reusing the entry vector's
+    /// allocation.
+    pub(crate) fn copy_from(&mut self, src: &Self)
+    where
+        V: Clone,
+    {
+        self.entries.clone_from(&src.entries);
+    }
+
+    /// Approximate heap footprint, for undo-cost profiling.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<(u64, V)>()) as u64
     }
 }
 

@@ -3,14 +3,17 @@
 //! [`explore`] walks the tree of event schedules a concrete access
 //! stream can produce: at every step the hierarchy exposes its frontier
 //! of deliverable messages ([`Hierarchy::frontier_choices`], per-link
-//! FIFO heads within a time window) and the explorer forks the machine
-//! once per choice, depth-first, running the [`Checker`] after every
-//! dispatched event. Two reductions keep the walk tractable:
+//! FIFO heads within a time window), the explorer dispatches one choice,
+//! runs the [`Checker`], and recurses. Two reductions keep the walk
+//! tractable:
 //!
 //! * **state-hash pruning** — [`Hierarchy::state_digest`] is a
 //!   time-shift-invariant digest of the architectural *and* timing
 //!   future of the machine; a revisited digest means every schedule
-//!   suffix from here was already walked, so the subtree is cut.
+//!   suffix from here was already walked, so the subtree is cut. The
+//!   walker reads the incrementally maintained digest
+//!   ([`Hierarchy::state_digest_cached`]), which is bit-identical to a
+//!   full rescan but only rehashes cache sets the last step dirtied.
 //! * **sleep sets** — after exploring choice `a` at a node, sibling
 //!   subtrees need not re-deliver `a` first unless an intervening
 //!   dispatch is dependent on it (same block, same core, shared DRAM
@@ -21,6 +24,35 @@
 //!   `sleep_set_reduction_preserves_outcomes` test cross-checks the two
 //!   modes against each other.
 //!
+//! # Backtracking, not snapshotting
+//!
+//! The default walker ([`ExploreMode::Undo`]) owns **one** hierarchy for
+//! the whole walk: each step records a compact undo frame
+//! ([`Hierarchy::enable_undo`]) and the walker rewinds it in place
+//! ([`Hierarchy::undo_to`]) when the subtree is done, so interior nodes
+//! never pay for a full-machine [`Hierarchy::fork`]. The clone-and-
+//! descend walker survives as [`ExploreMode::Fork`] — a differential
+//! oracle: both modes must produce bit-identical reports, and the
+//! `undo_and_fork_walkers_agree_bitwise` test (plus the
+//! `--smoke` oracle run in CI) holds them to it.
+//!
+//! # Decomposition and parallelism
+//!
+//! The walk is decomposed at a fixed frontier depth
+//! ([`ExploreConfig::split_depth`]): a *spine* walker explores every
+//! node above the boundary, and each boundary node roots an independent
+//! *task* with a private digest table, private budgets, and the exact
+//! sleep set the serial walk would hand it. Tasks are fanned over
+//! worker threads by work stealing ([`ExperimentSet::run_owned`]) with
+//! one bounded fork per task, or run inline on the spine's own
+//! hierarchy when `threads == 1` (zero forks end to end in undo mode).
+//! Task reports merge **in spine emission order**, so the report is
+//! bit-identical for every thread count — [`explore`] *is*
+//! [`explore_parallel_threads`] with one thread. Cross-task revisits
+//! are only pruned within a task, never across tasks; the pure serial
+//! single-table walk remains available via `split_depth: usize::MAX`
+//! (it prunes more, so its `timings` set can be a subset).
+//!
 //! Every leaf (drained queue) contributes its architectural outcome
 //! (completion values + final golden memory), its timing outcome, its
 //! per-request latency, and its transition-coverage matrices to the
@@ -28,13 +60,32 @@
 
 use std::collections::BTreeMap;
 
-use sim_engine::{Cycle, FxHashMap, FxHashSet};
+use sim_engine::{Cycle, FxHashMap, FxHashSet, Metric, MetricsRegistry};
 use swiftdir_coherence::{
     Checker, Choice, Completion, Hierarchy, HierarchyConfig, ObservedCoverage, RequestId,
 };
 
 use crate::driver::{self, ExperimentSet};
 use crate::stream::{issue_stream, AccessOp};
+
+/// How the walker restores a parent node's state after a subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Mutate one hierarchy in place and rewind each step through the
+    /// undo log ([`Hierarchy::undo_to`]). The default: no per-step
+    /// forks, no per-leaf full-state rescans.
+    Undo,
+    /// Fork the hierarchy at every step and discard the child
+    /// afterwards. Kept as a differential oracle for the undo walker —
+    /// both modes must produce bit-identical reports.
+    Fork,
+}
+
+/// Spine nodes become at most this many parallel tasks; boundary nodes
+/// past the cap are explored inline by the spine (deterministically —
+/// the cutoff depends only on spine DFS order), bounding outstanding
+/// hierarchy forks regardless of frontier breadth.
+const MAX_TASKS: usize = 4096;
 
 /// Budgets and feature toggles for one exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,14 +97,20 @@ pub struct ExploreConfig {
     /// Maximum schedule length before the path is abandoned as
     /// runaway (a livelock guard, not a correctness bound).
     pub max_depth: usize,
-    /// Stop after this many complete schedules.
+    /// Stop after this many complete schedules (per task).
     pub max_schedules: u64,
-    /// Stop when the state-digest table reaches this size.
+    /// Stop when a state-digest table reaches this size (per task).
     pub max_states: usize,
     /// Enable the sleep-set partial-order reduction.
     pub sleep_sets: bool,
     /// Run the [`Checker`] after every dispatched event.
     pub check_invariants: bool,
+    /// Parent-state restoration strategy (see [`ExploreMode`]).
+    pub mode: ExploreMode,
+    /// Frontier depth at which subtrees become independent tasks (the
+    /// work-stealing grain). `usize::MAX` disables decomposition: one
+    /// walker, one digest table — the pure serial semantics.
+    pub split_depth: usize,
 }
 
 impl Default for ExploreConfig {
@@ -65,6 +122,8 @@ impl Default for ExploreConfig {
             max_states: 1 << 21,
             sleep_sets: true,
             check_invariants: true,
+            mode: ExploreMode::Undo,
+            split_depth: 2,
         }
     }
 }
@@ -113,7 +172,8 @@ pub struct ExploreReport {
     /// Per-request completion-latency multisets across schedules
     /// (latency → number of schedules finishing the request in it).
     pub latencies: FxHashMap<RequestId, BTreeMap<u64, u64>>,
-    /// The first violation found, if any (exploration stops on it).
+    /// The first violation found in canonical (spine, then task
+    /// emission) order, if any.
     pub error: Option<ExploreError>,
 }
 
@@ -134,36 +194,79 @@ impl ExploreReport {
     }
 }
 
+/// Per-depth walk counters (tree shape and undo cost), summed over the
+/// spine and every task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepthStats {
+    /// Nodes entered at this depth (leaves included).
+    pub nodes: u64,
+    /// Subtrees rewound (undo mode) or discarded (fork mode) back to a
+    /// parent at this depth's step.
+    pub backtracks: u64,
+    /// Total approximate bytes the rewound undo frames pinned.
+    pub undo_bytes: u64,
+}
+
+/// Depth-indexed [`DepthStats`] for one exploration; index = schedule
+/// depth from the root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthProfile {
+    /// One entry per depth reached, root first.
+    pub depths: Vec<DepthStats>,
+}
+
+impl DepthProfile {
+    fn at(&mut self, depth: usize) -> &mut DepthStats {
+        if self.depths.len() <= depth {
+            self.depths.resize(depth + 1, DepthStats::default());
+        }
+        &mut self.depths[depth]
+    }
+
+    /// Element-wise sum of `other` into `self`.
+    pub fn merge(&mut self, other: &DepthProfile) {
+        for (d, s) in other.depths.iter().enumerate() {
+            let slot = self.at(d);
+            slot.nodes += s.nodes;
+            slot.backtracks += s.backtracks;
+            slot.undo_bytes += s.undo_bytes;
+        }
+    }
+
+    /// Registers every per-depth counter under `prefix` (e.g.
+    /// `explore.depth.004.nodes`), for metric snapshots.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        for (d, s) in self.depths.iter().enumerate() {
+            reg.insert(
+                &format!("{prefix}depth.{d:03}.nodes"),
+                Metric::Counter(s.nodes.into()),
+            );
+            reg.insert(
+                &format!("{prefix}depth.{d:03}.backtracks"),
+                Metric::Counter(s.backtracks.into()),
+            );
+            reg.insert(
+                &format!("{prefix}depth.{d:03}.undo_bytes"),
+                Metric::Counter(s.undo_bytes.into()),
+            );
+        }
+    }
+}
+
 /// Explores every schedule of `stream` on a fresh hierarchy built from
 /// `cfg`, within `ecfg`'s budgets. Link jitter must be disabled (the
 /// explorer *is* the network nondeterminism).
+///
+/// This *is* [`explore_parallel_threads`] with one worker: the walk is
+/// decomposed identically, so the report is bit-identical at every
+/// thread count.
 pub fn explore(cfg: &HierarchyConfig, stream: &[AccessOp], ecfg: &ExploreConfig) -> ExploreReport {
-    let mut h = Hierarchy::new(*cfg);
-    issue_stream(&mut h, stream);
-    let mut walker = Walker::new(*ecfg, stream.len());
-    let checker = Checker::new();
-    walker.dfs(&h, &checker, &[], 0);
-    walker.finish()
+    explore_parallel_threads(cfg, stream, ecfg, 1)
 }
 
-/// [`explore`] with the root's frontier choices fanned over the
-/// experiment driver's worker threads (`SWIFTDIR_THREADS`, else the
-/// host parallelism).
-///
-/// Each top-level branch is walked as an independent depth-first
-/// exploration seeded with exactly the sleep set the serial walk would
-/// hand it (the earlier root choices, filtered by [`independent`]), and
-/// the per-branch reports are merged **in root-choice order**. The
-/// result is therefore bit-identical for every thread count, including
-/// one — the thread schedule only decides which branch runs where.
-///
-/// Relative to [`explore`], the architectural outcome set is preserved
-/// exactly and the timing set is a superset, but the work counters
-/// (`steps`, `pruned`, `schedules`) can run higher: each branch keeps a
-/// private state-digest table and full budgets, so revisits are only
-/// pruned within a branch, never across branches — and an unpruned
-/// revisit can surface absolute timings the time-shift-invariant digest
-/// would have folded away.
+/// [`explore`] with the boundary tasks fanned over the experiment
+/// driver's worker threads (`SWIFTDIR_THREADS`, else the host
+/// parallelism).
 pub fn explore_parallel(
     cfg: &HierarchyConfig,
     stream: &[AccessOp],
@@ -172,57 +275,83 @@ pub fn explore_parallel(
     explore_parallel_threads(cfg, stream, ecfg, driver::default_threads())
 }
 
-/// [`explore_parallel`] with a pinned worker count (`threads == 1` walks
-/// the branches serially on the calling thread, still producing the
-/// branch-decomposed report).
+/// [`explore_parallel`] with a pinned worker count.
 pub fn explore_parallel_threads(
     cfg: &HierarchyConfig,
     stream: &[AccessOp],
     ecfg: &ExploreConfig,
     threads: usize,
 ) -> ExploreReport {
-    let mut root = Hierarchy::new(*cfg);
-    issue_stream(&mut root, stream);
-    let root_choices = root.frontier_choices(Cycle(ecfg.window));
-    if root_choices.len() <= 1 {
-        // Degenerate root: nothing to fan out.
-        return explore(cfg, stream, ecfg);
-    }
-    let expected = stream.len();
-
-    // Branch `k` starts with the sleep set the serial root loop would
-    // pass it: every earlier sibling that is independent of this choice.
-    // Each branch owns a fork of the root (`Hierarchy` is `Send` but not
-    // `Sync`, so branches cannot share one), handed to its worker whole.
-    let branches: Vec<(Hierarchy, Choice, Vec<Choice>)> = root_choices
-        .iter()
-        .enumerate()
-        .map(|(k, &choice)| {
-            let sleep: Vec<Choice> = if ecfg.sleep_sets {
-                root_choices[..k]
-                    .iter()
-                    .filter(|s| independent(s, &choice))
-                    .copied()
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            (root.fork(), choice, sleep)
-        })
-        .collect();
-
-    let reports = ExperimentSet::new(branches)
-        .threads(threads)
-        .run_owned(|(h, choice, sleep)| {
-            let mut walker = Walker::new(*ecfg, expected);
-            let checker = Checker::new();
-            walker.step_into(&h, &checker, &choice, &sleep, 0);
-            walker.finish()
-        });
-    merge_reports(reports)
+    explore_parallel_profiled(cfg, stream, ecfg, threads).0
 }
 
-/// Folds per-branch reports (in canonical root-choice order) into one.
+/// [`explore_parallel_threads`] that also returns the merged per-depth
+/// walk profile (node counts, backtracks, undo bytes).
+pub fn explore_parallel_profiled(
+    cfg: &HierarchyConfig,
+    stream: &[AccessOp],
+    ecfg: &ExploreConfig,
+    threads: usize,
+) -> (ExploreReport, DepthProfile) {
+    let expected = stream.len();
+    let mut root = Hierarchy::new(*cfg);
+    issue_stream(&mut root, stream);
+    if ecfg.mode == ExploreMode::Undo {
+        root.enable_undo();
+    }
+
+    let mut spine = Walker::new(*ecfg, expected);
+    if ecfg.split_depth != usize::MAX {
+        spine.boundary = if threads > 1 {
+            Boundary::Defer(Vec::new())
+        } else {
+            Boundary::Inline(Vec::new())
+        };
+    }
+    spine.dfs(&mut root, &[], 0);
+
+    let boundary = std::mem::replace(&mut spine.boundary, Boundary::Off);
+    let (spine_report, spine_profile) = spine.finish();
+    let task_results: Vec<(ExploreReport, DepthProfile)> = match boundary {
+        Boundary::Off => Vec::new(),
+        Boundary::Inline(results) => results,
+        Boundary::Defer(tasks) => ExperimentSet::new(tasks)
+            .threads(threads)
+            .run_owned(|t| run_task(t, ecfg, expected)),
+    };
+
+    let mut profile = spine_profile;
+    let mut reports = vec![spine_report];
+    for (r, p) in task_results {
+        profile.merge(&p);
+        reports.push(r);
+    }
+    (merge_reports(reports), profile)
+}
+
+/// An independent subtree rooted at a decomposition-boundary node,
+/// ready to run on any worker thread.
+struct Task {
+    h: Hierarchy,
+    checker: Checker,
+    sleep: Vec<Choice>,
+    trace: Vec<u64>,
+    depth: usize,
+}
+
+/// Walks one deferred [`Task`] to completion on the calling thread.
+fn run_task(mut t: Task, ecfg: &ExploreConfig, expected: usize) -> (ExploreReport, DepthProfile) {
+    if ecfg.mode == ExploreMode::Undo {
+        // The fork dropped the spine's undo log; re-arm on the task copy.
+        t.h.enable_undo();
+    }
+    let mut w = Walker::task(*ecfg, expected, t.trace, &t.checker, t.depth);
+    w.dfs(&mut t.h, &t.sleep, t.depth);
+    w.finish()
+}
+
+/// Folds per-walker reports (spine first, then tasks in canonical
+/// emission order) into one.
 fn merge_reports(reports: Vec<ExploreReport>) -> ExploreReport {
     let mut merged = ExploreReport::default();
     let mut outcomes: Vec<u64> = Vec::new();
@@ -256,6 +385,18 @@ fn merge_reports(reports: Vec<ExploreReport>) -> ExploreReport {
     merged
 }
 
+/// What the spine does when the walk reaches `split_depth`.
+enum Boundary {
+    /// No decomposition: keep walking (task walkers, and
+    /// `split_depth: usize::MAX`).
+    Off,
+    /// Run the boundary subtree immediately on this thread (with private
+    /// walker state) and bank its result.
+    Inline(Vec<(ExploreReport, DepthProfile)>),
+    /// Fork the hierarchy and queue the subtree for the worker pool.
+    Defer(Vec<Task>),
+}
+
 struct Walker {
     ecfg: ExploreConfig,
     expected: usize,
@@ -263,8 +404,15 @@ struct Walker {
     outcomes: FxHashSet<u64>,
     timings: FxHashSet<u64>,
     report: ExploreReport,
+    profile: DepthProfile,
     trace: Vec<u64>,
-    completions: Vec<Completion>,
+    /// Depth-indexed checker states: `checkers[d]` audits the node at
+    /// depth `d`. Stepping copies parent into child with
+    /// [`Checker::assign_from`] (no per-step allocation once warm), so
+    /// the undo walker never needs to rewind a checker.
+    checkers: Vec<Checker>,
+    boundary: Boundary,
+    tasks_emitted: usize,
     /// Recycled per-depth frontier buffers: [`Walker::dfs`] pops one,
     /// fills it via [`Hierarchy::frontier_choices_into`], and returns it
     /// after the subtree — steady-state walking allocates nothing.
@@ -282,33 +430,57 @@ impl Walker {
             outcomes: FxHashSet::default(),
             timings: FxHashSet::default(),
             report: ExploreReport::default(),
+            profile: DepthProfile::default(),
             trace: Vec::new(),
-            completions: Vec::new(),
+            checkers: vec![Checker::new()],
+            boundary: Boundary::Off,
+            tasks_emitted: 0,
             choice_pool: Vec::new(),
             choice_keys: Vec::new(),
         }
     }
 
+    /// A walker for one boundary subtree: path prefix `trace`, checker
+    /// state `checker` at `depth`, fresh digest table and budgets.
+    fn task(
+        ecfg: ExploreConfig,
+        expected: usize,
+        trace: Vec<u64>,
+        checker: &Checker,
+        depth: usize,
+    ) -> Self {
+        let mut w = Walker::new(ecfg, expected);
+        w.trace = trace;
+        while w.checkers.len() <= depth {
+            w.checkers.push(Checker::new());
+        }
+        w.checkers[depth].assign_from(checker);
+        w
+    }
+
     /// Sorts the accumulated outcome sets into the final report.
-    fn finish(mut self) -> ExploreReport {
+    fn finish(mut self) -> (ExploreReport, DepthProfile) {
         self.report.outcomes = self.outcomes.into_iter().collect();
         self.report.outcomes.sort_unstable();
         self.report.timings = self.timings.into_iter().collect();
         self.report.timings.sort_unstable();
-        self.report
+        (self.report, self.profile)
     }
 
-    /// Walks the subtree under `h`; returns false to abort the whole
-    /// exploration (violation found or hard budget hit).
-    fn dfs(&mut self, h: &Hierarchy, checker: &Checker, sleep: &[Choice], depth: usize) -> bool {
+    /// Walks the subtree under `h`; returns false to abort this
+    /// walker's exploration (violation found or hard budget hit). `h`
+    /// is returned to its entry state either way (undo mode) or left
+    /// untouched (fork mode), so the spine survives task failures.
+    fn dfs(&mut self, h: &mut Hierarchy, sleep: &[Choice], depth: usize) -> bool {
         self.report.deepest = self.report.deepest.max(depth);
+        self.profile.at(depth).nodes += 1;
 
         let mut choices = self.choice_pool.pop().unwrap_or_default();
         h.frontier_choices_into(Cycle(self.ecfg.window), &mut self.choice_keys, &mut choices);
         let ok = if choices.is_empty() {
-            self.leaf(h, checker)
+            self.leaf(h, depth)
         } else {
-            self.visit(h, checker, sleep, depth, &choices)
+            self.visit(h, sleep, depth, &choices)
         };
         choices.clear();
         self.choice_pool.push(choices);
@@ -318,8 +490,7 @@ impl Walker {
     /// Explores a non-leaf node whose frontier is `choices`.
     fn visit(
         &mut self,
-        h: &Hierarchy,
-        checker: &Checker,
+        h: &mut Hierarchy,
         sleep: &[Choice],
         depth: usize,
         choices: &[Choice],
@@ -333,7 +504,7 @@ impl Walker {
         // full visits may prune later ones — a node first reached with a
         // non-empty sleep set explored fewer behaviors than a revisit
         // with a smaller one might need.
-        let digest = h.state_digest();
+        let digest = h.state_digest_cached();
         let full = sleep.is_empty() || !self.ecfg.sleep_sets;
         match self.seen.get(&digest) {
             Some(&true) => {
@@ -352,6 +523,19 @@ impl Walker {
         if self.seen.len() >= self.ecfg.max_states {
             self.report.truncated = true;
             return false;
+        }
+
+        // Decomposition boundary: this node roots an independent task
+        // (private digest table and budgets). The spine always carries
+        // on afterwards — a failing task cannot abort it, exactly as a
+        // deferred task's failure is invisible until the merge.
+        if depth == self.ecfg.split_depth
+            && !matches!(self.boundary, Boundary::Off)
+            && self.tasks_emitted < MAX_TASKS
+        {
+            self.tasks_emitted += 1;
+            self.hand_off(h, sleep, depth);
+            return true;
         }
 
         // `barred` grows as siblings are explored: after walking the
@@ -373,7 +557,7 @@ impl Walker {
                 Vec::new()
             };
 
-            if !self.step_into(h, checker, choice, &child_sleep, depth) {
+            if !self.step_into(h, choice, &child_sleep, depth) {
                 return false;
             }
             if self.report.schedules >= self.ecfg.max_schedules {
@@ -385,23 +569,85 @@ impl Walker {
         true
     }
 
-    /// Forks `h`, dispatches `choice`, audits the event, and walks the
-    /// child subtree (at `depth + 1`) with `child_sleep`; the path state
-    /// (trace, completion log) is restored afterwards. Returns false to
-    /// abort the exploration.
+    /// Packages the node under `h` as a task: deferred to the worker
+    /// pool (one hierarchy fork) or run inline right here (no fork —
+    /// the sub-walker borrows `h` and restores it).
+    fn hand_off(&mut self, h: &mut Hierarchy, sleep: &[Choice], depth: usize) {
+        match &mut self.boundary {
+            Boundary::Off => unreachable!("hand_off gated on an active boundary"),
+            Boundary::Defer(tasks) => {
+                tasks.push(Task {
+                    h: h.fork(),
+                    checker: self.checkers[depth].clone(),
+                    sleep: sleep.to_vec(),
+                    trace: self.trace.clone(),
+                    depth,
+                });
+            }
+            Boundary::Inline(results) => {
+                let mut w = Walker::task(
+                    self.ecfg,
+                    self.expected,
+                    self.trace.clone(),
+                    &self.checkers[depth],
+                    depth,
+                );
+                w.dfs(h, sleep, depth);
+                results.push(w.finish());
+            }
+        }
+    }
+
+    /// Dispatches `choice` under `h`, audits the event, walks the child
+    /// subtree (at `depth + 1`) with `child_sleep`, and restores the
+    /// parent state: by rewinding the undo log in place (undo mode) or
+    /// by having stepped a discardable fork (fork mode). Returns false
+    /// to abort this walker.
     fn step_into(
         &mut self,
-        h: &Hierarchy,
-        checker: &Checker,
+        h: &mut Hierarchy,
         choice: &Choice,
         child_sleep: &[Choice],
         depth: usize,
     ) -> bool {
-        let mut child = h.fork();
-        let mut child_checker = checker.clone();
         self.trace.push(choice.seq);
-        let completions_mark = self.completions.len();
-        let ok = match child.try_step_choice(choice.seq) {
+        let ok = match self.ecfg.mode {
+            ExploreMode::Undo => {
+                let umark = h.undo_mark();
+                let ok = self.dispatch_and_descend(h, choice, child_sleep, depth);
+                if h.undo_mark() > umark {
+                    let p = self.profile.at(depth + 1);
+                    p.backtracks += 1;
+                    p.undo_bytes += h.undo_frame_bytes();
+                    // Rewind even failed dispatches: the frame was
+                    // recorded before the handler ran, so a partially
+                    // applied erroring step unwinds cleanly and the
+                    // spine can keep using `h`.
+                    h.undo_to(umark);
+                }
+                ok
+            }
+            ExploreMode::Fork => {
+                let mut child = h.fork();
+                let ok = self.dispatch_and_descend(&mut child, choice, child_sleep, depth);
+                self.profile.at(depth + 1).backtracks += 1;
+                ok
+            }
+        };
+        self.trace.pop();
+        ok
+    }
+
+    /// The mode-independent step body: deliver, audit, recurse.
+    fn dispatch_and_descend(
+        &mut self,
+        h: &mut Hierarchy,
+        choice: &Choice,
+        child_sleep: &[Choice],
+        depth: usize,
+    ) -> bool {
+        let cmark = h.completions_len();
+        match h.try_step_choice(choice.seq) {
             Err(e) => {
                 self.fail(format!("protocol error: {e}"));
                 false
@@ -412,10 +658,14 @@ impl Walker {
             }
             Ok(Some(_)) => {
                 self.report.steps += 1;
-                let done = child.drain_completions();
-                self.completions.extend_from_slice(&done);
+                while self.checkers.len() <= depth + 1 {
+                    self.checkers.push(Checker::new());
+                }
+                let (parents, children) = self.checkers.split_at_mut(depth + 1);
+                let checker = &mut children[0];
+                checker.assign_from(&parents[depth]);
                 let audit = if self.ecfg.check_invariants {
-                    child_checker.after_event(&child, &done).err()
+                    checker.after_event(h, h.completions_since(cmark)).err()
                 } else {
                     None
                 };
@@ -424,26 +674,26 @@ impl Walker {
                         self.fail(format!("invariant violation: {v}"));
                         false
                     }
-                    None => self.dfs(&child, &child_checker, child_sleep, depth + 1),
+                    None => self.dfs(h, child_sleep, depth + 1),
                 }
             }
-        };
-        self.trace.pop();
-        self.completions.truncate(completions_mark);
-        ok
+        }
     }
 
     /// Handles a drained-queue leaf: audits quiescence, records the
-    /// outcome digests, latencies, and coverage.
-    fn leaf(&mut self, h: &Hierarchy, checker: &Checker) -> bool {
-        if self.completions.len() != self.expected {
+    /// outcome digests, latencies, and coverage. The hierarchy's own
+    /// (never drained) completion list is the schedule's full history.
+    fn leaf(&mut self, h: &Hierarchy, depth: usize) -> bool {
+        let completions = h.completions_since(0);
+        if completions.len() != self.expected {
             self.fail(format!(
                 "schedule quiesced with {} of {} completions",
-                self.completions.len(),
+                completions.len(),
                 self.expected
             ));
             return false;
         }
+        let checker = &self.checkers[depth];
         if self.ecfg.check_invariants {
             if let Err(v) = checker.check_quiescent(h) {
                 self.fail(format!("quiescence violation: {v}"));
@@ -453,7 +703,7 @@ impl Walker {
         self.report.schedules += 1;
         self.report.coverage.add(h.stats());
 
-        let mut ordered: Vec<&Completion> = self.completions.iter().collect();
+        let mut ordered: Vec<&Completion> = completions.iter().collect();
         ordered.sort_unstable_by_key(|c| c.req);
         let mut arch = Fnv::new();
         for c in &ordered {
@@ -593,6 +843,39 @@ mod tests {
     }
 
     #[test]
+    fn undo_and_fork_walkers_agree_bitwise() {
+        // The differential oracle: the in-place backtracking walker and
+        // the clone-and-descend walker must produce identical reports —
+        // schedules, steps, prunes, outcomes, timings, coverage,
+        // latencies, everything.
+        for protocol in ProtocolKind::ALL {
+            let cfg = tiny(protocol, 2);
+            let undo = explore(
+                &cfg,
+                &contended(),
+                &ExploreConfig {
+                    mode: ExploreMode::Undo,
+                    ..ExploreConfig::default()
+                },
+            );
+            let fork = explore(
+                &cfg,
+                &contended(),
+                &ExploreConfig {
+                    mode: ExploreMode::Fork,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(
+                undo.exhaustive_and_clean(),
+                "{protocol:?}: {:?}",
+                undo.error
+            );
+            assert_eq!(undo, fork, "{protocol:?}: walkers diverged");
+        }
+    }
+
+    #[test]
     fn pruning_fires_on_contended_streams() {
         let cfg = tiny(ProtocolKind::SwiftDir, 2);
         let report = explore(&cfg, &contended(), &ExploreConfig::default());
@@ -642,9 +925,9 @@ mod tests {
 
     #[test]
     fn parallel_exploration_is_thread_count_invariant() {
-        // The branch-decomposed walk must produce a bit-identical report
-        // for every worker count — the thread schedule only decides
-        // which branch runs where, never what any branch computes.
+        // The decomposed walk must produce a bit-identical report for
+        // every worker count — the thread schedule only decides which
+        // task runs where, never what any task computes.
         for protocol in [ProtocolKind::SwiftDir, ProtocolKind::Mesi] {
             let cfg = tiny(protocol, 2);
             let ecfg = ExploreConfig::default();
@@ -657,27 +940,69 @@ mod tests {
 
     #[test]
     fn parallel_exploration_preserves_serial_outcomes() {
-        // Branch decomposition loses cross-branch pruning (counters may
-        // grow) but must never change what behaviors exist.
+        // `explore` *is* the one-thread decomposed walk, so the parallel
+        // report must equal it bit for bit — the historical timing-set
+        // superset divergence is gone by construction.
         for protocol in ProtocolKind::ALL {
             let cfg = tiny(protocol, 2);
             let ecfg = ExploreConfig::default();
             let serial = explore(&cfg, &contended(), &ecfg);
             let parallel = explore_parallel_threads(&cfg, &contended(), &ecfg, 4);
-            assert!(serial.exhaustive_and_clean() && parallel.exhaustive_and_clean());
-            assert_eq!(serial.outcomes, parallel.outcomes, "{protocol:?}");
-            // Timings: pruning is time-shift-invariant, so the serial
-            // walk's digest table can cut revisits whose absolute times
-            // differ; the less-pruned parallel walk records a superset.
-            assert!(
-                serial.timings.iter().all(|t| parallel.timings.contains(t)),
-                "{protocol:?}: parallel walk lost a timing outcome"
+            assert!(serial.exhaustive_and_clean(), "{protocol:?}");
+            assert_eq!(serial, parallel, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn pure_serial_walk_matches_decomposed_outcomes() {
+        // `split_depth: MAX` is the old single-table serial semantics:
+        // it prunes across would-be task boundaries, so it may fold
+        // timing variants the decomposed walk keeps — but architectural
+        // outcomes must match exactly and its timings must be a subset.
+        for protocol in [ProtocolKind::SwiftDir, ProtocolKind::Mesi] {
+            let cfg = tiny(protocol, 2);
+            let pure = explore(
+                &cfg,
+                &contended(),
+                &ExploreConfig {
+                    split_depth: usize::MAX,
+                    ..ExploreConfig::default()
+                },
             );
+            let decomposed = explore(&cfg, &contended(), &ExploreConfig::default());
+            assert!(pure.exhaustive_and_clean() && decomposed.exhaustive_and_clean());
+            assert_eq!(pure.outcomes, decomposed.outcomes, "{protocol:?}");
             assert!(
-                parallel.schedules >= serial.schedules,
-                "{protocol:?}: private digest tables can only walk more"
+                pure.timings.iter().all(|t| decomposed.timings.contains(t)),
+                "{protocol:?}: single-table walk found a timing the decomposed walk lost"
             );
         }
+    }
+
+    #[test]
+    fn depth_profile_counts_nodes_and_backtracks() {
+        let cfg = tiny(ProtocolKind::SwiftDir, 2);
+        let (report, profile) =
+            explore_parallel_profiled(&cfg, &contended(), &ExploreConfig::default(), 1);
+        assert!(report.exhaustive_and_clean());
+        assert_eq!(profile.depths[0].nodes, 1, "exactly one root");
+        let nodes: u64 = profile.depths.iter().map(|d| d.nodes).sum();
+        let backtracks: u64 = profile.depths.iter().map(|d| d.backtracks).sum();
+        assert_eq!(
+            backtracks, report.steps,
+            "every dispatched step is eventually rewound"
+        );
+        assert!(nodes > report.steps, "prunes and leaves add extra nodes");
+        assert!(
+            profile.depths.iter().map(|d| d.undo_bytes).sum::<u64>() > 0,
+            "undo frames never reported their cost"
+        );
+        // The profile survives a registry export (one counter triple per
+        // depth).
+        let mut reg = MetricsRegistry::new();
+        profile.export_into(&mut reg, "explore.");
+        let json = reg.snapshot().to_pretty();
+        assert!(json.contains("explore.depth.000.nodes"), "{json}");
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use diff::{
 };
 pub use driver::{DriverReport, ExperimentSet, PointTiming};
 pub use explore::{
-    explore, explore_parallel, explore_parallel_threads, ExploreConfig, ExploreError, ExploreReport,
+    explore, explore_parallel, explore_parallel_profiled, explore_parallel_threads, DepthProfile,
+    DepthStats, ExploreConfig, ExploreError, ExploreMode, ExploreReport,
 };
 pub use fuzz::{
     minimize, minimize_stream, replay, replay_with_fault, run_fuzz, run_fuzz_many,

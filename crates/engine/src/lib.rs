@@ -49,8 +49,8 @@ pub use cycle::Cycle;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
 pub use metrics::{Metric, MetricsRegistry};
-pub use queue::{Chooser, EventQueue, FifoChooser, Pending};
+pub use queue::{Chooser, EventQueue, FifoChooser, Pending, PopOrigin, QueueMark};
 pub use rng::{DetRng, LinkJitter, Zipf};
-pub use stats::{Counter, Histogram, RunningStats};
+pub use stats::{Counter, Histogram, HistogramMark, RunningStats};
 pub use trace::TraceBuffer;
 pub use tracer::{ChromeTraceSink, JsonlSink, TraceEvent, TraceKind, TraceSink, Tracer, Unit};

@@ -503,11 +503,21 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `None` if no pending event has that seq.
     pub fn pop_seq(&mut self, seq: u64) -> Option<(Cycle, E)> {
+        self.pop_seq_traced(seq).map(|(at, _, e)| (at, e))
+    }
+
+    /// [`pop_seq`](Self::pop_seq) that additionally reports where the event
+    /// was stored ([`PopOrigin`]), which [`restore_mark`](Self::restore_mark)
+    /// needs to reinsert it losslessly: the *original* scheduled time must
+    /// be restored (not the effective pop time), because an enclosing undo
+    /// may later rewind the clock below this pop's `now`, where the two
+    /// diverge.
+    pub fn pop_seq_traced(&mut self, seq: u64) -> Option<(Cycle, PopOrigin, E)> {
         // Effective time must be computed before removal.
-        let at = if self.ready.iter().any(|(s, _)| *s == seq) {
-            self.now
+        let (at, origin) = if self.ready.iter().any(|(s, _)| *s == seq) {
+            (self.now, PopOrigin::Ready)
         } else if let Some(s) = self.heap.iter().find(|s| s.seq == seq) {
-            s.time.max(self.now)
+            (s.time.max(self.now), PopOrigin::Timer(s.time))
         } else if let Some(t) = self
             .buckets
             .iter()
@@ -515,7 +525,7 @@ impl<E> EventQueue<E> {
             .find(|s| s.seq == seq)
             .map(|s| s.time)
         {
-            t.max(self.now)
+            (t.max(self.now), PopOrigin::Timer(t))
         } else {
             return None;
         };
@@ -527,7 +537,7 @@ impl<E> EventQueue<E> {
         // Any deviation from strict FIFO order leaves the raw order
         // untrustworthy; flag it unless the queue is now empty.
         self.disordered = !self.is_empty();
-        Some((at, event))
+        Some((at, origin, event))
     }
 
     /// Removes the event with the given seq from the ready lane or the
@@ -575,6 +585,114 @@ impl<E> EventQueue<E> {
     pub fn scheduled_count(&self) -> u64 {
         self.next_seq
     }
+
+    /// Captures the queue's scalar state before a [`pop_seq`](Self::pop_seq)
+    /// so [`restore_mark`](Self::restore_mark) can rewind it. The mark pins
+    /// the clock, the sequence counter (every event scheduled after the mark
+    /// has a larger seq), and the ordering regime.
+    pub fn mark(&self) -> QueueMark {
+        QueueMark {
+            now: self.now,
+            next_seq: self.next_seq,
+            disordered: self.disordered,
+        }
+    }
+
+    /// Rewinds the queue to `mark`, undoing one `pop_seq` step: every event
+    /// scheduled after the mark (seq > `mark.next_seq`) is dropped, the
+    /// popped event is reinserted per its [`PopOrigin`] — a ready-lane
+    /// event returns to the ready lane at its seq-sorted position, a timer
+    /// event re-enters the heap at its *original scheduled time* — and the
+    /// clock, sequence counter, and ordering flag are restored.
+    ///
+    /// One structural liberty is taken, behaviorally invisible: timer
+    /// events (including wheel entries that `pop_seq` spilled) live in the
+    /// heap afterwards. The wheel is a pure optimization — every consumer
+    /// agrees on effective `(time, seq)` order regardless of which
+    /// structure holds an event. Restoring the *original* time (not the
+    /// effective pop time) matters under nesting: an enclosing undo may
+    /// rewind the clock below this mark's `now`, where
+    /// `max(effective, t) != max(scheduled, t)`.
+    pub fn restore_mark(&mut self, mark: QueueMark, origin: PopOrigin, popped_seq: u64, event: E) {
+        // Drop everything scheduled after the mark. Ready and wheel buckets
+        // are seq-ascending, so post-mark entries sit at the back.
+        while self
+            .ready
+            .back()
+            .is_some_and(|(seq, _)| *seq > mark.next_seq)
+        {
+            self.ready.pop_back();
+        }
+        if self.heap.iter().any(|s| s.seq > mark.next_seq) {
+            let mut items = std::mem::take(&mut self.heap).into_vec();
+            items.retain(|s| s.seq <= mark.next_seq);
+            self.heap = BinaryHeap::from(items);
+        }
+        if self.wheel_len > 0 {
+            for idx in 0..WHEEL {
+                while self.buckets[idx]
+                    .back()
+                    .is_some_and(|s| s.seq > mark.next_seq)
+                {
+                    self.buckets[idx].pop_back();
+                    self.wheel_len -= 1;
+                }
+                if self.buckets[idx].is_empty() {
+                    self.occ[idx / 64] &= !(1u64 << (idx % 64));
+                }
+            }
+        }
+        match origin {
+            PopOrigin::Ready => {
+                // Back into the ready lane at its seq slot, so the batch
+                // paths (which drain ready last, in seq order) are
+                // untouched. Its conceptual due-time is the clock value at
+                // its scheduling moment, which any restorable mark's `now`
+                // already meets or exceeds.
+                let pos = self
+                    .ready
+                    .iter()
+                    .position(|(seq, _)| *seq > popped_seq)
+                    .unwrap_or(self.ready.len());
+                self.ready.insert(pos, (popped_seq, event));
+            }
+            PopOrigin::Timer(time) => {
+                debug_assert!(
+                    mark.disordered || time >= mark.now,
+                    "ordered-regime timer event predates the mark"
+                );
+                self.heap.push(Scheduled {
+                    time,
+                    seq: popped_seq,
+                    event,
+                });
+            }
+        }
+        self.now = mark.now;
+        self.next_seq = mark.next_seq;
+        self.disordered = mark.disordered;
+    }
+}
+
+/// Scalar queue state captured by [`EventQueue::mark`]; see
+/// [`EventQueue::restore_mark`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueMark {
+    now: Cycle,
+    next_seq: u64,
+    disordered: bool,
+}
+
+/// Where a popped event was stored, as reported by
+/// [`EventQueue::pop_seq_traced`] and consumed by
+/// [`EventQueue::restore_mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PopOrigin {
+    /// The ready lane (due at the clock value of its scheduling moment).
+    #[default]
+    Ready,
+    /// A timer structure (wheel or heap), with its original scheduled time.
+    Timer(Cycle),
 }
 
 #[cfg(test)]
@@ -989,6 +1107,156 @@ mod tests {
         q.frontier_into(Cycle::MAX, &mut buf);
         assert_eq!(buf.capacity(), cap);
         assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn restore_mark_rewinds_a_pop_seq_exactly() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1); // seq 1 → wheel
+        q.schedule(Cycle(12), 2); // seq 2 → wheel
+        q.schedule(Cycle(500), 3); // seq 3 → heap
+        let mark = q.mark();
+        let (at, origin, ev) = q.pop_seq_traced(2).unwrap();
+        assert_eq!(
+            (at, origin, ev),
+            (Cycle(12), PopOrigin::Timer(Cycle(12)), 2)
+        );
+        // The step schedules follow-on events; all must vanish on restore.
+        q.schedule(Cycle(12), 20);
+        q.schedule(Cycle(40), 21);
+        q.schedule(Cycle(900), 22);
+        q.restore_mark(mark, origin, 2, ev);
+        assert_eq!(q.now(), Cycle::ZERO);
+        assert_eq!(q.scheduled_count(), 3);
+        assert_eq!(q.len(), 3);
+        // Replay FIFO order: identical to a queue that never deviated.
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(12), 2)));
+        assert_eq!(q.pop(), Some((Cycle(500), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn restore_mark_reinserts_ready_events_in_seq_position() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 0); // seq 1
+        q.pop(); // now = 5
+        q.schedule(Cycle(5), 10); // seq 2 → ready
+        q.schedule(Cycle(5), 11); // seq 3 → ready
+        q.schedule(Cycle(5), 12); // seq 4 → ready
+        let mark = q.mark();
+        let (at, origin, ev) = q.pop_seq_traced(3).unwrap();
+        assert_eq!((at, origin, ev), (Cycle(5), PopOrigin::Ready, 11));
+        q.restore_mark(mark, origin, 3, ev);
+        // The middle ready event is back in its seq slot: batch drain order
+        // is untouched.
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(Cycle::MAX, &mut batch), Some(Cycle(5)));
+        assert_eq!(batch, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn repeated_pop_restore_cycles_match_reference_replay() {
+        // Fuzz: interleave pop_seq jumps with restores and check the final
+        // drain matches a naive queue fed the same surviving schedule set.
+        let mut rng = Rng(0xD1CE_0F_5EED);
+        let mut fast: EventQueue<u64> = EventQueue::new();
+        let mut slow: NaiveQueue<u64> = NaiveQueue::new();
+        let mut payload = 0u64;
+        for _ in 0..1500 {
+            match rng.next() % 8 {
+                0..=4 => {
+                    let delta = rng.next() % (WHEEL as u64 + 40);
+                    let at = fast.now().saturating_add(Cycle(delta));
+                    payload += 1;
+                    fast.schedule(at, payload);
+                    slow.schedule(at, payload);
+                }
+                5 => {
+                    assert_eq!(fast.pop(), slow.pop());
+                }
+                _ => {
+                    // Jump to a random pending seq, then immediately undo it
+                    // on the fast queue only — the slow queue never saw it.
+                    if fast.scheduled_count() > 0 {
+                        let seq = rng.next() % fast.scheduled_count() + 1;
+                        let mark = fast.mark();
+                        if let Some((_at, origin, ev)) = fast.pop_seq_traced(seq) {
+                            fast.restore_mark(mark, origin, seq, ev);
+                        }
+                    }
+                }
+            }
+        }
+        loop {
+            let (x, y) = (fast.pop(), slow.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn nested_restores_preserve_pending_times() {
+        // DFS with a mark *stack*: descend several pop_seq steps deep
+        // (scheduling follow-ons along the way), then unwind. Each parent
+        // must see its exact pending snapshot — effective times included —
+        // after the child subtree is undone. Immediate pop→restore cycles
+        // cannot catch restores that become stale when an enclosing undo
+        // rewinds the clock further, which is exactly the exploration
+        // walker's access pattern.
+        fn snapshot(q: &EventQueue<u64>) -> (Cycle, Vec<(Cycle, u64, u64)>) {
+            let mut pending = Vec::new();
+            q.for_each_pending(|p| pending.push((p.at, p.seq, *p.event)));
+            pending.sort_unstable();
+            (q.now(), pending)
+        }
+        fn dfs(q: &mut EventQueue<u64>, rng: &mut Rng, payload: &mut u64, depth: u32) {
+            if depth == 0 || q.scheduled_count() == 0 {
+                return;
+            }
+            let mut seqs = Vec::new();
+            q.for_each_pending(|p| seqs.push(p.seq));
+            seqs.sort_unstable();
+            // Up to three children per node, chosen pseudo-randomly.
+            for _ in 0..3 {
+                let seq = seqs[(rng.next() % seqs.len() as u64) as usize];
+                let before = snapshot(q);
+                let mark = q.mark();
+                let Some((_, origin, ev)) = q.pop_seq_traced(seq) else {
+                    continue;
+                };
+                // The step schedules follow-on events at mixed horizons
+                // (ready, wheel, heap) that the restore must drop.
+                for _ in 0..rng.next() % 3 {
+                    let delta = [0, 1, 3, WHEEL as u64 + 9][(rng.next() % 4) as usize];
+                    *payload += 1;
+                    q.schedule(q.now().saturating_add(Cycle(delta)), *payload);
+                }
+                dfs(q, rng, payload, depth - 1);
+                q.restore_mark(mark, origin, seq, ev);
+                assert_eq!(snapshot(q), before, "undo at depth {depth} diverged");
+            }
+        }
+        let mut rng = Rng(0xBACC_7AC3_5EED);
+        for round in 0..40 {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut payload = round * 1000;
+            // Seed a mixed pending set: some near (wheel), some far (heap),
+            // and advance the clock so a ready lane can form.
+            for _ in 0..6 {
+                let delta = rng.next() % (WHEEL as u64 + 20);
+                payload += 1;
+                q.schedule(Cycle(delta), payload);
+            }
+            q.pop();
+            for _ in 0..2 {
+                payload += 1;
+                q.schedule(q.now(), payload); // ready lane
+            }
+            dfs(&mut q, &mut rng, &mut payload, 4);
+        }
     }
 
     #[test]

@@ -99,6 +99,30 @@ impl Histogram {
         }
     }
 
+    /// Captures the extrema so a later [`unrecord`](Self::unrecord) can
+    /// restore them; take the mark immediately before the paired `record`.
+    pub fn mark(&self) -> HistogramMark {
+        HistogramMark {
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Reverses one [`record`](Self::record) of `value`, restoring the
+    /// extrema from the mark taken just before that record. Only valid in
+    /// LIFO order: the most recent un-undone record must be undone first,
+    /// otherwise the restored extrema are meaningless.
+    pub fn unrecord(&mut self, value: u64, mark: HistogramMark) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b -= 1,
+            None => self.overflow -= 1,
+        }
+        self.count -= 1;
+        self.sum -= value;
+        self.min = mark.min;
+        self.max = mark.max;
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         match self.buckets.get_mut(value as usize) {
@@ -226,6 +250,14 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
     }
+}
+
+/// Pre-record extrema captured by [`Histogram::mark`], consumed by
+/// [`Histogram::unrecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramMark {
+    min: u64,
+    max: u64,
 }
 
 /// Running mean/min/max without storing samples (Welford for variance).
@@ -395,6 +427,20 @@ mod tests {
         let mut a = Histogram::new(10);
         let b = Histogram::new(20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_unrecord_reverses_record_lifo() {
+        let mut h = Histogram::new(10);
+        h.record(3);
+        let reference = h.clone();
+        let m1 = h.mark();
+        h.record(7);
+        let m2 = h.mark();
+        h.record(100); // overflow
+        h.unrecord(100, m2);
+        h.unrecord(7, m1);
+        assert_eq!(h, reference);
     }
 
     #[test]

@@ -108,6 +108,20 @@ impl MemoryController {
         self.stats
     }
 
+    /// Copies the controller's mutable state (bank rows/timings and stats)
+    /// into `undo` for a later [`restore`](Self::restore). `Bank` is `Copy`,
+    /// so this is a flat memcpy into a reusable buffer.
+    pub fn save_into(&self, undo: &mut MemUndo) {
+        undo.banks.clone_from(&self.banks);
+        undo.stats = self.stats;
+    }
+
+    /// Restores state captured by [`save_into`](Self::save_into).
+    pub fn restore(&mut self, undo: &MemUndo) {
+        self.banks.clone_from(&undo.banks);
+        self.stats = undo.stats;
+    }
+
     /// Feeds the controller's forward-looking timing state into `mix`, with
     /// bank-ready times expressed relative to `now` — two controllers whose
     /// future behavior is identical modulo a global time shift digest
@@ -123,6 +137,20 @@ impl MemoryController {
             }
             mix(bank.ready_at().get().saturating_sub(now.get()));
         }
+    }
+}
+
+/// A reusable snapshot buffer for [`MemoryController::save_into`].
+#[derive(Debug, Default, Clone)]
+pub struct MemUndo {
+    banks: Vec<Bank>,
+    stats: MemStats,
+}
+
+impl MemUndo {
+    /// Approximate heap footprint, for undo-cost profiling.
+    pub fn approx_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.banks.len() * std::mem::size_of::<Bank>()) as u64
     }
 }
 
@@ -187,6 +215,21 @@ mod tests {
         mc.access(Cycle(0), PhysAddr(0), false);
         assert_eq!(mc.stats().writes, 1);
         assert_eq!(mc.stats().reads, 1);
+    }
+
+    #[test]
+    fn save_restore_roundtrip_is_exact() {
+        let mut mc = mc();
+        mc.access(Cycle(0), PhysAddr(0), false);
+        let mut undo = MemUndo::default();
+        mc.save_into(&mut undo);
+        let reference = mc.clone();
+        mc.access(Cycle(5), PhysAddr(64), true);
+        mc.access(Cycle(5), PhysAddr(0x40_0000), false);
+        mc.restore(&undo);
+        assert_eq!(mc.stats(), reference.stats());
+        assert_eq!(mc.banks, reference.banks);
+        assert!(undo.approx_bytes() > 0);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod mapping;
 
 pub use bank::{Bank, RowState};
 pub use config::DramConfig;
-pub use controller::{MemStats, MemoryController};
+pub use controller::{MemStats, MemUndo, MemoryController};
 pub use mapping::DramAddress;
