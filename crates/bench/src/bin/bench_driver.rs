@@ -27,19 +27,26 @@
 //! compares it against the committed `BENCH_driver.json`, failing on a
 //! >10% regression — the CI bench smoke step.
 //!
+//! `bench_driver --progress FILE|-` (or `SWIFTDIR_PROGRESS`) streams
+//! `swiftdir.progress.v1` heartbeats for the parallel legs — the
+//! Figure-7 sweep, the fuzz grid, and the explorer workload — so a
+//! long bench run can be followed with `swiftdir-report --follow`.
+//!
 //! Reference numbers from the commit that introduced this harness are
 //! embedded under `"baseline"` so a regression shows up as a ratio
 //! without digging through git history. They were measured on a 1-core
 //! container; re-baseline when moving to different hardware.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use sim_engine::Json;
+use sim_engine::{CampaignCounters, Json, ProgressSampler};
 use swiftdir_coherence::ProtocolKind;
 use swiftdir_core::{
-    driver, explore_parallel_threads, run_fuzz_many_threads, DriverReport, ExperimentSet,
-    ExploreConfig, ExploreMode, FuzzConfig, RunStats, System, SystemConfig,
+    driver, explore_campaign, explore_parallel_threads, run_fuzz_campaign, run_fuzz_many_threads,
+    DriverReport, ExperimentSet, ExploreConfig, ExploreMode, FuzzConfig, ProgressConfig, RunStats,
+    System, SystemConfig, EXPLORE_PHASES, FUZZ_PHASES,
 };
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
@@ -84,10 +91,26 @@ fn sweep_points() -> Vec<(SpecBenchmark, ProtocolKind)> {
         .collect()
 }
 
-fn time_sweep(threads: usize) -> (DriverReport, Vec<RunStats>) {
-    let (stats, report) = ExperimentSet::new(sweep_points())
-        .threads(threads)
-        .run_with_report(|&(b, p)| single_run(b, p));
+fn time_sweep(
+    threads: usize,
+    progress: Option<&Arc<ProgressSampler>>,
+) -> (DriverReport, Vec<RunStats>) {
+    let points = sweep_points();
+    if let Some(p) = progress {
+        p.counters().add_total(points.len() as u64);
+    }
+    let mut set = ExperimentSet::new(points).threads(threads);
+    if let Some(p) = progress {
+        set = set.progress(Arc::clone(p));
+    }
+    let progress = progress.map(Arc::as_ref);
+    let (stats, report) = set.run_with_report(move |&(b, p)| {
+        let stats = single_run(b, p);
+        if let Some(p) = progress {
+            p.counters().add_done(1);
+        }
+        stats
+    });
     (report, stats)
 }
 
@@ -150,6 +173,38 @@ fn main() -> ExitCode {
         return check_committed();
     }
 
+    let mut pcfg = ProgressConfig::from_env();
+    let mut cli = std::env::args().skip(1);
+    while let Some(flag) = cli.next() {
+        if flag == "--progress" {
+            match cli.next() {
+                Some(v) => pcfg.sink = ProgressConfig::parse_sink(&v),
+                None => {
+                    eprintln!("bench_driver: --progress expects a value (FILE or -)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    // One campaign spans all parallel legs; both campaigns' phase names
+    // are declared (a span for an undeclared name is a no-op).
+    let all_phases: Vec<&'static str> = FUZZ_PHASES
+        .iter()
+        .chain(EXPLORE_PHASES.iter())
+        .copied()
+        .collect();
+    let sampler = match pcfg.build(CampaignCounters::new(
+        "bench",
+        parallel_threads(),
+        &all_phases,
+    )) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_driver: cannot open progress sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let threads = parallel_threads();
     println!(
         "bench_driver: {} worker thread(s) available, parallel legs use {threads}\n",
@@ -175,10 +230,10 @@ fn main() -> ExitCode {
     );
 
     // --- sweep: serial vs parallel -------------------------------------
-    let (serial_report, serial_stats) = time_sweep(1);
+    let (serial_report, serial_stats) = time_sweep(1, None);
     let serial_s = serial_report.total_wall_s;
     println!("fig7 sweep, serial   (69 runs): {serial_s:.3} s");
-    let (parallel_report, parallel_stats) = time_sweep(threads);
+    let (parallel_report, parallel_stats) = time_sweep(threads, sampler.as_ref());
     let parallel_s = parallel_report.total_wall_s;
     println!("fig7 sweep, {threads:>2} thread(s)        : {parallel_s:.3} s");
     assert_eq!(
@@ -206,7 +261,7 @@ fn main() -> ExitCode {
     let fuzz_serial = run_fuzz_many_threads(&grid, 1);
     let fuzz_serial_s = start.elapsed().as_secs_f64();
     let start = Instant::now();
-    let fuzz_parallel = run_fuzz_many_threads(&grid, threads);
+    let fuzz_parallel = run_fuzz_campaign(&grid, Some(threads), sampler.as_ref());
     let fuzz_parallel_s = start.elapsed().as_secs_f64();
     for (a, b) in fuzz_serial.iter().zip(&fuzz_parallel) {
         assert!(a.ok(), "fuzz {:?} failed in the bench harness", a.config);
@@ -237,16 +292,25 @@ fn main() -> ExitCode {
         })
         .collect();
     let explore_serial_s = start.elapsed().as_secs_f64();
+    if let Some(p) = sampler.as_ref() {
+        p.counters().add_total(workload.len() as u64);
+    }
     let start = Instant::now();
     let explore_parallel: Vec<_> = workload
         .iter()
         .map(|(p, stream)| {
-            explore_parallel_threads(
+            let (report, _profile) = explore_campaign(
                 &swiftdir_core::diff::tiny_config(2, *p),
                 stream,
                 &ecfg,
                 threads,
-            )
+                sampler.as_ref(),
+            );
+            if let Some(s) = sampler.as_ref() {
+                s.counters().add_done(1);
+                s.tick();
+            }
+            report
         })
         .collect();
     let explore_parallel_s = start.elapsed().as_secs_f64();
@@ -353,6 +417,9 @@ fn main() -> ExitCode {
     ]);
     std::fs::write("BENCH_driver.json", json.to_pretty()).expect("write BENCH_driver.json");
     println!("\nwrote BENCH_driver.json");
+    if let Some(s) = &sampler {
+        s.finish();
+    }
     ExitCode::SUCCESS
 }
 

@@ -14,16 +14,30 @@
 //! 3. **Fig7 grid** — the 23 × 3 sweep, serial, tracing off and then
 //!    tracing on (capped at [`GRID_TRACE_LIMIT`] events per run so the
 //!    sweep cannot fill the disk; the cap is recorded in the output).
+//! 4. **Campaign sampler** — the CI fuzz grid with and without a
+//!    `swiftdir.progress.v1` heartbeat sampler attached; the sampler is
+//!    the *other* always-on observability path and gets the same ≤2%
+//!    budget as disabled tracing.
 //!
-//! Scratch trace files go under `target/bench_obs_traces/` and are
-//! removed afterwards.
+//! `bench_obs --check` re-measures the cheap gates — the disabled-path
+//! single run against the committed `BENCH_driver.json`, and the fuzz
+//! grid with the sampler on vs off — and exits non-zero when either
+//! exceeds its budget. This is the CI observability-overhead leg.
+//!
+//! Scratch trace and heartbeat files go under
+//! `target/bench_obs_traces/` and are removed afterwards.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use sim_engine::Json;
+use sim_engine::{CampaignCounters, Json, ProgressSampler};
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::{driver, ExperimentSet, RunStats, System, SystemConfig, TraceConfig};
+use swiftdir_core::{
+    driver, run_fuzz_campaign, ExperimentSet, FuzzConfig, RunStats, System, SystemConfig,
+    TraceConfig, FUZZ_PHASES,
+};
 use swiftdir_cpu::CpuModel;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
@@ -32,6 +46,10 @@ const INSTRUCTIONS: u64 = 60_000;
 /// Allowed disabled-path regression over `BENCH_driver.json`'s
 /// single-run time.
 const MAX_DISABLED_OVERHEAD: f64 = 1.02;
+
+/// Allowed fuzz-grid slowdown with a campaign sampler attached
+/// (heartbeats at the default 500 ms interval to a scratch file).
+const MAX_SAMPLER_OVERHEAD: f64 = 1.02;
 
 /// Per-run event cap for the traced grid sweep (bounds disk usage; the
 /// traced *single* run is uncapped).
@@ -103,6 +121,56 @@ fn time_sweep(trace: &TraceConfig) -> f64 {
     report.total_wall_s
 }
 
+/// The CI smoke fuzz grid (mirrors `bench_driver`'s).
+fn fuzz_grid() -> Vec<FuzzConfig> {
+    ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| {
+            (0..25u64).map(move |seed| {
+                let mut cfg = FuzzConfig::new(seed, p);
+                cfg.ops = 150;
+                cfg
+            })
+        })
+        .collect()
+}
+
+/// Best-of-batches wall seconds for the serial fuzz grid, with or
+/// without a heartbeat sampler attached (default interval, scratch
+/// file sink). Asserts the campaign stays clean either way.
+fn time_fuzz_grid(batches: usize, with_sampler: bool) -> f64 {
+    let grid = fuzz_grid();
+    let mut best = f64::INFINITY;
+    for i in 0..batches {
+        let sampler = if with_sampler {
+            let path = scratch_dir().join(format!("heartbeats-{i}.jsonl"));
+            let out = std::fs::File::create(&path).expect("create heartbeat scratch file");
+            Some(Arc::new(ProgressSampler::new(
+                CampaignCounters::new("fuzz", 1, &FUZZ_PHASES),
+                Box::new(out),
+                Duration::from_millis(500),
+            )))
+        } else {
+            None
+        };
+        let start = Instant::now();
+        let reports = run_fuzz_campaign(&grid, Some(1), sampler.as_ref());
+        let s = start.elapsed().as_secs_f64();
+        if let Some(sam) = &sampler {
+            sam.finish();
+        }
+        assert!(
+            reports.iter().all(swiftdir_core::FuzzReport::ok),
+            "fuzz grid failed in the obs harness"
+        );
+        best = best.min(s);
+    }
+    if with_sampler {
+        clear_scratch();
+    }
+    best
+}
+
 /// The driver harness's current single-run ms, if `BENCH_driver.json`
 /// exists next to the working directory.
 fn driver_single_ms() -> Option<f64> {
@@ -132,12 +200,15 @@ fn smoke(base: &str) {
     );
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--smoke") {
         let base = args.get(1).map_or("trace/fig7", String::as_str);
         smoke(base);
-        return;
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("--check") {
+        return check_gates();
     }
     println!(
         "bench_obs: {} worker thread(s) available\n",
@@ -175,6 +246,16 @@ fn main() {
     println!(
         "fig7 grid, tracing on  : {grid_on_s:.3} s \
          (capped at {GRID_TRACE_LIMIT} events/run)"
+    );
+
+    // --- fuzz grid, sampler off vs on ----------------------------------
+    let sampler_off_s = time_fuzz_grid(3, false);
+    let sampler_on_s = time_fuzz_grid(3, true);
+    let sampler_overhead = sampler_on_s / sampler_off_s;
+    println!(
+        "fuzz grid, sampler off : {sampler_off_s:.3} s\n\
+         fuzz grid, sampler on  : {sampler_on_s:.3} s ({sampler_overhead:.3}x, \
+         budget {MAX_SAMPLER_OVERHEAD}x)"
     );
 
     // --- disabled-path budget vs the driver harness --------------------
@@ -219,6 +300,15 @@ fn main() {
             ]),
         ),
         (
+            "sampler_fuzz_grid",
+            Json::object([
+                ("off_s", Json::Float(sampler_off_s)),
+                ("on_s", Json::Float(sampler_on_s)),
+                ("overhead", Json::Float(sampler_overhead)),
+                ("max_overhead", Json::Float(MAX_SAMPLER_OVERHEAD)),
+            ]),
+        ),
+        (
             "driver_single_run_ms",
             driver_ms.map_or(Json::Null, Json::Float),
         ),
@@ -232,4 +322,64 @@ fn main() {
     ]);
     std::fs::write("BENCH_obs.json", json.to_pretty()).expect("write BENCH_obs.json");
     println!("\nwrote BENCH_obs.json");
+    ExitCode::SUCCESS
+}
+
+/// `--check`: the CI observability-overhead gates. Re-measures the
+/// cheap figures — the tracing-disabled single run against the
+/// committed `BENCH_driver.json` (when present), and the fuzz grid
+/// with a heartbeat sampler on vs off — and fails on a budget breach.
+fn check_gates() -> ExitCode {
+    let bench = SpecBenchmark::ALL[0];
+    for _ in 0..3 {
+        single_run(bench, ProtocolKind::Mesi, TraceConfig::default()); // warm-up
+    }
+
+    let mut ok = true;
+    match driver_single_ms() {
+        Some(d) => {
+            let off_ms = time_single(3, 10, &TraceConfig::default());
+            let ratio = off_ms / d;
+            println!(
+                "bench_obs --check: disabled path {off_ms:.1} ms vs BENCH_driver.json \
+                 {d:.1} ms ({ratio:.3}x, budget {MAX_DISABLED_OVERHEAD}x)"
+            );
+            if ratio > MAX_DISABLED_OVERHEAD {
+                eprintln!(
+                    "bench_obs --check: FAIL — tracing-disabled single run regressed \
+                     {ratio:.3}x over BENCH_driver.json (budget {MAX_DISABLED_OVERHEAD}x)"
+                );
+                ok = false;
+            }
+        }
+        None => println!(
+            "bench_obs --check: BENCH_driver.json not found; skipping the disabled-path gate"
+        ),
+    }
+
+    // Warm-up plus best-of-5 on both sides: the grid only takes ~0.1 s,
+    // so single-shot timings carry several percent of scheduler noise —
+    // more than the margin this gate polices.
+    time_fuzz_grid(1, false);
+    let off_s = time_fuzz_grid(5, false);
+    let on_s = time_fuzz_grid(5, true);
+    let overhead = on_s / off_s;
+    println!(
+        "bench_obs --check: fuzz grid sampler off {off_s:.3} s, on {on_s:.3} s \
+         ({overhead:.3}x, budget {MAX_SAMPLER_OVERHEAD}x)"
+    );
+    if overhead > MAX_SAMPLER_OVERHEAD {
+        eprintln!(
+            "bench_obs --check: FAIL — campaign sampler costs {overhead:.3}x on the \
+             fuzz grid (budget {MAX_SAMPLER_OVERHEAD}x)"
+        );
+        ok = false;
+    }
+
+    if ok {
+        println!("bench_obs --check: ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

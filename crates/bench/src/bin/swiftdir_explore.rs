@@ -7,6 +7,7 @@
 //!                  [--depth-profile] [--protocol NAME]
 //!                  [--cores N] [--blocks N] [--ops N] [--streams N]
 //!                  [--depth N] [--window N] [--seeds N]
+//!                  [--progress FILE|-]
 //! ```
 //!
 //! * default — explore `--streams` contended streams per protocol with
@@ -28,22 +29,33 @@
 //!   event) pair observed, nothing outside the legal set — printing any
 //!   uncovered or illegal pairs.
 //! * `--depth-profile` — print the per-depth walk profile (nodes,
-//!   backtracks, undo bytes) per protocol as a metrics snapshot.
+//!   backtracks, undo bytes) per protocol as a metrics snapshot. The
+//!   profile is collected on every exploration run regardless; this
+//!   flag only controls the printout.
+//! * `--progress FILE|-` — stream `swiftdir.progress.v1` heartbeats
+//!   (JSONL, one campaign unit per explored tree) to `FILE` (`-` =
+//!   stdout) during the exploration suite; the final record folds in
+//!   the campaign-wide depth profile. `SWIFTDIR_PROGRESS` /
+//!   `SWIFTDIR_PROGRESS_INTERVAL_MS` set the same knobs from the
+//!   environment. Telemetry is passive: reports are bit-identical with
+//!   it on or off.
 //!
 //! Exits non-zero on any failure.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use sim_engine::MetricsRegistry;
+use sim_engine::{CampaignCounters, MetricsRegistry, ProgressSampler};
 use swiftdir_coherence::{CoverageSpec, ObservedCoverage, ProtocolKind};
 use swiftdir_core::diff::{
     architectural_diff, contended_stream, explored_equivalence, tiny_config, well_separated_stream,
 };
 use swiftdir_core::driver;
 use swiftdir_core::explore::{
-    explore_parallel, explore_parallel_profiled, DepthProfile, ExploreConfig, ExploreMode,
+    explore_campaign, explore_parallel, DepthProfile, ExploreConfig, ExploreMode, EXPLORE_PHASES,
 };
 use swiftdir_core::fuzz::{run_fuzz_many, FuzzConfig};
+use swiftdir_core::ProgressConfig;
 
 struct Args {
     smoke: bool,
@@ -59,6 +71,7 @@ struct Args {
     depth: usize,
     window: u64,
     seeds: u64,
+    progress: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         depth: 4096,
         window: 48,
         seeds: 500,
+        progress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
             "--depth" => args.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
             "--window" => args.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--progress" => args.progress = Some(value("--progress")?),
             "--protocol" => {
                 let name = value("--protocol")?;
                 args.protocols = vec![match name.to_ascii_lowercase().as_str() {
@@ -128,7 +143,31 @@ fn main() -> ExitCode {
     if args.coverage {
         failed |= !coverage_gate(&args);
     } else {
-        failed |= !explore_suite(&args);
+        let mut pcfg = ProgressConfig::from_env();
+        if let Some(v) = &args.progress {
+            pcfg.sink = ProgressConfig::parse_sink(v);
+        }
+        let sampler = match pcfg.build(CampaignCounters::new(
+            "explore",
+            driver::default_threads(),
+            &EXPLORE_PHASES,
+        )) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("swiftdir-explore: cannot open progress sink: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut campaign_profile = DepthProfile::default();
+        failed |= !explore_suite(&args, sampler.as_ref(), &mut campaign_profile);
+        if let Some(s) = &sampler {
+            // Fold the campaign-wide depth profile into the final
+            // heartbeat so `--depth-profile` data rides every stream.
+            s.finish_with_extra(vec![(
+                "depth_profile".to_string(),
+                campaign_profile.to_json(),
+            )]);
+        }
         if args.diff || args.smoke {
             failed |= !differential_suite(&args);
         }
@@ -147,13 +186,22 @@ fn main() -> ExitCode {
 }
 
 /// Per-protocol bounded-exhaustive exploration over seeded contended
-/// streams. Returns false on any error or truncation.
-fn explore_suite(args: &Args) -> bool {
+/// streams. Returns false on any error or truncation. Merges every
+/// tree's depth profile into `campaign_profile`.
+fn explore_suite(
+    args: &Args,
+    sampler: Option<&Arc<ProgressSampler>>,
+    campaign_profile: &mut DepthProfile,
+) -> bool {
     let ecfg = ExploreConfig {
         window: args.window,
         max_depth: args.depth,
         ..ExploreConfig::default()
     };
+    if let Some(p) = sampler {
+        p.counters()
+            .add_total(args.protocols.len() as u64 * args.streams);
+    }
     let wp_fraction = 0.3;
     let mut ok = true;
     for &protocol in &args.protocols {
@@ -166,14 +214,13 @@ fn explore_suite(args: &Args) -> bool {
         let mut profile = DepthProfile::default();
         for seed in 0..args.streams {
             let stream = contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction);
-            let report = if args.depth_profile {
-                let (report, p) =
-                    explore_parallel_profiled(&cfg, &stream, &ecfg, driver::default_threads());
-                profile.merge(&p);
-                report
-            } else {
-                explore_parallel(&cfg, &stream, &ecfg)
-            };
+            let (report, p) =
+                explore_campaign(&cfg, &stream, &ecfg, driver::default_threads(), sampler);
+            profile.merge(&p);
+            if let Some(p) = sampler {
+                p.counters().add_done(1);
+                p.tick();
+            }
             if let Some(e) = &report.error {
                 eprintln!("FAIL {protocol:?} stream {seed}: {e}");
                 ok = false;
@@ -211,6 +258,7 @@ fn explore_suite(args: &Args) -> bool {
             profile.export_into(&mut reg, &prefix);
             println!("{}", reg.snapshot().to_pretty());
         }
+        campaign_profile.merge(&profile);
     }
     ok
 }

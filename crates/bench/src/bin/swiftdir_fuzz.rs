@@ -8,6 +8,7 @@
 //! ```text
 //! swiftdir-fuzz [--seeds N] [--seed X] [--protocol NAME] [--ops N]
 //!               [--jitter N] [--smoke] [--minimize] [--replay FILE]
+//!               [--progress FILE|-]
 //! ```
 //!
 //! * `--seeds N` — fuzz seeds `0..N` (default 100) per protocol.
@@ -21,6 +22,12 @@
 //!   and write the minimal repro to `swiftdir-fuzz-min-<proto>-<seed>.stream`.
 //! * `--replay FILE` — replay a `.stream` repro written by `--minimize`
 //!   (or by hand) instead of fuzzing; exits non-zero if it still fails.
+//! * `--progress FILE|-` — stream `swiftdir.progress.v1` heartbeats
+//!   (JSONL) to `FILE` (`-` = stdout) while the campaign runs; follow
+//!   live with `swiftdir-report --follow FILE`. `SWIFTDIR_PROGRESS` /
+//!   `SWIFTDIR_PROGRESS_INTERVAL_MS` set the same knobs from the
+//!   environment. Telemetry is passive: reports and digests are
+//!   bit-identical with it on or off.
 //!
 //! Exits non-zero if any seed fails. Every failure line carries the
 //! exact `FuzzConfig` needed to replay it bit-for-bit, and `--minimize`
@@ -29,8 +36,13 @@
 use std::process::ExitCode;
 
 use swiftdir_coherence::ProtocolKind;
-use swiftdir_core::fuzz::{minimize, minimize_stream, replay, run_fuzz, run_fuzz_many, FuzzConfig};
+use swiftdir_core::fuzz::{
+    minimize, minimize_stream, replay, run_fuzz, run_fuzz_campaign, FuzzConfig, FUZZ_PHASES,
+};
 use swiftdir_core::stream::StreamFile;
+use swiftdir_core::{default_threads, ProgressConfig};
+
+use sim_engine::CampaignCounters;
 
 const ALL_PROTOCOLS: [ProtocolKind; 4] = [
     ProtocolKind::Msi,
@@ -47,6 +59,7 @@ struct Args {
     jitter: Option<u64>,
     do_minimize: bool,
     replay_file: Option<String>,
+    progress: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         jitter: None,
         do_minimize: false,
         replay_file: None,
+        progress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--minimize" => args.do_minimize = true,
             "--replay" => args.replay_file = Some(value("--replay")?),
+            "--progress" => args.progress = Some(value("--progress")?),
             other => return Err(format!("unknown flag {other:?} (see --help in the doc)")),
         }
     }
@@ -129,7 +144,26 @@ fn main() -> ExitCode {
             })
         })
         .collect();
-    let reports = run_fuzz_many(&grid);
+
+    let mut pcfg = ProgressConfig::from_env();
+    if let Some(v) = &args.progress {
+        pcfg.sink = ProgressConfig::parse_sink(v);
+    }
+    let sampler = match pcfg.build(CampaignCounters::new(
+        "fuzz",
+        default_threads(),
+        &FUZZ_PHASES,
+    )) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: cannot open progress sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = run_fuzz_campaign(&grid, None, sampler.as_ref());
+    if let Some(s) = &sampler {
+        s.finish();
+    }
 
     let runs = reports.len() as u64;
     let mut events = 0u64;

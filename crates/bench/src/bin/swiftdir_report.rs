@@ -1,44 +1,71 @@
 //! `swiftdir-report`: renders a human-readable run report from the
 //! machine-readable snapshot a traced run writes
-//! (`<base>.metrics.json`, see `swiftdir_core::obs`).
+//! (`<base>.metrics.json`, see `swiftdir_core::obs`), and consumes
+//! `swiftdir.progress.v1` campaign heartbeat streams.
 //!
 //! ```text
 //! swiftdir-report <run.metrics.json>...
+//! swiftdir-report --follow <heartbeats.jsonl>
+//! swiftdir-report --check-progress <heartbeats.jsonl>...
 //! ```
 //!
-//! For each snapshot, prints the run summary (instructions, ROI cycles,
-//! IPC), the per-request-class latency quantiles (Hit / GETS / GETS_WP /
-//! GETX / Upgrade), the L1 and LLC transition-count matrices, the
-//! Table III coherence-event counts, and the DRAM counters.
+//! * default — for each snapshot, prints the run summary (instructions,
+//!   ROI cycles, IPC), the per-request-class latency quantiles, the L1
+//!   and LLC transition-count matrices, the Table III coherence-event
+//!   counts, and the DRAM counters. Snapshots from newer writers render
+//!   too: any `swiftdir.run.*` schema is accepted and unknown fields
+//!   are ignored.
+//! * `--follow` — tails a live heartbeat file (as written by
+//!   `swiftdir-fuzz --progress`, `swiftdir-explore --progress`, or
+//!   `bench_driver --progress`), rendering each record as a single
+//!   status line; on the campaign's final record, prints the campaign
+//!   summary and exits.
+//! * `--check-progress` — validates whole heartbeat streams (schema,
+//!   monotone counters, final-record consistency); exits non-zero and
+//!   lists every violation on failure. This is the CI telemetry gate.
 
-use std::fmt::Write as _;
+use std::io::{IsTerminal, Read, Seek, SeekFrom, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use sim_engine::Json;
-
-/// L1 states in matrix order (mirrors `L1State::ALL`).
-const L1_STATES: [&str; 10] = [
-    "I", "S", "E", "M", "IS_D", "IM_D", "SM_A", "EM_A", "MI_A", "EI_A",
-];
-
-/// LLC states in matrix order (mirrors `LlcState::ALL`).
-const LLC_STATES: [&str; 4] = ["I", "S", "E", "M"];
-
-/// Request classes in report order (mirrors `RequestClass::ALL`).
-const CLASSES: [&str; 5] = ["Hit", "GETS", "GETS_WP", "GETX", "Upgrade"];
+use sim_engine::ProgressRecord;
+use swiftdir_bench::progress_view::{check_progress_text, final_summary, ticker_line};
+use swiftdir_bench::report::render_file;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: swiftdir-report <run.metrics.json>...");
-        return ExitCode::FAILURE;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: swiftdir-report <run.metrics.json>... \
+             | --follow <heartbeats.jsonl> \
+             | --check-progress <heartbeats.jsonl>..."
+        );
+        ExitCode::FAILURE
+    };
+    match args.first().map(String::as_str) {
+        Some("--follow") => match &args[1..] {
+            [path] => follow(path),
+            _ => usage(),
+        },
+        Some("--check-progress") => {
+            args.remove(0);
+            if args.is_empty() {
+                return usage();
+            }
+            check_progress(&args)
+        }
+        Some(_) => render_snapshots(&args),
+        None => usage(),
     }
+}
+
+fn render_snapshots(paths: &[String]) -> ExitCode {
     let mut ok = true;
     for (i, path) in paths.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        match render(path) {
+        match render_file(path) {
             Ok(text) => print!("{text}"),
             Err(e) => {
                 eprintln!("swiftdir-report: {path}: {e}");
@@ -53,162 +80,98 @@ fn main() -> ExitCode {
     }
 }
 
-fn render(path: &str) -> Result<String, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let snap = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
-    let schema = snap.get("schema").and_then(Json::as_str).unwrap_or("?");
-    if schema != "swiftdir.run.v1" {
-        return Err(format!("unsupported snapshot schema {schema:?}"));
-    }
-    let metrics = snap
-        .get("metrics")
-        .ok_or("snapshot has no \"metrics\" section")?;
-
-    let mut out = String::new();
-    let _ = writeln!(out, "SwiftDir run report — {path}");
-    summary(&mut out, &snap);
-    latency_table(&mut out, metrics);
-    matrix(
-        &mut out,
-        metrics,
-        "L1 transitions",
-        "protocol.transitions.l1.",
-        &L1_STATES,
-    );
-    matrix(
-        &mut out,
-        metrics,
-        "LLC transitions",
-        "protocol.transitions.llc.",
-        &LLC_STATES,
-    );
-    events(&mut out, &snap);
-    memory(&mut out, &snap);
-    Ok(out)
-}
-
-fn get_u64(j: &Json, key: &str) -> u64 {
-    j.get(key).and_then(Json::as_u64).unwrap_or(0)
-}
-
-fn get_f64(j: &Json, key: &str) -> f64 {
-    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
-}
-
-fn summary(out: &mut String, snap: &Json) {
-    let threads = snap
-        .get("threads")
-        .and_then(Json::as_array)
-        .map_or(0, <[Json]>::len);
-    let _ = writeln!(
-        out,
-        "\n  threads {threads}   instructions {}   ROI cycles {}   IPC {:.3}",
-        get_u64(snap, "instructions"),
-        get_u64(snap, "roi_cycles"),
-        get_f64(snap, "ipc"),
-    );
-}
-
-fn latency_table(out: &mut String, metrics: &Json) {
-    let _ = writeln!(out, "\nRequest latency (cycles)");
-    let _ = writeln!(
-        out,
-        "  {:<8} {:>10} {:>8} {:>6} {:>6} {:>6} {:>6}",
-        "class", "count", "mean", "p50", "p90", "p99", "max"
-    );
-    for class in CLASSES {
-        let Some(h) = metrics.get(&format!("protocol.latency.{class}")) else {
-            continue;
-        };
-        let count = get_u64(h, "count");
-        let cell = |key: &str| match h.get(key).and_then(Json::as_u64) {
-            Some(v) => v.to_string(),
-            None => "-".to_string(),
-        };
-        let mean = match h.get("mean").and_then(Json::as_f64) {
-            Some(m) => format!("{m:.1}"),
-            None => "-".to_string(),
-        };
-        let _ = writeln!(
-            out,
-            "  {class:<8} {count:>10} {mean:>8} {:>6} {:>6} {:>6} {:>6}",
-            cell("p50"),
-            cell("p90"),
-            cell("p99"),
-            cell("max"),
-        );
-    }
-}
-
-/// Prints a from→to transition matrix from `{prefix}{from}->{to}`
-/// counters, showing only rows and columns with traffic.
-fn matrix(out: &mut String, metrics: &Json, title: &str, prefix: &str, states: &[&str]) {
-    let cell = |from: &str, to: &str| {
-        metrics
-            .get(&format!("{prefix}{from}->{to}"))
-            .map_or(0, |m| get_u64(m, "value"))
+/// Tails `path`, rendering heartbeats until the final record arrives.
+/// On a TTY the ticker redraws in place; otherwise one line per record.
+fn follow(path: &str) -> ExitCode {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swiftdir-report: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let live_row = |s: &&&str| states.iter().any(|to| cell(s, to) > 0);
-    let live_col = |s: &&&str| states.iter().any(|from| cell(from, s) > 0);
-    let rows: Vec<&str> = states.iter().filter(live_row).copied().collect();
-    let cols: Vec<&str> = states.iter().filter(live_col).copied().collect();
-    let _ = writeln!(out, "\n{title} (from \\ to)");
-    if rows.is_empty() {
-        let _ = writeln!(out, "  (none)");
-        return;
-    }
-    let _ = write!(out, "  {:<6}", "");
-    for to in &cols {
-        let _ = write!(out, " {to:>8}");
-    }
-    let _ = writeln!(out);
-    for from in rows {
-        let _ = write!(out, "  {from:<6}");
-        for to in &cols {
-            match cell(from, to) {
-                0 => {
-                    let _ = write!(out, " {:>8}", ".");
+    let tty = std::io::stdout().is_terminal();
+    let mut offset = 0u64;
+    let mut pending = String::new();
+    loop {
+        // Re-read from where the last complete line ended; the writer
+        // appends whole lines and flushes per record.
+        if file.seek(SeekFrom::Start(offset)).is_err() {
+            break;
+        }
+        let mut chunk = String::new();
+        if file.read_to_string(&mut chunk).is_err() {
+            break;
+        }
+        offset += chunk.len() as u64;
+        pending.push_str(&chunk);
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match ProgressRecord::parse_line(line) {
+                Ok(rec) => {
+                    if tty {
+                        print!("\r\x1b[2K{}", ticker_line(&rec));
+                        let _ = std::io::stdout().flush();
+                    } else {
+                        println!("{}", ticker_line(&rec));
+                    }
+                    if rec.is_final {
+                        if tty {
+                            println!();
+                        }
+                        print!("{}", final_summary(&rec));
+                        return ExitCode::SUCCESS;
+                    }
                 }
-                n => {
-                    let _ = write!(out, " {n:>8}");
+                Err(e) => {
+                    if tty {
+                        println!();
+                    }
+                    eprintln!("swiftdir-report: {path}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
         }
-        let _ = writeln!(out);
+        std::thread::sleep(Duration::from_millis(100));
     }
+    eprintln!("swiftdir-report: lost {path} before the final record");
+    ExitCode::FAILURE
 }
 
-fn events(out: &mut String, snap: &Json) {
-    let Some(events) = snap.get("events").and_then(Json::as_object) else {
-        return;
-    };
-    let _ = writeln!(out, "\nCoherence events (Table III)");
-    let mut line = String::new();
-    for (name, count) in events {
-        let n = count.as_u64().unwrap_or(0);
-        if n == 0 {
-            continue;
+fn check_progress(paths: &[String]) -> ExitCode {
+    let mut ok = true;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("swiftdir-report: cannot read {path}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match check_progress_text(&text) {
+            Ok(check) => {
+                println!(
+                    "{path}: OK ({} records); {}",
+                    check.records,
+                    ticker_line(&check.final_record)
+                );
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("swiftdir-report: {path}: {e}");
+                }
+                ok = false;
+            }
         }
-        if line.len() > 60 {
-            let _ = writeln!(out, "  {line}");
-            line.clear();
-        }
-        let _ = write!(line, "{name}={n}  ");
     }
-    if !line.is_empty() {
-        let _ = writeln!(out, "  {}", line.trim_end());
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-}
-
-fn memory(out: &mut String, snap: &Json) {
-    let Some(mem) = snap.get("memory") else {
-        return;
-    };
-    let _ = writeln!(
-        out,
-        "\nDRAM: {} reads, {} writes, row-hit rate {:.2}",
-        get_u64(mem, "reads"),
-        get_u64(mem, "writes"),
-        get_f64(mem, "row_hit_rate"),
-    );
 }

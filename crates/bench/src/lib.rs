@@ -1,5 +1,11 @@
-//! Shared helpers for the SwiftDir benchmark harness live in the bench
-//! targets themselves; this library crate exists to anchor the package.
+//! Shared helpers for the SwiftDir benchmark harness: the run-report
+//! renderer behind `swiftdir-report` ([`report`]) and the campaign
+//! heartbeat viewer/validator behind its `--follow` / `--check-progress`
+//! modes ([`progress_view`]). Living in a library keeps them unit-
+//! testable; the bins stay thin argument parsers.
+
+pub mod progress_view;
+pub mod report;
 
 /// The instruction budget figure-level benches default to per run.
 pub const DEFAULT_INSTRUCTIONS: u64 = 100_000;

@@ -1,0 +1,433 @@
+//! Rendering and validation for `swiftdir.progress.v1` heartbeat
+//! streams (see `sim_engine::progress` and DESIGN.md §12).
+//!
+//! Two consumers share this module: `swiftdir-report --follow` renders
+//! each heartbeat as a [`ticker_line`] and the campaign's last record
+//! as a [`final_summary`]; `swiftdir-report --check-progress` (and the
+//! CI smoke leg behind it) runs [`check_progress_text`], which enforces
+//! the stream invariants the sampler promises — parseable lines,
+//! strictly increasing `seq`, monotone progress counters, a single
+//! final record in last position, phase sums bounded by wall time, and
+//! gauge high-water marks that dominate their current values.
+
+use std::fmt::Write as _;
+
+use sim_engine::ProgressRecord;
+
+/// Slack for floating-point comparisons between independently read
+/// clocks (phase timers vs. the campaign clock).
+const CLOCK_EPS: f64 = 1e-6;
+
+/// What a validated heartbeat stream looked like.
+#[derive(Debug, Clone)]
+pub struct ProgressCheck {
+    /// Number of heartbeat records in the stream.
+    pub records: usize,
+    /// The campaign's final record.
+    pub final_record: ProgressRecord,
+}
+
+/// One line of live campaign state, fit for a TTY status ticker.
+pub fn ticker_line(rec: &ProgressRecord) -> String {
+    let mut line = format!(
+        "{} {:>3.0}% {}/{}",
+        rec.campaign,
+        rec.fraction * 100.0,
+        rec.done,
+        rec.total,
+    );
+    match rec.eta_s {
+        Some(eta) if !rec.is_final => {
+            let _ = write!(line, " eta {}", human_secs(eta));
+        }
+        _ => {}
+    }
+    let _ = write!(line, " | {:.1} u/s", rec.units_per_s);
+    if rec.events > 0 {
+        let _ = write!(line, " {} ev/s", human_count(rec.events_per_s));
+    }
+    if rec.schedules > 0 {
+        let _ = write!(line, " {} sched/s", human_count(rec.schedules_per_s));
+    }
+    let _ = write!(line, " | {}/{} busy", rec.busy_workers(), rec.workers.len());
+    if let Some(peak) = rec
+        .memory
+        .iter()
+        .filter(|(name, _)| name.ends_with("_bytes"))
+        .map(|(_, g)| g.current)
+        .max()
+    {
+        if peak > 0 {
+            let _ = write!(line, " | {}", human_bytes(peak));
+        }
+    }
+    if rec.is_final {
+        line.push_str(" | done");
+    }
+    line
+}
+
+/// The end-of-campaign summary rendered from the final record.
+pub fn final_summary(rec: &ProgressRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign {}: {}/{} units in {} ({:.1} units/s)",
+        rec.campaign,
+        rec.done,
+        rec.total,
+        human_secs(rec.elapsed_s),
+        rec.units_per_s,
+    );
+    if rec.events > 0 {
+        let _ = writeln!(
+            out,
+            "  events    {} ({} /s)",
+            rec.events,
+            human_count(rec.events_per_s)
+        );
+    }
+    if rec.schedules > 0 {
+        let _ = writeln!(
+            out,
+            "  schedules {} ({} /s), {} steps",
+            rec.schedules,
+            human_count(rec.schedules_per_s),
+            rec.steps,
+        );
+    }
+    if !rec.phases.is_empty() {
+        let total: f64 = rec.phase_sum_s().max(f64::MIN_POSITIVE);
+        let line = rec
+            .phases
+            .iter()
+            .map(|(name, s)| format!("{name} {} ({:.0}%)", human_secs(*s), 100.0 * s / total))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  phases    {line}");
+    }
+    for w in &rec.workers {
+        let _ = writeln!(
+            out,
+            "  worker {:>2}  {} done / {} claimed, busy {}",
+            w.id,
+            w.done,
+            w.claimed,
+            human_secs(w.busy_s),
+        );
+    }
+    for (name, g) in &rec.memory {
+        if g.high == 0 {
+            continue;
+        }
+        let render = if name.ends_with("_bytes") {
+            human_bytes
+        } else {
+            |v: u64| v.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  mem {:<12} {} now, {} peak",
+            name,
+            render(g.current),
+            render(g.high),
+        );
+    }
+    out
+}
+
+/// Validates a whole heartbeat stream (the text of one JSONL file).
+///
+/// # Errors
+///
+/// Every violated invariant, one message per finding. An empty stream
+/// is an error (a finished campaign emits at least its final record).
+pub fn check_progress_text(text: &str) -> Result<ProgressCheck, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut records: Vec<ProgressRecord> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ProgressRecord::parse_line(line) {
+            Ok(rec) => records.push(rec),
+            Err(e) => errors.push(format!("line {}: {e}", i + 1)),
+        }
+    }
+    if records.is_empty() && errors.is_empty() {
+        errors.push("stream has no heartbeat records".to_string());
+    }
+
+    for pair in records.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let at = format!("seq {} -> {}", a.seq, b.seq);
+        if b.seq <= a.seq {
+            errors.push(format!("{at}: seq not strictly increasing"));
+        }
+        if b.done < a.done {
+            errors.push(format!(
+                "{at}: done went backwards ({} -> {})",
+                a.done, b.done
+            ));
+        }
+        if b.events < a.events {
+            errors.push(format!(
+                "{at}: events went backwards ({} -> {})",
+                a.events, b.events
+            ));
+        }
+        if b.elapsed_s + CLOCK_EPS < a.elapsed_s {
+            errors.push(format!("{at}: elapsed_s went backwards"));
+        }
+    }
+
+    for rec in &records {
+        let at = format!("seq {}", rec.seq);
+        if !(0.0..=1.0).contains(&rec.fraction) {
+            errors.push(format!("{at}: fraction {} outside [0, 1]", rec.fraction));
+        }
+        // Per-thread spans never overlap: phase time is bounded by the
+        // workers plus the campaign driver thread all timing at once.
+        let bound = rec.elapsed_s * (rec.workers.len() + 1) as f64 + CLOCK_EPS;
+        if rec.phase_sum_s() > bound {
+            errors.push(format!(
+                "{at}: phase sum {:.6}s exceeds elapsed x (workers + 1) = {:.6}s",
+                rec.phase_sum_s(),
+                bound,
+            ));
+        }
+        for (name, g) in &rec.memory {
+            if g.high < g.current {
+                errors.push(format!(
+                    "{at}: gauge {name} high-water {} below current {}",
+                    g.high, g.current
+                ));
+            }
+        }
+        for w in &rec.workers {
+            if w.done > w.claimed {
+                errors.push(format!(
+                    "{at}: worker {} finished {} items but only claimed {}",
+                    w.id, w.done, w.claimed
+                ));
+            }
+        }
+    }
+
+    let finals = records.iter().filter(|r| r.is_final).count();
+    if finals != 1 {
+        errors.push(format!("expected exactly one final record, found {finals}"));
+    } else if !records.last().is_some_and(|r| r.is_final) {
+        errors.push("final record is not the last record".to_string());
+    }
+    if let Some(last) = records.last().filter(|r| r.is_final) {
+        if last.total > 0 && last.done != last.total {
+            errors.push(format!(
+                "final record incomplete: done {} of total {}",
+                last.done, last.total
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(ProgressCheck {
+            records: records.len(),
+            final_record: records.pop().expect("non-empty: checked above"),
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// `12.3s`, `4m07s`, `1h02m`.
+fn human_secs(s: f64) -> String {
+    if s < 60.0 {
+        format!("{s:.1}s")
+    } else if s < 3600.0 {
+        format!("{}m{:02.0}s", (s / 60.0) as u64, s % 60.0)
+    } else {
+        format!(
+            "{}h{:02}m",
+            (s / 3600.0) as u64,
+            ((s % 3600.0) / 60.0) as u64
+        )
+    }
+}
+
+/// `950`, `8.1k`, `3.2M`.
+fn human_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// `512B`, `1.5KiB`, `2.0MiB`.
+fn human_bytes(v: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let v = v as f64;
+    if v >= KIB * KIB * KIB {
+        format!("{:.1}GiB", v / (KIB * KIB * KIB))
+    } else if v >= KIB * KIB {
+        format!("{:.1}MiB", v / (KIB * KIB))
+    } else if v >= KIB {
+        format!("{:.1}KiB", v / KIB)
+    } else {
+        format!("{v:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::{GaugeSnapshot, WorkerSnapshot, PROGRESS_SCHEMA};
+
+    /// A well-formed record at `seq` with `done` of 10 units complete.
+    fn rec(seq: u64, done: u64, is_final: bool) -> ProgressRecord {
+        let total = 10;
+        ProgressRecord {
+            schema: PROGRESS_SCHEMA.to_string(),
+            campaign: "fuzz".to_string(),
+            seq,
+            is_final,
+            elapsed_s: seq as f64,
+            done,
+            total,
+            fraction: done as f64 / total as f64,
+            eta_s: Some(0.5),
+            units_per_s: 1.0,
+            events: done * 100,
+            events_per_s: 100.0,
+            schedules: 0,
+            schedules_per_s: 0.0,
+            steps: 0,
+            queue_depth: total - done,
+            workers: vec![WorkerSnapshot {
+                id: 0,
+                busy: !is_final,
+                claimed: done + 1,
+                done,
+                busy_s: seq as f64 * 0.5,
+            }],
+            phases: vec![("run".to_string(), seq as f64 * 0.5)],
+            memory: vec![(
+                "seen_entries".to_string(),
+                GaugeSnapshot {
+                    current: done,
+                    high: done,
+                },
+            )],
+        }
+    }
+
+    fn stream(records: &[ProgressRecord]) -> String {
+        let mut text = String::new();
+        for r in records {
+            r.to_json().write(&mut text);
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        let text = stream(&[rec(1, 3, false), rec(2, 7, false), rec(3, 10, true)]);
+        let check = check_progress_text(&text).unwrap();
+        assert_eq!(check.records, 3);
+        assert!(check.final_record.is_final);
+        assert_eq!(check.final_record.done, 10);
+    }
+
+    #[test]
+    fn catches_regressing_counters_and_bad_seq() {
+        let mut r2 = rec(1, 7, false); // same seq as r1
+        r2.done = 3; // done goes backwards
+        let text = stream(&[rec(1, 5, false), r2, rec(3, 10, true)]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("seq")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("backwards")), "{errors:?}");
+    }
+
+    #[test]
+    fn catches_missing_or_misplaced_final() {
+        let text = stream(&[rec(1, 5, false)]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("final")), "{errors:?}");
+
+        let text = stream(&[rec(1, 10, true), rec(2, 10, false)]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("last")), "{errors:?}");
+    }
+
+    #[test]
+    fn catches_incomplete_final_and_phase_overrun() {
+        let mut last = rec(3, 9, true); // done != total
+        last.phases = vec![("run".to_string(), 1e9)]; // phase sum >> elapsed
+        let text = stream(&[rec(1, 5, false), last]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("incomplete")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("phase sum")), "{errors:?}");
+    }
+
+    #[test]
+    fn catches_gauge_high_below_current() {
+        let mut last = rec(2, 10, true);
+        last.memory[0].1 = GaugeSnapshot {
+            current: 8,
+            high: 4,
+        };
+        let text = stream(&[last]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("high-water")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unparsable_lines_are_reported_with_numbers() {
+        let errors = check_progress_text("{\"schema\": 42}\nnot json\n").unwrap_err();
+        assert!(errors.iter().any(|e| e.starts_with("line 1")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.starts_with("line 2")), "{errors:?}");
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(check_progress_text("\n\n").is_err());
+    }
+
+    #[test]
+    fn renderers_mention_the_essentials() {
+        let line = ticker_line(&rec(2, 7, false));
+        assert!(line.contains("fuzz"), "{line}");
+        assert!(line.contains("7/10"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+
+        let done = ticker_line(&rec(3, 10, true));
+        assert!(done.contains("done"), "{done}");
+        assert!(!done.contains("eta"), "{done}");
+
+        let summary = final_summary(&rec(3, 10, true));
+        assert!(summary.contains("10/10"), "{summary}");
+        assert!(summary.contains("worker  0"), "{summary}");
+        assert!(summary.contains("seen_entries"), "{summary}");
+    }
+
+    #[test]
+    fn humanizers_pick_sane_units() {
+        assert_eq!(human_secs(12.34), "12.3s");
+        assert_eq!(human_secs(247.0), "4m07s");
+        assert_eq!(human_secs(3720.0), "1h02m");
+        assert_eq!(human_count(950.0), "950");
+        assert_eq!(human_count(8_100.0), "8.1k");
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(1536), "1.5KiB");
+        assert_eq!(human_bytes(2 << 20), "2.0MiB");
+    }
+}

@@ -1202,6 +1202,31 @@ impl Hierarchy {
         self.undo.frames.last().map_or(0, |f| f.bytes)
     }
 
+    /// Approximate heap bytes pinned by the whole undo log: every live
+    /// frame plus the recycle pool (pooled frames keep their buffers,
+    /// sized by their last use). Memory-accounting telemetry samples
+    /// this; it is `O(frames)` and touches nothing.
+    pub fn undo_log_bytes(&self) -> u64 {
+        let sum = |frames: &[Box<UndoFrame>]| frames.iter().map(|f| f.bytes).sum::<u64>();
+        sum(&self.undo.frames) + sum(&self.undo.pool)
+    }
+
+    /// Approximate heap bytes of the transient-state slabs across the
+    /// hierarchy: per-core MSHR tables, in-flight install and writeback
+    /// maps, and install-stall lists. A passive read for occupancy
+    /// telemetry (high-water tracking happens at the sampling site).
+    pub fn transient_bytes(&self) -> u64 {
+        self.l1s
+            .iter()
+            .map(|l1| {
+                l1.pending.approx_bytes()
+                    + l1.wb_buffer.approx_bytes()
+                    + l1.installing.approx_bytes()
+                    + (l1.stalled_installs.len() * std::mem::size_of::<u64>()) as u64
+            })
+            .sum()
+    }
+
     /// Number of undrained completions (pair with
     /// [`completions_since`](Self::completions_since) for drain-free reads:
     /// the undo log truncates the completion list on rewind, so undo-mode

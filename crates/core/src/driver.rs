@@ -28,10 +28,10 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, Once};
 use std::time::Instant;
 
-use sim_engine::Json;
+use sim_engine::{Json, ProgressSampler};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "SWIFTDIR_THREADS";
@@ -96,18 +96,34 @@ impl DriverReport {
 pub struct ExperimentSet<C> {
     configs: Vec<C>,
     threads: Option<usize>,
+    progress: Option<Arc<ProgressSampler>>,
 }
 
 /// Worker count from the environment / host, used when
 /// [`ExperimentSet::threads`] was not called: `SWIFTDIR_THREADS` if set
-/// and positive, else the host's available parallelism, else 1.
+/// and a positive integer, else the host's available parallelism, else
+/// one. An unusable `SWIFTDIR_THREADS` value warns to stderr (once per
+/// process) and falls back to the host default rather than being
+/// silently ignored.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    static WARNED: Once = Once::new();
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => WARNED.call_once(|| {
+                eprintln!(
+                    "swiftdir: invalid {THREADS_ENV}={v:?} (want a positive integer); \
+                     falling back to host parallelism"
+                );
+            }),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(v)) => WARNED.call_once(|| {
+            eprintln!(
+                "swiftdir: invalid {THREADS_ENV}={v:?} (not unicode); \
+                 falling back to host parallelism"
+            );
+        }),
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -118,6 +134,7 @@ impl<C> ExperimentSet<C> {
         ExperimentSet {
             configs,
             threads: None,
+            progress: None,
         }
     }
 
@@ -126,6 +143,17 @@ impl<C> ExperimentSet<C> {
     pub fn threads(mut self, n: usize) -> Self {
         assert!(n > 0, "at least one worker thread is required");
         self.threads = Some(n);
+        self
+    }
+
+    /// Attaches a campaign telemetry sampler: every worker updates its
+    /// attribution slot (busy flag, claim/steal count, completions,
+    /// busy wall time) around each work item and ticks the sampler
+    /// afterwards. Purely observational — which thread runs which point
+    /// and what each point computes are untouched, so results stay
+    /// bit-identical with or without a sampler.
+    pub fn progress(mut self, sampler: Arc<ProgressSampler>) -> Self {
+        self.progress = Some(sampler);
         self
     }
 
@@ -158,8 +186,12 @@ impl<C> ExperimentSet<C> {
             .unwrap_or_else(default_threads)
             .min(self.configs.len().max(1));
         let configs = self.configs;
+        let progress = self.progress;
         if workers <= 1 {
-            return configs.iter().map(&f).collect();
+            return configs
+                .iter()
+                .map(|c| observed(progress.as_deref(), 0, || f(c)))
+                .collect();
         }
 
         // Work stealing by atomic index; results land in the slot matching
@@ -171,13 +203,15 @@ impl<C> ExperimentSet<C> {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                handles.push(scope.spawn(|| loop {
+            for w in 0..workers {
+                let (next, configs, results, f) = (&next, &configs, &results, &f);
+                let progress = progress.as_deref();
+                handles.push(scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(config) = configs.get(i) else {
                         break;
                     };
-                    let r = f(config);
+                    let r = observed(progress, w, || f(config));
                     results.lock().expect("a worker panicked")[i] = Some(r);
                 }));
             }
@@ -210,8 +244,12 @@ impl<C> ExperimentSet<C> {
             .unwrap_or_else(default_threads)
             .min(self.configs.len().max(1));
         let configs = self.configs;
+        let progress = self.progress;
         if workers <= 1 {
-            return configs.into_iter().map(f).collect();
+            return configs
+                .into_iter()
+                .map(|c| observed(progress.as_deref(), 0, || f(c)))
+                .collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -226,8 +264,10 @@ impl<C> ExperimentSet<C> {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                handles.push(scope.spawn(|| loop {
+            for w in 0..workers {
+                let (next, inputs, results, f) = (&next, &inputs, &results, &f);
+                let progress = progress.as_deref();
+                handles.push(scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = inputs.get(i) else {
                         break;
@@ -237,7 +277,7 @@ impl<C> ExperimentSet<C> {
                         .expect("a worker panicked")
                         .take()
                         .expect("each config is claimed exactly once");
-                    let r = f(config);
+                    let r = observed(progress, w, || f(config));
                     results.lock().expect("a worker panicked")[i] = Some(r);
                 }));
             }
@@ -290,6 +330,22 @@ impl<C> ExperimentSet<C> {
             },
         )
     }
+}
+
+/// Runs one work item under worker `w`'s attribution slot (claim,
+/// busy-time accounting, completion count) and ticks the sampler
+/// afterwards. With no sampler this is exactly the bare call.
+fn observed<R>(progress: Option<&ProgressSampler>, w: usize, work: impl FnOnce() -> R) -> R {
+    let Some(p) = progress else {
+        return work();
+    };
+    let slot = p.counters().worker(w);
+    slot.claim();
+    let t0 = Instant::now();
+    let r = work();
+    slot.finish(t0.elapsed());
+    p.tick();
+    r
 }
 
 impl<C> FromIterator<C> for ExperimentSet<C> {
@@ -353,6 +409,31 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn progress_attribution_counts_every_item_and_preserves_results() {
+        use sim_engine::CampaignCounters;
+        use std::time::Duration;
+
+        for threads in [1, 4] {
+            let sampler = Arc::new(ProgressSampler::new(
+                CampaignCounters::new("driver-test", threads, &[]),
+                Box::new(std::io::sink()),
+                Duration::ZERO,
+            ));
+            let out = ExperimentSet::new((0..20u64).collect::<Vec<_>>())
+                .threads(threads)
+                .progress(Arc::clone(&sampler))
+                .run(|&n| n * 3);
+            assert_eq!(out, (0..20).map(|n| n * 3).collect::<Vec<_>>());
+            let c = sampler.counters();
+            let claimed: u64 = c.workers().iter().map(|w| w.claimed()).sum();
+            let done: u64 = c.workers().iter().map(|w| w.done()).sum();
+            assert_eq!(claimed, 20, "threads={threads}");
+            assert_eq!(done, 20, "threads={threads}");
+            assert!(c.workers().iter().all(|w| !w.is_busy()));
+        }
     }
 
     #[test]

@@ -59,14 +59,28 @@
 //! [`ExploreReport`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use sim_engine::{Cycle, FxHashMap, FxHashSet, Metric, MetricsRegistry};
+use sim_engine::{
+    Cycle, FxHashMap, FxHashSet, Json, MemGauge, Metric, MetricsRegistry, ProgressSampler,
+};
 use swiftdir_coherence::{
     Checker, Choice, Completion, Hierarchy, HierarchyConfig, ObservedCoverage, RequestId,
 };
 
 use crate::driver::{self, ExperimentSet};
 use crate::stream::{issue_stream, AccessOp};
+
+/// Phase names an explore campaign's telemetry attributes wall time to:
+/// `spine` (the serial above-boundary walk — which includes inline
+/// boundary tasks on a single thread, see DESIGN.md §12), `tasks`
+/// (deferred boundary subtrees on the worker pool), and `merge`
+/// (folding per-walker reports and profiles).
+pub const EXPLORE_PHASES: [&str; 3] = ["spine", "tasks", "merge"];
+
+/// Nodes between a walker's telemetry flushes (step/schedule deltas,
+/// seen-table / undo-log / slab gauges, one sampler tick).
+const EXPLORE_TELEMETRY_EVERY: u64 = 1024;
 
 /// How the walker restores a parent node's state after a subtree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,6 +247,21 @@ impl DepthProfile {
         }
     }
 
+    /// The profile as a JSON array (one `{depth, nodes, backtracks,
+    /// undo_bytes}` object per depth) — the form campaign drivers fold
+    /// into the final progress heartbeat via
+    /// [`ProgressSampler::finish_with_extra`].
+    pub fn to_json(&self) -> Json {
+        Json::array(self.depths.iter().enumerate().map(|(d, s)| {
+            Json::object([
+                ("depth", Json::Uint(d as u64)),
+                ("nodes", Json::Uint(s.nodes)),
+                ("backtracks", Json::Uint(s.backtracks)),
+                ("undo_bytes", Json::Uint(s.undo_bytes)),
+            ])
+        }))
+    }
+
     /// Registers every per-depth counter under `prefix` (e.g.
     /// `explore.depth.004.nodes`), for metric snapshots.
     pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
@@ -293,6 +322,27 @@ pub fn explore_parallel_profiled(
     ecfg: &ExploreConfig,
     threads: usize,
 ) -> (ExploreReport, DepthProfile) {
+    explore_campaign(cfg, stream, ecfg, threads, None)
+}
+
+/// The explore driver every `explore*` entry point funnels through:
+/// [`explore_parallel_profiled`] with an optional campaign telemetry
+/// sampler.
+///
+/// With a sampler attached, the walkers publish step/schedule deltas
+/// and memory gauges (seen-table entries/bytes, undo-log bytes,
+/// transient-slab bytes) every [`EXPLORE_TELEMETRY_EVERY`] nodes, wall
+/// time is attributed to the [`EXPLORE_PHASES`] spans, the worker pool
+/// reports per-slot attribution, and heartbeats stream at the
+/// sampler's interval. Strictly passive: the report and profile are
+/// bit-identical to a samplerless run at every thread count.
+pub fn explore_campaign(
+    cfg: &HierarchyConfig,
+    stream: &[AccessOp],
+    ecfg: &ExploreConfig,
+    threads: usize,
+    progress: Option<&Arc<ProgressSampler>>,
+) -> (ExploreReport, DepthProfile) {
     let expected = stream.len();
     let mut root = Hierarchy::new(*cfg);
     issue_stream(&mut root, stream);
@@ -301,6 +351,7 @@ pub fn explore_parallel_profiled(
     }
 
     let mut spine = Walker::new(*ecfg, expected);
+    spine.progress = progress.map(Arc::clone);
     if ecfg.split_depth != usize::MAX {
         spine.boundary = if threads > 1 {
             Boundary::Defer(Vec::new())
@@ -308,18 +359,30 @@ pub fn explore_parallel_profiled(
             Boundary::Inline(Vec::new())
         };
     }
-    spine.dfs(&mut root, &[], 0);
+    {
+        let _spine_span = progress.map(|p| p.counters().span("spine"));
+        spine.dfs(&mut root, &[], 0);
+        // Final gauge sample while the hierarchy is still in scope, so
+        // short walks (< EXPLORE_TELEMETRY_EVERY nodes) still publish
+        // their memory footprint.
+        spine.flush_telemetry(&root);
+    }
 
     let boundary = std::mem::replace(&mut spine.boundary, Boundary::Off);
     let (spine_report, spine_profile) = spine.finish();
     let task_results: Vec<(ExploreReport, DepthProfile)> = match boundary {
         Boundary::Off => Vec::new(),
         Boundary::Inline(results) => results,
-        Boundary::Defer(tasks) => ExperimentSet::new(tasks)
-            .threads(threads)
-            .run_owned(|t| run_task(t, ecfg, expected)),
+        Boundary::Defer(tasks) => {
+            let mut set = ExperimentSet::new(tasks).threads(threads);
+            if let Some(p) = progress {
+                set = set.progress(Arc::clone(p));
+            }
+            set.run_owned(|t| run_task(t, ecfg, expected))
+        }
     };
 
+    let _merge_span = progress.map(|p| p.counters().span("merge"));
     let mut profile = spine_profile;
     let mut reports = vec![spine_report];
     for (r, p) in task_results {
@@ -337,16 +400,23 @@ struct Task {
     sleep: Vec<Choice>,
     trace: Vec<u64>,
     depth: usize,
+    progress: Option<Arc<ProgressSampler>>,
 }
 
 /// Walks one deferred [`Task`] to completion on the calling thread.
 fn run_task(mut t: Task, ecfg: &ExploreConfig, expected: usize) -> (ExploreReport, DepthProfile) {
+    // Worker threads hold no other span, so the whole task is `tasks`
+    // time (inline tasks, by contrast, stay inside the spine's span).
+    let progress = t.progress.take();
+    let _task_span = progress.as_ref().map(|p| p.counters().span("tasks"));
     if ecfg.mode == ExploreMode::Undo {
         // The fork dropped the spine's undo log; re-arm on the task copy.
         t.h.enable_undo();
     }
     let mut w = Walker::task(*ecfg, expected, t.trace, &t.checker, t.depth);
+    w.progress = progress.clone();
     w.dfs(&mut t.h, &t.sleep, t.depth);
+    w.flush_telemetry(&t.h);
     w.finish()
 }
 
@@ -419,6 +489,15 @@ struct Walker {
     choice_pool: Vec<Vec<Choice>>,
     /// Link-key scratch for [`Hierarchy::frontier_choices_into`].
     choice_keys: Vec<(u8, u64, u64)>,
+    /// Campaign telemetry sink; strictly passive (never influences the
+    /// walk). `None` keeps the whole telemetry path to one branch.
+    progress: Option<Arc<ProgressSampler>>,
+    /// Nodes visited since the last telemetry flush.
+    nodes_since_flush: u64,
+    /// Step/schedule totals already published to the sampler, so each
+    /// flush only reports the delta.
+    flushed_steps: u64,
+    flushed_schedules: u64,
 }
 
 impl Walker {
@@ -437,6 +516,10 @@ impl Walker {
             tasks_emitted: 0,
             choice_pool: Vec::new(),
             choice_keys: Vec::new(),
+            progress: None,
+            nodes_since_flush: 0,
+            flushed_steps: 0,
+            flushed_schedules: 0,
         }
     }
 
@@ -460,11 +543,41 @@ impl Walker {
 
     /// Sorts the accumulated outcome sets into the final report.
     fn finish(mut self) -> (ExploreReport, DepthProfile) {
+        if let Some(p) = self.progress.take() {
+            // Residual step/schedule deltas since the last in-walk flush.
+            let counters = p.counters();
+            counters.add_steps(self.report.steps - self.flushed_steps);
+            counters.add_schedules(self.report.schedules - self.flushed_schedules);
+            p.tick();
+        }
         self.report.outcomes = self.outcomes.into_iter().collect();
         self.report.outcomes.sort_unstable();
         self.report.timings = self.timings.into_iter().collect();
         self.report.timings.sort_unstable();
         (self.report, self.profile)
+    }
+
+    /// Publishes step/schedule deltas and memory gauges to the campaign
+    /// sampler. Called every [`EXPLORE_TELEMETRY_EVERY`] nodes from
+    /// [`Walker::dfs`]; reads walker and hierarchy state only.
+    fn flush_telemetry(&mut self, h: &Hierarchy) {
+        let Some(p) = self.progress.as_ref() else {
+            return;
+        };
+        let counters = p.counters();
+        counters.add_steps(self.report.steps - self.flushed_steps);
+        counters.add_schedules(self.report.schedules - self.flushed_schedules);
+        self.flushed_steps = self.report.steps;
+        self.flushed_schedules = self.report.schedules;
+        counters
+            .gauge(MemGauge::SeenEntries)
+            .set(self.seen.len() as u64);
+        let seen_bytes =
+            self.seen.capacity() as u64 * (std::mem::size_of::<(u64, bool)>() as u64 + 1);
+        counters.gauge(MemGauge::SeenBytes).set(seen_bytes);
+        counters.gauge(MemGauge::UndoBytes).set(h.undo_log_bytes());
+        counters.gauge(MemGauge::SlabBytes).set(h.transient_bytes());
+        p.tick();
     }
 
     /// Walks the subtree under `h`; returns false to abort this
@@ -474,6 +587,13 @@ impl Walker {
     fn dfs(&mut self, h: &mut Hierarchy, sleep: &[Choice], depth: usize) -> bool {
         self.report.deepest = self.report.deepest.max(depth);
         self.profile.at(depth).nodes += 1;
+        if self.progress.is_some() {
+            self.nodes_since_flush += 1;
+            if self.nodes_since_flush >= EXPLORE_TELEMETRY_EVERY {
+                self.nodes_since_flush = 0;
+                self.flush_telemetry(h);
+            }
+        }
 
         let mut choices = self.choice_pool.pop().unwrap_or_default();
         h.frontier_choices_into(Cycle(self.ecfg.window), &mut self.choice_keys, &mut choices);
@@ -582,6 +702,7 @@ impl Walker {
                     sleep: sleep.to_vec(),
                     trace: self.trace.clone(),
                     depth,
+                    progress: self.progress.clone(),
                 });
             }
             Boundary::Inline(results) => {
@@ -592,6 +713,7 @@ impl Walker {
                     &self.checkers[depth],
                     depth,
                 );
+                w.progress = self.progress.clone();
                 w.dfs(h, sleep, depth);
                 results.push(w.finish());
             }

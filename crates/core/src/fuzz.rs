@@ -18,7 +18,9 @@
 //! survives changes to the stream *generator*, which a bare seed does
 //! not.
 
-use sim_engine::{DetRng, Tracer};
+use std::sync::Arc;
+
+use sim_engine::{DetRng, MemGauge, ProgressSampler, Tracer};
 use swiftdir_cache::CacheGeometry;
 use swiftdir_coherence::{
     AccessKind, Checker, Completion, Hierarchy, HierarchyConfig, L1State, ProtocolKind,
@@ -35,6 +37,19 @@ const WATCHDOG_EVENTS: u64 = 200_000;
 
 /// Absolute event budget per run, against runaway livelock.
 const MAX_EVENTS: u64 = 5_000_000;
+
+/// Phase names a fuzz campaign's telemetry attributes wall time to:
+/// `generate` (stream derivation, hierarchy construction, issue), `run`
+/// (the event loop, including the per-event invariant audit — see
+/// DESIGN.md §12 for why the audit is not timed separately), and
+/// `check` (the final quiescence audit).
+pub const FUZZ_PHASES: [&str; 3] = ["generate", "run", "check"];
+
+/// Events between telemetry flushes inside a fuzz run: the campaign
+/// event counter, slab/trace-ring gauges, and a sampler tick. Rare
+/// enough (one per 4096 events) that the enabled path stays well under
+/// the ≤2% sampler-overhead gate.
+const FUZZ_TELEMETRY_EVERY: u64 = 4096;
 
 /// One fuzz scenario: everything needed to reproduce a run bit-for-bit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -227,7 +242,19 @@ impl FuzzReport {
 /// assert_eq!(report.completions, 60);
 /// ```
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
-    run_ops(cfg, &cfg.stream_file(), None)
+    run_fuzz_observed(cfg, None)
+}
+
+/// [`run_fuzz`] with optional campaign telemetry: phase spans, event
+/// deltas, occupancy gauges, and heartbeat ticks land in the sampler as
+/// the run progresses. Strictly passive — the report is bit-identical
+/// with or without a sampler.
+fn run_fuzz_observed(cfg: &FuzzConfig, progress: Option<&ProgressSampler>) -> FuzzReport {
+    let file = {
+        let _generate = progress.map(|p| p.counters().span("generate"));
+        cfg.stream_file()
+    };
+    run_ops(cfg, &file, None, progress)
 }
 
 /// Runs every scenario in `configs` fanned over the experiment driver's
@@ -238,22 +265,67 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// reports (digests, event counts, statistics) bit-identical to calling
 /// [`run_fuzz`] serially over the slice, whatever the thread count.
 pub fn run_fuzz_many(configs: &[FuzzConfig]) -> Vec<FuzzReport> {
-    ExperimentSet::new(configs.to_vec()).run(run_fuzz)
+    run_fuzz_campaign(configs, None, None)
 }
 
 /// [`run_fuzz_many`] with a pinned worker count (`threads == 1` runs
 /// strictly serially on the calling thread). Used by the bench harness
 /// and the determinism tests to compare thread counts explicitly.
 pub fn run_fuzz_many_threads(configs: &[FuzzConfig], threads: usize) -> Vec<FuzzReport> {
-    ExperimentSet::new(configs.to_vec())
-        .threads(threads)
-        .run(run_fuzz)
+    run_fuzz_campaign(configs, Some(threads), None)
+}
+
+/// The fuzz campaign driver every `run_fuzz_many*` entry point funnels
+/// through: fans `configs` over the experiment driver, optionally with
+/// a pinned thread count and a campaign telemetry sampler.
+///
+/// With a sampler attached the campaign announces `configs.len()` units
+/// up front, each worker publishes per-seed progress (done counts,
+/// event deltas, [`FUZZ_PHASES`] spans, slab/trace-ring gauges) and the
+/// sampler emits `"swiftdir.progress.v1"` heartbeats at its interval.
+/// Telemetry is strictly passive: the returned reports are
+/// bit-identical to a samplerless run at every thread count.
+pub fn run_fuzz_campaign(
+    configs: &[FuzzConfig],
+    threads: Option<usize>,
+    progress: Option<&Arc<ProgressSampler>>,
+) -> Vec<FuzzReport> {
+    if let Some(p) = progress {
+        p.counters().add_total(configs.len() as u64);
+    }
+    let mut set = ExperimentSet::new(configs.to_vec());
+    if let Some(t) = threads {
+        set = set.threads(t);
+    }
+    if let Some(p) = progress {
+        set = set.progress(Arc::clone(p));
+    }
+    let progress = progress.map(Arc::as_ref);
+    set.run(move |cfg| {
+        let report = run_fuzz_observed(cfg, progress);
+        if let Some(p) = progress {
+            p.counters().add_done(1);
+        }
+        report
+    })
 }
 
 /// Replays a [`StreamFile`] op-for-op on the standard shrunken fuzz
 /// hierarchy, with the same full auditing as [`run_fuzz`].
 pub fn replay(file: &StreamFile) -> FuzzReport {
     replay_with_fault(file, None)
+}
+
+/// Flushes a fuzz run's periodic telemetry: the campaign event delta
+/// plus slab and trace-ring occupancy gauges, then a sampler tick.
+fn flush_fuzz_telemetry(p: &ProgressSampler, h: &Hierarchy, event_delta: u64) {
+    let c = p.counters();
+    c.add_events(event_delta);
+    c.gauge(MemGauge::SlabBytes).set(h.transient_bytes());
+    if let Some(ring) = h.tracer().ring() {
+        c.gauge(MemGauge::TraceRing).set(ring.len() as u64);
+    }
+    p.tick();
 }
 
 /// [`replay`], optionally corrupting the hierarchy mid-run per `fault`.
@@ -268,12 +340,21 @@ pub fn replay_with_fault(file: &StreamFile, fault: Option<&PlantedFault>) -> Fuz
         store_fraction: 0.0,
         wp_fraction: 0.0,
     };
-    run_ops(&cfg, file, fault)
+    run_ops(&cfg, file, fault, None)
 }
 
 /// The shared fuzz/replay core: issue the stream up front, step to
-/// quiescence with the [`Checker`] auditing every event.
-fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) -> FuzzReport {
+/// quiescence with the [`Checker`] auditing every event. With a
+/// sampler, `generate`/`run`/`check` phase spans and periodic telemetry
+/// flushes are recorded around the existing control flow; nothing the
+/// simulation computes depends on them.
+fn run_ops(
+    cfg: &FuzzConfig,
+    file: &StreamFile,
+    fault: Option<&PlantedFault>,
+    progress: Option<&ProgressSampler>,
+) -> FuzzReport {
+    let generate_span = progress.map(|p| p.counters().span("generate"));
     let mut h = Hierarchy::new(cfg.hierarchy_config());
     h.set_tracer(Tracer::enabled().with_ring(512));
     if file.jitter_max > 0 {
@@ -283,7 +364,9 @@ fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) ->
     // Issue the whole access stream up front at randomized times; the
     // event queue serializes it against the protocol traffic.
     issue_stream(&mut h, &file.ops);
+    drop(generate_span);
 
+    let run_span = progress.map(|p| p.counters().span("run"));
     let mut fault = fault.copied();
     let mut checker = Checker::new();
     let mut log: Vec<Completion> = Vec::with_capacity(cfg.ops);
@@ -301,6 +384,11 @@ fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) ->
             Ok(Some(_)) => {}
         }
         events += 1;
+        if let Some(p) = progress {
+            if events.is_multiple_of(FUZZ_TELEMETRY_EVERY) {
+                flush_fuzz_telemetry(p, &h, FUZZ_TELEMETRY_EVERY);
+            }
+        }
         let done = h.drain_completions();
         if !done.is_empty() {
             last_progress = events;
@@ -331,7 +419,9 @@ fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) ->
             });
         }
     };
+    drop(run_span);
 
+    let check_span = progress.map(|p| p.counters().span("check"));
     if failure.is_none() {
         if let Err(v) = checker.check_quiescent(&h) {
             failure = Some(FuzzFailure {
@@ -348,6 +438,10 @@ fn run_ops(cfg: &FuzzConfig, file: &StreamFile, fault: Option<&PlantedFault>) ->
                 ),
             });
         }
+    }
+    drop(check_span);
+    if let Some(p) = progress {
+        flush_fuzz_telemetry(p, &h, events % FUZZ_TELEMETRY_EVERY);
     }
 
     FuzzReport {

@@ -65,16 +65,18 @@ pub use diff::{
     architectural_diff, contended_stream, explored_equivalence, run_stream,
     swiftdir_mesi_cycle_identity, well_separated_stream, StreamRun,
 };
-pub use driver::{DriverReport, ExperimentSet, PointTiming};
+pub use driver::{default_threads, DriverReport, ExperimentSet, PointTiming};
 pub use explore::{
-    explore, explore_parallel, explore_parallel_profiled, explore_parallel_threads, DepthProfile,
-    DepthStats, ExploreConfig, ExploreError, ExploreMode, ExploreReport,
+    explore, explore_campaign, explore_parallel, explore_parallel_profiled,
+    explore_parallel_threads, DepthProfile, DepthStats, ExploreConfig, ExploreError, ExploreMode,
+    ExploreReport, EXPLORE_PHASES,
 };
 pub use fuzz::{
-    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, run_fuzz_many,
-    run_fuzz_many_threads, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport, PlantedFault,
+    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, run_fuzz_campaign,
+    run_fuzz_many, run_fuzz_many_threads, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport,
+    PlantedFault, FUZZ_PHASES,
 };
-pub use obs::{TraceConfig, TraceFiles};
+pub use obs::{ProgressConfig, ProgressSink, TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};
 pub use stream::{issue_stream, AccessOp, StreamFile};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};

@@ -20,15 +20,31 @@
 //! number that is appended to the base path (`trace`, `trace-1`,
 //! `trace-2`, …), so parallel workers never clobber each other.
 //!
-//! The knob *parsing* is a pure function ([`TraceConfig::from_values`])
-//! so it can be tested without touching the process environment.
+//! Campaign telemetry (the `swiftdir.progress.v1` heartbeat stream, see
+//! [`sim_engine::progress`]) has its own pair of knobs:
+//!
+//! * **`SWIFTDIR_PROGRESS=<path>`** — streams heartbeat records (JSONL)
+//!   to `<path>`; the special value `-` streams to stdout.
+//! * **`SWIFTDIR_PROGRESS_INTERVAL_MS=<n>`** — minimum milliseconds
+//!   between heartbeats (default 500; `0` emits on every tick).
+//!
+//! All knob *parsing* is pure ([`TraceConfig::from_values`],
+//! [`ProgressConfig::parse_values`]) so it can be tested without
+//! touching the process environment. Invalid values are never silent:
+//! the `from_env` constructors warn once on stderr and fall back to the
+//! documented defaults.
 
 use std::fs::File;
-use std::io::{self, BufWriter};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
-use sim_engine::{ChromeTraceSink, Json, JsonlSink, Metric, MetricsRegistry, Tracer};
+use sim_engine::{
+    CampaignCounters, ChromeTraceSink, Json, JsonlSink, Metric, MetricsRegistry, ProgressSampler,
+    Tracer,
+};
 use swiftdir_coherence::CoherenceEvent;
 
 use crate::system::RunStats;
@@ -59,24 +75,54 @@ pub struct TraceConfig {
 
 impl TraceConfig {
     /// Reads `SWIFTDIR_TRACE` / `SWIFTDIR_TRACE_LIMIT` from the process
-    /// environment.
+    /// environment. Invalid values (an unparsable limit, a non-unicode
+    /// variable) warn once on stderr and fall back to the defaults.
     pub fn from_env() -> Self {
-        let path = std::env::var(TRACE_ENV).ok();
-        let limit = std::env::var(TRACE_LIMIT_ENV).ok();
-        Self::from_values(path.as_deref(), limit.as_deref())
+        let (path, mut warnings) = env_value(TRACE_ENV);
+        let (limit, limit_warnings) = env_value(TRACE_LIMIT_ENV);
+        warnings.extend(limit_warnings);
+        let (cfg, parse_warnings) = Self::parse_values(path.as_deref(), limit.as_deref());
+        warnings.extend(parse_warnings);
+        static WARNED: Once = Once::new();
+        if !warnings.is_empty() {
+            // Once: a sweep constructs many `System`s; one report is enough.
+            WARNED.call_once(|| {
+                for w in &warnings {
+                    eprintln!("swiftdir: {w}");
+                }
+            });
+        }
+        cfg
     }
 
     /// Pure knob parsing: `path` and `limit` as the environment would
     /// supply them. Empty or whitespace-only `path` disables tracing;
     /// an unparsable `limit` is ignored; `limit == 0` disables tracing.
     pub fn from_values(path: Option<&str>, limit: Option<&str>) -> Self {
+        Self::parse_values(path, limit).0
+    }
+
+    /// [`TraceConfig::from_values`] that also returns the human-readable
+    /// warnings for values that were ignored, so callers reading the
+    /// real environment can be loud about bad knobs.
+    pub fn parse_values(path: Option<&str>, limit: Option<&str>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
         let path = path
             .map(str::trim)
             .filter(|p| !p.is_empty())
             .map(PathBuf::from);
-        let limit = limit.and_then(|v| v.trim().parse::<u64>().ok());
+        let limit = limit.and_then(|v| match v.trim().parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                warnings.push(format!(
+                    "invalid {TRACE_LIMIT_ENV}={v:?} (want a non-negative integer); \
+                     tracing without an event cap"
+                ));
+                None
+            }
+        });
         let path = if limit == Some(0) { None } else { path };
-        TraceConfig { path, limit }
+        (TraceConfig { path, limit }, warnings)
     }
 
     /// A config tracing to `path` with no event cap (programmatic
@@ -156,6 +202,146 @@ impl TraceFiles {
             chrome: with_ext(".chrome.json"),
             metrics: with_ext(".metrics.json"),
         }
+    }
+}
+
+/// Reads one environment variable, reporting (rather than swallowing) a
+/// non-unicode value.
+fn env_value(name: &str) -> (Option<String>, Vec<String>) {
+    match std::env::var(name) {
+        Ok(v) => (Some(v), Vec::new()),
+        Err(std::env::VarError::NotPresent) => (None, Vec::new()),
+        Err(std::env::VarError::NotUnicode(v)) => (
+            None,
+            vec![format!("invalid {name}={v:?} (not unicode); ignoring it")],
+        ),
+    }
+}
+
+/// Environment variable naming the campaign-heartbeat sink
+/// (a path, or `-` for stdout).
+pub const PROGRESS_ENV: &str = "SWIFTDIR_PROGRESS";
+
+/// Environment variable setting the minimum milliseconds between
+/// heartbeats.
+pub const PROGRESS_INTERVAL_ENV: &str = "SWIFTDIR_PROGRESS_INTERVAL_MS";
+
+/// Default heartbeat interval when [`PROGRESS_INTERVAL_ENV`] is unset.
+pub const PROGRESS_DEFAULT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Where the heartbeat stream goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressSink {
+    /// Stream to stdout (the `-` knob value).
+    Stdout,
+    /// Stream to a file, truncating it first.
+    File(PathBuf),
+}
+
+/// Parsed campaign-telemetry knobs (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressConfig {
+    /// Heartbeat sink; `None` disables telemetry.
+    pub sink: Option<ProgressSink>,
+    /// Minimum time between heartbeats (zero emits on every tick).
+    pub interval: Duration,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig {
+            sink: None,
+            interval: PROGRESS_DEFAULT_INTERVAL,
+        }
+    }
+}
+
+impl ProgressConfig {
+    /// Reads `SWIFTDIR_PROGRESS` / `SWIFTDIR_PROGRESS_INTERVAL_MS` from
+    /// the process environment. Invalid values warn on stderr and fall
+    /// back to the defaults.
+    pub fn from_env() -> Self {
+        let (sink, mut warnings) = env_value(PROGRESS_ENV);
+        let (interval, interval_warnings) = env_value(PROGRESS_INTERVAL_ENV);
+        warnings.extend(interval_warnings);
+        let (cfg, parse_warnings) = Self::parse_values(sink.as_deref(), interval.as_deref());
+        warnings.extend(parse_warnings);
+        for w in &warnings {
+            eprintln!("swiftdir: {w}");
+        }
+        cfg
+    }
+
+    /// Pure knob parsing: `sink` and `interval` as the environment would
+    /// supply them, plus warnings for values that were ignored.
+    pub fn parse_values(sink: Option<&str>, interval: Option<&str>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let sink = sink.and_then(Self::parse_sink);
+        let interval = match interval.map(|v| (v, v.trim().parse::<u64>())) {
+            None => PROGRESS_DEFAULT_INTERVAL,
+            Some((_, Ok(ms))) => Duration::from_millis(ms),
+            Some((v, Err(_))) => {
+                warnings.push(format!(
+                    "invalid {PROGRESS_INTERVAL_ENV}={v:?} (want milliseconds as a \
+                     non-negative integer); using the default of {}ms",
+                    PROGRESS_DEFAULT_INTERVAL.as_millis()
+                ));
+                PROGRESS_DEFAULT_INTERVAL
+            }
+        };
+        (ProgressConfig { sink, interval }, warnings)
+    }
+
+    /// Parses one sink value: empty or whitespace-only disables, `-`
+    /// means stdout, anything else is a file path. Shared between the
+    /// environment knob and the bins' `--progress` flag.
+    pub fn parse_sink(v: &str) -> Option<ProgressSink> {
+        let v = v.trim();
+        match v {
+            "" => None,
+            "-" => Some(ProgressSink::Stdout),
+            path => Some(ProgressSink::File(PathBuf::from(path))),
+        }
+    }
+
+    /// A config streaming to `sink` (a path or `-`) at the default
+    /// interval — what the bins build from their `--progress` flag.
+    pub fn to_sink(v: &str) -> Self {
+        ProgressConfig {
+            sink: Self::parse_sink(v),
+            ..Self::default()
+        }
+    }
+
+    /// Whether this config enables telemetry.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Builds the sampler around `counters`. Returns `Ok(None)` when
+    /// telemetry is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation failure of a file sink.
+    pub fn build(&self, counters: CampaignCounters) -> io::Result<Option<Arc<ProgressSampler>>> {
+        let Some(sink) = &self.sink else {
+            return Ok(None);
+        };
+        let out: Box<dyn Write + Send> = match sink {
+            ProgressSink::Stdout => Box::new(io::stdout()),
+            ProgressSink::File(p) => {
+                if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir)?;
+                }
+                Box::new(File::create(p)?)
+            }
+        };
+        Ok(Some(Arc::new(ProgressSampler::new(
+            counters,
+            out,
+            self.interval,
+        ))))
     }
 }
 
@@ -286,5 +472,57 @@ mod tests {
     #[test]
     fn disabled_config_builds_nothing() {
         assert!(TraceConfig::default().build().unwrap().is_none());
+    }
+
+    #[test]
+    fn unparsable_trace_limit_warns() {
+        let (c, warnings) = TraceConfig::parse_values(Some("t"), Some("lots"));
+        assert!(c.is_enabled());
+        assert_eq!(c.limit, None);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains(TRACE_LIMIT_ENV), "{warnings:?}");
+        // Valid knobs warn about nothing.
+        let (_, warnings) = TraceConfig::parse_values(Some("t"), Some("10"));
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn progress_sink_values_parse() {
+        assert_eq!(ProgressConfig::parse_sink(""), None);
+        assert_eq!(ProgressConfig::parse_sink("  "), None);
+        assert_eq!(ProgressConfig::parse_sink("-"), Some(ProgressSink::Stdout));
+        assert_eq!(
+            ProgressConfig::parse_sink("out/hb.jsonl"),
+            Some(ProgressSink::File(PathBuf::from("out/hb.jsonl")))
+        );
+    }
+
+    #[test]
+    fn progress_values_parse_with_defaults() {
+        let (c, warnings) = ProgressConfig::parse_values(None, None);
+        assert_eq!(c, ProgressConfig::default());
+        assert!(!c.is_enabled());
+        assert!(warnings.is_empty());
+
+        let (c, warnings) = ProgressConfig::parse_values(Some("hb.jsonl"), Some("25"));
+        assert!(c.is_enabled());
+        assert_eq!(c.interval, Duration::from_millis(25));
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn invalid_progress_interval_warns_and_falls_back() {
+        let (c, warnings) = ProgressConfig::parse_values(Some("-"), Some("fast"));
+        assert_eq!(c.sink, Some(ProgressSink::Stdout));
+        assert_eq!(c.interval, PROGRESS_DEFAULT_INTERVAL);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains(PROGRESS_INTERVAL_ENV), "{warnings:?}");
+    }
+
+    #[test]
+    fn disabled_progress_builds_nothing() {
+        use sim_engine::CampaignCounters;
+        let counters = CampaignCounters::new("t", 1, &[]);
+        assert!(ProgressConfig::default().build(counters).unwrap().is_none());
     }
 }

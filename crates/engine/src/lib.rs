@@ -22,6 +22,10 @@
 //!   deterministic JSON snapshots.
 //! * [`json`] — a dependency-free JSON model, writer, and parser used for
 //!   every machine-readable artifact the simulator produces.
+//! * [`progress`] — campaign-level telemetry: shared atomic counters,
+//!   scoped phase timers, memory gauges with high-water marks, and the
+//!   `"swiftdir.progress.v1"` heartbeat sampler long-running campaigns
+//!   stream to a JSONL sink.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@ pub mod cycle;
 pub mod fxhash;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -49,6 +54,10 @@ pub use cycle::Cycle;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
 pub use metrics::{Metric, MetricsRegistry};
+pub use progress::{
+    CampaignCounters, Gauge, GaugeSnapshot, MemGauge, PhaseSpan, ProgressRecord, ProgressSampler,
+    WorkerSlot, WorkerSnapshot, PROGRESS_SCHEMA, PROGRESS_SCHEMA_PREFIX,
+};
 pub use queue::{Chooser, EventQueue, FifoChooser, Pending, PopOrigin, QueueMark};
 pub use rng::{DetRng, LinkJitter, Zipf};
 pub use stats::{Counter, Histogram, HistogramMark, RunningStats};

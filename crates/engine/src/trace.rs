@@ -77,6 +77,11 @@ impl<T> TraceBuffer<T> {
         self.records.len()
     }
 
+    /// Maximum number of records the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether no records are retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()

@@ -7,13 +7,43 @@
 //! tie-break changes, thread-schedule dependence) would silently corrupt
 //! results rather than fail loudly. Here it fails loudly.
 
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
 use swiftdir::coherence::ProtocolKind;
 use swiftdir::core::{
-    contended_stream, explore_parallel_threads, run_fuzz_many_threads, ExperimentSet,
-    ExploreConfig, FuzzConfig, RunStats, System, SystemConfig, TraceConfig,
+    contended_stream, explore_campaign, explore_parallel_threads, run_fuzz_campaign,
+    run_fuzz_many_threads, ExperimentSet, ExploreConfig, FuzzConfig, RunStats, System,
+    SystemConfig, TraceConfig, EXPLORE_PHASES, FUZZ_PHASES,
 };
 use swiftdir::cpu::CpuModel;
+use swiftdir::engine::{CampaignCounters, ProgressSampler};
 use swiftdir::workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
+
+/// An in-memory heartbeat sink (`Box<dyn Write + Send>` over shared
+/// bytes), so samplers in tests need no filesystem.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sampler emitting on every tick (zero interval) into a fresh buffer.
+fn test_sampler(campaign: &str, workers: usize, phases: &[&'static str]) -> Arc<ProgressSampler> {
+    Arc::new(ProgressSampler::new(
+        CampaignCounters::new(campaign, workers, phases),
+        Box::new(SharedBuf::default()),
+        Duration::from_millis(1),
+    ))
+}
 
 const INSTRUCTIONS: u64 = 8_000;
 
@@ -153,6 +183,81 @@ fn fuzz_fan_out_digests_are_thread_count_invariant() {
             a.config
         );
         assert_eq!(a.stats, b.stats, "stats diverged for {:?}", a.config);
+    }
+}
+
+#[test]
+fn progress_sampling_never_changes_fuzz_digests() {
+    // Campaign telemetry must be strictly passive: the same fuzz grid
+    // with no sampler, with a 1 ms sampler on one thread, and with a
+    // 1 ms sampler on four threads produces bit-identical digests,
+    // event counts, and statistics.
+    let grid: Vec<FuzzConfig> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|p| {
+            (0..4u64).map(move |seed| {
+                let mut cfg = FuzzConfig::new(seed, p);
+                cfg.ops = 80;
+                cfg
+            })
+        })
+        .collect();
+    let bare = run_fuzz_campaign(&grid, Some(1), None);
+    let sampled_1 = {
+        let s = test_sampler("fuzz", 1, &FUZZ_PHASES);
+        let r = run_fuzz_campaign(&grid, Some(1), Some(&s));
+        s.finish();
+        r
+    };
+    let sampled_4 = {
+        let s = test_sampler("fuzz", 4, &FUZZ_PHASES);
+        let r = run_fuzz_campaign(&grid, Some(4), Some(&s));
+        s.finish();
+        r
+    };
+    for ((a, b), c) in bare.iter().zip(&sampled_1).zip(&sampled_4) {
+        assert!(a.ok(), "fuzz {:?} failed", a.config);
+        assert_eq!(
+            (a.digest, a.events, &a.stats),
+            (b.digest, b.events, &b.stats),
+            "1-thread sampling perturbed {:?}",
+            a.config
+        );
+        assert_eq!(
+            (a.digest, a.events, &a.stats),
+            (c.digest, c.events, &c.stats),
+            "4-thread sampling perturbed {:?}",
+            a.config
+        );
+    }
+}
+
+#[test]
+fn progress_sampling_never_changes_explore_reports() {
+    // Same passivity bar for the explorer: whole reports (schedules,
+    // outcomes, coverage, latency histograms) are bit-identical with
+    // sampling off, on at 1 ms / 1 thread, and on at 1 ms / 4 threads.
+    let ecfg = ExploreConfig::default();
+    for protocol in [ProtocolKind::SwiftDir, ProtocolKind::Mesi] {
+        let cfg = swiftdir::core::diff::tiny_config(2, protocol);
+        for seed in 0..2 {
+            let stream = contended_stream(seed, 2, 2, 4, 0.3);
+            let (bare, bare_profile) = explore_campaign(&cfg, &stream, &ecfg, 1, None);
+            assert!(bare.error.is_none(), "exploration failed: {:?}", bare.error);
+            for threads in [1usize, 4] {
+                let s = test_sampler("explore", threads, &EXPLORE_PHASES);
+                let (sampled, profile) = explore_campaign(&cfg, &stream, &ecfg, threads, Some(&s));
+                s.finish();
+                assert_eq!(
+                    bare, sampled,
+                    "sampling at {threads} thread(s) perturbed {protocol:?} seed {seed}"
+                );
+                assert_eq!(
+                    bare_profile, profile,
+                    "sampling at {threads} thread(s) perturbed the depth profile"
+                );
+            }
+        }
     }
 }
 
