@@ -7,7 +7,7 @@
 //!                  [--depth-profile] [--protocol NAME]
 //!                  [--cores N] [--blocks N] [--ops N] [--streams N]
 //!                  [--depth N] [--window N] [--seeds N]
-//!                  [--progress FILE|-]
+//!                  [--progress FILE|-] [--checkpoint FILE] [--resume FILE]
 //! ```
 //!
 //! * default — explore `--streams` contended streams per protocol with
@@ -39,6 +39,14 @@
 //!   `SWIFTDIR_PROGRESS_INTERVAL_MS` set the same knobs from the
 //!   environment. Telemetry is passive: reports are bit-identical with
 //!   it on or off.
+//! * `--checkpoint FILE` / `--resume FILE` — journal every completed
+//!   schedule tree to a `swiftdir.ckpt.v1` file, and resume a killed
+//!   exploration from its last durable record. Resume granularity is
+//!   the tree (a tree killed mid-walk is deterministically re-walked),
+//!   so the finished campaign's digest set is bit-identical to an
+//!   uninterrupted run. On resume, coverage soundness is still checked
+//!   over the freshly walked trees (a subset can only observe a subset
+//!   of legal transitions); depth profiles cover fresh trees only.
 //!
 //! Exits non-zero on any failure.
 
@@ -55,7 +63,10 @@ use swiftdir_core::explore::{
     explore_campaign, explore_parallel, DepthProfile, ExploreConfig, ExploreMode, EXPLORE_PHASES,
 };
 use swiftdir_core::fuzz::{run_fuzz_many, FuzzConfig};
-use swiftdir_core::ProgressConfig;
+use swiftdir_core::{
+    explore_grid_digest, run_explore_campaign_resumable, CheckpointWriter, CkptHeader, ExploreUnit,
+    ProgressConfig,
+};
 
 struct Args {
     smoke: bool,
@@ -72,6 +83,8 @@ struct Args {
     window: u64,
     seeds: u64,
     progress: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -90,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         window: 48,
         seeds: 500,
         progress: None,
+        checkpoint: None,
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
             "--window" => args.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
             "--progress" => args.progress = Some(value("--progress")?),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => args.resume = Some(value("--resume")?),
             "--protocol" => {
                 let name = value("--protocol")?;
                 args.protocols = vec![match name.to_ascii_lowercase().as_str() {
@@ -147,11 +164,14 @@ fn main() -> ExitCode {
         if let Some(v) = &args.progress {
             pcfg.sink = ProgressConfig::parse_sink(v);
         }
-        let sampler = match pcfg.build(CampaignCounters::new(
-            "explore",
-            driver::default_threads(),
-            &EXPLORE_PHASES,
-        )) {
+        let counters = CampaignCounters::new("explore", driver::default_threads(), &EXPLORE_PHASES);
+        let sampler = match if args.resume.is_some() {
+            // Continue the killed run's heartbeat stream (repair the
+            // torn tail, append, mark the first record resumed).
+            pcfg.build_resumed(counters)
+        } else {
+            pcfg.build(counters)
+        } {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("swiftdir-explore: cannot open progress sink: {e}");
@@ -159,14 +179,21 @@ fn main() -> ExitCode {
             }
         };
         let mut campaign_profile = DepthProfile::default();
-        failed |= !explore_suite(&args, sampler.as_ref(), &mut campaign_profile);
-        if let Some(s) = &sampler {
-            // Fold the campaign-wide depth profile into the final
-            // heartbeat so `--depth-profile` data rides every stream.
-            s.finish_with_extra(vec![(
-                "depth_profile".to_string(),
-                campaign_profile.to_json(),
-            )]);
+        if args.checkpoint.is_some() || args.resume.is_some() {
+            failed |= !explore_suite_checkpointed(&args, sampler.as_ref());
+            if let Some(s) = &sampler {
+                s.finish();
+            }
+        } else {
+            failed |= !explore_suite(&args, sampler.as_ref(), &mut campaign_profile);
+            if let Some(s) = &sampler {
+                // Fold the campaign-wide depth profile into the final
+                // heartbeat so `--depth-profile` data rides every stream.
+                s.finish_with_extra(vec![(
+                    "depth_profile".to_string(),
+                    campaign_profile.to_json(),
+                )]);
+            }
         }
         if args.diff || args.smoke {
             failed |= !differential_suite(&args);
@@ -261,6 +288,121 @@ fn explore_suite(
         campaign_profile.merge(&profile);
     }
     ok
+}
+
+/// The durable exploration path behind `--checkpoint` / `--resume`:
+/// the same (protocol × stream) grid as [`explore_suite`], with every
+/// completed tree journaled before it is acknowledged. Prints the
+/// final digest set — the value a kill/resume sequence must reproduce
+/// bit for bit.
+fn explore_suite_checkpointed(args: &Args, sampler: Option<&Arc<ProgressSampler>>) -> bool {
+    let ecfg = ExploreConfig {
+        window: args.window,
+        max_depth: args.depth,
+        ..ExploreConfig::default()
+    };
+    let wp_fraction = 0.3;
+    let grid: Vec<ExploreUnit> = args
+        .protocols
+        .iter()
+        .flat_map(|&protocol| {
+            let cfg = tiny_config(args.cores, protocol);
+            (0..args.streams).map(move |seed| ExploreUnit {
+                cfg,
+                stream: contended_stream(seed, args.cores, args.blocks, args.ops, wp_fraction),
+            })
+        })
+        .collect();
+    let path = args
+        .resume
+        .as_deref()
+        .or(args.checkpoint.as_deref())
+        .expect("caller checked");
+    let header = CkptHeader {
+        kind: "explore".to_string(),
+        campaign: "explore".to_string(),
+        config_digest: explore_grid_digest(&grid, &ecfg),
+        total: grid.len() as u64,
+    };
+    let opened = if args.resume.is_some() {
+        CheckpointWriter::resume(std::path::Path::new(path), &header)
+    } else {
+        CheckpointWriter::create(std::path::Path::new(path), &header).map(|w| (w, Vec::new()))
+    };
+    let (mut writer, resumed_units) = match opened {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("swiftdir-explore: checkpoint {path}: {e}");
+            return false;
+        }
+    };
+    let outcome = match run_explore_campaign_resumable(
+        &grid,
+        &ecfg,
+        None,
+        sampler,
+        Some(&mut writer),
+        resumed_units,
+        None,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swiftdir-explore: checkpoint {path}: {e}");
+            return false;
+        }
+    };
+
+    let mut ok = true;
+    for unit in &outcome.units {
+        if let Some(f) = &unit.failure {
+            eprintln!("FAIL explore unit {}: {f}", unit.index);
+            ok = false;
+        }
+    }
+    // Coverage soundness over the freshly walked trees, per protocol.
+    // A resumed campaign only re-observes a subset of trees, which can
+    // only show a subset of the legal transitions — soundness (nothing
+    // illegal) stays checkable; completeness is the coverage gate's
+    // job, not this path's.
+    for (pi, &protocol) in args.protocols.iter().enumerate() {
+        let mut coverage = ObservedCoverage::new();
+        let (mut schedules, mut steps, mut fresh) = (0u64, 0u64, 0u64);
+        for seed in 0..args.streams {
+            let idx = pi as u64 * args.streams + seed;
+            if let Some(report) = &outcome.reports[idx as usize] {
+                fresh += 1;
+                coverage.merge(&report.coverage);
+                if report.truncated {
+                    eprintln!(
+                        "FAIL {protocol:?} stream {seed}: truncated (not exhaustive); \
+                         raise --depth or shrink the scenario"
+                    );
+                    ok = false;
+                }
+            }
+            if let Some(u) = outcome.units.iter().find(|u| u.index == idx) {
+                schedules += u.schedules;
+                steps += u.steps;
+            }
+        }
+        let report = CoverageSpec::for_protocol(protocol).check(&coverage);
+        if !report.is_sound() {
+            eprintln!("FAIL {protocol:?}: exploration observed illegal transitions\n{report}");
+            ok = false;
+        }
+        println!(
+            "{protocol:?}: {} streams ({fresh} fresh), {schedules} schedules, {steps} steps",
+            args.streams
+        );
+    }
+    println!(
+        "swiftdir-explore: {} units ({} fresh, {} resumed), digest_set {:#018x}",
+        outcome.units.len(),
+        outcome.fresh,
+        outcome.resumed,
+        outcome.digest_set_fnv()
+    );
+    ok && outcome.complete()
 }
 
 /// The walker oracle: the snapshot-free undo-log explorer and the

@@ -8,7 +8,7 @@
 //! ```text
 //! swiftdir-fuzz [--seeds N] [--seed X] [--protocol NAME] [--ops N]
 //!               [--jitter N] [--smoke] [--minimize] [--replay FILE]
-//!               [--progress FILE|-]
+//!               [--progress FILE|-] [--checkpoint FILE] [--resume FILE]
 //! ```
 //!
 //! * `--seeds N` — fuzz seeds `0..N` (default 100) per protocol.
@@ -28,6 +28,16 @@
 //!   `SWIFTDIR_PROGRESS_INTERVAL_MS` set the same knobs from the
 //!   environment. Telemetry is passive: reports and digests are
 //!   bit-identical with it on or off.
+//! * `--checkpoint FILE` — journal every completed seed to `FILE`
+//!   (`swiftdir.ckpt.v1`): a campaign killed at any instant loses only
+//!   in-flight seeds.
+//! * `--resume FILE` — continue a checkpointed campaign: seeds already
+//!   journaled are skipped, a torn trailing record (the write the kill
+//!   interrupted) is repaired, and the finished campaign's digest set
+//!   is bit-identical to an uninterrupted run at any thread count. A
+//!   missing `FILE` degrades to a fresh `--checkpoint` run. With
+//!   `--progress FILE`, the heartbeat stream is repaired and continued
+//!   too (the first new record carries `"resumed": true`).
 //!
 //! Exits non-zero if any seed fails. Every failure line carries the
 //! exact `FuzzConfig` needed to replay it bit-for-bit, and `--minimize`
@@ -40,9 +50,13 @@ use swiftdir_core::fuzz::{
     minimize, minimize_stream, replay, run_fuzz, run_fuzz_campaign, FuzzConfig, FUZZ_PHASES,
 };
 use swiftdir_core::stream::StreamFile;
-use swiftdir_core::{default_threads, ProgressConfig};
+use swiftdir_core::{
+    default_threads, fuzz_grid_digest, run_fuzz_campaign_resumable, CheckpointWriter, CkptHeader,
+    ProgressConfig,
+};
 
 use sim_engine::CampaignCounters;
+use std::path::Path;
 
 const ALL_PROTOCOLS: [ProtocolKind; 4] = [
     ProtocolKind::Msi,
@@ -60,6 +74,8 @@ struct Args {
     do_minimize: bool,
     replay_file: Option<String>,
     progress: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
         do_minimize: false,
         replay_file: None,
         progress: None,
+        checkpoint: None,
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -100,6 +118,8 @@ fn parse_args() -> Result<Args, String> {
             "--minimize" => args.do_minimize = true,
             "--replay" => args.replay_file = Some(value("--replay")?),
             "--progress" => args.progress = Some(value("--progress")?),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => args.resume = Some(value("--resume")?),
             other => return Err(format!("unknown flag {other:?} (see --help in the doc)")),
         }
     }
@@ -149,17 +169,24 @@ fn main() -> ExitCode {
     if let Some(v) = &args.progress {
         pcfg.sink = ProgressConfig::parse_sink(v);
     }
-    let sampler = match pcfg.build(CampaignCounters::new(
-        "fuzz",
-        default_threads(),
-        &FUZZ_PHASES,
-    )) {
+    let counters = CampaignCounters::new("fuzz", default_threads(), &FUZZ_PHASES);
+    let sampler = match if args.resume.is_some() {
+        // Continue the killed run's heartbeat stream (repair the torn
+        // tail, append, mark the first record resumed).
+        pcfg.build_resumed(counters)
+    } else {
+        pcfg.build(counters)
+    } {
         Ok(s) => s,
         Err(e) => {
             eprintln!("swiftdir-fuzz: cannot open progress sink: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if args.checkpoint.is_some() || args.resume.is_some() {
+        return checkpointed_campaign(&args, &grid, sampler.as_ref());
+    }
     let reports = run_fuzz_campaign(&grid, None, sampler.as_ref());
     if let Some(s) = &sampler {
         s.finish();
@@ -204,6 +231,86 @@ fn main() -> ExitCode {
         "swiftdir-fuzz: {runs} runs ({} protocols x {} seeds), {events} events, {failures} failures",
         args.protocols.len(),
         seeds.len(),
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The durable campaign path behind `--checkpoint` / `--resume`: every
+/// completed seed is journaled before it is acknowledged, previously
+/// journaled seeds are skipped, and the final digest set is printed —
+/// the value a kill/resume sequence must reproduce bit for bit.
+fn checkpointed_campaign(
+    args: &Args,
+    grid: &[FuzzConfig],
+    sampler: Option<&std::sync::Arc<sim_engine::ProgressSampler>>,
+) -> ExitCode {
+    let path = args
+        .resume
+        .as_deref()
+        .or(args.checkpoint.as_deref())
+        .expect("caller checked");
+    let header = CkptHeader {
+        kind: "fuzz".to_string(),
+        campaign: "fuzz".to_string(),
+        config_digest: fuzz_grid_digest(grid),
+        total: grid.len() as u64,
+    };
+    let opened = if args.resume.is_some() {
+        CheckpointWriter::resume(Path::new(path), &header)
+    } else {
+        CheckpointWriter::create(Path::new(path), &header).map(|w| (w, Vec::new()))
+    };
+    let (mut writer, resumed_units) = match opened {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: checkpoint {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match run_fuzz_campaign_resumable(
+        grid,
+        None,
+        sampler,
+        Some(&mut writer),
+        resumed_units,
+        None,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("swiftdir-fuzz: checkpoint {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(s) = sampler {
+        s.finish();
+    }
+
+    let mut failures = 0u64;
+    let mut events = 0u64;
+    for unit in &outcome.units {
+        events += unit.events;
+        if let Some(f) = &unit.failure {
+            failures += 1;
+            let cfg = &grid[unit.index as usize];
+            eprintln!("FAIL {:?} seed {}: {f}", cfg.protocol, cfg.seed);
+            eprintln!("  replay: {cfg:?}");
+            if args.do_minimize && outcome.reports[unit.index as usize].is_some() {
+                let small = minimize(cfg);
+                eprintln!("  minimized: {small:?}");
+            }
+        }
+    }
+    println!(
+        "swiftdir-fuzz: {} units ({} fresh, {} resumed), {events} events, \
+         {failures} failures, digest_set {:#018x}",
+        outcome.units.len(),
+        outcome.fresh,
+        outcome.resumed,
+        outcome.digest_set_fnv()
     );
     if failures == 0 {
         ExitCode::SUCCESS

@@ -36,6 +36,9 @@ pub fn ticker_line(rec: &ProgressRecord) -> String {
         rec.done,
         rec.total,
     );
+    if rec.resumed {
+        line.push_str(" (resumed)");
+    }
     match rec.eta_s {
         Some(eta) if !rec.is_final => {
             let _ = write!(line, " eta {}", human_secs(eta));
@@ -72,11 +75,12 @@ pub fn final_summary(rec: &ProgressRecord) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "campaign {}: {}/{} units in {} ({:.1} units/s)",
+        "campaign {}: {}/{} units in {}{} ({:.1} units/s)",
         rec.campaign,
         rec.done,
         rec.total,
         human_secs(rec.elapsed_s),
+        if rec.resumed { " after resume" } else { "" },
         rec.units_per_s,
     );
     if rec.events > 0 {
@@ -176,7 +180,11 @@ pub fn check_progress_text(text: &str) -> Result<ProgressCheck, Vec<String>> {
                 a.events, b.events
             ));
         }
-        if b.elapsed_s + CLOCK_EPS < a.elapsed_s {
+        // A resumed record legitimately restarts the wall clock (the
+        // process was killed and relaunched); `done`/`events` stay
+        // monotone across the gap because the resumed campaign
+        // pre-seeds its counters from the checkpoint.
+        if b.elapsed_s + CLOCK_EPS < a.elapsed_s && !b.resumed {
             errors.push(format!("{at}: elapsed_s went backwards"));
         }
     }
@@ -293,6 +301,7 @@ mod tests {
             campaign: "fuzz".to_string(),
             seq,
             is_final,
+            resumed: false,
             elapsed_s: seq as f64,
             done,
             total,
@@ -417,6 +426,47 @@ mod tests {
         assert!(summary.contains("10/10"), "{summary}");
         assert!(summary.contains("worker  0"), "{summary}");
         assert!(summary.contains("seen_entries"), "{summary}");
+    }
+
+    #[test]
+    fn resumed_record_may_restart_the_wall_clock() {
+        // Killed at seq 2, resumed: the wall clock restarts near zero
+        // but seq/done/events carry on. Only the resumed flag makes
+        // this stream legal.
+        let mut resumed = rec(3, 8, false);
+        resumed.elapsed_s = 0.2;
+        resumed.workers[0].busy_s = 0.1;
+        resumed.phases = vec![("run".to_string(), 0.1)];
+        let mut last = rec(4, 10, true);
+        last.elapsed_s = 1.0;
+        resumed.resumed = true;
+        let text = stream(&[rec(1, 3, false), rec(2, 7, false), resumed.clone(), last]);
+        let check = check_progress_text(&text).unwrap();
+        assert_eq!(check.records, 4);
+
+        resumed.resumed = false;
+        let mut last = rec(4, 10, true);
+        last.elapsed_s = 1.0;
+        let text = stream(&[rec(1, 3, false), rec(2, 7, false), resumed, last]);
+        let errors = check_progress_text(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("elapsed_s")), "{errors:?}");
+    }
+
+    #[test]
+    fn resumed_flag_round_trips_and_renders() {
+        let mut r = rec(5, 7, false);
+        r.resumed = true;
+        let parsed = ProgressRecord::parse(&r.to_json()).unwrap();
+        assert!(parsed.resumed);
+        assert_eq!(parsed, r);
+        assert!(ticker_line(&r).contains("(resumed)"), "{}", ticker_line(&r));
+
+        // Fresh records neither carry the key nor render the marker.
+        let fresh = rec(5, 7, false);
+        let mut text = String::new();
+        fresh.to_json().write(&mut text);
+        assert!(!text.contains("resumed"), "{text}");
+        assert!(!ticker_line(&fresh).contains("resumed"));
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Resumable, cancellable campaign execution over work-unit grids.
+//!
+//! [`run_fuzz_campaign_resumable`] and [`run_explore_campaign_resumable`]
+//! lift the batch fan-outs (`run_fuzz_many`, `explore_parallel`) into
+//! **streaming** work-unit runners: workers claim grid indices by atomic
+//! counter exactly as [`ExperimentSet`](crate::ExperimentSet) does, but
+//! finished results flow back over a *bounded* channel to a collector on
+//! the calling thread, which journals each one to a
+//! [`CheckpointWriter`] before acknowledging it. The bound is the
+//! backpressure policy: when the journal (disk) is slower than the
+//! workers, senders block on the channel instead of buffering unbounded
+//! reports in memory.
+//!
+//! Determinism under resume: every work unit is self-contained and
+//! seeded, so *which process* runs it — and at what thread count, in
+//! what order, before or after a `kill -9` — cannot change its digest.
+//! The campaign's final digest set ([`digest_set_fnv`]) folds `(index,
+//! digest)` pairs in index order, so any partition of the grid into
+//! resumed-from-journal and freshly-run units reproduces the
+//! uninterrupted value bit for bit.
+//!
+//! Cancellation ([`CancelToken`]) is cooperative and unit-granular:
+//! workers re-check the token before each claim, so a cancelled
+//! campaign finishes (and journals) the units already in flight and
+//! stops claiming new ones — exactly the state a resume picks up from.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use sim_engine::{FxHashSet, ProgressSampler};
+use swiftdir_coherence::HierarchyConfig;
+
+use crate::ckpt::{digest_set_fnv, CheckpointWriter, Fnv, UnitRecord};
+use crate::driver::{self, observed};
+use crate::explore::{explore_campaign, ExploreConfig};
+use crate::fuzz::{run_fuzz_observed, FuzzConfig, FuzzReport};
+use crate::stream::AccessOp;
+
+/// A shared, clonable cancellation flag. Tripping it stops campaign
+/// workers from claiming further units; in-flight units finish and are
+/// journaled (the state a resume continues from).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The result of a (possibly resumed, possibly cancelled) campaign.
+#[derive(Debug)]
+pub struct CampaignOutcome<R> {
+    /// Freshly computed reports in grid order; `None` for units skipped
+    /// via the checkpoint or never claimed before cancellation. The
+    /// fuzz runner additionally drops *clean* fresh reports (a
+    /// [`FuzzReport`] retains full hierarchy statistics, ~100 KB — a
+    /// million-seed soak must not hold them all), so a fuzz entry is
+    /// `Some` exactly for fresh **failing** units; everything a clean
+    /// unit contributes survives in its [`UnitRecord`]. The explore
+    /// runner keeps every fresh report (grids are small and the
+    /// coverage gate unions their transition matrices).
+    pub reports: Vec<Option<R>>,
+    /// Every *completed* unit — resumed and fresh — sorted by index.
+    pub units: Vec<UnitRecord>,
+    /// Units replayed from the checkpoint journal.
+    pub resumed: usize,
+    /// Units run in this invocation.
+    pub fresh: usize,
+    /// Whether the cancel token was tripped.
+    pub cancelled: bool,
+}
+
+impl<R> CampaignOutcome<R> {
+    /// True when every grid unit has a completed record.
+    pub fn complete(&self) -> bool {
+        self.units.len() == self.reports.len()
+    }
+
+    /// Completed units whose record carries a failure.
+    pub fn failures(&self) -> usize {
+        self.units.iter().filter(|u| u.failure.is_some()).count()
+    }
+
+    /// The campaign's final digest set (see [`digest_set_fnv`]); only
+    /// meaningful once [`CampaignOutcome::complete`].
+    pub fn digest_set_fnv(&self) -> u64 {
+        digest_set_fnv(&self.units)
+    }
+}
+
+/// [`run_fuzz_campaign`](crate::run_fuzz_campaign) with durability:
+/// units already present in `resumed_units` (loaded from a
+/// [`Checkpoint`](crate::ckpt::Checkpoint)) are skipped, every freshly
+/// finished unit is journaled through `writer` before the campaign
+/// acknowledges it, and `cancel` stops the claim loop between units.
+///
+/// Telemetry: the sampler (if any) is pre-seeded with the resumed
+/// units' done/event counts, so a resumed heartbeat stream continues
+/// monotonically from where the killed run stopped.
+pub fn run_fuzz_campaign_resumable(
+    grid: &[FuzzConfig],
+    threads: Option<usize>,
+    progress: Option<&Arc<ProgressSampler>>,
+    writer: Option<&mut CheckpointWriter>,
+    resumed_units: Vec<UnitRecord>,
+    cancel: Option<&CancelToken>,
+) -> io::Result<CampaignOutcome<FuzzReport>> {
+    // Units outside the grid would mean a mismatched journal; the
+    // config-digest check upstream prevents that, but stay defensive.
+    let resumed: Vec<UnitRecord> = resumed_units
+        .into_iter()
+        .filter(|u| (u.index as usize) < grid.len())
+        .collect();
+    if let Some(p) = progress {
+        let c = p.counters();
+        c.add_total(grid.len() as u64);
+        c.add_done(resumed.len() as u64);
+        c.add_events(resumed.iter().map(|u| u.events).sum());
+    }
+    let pending = pending_indices(grid.len(), &resumed);
+    let workers = threads
+        .unwrap_or_else(driver::default_threads)
+        .min(pending.len().max(1));
+
+    let mut reports: Vec<Option<FuzzReport>> = Vec::with_capacity(grid.len());
+    reports.resize_with(grid.len(), || None);
+    let resumed_count = resumed.len();
+    let mut units = resumed;
+    let mut fresh = 0usize;
+    let mut writer = writer;
+
+    let pr = progress.map(Arc::as_ref);
+    let run = |w: usize, idx: usize| {
+        let report = observed(pr, w, || run_fuzz_observed(&grid[idx], pr));
+        if let Some(p) = pr {
+            p.counters().add_done(1);
+        }
+        report
+    };
+    let collect = |idx: usize, report: FuzzReport| -> io::Result<()> {
+        let unit = UnitRecord {
+            index: idx as u64,
+            digest: report.digest,
+            events: report.events,
+            completions: report.completions as u64,
+            failure: report.failure.as_ref().map(|f| {
+                format!(
+                    "{}: {}",
+                    f.kind,
+                    f.detail.lines().next().unwrap_or_default()
+                )
+            }),
+            ..UnitRecord::default()
+        };
+        if let Some(w) = writer.as_deref_mut() {
+            w.record(&unit)?;
+        }
+        units.push(unit);
+        // Bounded memory over million-seed soaks: the ~100 KB of
+        // hierarchy statistics in a clean report is never read again
+        // (its digest/events/completions live on in the unit record),
+        // so only failing reports are kept for the minimizer.
+        if report.failure.is_some() {
+            reports[idx] = Some(report);
+        }
+        fresh += 1;
+        Ok(())
+    };
+    let cancelled = stream_pending(&pending, workers, cancel, run, collect)?;
+
+    units.sort_by_key(|u| u.index);
+    Ok(CampaignOutcome {
+        reports,
+        units,
+        resumed: resumed_count,
+        fresh,
+        cancelled,
+    })
+}
+
+/// One explore work unit: a hierarchy configuration plus the concrete
+/// access stream whose schedule tree gets walked exhaustively.
+#[derive(Debug, Clone)]
+pub struct ExploreUnit {
+    pub cfg: HierarchyConfig,
+    pub stream: Vec<AccessOp>,
+}
+
+/// FNV fingerprint of an explore grid: the exploration budgets plus
+/// every unit's protocol, core count, and concrete op list.
+pub fn explore_grid_digest(units: &[ExploreUnit], ecfg: &ExploreConfig) -> u64 {
+    let mut f = Fnv::new();
+    f.mix(units.len() as u64);
+    f.mix(ecfg.window);
+    f.mix(ecfg.max_depth as u64);
+    f.mix(ecfg.max_schedules);
+    f.mix(ecfg.max_states as u64);
+    f.mix(ecfg.sleep_sets as u64);
+    f.mix(ecfg.check_invariants as u64);
+    f.mix(ecfg.split_depth.map_or(u64::MAX, |d| d as u64));
+    f.mix(ecfg.max_tasks as u64);
+    for u in units {
+        f.mix(u.cfg.protocol as u64);
+        f.mix(u.cfg.cores as u64);
+        f.mix(u.stream.len() as u64);
+        for op in &u.stream {
+            f.mix(op.at);
+            f.mix(op.core as u64);
+            f.mix(op.addr);
+            f.mix(matches!(op.kind, swiftdir_coherence::AccessKind::Store) as u64);
+            f.mix(op.wp as u64);
+        }
+    }
+    f.0
+}
+
+/// The explore analogue of [`run_fuzz_campaign_resumable`]: each unit's
+/// schedule tree is walked with the unit-internal decomposition at one
+/// thread (the report is thread-count invariant by construction, so
+/// this loses nothing), and units fan over the worker pool. Completed
+/// trees are journaled with their [`ExploreReport::digest`]
+/// (`crate::ExploreReport::digest`), schedule/step counters, and
+/// boundary-task ledger.
+///
+/// Resume granularity is the *tree*: a unit killed mid-walk is re-run
+/// from scratch on resume (its walk is deterministic, so the re-run
+/// journals the identical record).
+pub fn run_explore_campaign_resumable(
+    grid: &[ExploreUnit],
+    ecfg: &ExploreConfig,
+    threads: Option<usize>,
+    progress: Option<&Arc<ProgressSampler>>,
+    writer: Option<&mut CheckpointWriter>,
+    resumed_units: Vec<UnitRecord>,
+    cancel: Option<&CancelToken>,
+) -> io::Result<CampaignOutcome<crate::ExploreReport>> {
+    let resumed: Vec<UnitRecord> = resumed_units
+        .into_iter()
+        .filter(|u| (u.index as usize) < grid.len())
+        .collect();
+    if let Some(p) = progress {
+        let c = p.counters();
+        c.add_total(grid.len() as u64);
+        c.add_done(resumed.len() as u64);
+        c.add_schedules(resumed.iter().map(|u| u.schedules).sum());
+        c.add_steps(resumed.iter().map(|u| u.steps).sum());
+    }
+    let pending = pending_indices(grid.len(), &resumed);
+    let workers = threads
+        .unwrap_or_else(driver::default_threads)
+        .min(pending.len().max(1));
+
+    let mut reports: Vec<Option<crate::ExploreReport>> = Vec::with_capacity(grid.len());
+    reports.resize_with(grid.len(), || None);
+    let resumed_count = resumed.len();
+    let mut units = resumed;
+    let mut fresh = 0usize;
+    let mut writer = writer;
+
+    let pr = progress.map(Arc::as_ref);
+    let run = |w: usize, idx: usize| {
+        let u = &grid[idx];
+        let report = observed(pr, w, || {
+            explore_campaign(&u.cfg, &u.stream, ecfg, 1, progress).0
+        });
+        if let Some(p) = pr {
+            p.counters().add_done(1);
+        }
+        report
+    };
+    let collect = |idx: usize, report: crate::ExploreReport| -> io::Result<()> {
+        let unit = UnitRecord {
+            index: idx as u64,
+            digest: report.digest(),
+            schedules: report.schedules,
+            steps: report.steps,
+            tasks: report.tasks,
+            failure: report
+                .error
+                .as_ref()
+                .map(|e| e.detail.lines().next().unwrap_or_default().to_string()),
+            ..UnitRecord::default()
+        };
+        if let Some(w) = writer.as_deref_mut() {
+            w.record(&unit)?;
+        }
+        units.push(unit);
+        reports[idx] = Some(report);
+        fresh += 1;
+        Ok(())
+    };
+    let cancelled = stream_pending(&pending, workers, cancel, run, collect)?;
+
+    units.sort_by_key(|u| u.index);
+    Ok(CampaignOutcome {
+        reports,
+        units,
+        resumed: resumed_count,
+        fresh,
+        cancelled,
+    })
+}
+
+/// Grid indices without a completed record, in grid order.
+fn pending_indices(total: usize, resumed: &[UnitRecord]) -> Vec<usize> {
+    let done: FxHashSet<u64> = resumed.iter().map(|u| u.index).collect();
+    (0..total)
+        .filter(|i| !done.contains(&(*i as u64)))
+        .collect()
+}
+
+/// The streaming work-unit pool: workers claim `pending` entries by
+/// atomic index (re-checking `cancel` before every claim) and send
+/// `(index, result)` over a channel bounded at `2 × workers`; `collect`
+/// consumes them on the calling thread in completion order. A full
+/// channel blocks the senders — that is the backpressure policy: at
+/// most `2 × workers` un-journaled results exist at any instant.
+///
+/// Returns whether the token was tripped. A `collect` error (journal
+/// write failure) aborts the workers and surfaces after the in-flight
+/// results drain.
+fn stream_pending<R, F, G>(
+    pending: &[usize],
+    workers: usize,
+    cancel: Option<&CancelToken>,
+    run: F,
+    mut collect: G,
+) -> io::Result<bool>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+    G: FnMut(usize, R) -> io::Result<()>,
+{
+    let is_cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+    if workers <= 1 {
+        for &idx in pending {
+            if is_cancelled() {
+                return Ok(true);
+            }
+            collect(idx, run(0, idx))?;
+        }
+        return Ok(is_cancelled());
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::sync_channel::<(usize, R)>(workers * 2);
+    let mut first_err: Option<io::Error> = None;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let (next, abort, run) = (&next, &abort, &run);
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) || cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = pending.get(i) else {
+                    break;
+                };
+                let r = run(w, idx);
+                if tx.send((idx, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, r) in rx {
+            if first_err.is_some() {
+                // Keep draining so blocked senders can exit; nothing
+                // more is journaled after the first failure.
+                continue;
+            }
+            if let Err(e) = collect(idx, r) {
+                abort.store(true, Ordering::Relaxed);
+                first_err = Some(e);
+            }
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(is_cancelled()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiftdir_coherence::ProtocolKind;
+
+    fn grid(n: u64) -> Vec<FuzzConfig> {
+        (0..n)
+            .map(|seed| {
+                let mut cfg = FuzzConfig::new(seed, ProtocolKind::SwiftDir);
+                cfg.ops = 40;
+                cfg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uninterrupted_campaign_completes_and_digests() {
+        let g = grid(6);
+        let out = run_fuzz_campaign_resumable(&g, Some(2), None, None, Vec::new(), None).unwrap();
+        assert!(out.complete() && !out.cancelled);
+        assert_eq!((out.fresh, out.resumed), (6, 0));
+        let serial =
+            run_fuzz_campaign_resumable(&g, Some(1), None, None, Vec::new(), None).unwrap();
+        assert_eq!(out.digest_set_fnv(), serial.digest_set_fnv());
+    }
+
+    #[test]
+    fn resume_of_complete_campaign_runs_nothing() {
+        let g = grid(4);
+        let first = run_fuzz_campaign_resumable(&g, Some(1), None, None, Vec::new(), None).unwrap();
+        let again = run_fuzz_campaign_resumable(&g, Some(4), None, None, first.units.clone(), None)
+            .unwrap();
+        assert_eq!(again.fresh, 0, "resume of a complete journal re-ran work");
+        assert_eq!(again.resumed, 4);
+        assert!(again.reports.iter().all(Option::is_none));
+        assert_eq!(again.digest_set_fnv(), first.digest_set_fnv());
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_claims_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let g = grid(4);
+        let out =
+            run_fuzz_campaign_resumable(&g, Some(2), None, None, Vec::new(), Some(&token)).unwrap();
+        assert!(out.cancelled && !out.complete());
+        assert_eq!(out.fresh, 0);
+    }
+
+    #[test]
+    fn partial_resume_matches_uninterrupted_digest_set() {
+        let g = grid(8);
+        let full = run_fuzz_campaign_resumable(&g, Some(1), None, None, Vec::new(), None).unwrap();
+        // Pretend a kill preserved an arbitrary subset of the journal.
+        for keep in [0usize, 1, 3, 7] {
+            let partial: Vec<UnitRecord> = full.units.iter().take(keep).cloned().collect();
+            for threads in [1, 4] {
+                let resumed = run_fuzz_campaign_resumable(
+                    &g,
+                    Some(threads),
+                    None,
+                    None,
+                    partial.clone(),
+                    None,
+                )
+                .unwrap();
+                assert!(resumed.complete());
+                assert_eq!(resumed.fresh, 8 - keep);
+                assert_eq!(
+                    resumed.digest_set_fnv(),
+                    full.digest_set_fnv(),
+                    "keep={keep} threads={threads}"
+                );
+            }
+        }
+    }
+}

@@ -335,7 +335,11 @@ impl<C> ExperimentSet<C> {
 /// Runs one work item under worker `w`'s attribution slot (claim,
 /// busy-time accounting, completion count) and ticks the sampler
 /// afterwards. With no sampler this is exactly the bare call.
-fn observed<R>(progress: Option<&ProgressSampler>, w: usize, work: impl FnOnce() -> R) -> R {
+pub(crate) fn observed<R>(
+    progress: Option<&ProgressSampler>,
+    w: usize,
+    work: impl FnOnce() -> R,
+) -> R {
     let Some(p) = progress else {
         return work();
     };

@@ -38,8 +38,11 @@
 //!
 //! # Decomposition and parallelism
 //!
-//! The walk is decomposed at a fixed frontier depth
-//! ([`ExploreConfig::split_depth`]): a *spine* walker explores every
+//! The walk is decomposed at a frontier depth
+//! ([`ExploreConfig::split_depth`]) — by default derived from the
+//! root's measured branching factor ([`adaptive_split_depth`]), so wide
+//! frontiers split shallow and narrow ones split deep instead of
+//! serializing behind a fixed boundary: a *spine* walker explores every
 //! node above the boundary, and each boundary node roots an independent
 //! *task* with a private digest table, private budgets, and the exact
 //! sleep set the serial walk would hand it. Tasks are fanned over
@@ -50,8 +53,9 @@
 //! bit-identical for every thread count — [`explore`] *is*
 //! [`explore_parallel_threads`] with one thread. Cross-task revisits
 //! are only pruned within a task, never across tasks; the pure serial
-//! single-table walk remains available via `split_depth: usize::MAX`
-//! (it prunes more, so its `timings` set can be a subset).
+//! single-table walk remains available via
+//! `split_depth: Some(usize::MAX)` (it prunes more, so its `timings`
+//! set can be a subset).
 //!
 //! Every leaf (drained queue) contributes its architectural outcome
 //! (completion values + final golden memory), its timing outcome, its
@@ -95,12 +99,6 @@ pub enum ExploreMode {
     Fork,
 }
 
-/// Spine nodes become at most this many parallel tasks; boundary nodes
-/// past the cap are explored inline by the spine (deterministically —
-/// the cutoff depends only on spine DFS order), bounding outstanding
-/// hierarchy forks regardless of frontier breadth.
-const MAX_TASKS: usize = 4096;
-
 /// Budgets and feature toggles for one exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreConfig {
@@ -122,9 +120,20 @@ pub struct ExploreConfig {
     /// Parent-state restoration strategy (see [`ExploreMode`]).
     pub mode: ExploreMode,
     /// Frontier depth at which subtrees become independent tasks (the
-    /// work-stealing grain). `usize::MAX` disables decomposition: one
-    /// walker, one digest table — the pure serial semantics.
-    pub split_depth: usize,
+    /// work-stealing grain). `None` (the default) derives the depth
+    /// from the root's measured branching factor — see
+    /// [`adaptive_split_depth`]. `Some(usize::MAX)` disables
+    /// decomposition: one walker, one digest table — the pure serial
+    /// semantics.
+    pub split_depth: Option<usize>,
+    /// Spine nodes become at most this many parallel tasks; boundary
+    /// nodes past the cap are explored inline by the spine
+    /// (deterministically — the cutoff depends only on spine DFS
+    /// order), bounding outstanding hierarchy forks regardless of
+    /// frontier breadth. Cap hits are counted in
+    /// [`ExploreReport::task_cap_hits`] and warned about — never
+    /// silent.
+    pub max_tasks: usize,
 }
 
 impl Default for ExploreConfig {
@@ -137,9 +146,38 @@ impl Default for ExploreConfig {
             sleep_sets: true,
             check_invariants: true,
             mode: ExploreMode::Undo,
-            split_depth: 2,
+            split_depth: None,
+            max_tasks: 4096,
         }
     }
+}
+
+/// Picks the decomposition depth from the root node's branching factor:
+/// the shallowest frontier depth whose expected boundary-node count
+/// (`branching^depth`) reaches [`SPLIT_TARGET_TASKS`], clamped to
+/// [`MAX_ADAPTIVE_SPLIT_DEPTH`]. Wide frontiers split shallow (depth 1
+/// already yields enough tasks); narrow frontiers split deeper instead
+/// of silently serializing behind a fixed depth-2 boundary. A root with
+/// at most one choice keeps the historical depth of 2 — deeper
+/// frontiers usually widen once the first events deliver.
+///
+/// The depth depends only on the root state (never on the thread
+/// count), so the decomposition — and therefore the merged report — is
+/// identical for every worker count.
+pub fn adaptive_split_depth(branching: usize) -> usize {
+    const SPLIT_TARGET_TASKS: u64 = 64;
+    const MAX_ADAPTIVE_SPLIT_DEPTH: usize = 6;
+    if branching <= 1 {
+        return 2;
+    }
+    let mut width = 1u64;
+    for depth in 1..=MAX_ADAPTIVE_SPLIT_DEPTH {
+        width = width.saturating_mul(branching as u64);
+        if width >= SPLIT_TARGET_TASKS {
+            return depth;
+        }
+    }
+    MAX_ADAPTIVE_SPLIT_DEPTH
 }
 
 /// A violation (protocol error, invariant breach, or stuck leaf) found
@@ -170,6 +208,14 @@ pub struct ExploreReport {
     pub pruned: u64,
     /// Choices skipped by the sleep-set reduction.
     pub sleep_skipped: u64,
+    /// Boundary subtrees handed off as decomposition tasks (the
+    /// explorer's boundary-task ledger; identical at every thread
+    /// count).
+    pub tasks: u64,
+    /// Boundary subtrees past [`ExploreConfig::max_tasks`] that ran
+    /// inline on the spine instead of fanning out. Non-zero means the
+    /// tail of the walk was serialized — reported loudly, never silent.
+    pub task_cap_hits: u64,
     /// Longest schedule seen.
     pub deepest: usize,
     /// Whether any budget (`max_depth`, `max_schedules`, `max_states`)
@@ -205,6 +251,51 @@ impl ExploreReport {
             .get(&req)
             .map(|m| m.iter().map(|(&l, &n)| (l, n)).collect())
             .unwrap_or_default()
+    }
+
+    /// FNV-1a digest of the report's deterministic content: counters,
+    /// outcome and timing sets, the latency multisets in request order,
+    /// and the error rendering. Two walks of the same tree (any thread
+    /// count, any process) produce the same digest — the unit identity
+    /// checkpointed campaigns compare across kills and resumes.
+    pub fn digest(&self) -> u64 {
+        let mut f = crate::ckpt::Fnv::new();
+        for v in [
+            self.schedules,
+            self.steps,
+            self.pruned,
+            self.sleep_skipped,
+            self.tasks,
+            self.task_cap_hits,
+            self.deepest as u64,
+            self.truncated as u64,
+        ] {
+            f.mix(v);
+        }
+        for o in &self.outcomes {
+            f.mix(*o);
+        }
+        for t in &self.timings {
+            f.mix(*t);
+        }
+        let mut reqs: Vec<RequestId> = self.latencies.keys().copied().collect();
+        reqs.sort_unstable();
+        for req in reqs {
+            f.mix(req);
+            for (&lat, &n) in &self.latencies[&req] {
+                f.mix(lat);
+                f.mix(n);
+            }
+        }
+        if let Some(e) = &self.error {
+            for b in e.detail.bytes() {
+                f.mix(u64::from(b));
+            }
+            for s in &e.schedule {
+                f.mix(*s);
+            }
+        }
+        f.0
     }
 }
 
@@ -350,9 +441,17 @@ pub fn explore_campaign(
         root.enable_undo();
     }
 
+    // Resolve the decomposition depth before the walk: fixed if the
+    // config pins one, else derived from the root's branching factor.
+    // Both depend only on the root state, never on `threads`.
+    let split_depth = ecfg
+        .split_depth
+        .unwrap_or_else(|| adaptive_split_depth(root.frontier_choices(Cycle(ecfg.window)).len()));
+
     let mut spine = Walker::new(*ecfg, expected);
+    spine.split_depth = split_depth;
     spine.progress = progress.map(Arc::clone);
-    if ecfg.split_depth != usize::MAX {
+    if split_depth != usize::MAX {
         spine.boundary = if threads > 1 {
             Boundary::Defer(Vec::new())
         } else {
@@ -389,7 +488,18 @@ pub fn explore_campaign(
         profile.merge(&p);
         reports.push(r);
     }
-    (merge_reports(reports), profile)
+    let merged = merge_reports(reports);
+    if merged.task_cap_hits > 0 {
+        // No silent caps: the tail of this walk was serialized onto the
+        // spine. Surface it on stderr here and in the report; campaign
+        // drivers fold `task_cap_hits` into the final heartbeat.
+        eprintln!(
+            "swiftdir explore: warning: task emission truncated at the {}-task cap \
+             ({} boundary subtrees ran inline on the spine; split depth {split_depth})",
+            ecfg.max_tasks, merged.task_cap_hits
+        );
+    }
+    (merged, profile)
 }
 
 /// An independent subtree rooted at a decomposition-boundary node,
@@ -431,6 +541,8 @@ fn merge_reports(reports: Vec<ExploreReport>) -> ExploreReport {
         merged.steps += r.steps;
         merged.pruned += r.pruned;
         merged.sleep_skipped += r.sleep_skipped;
+        merged.tasks += r.tasks;
+        merged.task_cap_hits += r.task_cap_hits;
         merged.deepest = merged.deepest.max(r.deepest);
         merged.truncated |= r.truncated;
         outcomes.extend(r.outcomes);
@@ -482,6 +594,10 @@ struct Walker {
     /// the undo walker never needs to rewind a checker.
     checkers: Vec<Checker>,
     boundary: Boundary,
+    /// The resolved decomposition depth this walker splits at (only
+    /// meaningful while `boundary` is active; task walkers never
+    /// split). Set by [`explore_campaign`] — fixed or adaptive.
+    split_depth: usize,
     tasks_emitted: usize,
     /// Recycled per-depth frontier buffers: [`Walker::dfs`] pops one,
     /// fills it via [`Hierarchy::frontier_choices_into`], and returns it
@@ -513,6 +629,7 @@ impl Walker {
             trace: Vec::new(),
             checkers: vec![Checker::new()],
             boundary: Boundary::Off,
+            split_depth: ecfg.split_depth.unwrap_or(usize::MAX),
             tasks_emitted: 0,
             choice_pool: Vec::new(),
             choice_keys: Vec::new(),
@@ -572,8 +689,11 @@ impl Walker {
         counters
             .gauge(MemGauge::SeenEntries)
             .set(self.seen.len() as u64);
+        // The swiss-table footprint: allocated buckets (usable capacity
+        // is only 7/8 of them) plus per-bucket control bytes — not the
+        // bare `capacity * entry` figure, which undercounts.
         let seen_bytes =
-            self.seen.capacity() as u64 * (std::mem::size_of::<(u64, bool)>() as u64 + 1);
+            sim_engine::map_heap_bytes(self.seen.capacity(), std::mem::size_of::<(u64, bool)>());
         counters.gauge(MemGauge::SeenBytes).set(seen_bytes);
         counters.gauge(MemGauge::UndoBytes).set(h.undo_log_bytes());
         counters.gauge(MemGauge::SlabBytes).set(h.transient_bytes());
@@ -648,14 +768,17 @@ impl Walker {
         // Decomposition boundary: this node roots an independent task
         // (private digest table and budgets). The spine always carries
         // on afterwards — a failing task cannot abort it, exactly as a
-        // deferred task's failure is invisible until the merge.
-        if depth == self.ecfg.split_depth
-            && !matches!(self.boundary, Boundary::Off)
-            && self.tasks_emitted < MAX_TASKS
-        {
-            self.tasks_emitted += 1;
-            self.hand_off(h, sleep, depth);
-            return true;
+        // deferred task's failure is invisible until the merge. Nodes
+        // past the task cap fall through to the inline walk below, and
+        // every such hit is counted — the cap is never silent.
+        if depth == self.split_depth && !matches!(self.boundary, Boundary::Off) {
+            if self.tasks_emitted < self.ecfg.max_tasks {
+                self.tasks_emitted += 1;
+                self.report.tasks += 1;
+                self.hand_off(h, sleep, depth);
+                return true;
+            }
+            self.report.task_cap_hits += 1;
         }
 
         // `barred` grows as siblings are explored: after walking the
@@ -1087,7 +1210,7 @@ mod tests {
                 &cfg,
                 &contended(),
                 &ExploreConfig {
-                    split_depth: usize::MAX,
+                    split_depth: Some(usize::MAX),
                     ..ExploreConfig::default()
                 },
             );
@@ -1125,6 +1248,63 @@ mod tests {
         profile.export_into(&mut reg, "explore.");
         let json = reg.snapshot().to_pretty();
         assert!(json.contains("explore.depth.000.nodes"), "{json}");
+    }
+
+    #[test]
+    fn adaptive_split_depth_tracks_branching() {
+        // Degenerate roots keep the historical fixed depth.
+        assert_eq!(adaptive_split_depth(0), 2);
+        assert_eq!(adaptive_split_depth(1), 2);
+        // Narrow frontiers split deep (b^d >= 64, clamped to 6) …
+        assert_eq!(adaptive_split_depth(2), 6);
+        assert_eq!(adaptive_split_depth(3), 4);
+        assert_eq!(adaptive_split_depth(4), 3);
+        assert_eq!(adaptive_split_depth(8), 2);
+        // … and wide frontiers split at the first level.
+        assert_eq!(adaptive_split_depth(64), 1);
+        assert_eq!(adaptive_split_depth(10_000), 1);
+    }
+
+    #[test]
+    fn adaptive_split_preserves_fixed_depth_outcomes() {
+        // The default (adaptive) decomposition explores the same
+        // behaviors as the historical fixed depth-2 boundary.
+        for protocol in [ProtocolKind::SwiftDir, ProtocolKind::Mesi] {
+            let cfg = tiny(protocol, 2);
+            let adaptive = explore(&cfg, &contended(), &ExploreConfig::default());
+            let fixed = explore(
+                &cfg,
+                &contended(),
+                &ExploreConfig {
+                    split_depth: Some(2),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(adaptive.exhaustive_and_clean(), "{protocol:?}");
+            assert_eq!(adaptive.outcomes, fixed.outcomes, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn task_cap_hits_are_counted_and_thread_invariant() {
+        // Starve the task budget: emission past the cap must be counted
+        // (no silent serialization), stay bit-identical across thread
+        // counts, and still explore the same architectural outcomes.
+        let cfg = tiny(ProtocolKind::SwiftDir, 2);
+        let ecfg = ExploreConfig {
+            split_depth: Some(2),
+            max_tasks: 1,
+            ..ExploreConfig::default()
+        };
+        let one = explore_parallel_threads(&cfg, &contended(), &ecfg, 1);
+        let four = explore_parallel_threads(&cfg, &contended(), &ecfg, 4);
+        assert_eq!(one, four, "capped walk diverged across thread counts");
+        assert_eq!(one.tasks, 1);
+        assert!(one.task_cap_hits > 0, "cap never hit — widen the stream");
+        let free = explore(&cfg, &contended(), &ExploreConfig::default());
+        assert_eq!(one.outcomes, free.outcomes);
+        assert_eq!(free.task_cap_hits, 0, "default cap should not truncate");
+        assert!(free.tasks > 1, "decomposition emitted no parallel tasks");
     }
 
     #[test]

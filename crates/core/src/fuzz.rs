@@ -249,7 +249,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// deltas, occupancy gauges, and heartbeat ticks land in the sampler as
 /// the run progresses. Strictly passive — the report is bit-identical
 /// with or without a sampler.
-fn run_fuzz_observed(cfg: &FuzzConfig, progress: Option<&ProgressSampler>) -> FuzzReport {
+pub(crate) fn run_fuzz_observed(
+    cfg: &FuzzConfig,
+    progress: Option<&ProgressSampler>,
+) -> FuzzReport {
     let file = {
         let _generate = progress.map(|p| p.counters().span("generate"));
         cfg.stream_file()
@@ -479,19 +482,79 @@ fn digest(log: &[Completion]) -> u64 {
     hash
 }
 
-/// Shrinks a failing scenario while it keeps failing: first the
-/// operation count, then the block set, then the core count. Returns
-/// the input unchanged if it does not fail.
+/// The result of shrinking a failing scenario with [`minimize_outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinimizeOutcome {
+    /// The input config does not fail; nothing to shrink.
+    Clean(FuzzConfig),
+    /// Shrinking finished; `config` still fails with `kind`.
+    Minimized {
+        config: FuzzConfig,
+        kind: FuzzFailureKind,
+    },
+    /// The failure the caller asked for (`expected`) no longer
+    /// reproduces on a fresh run — either the config is clean or it
+    /// now fails with a *different* kind. Callers that previously
+    /// unwrapped a failure out of the shrunk config would panic here;
+    /// report this outcome instead.
+    StoppedReproducing {
+        config: FuzzConfig,
+        expected: FuzzFailureKind,
+        observed: Option<FuzzFailureKind>,
+    },
+}
+
+impl MinimizeOutcome {
+    /// The best config found, whatever the outcome.
+    pub fn config(&self) -> FuzzConfig {
+        match self {
+            MinimizeOutcome::Clean(c) => *c,
+            MinimizeOutcome::Minimized { config, .. } => *config,
+            MinimizeOutcome::StoppedReproducing { config, .. } => *config,
+        }
+    }
+}
+
+/// Shrinks a failing scenario while it keeps failing **with the same
+/// failure kind**: first the operation count, then the block set, then
+/// the core count.
+///
+/// `expected` is the failure kind the caller observed earlier (e.g. in
+/// a campaign report or a checkpoint record). If the fresh baseline run
+/// does not reproduce that kind — possible under jitter configs, where
+/// a shrunk stream reshuffles delivery timing — the function returns
+/// [`MinimizeOutcome::StoppedReproducing`] instead of shrinking toward
+/// an unrelated bug (or toward nothing, which is what used to panic
+/// workers that unwrapped the failure out of the result).
 ///
 /// Shrinking re-derives the access stream from the seed, so a smaller
 /// scenario exercises a different (shorter) schedule — the reduction is
 /// greedy and heuristic, not a strict subsequence, which is the usual
-/// trade for seed-replayable fuzzing.
-pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
+/// trade for seed-replayable fuzzing. Candidates that fail with a
+/// *different* kind are rejected, mirroring `minimize_stream`.
+pub fn minimize_outcome(cfg: &FuzzConfig, expected: Option<FuzzFailureKind>) -> MinimizeOutcome {
+    let baseline = run_fuzz(cfg).failure;
+    let kind = match (baseline.map(|f| f.kind), expected) {
+        (None, None) => return MinimizeOutcome::Clean(*cfg),
+        (None, Some(expected)) => {
+            return MinimizeOutcome::StoppedReproducing {
+                config: *cfg,
+                expected,
+                observed: None,
+            }
+        }
+        (Some(observed), Some(expected)) if observed != expected => {
+            return MinimizeOutcome::StoppedReproducing {
+                config: *cfg,
+                expected,
+                observed: Some(observed),
+            }
+        }
+        (Some(kind), _) => kind,
+    };
+
+    let still_fails = |cand: &FuzzConfig| run_fuzz(cand).failure.is_some_and(|f| f.kind == kind);
     let mut best = *cfg;
-    if run_fuzz(&best).ok() {
-        return best;
-    }
     loop {
         let mut improved = false;
         while best.ops > 4 {
@@ -499,7 +562,7 @@ pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
                 ops: best.ops / 2,
                 ..best
             };
-            if run_fuzz(&cand).ok() {
+            if !still_fails(&cand) {
                 break;
             }
             best = cand;
@@ -510,7 +573,7 @@ pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
                 blocks: best.blocks - 1,
                 ..best
             };
-            if run_fuzz(&cand).ok() {
+            if !still_fails(&cand) {
                 break;
             }
             best = cand;
@@ -521,16 +584,23 @@ pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
                 cores: best.cores - 1,
                 ..best
             };
-            if run_fuzz(&cand).ok() {
+            if !still_fails(&cand) {
                 break;
             }
             best = cand;
             improved = true;
         }
         if !improved {
-            return best;
+            return MinimizeOutcome::Minimized { config: best, kind };
         }
     }
+}
+
+/// Compatibility wrapper over [`minimize_outcome`]: shrinks against
+/// whatever failure kind the baseline run exhibits (no expectation),
+/// returning the input unchanged if it does not fail.
+pub fn minimize(cfg: &FuzzConfig) -> FuzzConfig {
+    minimize_outcome(cfg, None).config()
 }
 
 /// Delta-debugs a failing stream down to a (locally) minimal repro.

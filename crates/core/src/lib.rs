@@ -49,6 +49,8 @@
 //! ```
 
 pub mod attack;
+pub mod campaign;
+pub mod ckpt;
 pub mod config;
 pub mod diff;
 pub mod driver;
@@ -60,6 +62,14 @@ pub mod stream;
 pub mod system;
 
 pub use attack::{CovertChannel, CovertOutcome, SideChannel, SideOutcome};
+pub use campaign::{
+    explore_grid_digest, run_explore_campaign_resumable, run_fuzz_campaign_resumable,
+    CampaignOutcome, CancelToken, ExploreUnit,
+};
+pub use ckpt::{
+    digest_set_fnv, fuzz_grid_digest, Checkpoint, CheckpointWriter, CkptHeader, UnitRecord,
+    CKPT_SCHEMA,
+};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use diff::{
     architectural_diff, contended_stream, explored_equivalence, run_stream,
@@ -67,16 +77,16 @@ pub use diff::{
 };
 pub use driver::{default_threads, DriverReport, ExperimentSet, PointTiming};
 pub use explore::{
-    explore, explore_campaign, explore_parallel, explore_parallel_profiled,
+    adaptive_split_depth, explore, explore_campaign, explore_parallel, explore_parallel_profiled,
     explore_parallel_threads, DepthProfile, DepthStats, ExploreConfig, ExploreError, ExploreMode,
     ExploreReport, EXPLORE_PHASES,
 };
 pub use fuzz::{
-    minimize, minimize_stream, replay, replay_with_fault, run_fuzz, run_fuzz_campaign,
-    run_fuzz_many, run_fuzz_many_threads, FuzzConfig, FuzzFailure, FuzzFailureKind, FuzzReport,
-    PlantedFault, FUZZ_PHASES,
+    minimize, minimize_outcome, minimize_stream, replay, replay_with_fault, run_fuzz,
+    run_fuzz_campaign, run_fuzz_many, run_fuzz_many_threads, FuzzConfig, FuzzFailure,
+    FuzzFailureKind, FuzzReport, MinimizeOutcome, PlantedFault, FUZZ_PHASES,
 };
-pub use obs::{ProgressConfig, ProgressSink, TraceConfig, TraceFiles};
+pub use obs::{repair_progress_tail, ProgressConfig, ProgressSink, TraceConfig, TraceFiles};
 pub use probe::{ClassKey, LatencyProbe};
 pub use stream::{issue_stream, AccessOp, StreamFile};
 pub use system::{Process, ProcessId, RunStats, System, ThreadStats};

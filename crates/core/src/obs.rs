@@ -343,6 +343,80 @@ impl ProgressConfig {
             self.interval,
         ))))
     }
+
+    /// Builds a sampler that *continues* an interrupted heartbeat
+    /// stream instead of truncating it: a file sink is repaired (any
+    /// torn final line from the kill is dropped) and opened in append
+    /// mode, and sequence numbers pick up one past the last durable
+    /// record. The first record emitted carries `"resumed": true`.
+    /// Returns `Ok(None)` when telemetry is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates repair/open failure of a file sink.
+    pub fn build_resumed(
+        &self,
+        counters: CampaignCounters,
+    ) -> io::Result<Option<Arc<ProgressSampler>>> {
+        let Some(sink) = &self.sink else {
+            return Ok(None);
+        };
+        let (out, start_seq): (Box<dyn Write + Send>, u64) = match sink {
+            // Stdout was never durable; just keep streaming from seq 0.
+            ProgressSink::Stdout => (Box::new(io::stdout()), 0),
+            ProgressSink::File(p) => {
+                if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir)?;
+                }
+                let next_seq = repair_progress_tail(p)?;
+                let f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)?;
+                (Box::new(f), next_seq)
+            }
+        };
+        Ok(Some(Arc::new(ProgressSampler::resumed(
+            counters,
+            out,
+            self.interval,
+            start_seq,
+        ))))
+    }
+}
+
+/// Repairs the tail of an interrupted heartbeat file and returns the
+/// next sequence number to emit. A `kill -9` can leave a torn
+/// (unterminated) final line; only `'\n'`-terminated lines are durable,
+/// so the file is truncated back to the last terminator. Lines are then
+/// scanned tolerantly (unparsable ones are skipped — the stream checker
+/// reports them later, repair just needs a seq cursor) for the maximum
+/// `seq`; the result is that plus one, or 0 for a missing/empty file.
+///
+/// # Errors
+///
+/// Propagates read/truncate failures. A missing file is not an error.
+pub fn repair_progress_tail(path: &Path) -> io::Result<u64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let durable = match text.rfind('\n') {
+        Some(i) => i + 1,
+        None => 0,
+    };
+    if durable < text.len() {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(durable as u64)?;
+    }
+    let next = text[..durable]
+        .lines()
+        .filter_map(|l| sim_engine::ProgressRecord::parse_line(l).ok())
+        .map(|r| r.seq + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(next)
 }
 
 /// Schema tag stamped into every snapshot, so `swiftdir-report` can
@@ -524,5 +598,36 @@ mod tests {
         use sim_engine::CampaignCounters;
         let counters = CampaignCounters::new("t", 1, &[]);
         assert!(ProgressConfig::default().build(counters).unwrap().is_none());
+        assert!(ProgressConfig::default()
+            .build_resumed(CampaignCounters::new("t", 1, &[]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn repair_progress_tail_drops_torn_lines_and_finds_the_seq_cursor() {
+        let dir = std::env::temp_dir().join(format!("swiftdir-obs-repair-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("hb.jsonl");
+
+        // Missing file: fresh stream.
+        assert_eq!(repair_progress_tail(&p).unwrap(), 0);
+
+        let line = |seq: u64| {
+            format!("{{\"schema\": \"swiftdir.progress.v1\", \"seq\": {seq}, \"done\": 1}}\n")
+        };
+        let mut text = line(4);
+        text.push_str(&line(7));
+        text.push_str("{\"schema\": \"swiftdir.progress.v1\", \"seq\": 9"); // torn by the kill
+        std::fs::write(&p, &text).unwrap();
+
+        assert_eq!(repair_progress_tail(&p).unwrap(), 8);
+        let repaired = std::fs::read_to_string(&p).unwrap();
+        assert!(repaired.ends_with('\n'), "torn tail must be truncated");
+        assert_eq!(repaired.lines().count(), 2);
+        // Repair is a fixpoint.
+        assert_eq!(repair_progress_tail(&p).unwrap(), 8);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -100,6 +100,32 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// Estimates the heap footprint of a `HashMap`/`HashSet` (hashbrown
+/// swiss-table layout) from its reported `capacity()` and the byte size
+/// of one `(K, V)` entry.
+///
+/// `capacity()` is the *usable* capacity — ⌊7/8⌋ of the allocated bucket
+/// count — so the raw `capacity * size_of::<entry>()` figure undercounts
+/// both the 1/8 load-factor headroom and the per-bucket control byte,
+/// plus the trailing control-group sentinel. This reconstructs the
+/// power-of-two bucket count and charges every allocated bucket.
+pub fn map_heap_bytes(capacity: usize, entry_bytes: usize) -> u64 {
+    if capacity == 0 {
+        return 0;
+    }
+    // Invert usable = buckets * 7 / 8: smallest power of two whose
+    // usable capacity covers `capacity`. Small maps allocate at least
+    // 4 buckets.
+    let buckets = capacity
+        .saturating_mul(8)
+        .div_ceil(7)
+        .next_power_of_two()
+        .max(4) as u64;
+    // One control byte per bucket, plus one trailing group (16 bytes on
+    // the SSE2 layout) so probes can read a full group past the end.
+    buckets * (entry_bytes as u64 + 1) + 16
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +183,24 @@ mod tests {
         assert!(s.insert(42));
         assert!(!s.insert(42));
         assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn map_heap_bytes_charges_control_overhead() {
+        assert_eq!(map_heap_bytes(0, 16), 0);
+        let mut m: FxHashMap<u64, bool> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i % 2 == 0);
+        }
+        let entry = std::mem::size_of::<(u64, bool)>();
+        let est = map_heap_bytes(m.capacity(), entry);
+        let naive = m.capacity() as u64 * entry as u64;
+        assert!(
+            est > naive,
+            "estimate must exceed the usable-capacity figure"
+        );
+        // Every resident entry is charged at least entry + control byte.
+        assert!(est >= m.len() as u64 * (entry as u64 + 1));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod trace;
 pub mod tracer;
 
 pub use cycle::Cycle;
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fxhash::{map_heap_bytes, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
 pub use metrics::{Metric, MetricsRegistry};
 pub use progress::{

@@ -323,6 +323,7 @@ impl CampaignCounters {
             campaign: self.campaign.clone(),
             seq,
             is_final,
+            resumed: false,
             elapsed_s,
             done,
             total,
@@ -426,6 +427,12 @@ pub struct ProgressRecord {
     pub seq: u64,
     /// Whether this is the campaign's final record.
     pub is_final: bool,
+    /// Whether this is the first record after a checkpoint resume. The
+    /// resumed process pre-seeds `done`/`events` from the checkpoint
+    /// (so they stay monotone across the gap) but restarts the wall
+    /// clock — stream validators exempt `elapsed_s` from its
+    /// never-backwards rule exactly at a resumed record.
+    pub resumed: bool,
     /// Wall seconds since the campaign started.
     pub elapsed_s: f64,
     /// Campaign units completed (fuzz: seeds; explore: trees).
@@ -478,7 +485,7 @@ impl ProgressRecord {
             Some(s) => Json::Float(s),
             None => Json::Null,
         };
-        Json::object([
+        let mut j = Json::object([
             ("schema", Json::from(self.schema.as_str())),
             ("campaign", Json::from(self.campaign.as_str())),
             ("seq", Json::Uint(self.seq)),
@@ -527,7 +534,16 @@ impl ProgressRecord {
                     )
                 })),
             ),
-        ])
+        ]);
+        // `resumed` is emitted only when set: the common (fresh-run) case
+        // stays byte-identical to older streams, and tolerant parsers
+        // default the missing key to false.
+        if self.resumed {
+            if let Json::Object(members) = &mut j {
+                members.push(("resumed".to_string(), Json::Bool(true)));
+            }
+        }
+        j
     }
 
     /// Parses a heartbeat from its JSON form. Tolerant by design:
@@ -596,6 +612,7 @@ impl ProgressRecord {
                 .to_string(),
             seq: u("seq"),
             is_final: matches!(j.get("final"), Some(Json::Bool(true))),
+            resumed: matches!(j.get("resumed"), Some(Json::Bool(true))),
             elapsed_s: f("elapsed_s"),
             done: u("done"),
             total: u("total"),
@@ -673,6 +690,9 @@ pub struct ProgressSampler {
     counters: CampaignCounters,
     interval_ns: u64,
     last_emit_ns: AtomicU64,
+    // Set by `resumed()`; the first record emitted (heartbeat or final)
+    // swaps it off and carries `"resumed": true`.
+    resume_mark: AtomicBool,
     sink: Mutex<SamplerSink>,
 }
 
@@ -689,6 +709,7 @@ impl ProgressSampler {
             counters,
             interval_ns: interval.as_nanos() as u64,
             last_emit_ns: AtomicU64::new(0),
+            resume_mark: AtomicBool::new(false),
             sink: Mutex::new(SamplerSink {
                 out: sink,
                 seq: 0,
@@ -696,6 +717,26 @@ impl ProgressSampler {
                 broken: false,
             }),
         }
+    }
+
+    /// A sampler continuing a checkpointed campaign's heartbeat stream.
+    /// Sequence numbers start at `start_seq` (one past the killed
+    /// stream's last durable record, so `seq` stays strictly increasing
+    /// across the gap) and the first record emitted carries
+    /// `"resumed": true` — the marker `swiftdir-report --follow` renders
+    /// and `--check-progress` uses to exempt the wall-clock restart.
+    /// The caller pre-seeds `counters` with the checkpoint's completed
+    /// totals so `done`/`events` stay monotone too.
+    pub fn resumed(
+        counters: CampaignCounters,
+        sink: Box<dyn Write + Send>,
+        interval: Duration,
+        start_seq: u64,
+    ) -> Self {
+        let s = Self::new(counters, sink, interval);
+        s.sink.lock().expect("progress sink poisoned").seq = start_seq;
+        s.resume_mark.store(true, Ordering::Relaxed);
+        s
     }
 
     /// The campaign's shared counters.
@@ -729,7 +770,8 @@ impl ProgressSampler {
             return;
         }
         self.last_emit_ns.store(now, Ordering::Relaxed);
-        let rec = self.counters.snapshot(sink.seq, false);
+        let mut rec = self.counters.snapshot(sink.seq, false);
+        rec.resumed = self.resume_mark.swap(false, Ordering::Relaxed);
         sink.emit(&rec, &[]);
     }
 
@@ -748,7 +790,8 @@ impl ProgressSampler {
         if sink.finished {
             return;
         }
-        let rec = self.counters.snapshot(sink.seq, true);
+        let mut rec = self.counters.snapshot(sink.seq, true);
+        rec.resumed = self.resume_mark.swap(false, Ordering::Relaxed);
         sink.emit(&rec, &extra);
         sink.finished = true;
     }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Serve smoke: the durable campaign service survives a SIGKILL.
+#
+# Runs the same fuzz job through two spools — one drained undisturbed,
+# one whose server is SIGKILLed mid-campaign and restarted — and
+# asserts both finish with the identical final digest set. The resumed
+# job's heartbeat stream must also pass the progress checker (strictly
+# increasing seq across the kill gap, one final record).
+#
+# Usage (from the repository root; builds the bins it needs):
+#
+#   scripts/serve_smoke.sh [WORKDIR] [SEEDS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="${1:-ci-serve}"
+SEEDS="${2:-4000}"
+SERVE=./target/release/swiftdir-serve
+REPORT=./target/release/swiftdir-report
+
+cargo build --release -p swiftdir-serve -p swiftdir-bench --bins
+rm -rf "$WORK"
+mkdir -p "$WORK/base" "$WORK/kill"
+
+digest_of() { # dir -> the one done job's digest_set
+    "$SERVE" status --dir "$1" | grep -o 'digest_set=0x[0-9a-f]*' | head -n1
+}
+
+# Baseline: submit and drain uninterrupted.
+base_id=$("$SERVE" submit --dir "$WORK/base" --fuzz --seeds "$SEEDS" --protocol swiftdir)
+"$SERVE" run --dir "$WORK/base" --drain
+base=$(digest_of "$WORK/base")
+[ -n "$base" ] || { echo "serve_smoke: baseline produced no result" >&2; exit 1; }
+echo "serve_smoke: baseline $base_id $base"
+
+# Kill run: same job, server SIGKILLed mid-campaign.
+kill_id=$("$SERVE" submit --dir "$WORK/kill" --fuzz --seeds "$SEEDS" --protocol swiftdir)
+"$SERVE" run --dir "$WORK/kill" --drain &
+server=$!
+sleep 2
+kill -9 "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+echo "serve_smoke: server $server SIGKILLed; restarting"
+
+# Restart: the recovery pass resumes the claimed job and finishes it.
+"$SERVE" run --dir "$WORK/kill" --drain
+"$SERVE" status --dir "$WORK/kill"
+resumed=$(digest_of "$WORK/kill")
+
+if [ "$resumed" != "$base" ]; then
+    echo "serve_smoke: FAIL — resumed digest $resumed != baseline $base" >&2
+    exit 1
+fi
+
+# The stitched heartbeat stream (pre-kill records + resumed records +
+# final) must satisfy every stream invariant.
+"$REPORT" --check-progress "$WORK/kill/jobs/$kill_id/progress.jsonl"
+
+echo "serve_smoke: ok — kill/resume digest set matches baseline ($base)"

@@ -147,6 +147,18 @@ fn explore_campaign_heartbeats_reconcile_with_reports() {
     };
     assert!(gauge("seen_entries").high > 0, "seen table never sampled");
     assert!(gauge("undo_bytes").high > 0, "undo log never sampled");
+    // The byte gauge must account for the swiss-table footprint of the
+    // entries it reports: at the flush that set the entry high-water
+    // mark, capacity >= len, so the byte high-water mark must dominate
+    // the control-overhead-inclusive estimate for that many entries.
+    let entry = std::mem::size_of::<(u64, bool)>();
+    assert!(
+        gauge("seen_bytes").high
+            >= swiftdir::engine::map_heap_bytes(gauge("seen_entries").high as usize, entry),
+        "seen_bytes undercounts the seen table ({} bytes for {} entries)",
+        gauge("seen_bytes").high,
+        gauge("seen_entries").high
+    );
     for (name, g) in &last.memory {
         assert!(g.high >= g.current, "gauge {name} high < current");
     }

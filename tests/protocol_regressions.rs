@@ -24,7 +24,9 @@ use swiftdir::cache::CacheGeometry;
 use swiftdir::coherence::{
     Checker, CoreRequest, Hierarchy, HierarchyConfig, L1State, ProtocolKind,
 };
-use swiftdir::core::fuzz::{run_fuzz, FuzzConfig};
+use swiftdir::core::fuzz::{
+    minimize_outcome, run_fuzz, FuzzConfig, FuzzFailureKind, MinimizeOutcome,
+};
 use swiftdir::mmu::PhysAddr;
 
 // ---------------------------------------------------------------------------
@@ -178,4 +180,53 @@ fn checker_flags_planted_directory_loss() {
         "unexpected detail: {}",
         err.detail
     );
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer outcomes on non-reproducing inputs
+// ---------------------------------------------------------------------------
+
+/// Regression: asking the minimizer to shrink a failure that does not
+/// reproduce used to leave callers holding a "shrunk" config they then
+/// unwrapped a failure out of — a panic in the fuzz bin's FAIL path.
+/// The structured outcome must report `StoppedReproducing` instead,
+/// carrying both the expected kind and what (if anything) was observed.
+#[test]
+fn minimize_on_a_clean_config_reports_stopped_reproducing() {
+    // Seed 0 under SwiftDir at default scenario parameters is clean
+    // (covered by `fuzz_seed_spread_is_clean_and_deterministic`).
+    let cfg = FuzzConfig::new(0, ProtocolKind::SwiftDir);
+    assert!(
+        run_fuzz(&cfg).failure.is_none(),
+        "fixture seed must be clean"
+    );
+
+    let out = minimize_outcome(&cfg, Some(FuzzFailureKind::Deadlock));
+    match out {
+        MinimizeOutcome::StoppedReproducing {
+            config,
+            expected,
+            observed,
+        } => {
+            assert_eq!(expected, FuzzFailureKind::Deadlock);
+            assert_eq!(observed, None, "clean config observed a failure");
+            // The input comes back untouched — no bogus "shrinking".
+            assert_eq!(config, cfg);
+        }
+        other => panic!("expected StoppedReproducing, got {other:?}"),
+    }
+}
+
+/// Without an expected kind, a clean config is simply `Clean` — the
+/// caller asked "shrink whatever fails here" and nothing does.
+#[test]
+fn minimize_without_expectation_reports_clean() {
+    let cfg = FuzzConfig::new(0, ProtocolKind::SwiftDir);
+    match minimize_outcome(&cfg, None) {
+        MinimizeOutcome::Clean(c) => assert_eq!(c, cfg),
+        other => panic!("expected Clean, got {other:?}"),
+    }
+    // And the panic-prone accessor path stays total: `config()` is
+    // defined for every outcome.
+    assert_eq!(minimize_outcome(&cfg, None).config(), cfg);
 }
