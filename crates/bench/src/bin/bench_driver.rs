@@ -17,11 +17,17 @@
 //! 4. **Explorer throughput** — coverage-gate-shaped explorations via
 //!    `explore_parallel`, serial vs parallel, asserting the merged
 //!    reports are bit-identical across thread counts.
+//! 5. **Many-core scale-out** — a 64-core machine with the directory
+//!    sharded into 8 address-interleaved banks, ticked serially vs with
+//!    the in-simulation parallel stepper (`run_until_idle_parallel`),
+//!    asserting completions, statistics, and the state digest are
+//!    bit-identical, and recording events/s plus the parallel-vs-serial
+//!    speedup.
 //!
-//! The parallel leg uses `SWIFTDIR_THREADS` when set, else at least 4
-//! workers (oversubscribing a small host is deliberate: the determinism
-//! assertions must hold under real interleaving, and the CI gates run
-//! with `SWIFTDIR_THREADS=4`).
+//! The parallel legs use `SWIFTDIR_THREADS` when set, else the host's
+//! `std::thread::available_parallelism()`; the host core count is
+//! recorded under `"host_cores"` so committed numbers carry their
+//! hardware context (the CI gates pin `SWIFTDIR_THREADS=4`).
 //!
 //! `bench_driver --check` instead re-measures the single-run figure and
 //! compares it against the committed `BENCH_driver.json`, failing on a
@@ -41,14 +47,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sim_engine::{CampaignCounters, Json, ProgressSampler};
-use swiftdir_coherence::ProtocolKind;
+use sim_engine::{CampaignCounters, Cycle, Json, ProgressSampler};
+use swiftdir_coherence::{CoreRequest, Hierarchy, HierarchyConfig, ProtocolKind};
 use swiftdir_core::{
     driver, explore_campaign, explore_parallel_threads, run_fuzz_campaign, run_fuzz_many_threads,
     DriverReport, ExperimentSet, ExploreConfig, ExploreMode, FuzzConfig, ProgressConfig, RunStats,
     System, SystemConfig, EXPLORE_PHASES, FUZZ_PHASES,
 };
 use swiftdir_cpu::CpuModel;
+use swiftdir_mmu::PhysAddr;
 use swiftdir_workloads::{SpecBenchmark, SynthStream, WorkloadRegions};
 
 const INSTRUCTIONS: u64 = 60_000;
@@ -133,14 +140,17 @@ fn measure_single_run(batches: usize, runs_per_batch: usize) -> f64 {
 }
 
 /// Worker count for the parallel legs: `SWIFTDIR_THREADS` when set,
-/// else at least 4 (the CI gates run with 4 even on small hosts — the
-/// determinism assertions are the point, the wall-clock is the bonus).
+/// else the host's available parallelism. The determinism assertions
+/// are the point on small hosts; the wall-clock gain is the bonus on
+/// real multi-core ones.
 fn parallel_threads() -> usize {
-    if std::env::var(driver::THREADS_ENV).is_ok() {
-        driver::default_threads()
-    } else {
-        driver::default_threads().max(4)
-    }
+    driver::default_threads()
+}
+
+/// The host's physical parallelism, independent of `SWIFTDIR_THREADS` —
+/// recorded in the report so committed numbers carry their context.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The CI smoke fuzz grid: every protocol × 25 seeds × 150 ops.
@@ -155,6 +165,69 @@ fn fuzz_grid() -> Vec<FuzzConfig> {
             })
         })
         .collect()
+}
+
+/// The scale-out leg's machine: 64 cores over 8 directory banks.
+const SCALE_CORES: usize = 64;
+const SCALE_BANKS: usize = 8;
+const SCALE_ROUNDS: u64 = 1000;
+
+/// A contended 64-core workload spanning every directory bank:
+/// bank-strided blocks with cross-core sharing and a store/WP-load mix.
+fn scale_drive(h: &mut Hierarchy) {
+    let mut t = Cycle(0);
+    let stride = h.config().bank_geometry().size_bytes() / 8;
+    for round in 0..SCALE_ROUNDS {
+        for core in 0..SCALE_CORES {
+            let addr = PhysAddr(0x10_0000 + (round % 64) * stride + (core as u64 % 4) * 64);
+            let req = match (round + core as u64) % 4 {
+                0 => CoreRequest::store(addr),
+                1 => CoreRequest::load(addr).write_protected(),
+                _ => CoreRequest::load(addr),
+            };
+            h.issue(t, core, req);
+            t += Cycle(3);
+        }
+    }
+}
+
+fn scale_hierarchy() -> Hierarchy {
+    Hierarchy::new(
+        HierarchyConfig::table_v(SCALE_CORES, ProtocolKind::SwiftDir).with_banks(SCALE_BANKS),
+    )
+}
+
+/// Runs the 64-core/8-bank leg serially and with the in-simulation
+/// parallel stepper; asserts bit-identity and returns
+/// `(serial_s, parallel_s, events)`.
+fn measure_scale(threads: usize) -> (f64, f64, u64) {
+    let mut serial = scale_hierarchy();
+    scale_drive(&mut serial);
+    let start = Instant::now();
+    let done_serial = serial.run_until_idle();
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let mut parallel = scale_hierarchy();
+    scale_drive(&mut parallel);
+    let start = Instant::now();
+    let done_parallel = parallel.run_until_idle_parallel(threads);
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        done_serial, done_parallel,
+        "scale leg: parallel tick changed completions"
+    );
+    assert_eq!(
+        serial.stats(),
+        parallel.stats(),
+        "scale leg: parallel tick changed statistics"
+    );
+    assert_eq!(
+        serial.state_digest(),
+        parallel.state_digest(),
+        "scale leg: parallel tick changed the state digest"
+    );
+    (serial_s, parallel_s, serial.stats().dispatched)
 }
 
 /// Coverage-gate-shaped exploration workload: per protocol, the four
@@ -207,8 +280,8 @@ fn main() -> ExitCode {
 
     let threads = parallel_threads();
     println!(
-        "bench_driver: {} worker thread(s) available, parallel legs use {threads}\n",
-        driver::default_threads()
+        "bench_driver: host has {} core(s), parallel legs use {threads} thread(s)\n",
+        host_cores()
     );
 
     // --- single-simulation throughput: best of `reps` batches ----------
@@ -328,6 +401,17 @@ fn main() -> ExitCode {
         explore_serial_s / explore_parallel_s
     );
 
+    // --- many-core scale-out: sharded banks, serial vs parallel tick ----
+    let (scale_serial_s, scale_parallel_s, scale_events) = measure_scale(threads);
+    let scale_events_per_sec = scale_events as f64 / scale_serial_s;
+    let scale_speedup = scale_serial_s / scale_parallel_s;
+    println!(
+        "scale-out ({SCALE_CORES} cores / {SCALE_BANKS} banks, {scale_events} events): \
+         serial {scale_serial_s:.3} s ({:.0} k events/s), {threads} tick thread(s) \
+         {scale_parallel_s:.3} s ({scale_speedup:.2}x); digest/stats/completions identical: ok",
+        scale_events_per_sec / 1000.0
+    );
+
     // --- undo vs fork walker: differential oracle + speedup -------------
     let fork_ecfg = ExploreConfig {
         mode: ExploreMode::Fork,
@@ -358,6 +442,7 @@ fn main() -> ExitCode {
     // --- report ---------------------------------------------------------
     let json = Json::object([
         ("instructions_per_run", Json::Uint(INSTRUCTIONS)),
+        ("host_cores", Json::Uint(host_cores() as u64)),
         (
             "baseline",
             Json::object([
@@ -410,6 +495,20 @@ fn main() -> ExitCode {
                 ("fork_serial_s", Json::Float(explore_fork_s)),
                 ("undo_vs_fork_speedup", Json::Float(undo_vs_fork_speedup)),
                 ("reports_identical", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "scale",
+            Json::object([
+                ("cores", Json::Uint(SCALE_CORES as u64)),
+                ("banks", Json::Uint(SCALE_BANKS as u64)),
+                ("events", Json::Uint(scale_events)),
+                ("serial_s", Json::Float(scale_serial_s)),
+                ("parallel_s", Json::Float(scale_parallel_s)),
+                ("tick_threads", Json::Uint(threads as u64)),
+                ("events_per_sec", Json::Float(scale_events_per_sec)),
+                ("speedup", Json::Float(scale_speedup)),
+                ("parallel_identical", Json::Bool(true)),
             ]),
         ),
         ("sweep_serial", serial_report.to_json()),
@@ -501,6 +600,36 @@ fn check_committed() -> ExitCode {
         eprintln!(
             "bench_driver --check: FAIL — explore.schedules_per_s regressed >{:.0}% \
              (measured {measured_sched_s:.0} < {floor:.0}); rerun scripts/bench_driver.sh \
+             and commit the refreshed BENCH_driver.json if intentional",
+            (CHECK_TOLERANCE - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Scale-out gate: the 64-core/8-bank leg must stay bit-identical
+    // between serial and parallel ticking (measure_scale asserts it) and
+    // keep its serial event throughput within tolerance.
+    let Some(committed_eps) = committed
+        .get("scale")
+        .and_then(|c| c.get("events_per_sec"))
+        .and_then(Json::as_f64)
+    else {
+        eprintln!("bench_driver --check: no scale.events_per_sec in BENCH_driver.json");
+        return ExitCode::FAILURE;
+    };
+    let (scale_serial_s, scale_parallel_s, scale_events) = measure_scale(threads);
+    let measured_eps = scale_events as f64 / scale_serial_s;
+    let eps_floor = committed_eps / CHECK_TOLERANCE;
+    println!(
+        "bench_driver --check: scale-out {measured_eps:.0} events/s vs committed \
+         {committed_eps:.0} (floor {eps_floor:.0}); parallel tick identical \
+         ({:.2}x on {threads} thread(s))",
+        scale_serial_s / scale_parallel_s
+    );
+    if measured_eps < eps_floor {
+        eprintln!(
+            "bench_driver --check: FAIL — scale.events_per_sec regressed >{:.0}% \
+             (measured {measured_eps:.0} < {eps_floor:.0}); rerun scripts/bench_driver.sh \
              and commit the refreshed BENCH_driver.json if intentional",
             (CHECK_TOLERANCE - 1.0) * 100.0
         );

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! swiftdir-fuzz [--seeds N] [--seed X] [--protocol NAME] [--ops N]
-//!               [--jitter N] [--smoke] [--minimize] [--replay FILE]
+//!               [--jitter N] [--cores N] [--banks N] [--smoke]
+//!               [--minimize] [--replay FILE]
 //!               [--progress FILE|-] [--checkpoint FILE] [--resume FILE]
 //! ```
 //!
@@ -16,6 +17,10 @@
 //! * `--protocol NAME` — limit to `msi|mesi|smesi|swiftdir` (default all).
 //! * `--ops N` / `--jitter N` — override the per-run operation count and
 //!   maximum per-hop jitter.
+//! * `--cores N` / `--banks N` — override the core count (default 4) and
+//!   shard the directory into `N` address-interleaved banks (default 1,
+//!   power of two); `--banks` scales the block set so every bank stays
+//!   contended.
 //! * `--smoke` — the CI configuration: 25 seeds, 150 ops each.
 //! * `--minimize` — on failure, shrink the failing scenario: first the
 //!   scenario knobs, then the concrete access stream (delta-debugging),
@@ -71,6 +76,8 @@ struct Args {
     protocols: Vec<ProtocolKind>,
     ops: Option<usize>,
     jitter: Option<u64>,
+    cores: Option<usize>,
+    banks: Option<usize>,
     do_minimize: bool,
     replay_file: Option<String>,
     progress: Option<String>,
@@ -85,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         protocols: ALL_PROTOCOLS.to_vec(),
         ops: None,
         jitter: None,
+        cores: None,
+        banks: None,
         do_minimize: false,
         replay_file: None,
         progress: None,
@@ -100,6 +109,14 @@ fn parse_args() -> Result<Args, String> {
             "--ops" => args.ops = Some(value("--ops")?.parse().map_err(|e| format!("{e}"))?),
             "--jitter" => {
                 args.jitter = Some(value("--jitter")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--cores" => args.cores = Some(value("--cores")?.parse().map_err(|e| format!("{e}"))?),
+            "--banks" => {
+                let banks: usize = value("--banks")?.parse().map_err(|e| format!("{e}"))?;
+                if !banks.is_power_of_two() {
+                    return Err(format!("--banks must be a power of two, got {banks}"));
+                }
+                args.banks = Some(banks);
             }
             "--protocol" => {
                 let name = value("--protocol")?;
@@ -159,6 +176,14 @@ fn main() -> ExitCode {
                 }
                 if let Some(j) = args.jitter {
                     cfg.jitter_max = j;
+                }
+                if let Some(c) = args.cores {
+                    cfg.cores = c;
+                }
+                if let Some(b) = args.banks {
+                    cfg.banks = b;
+                    // Spread the contended block set over every bank.
+                    cfg.blocks = cfg.blocks.max(2 * b);
                 }
                 cfg
             })

@@ -244,7 +244,7 @@ impl Checker {
             }
 
             // --- directory sharer tracking ⊇ actual holders ---------------
-            let Some(line) = h.llc.peek(block) else {
+            let Some(line) = h.llc_peek(block) else {
                 if let Some(x) = hs.iter().find(|x| readable(x.state)) {
                     return Err(violation(
                         h,
@@ -369,10 +369,10 @@ impl Checker {
                 }
             }
         }
-        if let Some(line) = h.llc.peek(block) {
+        if let Some(line) = h.llc_peek(block) {
             return line.data;
         }
-        h.mem_image.get(&block).copied().unwrap_or(0)
+        h.mem_image_get(block)
     }
 }
 

@@ -87,6 +87,15 @@ pub struct HierarchyConfig {
     pub latency: LatencyConfig,
     /// DRAM timing model.
     pub dram: DramConfig,
+    /// Address-sharded LLC/directory banks (power of two). Each bank owns
+    /// `1/banks` of the aggregate LLC capacity, its own MSHR/stall slabs,
+    /// its own DRAM channel, and its own slice of the golden memory
+    /// image; `bank_of` maps every block to exactly one bank.
+    pub banks: usize,
+    /// Per-hop latency of the 2D mesh NoC connecting cores and banks
+    /// (cycles). `0` — the default — models a zero-cost crossbar and
+    /// preserves the calibrated point-to-point latency anchors above.
+    pub mesh_hop_latency: u64,
 }
 
 impl HierarchyConfig {
@@ -110,7 +119,62 @@ impl HierarchyConfig {
             l1_mshrs: 16,
             latency: LatencyConfig::calibrated(),
             dram: DramConfig::ddr3_1600_8x8(),
+            banks: 1,
+            mesh_hop_latency: 0,
         }
+    }
+
+    /// Shards the LLC into `banks` address-interleaved directory banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks` is a power of two that divides the aggregate
+    /// LLC into banks of at least one set each.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        assert!(
+            banks.is_power_of_two(),
+            "banks must be a power of two, got {banks}"
+        );
+        let geom = self.bank_geometry_for(banks);
+        assert!(geom.num_sets() >= 1, "{banks} banks leave no sets per bank");
+        self.banks = banks;
+        self
+    }
+
+    /// Sets the per-hop mesh NoC latency (see `mesh_hop_latency`).
+    pub fn with_mesh_hop_latency(mut self, cycles: u64) -> Self {
+        self.mesh_hop_latency = cycles;
+        self
+    }
+
+    /// Geometry of one directory bank: the aggregate LLC capacity split
+    /// evenly, same associativity and block size.
+    pub fn bank_geometry(&self) -> CacheGeometry {
+        self.bank_geometry_for(self.banks)
+    }
+
+    fn bank_geometry_for(&self, banks: usize) -> CacheGeometry {
+        CacheGeometry::new(
+            self.llc_bank_geometry.size_bytes() / banks as u64,
+            self.llc_bank_geometry.associativity(),
+            self.llc_bank_geometry.block_bytes(),
+        )
+    }
+
+    /// The directory bank owning `addr`'s block.
+    ///
+    /// Banks interleave on the address bits just above one bank's set
+    /// index, so a bank's array indexes the full address with zero set
+    /// aliasing: within one bank every set is reachable, and two blocks
+    /// that differ only in their bank bits land in different banks.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        if self.banks == 1 {
+            return 0;
+        }
+        let geom = self.bank_geometry();
+        let shift = geom.offset_bits() + geom.index_bits();
+        ((addr >> shift) as usize) & (self.banks - 1)
     }
 }
 
@@ -138,5 +202,31 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         HierarchyConfig::table_v(0, ProtocolKind::Mesi);
+    }
+
+    #[test]
+    fn bank_mapping_is_a_partition() {
+        let cfg = HierarchyConfig::table_v(64, ProtocolKind::SwiftDir).with_banks(8);
+        let geom = cfg.bank_geometry();
+        assert_eq!(geom.size_bytes() * 8, cfg.llc_bank_geometry.size_bytes());
+        // Every block maps to exactly one bank, and consecutive set-groups
+        // rotate through all banks.
+        let group = geom.block_bytes() * geom.num_sets();
+        let mut seen = [false; 8];
+        for g in 0..16u64 {
+            let b = cfg.bank_of(g * group);
+            assert!(b < 8);
+            seen[b] = true;
+            // All blocks inside one set-group share the bank.
+            assert_eq!(cfg.bank_of(g * group + 64), b);
+            assert_eq!(cfg.bank_of(g * group + group - 64), b);
+        }
+        assert!(seen.iter().all(|&s| s), "some bank owns no set-group");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_banks_rejected() {
+        let _ = HierarchyConfig::table_v(4, ProtocolKind::Mesi).with_banks(3);
     }
 }

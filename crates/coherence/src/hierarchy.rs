@@ -12,8 +12,11 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use sim_engine::tracer::{TraceEvent, TraceKind, Tracer, Unit};
-use sim_engine::{Cycle, EventQueue, FxHashMap, HistogramMark, LinkJitter, PopOrigin, QueueMark};
-use swiftdir_cache::CacheArray;
+use sim_engine::{
+    Cycle, EventQueue, FxHashMap, HistogramMark, LinkJitter, MeshEndpoint, MeshTopology, PopOrigin,
+    QueueMark,
+};
+use swiftdir_cache::{CacheArray, CacheGeometry};
 use swiftdir_mem::{MemUndo, MemoryController};
 use swiftdir_mmu::PhysAddr;
 
@@ -175,6 +178,21 @@ impl HierarchyStats {
     pub fn event(&self, e: CoherenceEvent) -> u64 {
         self.events.get(e)
     }
+
+    /// Accumulates another lane's statistics. Every field is a counter
+    /// sum or histogram-bucket add, so merging is commutative and
+    /// associative — the parallel tick's per-worker stats fold into the
+    /// exact totals the serial tick accumulates, in any merge order.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.events.merge(&other.events);
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.mshr_merges += other.mshr_merges;
+        self.recalls += other.recalls;
+        self.silent_upgrades += other.silent_upgrades;
+        self.dispatched += other.dispatched;
+        self.protocol.merge(&other.protocol);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -308,8 +326,113 @@ impl LlcLine {
     }
 }
 
+/// One address-sharded LLC/directory bank: a slice of the aggregate LLC
+/// array plus that slice's set stalls, DRAM channel, and golden memory
+/// image. Banks share nothing, which is what lets the parallel tick
+/// dispatch into different banks concurrently.
 #[derive(Debug, Clone)]
-enum Event {
+pub(crate) struct LlcBank {
+    pub(crate) array: CacheArray<LlcLine>,
+    /// Requests stalled because their LLC set had no eligible victim,
+    /// keyed by bank-local set index.
+    pub(crate) set_stalls: FxHashMap<u64, VecDeque<Msg>>,
+    /// This bank's DRAM channel.
+    pub(crate) mem: MemoryController,
+    /// Golden DRAM image for this bank's blocks (absent = 0).
+    pub(crate) mem_image: FxHashMap<u64, u64>,
+}
+
+/// An indexable view of one domain slice (`Vec<L1>` / `Vec<LlcBank>`)
+/// that a [`Lane`] dispatches into.
+///
+/// Serially it is a plain reborrow of the whole slice. In the parallel
+/// tick every worker holds a view of the *same* slice, and exclusivity
+/// is by protocol instead of by type: the round partitioner hands each
+/// domain (one core's L1, one LLC bank) to at most one worker, and a
+/// lane only ever indexes the domains of events it was handed. Raw
+/// pointers (rather than overlapping `&mut [T]`, which would be
+/// immediate UB) keep that aliasing legal; the generalization of
+/// `split_at_mut` to an arbitrary partition.
+pub(crate) struct DomainVec<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T> DomainVec<'a, T> {
+    /// The serial view: exclusive over the whole slice.
+    pub(crate) fn full(slice: &'a mut [T]) -> Self {
+        DomainVec {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// An aliasing view for one parallel worker.
+    ///
+    /// # Safety
+    ///
+    /// `ptr..ptr + len` must stay valid (and un-moved) for `'a`, and no
+    /// two concurrently live views may index the same element — the
+    /// round partitioner's domain-claim protocol.
+    pub(crate) unsafe fn alias(ptr: *mut T, len: usize) -> Self {
+        DomainVec {
+            ptr,
+            len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Index<usize> for DomainVec<'_, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "domain {i} out of range ({})", self.len);
+        unsafe { &*self.ptr.add(i) }
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for DomainVec<'_, T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "domain {i} out of range ({})", self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+// SAFETY: views move to workers only under the claim protocol above, and
+// the underlying elements are plain owned data.
+unsafe impl<T: Send> Send for DomainVec<'_, T> {}
+
+/// Everything one dispatched event may touch, split out of [`Hierarchy`]
+/// so the same handler code serves both the serial tick (one lane over
+/// all domains) and the parallel tick (one lane per worker, restricted by
+/// the claim protocol to the domains it was handed).
+///
+/// Handlers never schedule into the event queue directly: sends collect
+/// in `sends` in emission order and the caller drains them, which is what
+/// makes a round of concurrently dispatched events mergeable into the
+/// exact serial schedule order.
+pub(crate) struct Lane<'a> {
+    pub(crate) cfg: &'a HierarchyConfig,
+    pub(crate) mesh: MeshTopology,
+    pub(crate) l1s: DomainVec<'a, L1>,
+    pub(crate) banks: DomainVec<'a, LlcBank>,
+    pub(crate) stats: &'a mut HierarchyStats,
+    pub(crate) completions: &'a mut Vec<Completion>,
+    pub(crate) sends: &'a mut Vec<(Cycle, Event)>,
+    pub(crate) finish_scratch: &'a mut Vec<PendingReq>,
+    pub(crate) tracer: &'a mut Tracer,
+    pub(crate) jitter: Option<&'a mut LinkJitter>,
+    /// When the undo log is armed: the top frame's latency-record journal
+    /// (completions log histogram marks there so undo can reverse them).
+    pub(crate) undo_lat: Option<&'a mut Vec<(RequestClass, u64, HistogramMark)>>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
     /// A core request arrives at its L1.
     CoreReq { core: usize, req: PendingReq },
     /// A message arrives at the LLC.
@@ -438,11 +561,15 @@ struct UndoFrame {
     l1_wb: BlockMap<WbEntry>,
     l1_installing: BlockMap<PendingInstall>,
     l1_stalled: Vec<u64>,
-    // LLC-side buffers (valid when `side == Llc`).
+    // LLC-side buffers (valid when `side == Llc`; they snapshot the one
+    // bank the event dispatched into, recorded in `llc_bank`).
+    llc_bank: usize,
     llc_set_stalls: FxHashMap<u64, VecDeque<Msg>>,
     mem_undo: MemUndo,
     mem_image: FxHashMap<u64, u64>,
     /// Per-array journal watermarks at frame creation; rollback targets.
+    /// `llc_mark` watermarks `llc_bank`'s array (only that bank's lines
+    /// can change under an LLC-side event).
     l1_marks: Vec<usize>,
     llc_mark: usize,
     /// Approximate heap bytes this frame pinned (depth profiling).
@@ -472,6 +599,7 @@ impl Default for UndoFrame {
             l1_wb: BlockMap::new(),
             l1_installing: BlockMap::new(),
             l1_stalled: Vec::new(),
+            llc_bank: 0,
             llc_set_stalls: FxHashMap::default(),
             mem_undo: MemUndo::default(),
             mem_image: FxHashMap::default(),
@@ -558,7 +686,7 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
-type PResult = Result<(), Box<ProtocolError>>;
+pub(crate) type PResult = Result<(), Box<ProtocolError>>;
 
 /// One canonicalized pending event in [`Hierarchy::state_digest`]:
 /// `(relative time, link key, rank within link, payload hash)`.
@@ -573,35 +701,36 @@ type FrontierItem = (u64, (u8, u64, u64), u64, u64);
 /// returned as [`Completion`]s carrying latency and classification.
 #[derive(Debug)]
 pub struct Hierarchy {
-    cfg: HierarchyConfig,
-    queue: EventQueue<Event>,
+    pub(crate) cfg: HierarchyConfig,
+    pub(crate) queue: EventQueue<Event>,
     pub(crate) l1s: Vec<L1>,
-    pub(crate) llc: CacheArray<LlcLine>,
-    /// Requests stalled because their LLC set had no eligible victim.
-    llc_set_stalls: FxHashMap<u64, VecDeque<Msg>>,
-    mem: MemoryController,
-    /// Golden DRAM image: blocks the LLC has written back (absent = 0).
-    pub(crate) mem_image: FxHashMap<u64, u64>,
+    /// Address-sharded LLC/directory banks (`cfg.banks` of them; bank
+    /// `cfg.bank_of(addr)` owns block `addr`).
+    pub(crate) banks: Vec<LlcBank>,
     next_req: RequestId,
-    completions: Vec<Completion>,
+    pub(crate) completions: Vec<Completion>,
     /// Scratch buffer for [`EventQueue::pop_batch`]; kept on the struct so
     /// its allocation is reused across ticks.
-    batch: Vec<Event>,
+    pub(crate) batch: Vec<Event>,
     /// Scratch for draining a closed MSHR transaction's queued requests;
     /// reused so transaction completion never allocates.
-    finish_scratch: Vec<PendingReq>,
-    stats: HierarchyStats,
+    pub(crate) finish_scratch: Vec<PendingReq>,
+    pub(crate) stats: HierarchyStats,
     /// Structured protocol tracer (disabled by default: one branch per
     /// would-be event).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Optional per-hop latency jitter (fuzzing only; `None` keeps the
     /// calibrated fixed latencies).
-    jitter: Option<LinkJitter>,
+    pub(crate) jitter: Option<LinkJitter>,
     /// Step-reversal log (inactive until [`enable_undo`](Self::enable_undo)).
     undo: UndoLog,
     /// Scratch for per-L1 content digests in
     /// [`state_digest_cached`](Self::state_digest_cached).
     digest_l1_scratch: Vec<u64>,
+    /// Scratch for per-bank content digests, same purpose.
+    digest_bank_scratch: Vec<u64>,
+    /// Scratch for the serial dispatch path's deferred sends.
+    pub(crate) sends_scratch: Vec<(Cycle, Event)>,
 }
 
 impl Hierarchy {
@@ -616,13 +745,19 @@ impl Hierarchy {
                 stalled_installs: Vec::new(),
             })
             .collect();
+        let bank_geom = cfg.bank_geometry();
+        let banks = (0..cfg.banks)
+            .map(|_| LlcBank {
+                array: CacheArray::new(bank_geom, cfg.replacement),
+                set_stalls: FxHashMap::default(),
+                mem: MemoryController::new(cfg.dram),
+                mem_image: FxHashMap::default(),
+            })
+            .collect();
         Hierarchy {
             queue: EventQueue::new(),
             l1s,
-            llc: CacheArray::new(cfg.llc_bank_geometry, cfg.replacement),
-            llc_set_stalls: FxHashMap::default(),
-            mem: MemoryController::new(cfg.dram),
-            mem_image: FxHashMap::default(),
+            banks,
             next_req: 0,
             completions: Vec::new(),
             batch: Vec::new(),
@@ -632,6 +767,8 @@ impl Hierarchy {
             jitter: None,
             undo: UndoLog::default(),
             digest_l1_scratch: Vec::new(),
+            digest_bank_scratch: Vec::new(),
+            sends_scratch: Vec::new(),
             cfg,
         }
     }
@@ -708,7 +845,7 @@ impl Hierarchy {
         let id = self.next_req;
         self.next_req += 1;
         let block = PhysAddr(self.cfg.l1_geometry.block_base(req.addr.0));
-        self.count(match req.kind {
+        self.stats.events.bump(match req.kind {
             AccessKind::Load => CoherenceEvent::Load,
             AccessKind::Store => CoherenceEvent::Store,
         });
@@ -917,26 +1054,32 @@ impl Hierarchy {
                 let _ = writeln!(out, "L1[{c}] install stalled {block:#x}");
             }
         }
-        for (addr, line) in self.llc.iter() {
-            if line.txn.is_some() || !line.waiters.is_empty() {
-                let _ = writeln!(
-                    out,
-                    "LLC {addr:#x} state {} txn {:?} waiters {:?} sharers {:#b} owner {:?}",
-                    line.state, line.txn, line.waiters, line.sharers, line.owner
-                );
+        for (b, bank) in self.banks.iter().enumerate() {
+            for (addr, line) in bank.array.iter() {
+                if line.txn.is_some() || !line.waiters.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "LLC[{b}] {addr:#x} state {} txn {:?} waiters {:?} sharers {:#b} owner {:?}",
+                        line.state, line.txn, line.waiters, line.sharers, line.owner
+                    );
+                }
             }
-        }
-        for (set, stalls) in &self.llc_set_stalls {
-            if !stalls.is_empty() {
-                let _ = writeln!(out, "LLC set {set} stalls: {stalls:?}");
+            for (set, stalls) in &bank.set_stalls {
+                if !stalls.is_empty() {
+                    let _ = writeln!(out, "LLC[{b}] set {set} stalls: {stalls:?}");
+                }
             }
         }
         out
     }
 
-    /// DRAM statistics.
+    /// DRAM statistics, summed over every bank's channel.
     pub fn mem_stats(&self) -> swiftdir_mem::MemStats {
-        self.mem.stats()
+        let mut total = self.banks[0].mem.stats();
+        for bank in &self.banks[1..] {
+            total.merge(&bank.mem.stats());
+        }
+        total
     }
 
     /// The stable L1 state of `addr` on `core` (probe; no recency update).
@@ -948,10 +1091,24 @@ impl Hierarchy {
             .map_or(L1State::I, |l| l.state)
     }
 
-    /// The LLC directory state of `addr` (probe).
+    /// The LLC directory state of `addr` (probe, routed to its bank).
     pub fn llc_state(&self, addr: PhysAddr) -> LlcState {
-        let block = self.cfg.l1_geometry.block_base(addr.0);
-        self.llc.peek(block).map_or(LlcState::I, |l| l.state)
+        self.llc_peek(self.cfg.l1_geometry.block_base(addr.0))
+            .map_or(LlcState::I, |l| l.state)
+    }
+
+    /// The directory line holding `block`, if any (bank-routed probe).
+    pub(crate) fn llc_peek(&self, block: u64) -> Option<&LlcLine> {
+        self.banks[self.cfg.bank_of(block)].array.peek(block)
+    }
+
+    /// Golden-image contents of `block` (0 when never written back).
+    pub(crate) fn mem_image_get(&self, block: u64) -> u64 {
+        self.banks[self.cfg.bank_of(block)]
+            .mem_image
+            .get(&block)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The per-block event history recorded in the tracer ring, rendered
@@ -991,10 +1148,7 @@ impl Hierarchy {
             cfg: self.cfg,
             queue: self.queue.clone(),
             l1s: self.l1s.clone(),
-            llc: self.llc.clone(),
-            llc_set_stalls: self.llc_set_stalls.clone(),
-            mem: self.mem.clone(),
-            mem_image: self.mem_image.clone(),
+            banks: self.banks.clone(),
             next_req: self.next_req,
             completions: self.completions.clone(),
             batch: Vec::new(),
@@ -1006,19 +1160,23 @@ impl Hierarchy {
             // fork starts its own (callers re-arm with `enable_undo`).
             undo: UndoLog::default(),
             digest_l1_scratch: Vec::new(),
+            digest_bank_scratch: Vec::new(),
+            sends_scratch: Vec::new(),
         }
     }
 
     /// The network link a pending event rides, for FIFO filtering. Events
     /// on the same key must deliver in send order; events on different
     /// keys may interleave freely (matching [`LinkJitter`]'s channels).
-    fn link_key(ev: &Event) -> (u8, u64, u64) {
+    fn link_key(&self, ev: &Event) -> (u8, u64, u64) {
         let enc = |c: Option<usize>| c.map_or(u64::MAX, |c| c as u64);
         match ev {
             // Per-core program order into the L1.
             Event::CoreReq { core, .. } => (0, *core as u64, 0),
-            // Every L1→LLC message names its sending core.
-            Event::ToLlc(msg) => (1, enc(msg.core()), 0),
+            // Every L1→LLC message names its sending core; distinct
+            // destination banks are distinct physical links (the third
+            // component stays 0 on single-bank configurations).
+            Event::ToLlc(msg) => (1, enc(msg.core()), self.cfg.bank_of(msg.addr().0) as u64),
             // Distinct (source, destination) pairs are distinct links.
             Event::ToL1 { core, src, .. } => (2, enc(*src), *core as u64),
             // DRAM responses are per-block FIFO; different blocks may
@@ -1101,7 +1259,7 @@ impl Hierarchy {
         let mut earliest = Cycle::MAX;
         self.queue.for_each_pending(|p| {
             earliest = earliest.min(p.at);
-            let key = Self::link_key(p.event);
+            let key = self.link_key(p.event);
             // `keys` runs parallel to `out`; link counts are small (a few
             // per core), so a linear scan beats hashing here.
             match keys.iter().position(|k| *k == key) {
@@ -1165,7 +1323,9 @@ impl Hierarchy {
         for l1 in &mut self.l1s {
             l1.array.enable_journal();
         }
-        self.llc.enable_journal();
+        for bank in &mut self.banks {
+            bank.array.enable_journal();
+        }
     }
 
     /// The current undo-log position. Stepping pushes frames past it;
@@ -1264,7 +1424,6 @@ impl Hierarchy {
         for l1 in &self.l1s {
             f.l1_marks.push(l1.array.journal_mark());
         }
-        f.llc_mark = self.llc.journal_mark();
         let side_bytes;
         f.side = match ev {
             Event::CoreReq { core, .. }
@@ -1279,14 +1438,26 @@ impl Hierarchy {
                     + f.l1_wb.approx_bytes()
                     + f.l1_installing.approx_bytes()
                     + (f.l1_stalled.len() * std::mem::size_of::<u64>()) as u64;
+                // An L1-side event never touches a bank array, so no bank
+                // watermark is needed; `llc_bank`/`llc_mark` stay stale
+                // and unused for this frame.
                 FrameSide::L1(*core)
             }
             Event::ToLlc(_) | Event::MemDone { .. } => {
-                f.llc_set_stalls.clone_from(&self.llc_set_stalls);
-                self.mem.save_into(&mut f.mem_undo);
-                f.mem_image.clone_from(&self.mem_image);
+                let addr = match ev {
+                    Event::ToLlc(msg) => msg.addr(),
+                    Event::MemDone { addr } => *addr,
+                    _ => unreachable!("matched above"),
+                };
+                let b = self.cfg.bank_of(addr.0);
+                let bank = &mut self.banks[b];
+                f.llc_bank = b;
+                f.llc_mark = bank.array.journal_mark();
+                f.llc_set_stalls.clone_from(&bank.set_stalls);
+                bank.mem.save_into(&mut f.mem_undo);
+                f.mem_image.clone_from(&bank.mem_image);
                 side_bytes = f.mem_undo.approx_bytes()
-                    + (self.llc_set_stalls.len() + self.mem_image.len()) as u64 * 16;
+                    + (bank.set_stalls.len() + bank.mem_image.len()) as u64 * 16;
                 FrameSide::Llc
             }
         };
@@ -1318,7 +1489,6 @@ impl Hierarchy {
         for (l1, &mark) in self.l1s.iter_mut().zip(&f.l1_marks) {
             l1.array.journal_rollback(mark);
         }
-        self.llc.journal_rollback(f.llc_mark);
         match f.side {
             FrameSide::None => unreachable!("restored a frame that was never filled"),
             FrameSide::L1(core) => {
@@ -1329,9 +1499,11 @@ impl Hierarchy {
                 l1.stalled_installs.clone_from(&f.l1_stalled);
             }
             FrameSide::Llc => {
-                self.llc_set_stalls.clone_from(&f.llc_set_stalls);
-                self.mem.restore(&f.mem_undo);
-                self.mem_image.clone_from(&f.mem_image);
+                let bank = &mut self.banks[f.llc_bank];
+                bank.array.journal_rollback(f.llc_mark);
+                bank.set_stalls.clone_from(&f.llc_set_stalls);
+                bank.mem.restore(&f.mem_undo);
+                bank.mem_image.clone_from(&f.mem_image);
             }
         }
     }
@@ -1355,7 +1527,12 @@ impl Hierarchy {
             .iter()
             .map(|l1| l1.array.content_digest_uncached())
             .collect();
-        self.state_digest_with(&l1_digests, self.llc.content_digest_uncached())
+        let bank_digests: Vec<u64> = self
+            .banks
+            .iter()
+            .map(|b| b.array.content_digest_uncached())
+            .collect();
+        self.state_digest_with(&l1_digests, &bank_digests)
     }
 
     /// [`state_digest`](Self::state_digest) with the cache-array portions
@@ -1370,17 +1547,22 @@ impl Hierarchy {
         for l1 in &mut self.l1s {
             scratch.push(l1.array.content_digest());
         }
-        let llc_digest = self.llc.content_digest();
-        let digest = self.state_digest_with(&scratch, llc_digest);
+        let mut bank_scratch = std::mem::take(&mut self.digest_bank_scratch);
+        bank_scratch.clear();
+        for bank in &mut self.banks {
+            bank_scratch.push(bank.array.content_digest());
+        }
+        let digest = self.state_digest_with(&scratch, &bank_scratch);
         self.digest_l1_scratch = scratch;
+        self.digest_bank_scratch = bank_scratch;
         digest
     }
 
     /// Digest core: everything outside the cache arrays is hashed here;
-    /// the arrays' content digests (one per L1, one for the LLC) are mixed
+    /// the arrays' content digests (one per L1, one per bank) are mixed
     /// in as opaque words so the cached and uncached entry points share
     /// every byte of this logic.
-    fn state_digest_with(&self, l1_digests: &[u64], llc_digest: u64) -> u64 {
+    fn state_digest_with(&self, l1_digests: &[u64], bank_digests: &[u64]) -> u64 {
         use std::hash::{Hash, Hasher};
         debug_assert!(
             self.jitter.is_none(),
@@ -1397,7 +1579,7 @@ impl Hierarchy {
         let mut link_ranks: FxHashMap<(u8, u64, u64), u64> = FxHashMap::default();
         let mut items: Vec<FrontierItem> = Vec::with_capacity(pend.len());
         for p in &pend {
-            let key = Self::link_key(p.event);
+            let key = self.link_key(p.event);
             let rank = link_ranks.entry(key).or_insert(0);
             items.push((rel(p.at), key, *rank, Self::event_digest(p.event, now)));
             *rank += 1;
@@ -1431,26 +1613,30 @@ impl Hierarchy {
         }
 
         // LLC lines — directory state, transactions, and waiter queues —
-        // hash through `LlcLine: Hash` inside the array content digest.
-        0x11C0_FFEEu64.hash(&mut h);
-        llc_digest.hash(&mut h);
-        let mut stalls: Vec<_> = self
-            .llc_set_stalls
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .collect();
-        stalls.sort_by_key(|(s, _)| **s);
-        for (set, q) in stalls {
-            set.hash(&mut h);
-            for m in q {
-                m.hash(&mut h);
+        // hash through `LlcLine: Hash` inside the array content digests,
+        // one section per bank (single-bank streams match the pre-sharded
+        // layout byte for byte).
+        for (bank, digest) in self.banks.iter().zip(bank_digests) {
+            0x11C0_FFEEu64.hash(&mut h);
+            digest.hash(&mut h);
+            let mut stalls: Vec<_> = bank
+                .set_stalls
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .collect();
+            stalls.sort_by_key(|(s, _)| **s);
+            for (set, q) in stalls {
+                set.hash(&mut h);
+                for m in q {
+                    m.hash(&mut h);
+                }
             }
-        }
 
-        self.mem.digest_into(now, &mut |x| x.hash(&mut h));
-        let mut image: Vec<_> = self.mem_image.iter().collect();
-        image.sort_unstable();
-        image.hash(&mut h);
+            bank.mem.digest_into(now, &mut |x| x.hash(&mut h));
+            let mut image: Vec<_> = bank.mem_image.iter().collect();
+            image.sort_unstable();
+            image.hash(&mut h);
+        }
         self.next_req.hash(&mut h);
         h.finish()
     }
@@ -1519,35 +1705,136 @@ impl Hierarchy {
                 let _ = writeln!(out, "l1[{i}] transients: {} vs {}", fmt(x), fmt(y));
             }
         }
-        if self.llc.content_digest_uncached() != other.llc.content_digest_uncached() {
-            let _ = writeln!(out, "llc array: {:?}\n vs {:?}", self.llc, other.llc);
-        }
-        if format!("{:?}", self.llc_set_stalls) != format!("{:?}", other.llc_set_stalls) {
-            let _ = writeln!(
-                out,
-                "set_stalls: {:?} vs {:?}",
-                self.llc_set_stalls, other.llc_set_stalls
-            );
-        }
-        let memd = |h: &Hierarchy| {
-            let mut v = Vec::new();
-            h.mem.digest_into(h.queue.now(), &mut |x| v.push(x));
-            v
-        };
-        if memd(self) != memd(other) {
-            let _ = writeln!(out, "mem: {:?} vs {:?}", memd(self), memd(other));
-        }
-        if self.mem_image != other.mem_image {
-            let _ = writeln!(
-                out,
-                "mem_image: {:?} vs {:?}",
-                self.mem_image, other.mem_image
-            );
+        for (i, (x, y)) in self.banks.iter().zip(&other.banks).enumerate() {
+            if x.array.content_digest_uncached() != y.array.content_digest_uncached() {
+                let _ = writeln!(out, "llc[{i}] array: {:?}\n vs {:?}", x.array, y.array);
+            }
+            if format!("{:?}", x.set_stalls) != format!("{:?}", y.set_stalls) {
+                let _ = writeln!(
+                    out,
+                    "llc[{i}] set_stalls: {:?} vs {:?}",
+                    x.set_stalls, y.set_stalls
+                );
+            }
+            let memd = |b: &LlcBank, now: Cycle| {
+                let mut v = Vec::new();
+                b.mem.digest_into(now, &mut |x| v.push(x));
+                v
+            };
+            let (ma, mb) = (memd(x, self.queue.now()), memd(y, other.queue.now()));
+            if ma != mb {
+                let _ = writeln!(out, "llc[{i}] mem: {ma:?} vs {mb:?}");
+            }
+            if x.mem_image != y.mem_image {
+                let _ = writeln!(
+                    out,
+                    "llc[{i}] mem_image: {:?} vs {:?}",
+                    x.mem_image, y.mem_image
+                );
+            }
         }
         if self.next_req != other.next_req {
             let _ = writeln!(out, "next_req: {} vs {}", self.next_req, other.next_req);
         }
         out
+    }
+
+    // -- dispatch plumbing -------------------------------------------------
+
+    pub(crate) fn protocol_error(
+        &self,
+        at: Cycle,
+        addr: PhysAddr,
+        core: Option<usize>,
+        detail: String,
+    ) -> Box<ProtocolError> {
+        Box::new(ProtocolError {
+            at,
+            addr,
+            core,
+            detail,
+            history: self.history_for(addr),
+        })
+    }
+
+    /// The 2D mesh placement implied by the configuration.
+    pub fn mesh(&self) -> MeshTopology {
+        MeshTopology::new(self.cfg.cores, self.cfg.banks, self.cfg.mesh_hop_latency)
+    }
+
+    /// Whether the undo log is armed (the parallel tick refuses to run
+    /// with it on: rounds dispatch many events per frame).
+    pub(crate) fn undo_active(&self) -> bool {
+        self.undo.enabled
+    }
+
+    /// A lane over every domain — the serial dispatch view.
+    pub(crate) fn lane<'a>(&'a mut self, sends: &'a mut Vec<(Cycle, Event)>) -> Lane<'a> {
+        let mesh = self.mesh();
+        let undo_lat = if self.undo.enabled {
+            self.undo.frames.last_mut().map(|f| &mut f.lat_records)
+        } else {
+            None
+        };
+        Lane {
+            cfg: &self.cfg,
+            mesh,
+            l1s: DomainVec::full(&mut self.l1s),
+            banks: DomainVec::full(&mut self.banks),
+            stats: &mut self.stats,
+            completions: &mut self.completions,
+            sends,
+            finish_scratch: &mut self.finish_scratch,
+            tracer: &mut self.tracer,
+            jitter: self.jitter.as_mut(),
+            undo_lat,
+        }
+    }
+
+    /// Dispatches one event through a full lane, then drains its deferred
+    /// sends into the queue — in emission order, which assigns exactly the
+    /// sequence numbers the pre-lane code assigned by scheduling inline.
+    fn dispatch(&mut self, now: Cycle, ev: Event) -> PResult {
+        let mut sends = std::mem::take(&mut self.sends_scratch);
+        let result = self.lane(&mut sends).dispatch(now, ev);
+        // Drain even on error: a failing handler's earlier sends were
+        // already on the wire when the pre-lane code hit the same error.
+        for (at, ev) in sends.drain(..) {
+            self.queue.schedule(at, ev);
+        }
+        self.sends_scratch = sends;
+        result
+    }
+}
+
+impl Lane<'_> {
+    /// Defers an event schedule to the caller: serial dispatch drains the
+    /// buffer into the queue after each event; the parallel round runner
+    /// merges all lanes' buffers in batch order. Either way the queue sees
+    /// schedules in exactly the serial emission order.
+    #[inline]
+    fn sched(&mut self, at: Cycle, ev: Event) {
+        self.sends.push((at, ev));
+    }
+
+    /// Per-bank array geometry (set-stall keys are bank-local indices).
+    #[inline]
+    fn bank_geom(&self) -> CacheGeometry {
+        self.cfg.bank_geometry()
+    }
+
+    /// The per-block event history from the tracer ring (empty when no
+    /// ring is attached); diagnostic payload for protocol errors.
+    fn history_for(&self, addr: PhysAddr) -> Vec<String> {
+        self.tracer
+            .ring()
+            .map(|ring| {
+                ring.iter()
+                    .filter(|(_, e)| e.addr == addr.0)
+                    .map(|(_, e)| e.to_json().to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     // -- plumbing ----------------------------------------------------------
@@ -1617,24 +1904,32 @@ impl Hierarchy {
         });
     }
 
-    /// Delivery time over the `src → dst` link (`None` = the LLC): the
-    /// nominal latency, plus jitter with a FIFO clamp when enabled.
+    /// Delivery time over the `src → dst` mesh route: the nominal
+    /// point-to-point latency, plus the route's hop latency (zero on the
+    /// default crossbar configuration), plus jitter with a FIFO clamp
+    /// when enabled. Jitter channels are per (src, dst) endpoint pair;
+    /// [`MeshTopology::link_code`] keeps single-bank channel keys
+    /// bit-compatible with the pre-sharded hierarchy.
     fn link_deliver(
         &mut self,
         now: Cycle,
-        src: Option<usize>,
-        dst: Option<usize>,
+        src: MeshEndpoint,
+        dst: MeshEndpoint,
         delay: u64,
     ) -> Cycle {
-        let encode = |u: Option<usize>| u.map_or(0u64, |c| c as u64 + 1);
+        let base = delay + self.mesh.route_extra(src, dst);
         match &mut self.jitter {
-            Some(j) => j.delay((encode(src), encode(dst)), now, delay),
-            None => now + Cycle(delay),
+            Some(j) => j.delay(
+                (MeshTopology::link_code(src), MeshTopology::link_code(dst)),
+                now,
+                base,
+            ),
+            None => now + Cycle(base),
         }
     }
 
-    /// Sends `msg` to the LLC. The sender is the core the message names
-    /// (every L1→LLC message carries one).
+    /// Sends `msg` to its block's directory bank. The sender is the core
+    /// the message names (every L1→LLC message carries one).
     fn send_to_llc(&mut self, now: Cycle, delay: u64, msg: Msg) {
         self.count(msg.event());
         self.tracer.emit(|| TraceEvent {
@@ -1648,12 +1943,14 @@ impl Hierarchy {
                 to: Unit::Llc,
             },
         });
-        let at = self.link_deliver(now, msg.core(), None, delay);
-        self.queue.schedule(at, Event::ToLlc(msg));
+        let bank = MeshEndpoint::Bank(self.cfg.bank_of(msg.addr().0));
+        let src = msg.core().map_or(bank, MeshEndpoint::Core);
+        let at = self.link_deliver(now, src, bank, delay);
+        self.sched(at, Event::ToLlc(msg));
     }
 
-    /// Sends `msg` to `core`'s L1 from `src` (`None` = the LLC;
-    /// `Some(owner)` for L1→L1 `DataFromOwner` hops).
+    /// Sends `msg` to `core`'s L1 from `src` (`None` = the block's
+    /// directory bank; `Some(owner)` for L1→L1 `DataFromOwner` hops).
     fn send_to_l1(&mut self, now: Cycle, delay: u64, src: Option<usize>, core: usize, msg: Msg) {
         self.count(msg.event());
         self.tracer.emit(|| TraceEvent {
@@ -1671,11 +1968,15 @@ impl Hierarchy {
                 to: Unit::L1,
             },
         });
-        let at = self.link_deliver(now, src, Some(core), delay);
-        self.queue.schedule(at, Event::ToL1 { core, src, msg });
+        let from = src.map_or(
+            MeshEndpoint::Bank(self.cfg.bank_of(msg.addr().0)),
+            MeshEndpoint::Core,
+        );
+        let at = self.link_deliver(now, from, MeshEndpoint::Core(core), delay);
+        self.sched(at, Event::ToL1 { core, src, msg });
     }
 
-    fn dispatch(&mut self, now: Cycle, ev: Event) -> PResult {
+    pub(crate) fn dispatch(&mut self, now: Cycle, ev: Event) -> PResult {
         self.stats.dispatched += 1;
         match ev {
             Event::CoreReq { core, req } => self.l1_access(now, core, req),
@@ -1695,10 +1996,16 @@ impl Hierarchy {
                 // event captures each exactly once (victim evictions of
                 // *other* addresses are recorded at their eviction sites).
                 let addr = msg.addr();
-                let prev = self.llc.peek(addr.0).map(|l| l.state);
+                let prev = self.banks[self.cfg.bank_of(addr.0)]
+                    .array
+                    .peek(addr.0)
+                    .map(|l| l.state);
                 self.llc_handle(now, msg)?;
                 if let Some(prev) = prev {
-                    let new = self.llc.peek(addr.0).map_or(LlcState::I, |l| l.state);
+                    let new = self.banks[self.cfg.bank_of(addr.0)]
+                        .array
+                        .peek(addr.0)
+                        .map_or(LlcState::I, |l| l.state);
                     self.llc_transition(now, addr, prev, new);
                 }
                 Ok(())
@@ -1763,14 +2070,12 @@ impl Hierarchy {
             self.cfg.protocol == ProtocolKind::SwiftDir,
             served_from,
         );
-        if self.undo.enabled {
+        if let Some(log) = self.undo_lat.as_mut() {
             // Journal the record so the undo frame can reverse it LIFO —
             // copying whole histograms per frame would dwarf every other
             // undo cost.
             let mark = self.stats.protocol.latency_mark(class);
-            if let Some(frame) = self.undo.frames.last_mut() {
-                frame.lat_records.push((class, latency.get(), mark));
-            }
+            log.push((class, latency.get(), mark));
         }
         self.stats.protocol.record_latency(class, latency.get());
         self.tracer.emit(|| TraceEvent {
@@ -1819,8 +2124,7 @@ impl Hierarchy {
             req: Some(req.id),
             kind: TraceKind::MshrStall,
         });
-        self.queue
-            .schedule(now + Cycle(4), Event::CoreReq { core, req });
+        self.sched(now + Cycle(4), Event::CoreReq { core, req });
         true
     }
 
@@ -2094,7 +2398,7 @@ impl Hierarchy {
                 None if attempt < INSTALL_RETRY_LIMIT => {
                     // Every way is mid-transaction; retry shortly.
                     self.stats.protocol.record_install_retry();
-                    self.queue.schedule(
+                    self.sched(
                         now + Cycle(INSTALL_RETRY_DELAY),
                         Event::L1InsertRetry {
                             core,
@@ -2153,7 +2457,7 @@ impl Hierarchy {
             let block = self.l1s[core].stalled_installs[i];
             if self.cfg.l1_geometry.index_of(block) == set {
                 self.l1s[core].stalled_installs.swap_remove(i);
-                self.queue.schedule(
+                self.sched(
                     now,
                     Event::L1InsertRetry {
                         core,
@@ -2178,7 +2482,7 @@ impl Hierarchy {
     ) {
         // Drain into the reusable scratch: closing a transaction performs
         // no allocation (the slot's vector and the scratch are recycled).
-        let mut waiters = std::mem::take(&mut self.finish_scratch);
+        let mut waiters = std::mem::take(&mut *self.finish_scratch);
         waiters.clear();
         if self.l1s[core].pending.take_into(block.0, &mut waiters) {
             if let Some((&primary, merged)) = waiters.split_first() {
@@ -2187,12 +2491,11 @@ impl Hierarchy {
                     // Replay through the L1: typically an immediate hit now;
                     // a merged store behind a load grant re-issues an
                     // upgrade.
-                    self.queue
-                        .schedule(now, Event::CoreReq { core, req: merged });
+                    self.sched(now, Event::CoreReq { core, req: merged });
                 }
             }
         }
-        self.finish_scratch = waiters;
+        *self.finish_scratch = waiters;
     }
 
     fn l1_handle(&mut self, now: Cycle, core: usize, msg: Msg) -> PResult {
@@ -2724,7 +3027,7 @@ impl Hierarchy {
         let lat = self.lat();
 
         // Stall on a blocked line.
-        if let Some(line) = self.llc.get_mut(addr.0) {
+        if let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) {
             if line.txn.is_some() {
                 line.waiters.push_back(msg);
                 return Ok(());
@@ -2746,7 +3049,10 @@ impl Hierarchy {
             }
         };
 
-        let present = self.llc.get(addr.0).is_some();
+        let present = self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .get(addr.0)
+            .is_some();
         if !present {
             // Allocate (possibly evicting/recalling) and fetch from memory.
             if !self.llc_make_room(now, addr, msg) {
@@ -2763,15 +3069,24 @@ impl Hierarchy {
                 for_store: is_store,
                 grant_shared,
             });
-            let inserted = self.llc.insert(addr.0, line);
+            let inserted = self.banks[self.cfg.bank_of(addr.0)]
+                .array
+                .insert(addr.0, line);
             debug_assert!(inserted.is_none(), "room was made above");
             self.count(CoherenceEvent::Fetch);
-            let done = self.mem.access(now + Cycle(lat.llc_lookup), addr, false);
-            self.queue.schedule(done, Event::MemDone { addr });
+            let done = self.banks[self.cfg.bank_of(addr.0)].mem.access(
+                now + Cycle(lat.llc_lookup),
+                addr,
+                false,
+            );
+            self.sched(done, Event::MemDone { addr });
             return Ok(());
         }
 
-        let line = self.llc.get_mut(addr.0).expect("present");
+        let line = self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .get_mut(addr.0)
+            .expect("present");
         let llc_was = line.state;
         let data = line.data;
         match (line.state, is_store) {
@@ -2848,7 +3163,10 @@ impl Hierarchy {
                         format!("{llc_was} line has no owner to forward a load to"),
                     ));
                 };
-                let line = self.llc.get_mut(addr.0).expect("present");
+                let line = self.banks[self.cfg.bank_of(addr.0)]
+                    .array
+                    .get_mut(addr.0)
+                    .expect("present");
                 line.txn = Some(LlcTxn::FwdLoad {
                     requester: core,
                     wb_done: false,
@@ -2881,7 +3199,10 @@ impl Hierarchy {
                 if pending == 0 {
                     self.llc_grant_ownership(now, addr, core, req, needs_data, llc_was);
                 } else {
-                    let line = self.llc.get_mut(addr.0).expect("present");
+                    let line = self.banks[self.cfg.bank_of(addr.0)]
+                        .array
+                        .get_mut(addr.0)
+                        .expect("present");
                     line.txn = Some(LlcTxn::Invalidating {
                         requester: core,
                         req,
@@ -2909,7 +3230,10 @@ impl Hierarchy {
                         format!("{llc_was} line has no owner to forward a store to"),
                     ));
                 };
-                let line = self.llc.get_mut(addr.0).expect("present");
+                let line = self.banks[self.cfg.bank_of(addr.0)]
+                    .array
+                    .get_mut(addr.0)
+                    .expect("present");
                 if owner == core {
                     // S-MESI E→M upgrade by the owner itself (paper Fig. 2):
                     // flip the directory state and ack — no invalidations.
@@ -2964,7 +3288,10 @@ impl Hierarchy {
         llc_was: LlcState,
     ) {
         let lat = self.lat();
-        let line = self.llc.get_mut(addr.0).expect("present");
+        let line = self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .get_mut(addr.0)
+            .expect("present");
         if with_data {
             let data = line.data;
             line.txn = Some(LlcTxn::AwaitUnblockE {
@@ -3004,29 +3331,45 @@ impl Hierarchy {
     /// Ensures a free way exists in `addr`'s LLC set, possibly starting a
     /// recall. Returns false if `msg` was stalled.
     fn llc_make_room(&mut self, now: Cycle, addr: PhysAddr, msg: Msg) -> bool {
-        if self.llc.set_has_free_way(addr.0) {
+        if self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .set_has_free_way(addr.0)
+        {
             return true;
         }
         let lat = self.lat();
         // Prefer victims with no private copies.
-        if let Some(vaddr) = self
-            .llc
+        if let Some(vaddr) = self.banks[self.cfg.bank_of(addr.0)]
+            .array
             .choose_victim(addr.0, |l| l.txn.is_none() && !l.has_copies())
         {
-            let vline = self.llc.invalidate(vaddr).expect("victim exists");
+            let vline = self.banks[self.cfg.bank_of(addr.0)]
+                .array
+                .invalidate(vaddr)
+                .expect("victim exists");
             self.llc_transition(now, PhysAddr(vaddr), vline.state, LlcState::I);
             if vline.dirty {
                 // Writeback to memory, fire-and-forget.
-                self.mem_image.insert(vaddr, vline.data);
-                self.mem.access(now, PhysAddr(vaddr), true);
+                self.banks[self.cfg.bank_of(addr.0)]
+                    .mem_image
+                    .insert(vaddr, vline.data);
+                self.banks[self.cfg.bank_of(addr.0)]
+                    .mem
+                    .access(now, PhysAddr(vaddr), true);
             }
             self.llc_replay_set_stalls(now, PhysAddr(vaddr));
             return true;
         }
         // Recall a line with copies.
-        if let Some(vaddr) = self.llc.choose_victim(addr.0, |l| l.txn.is_none()) {
+        if let Some(vaddr) = self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .choose_victim(addr.0, |l| l.txn.is_none())
+        {
             self.stats.recalls += 1;
-            let vline = self.llc.get_mut(vaddr).expect("victim exists");
+            let vline = self.banks[self.cfg.bank_of(addr.0)]
+                .array
+                .get_mut(vaddr)
+                .expect("victim exists");
             let mut pending = vline.sharers;
             if let Some(o) = vline.owner {
                 pending |= 1 << o;
@@ -3046,8 +3389,12 @@ impl Hierarchy {
             }
         }
         // Stall the request on the set either way.
-        let set = self.cfg.llc_bank_geometry.index_of(addr.0);
-        self.llc_set_stalls.entry(set).or_default().push_back(msg);
+        let set = self.bank_geom().index_of(addr.0);
+        self.banks[self.cfg.bank_of(addr.0)]
+            .set_stalls
+            .entry(set)
+            .or_default()
+            .push_back(msg);
         false
     }
 
@@ -3055,8 +3402,12 @@ impl Hierarchy {
     fn llc_mem_done(&mut self, now: Cycle, addr: PhysAddr) -> PResult {
         self.count(CoherenceEvent::MemData);
         let lat = self.lat();
-        let data = self.mem_image.get(&addr.0).copied().unwrap_or(0);
-        let Some(line) = self.llc.get_mut(addr.0) else {
+        let data = self.banks[self.cfg.bank_of(addr.0)]
+            .mem_image
+            .get(&addr.0)
+            .copied()
+            .unwrap_or(0);
+        let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) else {
             return Err(self.protocol_error(
                 now,
                 addr,
@@ -3127,12 +3478,16 @@ impl Hierarchy {
             req: None,
             kind: TraceKind::Writeback { dirty },
         });
-        let Some(line) = self.llc.get_mut(addr.0) else {
+        let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) else {
             // Line already evicted from the LLC (recall completed on acks
             // while this WB crossed): just ack so the L1 can drop it.
             if dirty {
-                self.mem_image.insert(addr.0, data);
-                self.mem.access(now, addr, true);
+                self.banks[self.cfg.bank_of(addr.0)]
+                    .mem_image
+                    .insert(addr.0, data);
+                self.banks[self.cfg.bank_of(addr.0)]
+                    .mem
+                    .access(now, addr, true);
             }
             self.send_wb_ack(now, core, addr);
             return;
@@ -3236,7 +3591,7 @@ impl Hierarchy {
 
     /// An invalidation ack (explicit, or synthesized from a crossing WB).
     fn llc_inv_ack(&mut self, now: Cycle, core: usize, addr: PhysAddr, dirty: bool, data: u64) {
-        let Some(line) = self.llc.get_mut(addr.0) else {
+        let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) else {
             return; // late ack for an already-recalled line
         };
         if dirty {
@@ -3298,7 +3653,10 @@ impl Hierarchy {
     }
 
     fn llc_recall_ack(&mut self, now: Cycle, addr: PhysAddr, core: usize) {
-        let line = self.llc.get_mut(addr.0).expect("recalling line present");
+        let line = self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .get_mut(addr.0)
+            .expect("recalling line present");
         let Some(LlcTxn::Recall { pending }) = line.txn else {
             return;
         };
@@ -3311,20 +3669,26 @@ impl Hierarchy {
         let dirty = line.dirty;
         let data = line.data;
         let waiters: Vec<Msg> = line.waiters.drain(..).collect();
-        self.llc.invalidate(addr.0);
+        self.banks[self.cfg.bank_of(addr.0)]
+            .array
+            .invalidate(addr.0);
         if dirty {
-            self.mem_image.insert(addr.0, data);
-            self.mem.access(now, addr, true);
+            self.banks[self.cfg.bank_of(addr.0)]
+                .mem_image
+                .insert(addr.0, data);
+            self.banks[self.cfg.bank_of(addr.0)]
+                .mem
+                .access(now, addr, true);
         }
         for w in waiters {
-            self.queue.schedule(now, Event::ToLlc(w));
+            self.sched(now, Event::ToLlc(w));
         }
         self.llc_replay_set_stalls(now, addr);
     }
 
     /// An `Unblock` / `Exclusive_Unblock` from the requester.
     fn llc_unblock(&mut self, now: Cycle, core: usize, addr: PhysAddr, exclusive: bool) -> PResult {
-        let Some(line) = self.llc.get_mut(addr.0) else {
+        let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) else {
             return Err(self.protocol_error(
                 now,
                 addr,
@@ -3399,10 +3763,10 @@ impl Hierarchy {
     /// requests stalled on the set (they may have been waiting for *any*
     /// transaction in the set to finish so a victim becomes eligible).
     fn llc_replay_waiters(&mut self, now: Cycle, addr: PhysAddr) {
-        if let Some(line) = self.llc.get_mut(addr.0) {
+        if let Some(line) = self.banks[self.cfg.bank_of(addr.0)].array.get_mut(addr.0) {
             let waiters: Vec<Msg> = line.waiters.drain(..).collect();
             for w in waiters {
-                self.queue.schedule(now, Event::ToLlc(w));
+                self.sched(now, Event::ToLlc(w));
             }
         }
         self.llc_replay_set_stalls(now, addr);
@@ -3410,10 +3774,10 @@ impl Hierarchy {
 
     /// Replays requests stalled on `addr`'s set (a way was freed).
     fn llc_replay_set_stalls(&mut self, now: Cycle, addr: PhysAddr) {
-        let set = self.cfg.llc_bank_geometry.index_of(addr.0);
-        if let Some(stalls) = self.llc_set_stalls.remove(&set) {
+        let set = self.bank_geom().index_of(addr.0);
+        if let Some(stalls) = self.banks[self.cfg.bank_of(addr.0)].set_stalls.remove(&set) {
             for msg in stalls {
-                self.queue.schedule(now, Event::ToLlc(msg));
+                self.sched(now, Event::ToLlc(msg));
             }
         }
     }

@@ -1,0 +1,470 @@
+//! Parallel tick: dispatches one timestamp bucket's events across worker
+//! threads, one lane per worker, with a deterministic cross-bank merge.
+//!
+//! # Shard boundary and round protocol
+//!
+//! The calendar queue's bucket structure is the shard boundary: a *round*
+//! is exactly one [`EventQueue::pop_batch`] — every event at the current
+//! timestamp. Within one bucket, each event mutates only its own *domain*
+//! (the addressed core's L1, or the addressed block's directory bank) plus
+//! lane-local accumulators, so events of different domains commute. The
+//! round partitioner groups the bucket's events by domain, workers claim
+//! whole domains (no two workers ever index the same domain — the claim
+//! protocol [`DomainVec`] relies on), and a barrier closes the round
+//! before the next bucket opens.
+//!
+//! # Deterministic merge
+//!
+//! Every deferred send and completion is tagged with the *batch index* of
+//! the event that produced it — its position in the serial bucket order.
+//! After the barrier, tags are merged by a stable sort on batch index.
+//! Each batch index belongs to exactly one domain, a domain's events run
+//! in batch order on one worker, and a lane emits sends in the same order
+//! the serial dispatcher would schedule them; so the sorted merge
+//! reproduces the serial schedule-call order *exactly*, sequence numbers
+//! included. Statistics merge commutatively (counter sums, histogram
+//! bucket adds). The result: state digests, stats, and completions are
+//! bit-identical to the serial run at every thread count. This is the
+//! (time, bank, seq) merge discipline, with "bank" generalized to domain
+//! and realized by the batch-index tag.
+//!
+//! On a protocol error the parallel run reports the erroring event with
+//! the smallest batch index (the one the serial run would have hit
+//! first), but sibling domains may already have dispatched events the
+//! serial run never reached — error *state* is not bit-identical, only
+//! error *identity*. Error-free runs carry the full guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use sim_engine::tracer::Tracer;
+use sim_engine::Cycle;
+use swiftdir_mmu::PhysAddr;
+
+use crate::hierarchy::{
+    Completion, DomainVec, Event, Hierarchy, HierarchyStats, Lane, ProtocolError,
+};
+
+/// Below this bucket size the round runs inline on the calling thread:
+/// the barrier round-trip costs more than the dispatch itself.
+const INLINE_BATCH: usize = 24;
+
+/// One claimed unit of work: every event of one domain, in bucket order.
+struct Task {
+    /// `(batch index, event)`, ascending batch index.
+    events: Vec<(u32, Event)>,
+}
+
+/// One task's private output, merged after the round's barrier.
+#[derive(Default)]
+struct TaskOut {
+    stats: HierarchyStats,
+    completions: Vec<(u32, Completion)>,
+    sends: Vec<(u32, Cycle, Event)>,
+    error: Option<(u32, Box<ProtocolError>)>,
+}
+
+/// Per-round shared state. Workers receive raw slice pointers (the claim
+/// protocol guarantees domain-disjoint access) and claim tasks via an
+/// atomic cursor.
+struct Round {
+    now: Cycle,
+    l1s: (*mut crate::hierarchy::L1, usize),
+    banks: (*mut crate::hierarchy::LlcBank, usize),
+    tasks: Vec<Task>,
+    outs: Vec<std::sync::Mutex<TaskOut>>,
+}
+
+// SAFETY: the raw pointers are only dereferenced through DomainVec under
+// the domain-claim protocol; everything else is owned data or a Mutex.
+unsafe impl Sync for Round {}
+unsafe impl Send for Round {}
+
+impl Hierarchy {
+    /// [`run_until_idle`](Hierarchy::run_until_idle), dispatching each
+    /// timestamp bucket across up to `threads` worker threads.
+    ///
+    /// Bit-identical to the serial run — digests, statistics, and
+    /// completions — at every thread count (see the module docs for the
+    /// merge-order argument). `threads <= 1` runs the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol error, like `run_until_idle`, and on the
+    /// preconditions of
+    /// [`try_run_until_idle_parallel`](Self::try_run_until_idle_parallel).
+    pub fn run_until_idle_parallel(&mut self, threads: usize) -> Vec<Completion> {
+        self.try_run_until_idle_parallel(threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_until_idle_parallel`](Self::run_until_idle_parallel).
+    ///
+    /// # Errors
+    ///
+    /// The first illegal protocol event in serial bucket order, or a
+    /// synthesized livelock error when the fuel budget runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when jitter, tracing, or the undo log is active: jitter
+    /// and tracing are lane-order-sensitive, and undo frames capture one
+    /// event per frame. (The serial paths keep full support.)
+    pub fn try_run_until_idle_parallel(
+        &mut self,
+        threads: usize,
+    ) -> Result<Vec<Completion>, Box<ProtocolError>> {
+        if threads <= 1 {
+            return self.try_run_until_idle();
+        }
+        assert!(
+            self.jitter.is_none(),
+            "parallel tick requires jitter disabled"
+        );
+        assert!(
+            !self.tracer.is_enabled(),
+            "parallel tick requires tracing disabled"
+        );
+        assert!(!self.undo_active(), "parallel tick requires undo disabled");
+
+        let domains = self.cfg.cores + self.cfg.banks;
+        let threads = threads.min(domains).max(1);
+        let workers = threads - 1;
+
+        let mut fuel: u64 = 500_000_000;
+        let mut failure: Option<Box<ProtocolError>> = None;
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut sends = std::mem::take(&mut self.sends_scratch);
+
+        // Round rendezvous: workers park on `start`, run the claim loop,
+        // then park on `end` while the main thread merges.
+        let start = Barrier::new(threads);
+        let end = Barrier::new(threads);
+        let cursor = AtomicUsize::new(0);
+        let round: std::sync::Mutex<Option<Round>> = std::sync::Mutex::new(None);
+        let cfg = self.cfg;
+        let mesh = self.mesh();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut tracer = Tracer::disabled();
+                    loop {
+                        start.wait();
+                        // A `None` round is the shutdown signal.
+                        let guard = round.lock().expect("round lock");
+                        let Some(r) = guard.as_ref() else {
+                            drop(guard);
+                            end.wait();
+                            return;
+                        };
+                        // The lock only fences the Option read; claiming
+                        // and running tasks is lock-free via the cursor.
+                        let r: &Round = unsafe { &*(r as *const Round) };
+                        drop(guard);
+                        run_tasks(&cfg, mesh, r, &cursor, &mut tracer);
+                        end.wait();
+                    }
+                });
+            }
+
+            let mut tracer = Tracer::disabled();
+            'ticks: while let Some(now) = self.queue.pop_batch(Cycle::MAX, &mut batch) {
+                if fuel < batch.len() as u64 {
+                    failure = Some(self.protocol_error(
+                        now,
+                        PhysAddr(0),
+                        None,
+                        "hierarchy failed to quiesce: livelock suspected".to_string(),
+                    ));
+                    break 'ticks;
+                }
+                fuel -= batch.len() as u64;
+
+                if batch.len() < INLINE_BATCH {
+                    // Small bucket: the serial dispatcher, verbatim.
+                    for ev in batch.drain(..) {
+                        let result = self.lane(&mut sends).dispatch(now, ev);
+                        for (at, ev) in sends.drain(..) {
+                            self.queue.schedule(at, ev);
+                        }
+                        if let Err(e) = result {
+                            failure = Some(e);
+                            break 'ticks;
+                        }
+                    }
+                    continue;
+                }
+
+                // Partition the bucket by domain, preserving batch order
+                // within each domain.
+                let mut by_domain: Vec<Vec<(u32, Event)>> = vec![Vec::new(); domains];
+                for (idx, ev) in batch.drain(..).enumerate() {
+                    by_domain[domain_of(&cfg, &ev)].push((idx as u32, ev));
+                }
+                let tasks: Vec<Task> = by_domain
+                    .into_iter()
+                    .filter(|v| !v.is_empty())
+                    .map(|events| Task { events })
+                    .collect();
+                let outs = tasks
+                    .iter()
+                    .map(|_| std::sync::Mutex::new(TaskOut::default()))
+                    .collect();
+                let r = Round {
+                    now,
+                    l1s: (self.l1s.as_mut_ptr(), self.l1s.len()),
+                    banks: (self.banks.as_mut_ptr(), self.banks.len()),
+                    tasks,
+                    outs,
+                };
+                cursor.store(0, Ordering::SeqCst);
+                *round.lock().expect("round lock") = Some(r);
+
+                start.wait();
+                {
+                    // Main participates; it must not touch `self.l1s` /
+                    // `self.banks` except through the round's pointers
+                    // until the end barrier closes the claim window.
+                    let guard = round.lock().expect("round lock");
+                    let r: &Round =
+                        unsafe { &*(guard.as_ref().expect("round set") as *const Round) };
+                    drop(guard);
+                    run_tasks(&cfg, mesh, r, &cursor, &mut tracer);
+                }
+                end.wait();
+
+                // Merge: stats commute; sends and completions replay in
+                // serial bucket order via their batch-index tags.
+                let r = round.lock().expect("round lock").take().expect("round set");
+                let mut all_sends: Vec<(u32, Cycle, Event)> = Vec::new();
+                let mut all_completions: Vec<(u32, Completion)> = Vec::new();
+                let mut round_error: Option<(u32, Box<ProtocolError>)> = None;
+                for out in r.outs {
+                    let mut out = out.into_inner().expect("task out lock");
+                    self.stats.merge(&out.stats);
+                    all_sends.append(&mut out.sends);
+                    all_completions.append(&mut out.completions);
+                    if let Some((idx, e)) = out.error.take() {
+                        let better = round_error.as_ref().is_none_or(|(best, _)| idx < *best);
+                        if better {
+                            round_error = Some((idx, e));
+                        }
+                    }
+                }
+                all_sends.sort_by_key(|(idx, _, _)| *idx);
+                all_completions.sort_by_key(|(idx, _)| *idx);
+                for (_, at, ev) in all_sends {
+                    self.queue.schedule(at, ev);
+                }
+                self.completions
+                    .extend(all_completions.into_iter().map(|(_, c)| c));
+                if let Some((_, e)) = round_error {
+                    failure = Some(e);
+                    break 'ticks;
+                }
+            }
+
+            // Shutdown: release the workers parked on `start`.
+            *round.lock().expect("round lock") = None;
+            start.wait();
+            end.wait();
+        });
+
+        batch.clear();
+        self.batch = batch;
+        sends.clear();
+        self.sends_scratch = sends;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(std::mem::take(&mut self.completions)),
+        }
+    }
+}
+
+/// The domain one event dispatches into: core L1s first, then banks.
+fn domain_of(cfg: &crate::config::HierarchyConfig, ev: &Event) -> usize {
+    match ev {
+        Event::CoreReq { core, .. }
+        | Event::ToL1 { core, .. }
+        | Event::L1InsertRetry { core, .. } => *core,
+        Event::ToLlc(msg) => cfg.cores + cfg.bank_of(msg.addr().0),
+        Event::MemDone { addr } => cfg.cores + cfg.bank_of(addr.0),
+    }
+}
+
+/// Claim-and-run loop: grab the next unclaimed task, dispatch its events
+/// through a lane over aliased domain views, tag the outputs.
+fn run_tasks(
+    cfg: &crate::config::HierarchyConfig,
+    mesh: sim_engine::MeshTopology,
+    r: &Round,
+    cursor: &AtomicUsize,
+    tracer: &mut Tracer,
+) {
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut sends: Vec<(Cycle, Event)> = Vec::new();
+    let mut finish_scratch: Vec<crate::hierarchy::PendingReq> = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::SeqCst);
+        if i >= r.tasks.len() {
+            return;
+        }
+        let task = &r.tasks[i];
+        let mut guard = r.outs[i].lock().expect("task out lock");
+        let out: &mut TaskOut = &mut guard;
+        completions.clear();
+        sends.clear();
+        {
+            // SAFETY: task `i` holds events of exactly one domain, and
+            // the cursor hands each task to exactly one claimant, so no
+            // two live lanes index the same element (DomainVec's claim
+            // protocol). The pointers were taken from live Vecs that the
+            // main thread leaves untouched until the end barrier.
+            let mut lane = Lane {
+                cfg,
+                mesh,
+                l1s: unsafe { DomainVec::alias(r.l1s.0, r.l1s.1) },
+                banks: unsafe { DomainVec::alias(r.banks.0, r.banks.1) },
+                stats: &mut out.stats,
+                completions: &mut completions,
+                sends: &mut sends,
+                finish_scratch: &mut finish_scratch,
+                tracer,
+                jitter: None,
+                undo_lat: None,
+            };
+            for (idx, ev) in &task.events {
+                let done_before = lane.completions.len();
+                let sent_before = lane.sends.len();
+                let result = lane.dispatch(r.now, ev.clone());
+                // Tag this event's emissions with its serial bucket
+                // position; the post-barrier merge sorts on it.
+                for (at, ev) in lane.sends.drain(sent_before..) {
+                    out.sends.push((*idx, at, ev));
+                }
+                for c in lane.completions.drain(done_before..) {
+                    out.completions.push((*idx, c));
+                }
+                if let Err(e) = result {
+                    out.error = Some((*idx, e));
+                    // Serial semantics stop at the first error; the rest
+                    // of this domain's bucket must not run.
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sim_engine::Cycle;
+    use swiftdir_mmu::PhysAddr;
+
+    use crate::config::HierarchyConfig;
+    use crate::hierarchy::{CoreRequest, Hierarchy};
+    use crate::protocol::ProtocolKind;
+
+    /// A contended many-core workload touching every bank: strided
+    /// blocks hit all set-groups, with cross-core sharing and stores.
+    fn drive(h: &mut Hierarchy, cores: usize, rounds: u64) -> usize {
+        let mut t = Cycle(0);
+        let mut n = 0;
+        let stride = h.config().bank_geometry().size_bytes() / 8;
+        for round in 0..rounds {
+            for core in 0..cores {
+                let addr = PhysAddr(0x8_0000 + (round % 32) * stride + (core as u64 % 4) * 64);
+                let req = match (round + core as u64) % 4 {
+                    0 => CoreRequest::store(addr),
+                    1 => CoreRequest::load(addr).write_protected(),
+                    _ => CoreRequest::load(addr),
+                };
+                h.issue(t, core, req);
+                n += 1;
+                t += Cycle(3);
+            }
+        }
+        n
+    }
+
+    fn sharded(cores: usize, banks: usize) -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::table_v(cores, ProtocolKind::SwiftDir).with_banks(banks))
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit_at_every_thread_count() {
+        let cores = 16;
+        let mut serial = sharded(cores, 8);
+        let n = drive(&mut serial, cores, 40);
+        let done_serial = serial.run_until_idle();
+        assert_eq!(done_serial.len(), n);
+        for threads in [2usize, 4, 8] {
+            let mut par = sharded(cores, 8);
+            drive(&mut par, cores, 40);
+            let done_par = par.run_until_idle_parallel(threads);
+            assert_eq!(
+                done_serial, done_par,
+                "completions diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.stats(),
+                par.stats(),
+                "stats diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.state_digest(),
+                par.state_digest(),
+                "state digest diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bank_parallel_is_identical_too() {
+        let cores = 8;
+        let mut serial = sharded(cores, 1);
+        drive(&mut serial, cores, 30);
+        let done_serial = serial.run_until_idle();
+        let mut par = sharded(cores, 1);
+        drive(&mut par, cores, 30);
+        let done_par = par.run_until_idle_parallel(4);
+        assert_eq!(done_serial, done_par);
+        assert_eq!(serial.state_digest(), par.state_digest());
+    }
+
+    #[test]
+    fn sharding_is_transparent_modulo_dram_channels() {
+        // Set-group interleaving gives every bank the same set population
+        // its slice had in the aggregate array, and the default mesh is a
+        // zero-cost crossbar — so with accesses spaced far enough apart
+        // that each quiesces before the next, the *protocol* outcome of
+        // every access (classification, data source, observed value) is
+        // independent of the bank count. Only DRAM latencies may differ:
+        // eight banks mean eight independent DRAM channels with their own
+        // row-buffer state, which is exactly the modeled scale-out.
+        let strip = |h: &mut Hierarchy| {
+            let mut t = Cycle(0);
+            // Three 8-bank set-groups per step, so consecutive accesses
+            // rotate through banks; identical addresses in both configs.
+            let stride = 3 * 16 * 1024;
+            for round in 0..24u64 {
+                let addr = PhysAddr(0x8_0000 + (round % 12) * stride);
+                let req = if round % 3 == 0 {
+                    CoreRequest::store(addr)
+                } else {
+                    CoreRequest::load(addr)
+                };
+                h.issue(t, 0, req);
+                t += Cycle(2_000); // far beyond any DRAM round trip
+            }
+            h.run_until_idle()
+                .into_iter()
+                .map(|c| (c.req, c.core, c.block, c.class, c.served_from, c.value))
+                .collect::<Vec<_>>()
+        };
+        let one = strip(&mut sharded(1, 1));
+        let eight = strip(&mut sharded(1, 8));
+        assert_eq!(one, eight, "bank count changed a protocol outcome");
+    }
+}

@@ -258,6 +258,7 @@ pub fn fuzz_grid_digest(grid: &[FuzzConfig]) -> u64 {
         f.mix(cfg.jitter_max);
         f.mix(cfg.store_fraction.to_bits());
         f.mix(cfg.wp_fraction.to_bits());
+        f.mix(cfg.banks as u64);
     }
     f.0
 }

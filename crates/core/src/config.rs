@@ -30,6 +30,12 @@ pub struct SystemConfig {
     pub demand_fault_cycles: u64,
     /// OS cost of a copy-on-write fault, in cycles.
     pub cow_fault_cycles: u64,
+    /// Address-sharded LLC/directory banks (power of two; see
+    /// [`HierarchyConfig::banks`]).
+    pub banks: usize,
+    /// Per-hop mesh NoC latency in cycles (see
+    /// [`HierarchyConfig::mesh_hop_latency`]).
+    pub mesh_hop_latency: u64,
 }
 
 impl SystemConfig {
@@ -41,6 +47,8 @@ impl SystemConfig {
     /// The hierarchy configuration implied by this system configuration.
     pub fn hierarchy(&self) -> HierarchyConfig {
         HierarchyConfig::table_v(self.cores, self.protocol)
+            .with_banks(self.banks)
+            .with_mesh_hop_latency(self.mesh_hop_latency)
     }
 }
 
@@ -68,6 +76,8 @@ impl Default for SystemConfigBuilder {
                 walk_cycles_per_level: 16,
                 demand_fault_cycles: 1500,
                 cow_fault_cycles: 2000,
+                banks: crate::driver::default_banks(),
+                mesh_hop_latency: 0,
             },
         }
     }
@@ -126,6 +136,25 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Shards the LLC/directory into `banks` address-interleaved banks.
+    /// When not called, the builder starts from the `SWIFTDIR_BANKS`
+    /// environment variable ([`driver::default_banks`](crate::driver))
+    /// and falls back to a single monolithic bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`build`](Self::build) time unless a power of two.
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.cfg.banks = banks;
+        self
+    }
+
+    /// Sets the per-hop mesh NoC latency.
+    pub fn mesh_hop_latency(mut self, cycles: u64) -> Self {
+        self.cfg.mesh_hop_latency = cycles;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -134,6 +163,11 @@ impl SystemConfigBuilder {
     pub fn build(self) -> SystemConfig {
         assert!(self.cfg.cores >= 1, "at least one core");
         assert!(self.cfg.tlb_entries >= 1, "at least one TLB entry");
+        assert!(
+            self.cfg.banks.is_power_of_two(),
+            "banks must be a power of two, got {}",
+            self.cfg.banks
+        );
         self.cfg
     }
 }
@@ -169,6 +203,24 @@ mod tests {
         assert_eq!(cfg.cpu_model, CpuModel::TimingSimple);
         assert_eq!(cfg.l1_architecture, L1Architecture::Vivt);
         assert_eq!(cfg.hierarchy().cores, 2);
+    }
+
+    #[test]
+    fn banks_flow_into_the_hierarchy() {
+        let cfg = SystemConfig::builder()
+            .cores(64)
+            .banks(8)
+            .mesh_hop_latency(1)
+            .build();
+        let h = cfg.hierarchy();
+        assert_eq!(h.banks, 8);
+        assert_eq!(h.mesh_hop_latency, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_banks_rejected() {
+        SystemConfig::builder().banks(6).build();
     }
 
     #[test]

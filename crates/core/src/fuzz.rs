@@ -71,6 +71,10 @@ pub struct FuzzConfig {
     pub store_fraction: f64,
     /// Probability a non-store access is a write-protected load.
     pub wp_fraction: f64,
+    /// Address-sharded directory banks (power of two). The shrunken LLC
+    /// scales with the bank count so every bank keeps the full recall
+    /// pressure of the classic single-bank scenario.
+    pub banks: usize,
 }
 
 impl FuzzConfig {
@@ -87,6 +91,7 @@ impl FuzzConfig {
             jitter_max: 6,
             store_fraction: 0.45,
             wp_fraction: 0.3,
+            banks: 1,
         }
     }
 
@@ -96,9 +101,12 @@ impl FuzzConfig {
     pub fn hierarchy_config(&self) -> HierarchyConfig {
         let mut cfg = HierarchyConfig::table_v(self.cores, self.protocol);
         cfg.l1_geometry = CacheGeometry::new(256, 1, 64);
-        cfg.llc_bank_geometry = CacheGeometry::new(256, 2, 64);
+        // One classic 256-byte 2-way shrunken bank *per* directory bank,
+        // so sharding multiplies the contention domains instead of
+        // diluting per-bank recall pressure.
+        cfg.llc_bank_geometry = CacheGeometry::new(256 * self.banks as u64, 2, 64);
         cfg.l1_mshrs = 4;
-        cfg
+        cfg.with_banks(self.banks)
     }
 
     /// The concrete access stream this scenario's seed generates.
@@ -342,6 +350,7 @@ pub fn replay_with_fault(file: &StreamFile, fault: Option<&PlantedFault>) -> Fuz
         jitter_max: file.jitter_max,
         store_fraction: 0.0,
         wp_fraction: 0.0,
+        banks: 1,
     };
     run_ops(&cfg, file, fault, None)
 }
@@ -679,6 +688,26 @@ mod tests {
                 report.failure.unwrap()
             );
             assert_eq!(report.completions, 120);
+        }
+    }
+
+    #[test]
+    fn sharded_fuzz_is_clean_and_deterministic() {
+        // The full audit stack (SWMR, directory superset, golden values)
+        // holds with the directory sharded over four banks, under jitter,
+        // with eight cores hammering blocks that span every bank.
+        for protocol in [ProtocolKind::Mesi, ProtocolKind::SwiftDir] {
+            let mut cfg = FuzzConfig::new(11, protocol);
+            cfg.cores = 8;
+            cfg.blocks = 16;
+            cfg.ops = 200;
+            cfg.banks = 4;
+            let a = run_fuzz(&cfg);
+            assert!(a.ok(), "{protocol:?}: {}", a.failure.unwrap());
+            assert_eq!(a.completions, 200);
+            let b = run_fuzz(&cfg);
+            assert_eq!(a.digest, b.digest, "{protocol:?}");
+            assert_eq!(a.events, b.events, "{protocol:?}");
         }
     }
 

@@ -42,6 +42,7 @@
 pub mod cycle;
 pub mod fxhash;
 pub mod json;
+pub mod mesh;
 pub mod metrics;
 pub mod progress;
 pub mod queue;
@@ -53,6 +54,7 @@ pub mod tracer;
 pub use cycle::Cycle;
 pub use fxhash::{map_heap_bytes, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, JsonError};
+pub use mesh::{MeshEndpoint, MeshTopology};
 pub use metrics::{Metric, MetricsRegistry};
 pub use progress::{
     CampaignCounters, Gauge, GaugeSnapshot, MemGauge, PhaseSpan, ProgressRecord, ProgressSampler,

@@ -24,6 +24,15 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Accumulates another channel's counters (multi-bank aggregation).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+    }
+
     /// Row-buffer hit rate in `[0, 1]` (0 when idle).
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_closed + self.row_conflicts;

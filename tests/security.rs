@@ -125,6 +125,54 @@ fn gets_wp_fill_latency_matches_plain_shared_fill_on_every_schedule() {
 }
 
 #[test]
+fn gets_wp_is_timing_identical_per_bank_on_a_sharded_many_core_machine() {
+    // Sharding the directory must not open a per-bank timing channel: on
+    // a 64-core machine with 8 address-interleaved banks, probe one
+    // S-state line owned by each bank and compare a WP load against a
+    // plain load from a distant core. The latencies must be equal bank
+    // by bank — both on the default zero-cost crossbar and with a
+    // nonzero mesh hop latency, where the NoC adds the same
+    // placement-dependent cycles to both request kinds.
+    use swiftdir::coherence::{CoreRequest, Hierarchy, HierarchyConfig};
+    use swiftdir::engine::Cycle;
+    use swiftdir::mmu::PhysAddr;
+
+    for hop in [0u64, 2] {
+        let cfg = HierarchyConfig::table_v(64, ProtocolKind::SwiftDir)
+            .with_banks(8)
+            .with_mesh_hop_latency(hop);
+        let geom = cfg.bank_geometry();
+        let group = geom.block_bytes() * geom.num_sets();
+        for bank in 0..8u64 {
+            let addr = PhysAddr(bank * group);
+            assert_eq!(cfg.bank_of(addr.0), bank as usize, "probe address owner");
+            let probe = |wp: bool| {
+                let mut h = Hierarchy::new(cfg);
+                // Core 0's WP load installs the line Shared in its bank.
+                h.issue(Cycle(0), 0, CoreRequest::load(addr).write_protected());
+                h.run_until_idle();
+                let req = if wp {
+                    CoreRequest::load(addr).write_protected()
+                } else {
+                    CoreRequest::load(addr)
+                };
+                let id = h.issue(h.now(), 63, req);
+                let done = h.run_until_idle();
+                done.iter()
+                    .find(|c| c.req == id)
+                    .expect("probe completed")
+                    .latency()
+            };
+            assert_eq!(
+                probe(true),
+                probe(false),
+                "bank {bank}, hop latency {hop}: the WP bit is timing-visible"
+            );
+        }
+    }
+}
+
+#[test]
 fn gets_wp_on_a_shared_line_matches_plain_gets() {
     use swiftdir::core::diff::tiny_config;
     use swiftdir::core::explore::{explore, ExploreConfig};
